@@ -1,0 +1,608 @@
+//! Generic keyed-aggregation machinery: one spec type per application,
+//! four executions for free (Hyracks regular/ITask, Hadoop
+//! regular/ITask).
+//!
+//! The central idea: the `Mid` tuple is simultaneously the unit that
+//! travels through the shuffle *and* the mergeable per-key accumulator
+//! ([`MergeableTuple`]). Map-side combining, reduce-side aggregation and
+//! the ITask merge stage are then all the same fold.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use hadoop::{HadoopConfig, MapCx, Mapper, ReduceCx, Reducer, RegularJobResult};
+use hyracks::{ItaskFactories, OpCx, Operator, ShuffleBatch};
+use itask_core::{ITask, Scale, TaskCx, TupleTask, Tuple};
+use simcore::{ByteSize, SimError, SimResult, TaskId};
+use simcluster::JobReport;
+
+/// A tuple that knows its aggregation key and can absorb another tuple
+/// with the same key.
+pub trait MergeableTuple: Tuple + Clone {
+    /// The aggregation key.
+    fn key(&self) -> u64;
+
+    /// Merges `other` (same key) into `self`; returns the simulated heap
+    /// byte *delta* now held — positive when the accumulator grows
+    /// (postings, collected groups), zero when the merge collapses
+    /// (adding counters), negative when it releases memory (a hash join
+    /// resolving pending probes).
+    fn merge(&mut self, other: Self) -> i64;
+}
+
+/// One application's aggregation semantics.
+pub trait AggSpec: Clone + 'static {
+    /// Input record type.
+    type In: Tuple;
+    /// Shuffled/accumulated tuple type.
+    type Mid: MergeableTuple;
+    /// Final output record type.
+    type Out: Tuple + 'static;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decomposes one input record into keyed contributions (map side).
+    fn explode(&self, rec: &Self::In, out: &mut Vec<Self::Mid>);
+
+    /// Finalizes one accumulated entry.
+    fn finish(&self, mid: Self::Mid) -> Self::Out;
+
+    /// Shuffle bucket of a key (hash by default; sort apps use ranges).
+    fn bucket(&self, key: u64, buckets: u32) -> u32 {
+        (key % buckets as u64) as u32
+    }
+
+    /// Bytes of long-lived structures loaded at task start (MSA's join
+    /// table).
+    fn init_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Transient scratch needed to process one record (CRP's lemmatizer
+    /// working set): allocated before `explode`, garbage right after.
+    fn scratch_bytes(&self, _rec: &Self::In) -> u64 {
+        0
+    }
+
+    /// Map-side combiner cache cap for the *regular* versions: when the
+    /// local aggregate exceeds this, it is flushed downstream (Hyracks
+    /// per-frame aggregation / a bounded in-map combiner). The ITask map
+    /// has no cap — its state grows until the IRS interrupts it, which
+    /// is exactly the paper's design. Specs reproducing unbounded-state
+    /// bugs (IMC) override this with `u64::MAX`.
+    fn map_cache_bytes(&self) -> u64 {
+        64 * 1024
+    }
+}
+
+/// The shared fold: a key → accumulator map with byte-accurate
+/// allocation callbacks.
+pub struct AggState<M: MergeableTuple> {
+    map: BTreeMap<u64, M>,
+}
+
+impl<M: MergeableTuple> AggState<M> {
+    /// Empty state.
+    pub fn new() -> Self {
+        AggState { map: BTreeMap::new() }
+    }
+
+    /// Whether nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Folds one tuple in; `charge` receives the byte delta (positive:
+    /// allocate, negative: free).
+    pub fn add(
+        &mut self,
+        item: M,
+        charge: &mut dyn FnMut(i64) -> SimResult<()>,
+    ) -> SimResult<()> {
+        use std::collections::btree_map::Entry;
+        match self.map.entry(item.key()) {
+            Entry::Vacant(v) => {
+                charge(item.heap_bytes() as i64)?;
+                v.insert(item);
+            }
+            Entry::Occupied(mut o) => {
+                let delta = o.get_mut().merge(item);
+                if delta != 0 {
+                    charge(delta)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the accumulated tuples in key order.
+    pub fn drain(&mut self) -> Vec<M> {
+        std::mem::take(&mut self.map).into_values().collect()
+    }
+}
+
+impl<M: MergeableTuple> Default for AggState<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn ser_of<T: Tuple>(items: &[T]) -> ByteSize {
+    ByteSize(items.iter().map(Tuple::ser_bytes).sum())
+}
+
+/// Signed charge against an operator's state space.
+fn charge_state<Out>(cx: &mut OpCx<'_, '_, Out>, delta: i64) -> SimResult<()> {
+    if delta >= 0 {
+        cx.alloc_state(ByteSize(delta as u64))
+    } else {
+        cx.free_state(ByteSize((-delta) as u64));
+        Ok(())
+    }
+}
+
+/// Signed charge against an ITask instance's output space.
+fn charge_out(cx: &mut TaskCx<'_, '_>, delta: i64) -> SimResult<()> {
+    if delta >= 0 {
+        cx.alloc_out(ByteSize(delta as u64))
+    } else {
+        cx.free_out(ByteSize((-delta) as u64));
+        Ok(())
+    }
+}
+
+/// Signed charge against a Hadoop attempt's user-state space.
+fn charge_reduce_state<Out: Tuple>(cx: &mut ReduceCx<'_, '_, Out>, delta: i64) -> SimResult<()> {
+    if delta >= 0 {
+        cx.alloc_state(ByteSize(delta as u64))
+    } else {
+        cx.free_state(ByteSize((-delta) as u64));
+        Ok(())
+    }
+}
+
+/// Signed charge against a Hadoop mapper's user-state space.
+fn charge_map_state<Out: Tuple>(cx: &mut MapCx<'_, '_, Out>, delta: i64) -> SimResult<()> {
+    if delta >= 0 {
+        cx.alloc_state(ByteSize(delta as u64))
+    } else {
+        cx.free_state(ByteSize((-delta) as u64));
+        Ok(())
+    }
+}
+
+// ====================================================================
+// Regular Hyracks operators
+// ====================================================================
+
+/// Map-side operator: explode + local combining; emits at close.
+pub struct AggMapOp<S: AggSpec> {
+    spec: S,
+    buckets: u32,
+    state: AggState<S::Mid>,
+    scratch: Vec<S::Mid>,
+    held: i64,
+    initialized: bool,
+}
+
+impl<S: AggSpec> AggMapOp<S> {
+    /// Creates the operator.
+    pub fn new(spec: S, buckets: u32) -> Self {
+        AggMapOp {
+            spec,
+            buckets,
+            state: AggState::new(),
+            scratch: Vec::new(),
+            held: 0,
+            initialized: false,
+        }
+    }
+
+    fn flush(&mut self, cx: &mut OpCx<'_, '_, S::Mid>) {
+        for item in self.state.drain() {
+            let bucket = self.spec.bucket(item.key(), self.buckets);
+            cx.emit(bucket, item);
+        }
+        if self.held > 0 {
+            cx.free_state(ByteSize(self.held as u64));
+        }
+        self.held = 0;
+    }
+}
+
+impl<S: AggSpec> Operator for AggMapOp<S> {
+    type In = S::In;
+    type Out = S::Mid;
+
+    fn open(&mut self, cx: &mut OpCx<'_, '_, S::Mid>) -> SimResult<()> {
+        let init = self.spec.init_bytes();
+        if init > 0 && !self.initialized {
+            cx.alloc_state(ByteSize(init))?;
+            self.initialized = true;
+        }
+        Ok(())
+    }
+
+    fn next(&mut self, cx: &mut OpCx<'_, '_, S::Mid>, rec: &S::In) -> SimResult<()> {
+        let scratch = self.spec.scratch_bytes(rec);
+        if scratch > 0 {
+            cx.alloc_state(ByteSize(scratch))?;
+        }
+        self.scratch.clear();
+        self.spec.explode(rec, &mut self.scratch);
+        let held = &mut self.held;
+        for item in self.scratch.drain(..) {
+            self.state.add(item, &mut |d| {
+                *held += d;
+                charge_state(cx, d)
+            })?;
+        }
+        if scratch > 0 {
+            cx.free_state(ByteSize(scratch));
+        }
+        if self.held > 0 && self.held as u64 > self.spec.map_cache_bytes() {
+            self.flush(cx);
+        }
+        Ok(())
+    }
+
+    fn close(&mut self, cx: &mut OpCx<'_, '_, S::Mid>) -> SimResult<()> {
+        self.flush(cx);
+        Ok(())
+    }
+}
+
+/// Reduce-side operator: fold partials, finalize at close.
+pub struct AggReduceOp<S: AggSpec> {
+    spec: S,
+    buckets: u32,
+    state: AggState<S::Mid>,
+}
+
+impl<S: AggSpec> AggReduceOp<S> {
+    /// Creates the operator.
+    pub fn new(spec: S, buckets: u32) -> Self {
+        AggReduceOp { spec, buckets, state: AggState::new() }
+    }
+}
+
+impl<S: AggSpec> Operator for AggReduceOp<S> {
+    type In = S::Mid;
+    type Out = S::Out;
+
+    fn open(&mut self, _cx: &mut OpCx<'_, '_, S::Out>) -> SimResult<()> {
+        Ok(())
+    }
+
+    fn next(&mut self, cx: &mut OpCx<'_, '_, S::Out>, item: &S::Mid) -> SimResult<()> {
+        self.state.add(item.clone(), &mut |d| charge_state(cx, d))
+    }
+
+    fn close(&mut self, cx: &mut OpCx<'_, '_, S::Out>) -> SimResult<()> {
+        for item in self.state.drain() {
+            let bucket = self.spec.bucket(item.key(), self.buckets);
+            let out = self.spec.finish(item);
+            cx.emit(bucket, out);
+        }
+        Ok(())
+    }
+}
+
+// ====================================================================
+// ITask versions
+// ====================================================================
+
+/// The phase-2 graph built by the engines is `reduce = task0,
+/// merge = task1` (see `hyracks::engine::run_itask`).
+const MERGE_TASK: TaskId = TaskId(1);
+
+/// Map ITask: explode + combine; interrupt/cleanup push a final
+/// [`ShuffleBatch`] (Figure 6's `MapOperator`).
+pub struct AggMapTask<S: AggSpec> {
+    spec: S,
+    buckets: u32,
+    state: AggState<S::Mid>,
+    scratch: Vec<S::Mid>,
+}
+
+impl<S: AggSpec> AggMapTask<S> {
+    /// Creates the task.
+    pub fn new(spec: S, buckets: u32) -> Self {
+        AggMapTask { spec, buckets, state: AggState::new(), scratch: Vec::new() }
+    }
+
+    fn flush(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        if self.state.is_empty() {
+            return Ok(());
+        }
+        let mut buckets: BTreeMap<u32, Vec<S::Mid>> = BTreeMap::new();
+        for item in self.state.drain() {
+            buckets
+                .entry(self.spec.bucket(item.key(), self.buckets))
+                .or_default()
+                .push(item);
+        }
+        let batch = ShuffleBatch { buckets: buckets.into_iter().collect() };
+        let ser: ByteSize = batch.buckets.iter().map(|(_, v)| ser_of(v)).sum();
+        cx.emit_final(Box::new(batch), ser)
+    }
+}
+
+impl<S: AggSpec> TupleTask for AggMapTask<S> {
+    type In = S::In;
+
+    fn initialize(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        let init = self.spec.init_bytes();
+        if init > 0 {
+            cx.alloc_local(ByteSize(init))?;
+        }
+        Ok(())
+    }
+
+    fn process(&mut self, cx: &mut TaskCx<'_, '_>, rec: &S::In) -> SimResult<()> {
+        let scratch = self.spec.scratch_bytes(rec);
+        if scratch > 0 {
+            cx.alloc_local(ByteSize(scratch))?;
+        }
+        self.scratch.clear();
+        self.spec.explode(rec, &mut self.scratch);
+        for item in self.scratch.drain(..) {
+            self.state.add(item, &mut |d| charge_out(cx, d))?;
+        }
+        if scratch > 0 {
+            cx.free_local(ByteSize(scratch));
+        }
+        Ok(())
+    }
+
+    fn interrupt(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        self.flush(cx)
+    }
+
+    fn cleanup(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        self.flush(cx)
+    }
+}
+
+/// Reduce ITask: folds one bucket partition; interrupt/cleanup queue the
+/// partial aggregate to the merge MITask tagged with the bucket
+/// (Figure 7's `ReduceOperator`).
+pub struct AggReduceTask<S: AggSpec> {
+    state: AggState<S::Mid>,
+}
+
+impl<S: AggSpec> AggReduceTask<S> {
+    /// Creates the task.
+    pub fn new(_spec: S) -> Self {
+        AggReduceTask { state: AggState::new() }
+    }
+
+    fn flush(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        if self.state.is_empty() {
+            return Ok(());
+        }
+        let items = self.state.drain();
+        let tag = cx.input_tag();
+        cx.emit_to_task(MERGE_TASK, tag, items)
+    }
+}
+
+impl<S: AggSpec> TupleTask for AggReduceTask<S> {
+    type In = S::Mid;
+
+    fn initialize(&mut self, _cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        Ok(())
+    }
+
+    fn process(&mut self, cx: &mut TaskCx<'_, '_>, item: &S::Mid) -> SimResult<()> {
+        self.state.add(item.clone(), &mut |d| charge_out(cx, d))
+    }
+
+    fn interrupt(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        self.flush(cx)
+    }
+
+    fn cleanup(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        self.flush(cx)
+    }
+}
+
+/// Merge MITask: aggregates a tag group; interrupted partials re-enter
+/// its own queue (Figure 7's `MergeTask`), cleanup emits the final
+/// records.
+pub struct AggMergeTask<S: AggSpec> {
+    spec: S,
+    state: AggState<S::Mid>,
+}
+
+impl<S: AggSpec> AggMergeTask<S> {
+    /// Creates the task.
+    pub fn new(spec: S) -> Self {
+        AggMergeTask { spec, state: AggState::new() }
+    }
+}
+
+impl<S: AggSpec> TupleTask for AggMergeTask<S> {
+    type In = S::Mid;
+
+    fn initialize(&mut self, _cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        Ok(())
+    }
+
+    fn process(&mut self, cx: &mut TaskCx<'_, '_>, item: &S::Mid) -> SimResult<()> {
+        self.state.add(item.clone(), &mut |d| charge_out(cx, d))
+    }
+
+    fn interrupt(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        if self.state.is_empty() {
+            return Ok(());
+        }
+        let items = self.state.drain();
+        let tag = cx.input_tag();
+        let me = cx.task();
+        cx.emit_to_task(me, tag, items)
+    }
+
+    fn cleanup(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        let out: Vec<S::Out> =
+            self.state.drain().into_iter().map(|m| self.spec.finish(m)).collect();
+        let ser = ser_of(&out);
+        cx.emit_final(Box::new(out), ser)
+    }
+}
+
+/// Builds the three ITask factories for a spec.
+pub fn itask_factories<S: AggSpec>(spec: S, buckets: u32) -> ItaskFactories {
+    let s1 = spec.clone();
+    let s2 = spec.clone();
+    let s3 = spec;
+    ItaskFactories {
+        map: Rc::new(move || {
+            Box::new(Scale(AggMapTask::new(s1.clone(), buckets))) as Box<dyn ITask>
+        }),
+        reduce: Rc::new(move || {
+            Box::new(Scale(AggReduceTask::new(s2.clone()))) as Box<dyn ITask>
+        }),
+        merge: Rc::new(move || {
+            Box::new(Scale(AggMergeTask::new(s3.clone()))) as Box<dyn ITask>
+        }),
+    }
+}
+
+// ====================================================================
+// Hadoop versions
+// ====================================================================
+
+/// Hadoop mapper: explode + in-task combining; emissions at close go
+/// through the spill-managed sort buffer.
+pub struct AggMapper<S: AggSpec> {
+    spec: S,
+    buckets: u32,
+    state: AggState<S::Mid>,
+    scratch: Vec<S::Mid>,
+    held: i64,
+    initialized: bool,
+}
+
+impl<S: AggSpec> AggMapper<S> {
+    /// Creates the mapper.
+    pub fn new(spec: S, buckets: u32) -> Self {
+        AggMapper {
+            spec,
+            buckets,
+            state: AggState::new(),
+            scratch: Vec::new(),
+            held: 0,
+            initialized: false,
+        }
+    }
+
+    fn flush(&mut self, cx: &mut MapCx<'_, '_, S::Mid>) -> SimResult<()> {
+        for item in self.state.drain() {
+            let bucket = self.spec.bucket(item.key(), self.buckets);
+            cx.write(bucket, item)?;
+        }
+        if self.held > 0 {
+            cx.free_state(ByteSize(self.held as u64));
+        }
+        self.held = 0;
+        Ok(())
+    }
+}
+
+impl<S: AggSpec> Mapper for AggMapper<S> {
+    type In = S::In;
+    type Out = S::Mid;
+
+    fn map(&mut self, cx: &mut MapCx<'_, '_, S::Mid>, rec: &S::In) -> SimResult<()> {
+        if !self.initialized {
+            let init = self.spec.init_bytes();
+            if init > 0 {
+                cx.alloc_state(ByteSize(init))?;
+            }
+            self.initialized = true;
+        }
+        let scratch = self.spec.scratch_bytes(rec);
+        if scratch > 0 {
+            cx.alloc_state(ByteSize(scratch))?;
+        }
+        self.scratch.clear();
+        self.spec.explode(rec, &mut self.scratch);
+        let held = &mut self.held;
+        for item in self.scratch.drain(..) {
+            self.state.add(item, &mut |d| {
+                *held += d;
+                charge_map_state(cx, d)
+            })?;
+        }
+        if scratch > 0 {
+            cx.free_state(ByteSize(scratch));
+        }
+        if self.held > 0 && self.held as u64 > self.spec.map_cache_bytes() {
+            self.flush(cx)?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self, cx: &mut MapCx<'_, '_, S::Mid>) -> SimResult<()> {
+        self.flush(cx)
+    }
+}
+
+/// Hadoop reducer: fold, finalize at close.
+pub struct AggReducer<S: AggSpec> {
+    spec: S,
+    state: AggState<S::Mid>,
+}
+
+impl<S: AggSpec> AggReducer<S> {
+    /// Creates the reducer.
+    pub fn new(spec: S) -> Self {
+        AggReducer { spec, state: AggState::new() }
+    }
+}
+
+impl<S: AggSpec> Reducer for AggReducer<S> {
+    type In = S::Mid;
+    type Out = S::Out;
+
+    fn reduce(&mut self, cx: &mut ReduceCx<'_, '_, S::Out>, item: &S::Mid) -> SimResult<()> {
+        self.state.add(item.clone(), &mut |d| charge_reduce_state(cx, d))
+    }
+
+    fn close(&mut self, cx: &mut ReduceCx<'_, '_, S::Out>) -> SimResult<()> {
+        for item in self.state.drain() {
+            let out = self.spec.finish(item);
+            cx.write(out)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the regular Hadoop job for a spec.
+pub fn run_hadoop_regular<S: AggSpec>(
+    spec: &S,
+    cfg: &HadoopConfig,
+    splits: Vec<Vec<S::In>>,
+) -> RegularJobResult<S::Out> {
+    let buckets = cfg.reduce_tasks;
+    hadoop::run_regular_job(
+        cfg,
+        splits,
+        || AggMapper::new(spec.clone(), buckets),
+        || AggReducer::new(spec.clone()),
+    )
+}
+
+/// Runs the ITask Hadoop job for a spec.
+pub fn run_hadoop_itask<S: AggSpec>(
+    spec: &S,
+    cfg: &HadoopConfig,
+    splits: Vec<Vec<S::In>>,
+) -> (JobReport, Result<Vec<S::Out>, SimError>) {
+    // The factories must bucket exactly as finely as the engine tags.
+    let buckets = cfg.reduce_tasks * hadoop::ITASK_BUCKET_MULTIPLIER;
+    let factories = itask_factories(spec.clone(), buckets);
+    hadoop::run_itask_job::<S::In, S::Mid, S::Out>(cfg, splits, &factories)
+}

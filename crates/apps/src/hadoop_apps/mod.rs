@@ -1,0 +1,71 @@
+//! The five reproduced Hadoop problems of Table 1 (§6.1). Each module
+//! exposes the Table 1 configuration (the one the problem was reported
+//! under — the CTime run), the StackOverflow-recommended fix (the PTime
+//! run) and the ITask version under the *original* configuration (the
+//! ITime run).
+
+pub mod crp;
+pub mod more_problems;
+pub mod iib;
+pub mod imc;
+pub mod msa;
+pub mod wcm;
+
+use hadoop::HadoopConfig;
+use simcore::{ByteSize, SimError};
+use simcluster::JobReport;
+use workloads::stackoverflow::{Post, StackOverflowConfig};
+use workloads::wikipedia::{Article, WikipediaConfig};
+
+use crate::agg::{run_hadoop_itask, run_hadoop_regular, AggSpec};
+use crate::summary::RunSummary;
+
+/// Worker nodes of the paper's testbed.
+pub const NODES: usize = 10;
+
+/// Loads the StackOverflow full dump as splits of the default HDFS
+/// block size.
+pub fn stackoverflow_splits(seed: u64) -> Vec<Vec<Post>> {
+    stackoverflow_splits_sized(seed, ByteSize::kib(128))
+}
+
+/// Loads the StackOverflow full dump at an explicit split size (the
+/// tuned configurations shrink it).
+pub fn stackoverflow_splits_sized(seed: u64, split: ByteSize) -> Vec<Vec<Post>> {
+    let cfg = StackOverflowConfig::full_dump(seed);
+    (0..cfg.num_blocks(split)).map(|b| cfg.block(b, split)).collect()
+}
+
+/// Loads a Wikipedia dataset (full dump or sample) as splits of the
+/// default HDFS block size.
+pub fn wikipedia_splits(full: bool, seed: u64) -> Vec<Vec<Article>> {
+    wikipedia_splits_sized(full, seed, ByteSize::kib(128))
+}
+
+/// Loads a Wikipedia dataset at an explicit split size.
+pub fn wikipedia_splits_sized(full: bool, seed: u64, split: ByteSize) -> Vec<Vec<Article>> {
+    let cfg = if full { WikipediaConfig::full_dump(seed) } else { WikipediaConfig::sample(seed) };
+    (0..cfg.num_blocks(split)).map(|b| cfg.block(b, split)).collect()
+}
+
+/// Runs a spec's regular Hadoop job and wraps it uniformly.
+pub fn regular<S: AggSpec>(
+    spec: &S,
+    cfg: &HadoopConfig,
+    splits: Vec<Vec<S::In>>,
+) -> (RunSummary<S::Out>, u32) {
+    let run = run_hadoop_regular(spec, cfg, splits);
+    let attempts = run.map_attempts + run.reduce_attempts;
+    (RunSummary { report: run.report, result: run.result }, attempts)
+}
+
+/// Runs a spec's ITask Hadoop job and wraps it uniformly.
+pub fn itask<S: AggSpec>(
+    spec: &S,
+    cfg: &HadoopConfig,
+    splits: Vec<Vec<S::In>>,
+) -> RunSummary<S::Out> {
+    let (report, result): (JobReport, Result<Vec<S::Out>, SimError>) =
+        run_hadoop_itask(spec, cfg, splits);
+    RunSummary { report, result }
+}

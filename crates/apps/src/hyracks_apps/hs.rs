@@ -1,0 +1,86 @@
+//! HS — heap sort of the webmap's adjacency lines by vertex id. The
+//! sort must retain every record (as Java strings plus priority-queue
+//! nodes), so memory grows linearly with the node's input share; the
+//! paper's regular HS dies on the 44GB and 72GB datasets (Figure 9b).
+
+use simcore::jbloat;
+use workloads::webmap::{AdjRecord, WebmapConfig, WebmapSize};
+
+use crate::agg::AggSpec;
+use crate::mids::SortMid;
+use crate::summary::RunSummary;
+
+use super::{run_itask_spec, run_regular_spec, webmap_inputs, HyracksParams};
+
+/// Per-record collection overhead (PQ node + references).
+const PQ_NODE: u32 = (jbloat::object(3, 8) + 8) as u32;
+
+/// The HS spec: unique sort keys, range bucketing for global order.
+#[derive(Clone, Debug)]
+pub struct HsSpec {
+    /// Total vertices (for range partitioning).
+    pub vertices: u64,
+}
+
+impl AggSpec for HsSpec {
+    type In = AdjRecord;
+    type Mid = SortMid;
+    type Out = SortMid;
+
+    fn name(&self) -> &'static str {
+        "hs"
+    }
+
+    fn explode(&self, rec: &AdjRecord, out: &mut Vec<SortMid>) {
+        out.push(SortMid { key: rec.vertex, chars: rec.chars() as u32, node_bytes: PQ_NODE });
+    }
+
+    fn finish(&self, mid: SortMid) -> SortMid {
+        mid
+    }
+
+    fn bucket(&self, key: u64, buckets: u32) -> u32 {
+        ((key as u128 * buckets as u128 / self.vertices.max(1) as u128) as u32)
+            .min(buckets - 1)
+    }
+
+    /// Sorting cannot early-flush: a sorted run must hold its whole
+    /// range before emission, so the cap is effectively the run size
+    /// (use a generous per-thread run to model the in-memory sort).
+    fn map_cache_bytes(&self) -> u64 {
+        u64::MAX
+    }
+}
+
+fn spec(size: WebmapSize, seed: u64) -> HsSpec {
+    HsSpec { vertices: WebmapConfig::preset(size, seed).vertices }
+}
+
+/// Runs the regular HS.
+pub fn run_regular(size: WebmapSize, params: &HyracksParams) -> RunSummary<SortMid> {
+    let inputs = webmap_inputs(size, params, |r| r);
+    run_regular_spec(&spec(size, params.seed), params, inputs)
+}
+
+/// Runs the ITask HS.
+pub fn run_itask(size: WebmapSize, params: &HyracksParams) -> RunSummary<SortMid> {
+    let inputs = webmap_inputs(size, params, |r| r);
+    run_itask_spec(&spec(size, params.seed), params, inputs)
+}
+
+/// Invariant check: record count matches, and (for the regular version,
+/// whose output is globally bucket-ordered) keys are sorted.
+pub fn verify(outs: &[SortMid], size: WebmapSize, seed: u64, expect_sorted: bool) -> bool {
+    let cfg = WebmapConfig::preset(size, seed);
+    if outs.len() as u64 != cfg.vertices {
+        return false;
+    }
+    if expect_sorted {
+        outs.windows(2).all(|w| w[0].key <= w[1].key)
+    } else {
+        // Multiset check: every vertex id appears exactly once.
+        let mut keys: Vec<u64> = outs.iter().map(|o| o.key).collect();
+        keys.sort_unstable();
+        keys.windows(2).all(|w| w[0] < w[1])
+    }
+}

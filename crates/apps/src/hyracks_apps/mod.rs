@@ -1,0 +1,127 @@
+//! The five Hyracks evaluation programs (§6.2), each with a regular and
+//! an ITask execution entry point over the paper's datasets.
+
+pub mod gr;
+pub mod hj;
+pub mod hs;
+pub mod ii;
+pub mod wc;
+
+use hyracks::{ItaskJobSpec, JobSpec};
+use itask_core::IrsConfig;
+use simcore::ByteSize;
+use simcluster::{Cluster, ClusterConfig};
+
+use itask_core::Tuple;
+use workloads::webmap::{WebmapConfig, WebmapSize};
+
+use crate::agg::{itask_factories, AggMapOp, AggReduceOp, AggSpec};
+use crate::summary::RunSummary;
+
+/// Loads a webmap dataset as per-node frame lists (blocks distributed
+/// round-robin like HDFS placement).
+pub fn webmap_inputs<T: Tuple>(
+    size: WebmapSize,
+    params: &HyracksParams,
+    convert: impl Fn(workloads::webmap::AdjRecord) -> T,
+) -> Vec<Vec<Vec<T>>> {
+    let cfg = WebmapConfig::preset(size, params.seed);
+    let block_size = ByteSize::kib(128);
+    let blocks: Vec<Vec<T>> = (0..cfg.num_blocks(block_size))
+        .map(|b| cfg.block(b, block_size).into_iter().map(&convert).collect())
+        .collect();
+    hyracks::distribute_blocks(params.nodes, blocks, params.granularity)
+}
+
+/// Knobs common to every Hyracks run.
+#[derive(Clone, Debug)]
+pub struct HyracksParams {
+    /// Worker nodes (the paper's testbed has 10 slaves).
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores: usize,
+    /// Heap per node (paper default "12GB" → 12MiB).
+    pub heap_per_node: ByteSize,
+    /// Threads per node for the regular version (1–8 in Figure 9).
+    pub threads: usize,
+    /// Task granularity (8–128KB in Table 5).
+    pub granularity: ByteSize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for HyracksParams {
+    fn default() -> Self {
+        HyracksParams {
+            nodes: 10,
+            cores: 8,
+            heap_per_node: ByteSize::mib(12),
+            threads: 8,
+            granularity: ByteSize::kib(32),
+            seed: 42,
+        }
+    }
+}
+
+impl HyracksParams {
+    /// Builds the cluster for these parameters.
+    pub fn cluster(&self) -> Cluster {
+        Cluster::new(ClusterConfig {
+            nodes: self.nodes,
+            cores: self.cores,
+            heap_per_node: self.heap_per_node,
+            disk_per_node: ByteSize::gib(4),
+            ..ClusterConfig::default()
+        })
+    }
+
+    /// Shuffle buckets: four per (node, core), so one bucket's
+    /// aggregation state stays well under a node heap even on the
+    /// largest datasets.
+    pub fn buckets(&self) -> u32 {
+        (self.nodes * self.cores * 4) as u32
+    }
+}
+
+/// Runs a spec's regular two-phase Hyracks job.
+pub fn run_regular_spec<S: AggSpec>(
+    spec: &S,
+    params: &HyracksParams,
+    inputs: Vec<Vec<Vec<S::In>>>,
+) -> RunSummary<S::Out> {
+    let mut cluster = params.cluster();
+    let job = JobSpec {
+        name: spec.name().into(),
+        threads: params.threads,
+        granularity: params.granularity,
+        buckets: params.buckets(),
+    };
+    let buckets = params.buckets();
+    let (report, result) = hyracks::run_regular(
+        &mut cluster,
+        inputs,
+        &job,
+        || AggMapOp::new(spec.clone(), buckets),
+        || AggReduceOp::new(spec.clone(), buckets),
+    );
+    RunSummary { report, result }
+}
+
+/// Runs a spec's ITask Hyracks job (default IRS configuration).
+pub fn run_itask_spec<S: AggSpec>(
+    spec: &S,
+    params: &HyracksParams,
+    inputs: Vec<Vec<Vec<S::In>>>,
+) -> RunSummary<S::Out> {
+    let mut cluster = params.cluster();
+    let job = ItaskJobSpec {
+        name: spec.name().into(),
+        irs: IrsConfig { max_parallelism: params.cores, ..IrsConfig::default() },
+        granularity: params.granularity,
+        buckets: params.buckets(),
+    };
+    let factories = itask_factories(spec.clone(), params.buckets());
+    let (report, result) =
+        hyracks::run_itask::<S::In, S::Mid, S::Out>(&mut cluster, inputs, &job, &factories);
+    RunSummary { report, result }
+}

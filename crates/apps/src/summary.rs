@@ -1,0 +1,44 @@
+//! Uniform run summaries consumed by the benchmark harnesses.
+
+use simcore::{ByteSize, SimDuration, SimError, SCALE};
+use simcluster::JobReport;
+
+/// One job execution: report plus outputs (or the fatal error).
+pub struct RunSummary<Out> {
+    /// Timing / GC / memory report.
+    pub report: JobReport,
+    /// Outputs, or the error that killed the job.
+    pub result: Result<Vec<Out>, SimError>,
+}
+
+impl<Out> RunSummary<Out> {
+    /// Whether the job completed.
+    pub fn ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// Whether the job died of memory exhaustion.
+    pub fn is_oom(&self) -> bool {
+        matches!(&self.result, Err(e) if e.is_oom())
+    }
+
+    /// End-to-end virtual time.
+    pub fn elapsed(&self) -> SimDuration {
+        self.report.elapsed
+    }
+
+    /// The ×`SCALE` "paper-equivalent" seconds (see DESIGN.md §1).
+    pub fn paper_seconds(&self) -> f64 {
+        self.report.elapsed.as_secs_f64() * SCALE as f64
+    }
+
+    /// GC share of the critical path.
+    pub fn gc_fraction(&self) -> f64 {
+        self.report.gc_fraction()
+    }
+
+    /// Highest per-node heap peak.
+    pub fn peak_heap(&self) -> ByteSize {
+        self.report.peak_heap()
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests over the generic aggregation machinery: fold order
+//! must never matter, byte accounting must balance, and every app
+//! spec's explode/finish pair must conserve its invariant quantity.
+
+use proptest::prelude::*;
+
+use apps::agg::{AggSpec, AggState, MergeableTuple};
+use apps::hyracks_apps::{gr::GrSpec, hj::HjSpec, ii::IiSpec, wc::WcSpec};
+use apps::hyracks_apps::hj::JoinIn;
+use apps::{CountMid, JoinMid, ListMid, StripeMid};
+use itask_core::Tuple;
+use workloads::tpch::{Customer, Order};
+use workloads::webmap::AdjRecord;
+
+/// Folds items through AggState, tracking the charge ledger.
+fn fold_all<M: MergeableTuple>(items: Vec<M>) -> (Vec<M>, i64) {
+    let mut state = AggState::new();
+    let mut ledger = 0i64;
+    for it in items {
+        state
+            .add(it, &mut |d| {
+                ledger += d;
+                Ok(())
+            })
+            .unwrap();
+    }
+    (state.drain(), ledger)
+}
+
+proptest! {
+    /// Counts: any permutation folds to the same result, and the ledger
+    /// equals the drained entries' footprint.
+    #[test]
+    fn count_fold_is_order_insensitive(keys in proptest::collection::vec(0u64..50, 1..300)) {
+        let mids: Vec<CountMid> = keys.iter().map(|&k| CountMid::one(k, 136)).collect();
+        let mut rev = mids.clone();
+        rev.reverse();
+        let (a, ledger_a) = fold_all(mids);
+        let (b, _) = fold_all(rev);
+        prop_assert_eq!(a.clone(), b);
+        let held: i64 = a.iter().map(|m| m.heap_bytes() as i64).sum();
+        prop_assert_eq!(ledger_a, held);
+        // Total count conserved.
+        let total: u64 = a.iter().map(|m| m.count).sum();
+        prop_assert_eq!(total, keys.len() as u64);
+    }
+
+    /// Lists: items conserved across folding, ledger balances.
+    #[test]
+    fn list_fold_conserves_items(pairs in proptest::collection::vec((0u64..20, 0u64..1000), 1..200)) {
+        let mids: Vec<ListMid> =
+            pairs.iter().map(|&(k, v)| ListMid::one(k, v, 176, 40)).collect();
+        let (folded, ledger) = fold_all(mids);
+        let total: usize = folded.iter().map(|m| m.items.len()).sum();
+        prop_assert_eq!(total, pairs.len());
+        let held: i64 = folded.iter().map(|m| m.heap_bytes() as i64).sum();
+        prop_assert_eq!(ledger, held);
+    }
+
+    /// Stripes: pair observations conserved; cells unique per neighbour.
+    #[test]
+    fn stripe_fold_conserves_pairs(
+        pairs in proptest::collection::vec((0u64..10, 0u32..30), 1..200)
+    ) {
+        let mids: Vec<StripeMid> =
+            pairs.iter().map(|&(k, n)| StripeMid::pair(k, n, 196, 48)).collect();
+        let (folded, ledger) = fold_all(mids);
+        let total: u64 = folded
+            .iter()
+            .flat_map(|s| s.neighbors.values())
+            .map(|&c| c as u64)
+            .sum();
+        prop_assert_eq!(total, pairs.len() as u64);
+        let held: i64 = folded.iter().map(|m| m.heap_bytes() as i64).sum();
+        prop_assert_eq!(ledger, held);
+    }
+
+    /// Joins: regardless of arrival order (build rows interleaved with
+    /// probes), every probe joins exactly once once its build row is in.
+    #[test]
+    fn join_fold_joins_each_probe_once(
+        probes in proptest::collection::vec((0u64..8, 1u64..1000), 1..150),
+        build_first in any::<bool>(),
+    ) {
+        let sizes = (200, 64, 450);
+        let mut mids: Vec<JoinMid> = Vec::new();
+        let builds: Vec<JoinMid> =
+            (0u64..8).map(|k| JoinMid::customer(k, k as u32, sizes)).collect();
+        if build_first {
+            mids.extend(builds.clone());
+        }
+        mids.extend(probes.iter().map(|&(k, p)| JoinMid::order(k, p, sizes)));
+        if !build_first {
+            mids.extend(builds);
+        }
+        let (folded, ledger) = fold_all(mids);
+        let joined: u64 = folded.iter().map(|m| m.joined).sum();
+        prop_assert_eq!(joined, probes.len() as u64);
+        let pending: usize = folded.iter().map(|m| m.pending.len()).sum();
+        prop_assert_eq!(pending, 0, "all probes must settle");
+        let revenue: u64 = folded.iter().map(|m| m.revenue).sum();
+        let expected: u64 = probes.iter().map(|&(_, p)| p).sum();
+        prop_assert_eq!(revenue, expected);
+        let held: i64 = folded.iter().map(|m| m.heap_bytes() as i64).sum();
+        prop_assert_eq!(ledger, held);
+    }
+
+    /// WC explode emits one contribution per token, keyed in range.
+    #[test]
+    fn wc_explode_covers_all_tokens(
+        vertex in 0u64..1000,
+        neighbors in proptest::collection::vec(0u64..1000, 0..40),
+    ) {
+        let rec = AdjRecord { vertex, neighbors: neighbors.clone() };
+        let mut out = Vec::new();
+        WcSpec.explode(&rec, &mut out);
+        prop_assert_eq!(out.len(), neighbors.len() + 1);
+        let total: u64 = out.iter().map(|m| m.count).sum();
+        prop_assert_eq!(total, (neighbors.len() + 1) as u64);
+    }
+
+    /// II explode emits exactly one posting per edge.
+    #[test]
+    fn ii_explode_covers_all_edges(
+        vertex in 0u64..1000,
+        neighbors in proptest::collection::vec(0u64..1000, 0..40),
+    ) {
+        let rec = AdjRecord { vertex, neighbors: neighbors.clone() };
+        let mut out = Vec::new();
+        IiSpec.explode(&rec, &mut out);
+        prop_assert_eq!(out.len(), neighbors.len());
+        for m in &out {
+            prop_assert_eq!(m.items.as_slice(), &[vertex]);
+        }
+    }
+
+    /// GR's finish sums collected revenues exactly.
+    #[test]
+    fn gr_finish_sums_revenue(values in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut mid = ListMid::one(7, values[0], 176, 150);
+        for &v in &values[1..] {
+            mid.merge(ListMid::one(7, v, 176, 150));
+        }
+        let out = GrSpec.finish(mid);
+        prop_assert_eq!(out.key, 7);
+        prop_assert_eq!(out.value, values.iter().sum::<u64>());
+    }
+
+    /// HJ spec buckets both sides of a key identically.
+    #[test]
+    fn hj_buckets_are_side_agnostic(key in 0u64..100_000, buckets in 1u32..512) {
+        let c = JoinIn::C(Customer { custkey: key, nationkey: 1, acctbal: 0 });
+        let o = JoinIn::O(Order { orderkey: 1, custkey: key, totalprice: 5, orderdate: 9000 });
+        let mut out = Vec::new();
+        HjSpec.explode(&c, &mut out);
+        HjSpec.explode(&o, &mut out);
+        let bc = HjSpec.bucket(out[0].key(), buckets);
+        let bo = HjSpec.bucket(out[1].key(), buckets);
+        prop_assert_eq!(bc, bo);
+        prop_assert!(bc < buckets);
+    }
+}

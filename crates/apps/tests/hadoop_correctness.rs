@@ -1,0 +1,102 @@
+//! Correctness of the five Hadoop programs on the Wikipedia *sample*
+//! (the full-dump runs belong to the release-mode bench harness):
+//! under generous heaps the regular and ITask versions complete and
+//! agree with direct recomputation.
+
+use std::collections::BTreeMap;
+
+use apps::hadoop_apps::{crp, iib, imc, msa, wcm};
+use apps::hadoop_apps::{itask, regular, stackoverflow_splits, wikipedia_splits};
+use apps::OutKv;
+use hadoop::HadoopConfig;
+
+fn generous() -> HadoopConfig {
+    // "8GB" task heaps, 4 slots.
+    HadoopConfig::table1(10, 8192, 8192, 4, 4)
+}
+
+fn kv_total(outs: &[OutKv]) -> u64 {
+    outs.iter().map(|o| o.value).sum()
+}
+
+fn kv_map(outs: &[OutKv]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for o in outs {
+        *m.entry(o.key).or_insert(0) += o.value;
+    }
+    m
+}
+
+#[test]
+fn imc_counts_words_exactly() {
+    let cfg = generous();
+    let splits = wikipedia_splits(false, 7);
+    let expected: u64 = splits.iter().flatten().map(|a| a.words.len() as u64).sum();
+    let (reg, _) = regular(&imc::ImcSpec, &cfg, splits.clone());
+    let reg_out = reg.result.expect("regular IMC");
+    assert_eq!(kv_total(&reg_out), expected);
+
+    let it = itask(&imc::ImcSpec, &cfg, splits);
+    let it_out = it.result.expect("ITask IMC");
+    assert_eq!(kv_map(&reg_out), kv_map(&it_out));
+}
+
+#[test]
+fn iib_builds_the_full_index() {
+    let cfg = generous();
+    let splits = wikipedia_splits(false, 8);
+    let expected: u64 = splits
+        .iter()
+        .flatten()
+        .map(|a| {
+            let mut d = a.words.clone();
+            d.sort_unstable();
+            d.dedup();
+            d.len() as u64
+        })
+        .sum();
+    let (reg, _) = regular(&iib::IibSpec, &cfg, splits.clone());
+    assert_eq!(kv_total(&reg.result.expect("regular IIB")), expected);
+    let it = itask(&iib::IibSpec, &cfg, splits);
+    assert_eq!(kv_total(&it.result.expect("ITask IIB")), expected);
+}
+
+#[test]
+fn wcm_counts_adjacent_pairs() {
+    let cfg = generous();
+    let splits = wikipedia_splits(false, 9);
+    let expected: u64 = splits
+        .iter()
+        .flatten()
+        .map(|a| a.words.len().saturating_sub(1) as u64)
+        .sum();
+    let (reg, _) = regular(&wcm::WcmSpec, &cfg, splits.clone());
+    assert_eq!(kv_total(&reg.result.expect("regular WCM")), expected);
+    let it = itask(&wcm::WcmSpec, &cfg, splits);
+    assert_eq!(kv_total(&it.result.expect("ITask WCM")), expected);
+}
+
+#[test]
+fn crp_processes_every_word_and_tuned_caps_sentences() {
+    let cfg = generous();
+    let splits = wikipedia_splits(false, 10);
+    let expected: u64 = splits.iter().flatten().map(|a| a.words.len() as u64).sum();
+    let (reg, _) = regular(&crp::CrpSpec::default(), &cfg, splits.clone());
+    assert_eq!(kv_total(&reg.result.expect("regular CRP")), expected);
+    // The tuned spec (broken sentences) computes the same lemma counts.
+    let (tuned, _) = regular(&crp::CrpSpec { sentence_cap: 512 }, &cfg, splits);
+    assert_eq!(kv_total(&tuned.result.expect("tuned CRP")), expected);
+}
+
+#[test]
+fn msa_emits_one_record_per_post() {
+    let cfg = generous();
+    let splits = stackoverflow_splits(11);
+    let posts: u64 = splits.iter().map(|s| s.len() as u64).sum();
+    let (reg, attempts) = regular(&msa::MsaSpec, &cfg, splits.clone());
+    let out = reg.result.expect("regular MSA");
+    assert_eq!(out.len() as u64, posts);
+    assert!(attempts >= posts.div_ceil(10_000) as u32);
+    let it = itask(&msa::MsaSpec, &cfg, splits);
+    assert_eq!(it.result.expect("ITask MSA").len() as u64, posts);
+}

@@ -1,0 +1,49 @@
+//! RunSummary accessor semantics.
+
+use apps::RunSummary;
+use simcluster::{JobOutcome, JobReport};
+use simcore::{ByteSize, NodeId, SimDuration, SimError, SCALE};
+
+fn report(elapsed_ms: u64) -> JobReport {
+    JobReport {
+        outcome: JobOutcome::Completed,
+        elapsed: SimDuration::from_millis(elapsed_ms),
+        nodes: vec![],
+        counters: Default::default(),
+    }
+}
+
+#[test]
+fn paper_seconds_applies_the_scale() {
+    let s: RunSummary<u32> = RunSummary { report: report(100), result: Ok(vec![]) };
+    assert!(s.ok());
+    assert!(!s.is_oom());
+    assert!((s.paper_seconds() - 0.1 * SCALE as f64).abs() < 1e-9);
+    assert_eq!(s.elapsed(), SimDuration::from_millis(100));
+}
+
+#[test]
+fn oom_classification_follows_the_error() {
+    let oom: RunSummary<u32> = RunSummary {
+        report: report(5),
+        result: Err(SimError::OutOfMemory {
+            node: NodeId(0),
+            requested: ByteSize(1),
+            free: ByteSize(0),
+        }),
+    };
+    assert!(!oom.ok());
+    assert!(oom.is_oom());
+    let cfg: RunSummary<u32> = RunSummary {
+        report: report(5),
+        result: Err(SimError::Config("bad".into())),
+    };
+    assert!(!cfg.is_oom());
+}
+
+#[test]
+fn gc_fraction_of_empty_report_is_zero() {
+    let s: RunSummary<u32> = RunSummary { report: report(0), result: Ok(vec![]) };
+    assert_eq!(s.gc_fraction(), 0.0);
+    assert_eq!(s.peak_heap(), ByteSize::ZERO);
+}

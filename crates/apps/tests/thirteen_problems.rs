@@ -1,0 +1,38 @@
+//! The §6.1 survival claim, as tests. The quick representative runs in
+//! the default suite; the full eight-problem sweep is `#[ignore]`d for
+//! `cargo test --release -- --ignored` (it simulates ~50GB-scale jobs).
+
+use apps::hadoop_apps::more_problems;
+
+#[test]
+fn whole_file_records_crash_regular_and_survive_itask() {
+    let s = more_problems::tfr(42);
+    assert!(!s.crash.ok(), "TFR's reported configuration must crash");
+    assert!(s.crash.is_oom());
+    assert!(s.attempts > 4, "the retry ladder ran: {}", s.attempts);
+    assert!(s.survive.ok(), "ITask survives the same configuration");
+    // The outputs account for every file's characters.
+    let total: u64 = s.survive.result.unwrap().iter().map(|o| o.value).sum();
+    assert!(total > 0);
+}
+
+#[test]
+fn web_parser_scratch_crashes_regular_and_survives_itask() {
+    let s = more_problems::wpp(42);
+    assert!(!s.crash.ok());
+    assert!(s.survive.ok(), "{:?}", s.survive.result.err());
+    // Every post is parsed exactly once.
+    let total: u64 = s.survive.result.unwrap().iter().map(|o| o.value).sum();
+    let posts = workloads::stackoverflow::StackOverflowConfig::full_dump(42).posts;
+    assert_eq!(total, posts);
+}
+
+/// The full remaining-eight sweep (slow; release-mode material).
+#[test]
+#[ignore = "simulates eight ~50GB-scale jobs; run with --release -- --ignored"]
+fn all_eight_remaining_problems_crash_and_survive() {
+    for s in more_problems::all(42) {
+        assert!(!s.crash.ok(), "{} must crash under its reported config", s.name);
+        assert!(s.survive.ok(), "{} must survive with ITask", s.name);
+    }
+}

@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks: wall-clock cost of the simulator's hot
+//! paths (heap accounting, GC, scale loop, serialization policy) and of
+//! small end-to-end runs. These measure the *simulator's* performance;
+//! the paper's virtual-time results come from the table/figure binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use apps::hyracks_apps::{wc, HyracksParams};
+use itask_core::{offer_serialized, Irs, IrsConfig, Scale, Tag, TaskGraph};
+use simcluster::{NodeSim, NodeState};
+use simcore::{ByteSize, NodeId, SimTime};
+use simmem::{Heap, HeapConfig};
+use workloads::webmap::WebmapSize;
+
+fn bench_heap(c: &mut Criterion) {
+    c.bench_function("heap/alloc_free_cycle", |b| {
+        let mut heap = Heap::new(HeapConfig::with_capacity(ByteSize::mib(12)));
+        let s = heap.create_space("bench");
+        b.iter(|| {
+            heap.alloc(s, ByteSize(256), SimTime::ZERO).unwrap();
+            heap.free(s, ByteSize(256));
+        });
+    });
+
+    c.bench_function("heap/full_gc_1mib_live", |b| {
+        let mut heap = Heap::new(HeapConfig::with_capacity(ByteSize::mib(12)));
+        let s = heap.create_space("bench");
+        heap.alloc(s, ByteSize::mib(1), SimTime::ZERO).unwrap();
+        b.iter(|| black_box(heap.force_full_gc(SimTime::ZERO)));
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("workloads/webmap_block_128k", |b| {
+        let cfg = workloads::webmap::WebmapConfig::preset(WebmapSize::G3, 42);
+        b.iter(|| black_box(cfg.block(0, ByteSize::kib(128))));
+    });
+    c.bench_function("workloads/wikipedia_block_128k", |b| {
+        let cfg = workloads::wikipedia::WikipediaConfig::sample(42);
+        b.iter(|| black_box(cfg.block(0, ByteSize::kib(128))));
+    });
+}
+
+fn bench_irs(c: &mut Criterion) {
+    // One full interruptible count of 20k tuples under pressure.
+    c.bench_function("irs/pressured_count_20k_tuples", |b| {
+        b.iter(|| {
+            #[derive(Default)]
+            struct T {
+                n: u64,
+            }
+            impl itask_core::TupleTask for T {
+                type In = apps::CountMid;
+                fn initialize(
+                    &mut self,
+                    _: &mut itask_core::TaskCx<'_, '_>,
+                ) -> simcore::SimResult<()> {
+                    Ok(())
+                }
+                fn process(
+                    &mut self,
+                    cx: &mut itask_core::TaskCx<'_, '_>,
+                    _t: &apps::CountMid,
+                ) -> simcore::SimResult<()> {
+                    self.n += 1;
+                    cx.alloc_out(ByteSize(32))?;
+                    Ok(())
+                }
+                fn interrupt(
+                    &mut self,
+                    cx: &mut itask_core::TaskCx<'_, '_>,
+                ) -> simcore::SimResult<()> {
+                    let n = std::mem::take(&mut self.n);
+                    cx.emit_final(Box::new(n), ByteSize(8))
+                }
+                fn cleanup(
+                    &mut self,
+                    cx: &mut itask_core::TaskCx<'_, '_>,
+                ) -> simcore::SimResult<()> {
+                    let n = std::mem::take(&mut self.n);
+                    cx.emit_final(Box::new(n), ByteSize(8))
+                }
+            }
+            let mut sim = NodeSim::new(NodeState::new(
+                NodeId(0),
+                4,
+                ByteSize::kib(256),
+                ByteSize::mib(64),
+            ));
+            let mut graph = TaskGraph::new();
+            let t = graph.add_task("t", || Box::new(Scale(T::default())));
+            let mut irs = Irs::new(graph, IrsConfig::default());
+            let handle = irs.handle();
+            for _ in 0..10 {
+                let items: Vec<apps::CountMid> =
+                    (0..2_000).map(|i| apps::CountMid::one(i, 64)).collect();
+                offer_serialized(&handle, sim.node_mut(), t, Tag(0), items).unwrap();
+            }
+            irs.run_to_idle(&mut sim).unwrap();
+            black_box(irs.stats());
+        });
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_wc_3gb");
+    g.sample_size(10);
+    g.bench_function("regular", |b| {
+        let p = HyracksParams::default();
+        b.iter(|| black_box(wc::run_regular(WebmapSize::G3, &p).ok()));
+    });
+    g.bench_function("itask", |b| {
+        let p = HyracksParams::default();
+        b.iter(|| black_box(wc::run_itask(WebmapSize::G3, &p).ok()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_heap, bench_generators, bench_irs, bench_end_to_end);
+criterion_main!(benches);

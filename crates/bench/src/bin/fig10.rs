@@ -1,0 +1,166 @@
+//! Figure 10: the ITask version of each Hyracks program vs the regular
+//! version under its best configuration, per dataset — time breakdown
+//! (GC vs compute) and peak per-node memory.
+//!
+//! The regular "best configuration" is found the way the paper did it:
+//! sweep thread counts and take the fastest *successful* run (OME runs
+//! are reported as failures, as Figure 10 greys them out).
+//!
+//! Usage: `fig10 [program ...]`, programs ∈ {wc, hs, ii, hj, gr}.
+
+use apps::hyracks_apps::{gr, hj, hs, ii, wc, HyracksParams};
+use apps::RunSummary;
+use itask_bench::{cell_csv, print_table, write_csv, Cell};
+use workloads::tpch::TpchScale;
+use workloads::webmap::WebmapSize;
+
+const THREADS: [usize; 5] = [1, 2, 4, 6, 8];
+
+fn params(threads: usize) -> HyracksParams {
+    HyracksParams { threads, ..HyracksParams::default() }
+}
+
+/// Best (fastest successful) regular run across thread counts.
+fn best_regular<T>(run: impl Fn(usize) -> RunSummary<T>) -> (Option<usize>, Cell) {
+    let mut best: Option<(usize, Cell)> = None;
+    for &t in &THREADS {
+        let cell = Cell::from_summary(&run(t));
+        if cell.ok {
+            match &best {
+                Some((_, b)) if b.ok && b.elapsed <= cell.elapsed => {}
+                _ => best = Some((t, cell.clone())),
+            }
+        } else if best.is_none() {
+            best = Some((t, cell));
+        }
+    }
+    let (t, cell) = best.expect("at least one configuration attempted");
+    (cell.ok.then_some(t), cell)
+}
+
+fn compare<T>(
+    name: &str,
+    datasets: &[&str],
+    csv: Option<&str>,
+    regular: impl Fn(usize, usize) -> RunSummary<T>,
+    itask: impl Fn(usize) -> RunSummary<T>,
+) {
+    let header: Vec<String> = ["dataset", "regular (best cfg)", "thr", "ITask", "peak reg", "peak ITask"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (d, label) in datasets.iter().enumerate() {
+        let (best_t, reg) = best_regular(|t| regular(d, t));
+        let it = Cell::from_summary(&itask(d));
+        rows.push(vec![
+            label.to_string(),
+            reg.show(),
+            best_t.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            it.show(),
+            format!("{}", reg.peak),
+            format!("{}", it.peak),
+        ]);
+        let mut rec = vec![label.to_string(), "regular".to_string()];
+        rec.extend(cell_csv(&reg));
+        csv_rows.push(rec);
+        let mut rec = vec![label.to_string(), "itask".to_string()];
+        rec.extend(cell_csv(&it));
+        csv_rows.push(rec);
+    }
+    print_table(&format!("Figure 10: {name} — ITask vs best regular"), &header, &rows);
+    if let Some(dir) = csv {
+        let path = format!("{dir}/fig10_{name}.csv");
+        let header = ["dataset", "version", "status", "paper_secs", "gc_frac", "peak_bytes"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
+        if let Err(e) = write_csv(&path, &header, &csv_rows) {
+            eprintln!("csv write failed ({path}): {e}");
+        } else {
+            println!("(csv: {path})");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv: Option<String> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned());
+    let csv = csv.as_deref();
+    let want = |p: &str| {
+        let mut skip_next = false;
+        let progs: Vec<&String> = args
+            .iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.as_str() == "--csv" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .collect();
+        progs.is_empty() || progs.iter().any(|a| a.as_str() == p)
+    };
+    let webmap: Vec<WebmapSize> = {
+        let mut v = WebmapSize::ALL.to_vec();
+        v.reverse();
+        v
+    };
+    let web_labels: Vec<&str> = webmap.iter().map(|s| s.label()).collect();
+    let tpch = TpchScale::TABLE4;
+    let tpch_labels: Vec<&str> = tpch.iter().map(|s| s.label()).collect();
+
+    if want("wc") {
+        compare(
+            "WC",
+            &web_labels,
+            csv,
+            |d, t| wc::run_regular(webmap[d], &params(t)),
+            |d| wc::run_itask(webmap[d], &params(8)),
+        );
+    }
+    if want("hs") {
+        compare(
+            "HS",
+            &web_labels,
+            csv,
+            |d, t| hs::run_regular(webmap[d], &params(t)),
+            |d| hs::run_itask(webmap[d], &params(8)),
+        );
+    }
+    if want("ii") {
+        compare(
+            "II",
+            &web_labels,
+            csv,
+            |d, t| ii::run_regular(webmap[d], &params(t)),
+            |d| ii::run_itask(webmap[d], &params(8)),
+        );
+    }
+    if want("hj") {
+        compare(
+            "HJ",
+            &tpch_labels,
+            csv,
+            |d, t| hj::run_regular(tpch[d], &params(t)),
+            |d| hj::run_itask(tpch[d], &params(8)),
+        );
+    }
+    if want("gr") {
+        compare(
+            "GR",
+            &tpch_labels,
+            csv,
+            |d, t| gr::run_regular(tpch[d], &params(t)),
+            |d| gr::run_itask(tpch[d], &params(8)),
+        );
+    }
+}

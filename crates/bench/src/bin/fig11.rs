@@ -1,0 +1,101 @@
+//! Figure 11: (a) WC and (b) II on the 10GB dataset under 12/10/8/6 GB
+//! heaps — regular (8 threads) vs ITask; (c) active ITask instances
+//! over time for WC on the 14GB dataset.
+
+use apps::hyracks_apps::{ii, wc, HyracksParams};
+use itask_bench::{print_table, Cell};
+use simcore::{ByteSize, SCALE};
+use workloads::webmap::WebmapSize;
+
+const HEAPS_MIB: [u64; 4] = [12, 10, 8, 6];
+
+fn params(heap_mib: u64) -> HyracksParams {
+    HyracksParams {
+        threads: 8,
+        heap_per_node: ByteSize::mib(heap_mib),
+        ..HyracksParams::default()
+    }
+}
+
+fn heap_sweep<T>(
+    name: &str,
+    regular: impl Fn(&HyracksParams) -> apps::RunSummary<T>,
+    itask: impl Fn(&HyracksParams) -> apps::RunSummary<T>,
+) {
+    let header: Vec<String> =
+        ["heap", "regular (8 thr)", "ITask", "peak reg", "peak ITask"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let mut rows = Vec::new();
+    for h in HEAPS_MIB {
+        let p = params(h);
+        let reg = Cell::from_summary(&regular(&p));
+        let it = Cell::from_summary(&itask(&p));
+        rows.push(vec![
+            format!("{}GB", h),
+            reg.show(),
+            it.show(),
+            format!("{}", reg.peak),
+            format!("{}", it.peak),
+        ]);
+    }
+    print_table(
+        &format!("Figure 11: {name} on the 10GB dataset under shrinking heaps"),
+        &header,
+        &rows,
+    );
+}
+
+fn main() {
+    heap_sweep(
+        "(a) WC",
+        |p| wc::run_regular(WebmapSize::G10, p),
+        |p| wc::run_itask(WebmapSize::G10, p),
+    );
+    heap_sweep(
+        "(b) II",
+        |p| ii::run_regular(WebmapSize::G10, p),
+        |p| ii::run_itask(WebmapSize::G10, p),
+    );
+
+    // (c) Active ITask instances over time, WC on 14GB.
+    let p = params(12);
+    let run = wc::run_itask(WebmapSize::G14, &p);
+    println!("\n=== Figure 11(c): active ITask instances over time (WC, 14GB) ===");
+    println!(
+        "finished in {:.1} paper-equivalent seconds; {}",
+        run.paper_seconds(),
+        if run.ok() { "completed" } else { "FAILED" }
+    );
+    if let Some(series) = run.report.nodes.first().and_then(|n| n.log.series("active_threads"))
+    {
+        let avg = series.time_weighted_mean();
+        let max = series.max_value();
+        println!("node 0: mean active instances {avg:.2}, peak {max:.0}");
+        let pts = series.downsample_max(60);
+        let line: String = pts
+            .iter()
+            .map(|s| char::from_digit((s.value as u32).min(9), 10).unwrap_or('9'))
+            .collect();
+        println!("instances (downsampled, 0-9): {line}");
+        let t_end = pts.last().map(|s| s.at.as_secs_f64() * SCALE as f64).unwrap_or(0.0);
+        println!("x axis: 0 .. {t_end:.1} paper-equivalent seconds");
+    }
+    // The paper's per-operator decomposition (Map / Reduce / Merge).
+    for name in ["active_map", "active_reduce", "active_merge"] {
+        if let Some(series) = run.report.nodes.first().and_then(|n| n.log.series(name)) {
+            let pts = series.downsample_max(60);
+            let line: String = pts
+                .iter()
+                .map(|s| char::from_digit((s.value as u32).min(9), 10).unwrap_or('9'))
+                .collect();
+            println!(
+                "{:<14} mean {:>5.2}, peak {:>2.0}: {line}",
+                name.trim_start_matches("active_"),
+                series.time_weighted_mean(),
+                series.max_value()
+            );
+        }
+    }
+}

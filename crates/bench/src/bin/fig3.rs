@@ -1,0 +1,82 @@
+//! Figure 3: memory footprint over time, with and without ITasks, on a
+//! workload that drives the regular execution into an OME. Prints the
+//! node-0 heap-occupancy series (downsampled) for both executions, the
+//! OME point of the regular run, and the ITask run's interrupt count.
+
+use apps::hyracks_apps::{wc, HyracksParams};
+use itask_bench::print_table;
+use simcore::{ByteSize, SCALE};
+use workloads::webmap::WebmapSize;
+
+fn series(report: &simcluster::JobReport) -> Vec<(f64, f64)> {
+    report
+        .nodes
+        .first()
+        .and_then(|n| n.log.series("heap_used"))
+        .map(|s| {
+            s.downsample_max(40)
+                .into_iter()
+                .map(|p| (p.at.as_secs_f64() * SCALE as f64, p.value / (1 << 20) as f64))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn sparkline(points: &[(f64, f64)], cap_mib: f64) -> String {
+    const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    points
+        .iter()
+        .map(|&(_, v)| {
+            let i = ((v / cap_mib) * 7.0).round().clamp(0.0, 7.0) as usize;
+            RAMP[i]
+        })
+        .collect()
+}
+
+fn main() {
+    let size = WebmapSize::G27; // regular WC dies here; ITask survives
+    let params = HyracksParams { threads: 8, ..HyracksParams::default() };
+    let cap_mib = params.heap_per_node.as_u64() as f64 / (1 << 20) as f64;
+
+    println!("Figure 3: heap occupancy over time, WC on the {} dataset", size.label());
+    println!("(node 0, heap capacity {} ≙ 12GB; x = paper-equivalent seconds)\n", params.heap_per_node);
+
+    let regular = wc::run_regular(size, &params);
+    let reg_points = series(&regular.report);
+    println!(
+        "regular ({}): {}",
+        if regular.ok() { "completed".into() } else { format!("OME at {:.1}s", regular.paper_seconds()) },
+        sparkline(&reg_points, cap_mib)
+    );
+
+    let itask = wc::run_itask(size, &params);
+    let it_points = series(&itask.report);
+    println!(
+        "ITask   ({}): {}",
+        if itask.ok() { format!("completed at {:.1}s", itask.paper_seconds()) } else { "OME".into() },
+        sparkline(&it_points, cap_mib)
+    );
+    println!(
+        "\nITask pressure handling: {} interrupts, {} serializations, {} LUGCs observed",
+        itask.report.counter("itask.interrupts") + itask.report.counter("itask.emergency_interrupts"),
+        itask.report.counter("itask.serializations"),
+        itask.report.counter("monitor.lugcs"),
+    );
+
+    // Numeric tail for EXPERIMENTS.md.
+    let header = vec!["t (paper s)".to_string(), "regular MiB".to_string(), "ITask MiB".to_string()];
+    let n = reg_points.len().max(it_points.len());
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let r = reg_points.get(i);
+            let t = it_points.get(i);
+            vec![
+                r.or(t).map(|p| format!("{:8.1}", p.0)).unwrap_or_default(),
+                r.map(|p| format!("{:6.2}", p.1)).unwrap_or_default(),
+                t.map(|p| format!("{:6.2}", p.1)).unwrap_or_default(),
+            ]
+        })
+        .collect();
+    print_table("Figure 3 series (downsampled)", &header, &rows);
+    let _ = ByteSize::ZERO;
+}

@@ -1,0 +1,118 @@
+//! Figure 9 (a–e): execution time (GC + compute) of the *regular*
+//! programs as the thread count varies, per dataset. OME'd
+//! configurations are marked instead of plotted, exactly as the paper
+//! omits them.
+//!
+//! Usage: `fig9 [program ...]` where program ∈ {wc, hs, ii, hj, gr};
+//! default all. `fig9 --quick` restricts to the two smallest datasets.
+
+use apps::hyracks_apps::{gr, hj, hs, ii, wc, HyracksParams};
+use itask_bench::{cell_csv, print_table, write_csv, Cell};
+use workloads::tpch::TpchScale;
+use workloads::webmap::WebmapSize;
+
+const THREADS: [usize; 5] = [1, 2, 4, 6, 8];
+
+fn params(threads: usize) -> HyracksParams {
+    HyracksParams { threads, ..HyracksParams::default() }
+}
+
+fn sweep<F, T>(name: &str, datasets: &[&str], quick: bool, csv: Option<&str>, run: F)
+where
+    F: Fn(usize, usize) -> apps::RunSummary<T>,
+{
+    let n_sets = if quick { datasets.len().min(2) } else { datasets.len() };
+    let mut header = vec!["dataset".to_string()];
+    header.extend(THREADS.iter().map(|t| format!("{t} thr")));
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (d, label) in datasets.iter().enumerate().take(n_sets) {
+        let mut row = vec![label.to_string()];
+        for &t in &THREADS {
+            let cell = Cell::from_summary(&run(d, t));
+            row.push(cell.show());
+            let mut rec = vec![label.to_string(), t.to_string()];
+            rec.extend(cell_csv(&cell));
+            csv_rows.push(rec);
+        }
+        rows.push(row);
+    }
+    print_table(&format!("Figure 9: {name} (regular, time by threads)"), &header, &rows);
+    if let Some(dir) = csv {
+        let path = format!("{dir}/fig9_{}.csv", name.split(' ').next().unwrap_or(name));
+        let header = ["dataset", "threads", "status", "paper_secs", "gc_frac", "peak_bytes"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
+        if let Err(e) = write_csv(&path, &header, &csv_rows) {
+            eprintln!("csv write failed ({path}): {e}");
+        } else {
+            println!("(csv: {path})");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // `--csv <dir>`: also write one machine-readable file per program.
+    let csv: Option<String> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned());
+    let csv = csv.as_deref();
+    let want = |p: &str| {
+        let progs: Vec<&String> = {
+            let mut skip_next = false;
+            args.iter()
+                .filter(|a| {
+                    if skip_next {
+                        skip_next = false;
+                        return false;
+                    }
+                    if a.as_str() == "--csv" {
+                        skip_next = true;
+                        return false;
+                    }
+                    !a.starts_with("--")
+                })
+                .collect()
+        };
+        progs.is_empty() || progs.iter().any(|a| a.as_str() == p)
+    };
+    // Smallest-first so partial output is useful.
+    let webmap: Vec<WebmapSize> = {
+        let mut v = WebmapSize::ALL.to_vec();
+        v.reverse();
+        v
+    };
+    let web_labels: Vec<&str> = webmap.iter().map(|s| s.label()).collect();
+    let tpch = TpchScale::TABLE4;
+    let tpch_labels: Vec<&str> = tpch.iter().map(|s| s.label()).collect();
+
+    if want("wc") {
+        sweep("WC (word count)", &web_labels, quick, csv, |d, t| {
+            wc::run_regular(webmap[d], &params(t))
+        });
+    }
+    if want("hs") {
+        sweep("HS (heap sort)", &web_labels, quick, csv, |d, t| {
+            hs::run_regular(webmap[d], &params(t))
+        });
+    }
+    if want("ii") {
+        sweep("II (inverted index)", &web_labels, quick, csv, |d, t| {
+            ii::run_regular(webmap[d], &params(t))
+        });
+    }
+    if want("hj") {
+        sweep("HJ (hash join)", &tpch_labels, quick, csv, |d, t| {
+            hj::run_regular(tpch[d], &params(t))
+        });
+    }
+    if want("gr") {
+        sweep("GR (group by)", &tpch_labels, quick, csv, |d, t| {
+            gr::run_regular(tpch[d], &params(t))
+        });
+    }
+}

@@ -1,0 +1,78 @@
+//! §6.1's headline: all 13 reproduced StackOverflow problems survive
+//! with ITask. The five detailed ones (Table 1) plus the other eight,
+//! each under its reported (crashing) configuration.
+//!
+//! Usage: `survival13 [--five-only|--eight-only]`.
+
+use apps::hadoop_apps::{crp, iib, imc, more_problems, msa, wcm};
+use itask_bench::{cols, print_table};
+use simcore::SCALE;
+
+const SEED: u64 = 42;
+
+fn row<T, U>(
+    name: &str,
+    story: &str,
+    crash: &apps::RunSummary<T>,
+    attempts: u32,
+    survive: &apps::RunSummary<U>,
+) -> Vec<String> {
+    let secs = |s: f64| format!("{s:.0}s");
+    vec![
+        name.to_string(),
+        story.to_string(),
+        if crash.ok() {
+            "no crash (!)".into()
+        } else {
+            format!("crash @{} ({attempts} att.)", secs(crash.paper_seconds()))
+        },
+        if survive.ok() {
+            format!("survives, {}", secs(survive.paper_seconds()))
+        } else {
+            format!(
+                "FAILED ({})",
+                survive
+                    .result
+                    .as_ref()
+                    .err()
+                    .map(|e| e.to_string())
+                    .unwrap_or_default()
+            )
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let five = !args.iter().any(|a| a == "--eight-only");
+    let eight = !args.iter().any(|a| a == "--five-only");
+    let mut rows = Vec::new();
+
+    if five {
+        let (c, a) = msa::run_ctime(SEED);
+        rows.push(row("MSA [13]", "map-side aggregation", &c, a, &msa::run_itask(SEED)));
+        let (c, a) = imc::run_ctime(SEED);
+        rows.push(row("IMC [16]", "in-map combiner", &c, a, &imc::run_itask(SEED)));
+        let (c, a) = iib::run_ctime(SEED);
+        rows.push(row("IIB [8]", "inverted-index building", &c, a, &iib::run_itask(SEED)));
+        let (c, a) = wcm::run_ctime(SEED);
+        rows.push(row("WCM [15]", "co-occurrence matrix", &c, a, &wcm::run_itask(SEED)));
+        let (c, a) = crp::run_ctime(SEED);
+        rows.push(row("CRP [10]", "review lemmatizer", &c, a, &crp::run_itask(SEED)));
+    }
+    if eight {
+        for s in more_problems::all(SEED) {
+            rows.push(row(s.name, s.story, &s.crash, s.attempts, &s.survive));
+        }
+    }
+
+    let header = cols(&["problem", "root cause", "regular (reported config)", "ITask (same config)"]);
+    print_table(
+        &format!(
+            "All 13 reproduced problems (seed {SEED}, times x{} paper-equivalent)",
+            SCALE
+        ),
+        &header,
+        &rows,
+    );
+}

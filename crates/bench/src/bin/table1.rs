@@ -1,0 +1,115 @@
+//! Table 1: the five reproduced Hadoop problems — CTime (time until the
+//! job dies under the reported configuration, YARN retries included),
+//! PTime (the StackOverflow-recommended fix), ITime (the ITask version
+//! under the reported configuration).
+//!
+//! Usage: `table1 [problem ...]`, problems ∈ {msa, imc, iib, wcm, crp}.
+
+use apps::hadoop_apps::{crp, iib, imc, msa, wcm};
+use apps::RunSummary;
+use itask_bench::{cols, print_table};
+use simcore::SCALE;
+
+const SEED: u64 = 42;
+
+struct ProblemRow {
+    name: &'static str,
+    data: &'static str,
+    config: String,
+    ctime: String,
+    ptime: String,
+    itime: String,
+}
+
+fn secs<T>(s: &RunSummary<T>) -> f64 {
+    s.report.elapsed.as_secs_f64() * SCALE as f64
+}
+
+fn show_crash<T>(s: &RunSummary<T>, attempts: u32) -> String {
+    if s.ok() {
+        format!("{:.0}s (no crash!)", secs(s))
+    } else {
+        format!("{:.0}s ({} attempts)", secs(s), attempts)
+    }
+}
+
+fn show_ok<T>(s: &RunSummary<T>) -> String {
+    if s.ok() {
+        format!("{:.0}s", secs(s))
+    } else {
+        format!("FAILED@{:.0}s", secs(s))
+    }
+}
+
+fn row<T, U, V>(
+    name: &'static str,
+    data: &'static str,
+    cfg: &hadoop::HadoopConfig,
+    ctime: (RunSummary<T>, u32),
+    ptime: (RunSummary<U>, u32),
+    itime: RunSummary<V>,
+) -> ProblemRow {
+    ProblemRow {
+        name,
+        data,
+        config: format!(
+            "MH={}K RH={}K MM={} MR={}",
+            cfg.map_heap.as_u64() / 1024,
+            cfg.reduce_heap.as_u64() / 1024,
+            cfg.max_mappers,
+            cfg.max_reducers
+        ),
+        ctime: show_crash(&ctime.0, ctime.1),
+        ptime: show_ok(&ptime.0),
+        itime: show_ok(&itime),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |p: &str| args.is_empty() || args.iter().any(|a| a == p);
+    let mut rows: Vec<ProblemRow> = Vec::new();
+
+    if want("msa") {
+        rows.push(row(
+            "MSA", "StackOverflow FD 29GB",
+            &msa::table1_config(),
+            msa::run_ctime(SEED), msa::run_tuned(SEED), msa::run_itask(SEED),
+        ));
+    }
+    if want("imc") {
+        rows.push(row(
+            "IMC", "Wikipedia FD 49GB",
+            &imc::table1_config(),
+            imc::run_ctime(SEED), imc::run_tuned(SEED), imc::run_itask(SEED),
+        ));
+    }
+    if want("iib") {
+        rows.push(row(
+            "IIB", "Wikipedia FD 49GB",
+            &iib::table1_config(),
+            iib::run_ctime(SEED), iib::run_tuned(SEED), iib::run_itask(SEED),
+        ));
+    }
+    if want("wcm") {
+        rows.push(row(
+            "WCM", "Wikipedia FD 49GB",
+            &wcm::table1_config(),
+            wcm::run_ctime(SEED), wcm::run_tuned(SEED), wcm::run_itask(SEED),
+        ));
+    }
+    if want("crp") {
+        rows.push(row(
+            "CRP", "Wikipedia SP 5GB",
+            &crp::table1_config(),
+            crp::run_ctime(SEED), crp::run_tuned(SEED), crp::run_itask(SEED),
+        ));
+    }
+
+    let header = cols(&["Name", "Data", "Config (paper MB)", "CTime", "PTime", "ITime"]);
+    let table: Vec<Vec<String>> = rows
+        .into_iter()
+        .map(|r| vec![r.name.into(), r.data.into(), r.config, r.ctime, r.ptime, r.itime])
+        .collect();
+    print_table("Table 1: Hadoop problems — crash / tuned / ITask times", &header, &table);
+}

@@ -1,0 +1,58 @@
+//! Table 2: memory-savings breakdown of the ITask runs of the five
+//! Hadoop problems — bytes reclaimed from processed input, final
+//! results, intermediate results, and lazy serialization.
+//!
+//! Usage: `table2 [problem ...]`.
+
+use apps::hadoop_apps::{crp, iib, imc, msa, wcm};
+use apps::RunSummary;
+use itask_bench::{cols, print_table};
+use simcore::{ByteSize, SCALE};
+
+const SEED: u64 = 42;
+
+fn fmt_paper(bytes: f64) -> String {
+    // Report at paper scale: simulated bytes × 1024.
+    format!("{}", ByteSize((bytes * SCALE as f64) as u64))
+}
+
+fn row<T>(name: &str, s: &RunSummary<T>) -> Vec<String> {
+    vec![
+        name.to_string(),
+        fmt_paper(s.report.counter("reclaim.processed_input")),
+        fmt_paper(s.report.counter("reclaim.final_results")),
+        fmt_paper(s.report.counter("reclaim.intermediate_results")),
+        fmt_paper(s.report.counter("reclaim.lazy_serialized")),
+        if s.ok() { "ok".into() } else { "FAILED".into() },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |p: &str| args.is_empty() || args.iter().any(|a| a == p);
+    let mut rows = Vec::new();
+    if want("msa") {
+        rows.push(row("MSA", &msa::run_itask(SEED)));
+    }
+    if want("imc") {
+        rows.push(row("IMC", &imc::run_itask(SEED)));
+    }
+    if want("iib") {
+        rows.push(row("IIB", &iib::run_itask(SEED)));
+    }
+    if want("wcm") {
+        rows.push(row("WCM", &wcm::run_itask(SEED)));
+    }
+    if want("crp") {
+        rows.push(row("CRP", &crp::run_itask(SEED)));
+    }
+    let header = cols(&[
+        "Name", "Processed Input", "Final Results", "Intermediate Results",
+        "Lazy Serialization", "outcome",
+    ]);
+    print_table(
+        "Table 2: ITask memory-savings breakdown (paper-equivalent bytes)",
+        &header,
+        &rows,
+    );
+}

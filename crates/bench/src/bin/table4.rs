@@ -1,0 +1,30 @@
+//! Table 4: the TPC-H datasets — paper-reported row counts vs the
+//! scaled generators.
+
+use itask_bench::{cols, print_table};
+use workloads::tpch::{TpchConfig, TpchScale};
+
+fn main() {
+    let header = cols(&[
+        "scale", "paper size", "paper #Cust", "paper #Order", "paper #LineItem",
+        "scaled #Cust", "scaled #Order", "scaled #LineItem", "scaled bytes",
+    ]);
+    let paper_sizes = ["9.8GB", "19.7GB", "29.7GB", "49.6GB", "99.8GB", "150.4GB"];
+    let mut rows = Vec::new();
+    for (i, scale) in TpchScale::TABLE4.iter().enumerate() {
+        let cfg = TpchConfig::preset(*scale, 42);
+        let (pc, po, pl) = scale.paper_counts();
+        rows.push(vec![
+            scale.label().to_string(),
+            paper_sizes[i].to_string(),
+            format!("{pc:.3e}"),
+            format!("{po:.3e}"),
+            format!("{pl:.3e}"),
+            format!("{}", cfg.customers),
+            format!("{}", cfg.orders),
+            format!("{}", cfg.lineitems),
+            format!("{}", cfg.total_bytes()),
+        ]);
+    }
+    print_table("Table 4: TPC-H inputs (scaled 1/1024)", &header, &rows);
+}

@@ -1,0 +1,112 @@
+//! Table 5: scalability of the *regular* programs under 12GB heaps —
+//! the largest dataset each program can process, with the thread count
+//! and task granularity that give the best performance there.
+//!
+//! Usage: `table5 [program ...]`; `--quick` narrows the granularity
+//! sweep to 16/32KB.
+
+use apps::hyracks_apps::{gr, hj, hs, ii, wc, HyracksParams};
+use apps::RunSummary;
+use itask_bench::{cols, print_table};
+use simcore::{ByteSize, SimDuration, SCALE};
+use workloads::tpch::TpchScale;
+use workloads::webmap::WebmapSize;
+
+const THREADS: [usize; 5] = [1, 2, 4, 6, 8];
+const GRANS_KIB: [u64; 5] = [8, 16, 32, 64, 128];
+
+fn params(threads: usize, gran_kib: u64) -> HyracksParams {
+    HyracksParams {
+        threads,
+        granularity: ByteSize::kib(gran_kib),
+        ..HyracksParams::default()
+    }
+}
+
+/// Finds the largest dataset index with any successful (threads, gran)
+/// configuration, plus the best configuration there.
+fn scalability<T>(
+    name: &str,
+    labels: &[&str],
+    grans: &[u64],
+    run: impl Fn(usize, usize, u64) -> RunSummary<T>,
+) -> Vec<String> {
+    let mut best: Option<(usize, usize, u64, SimDuration)> = None;
+    for d in 0..labels.len() {
+        let mut best_here: Option<(usize, u64, SimDuration)> = None;
+        for &t in &THREADS {
+            for &g in grans {
+                let s = run(d, t, g);
+                if s.ok() {
+                    let e = s.report.elapsed;
+                    if best_here.map(|b| e < b.2).unwrap_or(true) {
+                        best_here = Some((t, g, e));
+                    }
+                }
+            }
+        }
+        match best_here {
+            Some((t, g, e)) => best = Some((d, t, g, e)),
+            None => break, // larger datasets will not fare better
+        }
+    }
+    match best {
+        Some((d, t, g, e)) => vec![
+            name.to_string(),
+            labels[d].to_string(),
+            t.to_string(),
+            format!("{g}KB"),
+            format!("{:.1}s", e.as_secs_f64() * SCALE as f64),
+        ],
+        None => vec![name.to_string(), "-".into(), "-".into(), "-".into(), "-".into()],
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let want = |p: &str| {
+        let progs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+        progs.is_empty() || progs.iter().any(|a| a.as_str() == p)
+    };
+    let grans: Vec<u64> = if quick { vec![16, 32] } else { GRANS_KIB.to_vec() };
+
+    let webmap: Vec<WebmapSize> = {
+        let mut v = WebmapSize::ALL.to_vec();
+        v.reverse();
+        v
+    };
+    let web_labels: Vec<&str> = webmap.iter().map(|s| s.label()).collect();
+    let tpch = TpchScale::TABLE4;
+    let tpch_labels: Vec<&str> = tpch.iter().map(|s| s.label()).collect();
+
+    let mut rows = Vec::new();
+    if want("wc") {
+        rows.push(scalability("WC", &web_labels, &grans, |d, t, g| {
+            wc::run_regular(webmap[d], &params(t, g))
+        }));
+    }
+    if want("hs") {
+        rows.push(scalability("HS", &web_labels, &grans, |d, t, g| {
+            hs::run_regular(webmap[d], &params(t, g))
+        }));
+    }
+    if want("ii") {
+        rows.push(scalability("II", &web_labels, &grans, |d, t, g| {
+            ii::run_regular(webmap[d], &params(t, g))
+        }));
+    }
+    if want("hj") {
+        rows.push(scalability("HJ", &tpch_labels, &grans, |d, t, g| {
+            hj::run_regular(tpch[d], &params(t, g))
+        }));
+    }
+    if want("gr") {
+        rows.push(scalability("GR", &tpch_labels, &grans, |d, t, g| {
+            gr::run_regular(tpch[d], &params(t, g))
+        }));
+    }
+
+    let header = cols(&["Name", "DS (largest scaled)", "#K (threads)", "#T (granularity)", "best time"]);
+    print_table("Table 5: scalability of the regular programs (12GB heap)", &header, &rows);
+}

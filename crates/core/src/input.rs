@@ -1,0 +1,56 @@
+//! Feeding input partitions into the ITask runtime.
+//!
+//! Frameworks offer input either *in memory* (a frame that just arrived,
+//! as in Hyracks' `nextFrame`) or *serialized* (a block already sitting
+//! on local disk/HDFS, as in Hadoop splits). Serialized offers cost no
+//! heap at all — the IRS deserializes them on activation, which is what
+//! lets an ITask job hold a dataset far larger than the heap.
+
+use simcore::{PartitionId, SimResult};
+use simcluster::NodeState;
+
+use crate::partition::{Tag, Tuple, VecPartition};
+use crate::runtime::IrsHandle;
+
+/// Offers an in-memory input partition: the tuples' heap bytes are
+/// allocated (possibly triggering GC) and the partition is queued.
+pub fn offer_in_memory<T: Tuple>(
+    handle: &IrsHandle,
+    node: &mut NodeState,
+    task: simcore::TaskId,
+    tag: Tag,
+    items: Vec<T>,
+) -> SimResult<PartitionId> {
+    let id = handle.next_partition_id();
+    let bytes: u64 = items.iter().map(Tuple::heap_bytes).sum();
+    let space = node.heap.create_space(format!("{id}.input"));
+    if let Err(e) = node.alloc(space, simcore::ByteSize(bytes)) {
+        node.heap.release_space(space);
+        return Err(e);
+    }
+    handle.push_partition(Box::new(VecPartition::new(id, task, tag, items, space)));
+    Ok(id)
+}
+
+/// Offers a serialized input partition: the bytes are registered on the
+/// node's disk (they are already there — an input block), costing no
+/// heap until activation.
+pub fn offer_serialized<T: Tuple>(
+    handle: &IrsHandle,
+    node: &mut NodeState,
+    task: simcore::TaskId,
+    tag: Tag,
+    items: Vec<T>,
+) -> SimResult<PartitionId> {
+    let id = handle.next_partition_id();
+    let ser: u64 = items.iter().map(Tuple::ser_bytes).sum();
+    let file = node
+        .disk
+        .register(format!("{id}.input"), simcore::ByteSize(ser))
+        .ok_or(simcore::SimError::DiskFull {
+            node: node.id,
+            requested: simcore::ByteSize(ser),
+        })?;
+    handle.push_partition(Box::new(VecPartition::new_serialized(id, task, tag, items, file)));
+    Ok(id)
+}

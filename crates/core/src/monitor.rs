@@ -1,0 +1,216 @@
+//! The IRS monitor (paper §5.2): watches GC behaviour and tells the
+//! scheduler when to shrink (`REDUCE`) or grow (`GROW`) the set of
+//! running task instances.
+
+use simcore::ByteSize;
+use simmem::{GcRecord, Heap};
+
+/// A signal from the monitor to the scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemSignal {
+    /// A long-and-useless GC was observed: serialize and interrupt until
+    /// free memory rises above `M%` of the heap.
+    Reduce,
+    /// Free memory is at or above `N%` of the heap: more instances fit.
+    Grow,
+    /// Neither threshold crossed.
+    Steady,
+}
+
+/// Monitor configuration (paper defaults: `N = 20`, `M = 10`).
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Grow when free heap ≥ `grow_free_pct`% of capacity.
+    pub grow_free_pct: u8,
+    /// Target free fraction a REDUCE tries to restore (`M`). The LUGC
+    /// *detection* threshold itself lives in the heap config.
+    pub reduce_target_pct: u8,
+    /// Background-serialization hover target: parked intermediate
+    /// partitions are written behind until effective free memory reaches
+    /// this fraction, keeping the old generation slack so full
+    /// collections stay rare (the "safe zone" of the paper's Figure 3).
+    pub serialize_free_pct: u8,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig { grow_free_pct: 20, reduce_target_pct: 10, serialize_free_pct: 40 }
+    }
+}
+
+/// Monitor statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonitorStats {
+    /// REDUCE signals sent.
+    pub reduce_signals: u64,
+    /// GROW signals sent.
+    pub grow_signals: u64,
+    /// LUGCs observed.
+    pub lugcs_seen: u64,
+}
+
+/// The monitor itself.
+#[derive(Clone, Debug, Default)]
+pub struct Monitor {
+    cfg: MonitorConfig,
+    stats: MonitorStats,
+    /// Set when the partition manager reports (de)serialization
+    /// thrashing; forces a REDUCE at the next observation (§5.3).
+    thrashing_reported: bool,
+}
+
+impl Monitor {
+    /// Creates a monitor with the given thresholds.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        Monitor { cfg, stats: MonitorStats::default(), thrashing_reported: false }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> MonitorConfig {
+        self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// The partition manager reports thrashing; the next observation
+    /// yields `Reduce` regardless of GC activity.
+    pub fn report_thrashing(&mut self) {
+        self.thrashing_reported = true;
+    }
+
+    /// The absolute free-byte target a REDUCE aims for (`M%`).
+    pub fn reduce_target(&self, heap: &Heap) -> ByteSize {
+        heap.capacity().mul_ratio(self.cfg.reduce_target_pct as u64, 100)
+    }
+
+    /// The absolute free-byte threshold for growth (`N%`).
+    pub fn grow_threshold(&self, heap: &Heap) -> ByteSize {
+        heap.capacity().mul_ratio(self.cfg.grow_free_pct as u64, 100)
+    }
+
+    /// The background-serialization hover target.
+    pub fn serialize_target(&self, heap: &Heap) -> ByteSize {
+        heap.capacity().mul_ratio(self.cfg.serialize_free_pct as u64, 100)
+    }
+
+    /// Digests the GC records observed since the last call plus the
+    /// current heap state, and emits a signal.
+    pub fn observe(&mut self, records: &[GcRecord], heap: &Heap) -> MemSignal {
+        let lugcs = records.iter().filter(|r| r.useless).count() as u64;
+        self.stats.lugcs_seen += lugcs;
+        let thrashing = std::mem::take(&mut self.thrashing_reported);
+        if lugcs > 0 || thrashing {
+            self.stats.reduce_signals += 1;
+            return MemSignal::Reduce;
+        }
+        if heap.effective_free() >= self.grow_threshold(heap) {
+            self.stats.grow_signals += 1;
+            return MemSignal::Grow;
+        }
+        MemSignal::Steady
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{SimDuration, SimTime};
+    use simmem::{GcKind, HeapConfig};
+
+    fn heap_with_live(capacity_kib: u64, live_kib: u64) -> Heap {
+        let mut h = Heap::new(HeapConfig::with_capacity(ByteSize::kib(capacity_kib)));
+        let s = h.create_space("x");
+        if live_kib > 0 {
+            h.alloc(s, ByteSize::kib(live_kib), SimTime::ZERO).unwrap();
+        }
+        h
+    }
+
+    fn lugc() -> GcRecord {
+        GcRecord {
+            at: SimTime::ZERO,
+            kind: GcKind::Full,
+            used_before: ByteSize::kib(95),
+            used_after: ByteSize::kib(95),
+            free_after: ByteSize::kib(5),
+            pause: SimDuration::from_millis(1),
+            useless: true,
+        }
+    }
+
+    #[test]
+    fn lugc_triggers_reduce() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        let heap = heap_with_live(100, 95);
+        assert_eq!(m.observe(&[lugc()], &heap), MemSignal::Reduce);
+        assert_eq!(m.stats().reduce_signals, 1);
+        assert_eq!(m.stats().lugcs_seen, 1);
+    }
+
+    #[test]
+    fn ample_free_memory_triggers_grow() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        let heap = heap_with_live(100, 10); // 90% free >= 20%
+        assert_eq!(m.observe(&[], &heap), MemSignal::Grow);
+        assert_eq!(m.stats().grow_signals, 1);
+    }
+
+    #[test]
+    fn middling_occupancy_is_steady() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        let heap = heap_with_live(100, 85); // 15% free: between M and N
+        assert_eq!(m.observe(&[], &heap), MemSignal::Steady);
+    }
+
+    #[test]
+    fn thrashing_report_forces_one_reduce() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        let heap = heap_with_live(100, 10);
+        m.report_thrashing();
+        assert_eq!(m.observe(&[], &heap), MemSignal::Reduce);
+        // Consumed: next observation reverts to the heap state.
+        assert_eq!(m.observe(&[], &heap), MemSignal::Grow);
+    }
+
+    #[test]
+    fn thresholds_scale_with_capacity() {
+        let m = Monitor::new(MonitorConfig::default());
+        let heap = heap_with_live(1000, 0);
+        assert_eq!(m.reduce_target(&heap), ByteSize::kib(100));
+        assert_eq!(m.grow_threshold(&heap), ByteSize::kib(200));
+    }
+}
+
+#[cfg(test)]
+mod target_tests {
+    use super::*;
+    use simmem::HeapConfig;
+
+    #[test]
+    fn serialize_target_sits_between_m_and_capacity() {
+        let m = Monitor::new(MonitorConfig::default());
+        let heap = Heap::new(HeapConfig::with_capacity(ByteSize::kib(1000)));
+        let reduce = m.reduce_target(&heap);
+        let grow = m.grow_threshold(&heap);
+        let ser = m.serialize_target(&heap);
+        assert!(reduce < grow, "M% < N%");
+        assert!(grow < ser, "the hover target overshoots the grow gate");
+        assert_eq!(ser, ByteSize::kib(400));
+    }
+
+    #[test]
+    fn custom_thresholds_are_respected() {
+        let m = Monitor::new(MonitorConfig {
+            grow_free_pct: 30,
+            reduce_target_pct: 15,
+            serialize_free_pct: 55,
+        });
+        let heap = Heap::new(HeapConfig::with_capacity(ByteSize::kib(200)));
+        assert_eq!(m.grow_threshold(&heap), ByteSize::kib(60));
+        assert_eq!(m.reduce_target(&heap), ByteSize::kib(30));
+        assert_eq!(m.serialize_target(&heap), ByteSize::kib(110));
+    }
+}

@@ -1,0 +1,164 @@
+//! The global partition queue (paper §5.3): every unprocessed or
+//! partially-processed partition waiting for a task instance.
+
+use std::collections::BTreeMap;
+
+use simcore::{PartitionId, TaskId};
+
+use crate::partition::{PartitionBox, PartitionMeta, Tag};
+
+/// The partition queue. Entries keep insertion order; selection policies
+/// (spatial locality, finish line) are applied by the scheduler over the
+/// exposed metadata.
+#[derive(Default)]
+pub struct PartitionQueue {
+    entries: Vec<PartitionBox>,
+}
+
+impl PartitionQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued partitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Enqueues a partition. Fully-processed partitions are dropped (an
+    /// interrupt can race with exhaustion).
+    pub fn push(&mut self, part: PartitionBox) {
+        if !part.meta().exhausted() {
+            self.entries.push(part);
+        }
+    }
+
+    /// Metadata of every queued partition, in queue order.
+    pub fn metas(&self) -> impl Iterator<Item = &PartitionMeta> {
+        self.entries.iter().map(|p| p.meta())
+    }
+
+    /// Mutable access to one partition (the partition manager flips
+    /// serialization states in place).
+    pub fn get_mut(&mut self, id: PartitionId) -> Option<&mut PartitionBox> {
+        self.entries.iter_mut().find(|p| p.meta().id == id)
+    }
+
+    /// Removes and returns a partition by id.
+    pub fn take(&mut self, id: PartitionId) -> Option<PartitionBox> {
+        let idx = self.entries.iter().position(|p| p.meta().id == id)?;
+        Some(self.entries.remove(idx))
+    }
+
+    /// Removes and returns every partition addressed to `task` carrying
+    /// `tag` (an MITask activation group), in queue order.
+    pub fn take_group(&mut self, task: TaskId, tag: Tag) -> Vec<PartitionBox> {
+        let mut group = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            let m = self.entries[i].meta();
+            if m.input_of == task && m.tag == tag {
+                group.push(self.entries.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        group
+    }
+
+    /// Number of queued partitions addressed to `task`.
+    pub fn pending_for(&self, task: TaskId) -> usize {
+        self.metas().filter(|m| m.input_of == task).count()
+    }
+
+    /// Tags queued for `task`, with partition counts (deterministic
+    /// order).
+    pub fn tags_for(&self, task: TaskId) -> BTreeMap<Tag, usize> {
+        let mut map = BTreeMap::new();
+        for m in self.metas().filter(|m| m.input_of == task) {
+            *map.entry(m.tag).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Total simulated heap bytes of queued *in-memory* partitions.
+    pub fn in_memory_bytes(&self) -> simcore::ByteSize {
+        self.metas().filter(|m| m.in_memory()).map(|m| m.mem_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{Tuple, VecPartition};
+    use simcore::{ByteSize, SpaceId};
+
+    struct B(u64);
+
+    impl Tuple for B {
+        fn heap_bytes(&self) -> u64 {
+            self.0
+        }
+    }
+
+    fn part(id: u32, task: u32, tag: u64, n: usize) -> PartitionBox {
+        let items: Vec<B> = (0..n).map(|_| B(100)).collect();
+        Box::new(VecPartition::new(
+            PartitionId(id),
+            TaskId(task),
+            Tag(tag),
+            items,
+            SpaceId(id),
+        ))
+    }
+
+    #[test]
+    fn push_take_roundtrip() {
+        let mut q = PartitionQueue::new();
+        q.push(part(0, 1, 0, 3));
+        q.push(part(1, 1, 0, 3));
+        assert_eq!(q.len(), 2);
+        let got = q.take(PartitionId(0)).unwrap();
+        assert_eq!(got.meta().id, PartitionId(0));
+        assert_eq!(q.len(), 1);
+        assert!(q.take(PartitionId(0)).is_none());
+    }
+
+    #[test]
+    fn exhausted_partitions_are_dropped_on_push() {
+        let mut q = PartitionQueue::new();
+        q.push(part(0, 1, 0, 0)); // zero tuples: nothing to do
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tag_groups() {
+        let mut q = PartitionQueue::new();
+        q.push(part(0, 2, 7, 1));
+        q.push(part(1, 2, 7, 1));
+        q.push(part(2, 2, 8, 1));
+        q.push(part(3, 3, 7, 1)); // different task
+        let tags = q.tags_for(TaskId(2));
+        assert_eq!(tags[&Tag(7)], 2);
+        assert_eq!(tags[&Tag(8)], 1);
+        let group = q.take_group(TaskId(2), Tag(7));
+        assert_eq!(group.len(), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pending_for(TaskId(2)), 1);
+        assert_eq!(q.pending_for(TaskId(3)), 1);
+    }
+
+    #[test]
+    fn in_memory_bytes_sums_deserialized_partitions() {
+        let mut q = PartitionQueue::new();
+        q.push(part(0, 1, 0, 2)); // 200 bytes
+        q.push(part(1, 1, 0, 3)); // 300 bytes
+        assert_eq!(q.in_memory_bytes(), ByteSize(500));
+    }
+}

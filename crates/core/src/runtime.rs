@@ -1,0 +1,617 @@
+//! The ITask Runtime System (IRS, paper §5): the per-node controller
+//! tying together monitor, partition manager and scheduler, and the
+//! shared state task instances interact with.
+//!
+//! An [`Irs`] controls one node. Between scheduling rounds the engine
+//! calls [`Irs::tick`], which drains the node's GC records into the
+//! monitor and handles the resulting signal:
+//!
+//! * `REDUCE` — ask the partition manager to serialize queued partitions
+//!   (cheapest first by the retention rules), force a collection to
+//!   materialize the released spaces, and if free memory is still below
+//!   the `M%` target, mark a victim instance for cooperative interrupt;
+//! * `GROW` — activate one more task instance (slow-start: one per tick)
+//!   chosen by the spatial-locality and finish-line rules, up to the
+//!   node's core count.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
+
+use simcore::{ByteSize, PartitionId, SimResult, TaskId, ThreadId};
+use simcluster::NodeSim;
+
+use crate::graph::TaskGraph;
+use crate::manager::{serialization_order, serialize_partition_mode, ManagerConfig, SerializeMode};
+use crate::monitor::{MemSignal, Monitor, MonitorConfig};
+use crate::partition::PartitionBox;
+use crate::queue::PartitionQueue;
+use crate::scheduler::{pick_activation, pick_victim, Activation, RunningInstance, VictimPolicy};
+use crate::stats::IrsStats;
+use crate::trace::{IrsEvent, IrsTrace};
+use crate::worker::ItaskWorker;
+
+/// A result that has left the ITask runtime (component 4(a) of Figure 1).
+/// The framework (shuffle, HDFS writer, ...) decides where it goes.
+pub struct FinalOutput {
+    /// The task that produced it.
+    pub from: TaskId,
+    /// The payload (framework-interpreted).
+    pub data: Box<dyn Any>,
+    /// Heap bytes it occupied on the producing node (already released).
+    pub mem_bytes: ByteSize,
+    /// Serialized size (what shuffling it costs).
+    pub ser_bytes: ByteSize,
+}
+
+/// How a victim instance is taken down (§6.1's naïve comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum InterruptMode {
+    /// The paper's design: run the task's interrupt logic, keep the
+    /// cursor, release the processed prefix, requeue the remainder.
+    #[default]
+    Cooperative,
+    /// The naïve baseline: kill the instance, drop its partial output,
+    /// and reprocess the partition from scratch later.
+    KillRestart,
+}
+
+/// IRS configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct IrsConfig {
+    /// Monitor thresholds (`N`, `M`).
+    pub monitor: MonitorConfig,
+    /// Partition-manager policy.
+    pub manager: ManagerConfig,
+    /// Maximum concurrently running instances (defaults to the node's
+    /// core count — the paper's optimal point under an ample heap).
+    pub max_parallelism: usize,
+    /// Victim-selection policy (rules, or the naïve random baseline).
+    pub victim_policy: VictimPolicy,
+    /// Interrupt mechanism (cooperative, or the naïve kill-restart).
+    pub interrupt_mode: InterruptMode,
+    /// Instances activated per GROW tick (slow start, §5.1).
+    pub grow_per_tick: usize,
+    /// Give up on a partition after this many failed activations.
+    pub max_activation_failures: u32,
+}
+
+impl Default for IrsConfig {
+    fn default() -> Self {
+        IrsConfig {
+            monitor: MonitorConfig::default(),
+            manager: ManagerConfig::default(),
+            max_parallelism: 8,
+            victim_policy: VictimPolicy::Rules,
+            interrupt_mode: InterruptMode::Cooperative,
+            grow_per_tick: 1,
+            max_activation_failures: 32,
+        }
+    }
+}
+
+/// State shared between the controller and its running task instances.
+pub(crate) struct IrsShared {
+    pub(crate) queue: PartitionQueue,
+    pub(crate) running: BTreeMap<ThreadId, RunningInstance>,
+    /// instance id → thread id (filled at spawn).
+    pub(crate) instance_threads: BTreeMap<u64, ThreadId>,
+    /// Threads marked for cooperative interrupt.
+    pub(crate) terminate: BTreeSet<ThreadId>,
+    pub(crate) final_outputs: Vec<FinalOutput>,
+    pub(crate) stats: IrsStats,
+    pub(crate) activation_failures: BTreeMap<PartitionId, u32>,
+    /// Set by workers when an allocation failed (emergency interrupt or
+    /// failed activation): forces a REDUCE at the next tick even if no
+    /// LUGC record is pending. Carries the bytes the failed allocation
+    /// needed, so the REDUCE can aim above the default `M%` target.
+    pub(crate) pressure_hint: Option<ByteSize>,
+    /// Copy of the monitor's hover threshold, used by `emit_to_task` to
+    /// serialize intermediate partitions at birth when memory is tight
+    /// (write-behind flavour of the partition manager's lazy
+    /// serialization).
+    pub(crate) serialize_free_pct: u8,
+    /// Copy of the partition manager's serialization target.
+    pub(crate) serialize_mode: SerializeMode,
+    /// Structured decision trace (disabled unless requested).
+    pub(crate) trace: IrsTrace,
+    next_partition: u32,
+    next_instance: u64,
+}
+
+impl IrsShared {
+    fn new(first_partition_id: u32) -> Self {
+        IrsShared {
+            queue: PartitionQueue::new(),
+            running: BTreeMap::new(),
+            instance_threads: BTreeMap::new(),
+            terminate: BTreeSet::new(),
+            final_outputs: Vec::new(),
+            stats: IrsStats::default(),
+            activation_failures: BTreeMap::new(),
+            pressure_hint: None,
+            serialize_free_pct: 40,
+            serialize_mode: SerializeMode::Disk,
+            trace: IrsTrace::new(),
+            next_partition: first_partition_id,
+            next_instance: 0,
+        }
+    }
+}
+
+/// Cloneable handle to the shared IRS state (single-threaded simulation,
+/// so `Rc<RefCell>` is the right tool).
+#[derive(Clone)]
+pub struct IrsHandle(pub(crate) Rc<RefCell<IrsShared>>);
+
+impl IrsHandle {
+    /// Allocates a fresh partition id.
+    pub fn next_partition_id(&self) -> PartitionId {
+        let mut s = self.0.borrow_mut();
+        let id = PartitionId(s.next_partition);
+        s.next_partition += 1;
+        id
+    }
+
+    /// Enqueues a partition into the global partition queue.
+    pub fn push_partition(&self, part: PartitionBox) {
+        self.0.borrow_mut().queue.push(part);
+    }
+
+    /// Publishes a final output.
+    pub fn push_final(&self, out: FinalOutput) {
+        self.0.borrow_mut().final_outputs.push(out);
+    }
+
+    /// Records intermediate-result bytes for the Table 2 breakdown.
+    pub fn note_intermediate(&self, bytes: ByteSize) {
+        self.0.borrow_mut().stats.reclaim.intermediate_results += bytes;
+    }
+
+    /// The monitor's hover threshold (for write-behind decisions).
+    pub(crate) fn serialize_free_pct(&self) -> u8 {
+        self.0.borrow().serialize_free_pct
+    }
+
+    /// The partition manager's serialization target.
+    pub(crate) fn serialize_mode(&self) -> SerializeMode {
+        self.0.borrow().serialize_mode
+    }
+
+    /// Records a write-behind serialization.
+    pub(crate) fn note_serialized_at_birth(&self, bytes: ByteSize) {
+        let mut s = self.0.borrow_mut();
+        s.stats.serializations += 1;
+        s.stats.reclaim.lazy_serialized += bytes;
+    }
+
+    /// Appends to the decision trace (no-op unless tracing is enabled).
+    pub(crate) fn trace(&self, at: simcore::SimTime, event: IrsEvent) {
+        self.0.borrow_mut().trace.record(at, event);
+    }
+
+    /// Records final-result bytes for the Table 2 breakdown.
+    pub fn note_final(&self, bytes: ByteSize) {
+        self.0.borrow_mut().stats.reclaim.final_results += bytes;
+    }
+
+    pub(crate) fn note_local(&self, bytes: ByteSize) {
+        self.0.borrow_mut().stats.reclaim.local_structs += bytes;
+    }
+
+    pub(crate) fn note_processed_input(&self, bytes: ByteSize) {
+        self.0.borrow_mut().stats.reclaim.processed_input += bytes;
+    }
+
+    pub(crate) fn next_instance_id(&self) -> u64 {
+        let mut s = self.0.borrow_mut();
+        let id = s.next_instance;
+        s.next_instance += 1;
+        id
+    }
+
+    /// Whether the scheduler asked this instance to interrupt itself.
+    pub(crate) fn should_terminate(&self, instance: u64) -> bool {
+        let s = self.0.borrow();
+        s.instance_threads
+            .get(&instance)
+            .map(|t| s.terminate.contains(t))
+            .unwrap_or(false)
+    }
+
+    /// Adds scale-loop progress to an instance (speed rule input).
+    pub(crate) fn note_progress(&self, instance: u64, units: u64) {
+        let mut s = self.0.borrow_mut();
+        if let Some(&thread) = s.instance_threads.get(&instance) {
+            if let Some(r) = s.running.get_mut(&thread) {
+                r.recent_progress += units;
+            }
+        }
+    }
+
+    /// Retires an instance (finished, interrupted or failed).
+    pub(crate) fn retire(&self, instance: u64) {
+        let mut s = self.0.borrow_mut();
+        if let Some(thread) = s.instance_threads.remove(&instance) {
+            s.running.remove(&thread);
+            s.terminate.remove(&thread);
+        }
+    }
+
+    /// Bumps and returns the failed-activation count of a partition.
+    pub(crate) fn bump_activation_failure(&self, id: PartitionId) -> u32 {
+        let mut s = self.0.borrow_mut();
+        s.stats.failed_activations += 1;
+        let c = s.activation_failures.entry(id).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    pub(crate) fn stats_mut<R>(&self, f: impl FnOnce(&mut IrsStats) -> R) -> R {
+        f(&mut self.0.borrow_mut().stats)
+    }
+
+    /// A worker hit an allocation failure: force a REDUCE next tick,
+    /// aiming to free at least `needed` bytes (zero = default target).
+    pub(crate) fn hint_pressure(&self, needed: ByteSize) {
+        let mut s = self.0.borrow_mut();
+        let cur = s.pressure_hint.unwrap_or(ByteSize::ZERO);
+        s.pressure_hint = Some(cur.max(needed));
+    }
+}
+
+/// The per-node IRS controller.
+pub struct Irs {
+    handle: IrsHandle,
+    graph: Rc<TaskGraph>,
+    monitor: Monitor,
+    cfg: IrsConfig,
+    /// Pre-built per-task series names for the instance-count timeline
+    /// (Figure 11(c)'s Map/Reduce/Merge breakdown).
+    task_series: Vec<(TaskId, String)>,
+}
+
+impl Irs {
+    /// Creates an IRS over a task graph.
+    pub fn new(graph: TaskGraph, cfg: IrsConfig) -> Self {
+        let mut shared = IrsShared::new(0);
+        shared.serialize_free_pct = cfg.monitor.serialize_free_pct;
+        shared.serialize_mode = cfg.manager.mode;
+        let task_series = graph
+            .task_ids()
+            .map(|t| (t, format!("active_{}", graph.desc(t).name)))
+            .collect();
+        Irs {
+            handle: IrsHandle(Rc::new(RefCell::new(shared))),
+            graph: Rc::new(graph),
+            monitor: Monitor::new(cfg.monitor),
+            cfg,
+            task_series,
+        }
+    }
+
+    /// The shared handle (what tasks and engines use to enqueue work).
+    pub fn handle(&self) -> IrsHandle {
+        self.handle.clone()
+    }
+
+    /// The task graph.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Runtime statistics so far.
+    pub fn stats(&self) -> IrsStats {
+        self.handle.0.borrow().stats
+    }
+
+    /// Monitor statistics so far.
+    pub fn monitor_stats(&self) -> crate::monitor::MonitorStats {
+        self.monitor.stats()
+    }
+
+    /// Queued partition count.
+    pub fn queued(&self) -> usize {
+        self.handle.0.borrow().queue.len()
+    }
+
+    /// Running instance count.
+    pub fn running(&self) -> usize {
+        self.handle.0.borrow().running.len()
+    }
+
+    /// Whether the runtime has no queued partitions and no running
+    /// instances (the engine decides if more input is coming).
+    pub fn is_idle(&self) -> bool {
+        let s = self.handle.0.borrow();
+        s.queue.is_empty() && s.running.is_empty()
+    }
+
+    /// Takes the final outputs published since the last call.
+    pub fn take_final_outputs(&mut self) -> Vec<FinalOutput> {
+        std::mem::take(&mut self.handle.0.borrow_mut().final_outputs)
+    }
+
+    /// Enables the structured decision trace.
+    pub fn enable_trace(&mut self) {
+        self.handle.0.borrow_mut().trace.enable();
+    }
+
+    /// A snapshot of the decision trace recorded so far.
+    pub fn trace(&self) -> IrsTrace {
+        self.handle.0.borrow().trace.clone()
+    }
+
+    /// The controller step: call between scheduling rounds.
+    pub fn tick(&mut self, sim: &mut NodeSim) -> SimResult<()> {
+        let records = sim.node_mut().drain_gc_records();
+        let mut signal = self.monitor.observe(&records, &sim.node().heap);
+        let hint = std::mem::take(&mut self.handle.0.borrow_mut().pressure_hint);
+        if hint.is_some() {
+            signal = MemSignal::Reduce;
+        }
+        match signal {
+            MemSignal::Reduce => {
+                self.handle.trace(sim.node().now, IrsEvent::ReduceSignal);
+                self.handle_reduce(sim, hint.unwrap_or(ByteSize::ZERO))?;
+            }
+            MemSignal::Grow => {
+                self.handle.trace(sim.node().now, IrsEvent::GrowSignal);
+                self.handle_grow(sim)?;
+            }
+            MemSignal::Steady => self.assist_growth(sim)?,
+        }
+        // Starvation guard: at least one instance must always run while
+        // work remains (the warm-up phase of §5.1 starts with one thread
+        // regardless of thresholds). A full collection first gives the
+        // activation the best chance to fit.
+        if signal != MemSignal::Grow {
+            let starved = {
+                let s = self.handle.0.borrow();
+                s.running.is_empty() && !s.queue.is_empty()
+            };
+            if starved {
+                let choice = {
+                    let s = self.handle.0.borrow();
+                    pick_activation(&s.queue, &self.graph, &s.running)
+                };
+                if let Some(act) = choice {
+                    self.activate(sim, act);
+                    self.handle.stats_mut(|st| st.grows += 1);
+                }
+            }
+        }
+        // The speed rule measures progress between monitor checks: reset.
+        {
+            let mut s = self.handle.0.borrow_mut();
+            for r in s.running.values_mut() {
+                r.recent_progress = 0;
+            }
+            let live = s.running.len() as u64;
+            s.stats.peak_instances = s.stats.peak_instances.max(live);
+            // Per-task instance timeline (Figure 11(c)).
+            let now = sim.node().now;
+            for (task, name) in &self.task_series {
+                let n = s.running.values().filter(|r| r.task == *task).count();
+                sim.node_mut().log.record(name, now, n as f64);
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_reduce(&mut self, sim: &mut NodeSim, needed: ByteSize) -> SimResult<()> {
+        // Serialization is cheap, so it aims for the GROW threshold
+        // (`N%`): after a REDUCE the system should be able to re-grow
+        // rather than idle in the `M%..N%` dead zone. Interrupting live
+        // instances stays reserved for the `M%` emergency line below.
+        // A failed allocation raises the target so the blocked
+        // activation can fit with headroom.
+        let target = self
+            .monitor
+            .serialize_target(&sim.node().heap)
+            .max(needed.mul_ratio(5, 2));
+        // Stage 1: lazy serialization of queued partitions.
+        let order = {
+            let s = self.handle.0.borrow();
+            let running_tasks: Vec<TaskId> = s.running.values().map(|r| r.task).collect();
+            serialization_order(
+                &s.queue,
+                &self.graph,
+                &running_tasks,
+                sim.node().now,
+                self.cfg.manager,
+            )
+        };
+        // All policy arithmetic uses *effective* free (capacity − live):
+        // serialization and interrupts turn live bytes into garbage, and
+        // the next allocation-triggered collection reclaims it — forcing
+        // collections here would only add pauses.
+        for pid in order {
+            if sim.node().heap.effective_free() >= target {
+                break;
+            }
+            let freed = {
+                let mut s = self.handle.0.borrow_mut();
+                let Some(part) = s.queue.get_mut(pid) else { continue };
+                serialize_partition_mode(part.as_mut(), sim.node_mut(), self.cfg.manager.mode)?
+            };
+            if !freed.is_zero() {
+                self.handle.stats_mut(|st| {
+                    st.serializations += 1;
+                    st.reclaim.lazy_serialized += freed;
+                });
+                self.handle
+                    .trace(sim.node().now, IrsEvent::Serialized { partition: pid, freed });
+            }
+        }
+        // Stage 2: if still under the emergency line (`M%`, or the
+        // blocked allocation), mark one victim for interrupt.
+        let victim_line = self
+            .monitor
+            .reduce_target(&sim.node().heap)
+            .max(needed.mul_ratio(5, 2));
+        if sim.node().heap.effective_free() < victim_line {
+            let mut s = self.handle.0.borrow_mut();
+            let candidates: BTreeMap<ThreadId, RunningInstance> = s
+                .running
+                .iter()
+                .filter(|(t, _)| !s.terminate.contains(t))
+                .map(|(t, r)| (*t, r.clone()))
+                .collect();
+            if let Some(victim) = pick_victim(&candidates, &self.graph, self.cfg.victim_policy)
+            {
+                let task = candidates[&victim].task;
+                s.terminate.insert(victim);
+                s.trace.record(sim.node().now, IrsEvent::VictimMarked { task });
+            }
+        }
+        Ok(())
+    }
+
+    /// Steady-state unjamming: when growth is blocked only because
+    /// queued partitions pin the live set, serialize the coldest ones
+    /// (temporal-locality / finish-line order) until growth is possible
+    /// again. Running instances outrank parked intermediates — the
+    /// retention rules of §5.3 applied proactively.
+    fn assist_growth(&mut self, sim: &mut NodeSim) -> SimResult<()> {
+        let threshold = self.monitor.serialize_target(&sim.node().heap);
+        let grow_gate = self.monitor.grow_threshold(&sim.node().heap);
+        {
+            let s = self.handle.0.borrow();
+            if s.queue.is_empty() {
+                return Ok(());
+            }
+            let parked = s.queue.in_memory_bytes();
+            let free = sim.node().heap.effective_free();
+            if free >= threshold || free + parked < grow_gate {
+                return Ok(());
+            }
+        }
+        let order = {
+            let s = self.handle.0.borrow();
+            let running_tasks: Vec<TaskId> = s.running.values().map(|r| r.task).collect();
+            serialization_order(
+                &s.queue,
+                &self.graph,
+                &running_tasks,
+                sim.node().now,
+                self.cfg.manager,
+            )
+        };
+        for pid in order {
+            if sim.node().heap.effective_free() >= threshold {
+                break;
+            }
+            let freed = {
+                let mut s = self.handle.0.borrow_mut();
+                let Some(part) = s.queue.get_mut(pid) else { continue };
+                serialize_partition_mode(part.as_mut(), sim.node_mut(), self.cfg.manager.mode)?
+            };
+            if !freed.is_zero() {
+                self.handle.stats_mut(|st| {
+                    st.serializations += 1;
+                    st.reclaim.lazy_serialized += freed;
+                });
+                self.handle
+                    .trace(sim.node().now, IrsEvent::Serialized { partition: pid, freed });
+            }
+        }
+        if sim.node().heap.effective_free() >= grow_gate {
+            self.handle_grow(sim)?;
+        }
+        Ok(())
+    }
+
+    fn handle_grow(&mut self, sim: &mut NodeSim) -> SimResult<()> {
+        // Slow start under pressure, but fill idle cores immediately
+        // when more than half the heap is effectively free — a ramp of
+        // one instance per 100us tick would dominate short jobs.
+        let heap = &sim.node().heap;
+        let roomy = heap.effective_free() >= heap.capacity().mul_ratio(1, 2);
+        let burst = if roomy { self.cfg.max_parallelism } else { self.cfg.grow_per_tick };
+        for _ in 0..burst {
+            {
+                let s = self.handle.0.borrow();
+                if s.running.len() >= self.cfg.max_parallelism {
+                    return Ok(());
+                }
+            }
+            let choice = {
+                let s = self.handle.0.borrow();
+                pick_activation(&s.queue, &self.graph, &s.running)
+            };
+            let Some(act) = choice else { return Ok(()) };
+            self.activate(sim, act);
+            self.handle.stats_mut(|st| st.grows += 1);
+        }
+        Ok(())
+    }
+
+    fn activate(&mut self, sim: &mut NodeSim, act: Activation) {
+        let (task_id, parts, tag) = {
+            let mut s = self.handle.0.borrow_mut();
+            match act {
+                Activation::Single(task, pid) => {
+                    let part = s.queue.take(pid).expect("activation raced with queue");
+                    let tag = part.meta().tag;
+                    (task, VecDeque::from([part]), tag)
+                }
+                Activation::Group(task, tag) => {
+                    let group = s.queue.take_group(task, tag);
+                    assert!(!group.is_empty(), "empty tag group activation");
+                    (task, VecDeque::from(group), tag)
+                }
+            }
+        };
+        let desc = self.graph.desc(task_id);
+        let n_parts = parts.len();
+        let now = sim.node().now;
+        let worker = ItaskWorker::new(
+            self.handle.clone(),
+            task_id,
+            desc.kind,
+            tag,
+            desc.instantiate(),
+            parts,
+            self.cfg.max_activation_failures,
+            self.cfg.interrupt_mode,
+        );
+        let instance = worker.instance_id();
+        let kind = desc.kind;
+        let thread = sim.spawn(Box::new(worker));
+        let mut s = self.handle.0.borrow_mut();
+        s.trace.record(now, IrsEvent::Activated { task: task_id, partitions: n_parts });
+        s.instance_threads.insert(instance, thread);
+        s.running.insert(
+            thread,
+            RunningInstance { thread, task: task_id, kind, tag, recent_progress: 0 },
+        );
+    }
+
+    /// Drives the node until the runtime is idle or a thread fails.
+    ///
+    /// Convenience for single-node programs and tests; multi-node engines
+    /// interleave `tick`/`run_round` across nodes themselves.
+    pub fn run_to_idle(&mut self, sim: &mut NodeSim) -> SimResult<()> {
+        // Generous bound: a stuck runtime is a simulator bug.
+        for _ in 0..10_000_000u64 {
+            self.tick(sim)?;
+            if self.is_idle() {
+                return Ok(());
+            }
+            let round = sim.run_round();
+            if let Some((thread, err)) = round.failed.into_iter().next() {
+                // Identify and retire the failed instance.
+                let mut s = self.handle.0.borrow_mut();
+                if let Some(r) = s.running.remove(&thread) {
+                    let _ = r;
+                }
+                s.instance_threads.retain(|_, t| *t != thread);
+                s.terminate.remove(&thread);
+                return Err(err);
+            }
+        }
+        Err(simcore::SimError::Internal("IRS failed to reach idle".into()))
+    }
+}

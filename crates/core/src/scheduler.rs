@@ -1,0 +1,339 @@
+//! The IRS scheduler (paper §5.4): which instances to interrupt on
+//! `REDUCE` and which task/partition to activate on `GROW`.
+
+use std::collections::BTreeMap;
+
+use simcore::{PartitionId, TaskId, ThreadId};
+
+use crate::graph::TaskGraph;
+use crate::partition::Tag;
+use crate::queue::PartitionQueue;
+use crate::task::TaskKind;
+
+/// Victim-selection policy. `Rules` is the paper's design; `Random` is
+/// the naïve baseline of §6.1 used by the ablation bench.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VictimPolicy {
+    /// MITask-first / finish-line / speed rules.
+    #[default]
+    Rules,
+    /// Deterministically pseudo-random victim (ablation baseline).
+    Random,
+}
+
+/// A running task instance, as the scheduler sees it.
+#[derive(Clone, Debug)]
+pub struct RunningInstance {
+    /// The simulated thread executing the instance.
+    pub thread: ThreadId,
+    /// The logical task.
+    pub task: TaskId,
+    /// Single or multi (MITask).
+    pub kind: TaskKind,
+    /// The tag group (MITask instances only process one tag).
+    pub tag: Tag,
+    /// Scale-loop iterations since the last monitor observation — the
+    /// speed rule's measure (paper §5.4).
+    pub recent_progress: u64,
+}
+
+/// Picks the instance to interrupt under a `REDUCE`, or `None` if no
+/// instance is interruptible.
+///
+/// Priority *to keep running* (paper §5.4): MITasks first (terminating a
+/// merge scatters fragments), then instances closest to the finish line,
+/// then the fastest threads. The victim is therefore a non-MITask far
+/// from the finish line making the least progress.
+pub fn pick_victim(
+    running: &BTreeMap<ThreadId, RunningInstance>,
+    graph: &TaskGraph,
+    policy: VictimPolicy,
+) -> Option<ThreadId> {
+    if running.is_empty() {
+        return None;
+    }
+    match policy {
+        VictimPolicy::Rules => running
+            .values()
+            .max_by(|a, b| {
+                let a_single = a.kind == TaskKind::Single;
+                let b_single = b.kind == TaskKind::Single;
+                a_single
+                    .cmp(&b_single)
+                    .then(
+                        graph
+                            .distance_to_finish(a.task)
+                            .cmp(&graph.distance_to_finish(b.task)),
+                    )
+                    .then(b.recent_progress.cmp(&a.recent_progress))
+                    .then(b.thread.cmp(&a.thread))
+            })
+            .map(|v| v.thread),
+        VictimPolicy::Random => {
+            // Deterministic pseudo-random pick keyed on the pool state.
+            let keys: Vec<ThreadId> = running.keys().copied().collect();
+            let seed = keys.iter().map(|k| k.as_u32() as u64 + 1).sum::<u64>();
+            let idx = (simcore::rng::stable_hash64(seed) % keys.len() as u64) as usize;
+            Some(keys[idx])
+        }
+    }
+}
+
+/// An activation choice for a `GROW`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Run a single-input task instance on this partition.
+    Single(TaskId, PartitionId),
+    /// Run an MITask instance over this tag group.
+    Group(TaskId, Tag),
+}
+
+/// Picks what to activate under a `GROW`, or `None` if nothing is ready.
+///
+/// Rules (paper §5.4): **spatial locality** — prefer a task with an
+/// in-memory input partition (avoids a deserialization stall); then
+/// **finish line** — prefer the task closest to the output.
+///
+/// An MITask's tag group is ready only when its upstream producers are
+/// quiescent (no queued inputs, no running instances) and no instance is
+/// already aggregating that tag — intermediate results "wait to be
+/// aggregated until all intermediate results for the same input are
+/// produced" (paper §3).
+pub fn pick_activation(
+    queue: &PartitionQueue,
+    graph: &TaskGraph,
+    running: &BTreeMap<ThreadId, RunningInstance>,
+) -> Option<Activation> {
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Score {
+        /// 0 if an in-memory partition is available (preferred).
+        needs_io: bool,
+        /// Distance to the finish line (smaller preferred).
+        finish: usize,
+        /// Partition/tag id tiebreak.
+        key: u64,
+    }
+
+    let mut best: Option<(Score, Activation)> = None;
+    let mut consider = |score: Score, act: Activation| match &best {
+        Some((s, _)) if *s <= score => {}
+        _ => best = Some((score, act)),
+    };
+
+    for task in graph.task_ids() {
+        let desc = graph.desc(task);
+        match desc.kind {
+            TaskKind::Single => {
+                // Choose this task's best partition: in-memory first,
+                // then lowest id.
+                let cand = queue
+                    .metas()
+                    .filter(|m| m.input_of == task)
+                    .min_by_key(|m| (!m.in_memory(), m.id));
+                if let Some(m) = cand {
+                    consider(
+                        Score {
+                            needs_io: !m.in_memory(),
+                            finish: graph.distance_to_finish(task),
+                            key: m.id.as_u32() as u64,
+                        },
+                        Activation::Single(task, m.id),
+                    );
+                }
+            }
+            TaskKind::Multi => {
+                let producers_quiescent = graph.producers(task).iter().all(|&p| {
+                    queue.pending_for(p) == 0
+                        && running.values().all(|r| r.task != p)
+                });
+                if !producers_quiescent {
+                    continue;
+                }
+                for (tag, _count) in queue.tags_for(task) {
+                    let busy = running
+                        .values()
+                        .any(|r| r.task == task && r.tag == tag);
+                    if busy {
+                        continue;
+                    }
+                    let any_in_memory = queue
+                        .metas()
+                        .any(|m| m.input_of == task && m.tag == tag && m.in_memory());
+                    consider(
+                        Score {
+                            needs_io: !any_in_memory,
+                            finish: graph.distance_to_finish(task),
+                            key: tag.0,
+                        },
+                        Activation::Group(task, tag),
+                    );
+                }
+            }
+        }
+    }
+    best.map(|(_, act)| act)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{Tuple, VecPartition};
+    use crate::task::{ITask, TaskCx};
+    use simcore::{SimResult, SpaceId};
+
+    struct B;
+
+    impl Tuple for B {
+        fn heap_bytes(&self) -> u64 {
+            10
+        }
+    }
+
+    struct Nop;
+
+    impl ITask for Nop {
+        fn initialize(&mut self, _: &mut TaskCx<'_, '_>) -> SimResult<()> {
+            Ok(())
+        }
+        fn process_batch(
+            &mut self,
+            _: &mut TaskCx<'_, '_>,
+            _: &mut dyn crate::partition::Partition,
+        ) -> SimResult<u64> {
+            Ok(0)
+        }
+        fn interrupt(&mut self, _: &mut TaskCx<'_, '_>) -> SimResult<()> {
+            Ok(())
+        }
+        fn cleanup(&mut self, _: &mut TaskCx<'_, '_>) -> SimResult<()> {
+            Ok(())
+        }
+    }
+
+    fn wc_graph() -> (TaskGraph, TaskId, TaskId, TaskId) {
+        let mut g = TaskGraph::new();
+        let map = g.add_task("map", || Box::new(Nop));
+        let reduce = g.add_task("reduce", || Box::new(Nop));
+        let merge = g.add_mitask("merge", || Box::new(Nop));
+        g.connect(map, reduce);
+        g.connect(reduce, merge);
+        g.connect(merge, merge);
+        (g, map, reduce, merge)
+    }
+
+    fn instance(thread: u32, task: TaskId, kind: TaskKind, progress: u64) -> RunningInstance {
+        RunningInstance {
+            thread: ThreadId(thread),
+            task,
+            kind,
+            tag: Tag(0),
+            recent_progress: progress,
+        }
+    }
+
+    fn part(id: u32, task: TaskId, tag: u64, n: usize) -> Box<VecPartition<B>> {
+        Box::new(VecPartition::new(
+            PartitionId(id),
+            task,
+            Tag(tag),
+            (0..n).map(|_| B).collect(),
+            SpaceId(id),
+        ))
+    }
+
+    #[test]
+    fn victim_prefers_single_far_from_finish_and_slow() {
+        let (g, map, reduce, merge) = wc_graph();
+        let mut running = BTreeMap::new();
+        running.insert(ThreadId(0), instance(0, merge, TaskKind::Multi, 1));
+        running.insert(ThreadId(1), instance(1, reduce, TaskKind::Single, 5));
+        running.insert(ThreadId(2), instance(2, map, TaskKind::Single, 100));
+        running.insert(ThreadId(3), instance(3, map, TaskKind::Single, 2));
+        // Victim: a map instance (farthest from finish), the slow one.
+        let v = pick_victim(&running, &g, VictimPolicy::Rules).unwrap();
+        assert_eq!(v, ThreadId(3));
+    }
+
+    #[test]
+    fn mitask_is_interrupted_only_as_last_resort() {
+        let (g, _map, _reduce, merge) = wc_graph();
+        let mut running = BTreeMap::new();
+        running.insert(ThreadId(0), instance(0, merge, TaskKind::Multi, 1));
+        let v = pick_victim(&running, &g, VictimPolicy::Rules).unwrap();
+        assert_eq!(v, ThreadId(0), "the only instance must still be interruptible");
+    }
+
+    #[test]
+    fn no_victim_from_empty_pool() {
+        let (g, ..) = wc_graph();
+        assert_eq!(pick_victim(&BTreeMap::new(), &g, VictimPolicy::Rules), None);
+        assert_eq!(pick_victim(&BTreeMap::new(), &g, VictimPolicy::Random), None);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic() {
+        let (g, map, ..) = wc_graph();
+        let mut running = BTreeMap::new();
+        for i in 0..4 {
+            running.insert(ThreadId(i), instance(i, map, TaskKind::Single, i as u64));
+        }
+        let a = pick_victim(&running, &g, VictimPolicy::Random);
+        let b = pick_victim(&running, &g, VictimPolicy::Random);
+        assert_eq!(a, b);
+        assert!(a.is_some());
+    }
+
+    #[test]
+    fn activation_prefers_finish_line_and_memory() {
+        let (g, map, reduce, _merge) = wc_graph();
+        let mut q = PartitionQueue::new();
+        q.push(part(0, map, 0, 4));
+        q.push(part(1, reduce, 0, 4));
+        let running = BTreeMap::new();
+        // Reduce is closer to the finish line than map.
+        let act = pick_activation(&q, &g, &running).unwrap();
+        assert_eq!(act, Activation::Single(reduce, PartitionId(1)));
+    }
+
+    #[test]
+    fn mitask_waits_for_quiescent_producers() {
+        let (g, _map, reduce, merge) = wc_graph();
+        let mut q = PartitionQueue::new();
+        q.push(part(0, merge, 7, 2));
+        q.push(part(1, reduce, 0, 2)); // reduce still has pending input
+        let running = BTreeMap::new();
+        // Merge's tag group is not ready: reduce must run first.
+        let act = pick_activation(&q, &g, &running).unwrap();
+        assert_eq!(act, Activation::Single(reduce, PartitionId(1)));
+
+        // Drain reduce's input: now the merge group becomes eligible.
+        q.take(PartitionId(1)).unwrap();
+        let act = pick_activation(&q, &g, &running).unwrap();
+        assert_eq!(act, Activation::Group(merge, Tag(7)));
+    }
+
+    #[test]
+    fn mitask_tag_group_not_double_activated() {
+        let (g, _map, _reduce, merge) = wc_graph();
+        let mut q = PartitionQueue::new();
+        q.push(part(0, merge, 7, 2));
+        let mut running = BTreeMap::new();
+        running.insert(
+            ThreadId(0),
+            RunningInstance {
+                thread: ThreadId(0),
+                task: merge,
+                kind: TaskKind::Multi,
+                tag: Tag(7),
+                recent_progress: 0,
+            },
+        );
+        assert_eq!(pick_activation(&q, &g, &running), None);
+    }
+
+    #[test]
+    fn empty_queue_activates_nothing() {
+        let (g, ..) = wc_graph();
+        assert_eq!(pick_activation(&PartitionQueue::new(), &g, &BTreeMap::new()), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! A structured trace of IRS decisions: what the runtime did and when.
+//!
+//! Every scheduling action — activations, serializations, interrupts,
+//! signals — is appended with its virtual timestamp, giving runs an
+//! auditable decision history (the basis of Figure 3's annotated
+//! interrupt/re-activation points, and the first thing to read when a
+//! policy behaves unexpectedly).
+
+use simcore::{ByteSize, PartitionId, SimTime, TaskId};
+
+/// One IRS decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrsEvent {
+    /// The monitor emitted a REDUCE signal (LUGC or pressure hint).
+    ReduceSignal,
+    /// The monitor emitted a GROW signal.
+    GrowSignal,
+    /// A task instance was activated on a partition (or tag group).
+    Activated {
+        /// The logical task.
+        task: TaskId,
+        /// Number of partitions handed to the instance.
+        partitions: usize,
+    },
+    /// A queued partition was serialized (lazy or write-behind).
+    Serialized {
+        /// The partition.
+        partition: PartitionId,
+        /// Heap bytes released.
+        freed: ByteSize,
+    },
+    /// A running instance was marked for cooperative interrupt.
+    VictimMarked {
+        /// The victim's logical task.
+        task: TaskId,
+    },
+    /// An instance completed an interrupt (cooperative or emergency).
+    Interrupted {
+        /// The instance's logical task.
+        task: TaskId,
+        /// Whether this was an emergency self-interrupt.
+        emergency: bool,
+    },
+}
+
+/// A timestamped decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracedEvent {
+    /// Virtual time of the decision.
+    pub at: SimTime,
+    /// The decision.
+    pub event: IrsEvent,
+}
+
+/// The append-only decision trace.
+#[derive(Clone, Debug, Default)]
+pub struct IrsTrace {
+    events: Vec<TracedEvent>,
+    enabled: bool,
+}
+
+impl IrsTrace {
+    /// Creates a disabled trace (zero overhead until enabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event (no-op while disabled).
+    pub fn record(&mut self, at: SimTime, event: IrsEvent) {
+        if self.enabled {
+            self.events.push(TracedEvent { at, event });
+        }
+    }
+
+    /// All recorded events, oldest first.
+    pub fn events(&self) -> &[TracedEvent] {
+        &self.events
+    }
+
+    /// Events of one kind, by discriminant match.
+    pub fn count_where(&self, pred: impl Fn(&IrsEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.event)).count()
+    }
+
+    /// Renders the trace as one line per event (debug output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for e in &self.events {
+            let _ = writeln!(s, "{:>12}  {:?}", e.at.to_string(), e.event);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = IrsTrace::new();
+        t.record(SimTime::ZERO, IrsEvent::GrowSignal);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_keeps_order_and_counts() {
+        let mut t = IrsTrace::new();
+        t.enable();
+        t.record(SimTime::from_nanos(1), IrsEvent::GrowSignal);
+        t.record(
+            SimTime::from_nanos(2),
+            IrsEvent::Activated { task: TaskId(0), partitions: 1 },
+        );
+        t.record(SimTime::from_nanos(3), IrsEvent::ReduceSignal);
+        t.record(
+            SimTime::from_nanos(4),
+            IrsEvent::Serialized { partition: PartitionId(7), freed: ByteSize(100) },
+        );
+        t.record(
+            SimTime::from_nanos(5),
+            IrsEvent::Interrupted { task: TaskId(0), emergency: false },
+        );
+        assert_eq!(t.events().len(), 5);
+        assert!(t.events().windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(t.count_where(|e| matches!(e, IrsEvent::Serialized { .. })), 1);
+        assert_eq!(t.count_where(|e| matches!(e, IrsEvent::GrowSignal)), 1);
+        let rendered = t.render();
+        assert!(rendered.contains("Serialized"));
+        assert_eq!(rendered.lines().count(), 5);
+    }
+}

@@ -1,0 +1,290 @@
+//! The simulated thread running one ITask instance: the state machine of
+//! the paper's Figure 5 (initialize → scale loop → interrupt | cleanup).
+
+use std::collections::VecDeque;
+
+use simcore::{SimError, TaskId};
+use simcluster::{StepOutcome, Work, WorkCx};
+
+use crate::manager::deserialize_partition;
+use crate::partition::{PartitionBox, Tag};
+use crate::runtime::{InterruptMode, IrsHandle};
+use crate::task::{ITask, InstanceSpaces, TaskCx, TaskKind};
+
+/// One running instance: a task object plus its input partition(s).
+///
+/// A `Single` instance holds exactly one partition; a `Multi` (MITask)
+/// instance holds a tag group and iterates it lazily — serialized
+/// partitions are only deserialized when they reach the front (the
+/// paper's out-of-core `PartitionIterator`).
+pub struct ItaskWorker {
+    instance: u64,
+    handle: IrsHandle,
+    task_id: TaskId,
+    kind: TaskKind,
+    tag: Tag,
+    task: Box<dyn ITask>,
+    inputs: VecDeque<PartitionBox>,
+    spaces: Option<InstanceSpaces>,
+    initialized: bool,
+    max_activation_failures: u32,
+    interrupt_mode: InterruptMode,
+}
+
+impl ItaskWorker {
+    /// Builds a worker; the IRS spawns it as a simulated thread.
+    #[allow(clippy::too_many_arguments)] // mirrors the instance fields
+    pub(crate) fn new(
+        handle: IrsHandle,
+        task_id: TaskId,
+        kind: TaskKind,
+        tag: Tag,
+        task: Box<dyn ITask>,
+        inputs: VecDeque<PartitionBox>,
+        max_activation_failures: u32,
+        interrupt_mode: InterruptMode,
+    ) -> Self {
+        let instance = handle.next_instance_id();
+        ItaskWorker {
+            instance,
+            handle,
+            task_id,
+            kind,
+            tag,
+            task,
+            inputs,
+            spaces: None,
+            initialized: false,
+            max_activation_failures,
+            interrupt_mode,
+        }
+    }
+
+    /// The instance id (the IRS keys its bookkeeping on this).
+    pub(crate) fn instance_id(&self) -> u64 {
+        self.instance
+    }
+
+    fn ensure_spaces(&mut self, cx: &mut WorkCx<'_>) -> &mut InstanceSpaces {
+        let (task_id, instance) = (self.task_id, self.instance);
+        self.spaces.get_or_insert_with(|| InstanceSpaces {
+            local: cx.node().heap.create_space(format!("{task_id}.i{instance}.local")),
+            out: cx.node().heap.create_space(format!("{task_id}.i{instance}.out")),
+        })
+    }
+
+    fn current_tag(&self) -> Tag {
+        self.inputs.front().map(|p| p.meta().tag).unwrap_or(self.tag)
+    }
+
+    /// Releases instance spaces; returns bytes from the local space.
+    fn release_spaces(&mut self, cx: &mut WorkCx<'_>) -> simcore::ByteSize {
+        match self.spaces.take() {
+            Some(s) => {
+                let local = cx.node().heap.release_space(s.local);
+                cx.node().heap.release_space(s.out);
+                local
+            }
+            None => simcore::ByteSize::ZERO,
+        }
+    }
+
+    /// The cooperative interrupt path (Figure 5, memory-pressure edge):
+    /// run the task's interrupt logic, release the processed input
+    /// prefix and local structures, push unprocessed inputs back to the
+    /// queue, and retire.
+    fn do_interrupt(&mut self, cx: &mut WorkCx<'_>, emergency: bool) -> StepOutcome {
+        if self.interrupt_mode == InterruptMode::KillRestart {
+            return self.do_kill_restart(cx, emergency);
+        }
+        if self.initialized {
+            let tag = self.current_tag();
+            let spaces = self.spaces.as_mut().expect("initialized implies spaces");
+            let mut tcx = TaskCx::new(cx, &self.handle, self.task_id, tag, spaces, true);
+            if let Err(e) = self.task.interrupt(&mut tcx) {
+                self.handle.retire(self.instance);
+                return StepOutcome::Failed(e);
+            }
+        }
+        // Component 2 of Figure 1: drop the processed prefix.
+        for part in &mut self.inputs {
+            let freed = part.release_processed(&mut cx.node().heap);
+            self.handle.note_processed_input(freed);
+        }
+        // Component 1: local structures die with the instance.
+        let local = self.release_spaces(cx);
+        self.handle.note_local(local);
+        // Unprocessed inputs go back to the queue for resumption.
+        while let Some(part) = self.inputs.pop_front() {
+            self.handle.push_partition(part);
+        }
+        self.handle.stats_mut(|st| {
+            if emergency {
+                st.emergency_interrupts += 1;
+            } else {
+                st.interrupts += 1;
+            }
+        });
+        self.handle.trace(
+            cx.now(),
+            crate::trace::IrsEvent::Interrupted { task: self.task_id, emergency },
+        );
+        self.handle.retire(self.instance);
+        StepOutcome::Finished
+    }
+
+    /// The naïve baseline (§6.1): the thread dies without interrupt
+    /// logic — partial output is discarded, the cursor resets, and the
+    /// whole partition is reprocessed from scratch later.
+    fn do_kill_restart(&mut self, cx: &mut WorkCx<'_>, emergency: bool) -> StepOutcome {
+        self.release_spaces(cx);
+        while let Some(mut part) = self.inputs.pop_front() {
+            part.meta_mut().cursor = 0;
+            self.handle.push_partition(part);
+        }
+        self.handle.stats_mut(|st| {
+            if emergency {
+                st.emergency_interrupts += 1;
+            } else {
+                st.interrupts += 1;
+            }
+        });
+        self.handle.retire(self.instance);
+        StepOutcome::Finished
+    }
+
+    /// Activation failed (input would not fit): requeue everything and
+    /// tell the IRS to reduce memory pressure before retrying.
+    fn abort_activation(&mut self, cx: &mut WorkCx<'_>, err: SimError) -> StepOutcome {
+        let needed = self
+            .inputs
+            .front()
+            .map(|p| p.meta().mem_bytes)
+            .unwrap_or(simcore::ByteSize::ZERO);
+        self.handle.hint_pressure(needed);
+        let give_up = self
+            .inputs
+            .front()
+            .map(|p| self.handle.bump_activation_failure(p.meta().id) > self.max_activation_failures)
+            .unwrap_or(false);
+        self.release_spaces(cx);
+        if give_up {
+            self.handle.retire(self.instance);
+            return StepOutcome::Failed(err);
+        }
+        while let Some(part) = self.inputs.pop_front() {
+            self.handle.push_partition(part);
+        }
+        self.handle.retire(self.instance);
+        StepOutcome::Finished
+    }
+}
+
+impl Work for ItaskWorker {
+    fn step(&mut self, cx: &mut WorkCx<'_>) -> StepOutcome {
+        // Safe point: scheduler-requested interrupt.
+        if self.handle.should_terminate(self.instance) {
+            return self.do_interrupt(cx, false);
+        }
+
+        // Lazily materialize the front partition before touching it.
+        if let Some(front) = self.inputs.front_mut() {
+            if !front.meta().in_memory() {
+                match deserialize_partition(front.as_mut(), cx.node()) {
+                    Ok((bytes, io_cost)) => {
+                        cx.charge(io_cost);
+                        if !bytes.is_zero() {
+                            self.handle.stats_mut(|st| st.deserializations += 1);
+                        }
+                    }
+                    Err(e) if e.is_oom() => {
+                        let needed = front.meta().mem_bytes;
+                        self.handle.hint_pressure(needed);
+                        return if self.initialized {
+                            // Mid-group (MITask): accumulated state must
+                            // be flushed, not dropped — interrupt.
+                            self.do_interrupt(cx, true)
+                        } else {
+                            self.abort_activation(cx, e)
+                        };
+                    }
+                    Err(e) => {
+                        self.handle.retire(self.instance);
+                        return StepOutcome::Failed(e);
+                    }
+                }
+            }
+        }
+
+        self.ensure_spaces(cx);
+        if !self.initialized {
+            let tag = self.current_tag();
+            let spaces = self.spaces.as_mut().expect("just ensured");
+            let mut tcx = TaskCx::new(cx, &self.handle, self.task_id, tag, spaces, false);
+            if let Err(e) = self.task.initialize(&mut tcx) {
+                self.handle.retire(self.instance);
+                return StepOutcome::Failed(e);
+            }
+            self.initialized = true;
+        }
+
+        // Process a batch from the front partition.
+        if let Some(front) = self.inputs.front_mut() {
+            let tag = front.meta().tag;
+            let spaces = self.spaces.as_mut().expect("initialized implies spaces");
+            let mut tcx = TaskCx::new(cx, &self.handle, self.task_id, tag, spaces, false);
+            match self.task.process_batch(&mut tcx, front.as_mut()) {
+                Ok(n) => self.handle.note_progress(self.instance, n),
+                Err(e) if e.is_oom() => {
+                    // The allocation raced ahead of the monitor: take an
+                    // emergency self-interrupt instead of dying — unless
+                    // this partition keeps failing even with the rest of
+                    // the heap cleared, which means it can never fit.
+                    let give_up = self
+                        .inputs
+                        .front()
+                        .map(|p| {
+                            self.handle.bump_activation_failure(p.meta().id)
+                                > self.max_activation_failures
+                        })
+                        .unwrap_or(false);
+                    if give_up {
+                        self.handle.retire(self.instance);
+                        return StepOutcome::Failed(e);
+                    }
+                    self.handle.hint_pressure(simcore::ByteSize::ZERO);
+                    return self.do_interrupt(cx, true);
+                }
+                Err(e) => {
+                    self.handle.retire(self.instance);
+                    return StepOutcome::Failed(e);
+                }
+            }
+            if front.meta().exhausted() {
+                // Fully consumed: its heap space dies here.
+                if let Some(space) = front.meta().space() {
+                    cx.node().heap.release_space(space);
+                }
+                self.inputs.pop_front();
+            }
+        }
+
+        if self.inputs.is_empty() {
+            let spaces = self.spaces.as_mut().expect("initialized implies spaces");
+            let mut tcx = TaskCx::new(cx, &self.handle, self.task_id, self.tag, spaces, false);
+            if let Err(e) = self.task.cleanup(&mut tcx) {
+                self.handle.retire(self.instance);
+                return StepOutcome::Failed(e);
+            }
+            self.release_spaces(cx);
+            self.handle.retire(self.instance);
+            StepOutcome::Finished
+        } else {
+            StepOutcome::Ran
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}[i{} {:?} tag{}]", self.task_id, self.instance, self.kind, self.tag.0)
+    }
+}

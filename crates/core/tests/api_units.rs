@@ -1,0 +1,178 @@
+//! Focused API-contract tests for the core runtime types.
+
+use itask_core::{
+    offer_in_memory, offer_serialized, Irs, IrsConfig, Partition, PartitionState, Scale, Tag,
+    TaskCx, TaskGraph, Tuple, TupleTask, VecPartition,
+};
+use simcluster::{NodeSim, NodeState};
+use simcore::{ByteSize, NodeId, PartitionId, SimResult, SpaceId, TaskId};
+
+#[derive(Clone, Copy)]
+struct T(u64);
+
+impl Tuple for T {
+    fn heap_bytes(&self) -> u64 {
+        self.0
+    }
+}
+
+struct Nop;
+
+impl TupleTask for Nop {
+    type In = T;
+    fn initialize(&mut self, _: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        Ok(())
+    }
+    fn process(&mut self, _: &mut TaskCx<'_, '_>, _: &T) -> SimResult<()> {
+        Ok(())
+    }
+    fn interrupt(&mut self, _: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        Ok(())
+    }
+    fn cleanup(&mut self, _: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        Ok(())
+    }
+}
+
+fn sim() -> NodeSim {
+    NodeSim::new(NodeState::new(NodeId(0), 4, ByteSize::mib(4), ByteSize::mib(16)))
+}
+
+#[test]
+fn fresh_irs_is_idle_with_empty_stats() {
+    let mut graph = TaskGraph::new();
+    graph.add_task("t", || Box::new(Scale(Nop)));
+    let irs = Irs::new(graph, IrsConfig::default());
+    assert!(irs.is_idle());
+    assert_eq!(irs.running(), 0);
+    assert_eq!(irs.queued(), 0);
+    let st = irs.stats();
+    assert_eq!(st.interrupts, 0);
+    assert_eq!(st.grows, 0);
+    assert_eq!(st.reclaim.total(), ByteSize::ZERO);
+    assert_eq!(irs.monitor_stats().lugcs_seen, 0);
+}
+
+#[test]
+fn offers_update_queue_and_heap_accounting() {
+    let mut graph = TaskGraph::new();
+    let t = graph.add_task("t", || Box::new(Scale(Nop)));
+    let irs = Irs::new(graph, IrsConfig::default());
+    let handle = irs.handle();
+    let mut sim = sim();
+
+    let in_mem = offer_in_memory(&handle, sim.node_mut(), t, Tag(1), vec![T(100); 5]).unwrap();
+    assert_eq!(irs.queued(), 1);
+    assert_eq!(sim.node().heap.live(), ByteSize(500));
+
+    let on_disk =
+        offer_serialized(&handle, sim.node_mut(), t, Tag(2), vec![T(99); 4]).unwrap();
+    assert_eq!(irs.queued(), 2);
+    assert_ne!(in_mem, on_disk, "fresh partition ids");
+    // The serialized offer cost no additional heap.
+    assert_eq!(sim.node().heap.live(), ByteSize(500));
+    assert!(sim.node().disk.used() > ByteSize::ZERO);
+}
+
+#[test]
+fn offer_into_full_heap_fails_cleanly() {
+    let mut graph = TaskGraph::new();
+    let t = graph.add_task("t", || Box::new(Scale(Nop)));
+    let irs = Irs::new(graph, IrsConfig::default());
+    let handle = irs.handle();
+    let mut sim = NodeSim::new(NodeState::new(
+        NodeId(0),
+        4,
+        ByteSize::kib(32),
+        ByteSize::mib(16),
+    ));
+    let err =
+        offer_in_memory(&handle, sim.node_mut(), t, Tag(0), vec![T(8_000); 10]).unwrap_err();
+    assert!(err.is_oom());
+    // The failed offer leaked nothing into the queue.
+    assert_eq!(irs.queued(), 0);
+    assert_eq!(sim.node().heap.live(), ByteSize::ZERO);
+}
+
+#[test]
+fn serialized_partition_constructor_sets_state() {
+    let mut node = NodeState::new(NodeId(0), 1, ByteSize::mib(1), ByteSize::mib(8));
+    let file = node.disk.register("input", ByteSize(100)).unwrap();
+    let p = VecPartition::new(
+        PartitionId(3),
+        TaskId(1),
+        Tag(9),
+        vec![T(10), T(20)],
+        SpaceId(0),
+    );
+    assert!(matches!(p.meta().state, PartitionState::InMemory(_)));
+    let q = VecPartition::new_serialized(
+        PartitionId(4),
+        TaskId(1),
+        Tag(9),
+        vec![T(10), T(20)],
+        file,
+    );
+    assert!(matches!(q.meta().state, PartitionState::Serialized(_)));
+    assert!(!q.meta().in_memory());
+    assert_eq!(q.meta().space(), None);
+    assert_eq!(q.meta().mem_bytes, ByteSize(30));
+    assert_eq!(p.meta().mem_bytes, q.meta().mem_bytes);
+}
+
+#[test]
+fn tags_order_and_equality() {
+    assert!(Tag(1) < Tag(2));
+    assert_eq!(Tag(7), Tag(7));
+    assert_eq!(Tag::default(), Tag(0));
+}
+
+#[test]
+fn scale_rejects_wrong_partition_type() {
+    // A task typed for `T` fed a partition of a different tuple type
+    // must fail with a descriptive internal error, not panic.
+    #[derive(Clone, Copy)]
+    struct Other(u16);
+    impl Tuple for Other {
+        fn heap_bytes(&self) -> u64 {
+            self.0 as u64 + 8
+        }
+    }
+    let mut graph = TaskGraph::new();
+    let t = graph.add_task("t", || Box::new(Scale(Nop)));
+    let mut irs = Irs::new(graph, IrsConfig::default());
+    let handle = irs.handle();
+    let mut sim = sim();
+    offer_serialized(&handle, sim.node_mut(), t, Tag(0), vec![Other(1); 4]).unwrap();
+    let err = irs.run_to_idle(&mut sim).unwrap_err();
+    assert!(
+        err.to_string().contains("wrong tuple type"),
+        "descriptive error expected, got: {err}"
+    );
+}
+
+#[test]
+fn diamond_graph_distances() {
+    use itask_core::ITask;
+    fn nop() -> Box<dyn ITask> {
+        Box::new(Scale(Nop))
+    }
+    // a -> b -> d, a -> c -> d: both branches meet at the sink.
+    let mut g = TaskGraph::new();
+    let a = g.add_task("a", nop);
+    let b = g.add_task("b", nop);
+    let c = g.add_task("c", nop);
+    let d = g.add_task("d", nop);
+    g.connect(a, b);
+    g.connect(a, c);
+    g.connect(b, d);
+    g.connect(c, d);
+    assert_eq!(g.distance_to_finish(d), 0);
+    assert_eq!(g.distance_to_finish(b), 1);
+    assert_eq!(g.distance_to_finish(c), 1);
+    assert_eq!(g.distance_to_finish(a), 2);
+    assert_eq!(g.distance_between(b, c), 2, "via a or d");
+    let mut producers = g.producers(d);
+    producers.sort();
+    assert_eq!(producers, vec![b, c]);
+}

@@ -1,0 +1,171 @@
+//! Failure injection: when the substrate itself fails (disk full during
+//! serialization), the runtime must surface a clean error — never hang,
+//! never corrupt accounting.
+
+use std::collections::BTreeMap;
+
+use itask_core::{
+    offer_serialized, Irs, IrsConfig, Scale, Tag, TaskCx, TaskGraph, Tuple, TupleTask,
+};
+use simcluster::{NodeSim, NodeState};
+use simcore::{ByteSize, DetRng, NodeId, SimError, SimResult};
+
+#[derive(Clone, Copy)]
+struct W(u32);
+
+impl Tuple for W {
+    fn heap_bytes(&self) -> u64 {
+        48
+    }
+}
+
+#[derive(Default)]
+struct Count {
+    counts: BTreeMap<u32, u64>,
+}
+
+impl TupleTask for Count {
+    type In = W;
+
+    fn initialize(&mut self, _cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        Ok(())
+    }
+
+    fn process(&mut self, cx: &mut TaskCx<'_, '_>, t: &W) -> SimResult<()> {
+        if let std::collections::btree_map::Entry::Vacant(v) = self.counts.entry(t.0) {
+            cx.alloc_out(ByteSize(64))?;
+            v.insert(0);
+        }
+        *self.counts.get_mut(&t.0).expect("present") += 1;
+        Ok(())
+    }
+
+    fn interrupt(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        let d = std::mem::take(&mut self.counts);
+        if d.is_empty() {
+            return Ok(());
+        }
+        let ser = ByteSize(d.len() as u64 * 12);
+        cx.emit_final(Box::new(d), ser)
+    }
+
+    fn cleanup(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        let d = std::mem::take(&mut self.counts);
+        if d.is_empty() {
+            return Ok(());
+        }
+        let ser = ByteSize(d.len() as u64 * 12);
+        cx.emit_final(Box::new(d), ser)
+    }
+}
+
+/// Offering more input than the disk can stage fails loudly and leaves
+/// the node consistent.
+#[test]
+fn disk_full_on_offer_is_a_clean_error() {
+    let mut sim = NodeSim::new(NodeState::new(
+        NodeId(0),
+        4,
+        ByteSize::kib(512),
+        ByteSize::kib(32), // tiny disk
+    ));
+    let mut graph = TaskGraph::new();
+    let count = graph.add_task("count", || Box::new(Scale(Count::default())));
+    let irs = Irs::new(graph, IrsConfig::default());
+    let handle = irs.handle();
+
+    let mut failed = 0;
+    let mut offered = 0;
+    for _ in 0..40 {
+        let items: Vec<W> = (0..1_000).map(W).collect();
+        match offer_serialized(&handle, sim.node_mut(), count, Tag(0), items) {
+            Ok(_) => offered += 1,
+            Err(SimError::DiskFull { node, .. }) => {
+                assert_eq!(node, NodeId(0));
+                failed += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(offered > 0, "some offers fit");
+    assert!(failed > 0, "the rest fail with DiskFull");
+    // Nothing leaked onto the heap.
+    assert_eq!(sim.node().heap.used(), ByteSize::ZERO);
+}
+
+/// A run whose staged inputs fit, but whose *write-behind* serialization
+/// hits a full disk mid-run, must fail with the disk error (propagated
+/// through the worker), not hang or panic.
+#[test]
+fn disk_full_mid_run_propagates() {
+    let mut sim = NodeSim::new(NodeState::new(
+        NodeId(0),
+        4,
+        ByteSize::kib(256), // pressured heap: forces write-behind
+        ByteSize::kib(96),  // disk with just enough room for the input
+    ));
+    let mut graph = TaskGraph::new();
+    // Count feeds an MITask so intermediates hit the queue + disk.
+    let merge_holder = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    struct ToMerge {
+        counts: BTreeMap<u32, u64>,
+        merge: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+    impl TupleTask for ToMerge {
+        type In = W;
+        fn initialize(&mut self, _cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+            Ok(())
+        }
+        fn process(&mut self, cx: &mut TaskCx<'_, '_>, t: &W) -> SimResult<()> {
+            if let std::collections::btree_map::Entry::Vacant(v) = self.counts.entry(t.0) {
+                cx.alloc_out(ByteSize(64))?;
+                v.insert(0);
+            }
+            *self.counts.get_mut(&t.0).expect("present") += 1;
+            Ok(())
+        }
+        fn interrupt(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+            self.flush(cx)
+        }
+        fn cleanup(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+            self.flush(cx)
+        }
+    }
+    impl ToMerge {
+        fn flush(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+            let d = std::mem::take(&mut self.counts);
+            if d.is_empty() {
+                return Ok(());
+            }
+            let items: Vec<W> = d.keys().map(|&k| W(k)).collect();
+            cx.emit_to_task(simcore::TaskId(self.merge.get()), Tag(0), items)
+        }
+    }
+    let h = merge_holder.clone();
+    let count = graph.add_task("count", move || {
+        Box::new(Scale(ToMerge { counts: BTreeMap::new(), merge: h.clone() }))
+    });
+    let merge = graph.add_mitask("merge", || Box::new(Scale(Count::default())));
+    merge_holder.set(merge.as_u32());
+    graph.connect(count, merge);
+    graph.connect(merge, merge);
+
+    let mut irs = Irs::new(graph, IrsConfig::default());
+    let handle = irs.handle();
+    let mut rng = DetRng::new(3);
+    // Offer as much as the disk will stage.
+    loop {
+        let items: Vec<W> = (0..1_500).map(|_| W(rng.below(4_000) as u32)).collect();
+        if offer_serialized(&handle, sim.node_mut(), count, Tag(0), items).is_err() {
+            break;
+        }
+    }
+    // The run either completes (if pressure stayed manageable) or fails
+    // with a *disk* error — never hangs, never panics.
+    match irs.run_to_idle(&mut sim) {
+        Ok(()) => {}
+        Err(SimError::DiskFull { .. }) => {}
+        Err(SimError::OutOfMemory { .. }) => {}
+        Err(other) => panic!("unexpected failure kind: {other}"),
+    }
+}

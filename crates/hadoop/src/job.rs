@@ -1,0 +1,291 @@
+//! The regular MapReduce job driver: split scheduling over task slots,
+//! YARN-style retries, shuffle barrier, reduce scheduling.
+
+use std::collections::BTreeMap;
+
+use itask_core::Tuple;
+use simcore::{ByteSize, CostModel, EventLog, NodeId, SimDuration, SimError};
+use simcluster::{JobOutcome, JobReport, NodeReport};
+
+use crate::attempt::{run_map_attempt, run_reduce_attempt, AttemptOutcome, AttemptResult};
+use crate::config::HadoopConfig;
+use crate::task::{Mapper, Reducer};
+
+/// The result of a regular Hadoop job.
+pub struct RegularJobResult<Out> {
+    /// Timing/GC/peak report (synthesized from attempt outcomes; present
+    /// even when the job crashed — its elapsed time is the paper's
+    /// CTime).
+    pub report: JobReport,
+    /// Final outputs, or the error that killed the job.
+    pub result: Result<Vec<Out>, SimError>,
+    /// Map attempts executed (including retries).
+    pub map_attempts: u32,
+    /// Reduce attempts executed (including retries).
+    pub reduce_attempts: u32,
+}
+
+/// Greedy list scheduler: place each task's attempt chain on the
+/// earliest-free slot. Returns `(makespan, fail_time)` where `fail_time`
+/// is when the first task exhausted its attempts (if any).
+struct SlotSchedule {
+    slot_free: Vec<SimDuration>,
+}
+
+impl SlotSchedule {
+    fn new(slots: usize) -> Self {
+        SlotSchedule { slot_free: vec![SimDuration::ZERO; slots.max(1)] }
+    }
+
+    /// Schedules one attempt not before `earliest`; returns (slot, end).
+    fn place(&mut self, earliest: SimDuration, duration: SimDuration) -> (usize, SimDuration) {
+        let (slot, free) = self
+            .slot_free
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(i, t)| (t, i))
+            .expect("at least one slot");
+        let start = free.max(earliest);
+        let end = start + duration;
+        self.slot_free[slot] = end;
+        (slot, end)
+    }
+
+    fn makespan(&self) -> SimDuration {
+        self.slot_free.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// YARN container allocation + JVM spin-up charged per attempt
+/// (~10 paper-seconds; another CTime amplifier under retry storms).
+const CONTAINER_STARTUP: SimDuration = SimDuration::from_millis(10);
+
+/// Accounting accumulated per node while scheduling attempts.
+#[derive(Clone, Default)]
+struct NodeAccount {
+    gc_time: SimDuration,
+    compute_time: SimDuration,
+    peak_heap: ByteSize,
+}
+
+/// Schedules a stage of identical-retry tasks; each entry is one task's
+/// deterministic attempt outcome. Returns the stage makespan, the fail
+/// time if a task exhausted retries, per-slot accounting and attempt
+/// count.
+fn schedule_stage(
+    outcomes: &[AttemptOutcome],
+    slots: usize,
+    nodes: usize,
+    max_attempts: u32,
+    accounts: &mut [NodeAccount],
+) -> (SimDuration, Option<(SimDuration, SimError)>, u32) {
+    let mut sched = SlotSchedule::new(slots);
+    let mut attempts = 0u32;
+    let mut fail: Option<(SimDuration, SimError)> = None;
+    for outcome in outcomes {
+        let tries = if outcome.result.ok() { 1 } else { max_attempts };
+        let mut earliest = SimDuration::ZERO;
+        for _ in 0..tries {
+            let (slot, end) = sched.place(earliest, outcome.duration + CONTAINER_STARTUP);
+            earliest = end;
+            attempts += 1;
+            let node = slot % nodes.max(1);
+            let acc = &mut accounts[node];
+            acc.gc_time += outcome.gc_time;
+            acc.compute_time += outcome.duration - outcome.gc_time;
+            acc.peak_heap = acc.peak_heap.max(outcome.peak_heap);
+        }
+        if let AttemptResult::Failed(e) = &outcome.result {
+            let t = earliest;
+            match &fail {
+                Some((prev, _)) if *prev <= t => {}
+                _ => fail = Some((t, e.clone())),
+            }
+        }
+    }
+    (sched.makespan(), fail, attempts)
+}
+
+fn synthesize_report(
+    cfg: &HadoopConfig,
+    elapsed: SimDuration,
+    accounts: &[NodeAccount],
+    outcome: JobOutcome,
+) -> JobReport {
+    let nodes = (0..cfg.nodes)
+        .map(|n| NodeReport {
+            node: NodeId(n as u32),
+            elapsed,
+            gc_time: accounts[n].gc_time,
+            compute_time: accounts[n].compute_time,
+            io_stall_time: SimDuration::ZERO,
+            peak_heap: accounts[n].peak_heap,
+            minor_gcs: 0,
+            full_gcs: 0,
+            useless_gcs: 0,
+            log: EventLog::new(),
+        })
+        .collect();
+    JobReport { outcome, elapsed, nodes, counters: BTreeMap::new() }
+}
+
+/// Runs a regular Hadoop job: map attempts over `splits`, shuffle,
+/// reduce attempts over `reduce_tasks` buckets.
+pub fn run_regular_job<M, R>(
+    cfg: &HadoopConfig,
+    splits: Vec<Vec<M::In>>,
+    map_factory: impl Fn() -> M,
+    reduce_factory: impl Fn() -> R,
+) -> RegularJobResult<R::Out>
+where
+    M: Mapper + 'static,
+    R: Reducer<In = M::Out> + 'static,
+{
+    let cost = CostModel::default();
+    let mut accounts = vec![NodeAccount::default(); cfg.nodes];
+
+    // ---- Map stage: one task per split, each attempt simulated once
+    // (attempts are deterministic, so retries repeat the outcome).
+    let mut map_outcomes = Vec::new();
+    let mut shuffle_data: BTreeMap<u32, Vec<M::Out>> = BTreeMap::new();
+    for split in splits {
+        // One split = one HDFS block, streamed through the mapper in
+        // record-reader frames (Hadoop never materializes a whole block
+        // as objects).
+        let frames = chunk(split, ByteSize::kib(64));
+        let (outcome, out) = run_map_attempt(cfg, frames, map_factory());
+        if outcome.result.ok() {
+            for (bucket, tuples) in out {
+                shuffle_data.entry(bucket % cfg.reduce_tasks).or_default().extend(tuples);
+            }
+        }
+        map_outcomes.push(outcome);
+    }
+    let spills: u32 = map_outcomes.iter().map(|o| o.spills).sum();
+    let (map_span, map_fail, map_attempts) = schedule_stage(
+        &map_outcomes,
+        cfg.nodes * cfg.max_mappers,
+        cfg.nodes,
+        cfg.max_attempts,
+        &mut accounts,
+    );
+    if let Some((t, e)) = map_fail {
+        let mut report =
+            synthesize_report(cfg, t, &accounts, JobOutcome::Failed(e.clone()));
+        report.bump_counter("hadoop.map_attempts", map_attempts as f64);
+        report.bump_counter("hadoop.spills", spills as f64);
+        return RegularJobResult {
+            report,
+            result: Err(e),
+            map_attempts,
+            reduce_attempts: 0,
+        };
+    }
+
+    // ---- Shuffle barrier.
+    let shuffle_bytes: u64 = shuffle_data
+        .values()
+        .flat_map(|v| v.iter())
+        .map(Tuple::ser_bytes)
+        .sum();
+    let shuffle_time = cost.net_transfer(ByteSize(shuffle_bytes / cfg.nodes.max(1) as u64));
+
+    // ---- Reduce stage: one task per bucket.
+    let mut reduce_outcomes = Vec::new();
+    let mut outputs: Vec<R::Out> = Vec::new();
+    for (_bucket, tuples) in shuffle_data {
+        let frames = chunk(tuples, cfg.split_size);
+        let (outcome, out) = run_reduce_attempt(cfg, frames, reduce_factory());
+        if outcome.result.ok() {
+            outputs.extend(out);
+        }
+        reduce_outcomes.push(outcome);
+    }
+    let (reduce_span, reduce_fail, reduce_attempts) = schedule_stage(
+        &reduce_outcomes,
+        cfg.nodes * cfg.max_reducers,
+        cfg.nodes,
+        cfg.max_attempts,
+        &mut accounts,
+    );
+
+    let base = map_span + shuffle_time;
+    if let Some((t, e)) = reduce_fail {
+        let mut report = synthesize_report(
+            cfg,
+            base + t,
+            &accounts,
+            JobOutcome::Failed(e.clone()),
+        );
+        report.bump_counter("hadoop.map_attempts", map_attempts as f64);
+        report.bump_counter("hadoop.reduce_attempts", reduce_attempts as f64);
+        report.bump_counter("hadoop.spills", spills as f64);
+        return RegularJobResult {
+            report,
+            result: Err(e),
+            map_attempts,
+            reduce_attempts,
+        };
+    }
+
+    let elapsed = base + reduce_span;
+    let mut report = synthesize_report(cfg, elapsed, &accounts, JobOutcome::Completed);
+    report.bump_counter("hadoop.map_attempts", map_attempts as f64);
+    report.bump_counter("hadoop.reduce_attempts", reduce_attempts as f64);
+    report.bump_counter("hadoop.spills", spills as f64);
+    RegularJobResult { report, result: Ok(outputs), map_attempts, reduce_attempts }
+}
+
+/// Splits tuples into frames of at most `granularity` *object-form*
+/// bytes: a reduce attempt must be able to hold one frame in its task
+/// heap, and the deserialized form is what occupies it.
+fn chunk<T: Tuple>(tuples: Vec<T>, granularity: ByteSize) -> Vec<Vec<T>> {
+    let mut frames = Vec::new();
+    let mut frame = Vec::new();
+    let mut bytes = 0u64;
+    for t in tuples {
+        let b = t.heap_bytes();
+        if bytes + b > granularity.as_u64() && !frame.is_empty() {
+            frames.push(std::mem::take(&mut frame));
+            bytes = 0;
+        }
+        bytes += b;
+        frame.push(t);
+    }
+    if !frame.is_empty() {
+        frames.push(frame);
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_scheduler_packs_slots() {
+        let mut s = SlotSchedule::new(2);
+        let d = SimDuration::from_secs(10);
+        let (_, e1) = s.place(SimDuration::ZERO, d);
+        let (_, e2) = s.place(SimDuration::ZERO, d);
+        let (_, e3) = s.place(SimDuration::ZERO, d);
+        assert_eq!(e1, d);
+        assert_eq!(e2, d);
+        assert_eq!(e3, d * 2);
+        assert_eq!(s.makespan(), d * 2);
+    }
+
+    #[test]
+    fn retry_chains_are_sequential() {
+        let mut s = SlotSchedule::new(4);
+        let d = SimDuration::from_secs(5);
+        // A single task retried 3 times cannot parallelize with itself.
+        let mut earliest = SimDuration::ZERO;
+        for _ in 0..3 {
+            let (_, end) = s.place(earliest, d);
+            earliest = end;
+        }
+        assert_eq!(earliest, d * 3);
+    }
+}

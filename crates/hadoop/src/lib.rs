@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! A Hadoop-like MapReduce engine on the cluster simulator.
+//!
+//! What distinguishes it from the Hyracks engine (and drives Table 1):
+//!
+//! * **per-task JVMs** — every regular task attempt runs in its own heap
+//!   of `MH` (map) or `RH` (reduce) bytes, with `MM`/`MR` concurrent
+//!   slots per node (the framework parameters the StackOverflow fixes
+//!   keep tuning);
+//! * **sort-buffer spills** — map output is buffered up to `io.sort.mb`
+//!   and spilled to disk, so framework buffers never OME; the crashes
+//!   come from *user* state, exactly as in the studied problems;
+//! * **YARN-style retries** — an attempt that dies with an OME is
+//!   rescheduled until `max_attempts` is exhausted, which is why the
+//!   paper's CTime (time to the final crash) dwarfs PTime;
+//! * **the ITask version** pools each node's task memory (`MM × MH`)
+//!   under one IRS instead of fencing it per task, which is where its
+//!   advantage over manual tuning comes from.
+
+pub mod attempt;
+pub mod config;
+pub mod itask;
+pub mod job;
+pub mod task;
+
+pub use attempt::{run_map_attempt, run_reduce_attempt, AttemptOutcome, AttemptResult};
+pub use config::HadoopConfig;
+pub use itask::{run_itask_job, ITASK_BUCKET_MULTIPLIER};
+pub use job::{run_regular_job, RegularJobResult};
+pub use task::{MapCx, Mapper, ReduceCx, Reducer};

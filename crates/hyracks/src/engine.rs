@@ -1,0 +1,424 @@
+//! Two-phase job execution: partition-local phase → hash shuffle →
+//! bucket-exclusive aggregation phase, in both regular and ITask form.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use itask_core::{
+    offer_serialized, Irs, IrsConfig, ITask, Tag, TaskGraph, Tuple,
+};
+use simcore::{ByteSize, NodeId, SimDuration, SimResult};
+use simcluster::{Cluster, JobOutcome, JobReport};
+
+use crate::operator::{Operator, OperatorWorker, OutputSink};
+
+/// Parameters of a regular two-phase job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Job name (reports).
+    pub name: String,
+    /// Worker threads per node (the paper sweeps 1–8).
+    pub threads: usize,
+    /// Frame/task granularity in serialized bytes (the paper sweeps
+    /// 8–128KB).
+    pub granularity: ByteSize,
+    /// Number of hash buckets for the shuffle.
+    pub buckets: u32,
+}
+
+impl JobSpec {
+    /// A conventional spec: `threads` per node, 32KB frames, one bucket
+    /// per (node, thread) pair.
+    pub fn new(name: impl Into<String>, nodes: usize, threads: usize) -> Self {
+        JobSpec {
+            name: name.into(),
+            threads,
+            granularity: ByteSize::kib(32),
+            buckets: (nodes * threads.max(1)) as u32,
+        }
+    }
+}
+
+/// Parameters of an ITask two-phase job.
+#[derive(Clone, Debug)]
+pub struct ItaskJobSpec {
+    /// Job name.
+    pub name: String,
+    /// IRS configuration (defaults are the paper's: N=20, M=10, slow
+    /// start, rules-based victim selection).
+    pub irs: IrsConfig,
+    /// Input partition granularity in serialized bytes.
+    pub granularity: ByteSize,
+    /// Number of hash buckets for the shuffle.
+    pub buckets: u32,
+}
+
+impl ItaskJobSpec {
+    /// Defaults mirroring [`JobSpec::new`] with the stock IRS config.
+    pub fn new(name: impl Into<String>, nodes: usize, cores: usize) -> Self {
+        ItaskJobSpec {
+            name: name.into(),
+            irs: IrsConfig { max_parallelism: cores, ..IrsConfig::default() },
+            granularity: ByteSize::kib(32),
+            buckets: (nodes * cores) as u32,
+        }
+    }
+}
+
+/// What an ITask map task emits as its final output: partial results
+/// already bucketed for the shuffle.
+pub struct ShuffleBatch<T> {
+    /// `(bucket, tuples)` pairs.
+    pub buckets: Vec<(u32, Vec<T>)>,
+}
+
+/// Splits records into frames of at most `granularity` serialized bytes.
+pub fn chunk_into_frames<T: Tuple>(records: Vec<T>, granularity: ByteSize) -> Vec<Vec<T>> {
+    let mut frames = Vec::new();
+    let mut frame = Vec::new();
+    let mut bytes = 0u64;
+    for r in records {
+        let b = r.ser_bytes();
+        if bytes + b > granularity.as_u64() && !frame.is_empty() {
+            frames.push(std::mem::take(&mut frame));
+            bytes = 0;
+        }
+        bytes += b;
+        frame.push(r);
+    }
+    if !frame.is_empty() {
+        frames.push(frame);
+    }
+    frames
+}
+
+/// Drives every node until all threads retire; the first failure aborts.
+fn drive_phase(cluster: &mut Cluster) -> SimResult<()> {
+    loop {
+        let mut any_live = false;
+        for sim in cluster.sims() {
+            if sim.live_count() > 0 {
+                any_live = true;
+                let round = sim.run_round();
+                if let Some((_, e)) = round.failed.into_iter().next() {
+                    return Err(e);
+                }
+            }
+        }
+        if !any_live {
+            return Ok(());
+        }
+    }
+}
+
+/// Per-source bucketed output batches entering the shuffle.
+type BucketedOutputs<T> = Vec<(NodeId, Vec<(u32, Vec<T>)>)>;
+
+/// Routes bucketed outputs to their destination nodes, charging the
+/// fabric, and returns per-node bucket → tuples maps plus the barrier
+/// duration.
+fn shuffle<T: Tuple>(
+    cluster: &mut Cluster,
+    outputs: BucketedOutputs<T>,
+) -> (Vec<BTreeMap<u32, Vec<T>>>, SimDuration) {
+    let nodes = cluster.node_count();
+    let mut per_node: Vec<BTreeMap<u32, Vec<T>>> = (0..nodes).map(|_| BTreeMap::new()).collect();
+    let mut max_wire = SimDuration::ZERO;
+    for (src, batches) in outputs {
+        for (bucket, tuples) in batches {
+            let dst = NodeId((bucket as usize % nodes) as u32);
+            let bytes = ByteSize(tuples.iter().map(Tuple::ser_bytes).sum());
+            let wire = cluster.fabric().transfer(src, dst, bytes);
+            max_wire = max_wire.max(wire);
+            per_node[dst.as_usize()].entry(bucket).or_default().extend(tuples);
+        }
+    }
+    (per_node, max_wire)
+}
+
+/// Runs a regular (non-interruptible) two-phase job.
+///
+/// Returns the job report (always, even on failure — the paper's CTime
+/// is the time *until* the crash) and the final outputs or the error.
+pub fn run_regular<M, R>(
+    cluster: &mut Cluster,
+    inputs: Vec<Vec<Vec<M::In>>>,
+    spec: &JobSpec,
+    map_factory: impl Fn() -> M,
+    reduce_factory: impl Fn() -> R,
+) -> (JobReport, SimResult<Vec<R::Out>>)
+where
+    M: Operator + 'static,
+    R: Operator<In = M::Out> + 'static,
+{
+    assert_eq!(inputs.len(), cluster.node_count(), "one input list per node");
+    assert!(spec.threads > 0, "at least one thread");
+
+    // ---- Phase 1: partition-local operators over input frames.
+    let mut map_sinks: Vec<OutputSink<M::Out>> = Vec::new();
+    for (n, frames) in inputs.into_iter().enumerate() {
+        let sink: OutputSink<M::Out> = Rc::default();
+        map_sinks.push(sink.clone());
+        // Deal frames round-robin to the fixed thread pool.
+        let mut per_thread: Vec<VecDeque<Vec<M::In>>> =
+            (0..spec.threads).map(|_| VecDeque::new()).collect();
+        for (i, f) in frames.into_iter().enumerate() {
+            per_thread[i % spec.threads].push_back(f);
+        }
+        let sim = cluster.sim(NodeId(n as u32));
+        for (t, frames) in per_thread.into_iter().enumerate() {
+            if frames.is_empty() {
+                continue;
+            }
+            sim.spawn(Box::new(OperatorWorker::new(
+                map_factory(),
+                frames,
+                sink.clone(),
+                true,
+                format!("{}.map{t}", spec.name),
+            )));
+        }
+    }
+    if let Err(e) = drive_phase(cluster) {
+        return (cluster.report(JobOutcome::Failed(e.clone())), Err(e));
+    }
+    cluster.sync_clocks(SimDuration::ZERO);
+
+    // ---- Shuffle.
+    // Retired workers still hold sink handles; drain in place.
+    let outputs: BucketedOutputs<M::Out> = map_sinks
+        .into_iter()
+        .enumerate()
+        .map(|(n, s)| (NodeId(n as u32), std::mem::take(&mut *s.borrow_mut())))
+        .collect();
+    let (per_node, wire) = shuffle(cluster, outputs);
+    cluster.sync_clocks(wire);
+
+    // ---- Phase 2: bucket-exclusive aggregation.
+    let mut reduce_sinks: Vec<OutputSink<R::Out>> = Vec::new();
+    for (n, buckets) in per_node.into_iter().enumerate() {
+        let sink: OutputSink<R::Out> = Rc::default();
+        reduce_sinks.push(sink.clone());
+        // Whole buckets per thread (hash semantics).
+        let mut per_thread: Vec<VecDeque<Vec<M::Out>>> =
+            (0..spec.threads).map(|_| VecDeque::new()).collect();
+        for (bucket, tuples) in buckets {
+            let t = (bucket as usize / cluster.node_count()) % spec.threads;
+            for frame in chunk_into_frames(tuples, spec.granularity) {
+                per_thread[t].push_back(frame);
+            }
+        }
+        let sim = cluster.sim(NodeId(n as u32));
+        for (t, frames) in per_thread.into_iter().enumerate() {
+            if frames.is_empty() {
+                continue;
+            }
+            sim.spawn(Box::new(OperatorWorker::new(
+                reduce_factory(),
+                frames,
+                sink.clone(),
+                false,
+                format!("{}.red{t}", spec.name),
+            )));
+        }
+    }
+    if let Err(e) = drive_phase(cluster) {
+        return (cluster.report(JobOutcome::Failed(e.clone())), Err(e));
+    }
+    cluster.sync_clocks(SimDuration::ZERO);
+
+    // ---- Collect (bucket order for determinism).
+    let mut all: Vec<(u32, Vec<R::Out>)> = Vec::new();
+    for s in reduce_sinks {
+        all.extend(std::mem::take(&mut *s.borrow_mut()));
+    }
+    all.sort_by_key(|(b, _)| *b);
+    let outs = all.into_iter().flat_map(|(_, v)| v).collect();
+    (cluster.report(JobOutcome::Completed), Ok(outs))
+}
+
+/// Per-node ITask factories for one two-phase job.
+pub struct ItaskFactories {
+    /// Builds the map task (emits final [`ShuffleBatch`]s).
+    pub map: Rc<dyn Fn() -> Box<dyn ITask>>,
+    /// Builds the reduce task (queues tagged partials to the merge).
+    pub reduce: Rc<dyn Fn() -> Box<dyn ITask>>,
+    /// Builds the merge MITask (emits final `Vec<Out>`).
+    pub merge: Rc<dyn Fn() -> Box<dyn ITask>>,
+}
+
+/// Drives a set of per-node IRS controllers to completion.
+fn drive_irs(cluster: &mut Cluster, irss: &mut [Irs]) -> SimResult<()> {
+    loop {
+        let mut any = false;
+        for (n, irs) in irss.iter_mut().enumerate() {
+            let sim = cluster.sim(NodeId(n as u32));
+            if irs.is_idle() {
+                continue;
+            }
+            any = true;
+            irs.tick(sim)?;
+            if irs.is_idle() {
+                continue;
+            }
+            let round = sim.run_round();
+            if let Some((_, e)) = round.failed.into_iter().next() {
+                return Err(e);
+            }
+        }
+        if !any {
+            return Ok(());
+        }
+    }
+}
+
+/// Accumulates one phase's IRS statistics into the report counters.
+fn absorb_irs_stats(report: &mut JobReport, irss: &[Irs]) {
+    for irs in irss {
+        let st = irs.stats();
+        report.bump_counter("itask.interrupts", st.interrupts as f64);
+        report.bump_counter("itask.emergency_interrupts", st.emergency_interrupts as f64);
+        report.bump_counter("itask.grows", st.grows as f64);
+        report.bump_counter("itask.serializations", st.serializations as f64);
+        report.bump_counter("itask.deserializations", st.deserializations as f64);
+        report.bump_counter("itask.peak_instances", st.peak_instances as f64);
+        report.bump_counter("reclaim.local_structs", st.reclaim.local_structs.as_u64() as f64);
+        report.bump_counter(
+            "reclaim.processed_input",
+            st.reclaim.processed_input.as_u64() as f64,
+        );
+        report.bump_counter("reclaim.final_results", st.reclaim.final_results.as_u64() as f64);
+        report.bump_counter(
+            "reclaim.intermediate_results",
+            st.reclaim.intermediate_results.as_u64() as f64,
+        );
+        report.bump_counter(
+            "reclaim.lazy_serialized",
+            st.reclaim.lazy_serialized.as_u64() as f64,
+        );
+        report.bump_counter("monitor.lugcs", irs.monitor_stats().lugcs_seen as f64);
+    }
+}
+
+/// Runs the ITask version of a two-phase job.
+///
+/// Conventions (the shape of the paper's Figures 6–7):
+/// * the map task's `interrupt`/`cleanup` emit `Box<ShuffleBatch<Mid>>`
+///   final outputs;
+/// * the reduce task's `interrupt`/`cleanup` queue partials to the merge
+///   task, tagged with the input partition's bucket tag;
+/// * the merge MITask's `cleanup` emits `Box<Vec<Out>>` final outputs.
+pub fn run_itask<MIn, Mid, Out>(
+    cluster: &mut Cluster,
+    inputs: Vec<Vec<Vec<MIn>>>,
+    spec: &ItaskJobSpec,
+    factories: &ItaskFactories,
+) -> (JobReport, SimResult<Vec<Out>>)
+where
+    MIn: Tuple,
+    Mid: Tuple,
+    Out: 'static,
+{
+    assert_eq!(inputs.len(), cluster.node_count(), "one input list per node");
+
+    // ---- Phase 1: map ITasks fed by serialized input partitions.
+    let mut irss: Vec<Irs> = Vec::new();
+    for (n, frames) in inputs.into_iter().enumerate() {
+        let mut graph = TaskGraph::new();
+        let map_f = factories.map.clone();
+        let map = graph.add_task("map", move || map_f());
+        let irs = Irs::new(graph, spec.irs);
+        let handle = irs.handle();
+        let sim = cluster.sim(NodeId(n as u32));
+        for frame in frames {
+            if let Err(e) = offer_serialized(&handle, sim.node_mut(), map, Tag(0), frame) {
+                return (cluster.report(JobOutcome::Failed(e.clone())), Err(e));
+            }
+        }
+        irss.push(irs);
+    }
+    if let Err(e) = drive_irs(cluster, &mut irss) {
+        let mut report = cluster.report(JobOutcome::Failed(e.clone()));
+        absorb_irs_stats(&mut report, &irss);
+        return (report, Err(e));
+    }
+    cluster.sync_clocks(SimDuration::ZERO);
+
+    // ---- Collect map finals and shuffle.
+    let mut outputs: BucketedOutputs<Mid> = Vec::new();
+    for (n, irs) in irss.iter_mut().enumerate() {
+        let mut batches = Vec::new();
+        for out in irs.take_final_outputs() {
+            let batch = out
+                .data
+                .downcast::<ShuffleBatch<Mid>>()
+                .expect("map tasks emit ShuffleBatch finals");
+            batches.extend(batch.buckets);
+        }
+        outputs.push((NodeId(n as u32), batches));
+    }
+    let mut report_counters = cluster.report(JobOutcome::Completed);
+    absorb_irs_stats(&mut report_counters, &irss);
+    let (per_node, wire) = shuffle(cluster, outputs);
+    cluster.sync_clocks(wire);
+
+    // ---- Phase 2: reduce + merge ITasks.
+    let mut irss2: Vec<Irs> = Vec::new();
+    for (n, buckets) in per_node.into_iter().enumerate() {
+        let mut graph = TaskGraph::new();
+        let red_f = factories.reduce.clone();
+        let mer_f = factories.merge.clone();
+        let reduce = graph.add_task("reduce", move || red_f());
+        let merge = graph.add_mitask("merge", move || mer_f());
+        graph.connect(reduce, merge);
+        graph.connect(merge, merge);
+        let irs = Irs::new(graph, spec.irs);
+        let handle = irs.handle();
+        let sim = cluster.sim(NodeId(n as u32));
+        for (bucket, tuples) in buckets {
+            for frame in chunk_into_frames(tuples, spec.granularity) {
+                if let Err(e) =
+                    offer_serialized(&handle, sim.node_mut(), reduce, Tag(bucket as u64), frame)
+                {
+                    return (cluster.report(JobOutcome::Failed(e.clone())), Err(e));
+                }
+            }
+        }
+        irss2.push(irs);
+    }
+    if let Err(e) = drive_irs(cluster, &mut irss2) {
+        let mut report = cluster.report(JobOutcome::Failed(e.clone()));
+        absorb_irs_stats(&mut report, &irss);
+        absorb_irs_stats(&mut report, &irss2);
+        return (report, Err(e));
+    }
+    cluster.sync_clocks(SimDuration::ZERO);
+
+    // ---- Collect merge finals.
+    let mut outs: Vec<Out> = Vec::new();
+    for irs in &mut irss2 {
+        for out in irs.take_final_outputs() {
+            let v = out.data.downcast::<Vec<Out>>().expect("merge tasks emit Vec<Out> finals");
+            outs.extend(*v);
+        }
+    }
+    let mut report = cluster.report(JobOutcome::Completed);
+    absorb_irs_stats(&mut report, &irss);
+    absorb_irs_stats(&mut report, &irss2);
+    (report, Ok(outs))
+}
+
+/// Convenience: distributes generator blocks across nodes round-robin
+/// and chunks each block into frames (HDFS-style locality).
+pub fn distribute_blocks<T: Tuple>(
+    nodes: usize,
+    blocks: Vec<Vec<T>>,
+    granularity: ByteSize,
+) -> Vec<Vec<Vec<T>>> {
+    let mut per_node: Vec<Vec<Vec<T>>> = (0..nodes).map(|_| Vec::new()).collect();
+    for (i, block) in blocks.into_iter().enumerate() {
+        let frames = chunk_into_frames(block, granularity);
+        per_node[i % nodes].extend(frames);
+    }
+    per_node
+}

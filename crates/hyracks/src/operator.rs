@@ -1,0 +1,335 @@
+//! The regular (non-interruptible) operator model: Hyracks'
+//! `nextFrame`-style push operators, executed by a fixed thread pool.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use itask_core::Tuple;
+use simcore::{ByteSize, CostModel, SimDuration, SimResult, SimTime, SpaceId};
+use simcluster::{StepOutcome, Work, WorkCx};
+
+/// Context handed to operator callbacks: cost charging, the operator's
+/// state space on the simulated heap, and streaming emission toward the
+/// downstream connector.
+pub struct OpCx<'a, 'b, Out> {
+    work: &'a mut WorkCx<'b>,
+    state_space: SpaceId,
+    emitted: &'a mut Vec<(u32, Out)>,
+}
+
+impl<'a, 'b, Out> OpCx<'a, 'b, Out> {
+    /// Pushes one tuple to the connector (Hyracks hands full frames to
+    /// the next operator, so emitted data does not stay on this
+    /// operator's heap).
+    pub fn emit(&mut self, bucket: u32, tuple: Out) {
+        self.emitted.push((bucket, tuple));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.work.now()
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> CostModel {
+        self.work.cost()
+    }
+
+    /// Consumes CPU time.
+    pub fn charge(&mut self, t: SimDuration) {
+        self.work.charge(t);
+    }
+
+    /// Allocates into the operator's state space (hash tables, sort
+    /// buffers, postings lists — the structures that blow up under
+    /// skew). Fails with the simulation's OME when the heap is full.
+    pub fn alloc_state(&mut self, bytes: ByteSize) -> SimResult<()> {
+        let s = self.state_space;
+        self.work.alloc(s, bytes)
+    }
+
+    /// Frees bytes from the state space (they become garbage).
+    pub fn free_state(&mut self, bytes: ByteSize) -> ByteSize {
+        let s = self.state_space;
+        self.work.free(s, bytes)
+    }
+
+    /// Live bytes in the state space.
+    pub fn state_bytes(&mut self) -> ByteSize {
+        let s = self.state_space;
+        self.work.node().heap.space_live(s)
+    }
+}
+
+/// A regular dataflow operator: one instance per worker thread, state
+/// kept for the whole phase, streaming emission via [`OpCx::emit`].
+pub trait Operator {
+    /// Input tuple type.
+    type In: Tuple;
+    /// Output tuple type (keyed by shuffle bucket).
+    type Out: Tuple;
+
+    /// Called once before the first tuple.
+    fn open(&mut self, cx: &mut OpCx<'_, '_, Self::Out>) -> SimResult<()>;
+
+    /// Processes one tuple (Hyracks pushes frames; the worker iterates
+    /// the frame's tuples through this).
+    fn next(&mut self, cx: &mut OpCx<'_, '_, Self::Out>, tuple: &Self::In) -> SimResult<()>;
+
+    /// Called once after the last tuple (flush aggregates).
+    fn close(&mut self, cx: &mut OpCx<'_, '_, Self::Out>) -> SimResult<()>;
+}
+
+/// Where a worker's outputs are collected (per node, shared by its
+/// threads; single-threaded simulation makes `Rc<RefCell>` sound).
+pub type OutputSink<T> = Rc<std::cell::RefCell<Vec<(u32, Vec<T>)>>>;
+
+/// A fixed-pool worker executing one [`Operator`] instance over a queue
+/// of frames.
+pub struct OperatorWorker<O: Operator> {
+    op: O,
+    frames: VecDeque<Vec<O::In>>,
+    sink: OutputSink<O::Out>,
+    emitted: Vec<(u32, O::Out)>,
+    state_space: Option<SpaceId>,
+    frame_space: Option<SpaceId>,
+    cursor: usize,
+    opened: bool,
+    /// Whether loading a frame charges a disk read + decode (map phase
+    /// reading HDFS blocks) or just decode (reduce phase consuming
+    /// staged shuffle output).
+    charge_read: bool,
+    label: String,
+}
+
+impl<O: Operator> OperatorWorker<O> {
+    /// Creates a worker over `frames`.
+    pub fn new(
+        op: O,
+        frames: VecDeque<Vec<O::In>>,
+        sink: OutputSink<O::Out>,
+        charge_read: bool,
+        label: impl Into<String>,
+    ) -> Self {
+        OperatorWorker {
+            op,
+            frames,
+            sink,
+            emitted: Vec::new(),
+            state_space: None,
+            frame_space: None,
+            cursor: 0,
+            opened: false,
+            charge_read,
+            label: label.into(),
+        }
+    }
+
+    fn frame_bytes(frame: &[O::In]) -> (ByteSize, ByteSize) {
+        let mem: u64 = frame.iter().map(Tuple::heap_bytes).sum();
+        let ser: u64 = frame.iter().map(Tuple::ser_bytes).sum();
+        (ByteSize(mem), ByteSize(ser))
+    }
+
+    fn run(&mut self, cx: &mut WorkCx<'_>) -> SimResult<bool> {
+        let state_space = match self.state_space {
+            Some(s) => s,
+            None => {
+                let s = cx.create_space(format!("{}.state", self.label));
+                self.state_space = Some(s);
+                s
+            }
+        };
+        if !self.opened {
+            let mut ocx = OpCx { work: cx, state_space, emitted: &mut self.emitted };
+            self.op.open(&mut ocx)?;
+            self.opened = true;
+        }
+        while !cx.out_of_quantum() {
+            // Ensure a loaded frame.
+            let Some(frame) = self.frames.front() else { break };
+            if self.frame_space.is_none() {
+                let (mem, ser) = Self::frame_bytes(frame);
+                let space = cx.create_space(format!("{}.frame", self.label));
+                if self.charge_read {
+                    cx.charge(cx.cost().disk_read(ser));
+                }
+                cx.charge(cx.cost().deserialize_cpu(ser));
+                if let Err(e) = cx.alloc(space, mem) {
+                    cx.node().heap.release_space(space);
+                    return Err(e);
+                }
+                self.frame_space = Some(space);
+                self.cursor = 0;
+            }
+            // Process tuples.
+            let frame_len = self.frames.front().map(|f| f.len()).unwrap_or(0);
+            while self.cursor < frame_len && !cx.out_of_quantum() {
+                let cost = {
+                    let t = &self.frames.front().expect("frame present")[self.cursor];
+                    cx.cost().tuple_cost(ByteSize(t.ser_bytes()))
+                };
+                cx.charge(cost);
+                {
+                    // Disjoint field borrows: `frames` immutably, `op`
+                    // and `emitted` mutably.
+                    let frame = self.frames.front().expect("frame present");
+                    let t = &frame[self.cursor];
+                    let mut ocx =
+                        OpCx { work: cx, state_space, emitted: &mut self.emitted };
+                    self.op.next(&mut ocx, t)?;
+                }
+                self.cursor += 1;
+            }
+            if self.cursor >= frame_len {
+                // Frame done: its heap bytes become garbage.
+                if let Some(space) = self.frame_space.take() {
+                    cx.node().heap.release_space(space);
+                }
+                self.frames.pop_front();
+            }
+        }
+        if self.frames.is_empty() {
+            let mut ocx = OpCx { work: cx, state_space, emitted: &mut self.emitted };
+            self.op.close(&mut ocx)?;
+            self.flush_emitted();
+            if let Some(s) = self.state_space.take() {
+                cx.node().heap.release_space(s);
+            }
+            return Ok(true);
+        }
+        self.flush_emitted();
+        Ok(false)
+    }
+
+    /// Hands emitted tuples to the connector sink, grouped by bucket.
+    fn flush_emitted(&mut self) {
+        if self.emitted.is_empty() {
+            return;
+        }
+        let mut grouped: std::collections::BTreeMap<u32, Vec<O::Out>> =
+            std::collections::BTreeMap::new();
+        for (b, t) in self.emitted.drain(..) {
+            grouped.entry(b).or_default().push(t);
+        }
+        self.sink.borrow_mut().extend(grouped);
+    }
+}
+
+impl<O: Operator> Work for OperatorWorker<O> {
+    fn step(&mut self, cx: &mut WorkCx<'_>) -> StepOutcome {
+        match self.run(cx) {
+            Ok(true) => StepOutcome::Finished,
+            Ok(false) => StepOutcome::Ran,
+            Err(e) => StepOutcome::Failed(e),
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::{NodeSim, NodeState};
+    use simcore::NodeId;
+
+    struct W(u64);
+
+    impl Tuple for W {
+        fn heap_bytes(&self) -> u64 {
+            self.0
+        }
+    }
+
+    /// Counts tuples and bytes; allocates 64B of state per tuple.
+    struct Count {
+        n: u64,
+    }
+
+    impl Operator for Count {
+        type In = W;
+        type Out = W;
+
+        fn open(&mut self, _cx: &mut OpCx<'_, '_, W>) -> SimResult<()> {
+            Ok(())
+        }
+
+        fn next(&mut self, cx: &mut OpCx<'_, '_, W>, _t: &W) -> SimResult<()> {
+            cx.alloc_state(ByteSize(64))?;
+            self.n += 1;
+            Ok(())
+        }
+
+        fn close(&mut self, cx: &mut OpCx<'_, '_, W>) -> SimResult<()> {
+            cx.emit(0, W(self.n));
+            Ok(())
+        }
+    }
+
+    fn sim(heap_kib: u64) -> NodeSim {
+        NodeSim::new(NodeState::new(
+            NodeId(0),
+            8,
+            ByteSize::kib(heap_kib),
+            ByteSize::mib(64),
+        ))
+    }
+
+    #[test]
+    fn worker_processes_all_frames_and_emits() {
+        let mut s = sim(4096);
+        let sink: OutputSink<W> = Rc::default();
+        let frames: VecDeque<Vec<W>> =
+            (0..4).map(|_| (0..100).map(|_| W(50)).collect()).collect();
+        s.spawn(Box::new(OperatorWorker::new(
+            Count { n: 0 },
+            frames,
+            sink.clone(),
+            true,
+            "count",
+        )));
+        for _ in 0..100_000 {
+            if s.live_count() == 0 {
+                break;
+            }
+            let r = s.run_round();
+            assert!(r.failed.is_empty(), "{:?}", r.failed);
+        }
+        let out = sink.borrow();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1[0].0, 400);
+        // Everything was released at close.
+        assert_eq!(s.node().heap.live(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn state_explosion_fails_with_oom() {
+        let mut s = sim(64); // 64KiB heap, state wants 640KiB
+        let sink: OutputSink<W> = Rc::default();
+        let frames: VecDeque<Vec<W>> =
+            (0..10).map(|_| (0..1000).map(|_| W(10)).collect()).collect();
+        s.spawn(Box::new(OperatorWorker::new(
+            Count { n: 0 },
+            frames,
+            sink.clone(),
+            false,
+            "count",
+        )));
+        let mut failed = None;
+        for _ in 0..100_000 {
+            if s.live_count() == 0 {
+                break;
+            }
+            let r = s.run_round();
+            if let Some((_, e)) = r.failed.into_iter().next() {
+                failed = Some(e);
+                break;
+            }
+        }
+        assert!(failed.expect("must fail").is_oom());
+        assert!(sink.borrow().is_empty());
+    }
+}

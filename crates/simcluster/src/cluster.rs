@@ -1,0 +1,214 @@
+//! The cluster: a set of node simulators plus the shared fabric and
+//! block store.
+
+use simcore::{ByteSize, CostModel, NodeId, SimDuration, SimTime};
+use simnet::Fabric;
+use simstore::{BlockStore, BlockStoreConfig};
+
+use crate::node::NodeState;
+use crate::report::{JobOutcome, JobReport, NodeReport};
+use crate::sched::NodeSim;
+
+/// Cluster sizing. Defaults mirror the paper's testbed at 1/1024 scale:
+/// 10 worker nodes (11 minus the master), 8 cores each, 12 GB heaps
+/// (12 MiB here), SSD storage and a 128 MB (128 KiB) block size.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores: usize,
+    /// Managed-heap capacity per node.
+    pub heap_per_node: ByteSize,
+    /// Disk capacity per node.
+    pub disk_per_node: ByteSize,
+    /// Block size of the distributed store.
+    pub block_size: ByteSize,
+    /// Replication factor of the distributed store.
+    pub replication: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 10,
+            cores: 8,
+            heap_per_node: ByteSize::mib(12),
+            disk_per_node: ByteSize::mib(2048),
+            block_size: ByteSize::kib(128),
+            replication: 3,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Same testbed with a different per-node heap (Figure 11's sweep).
+    pub fn with_heap(mut self, heap: ByteSize) -> Self {
+        self.heap_per_node = heap;
+        self
+    }
+}
+
+/// A running cluster.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    sims: Vec<NodeSim>,
+    fabric: Fabric,
+    store: BlockStore,
+}
+
+impl Cluster {
+    /// Builds a cluster from the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero nodes or zero cores.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.nodes > 0, "cluster needs nodes");
+        assert!(cfg.cores > 0, "nodes need cores");
+        let cost = CostModel::default();
+        let sims = (0..cfg.nodes)
+            .map(|i| {
+                NodeSim::new(NodeState::new(
+                    NodeId(i as u32),
+                    cfg.cores,
+                    cfg.heap_per_node,
+                    cfg.disk_per_node,
+                ))
+            })
+            .collect();
+        let fabric = Fabric::new(cfg.nodes, cost);
+        let store = BlockStore::new(BlockStoreConfig {
+            block_size: cfg.block_size,
+            replication: cfg.replication,
+            nodes: cfg.nodes,
+        });
+        Cluster { cfg, sims, fabric, store }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// The node simulators.
+    pub fn sims(&mut self) -> &mut [NodeSim] {
+        &mut self.sims
+    }
+
+    /// One node simulator.
+    pub fn sim(&mut self, node: NodeId) -> &mut NodeSim {
+        &mut self.sims[node.as_usize()]
+    }
+
+    /// The network fabric.
+    pub fn fabric(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// The distributed block store.
+    pub fn store(&mut self) -> &mut BlockStore {
+        &mut self.store
+    }
+
+    /// Read-only block store access.
+    pub fn store_ref(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// The cluster-wide clock: the slowest node's time.
+    pub fn elapsed(&self) -> SimDuration {
+        self.sims
+            .iter()
+            .map(|s| s.node().now.since(SimTime::ZERO))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Phase barrier: advances every node's clock to the cluster maximum
+    /// plus `extra` (e.g. a shuffle transfer time).
+    pub fn sync_clocks(&mut self, extra: SimDuration) {
+        let target = self
+            .sims
+            .iter()
+            .map(|s| s.node().now)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            + extra;
+        for sim in &mut self.sims {
+            let n = sim.node_mut();
+            if n.now < target {
+                n.now = target;
+            }
+        }
+    }
+
+    /// Builds a job report from the current node states.
+    pub fn report(&self, outcome: JobOutcome) -> JobReport {
+        let nodes: Vec<NodeReport> = self
+            .sims
+            .iter()
+            .map(|s| {
+                let n = s.node();
+                NodeReport {
+                    node: n.id,
+                    elapsed: n.now.since(SimTime::ZERO),
+                    gc_time: n.gc_time,
+                    compute_time: n.compute_time,
+                    io_stall_time: n.io_stall_time,
+                    peak_heap: n.heap.peak_used(),
+                    minor_gcs: n.heap.stats().minor_count,
+                    full_gcs: n.heap.stats().full_count,
+                    useless_gcs: n.heap.stats().useless_count,
+                    log: n.log.clone(),
+                }
+            })
+            .collect();
+        JobReport {
+            outcome,
+            elapsed: self.elapsed(),
+            nodes,
+            counters: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_scaled_testbed() {
+        let c = Cluster::new(ClusterConfig::default());
+        assert_eq!(c.node_count(), 10);
+        assert_eq!(c.config().heap_per_node, ByteSize::mib(12));
+    }
+
+    #[test]
+    fn sync_clocks_is_a_barrier() {
+        let mut c = Cluster::new(ClusterConfig { nodes: 3, ..Default::default() });
+        c.sim(NodeId(1)).node_mut().now += SimDuration::from_secs(5);
+        c.sync_clocks(SimDuration::from_secs(1));
+        for i in 0..3 {
+            assert_eq!(
+                c.sim(NodeId(i)).node().now.since(SimTime::ZERO),
+                SimDuration::from_secs(6)
+            );
+        }
+    }
+
+    #[test]
+    fn report_snapshots_every_node() {
+        let mut c = Cluster::new(ClusterConfig { nodes: 2, ..Default::default() });
+        c.sim(NodeId(0)).node_mut().now += SimDuration::from_secs(3);
+        let r = c.report(JobOutcome::Completed);
+        assert_eq!(r.nodes.len(), 2);
+        assert_eq!(r.elapsed, SimDuration::from_secs(3));
+        assert!(r.outcome.ok());
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-time cluster simulator.
+//!
+//! Stands in for the paper's 11-node EC2 testbed (DESIGN.md §1). Each
+//! [`node::NodeState`] owns a simulated managed heap (`simmem`), a disk
+//! (`simstore`) and a virtual clock; *simulated threads* ([`work::Work`]
+//! implementations) run in quantum-sized steps under a processor-sharing
+//! scheduler ([`sched::NodeSim`]). Garbage collections are stop-the-world:
+//! their pauses advance the node clock for everyone, and their records are
+//! drained by whoever controls the node (the ITask monitor, or nobody for
+//! regular executions).
+//!
+//! The whole simulation is single-threaded over virtual time, so every run
+//! is bit-for-bit reproducible — a property the paper's wall-clock
+//! measurements cannot have, and one we rely on to regenerate tables.
+
+pub mod cluster;
+pub mod node;
+pub mod report;
+pub mod sched;
+pub mod work;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use node::{NodeState, WorkCx};
+pub use report::{JobOutcome, JobReport, NodeReport};
+pub use sched::{NodeSim, RoundReport, ThreadState};
+pub use work::{StepOutcome, Work};

@@ -1,0 +1,277 @@
+//! Per-node state and the context handed to simulated threads.
+
+use simcore::{
+    ByteSize, CostModel, EventLog, NodeId, SimDuration, SimError, SimResult, SimTime, SpaceId,
+};
+use simmem::{GcRecord, Heap, HeapConfig};
+use simstore::{Disk, FileId};
+
+/// The state of one cluster node: clock, heap, disk, accounting.
+#[derive(Debug)]
+pub struct NodeState {
+    /// This node's id.
+    pub id: NodeId,
+    /// Number of cores (the paper's nodes have 8).
+    pub cores: usize,
+    /// The node's virtual clock.
+    pub now: SimTime,
+    /// The simulated managed heap.
+    pub heap: Heap,
+    /// The simulated disk.
+    pub disk: Disk,
+    /// Cost model shared with heap/disk.
+    pub cost: CostModel,
+    /// Total stop-the-world GC time on this node.
+    pub gc_time: SimDuration,
+    /// Total wall-clock time spent computing (excludes GC pauses).
+    pub compute_time: SimDuration,
+    /// Total wall-clock time threads spent stalled on blocking disk reads.
+    pub io_stall_time: SimDuration,
+    /// Time series (heap occupancy, thread counts) for the figures.
+    pub log: EventLog,
+    /// GC records not yet drained by a controller (the ITask monitor).
+    gc_pending: Vec<GcRecord>,
+    /// When the (async-write) disk becomes free again.
+    disk_free_at: SimTime,
+}
+
+impl NodeState {
+    /// Creates a node with the given heap capacity and disk.
+    pub fn new(id: NodeId, cores: usize, heap_capacity: ByteSize, disk_capacity: ByteSize) -> Self {
+        let cost = CostModel::default();
+        NodeState {
+            id,
+            cores,
+            now: SimTime::ZERO,
+            heap: Heap::new(HeapConfig { cost, ..HeapConfig::with_capacity(heap_capacity) }),
+            disk: Disk::new(disk_capacity, cost),
+            cost,
+            gc_time: SimDuration::ZERO,
+            compute_time: SimDuration::ZERO,
+            io_stall_time: SimDuration::ZERO,
+            log: EventLog::new(),
+            gc_pending: Vec::new(),
+            disk_free_at: SimTime::ZERO,
+        }
+    }
+
+    /// Allocates on the heap, converting GC pauses into stop-the-world
+    /// clock advancement and queueing their records for the controller.
+    pub fn alloc(&mut self, space: SpaceId, bytes: ByteSize) -> SimResult<()> {
+        match self.heap.alloc(space, bytes, self.now) {
+            Ok(outcome) => {
+                self.absorb_pauses(&outcome.pauses);
+                Ok(())
+            }
+            Err(simmem::HeapError::OutOfMemory { requested, free }) => {
+                Err(SimError::OutOfMemory { node: self.id, requested, free })
+            }
+            Err(simmem::HeapError::NoSuchSpace(id)) => {
+                Err(SimError::Internal(format!("allocation into released space {id}")))
+            }
+        }
+    }
+
+    /// Runs a full collection now (used by the IRS after interrupts).
+    pub fn force_full_gc(&mut self) -> GcRecord {
+        let rec = self.heap.force_full_gc(self.now);
+        self.absorb_pauses(std::slice::from_ref(&rec));
+        rec
+    }
+
+    fn absorb_pauses(&mut self, pauses: &[GcRecord]) {
+        for rec in pauses {
+            self.now += rec.pause;
+            self.gc_time += rec.pause;
+            self.log.record("heap_used", self.now, rec.used_before.as_u64() as f64);
+            self.log.record("heap_used", self.now, rec.used_after.as_u64() as f64);
+            self.gc_pending.push(rec.clone());
+        }
+    }
+
+    /// Drains GC records observed since the last drain (monitor input).
+    pub fn drain_gc_records(&mut self) -> Vec<GcRecord> {
+        std::mem::take(&mut self.gc_pending)
+    }
+
+    /// Writes `bytes` to disk *asynchronously* (background serialization
+    /// threads in the paper): the node clock does not advance, but the
+    /// disk stays busy, delaying subsequent blocking reads.
+    pub fn disk_write_async(
+        &mut self,
+        label: impl Into<String>,
+        bytes: ByteSize,
+    ) -> SimResult<FileId> {
+        match self.disk.write(label, bytes) {
+            Some((id, io)) => {
+                let start = self.now.max(self.disk_free_at);
+                self.disk_free_at = start + io;
+                Ok(id)
+            }
+            None => Err(SimError::DiskFull { node: self.id, requested: bytes }),
+        }
+    }
+
+    /// Reads a file, returning the bytes read and the stall duration the
+    /// *calling thread* must charge (wait for the disk to drain pending
+    /// writes, then the read itself). The node clock is not advanced —
+    /// only the reading thread stalls, other threads keep computing.
+    pub fn disk_read_charged(&mut self, id: FileId) -> SimResult<(ByteSize, SimDuration)> {
+        let (bytes, io) = self
+            .disk
+            .read(id)
+            .ok_or_else(|| SimError::Internal(format!("read of unknown {id:?}")))?;
+        let start = self.now.max(self.disk_free_at);
+        let end = start + io;
+        let stall = end.since(self.now);
+        self.io_stall_time += stall;
+        self.disk_free_at = end;
+        Ok((bytes, stall))
+    }
+
+    /// Records the current heap occupancy into the `heap_used` series.
+    pub fn sample_heap(&mut self) {
+        self.log.record("heap_used", self.now, self.heap.used().as_u64() as f64);
+    }
+}
+
+/// Execution context handed to a [`crate::work::Work`] step.
+///
+/// Tracks CPU consumed within the quantum; heap and disk access go
+/// through the node so GC pauses and I/O stalls are accounted centrally.
+pub struct WorkCx<'a> {
+    node: &'a mut NodeState,
+    quantum: SimDuration,
+    used: SimDuration,
+}
+
+impl<'a> WorkCx<'a> {
+    pub(crate) fn new(node: &'a mut NodeState, quantum: SimDuration) -> Self {
+        WorkCx { node, quantum, used: SimDuration::ZERO }
+    }
+
+    /// The node this thread runs on.
+    pub fn node(&mut self) -> &mut NodeState {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.node.now
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> CostModel {
+        self.node.cost
+    }
+
+    /// CPU time still available in this quantum.
+    pub fn remaining(&self) -> SimDuration {
+        self.quantum.saturating_sub(self.used)
+    }
+
+    /// Whether the quantum is exhausted.
+    pub fn out_of_quantum(&self) -> bool {
+        self.remaining().is_zero()
+    }
+
+    /// Consumes `t` of CPU time (may overrun the quantum slightly; the
+    /// scheduler accounts for actual usage).
+    pub fn charge(&mut self, t: SimDuration) {
+        self.used += t;
+    }
+
+    /// CPU consumed so far in this step.
+    pub(crate) fn used(&self) -> SimDuration {
+        self.used
+    }
+
+    /// Allocates heap bytes for this thread (GC pauses handled by node).
+    pub fn alloc(&mut self, space: SpaceId, bytes: ByteSize) -> SimResult<()> {
+        self.node.alloc(space, bytes)
+    }
+
+    /// Frees heap bytes (turns them into garbage).
+    pub fn free(&mut self, space: SpaceId, bytes: ByteSize) -> ByteSize {
+        self.node.heap.free(space, bytes)
+    }
+
+    /// Creates a heap space.
+    pub fn create_space(&mut self, label: impl Into<String>) -> SpaceId {
+        self.node.heap.create_space(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> NodeState {
+        NodeState::new(NodeId(0), 8, ByteSize::mib(4), ByteSize::mib(64))
+    }
+
+    #[test]
+    fn alloc_pauses_advance_clock_and_queue_records() {
+        let mut n = node();
+        let s = n.heap.create_space("s");
+        // Fill well past the young generation (1MiB) with live data.
+        for _ in 0..200 {
+            n.alloc(s, ByteSize::kib(10)).unwrap();
+        }
+        assert!(n.gc_time > SimDuration::ZERO);
+        assert_eq!(n.now.since(SimTime::ZERO), n.gc_time);
+        let recs = n.drain_gc_records();
+        assert!(!recs.is_empty());
+        assert!(n.drain_gc_records().is_empty());
+    }
+
+    #[test]
+    fn oom_is_tagged_with_node() {
+        let mut n = node();
+        let s = n.heap.create_space("s");
+        let err = loop {
+            if let Err(e) = n.alloc(s, ByteSize::kib(64)) {
+                break e;
+            }
+        };
+        match err {
+            SimError::OutOfMemory { node, .. } => assert_eq!(node, NodeId(0)),
+            other => panic!("expected OOM, got {other}"),
+        }
+    }
+
+    #[test]
+    fn async_writes_do_not_block_but_delay_reads() {
+        let mut n = node();
+        let before = n.now;
+        let id = n.disk_write_async("spill", ByteSize::mib(32)).unwrap();
+        assert_eq!(n.now, before, "async write must not advance the clock");
+        let (bytes, stall) = n.disk_read_charged(id).unwrap();
+        assert_eq!(bytes, ByteSize::mib(32));
+        assert_eq!(n.now, before, "the node clock is the caller's to advance");
+        // The read had to wait for the in-flight write plus its own time.
+        let write_t = n.cost.disk_write(ByteSize::mib(32));
+        let read_t = n.cost.disk_read(ByteSize::mib(32));
+        assert_eq!(stall, write_t + read_t);
+        assert_eq!(n.io_stall_time, write_t + read_t);
+    }
+
+    #[test]
+    fn disk_full_surfaces_as_error() {
+        let mut n = NodeState::new(NodeId(1), 8, ByteSize::mib(4), ByteSize::kib(10));
+        let err = n.disk_write_async("x", ByteSize::mib(1)).unwrap_err();
+        assert!(matches!(err, SimError::DiskFull { .. }));
+    }
+
+    #[test]
+    fn workcx_tracks_quantum() {
+        let mut n = node();
+        let mut cx = WorkCx::new(&mut n, SimDuration::from_micros(500));
+        assert_eq!(cx.remaining(), SimDuration::from_micros(500));
+        cx.charge(SimDuration::from_micros(200));
+        assert_eq!(cx.remaining(), SimDuration::from_micros(300));
+        cx.charge(SimDuration::from_micros(400));
+        assert!(cx.out_of_quantum());
+        assert_eq!(cx.used(), SimDuration::from_micros(600));
+    }
+}

@@ -1,0 +1,396 @@
+//! The per-node quantum scheduler.
+//!
+//! Each scheduling *round* steps every runnable thread once with a CPU
+//! quantum, then advances the node clock by the processor-sharing wall
+//! time of the round: `max(longest step, ceil(total CPU / cores))`.
+//! GC pauses are stop-the-world and advance the clock directly as they
+//! happen (inside [`crate::node::NodeState::alloc`]).
+
+use simcore::{ByteSize, SimDuration, SimError, ThreadId};
+
+use crate::node::{NodeState, WorkCx};
+use crate::work::{StepOutcome, Work};
+
+/// Scheduling state of a thread slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Will be stepped next round.
+    Runnable,
+    /// Polled each round but last reported `Waiting`.
+    Waiting,
+    /// Completed; slot retired.
+    Finished,
+    /// Died with an error; slot retired.
+    Failed,
+}
+
+struct ThreadSlot {
+    id: ThreadId,
+    work: Box<dyn Work>,
+    state: ThreadState,
+    /// Scale-loop iterations (or any progress unit) the work reported
+    /// since the last observation — the IRS speed rule reads this.
+    progress: u64,
+}
+
+/// What happened in one scheduling round.
+#[derive(Debug, Default)]
+pub struct RoundReport {
+    /// Threads stepped this round.
+    pub stepped: usize,
+    /// Wall-clock advancement of the round (excluding GC pauses).
+    pub wall: SimDuration,
+    /// Threads that finished this round.
+    pub finished: Vec<ThreadId>,
+    /// Threads that failed this round, with their errors.
+    pub failed: Vec<(ThreadId, SimError)>,
+}
+
+impl RoundReport {
+    /// Whether any thread made progress or changed state.
+    pub fn idle(&self) -> bool {
+        self.stepped == 0
+    }
+}
+
+/// A node plus its simulated threads.
+pub struct NodeSim {
+    node: NodeState,
+    threads: Vec<ThreadSlot>,
+    next_thread: u32,
+    quantum: SimDuration,
+}
+
+impl NodeSim {
+    /// Default scheduling quantum. Fine enough that a typical 128KiB
+    /// partition spans several steps — interrupt latency and monitor
+    /// reaction time are bounded by one quantum.
+    pub const DEFAULT_QUANTUM: SimDuration = SimDuration::from_micros(100);
+
+    /// Wraps a node with an empty thread table.
+    pub fn new(node: NodeState) -> Self {
+        NodeSim {
+            node,
+            threads: Vec::new(),
+            next_thread: 0,
+            quantum: Self::DEFAULT_QUANTUM,
+        }
+    }
+
+    /// Read access to the node.
+    pub fn node(&self) -> &NodeState {
+        &self.node
+    }
+
+    /// Mutable access to the node (controllers use this between rounds).
+    pub fn node_mut(&mut self) -> &mut NodeState {
+        &mut self.node
+    }
+
+    /// Consumes the simulator, returning the node.
+    pub fn into_node(self) -> NodeState {
+        self.node
+    }
+
+    /// Overrides the scheduling quantum (tests and engines).
+    pub fn set_quantum(&mut self, quantum: SimDuration) {
+        self.quantum = quantum;
+    }
+
+    /// Spawns a simulated thread; it will be stepped from the next round.
+    pub fn spawn(&mut self, work: Box<dyn Work>) -> ThreadId {
+        let id = ThreadId(self.next_thread);
+        self.next_thread += 1;
+        self.threads.push(ThreadSlot { id, work, state: ThreadState::Runnable, progress: 0 });
+        id
+    }
+
+    /// Kills a thread outright (the naïve baseline of §6.1; ITask proper
+    /// interrupts cooperatively instead). Returns whether it existed.
+    pub fn kill(&mut self, id: ThreadId) -> bool {
+        match self.threads.iter_mut().find(|t| t.id == id) {
+            Some(t) if matches!(t.state, ThreadState::Runnable | ThreadState::Waiting) => {
+                t.state = ThreadState::Failed;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The state of a thread, if it exists.
+    pub fn thread_state(&self, id: ThreadId) -> Option<ThreadState> {
+        self.threads.iter().find(|t| t.id == id).map(|t| t.state)
+    }
+
+    /// Ids of live (runnable or waiting) threads.
+    pub fn live_threads(&self) -> Vec<ThreadId> {
+        self.threads
+            .iter()
+            .filter(|t| matches!(t.state, ThreadState::Runnable | ThreadState::Waiting))
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Number of live threads.
+    pub fn live_count(&self) -> usize {
+        self.live_threads().len()
+    }
+
+    /// Progress units accumulated by `id` since the last
+    /// [`Self::take_progress`] call (the IRS speed rule's input).
+    pub fn take_progress(&mut self, id: ThreadId) -> u64 {
+        self.threads
+            .iter_mut()
+            .find(|t| t.id == id)
+            .map(|t| std::mem::take(&mut t.progress))
+            .unwrap_or(0)
+    }
+
+    /// Adds progress units to a thread (called by work via label...);
+    /// engines call this after a step using the step's tuple count.
+    pub fn add_progress(&mut self, id: ThreadId, units: u64) {
+        if let Some(t) = self.threads.iter_mut().find(|t| t.id == id) {
+            t.progress += units;
+        }
+    }
+
+    /// Runs one scheduling round: steps every live thread once, then
+    /// advances the node clock by the round's processor-sharing wall time.
+    ///
+    /// If every live thread is `Waiting`, the clock advances by one
+    /// quantum (an idle tick) so pollers eventually make progress.
+    pub fn run_round(&mut self) -> RoundReport {
+        let mut report = RoundReport::default();
+        let mut max_used = SimDuration::ZERO;
+        let mut sum_used = SimDuration::ZERO;
+        let mut any_ran = false;
+
+        for i in 0..self.threads.len() {
+            if !matches!(self.threads[i].state, ThreadState::Runnable | ThreadState::Waiting) {
+                continue;
+            }
+            let outcome = {
+                let mut cx = WorkCx::new(&mut self.node, self.quantum);
+                let outcome = self.threads[i].work.step(&mut cx);
+                let used = cx.used();
+                max_used = max_used.max(used);
+                sum_used += used;
+                outcome
+            };
+            report.stepped += 1;
+            let slot = &mut self.threads[i];
+            match outcome {
+                StepOutcome::Ran => {
+                    slot.state = ThreadState::Runnable;
+                    any_ran = true;
+                }
+                StepOutcome::Waiting => slot.state = ThreadState::Waiting,
+                StepOutcome::Finished => {
+                    slot.state = ThreadState::Finished;
+                    report.finished.push(slot.id);
+                    any_ran = true;
+                }
+                StepOutcome::Failed(err) => {
+                    slot.state = ThreadState::Failed;
+                    report.failed.push((slot.id, err));
+                    any_ran = true;
+                }
+            }
+        }
+
+        // Processor sharing: the round's wall time is bounded below by the
+        // longest single step and by total CPU spread over the cores.
+        let cores = self.node.cores.max(1) as u64;
+        let shared =
+            SimDuration::from_nanos(sum_used.as_nanos().div_ceil(cores));
+        let mut wall = max_used.max(shared);
+        if report.stepped > 0 && !any_ran && wall.is_zero() {
+            // All waiting: idle tick.
+            wall = self.quantum;
+        }
+        self.node.now += wall;
+        self.node.compute_time += max_used.max(shared);
+        report.wall = wall;
+        self.node.log.record(
+            "active_threads",
+            self.node.now,
+            self.threads
+                .iter()
+                .filter(|t| t.state == ThreadState::Runnable)
+                .count() as f64,
+        );
+        self.node.sample_heap();
+        report
+    }
+
+    /// Live bytes the heap currently holds (convenience for tests).
+    pub fn heap_used(&self) -> ByteSize {
+        self.node.heap.used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{ByteSize, NodeId, SpaceId};
+
+    /// A thread that burns CPU to process `tuples` synthetic tuples,
+    /// allocating `bytes_per_tuple` each.
+    struct Crunch {
+        space: Option<SpaceId>,
+        tuples: u64,
+        bytes_per_tuple: u64,
+    }
+
+    impl Work for Crunch {
+        fn step(&mut self, cx: &mut WorkCx<'_>) -> StepOutcome {
+            let space = match self.space {
+                Some(s) => s,
+                None => {
+                    let s = cx.create_space("crunch");
+                    self.space = Some(s);
+                    s
+                }
+            };
+            let per_tuple = cx.cost().tuple_cost(ByteSize(64));
+            while self.tuples > 0 && !cx.out_of_quantum() {
+                cx.charge(per_tuple);
+                if let Err(e) = cx.alloc(space, ByteSize(self.bytes_per_tuple)) {
+                    return StepOutcome::Failed(e);
+                }
+                self.tuples -= 1;
+            }
+            if self.tuples == 0 {
+                StepOutcome::Finished
+            } else {
+                StepOutcome::Ran
+            }
+        }
+
+        fn label(&self) -> String {
+            "crunch".into()
+        }
+    }
+
+    fn crunch(tuples: u64, bytes_per_tuple: u64) -> Box<dyn Work> {
+        Box::new(Crunch { space: None, tuples, bytes_per_tuple })
+    }
+
+    fn sim(cores: usize, heap_mib: u64) -> NodeSim {
+        NodeSim::new(NodeState::new(
+            NodeId(0),
+            cores,
+            ByteSize::mib(heap_mib),
+            ByteSize::mib(256),
+        ))
+    }
+
+    fn run_to_completion(sim: &mut NodeSim) -> (Vec<ThreadId>, Vec<(ThreadId, SimError)>) {
+        let mut finished = Vec::new();
+        let mut failed = Vec::new();
+        for _ in 0..1_000_000 {
+            if sim.live_count() == 0 {
+                break;
+            }
+            let r = sim.run_round();
+            finished.extend(r.finished);
+            failed.extend(r.failed);
+        }
+        (finished, failed)
+    }
+
+    #[test]
+    fn single_thread_finishes_and_advances_clock() {
+        let mut s = sim(8, 64);
+        let id = s.spawn(crunch(10_000, 16));
+        let (fin, fail) = run_to_completion(&mut s);
+        assert_eq!(fin, vec![id]);
+        assert!(fail.is_empty());
+        assert!(s.node().now.as_nanos() > 0);
+        assert_eq!(s.thread_state(id), Some(ThreadState::Finished));
+    }
+
+    #[test]
+    fn parallel_threads_share_cores() {
+        // 1 core: two identical threads take ~2x the wall time of one.
+        let mut one = sim(1, 64);
+        one.spawn(crunch(20_000, 8));
+        run_to_completion(&mut one);
+        let t_one = one.node().now;
+
+        let mut two = sim(1, 64);
+        two.spawn(crunch(20_000, 8));
+        two.spawn(crunch(20_000, 8));
+        run_to_completion(&mut two);
+        let t_two = two.node().now;
+
+        let ratio = t_two.as_nanos() as f64 / t_one.as_nanos() as f64;
+        assert!((1.7..=2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn more_cores_speed_up_parallel_work() {
+        let mut narrow = sim(1, 64);
+        for _ in 0..8 {
+            narrow.spawn(crunch(10_000, 8));
+        }
+        run_to_completion(&mut narrow);
+
+        let mut wide = sim(8, 64);
+        for _ in 0..8 {
+            wide.spawn(crunch(10_000, 8));
+        }
+        run_to_completion(&mut wide);
+
+        let speedup =
+            narrow.node().now.as_nanos() as f64 / wide.node().now.as_nanos() as f64;
+        assert!(speedup > 4.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn heap_exhaustion_fails_the_thread_not_the_simulator() {
+        // 2MiB heap, thread wants ~12MiB live.
+        let mut s = sim(8, 2);
+        let id = s.spawn(crunch(200_000, 64));
+        let (fin, fail) = run_to_completion(&mut s);
+        assert!(fin.is_empty());
+        assert_eq!(fail.len(), 1);
+        assert_eq!(fail[0].0, id);
+        assert!(fail[0].1.is_oom());
+        // GC was attempted before dying.
+        assert!(s.node().heap.stats().full_count > 0);
+        assert!(s.node().gc_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn kill_retires_a_thread() {
+        let mut s = sim(8, 64);
+        let id = s.spawn(crunch(1_000_000, 8));
+        s.run_round();
+        assert!(s.kill(id));
+        assert!(!s.kill(id));
+        assert_eq!(s.thread_state(id), Some(ThreadState::Failed));
+        assert_eq!(s.live_count(), 0);
+    }
+
+    #[test]
+    fn progress_counter_is_take_once() {
+        let mut s = sim(8, 64);
+        let id = s.spawn(crunch(100_000, 8));
+        s.run_round();
+        s.add_progress(id, 42);
+        assert_eq!(s.take_progress(id), 42);
+        assert_eq!(s.take_progress(id), 0);
+    }
+
+    #[test]
+    fn thread_timeline_is_recorded() {
+        let mut s = sim(8, 64);
+        s.spawn(crunch(50_000, 8));
+        s.spawn(crunch(50_000, 8));
+        run_to_completion(&mut s);
+        let series = s.node().log.series("active_threads").unwrap();
+        assert!(series.max_value() >= 2.0);
+        assert_eq!(series.samples.last().unwrap().value, 0.0);
+    }
+}

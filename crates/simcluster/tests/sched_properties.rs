@@ -1,0 +1,113 @@
+//! Property tests on the node scheduler: virtual time is monotonic,
+//! processor sharing never undercounts the longest step, and thread
+//! lifecycle transitions are one-way.
+
+use proptest::prelude::*;
+use simcluster::{NodeSim, NodeState, StepOutcome, Work, WorkCx};
+use simcore::{ByteSize, NodeId, SimDuration};
+
+/// A thread that burns a fixed CPU amount per step for `steps` steps.
+struct Burner {
+    per_step: SimDuration,
+    steps: u32,
+}
+
+impl Work for Burner {
+    fn step(&mut self, cx: &mut WorkCx<'_>) -> StepOutcome {
+        if self.steps == 0 {
+            return StepOutcome::Finished;
+        }
+        cx.charge(self.per_step);
+        self.steps -= 1;
+        if self.steps == 0 {
+            StepOutcome::Finished
+        } else {
+            StepOutcome::Ran
+        }
+    }
+
+    fn label(&self) -> String {
+        "burner".into()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Clock monotonicity and total-work lower bound: the node clock
+    /// never decreases and ends at least at total CPU / cores, and at
+    /// least at the longest single thread's CPU.
+    #[test]
+    fn clock_respects_processor_sharing(
+        cores in 1usize..16,
+        threads in proptest::collection::vec((1u64..500, 1u32..20), 1..12),
+    ) {
+        let mut sim = NodeSim::new(NodeState::new(
+            NodeId(0),
+            cores,
+            ByteSize::mib(64),
+            ByteSize::mib(64),
+        ));
+        let mut total_cpu = SimDuration::ZERO;
+        let mut longest = SimDuration::ZERO;
+        for &(us, steps) in &threads {
+            let cpu = SimDuration::from_micros(us) * steps as u64;
+            total_cpu += cpu;
+            longest = longest.max(cpu);
+            sim.spawn(Box::new(Burner {
+                per_step: SimDuration::from_micros(us),
+                steps,
+            }));
+        }
+        let mut prev = sim.node().now;
+        let mut rounds = 0;
+        while sim.live_count() > 0 {
+            let r = sim.run_round();
+            prop_assert!(r.failed.is_empty());
+            prop_assert!(sim.node().now >= prev, "clock went backwards");
+            prev = sim.node().now;
+            rounds += 1;
+            prop_assert!(rounds < 100_000, "runaway schedule");
+        }
+        let elapsed = sim.node().now.since(simcore::SimTime::ZERO);
+        let shared_floor = SimDuration::from_nanos(total_cpu.as_nanos() / cores as u64);
+        prop_assert!(elapsed >= longest, "elapsed {} < longest thread {}", elapsed, longest);
+        prop_assert!(
+            elapsed + SimDuration::from_micros(1) >= shared_floor,
+            "elapsed {} < fair-share floor {}",
+            elapsed,
+            shared_floor
+        );
+        // And not absurdly more than serial execution.
+        prop_assert!(elapsed <= total_cpu + SimDuration::from_millis(10));
+    }
+
+    /// Finished threads stay finished and never rejoin the live set.
+    #[test]
+    fn lifecycle_is_one_way(threads in 1usize..8) {
+        let mut sim = NodeSim::new(NodeState::new(
+            NodeId(0),
+            2,
+            ByteSize::mib(16),
+            ByteSize::mib(16),
+        ));
+        let ids: Vec<_> = (0..threads)
+            .map(|_| {
+                sim.spawn(Box::new(Burner {
+                    per_step: SimDuration::from_micros(50),
+                    steps: 3,
+                }))
+            })
+            .collect();
+        while sim.live_count() > 0 {
+            sim.run_round();
+        }
+        for id in ids {
+            prop_assert_eq!(sim.thread_state(id), Some(simcluster::ThreadState::Finished));
+            prop_assert!(!sim.kill(id), "retired threads cannot be killed");
+        }
+        // A post-completion round is a no-op.
+        let r = sim.run_round();
+        prop_assert!(r.idle());
+    }
+}

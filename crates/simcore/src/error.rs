@@ -1,0 +1,128 @@
+//! The shared error type of the simulator.
+
+use std::fmt;
+
+use crate::bytes::ByteSize;
+use crate::ids::{NodeId, TaskId};
+
+/// Result alias used throughout the workspace.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors surfaced by the simulated runtime.
+///
+/// `OutOfMemory` is the simulation's equivalent of Java's
+/// `OutOfMemoryError`: it is raised when an allocation still cannot be
+/// satisfied after a full collection. Frameworks decide what it means — a
+/// Hyracks job dies, a Hadoop task attempt is retried, an ITask execution
+/// should never see one at all.
+#[derive(Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An allocation failed even after a full GC.
+    OutOfMemory {
+        /// The node whose heap was exhausted.
+        node: NodeId,
+        /// The allocation that could not be satisfied.
+        requested: ByteSize,
+        /// Free heap bytes after the failed collection.
+        free: ByteSize,
+    },
+    /// A job failed (wraps the root cause and identifies the task).
+    TaskFailed {
+        /// The failing logical task.
+        task: TaskId,
+        /// Human-readable cause.
+        cause: String,
+    },
+    /// A task exceeded its retry budget (YARN-style).
+    RetriesExhausted {
+        /// The failing logical task.
+        task: TaskId,
+        /// Number of attempts made.
+        attempts: u32,
+    },
+    /// The simulated disk filled up.
+    DiskFull {
+        /// The node whose disk is full.
+        node: NodeId,
+        /// The write that could not be satisfied.
+        requested: ByteSize,
+    },
+    /// A configuration/usage error in the simulation setup.
+    Config(String),
+    /// An internal invariant was violated (a bug in the simulator).
+    Internal(String),
+}
+
+impl SimError {
+    /// Whether this error is (or is caused by) an out-of-memory error.
+    pub fn is_oom(&self) -> bool {
+        match self {
+            SimError::OutOfMemory { .. } => true,
+            SimError::TaskFailed { cause, .. } => cause.contains("OutOfMemory"),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { node, requested, free } => write!(
+                f,
+                "OutOfMemoryError on {node}: requested {requested}, only {free} free after full GC"
+            ),
+            SimError::TaskFailed { task, cause } => {
+                write!(f, "task {task} failed: {cause}")
+            }
+            SimError::RetriesExhausted { task, attempts } => {
+                write!(f, "task {task} failed after {attempts} attempts")
+            }
+            SimError::DiskFull { node, requested } => {
+                write!(f, "disk full on {node}: could not write {requested}")
+            }
+            SimError::Config(msg) => write!(f, "configuration error: {msg}"),
+            SimError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
+        }
+    }
+}
+
+// `Debug` delegates to `Display` so `unwrap` panics stay readable.
+impl fmt::Debug for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_detection() {
+        let e = SimError::OutOfMemory {
+            node: NodeId(0),
+            requested: ByteSize::mib(1),
+            free: ByteSize::kib(10),
+        };
+        assert!(e.is_oom());
+        let wrapped = SimError::TaskFailed {
+            task: TaskId(2),
+            cause: e.to_string(),
+        };
+        assert!(wrapped.is_oom());
+        assert!(!SimError::Config("x".into()).is_oom());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::DiskFull {
+            node: NodeId(1),
+            requested: ByteSize::mib(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("node1"));
+        assert!(s.contains("2.00MiB"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Java object-layout cost model ("bloat").
+//!
+//! The paper's memory problems are inflated by managed-runtime object
+//! overhead: headers, references, boxed primitives, collection entries
+//! (Mitchell & Sevitsky, "The causes of bloat"; cited as \[45\] in the paper). These
+//! helpers price a tuple's *simulated* heap footprint the way a 64-bit
+//! HotSpot JVM with compressed oops would.
+
+/// Object header (mark word + compressed class pointer).
+pub const OBJECT_HEADER: u64 = 16;
+/// A reference field (compressed oop).
+pub const REFERENCE: u64 = 4;
+/// Array header (object header + length).
+pub const ARRAY_HEADER: u64 = 20;
+
+/// Rounds up to the 8-byte object alignment.
+pub const fn align(bytes: u64) -> u64 {
+    (bytes + 7) & !7
+}
+
+/// A `java.lang.String` of `chars` characters: the `String` object plus
+/// its backing `char[]` (UTF-16).
+pub const fn string(chars: u64) -> u64 {
+    // String: header + hash + ref to value array.
+    let obj = align(OBJECT_HEADER + 4 + REFERENCE);
+    let arr = align(ARRAY_HEADER + 2 * chars);
+    obj + arr
+}
+
+/// A boxed primitive (`Integer`, `Long`, `Double`).
+pub const fn boxed(prim_bytes: u64) -> u64 {
+    align(OBJECT_HEADER + prim_bytes)
+}
+
+/// One `java.util.HashMap` entry: the `Node`, its table-slot share, and
+/// the boxed key/value referenced by it (pass their own sizes).
+pub const fn hashmap_entry(key_bytes: u64, value_bytes: u64) -> u64 {
+    // Node: header + hash + key ref + value ref + next ref.
+    let node = align(OBJECT_HEADER + 4 + 3 * REFERENCE);
+    // Table slot amortized at default load factor 0.75.
+    let slot = 8;
+    node + slot + key_bytes + value_bytes
+}
+
+/// An `ArrayList` of `n` elements of `elem_bytes` each (element payload
+/// included).
+pub const fn array_list(n: u64, elem_bytes: u64) -> u64 {
+    let list = align(OBJECT_HEADER + 4 + REFERENCE);
+    // Backing array with typical 1.5x growth slack.
+    let backing = align(ARRAY_HEADER + REFERENCE * n + REFERENCE * n / 2);
+    list + backing + n * elem_bytes
+}
+
+/// A plain object with `n_refs` reference fields and `prim_bytes` of
+/// primitive fields.
+pub const fn object(n_refs: u64, prim_bytes: u64) -> u64 {
+    align(OBJECT_HEADER + REFERENCE * n_refs + prim_bytes)
+}
+
+/// Types that know their simulated managed-heap footprint.
+///
+/// Workload records implement this; the ITask layer blanket-implements
+/// its `Tuple` trait over it.
+pub trait HeapSized {
+    /// Bytes as a Java-style object graph.
+    fn heap_bytes(&self) -> u64;
+
+    /// Bytes when compactly serialized (Kryo-style); defaults to a third
+    /// of the object form.
+    fn ser_bytes(&self) -> u64 {
+        (self.heap_bytes() / 3).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_rounds_up_to_eight() {
+        assert_eq!(align(0), 0);
+        assert_eq!(align(1), 8);
+        assert_eq!(align(8), 8);
+        assert_eq!(align(17), 24);
+    }
+
+    #[test]
+    fn string_bloat_far_exceeds_payload() {
+        // A 10-char string is ~3.6x its UTF-8 payload.
+        let s = string(10);
+        assert!(s >= 24 + 40);
+        assert!(s > 3 * 10);
+    }
+
+    #[test]
+    fn hashmap_entry_dominates_small_payloads() {
+        // (String(6) -> Integer) costs ~100+ bytes for ~10 payload bytes.
+        let e = hashmap_entry(string(6), boxed(4));
+        assert!(e > 100, "entry = {e}");
+    }
+
+    #[test]
+    fn array_list_scales_linearly() {
+        let small = array_list(10, 16);
+        let big = array_list(1000, 16);
+        assert!(big > 50 * small / 10);
+    }
+
+    #[test]
+    fn object_includes_header() {
+        assert_eq!(object(0, 0), 16);
+        assert!(object(2, 8) >= 16 + 8 + 8);
+    }
+
+    #[test]
+    fn heap_sized_default_ser() {
+        struct X;
+        impl HeapSized for X {
+            fn heap_bytes(&self) -> u64 {
+                90
+            }
+        }
+        assert_eq!(X.ser_bytes(), 30);
+    }
+}

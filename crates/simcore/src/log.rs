@@ -1,0 +1,189 @@
+//! Sampled time series used to regenerate the paper's timeline figures
+//! (Figure 3's memory footprint, Figure 11(c)'s active-thread counts).
+
+use crate::time::SimTime;
+
+/// One sample of a time series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// The sampled value (bytes, thread counts, ... depending on series).
+    pub value: f64,
+}
+
+/// A named, append-only time series.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    /// Series name (e.g. `"heap_used"`, `"active_map_threads"`).
+    pub name: String,
+    /// Samples in non-decreasing time order.
+    pub samples: Vec<Sample>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), samples: Vec::new() }
+    }
+
+    /// Appends a sample; out-of-order appends are clamped to the last
+    /// sample's timestamp so the series stays monotonic.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        let at = match self.samples.last() {
+            Some(last) if at < last.at => last.at,
+            _ => at,
+        };
+        self.samples.push(Sample { at, value });
+    }
+
+    /// The maximum value seen, or 0.0 for an empty series.
+    pub fn max_value(&self) -> f64 {
+        self.samples.iter().map(|s| s.value).fold(0.0, f64::max)
+    }
+
+    /// The time-weighted average value (each sample holds until the next).
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return self.samples.first().map_or(0.0, |s| s.value);
+        }
+        let mut area = 0.0;
+        let mut span = 0.0;
+        for w in self.samples.windows(2) {
+            let dt = w[1].at.since(w[0].at).as_secs_f64();
+            area += w[0].value * dt;
+            span += dt;
+        }
+        if span == 0.0 {
+            self.samples.last().map_or(0.0, |s| s.value)
+        } else {
+            area / span
+        }
+    }
+
+    /// Downsamples to at most `buckets` points by keeping each bucket's
+    /// maximum (peaks matter for memory plots).
+    pub fn downsample_max(&self, buckets: usize) -> Vec<Sample> {
+        if buckets == 0 || self.samples.len() <= buckets {
+            return self.samples.clone();
+        }
+        let per = self.samples.len().div_ceil(buckets);
+        self.samples
+            .chunks(per)
+            .map(|c| {
+                let peak = c
+                    .iter()
+                    .max_by(|a, b| a.value.total_cmp(&b.value))
+                    .expect("non-empty chunk");
+                Sample { at: c[c.len() - 1].at, value: peak.value }
+            })
+            .collect()
+    }
+}
+
+/// A collection of named series recorded during a run.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    series: Vec<Series>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to `name`, creating the series on first use.
+    pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
+        match self.series.iter_mut().find(|s| s.name == name) {
+            Some(s) => s.push(at, value),
+            None => {
+                let mut s = Series::new(name);
+                s.push(at, value);
+                self.series.push(s);
+            }
+        }
+    }
+
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// All recorded series.
+    pub fn all(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Merges another log's series into this one (used to combine
+    /// per-node logs into a cluster view).
+    pub fn merge(&mut self, other: &EventLog) {
+        for s in &other.series {
+            for sample in &s.samples {
+                self.record(&s.name, sample.at, sample.value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn push_keeps_monotonic_time() {
+        let mut s = Series::new("x");
+        s.push(t(5), 1.0);
+        s.push(t(3), 2.0); // out of order: clamped to t(5)
+        assert_eq!(s.samples[1].at, t(5));
+    }
+
+    #[test]
+    fn max_and_mean() {
+        let mut s = Series::new("mem");
+        s.push(t(0), 10.0);
+        s.push(t(10), 30.0);
+        s.push(t(20), 10.0);
+        assert_eq!(s.max_value(), 30.0);
+        // 10 for 10s then 30 for 10s => mean 20.
+        assert!((s.time_weighted_mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_preserves_peak() {
+        let mut s = Series::new("mem");
+        for i in 0..100 {
+            let v = if i == 57 { 999.0 } else { 1.0 };
+            s.push(t(i), v);
+        }
+        let ds = s.downsample_max(10);
+        assert!(ds.len() <= 10);
+        assert!(ds.iter().any(|x| x.value == 999.0));
+    }
+
+    #[test]
+    fn log_creates_and_merges_series() {
+        let mut a = EventLog::new();
+        a.record("heap", t(0), 1.0);
+        let mut b = EventLog::new();
+        b.record("heap", t(1), 2.0);
+        b.record("threads", t(1), 4.0);
+        a.merge(&b);
+        assert_eq!(a.series("heap").unwrap().samples.len(), 2);
+        assert_eq!(a.series("threads").unwrap().samples.len(), 1);
+        assert!(a.series("missing").is_none());
+    }
+
+    #[test]
+    fn empty_series_statistics() {
+        let s = Series::new("empty");
+        assert_eq!(s.max_value(), 0.0);
+        assert_eq!(s.time_weighted_mean(), 0.0);
+        assert!(s.downsample_max(4).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Collection records and aggregate GC statistics.
+
+use simcore::{ByteSize, SimDuration, SimTime};
+
+/// Which collector ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GcKind {
+    /// Young-generation evacuation.
+    Minor,
+    /// Whole-heap mark/sweep/compact.
+    Full,
+}
+
+/// One stop-the-world collection, as observed by the monitor.
+#[derive(Clone, Debug)]
+pub struct GcRecord {
+    /// When the collection finished (pause already included by the caller).
+    pub at: SimTime,
+    /// Minor or full.
+    pub kind: GcKind,
+    /// Used bytes before the collection.
+    pub used_before: ByteSize,
+    /// Used bytes after the collection.
+    pub used_after: ByteSize,
+    /// Free bytes after the collection.
+    pub free_after: ByteSize,
+    /// Stop-the-world pause length.
+    pub pause: SimDuration,
+    /// A *long and useless* GC: a full collection that failed to raise
+    /// free memory above the configured `M%` of capacity (paper §5.2).
+    pub useless: bool,
+}
+
+impl GcRecord {
+    /// Bytes reclaimed by this collection.
+    pub fn reclaimed(&self) -> ByteSize {
+        self.used_before.saturating_sub(self.used_after)
+    }
+}
+
+/// Aggregate collector statistics for one heap.
+#[derive(Clone, Debug, Default)]
+pub struct GcStats {
+    /// Number of minor collections.
+    pub minor_count: u64,
+    /// Number of full collections.
+    pub full_count: u64,
+    /// Number of collections flagged useless (LUGCs).
+    pub useless_count: u64,
+    /// Total stop-the-world pause time.
+    pub total_pause: SimDuration,
+    /// Total bytes reclaimed across all collections.
+    pub total_reclaimed: ByteSize,
+}
+
+impl GcStats {
+    pub(crate) fn absorb(&mut self, rec: &GcRecord) {
+        match rec.kind {
+            GcKind::Minor => self.minor_count += 1,
+            GcKind::Full => self.full_count += 1,
+        }
+        if rec.useless {
+            self.useless_count += 1;
+        }
+        self.total_pause += rec.pause;
+        self.total_reclaimed += rec.reclaimed();
+    }
+
+    /// Total number of collections.
+    pub fn count(&self) -> u64 {
+        self.minor_count + self.full_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_absorb_records() {
+        let mut stats = GcStats::default();
+        stats.absorb(&GcRecord {
+            at: SimTime::ZERO,
+            kind: GcKind::Minor,
+            used_before: ByteSize(100),
+            used_after: ByteSize(40),
+            free_after: ByteSize(60),
+            pause: SimDuration::from_micros(50),
+            useless: false,
+        });
+        stats.absorb(&GcRecord {
+            at: SimTime::ZERO,
+            kind: GcKind::Full,
+            used_before: ByteSize(90),
+            used_after: ByteSize(85),
+            free_after: ByteSize(15),
+            pause: SimDuration::from_millis(2),
+            useless: true,
+        });
+        assert_eq!(stats.minor_count, 1);
+        assert_eq!(stats.full_count, 1);
+        assert_eq!(stats.useless_count, 1);
+        assert_eq!(stats.count(), 2);
+        assert_eq!(stats.total_reclaimed, ByteSize(65));
+        assert_eq!(
+            stats.total_pause,
+            SimDuration::from_micros(50) + SimDuration::from_millis(2)
+        );
+    }
+
+    #[test]
+    fn reclaimed_saturates() {
+        let rec = GcRecord {
+            at: SimTime::ZERO,
+            kind: GcKind::Full,
+            used_before: ByteSize(10),
+            used_after: ByteSize(20),
+            free_after: ByteSize(0),
+            pause: SimDuration::ZERO,
+            useless: true,
+        };
+        assert_eq!(rec.reclaimed(), ByteSize::ZERO);
+    }
+}

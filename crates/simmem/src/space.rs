@@ -1,0 +1,63 @@
+//! Heap spaces: named groups of allocations that live and die together.
+
+use simcore::{ByteSize, SpaceId};
+
+/// Live-byte accounting for one space, split by generation and age.
+///
+/// Newly allocated bytes land in *eden* (`young0`); a minor collection
+/// moves survivors to the *survivor* bucket (`young1`), and bytes that
+/// survive a second minor collection are promoted to *old*. Short-lived
+/// data (input frames, scratch) therefore dies young and never inflates
+/// full-collection cost — HotSpot's survivor-space behaviour. Freed
+/// bytes leave the live counts but remain in the heap's used counts as
+/// garbage until the owning generation is collected.
+#[derive(Clone, Debug)]
+pub struct SpaceInfo {
+    /// This space's id.
+    pub id: SpaceId,
+    /// Debug label (e.g. `"task3.local"`, `"part17.deser"`).
+    pub label: String,
+    /// Live bytes in eden (allocated since the last minor collection).
+    pub young0_live: ByteSize,
+    /// Live bytes in the survivor bucket (survived one minor collection).
+    pub young1_live: ByteSize,
+    /// Live bytes promoted to the old generation.
+    pub old_live: ByteSize,
+}
+
+impl SpaceInfo {
+    pub(crate) fn new(id: SpaceId, label: String) -> Self {
+        SpaceInfo {
+            id,
+            label,
+            young0_live: ByteSize::ZERO,
+            young1_live: ByteSize::ZERO,
+            old_live: ByteSize::ZERO,
+        }
+    }
+
+    /// Total live bytes of this space.
+    pub fn live(&self) -> ByteSize {
+        self.young0_live + self.young1_live + self.old_live
+    }
+
+    /// Live bytes still in the young generation (either age).
+    pub fn young_live(&self) -> ByteSize {
+        self.young0_live + self.young1_live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_sums_generations() {
+        let mut s = SpaceInfo::new(SpaceId(0), "x".into());
+        s.young0_live = ByteSize(10);
+        s.young1_live = ByteSize(12);
+        s.old_live = ByteSize(20);
+        assert_eq!(s.live(), ByteSize(42));
+        assert_eq!(s.young_live(), ByteSize(22));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: the heap state machine stays consistent under
+//! arbitrary operation sequences.
+
+use proptest::prelude::*;
+use simcore::{ByteSize, SimTime, SpaceId};
+use simmem::{Heap, HeapConfig};
+
+/// An operation in a random heap workload.
+#[derive(Clone, Debug)]
+enum Op {
+    Create,
+    Alloc { space: usize, kib: u64 },
+    Free { space: usize, kib: u64 },
+    Release { space: usize },
+    ForceGc,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        1 => Just(Op::Create),
+        5 => (0..8usize, 1..300u64).prop_map(|(space, kib)| Op::Alloc { space, kib }),
+        3 => (0..8usize, 1..300u64).prop_map(|(space, kib)| Op::Free { space, kib }),
+        1 => (0..8usize).prop_map(|space| Op::Release { space }),
+        1 => Just(Op::ForceGc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Invariants hold after every operation; used never exceeds
+    /// capacity; GC never increases occupancy; live ≤ used throughout.
+    #[test]
+    fn heap_invariants_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut h = Heap::new(HeapConfig::with_capacity(ByteSize::kib(2048)));
+        let mut spaces: Vec<SpaceId> = vec![h.create_space("s0")];
+        for op in ops {
+            match op {
+                Op::Create => {
+                    if spaces.len() < 8 {
+                        spaces.push(h.create_space("s"));
+                    }
+                }
+                Op::Alloc { space, kib } => {
+                    let id = spaces[space % spaces.len()];
+                    // OOM is a legal outcome; the heap must survive it.
+                    let _ = h.alloc(id, ByteSize::kib(kib), SimTime::ZERO);
+                }
+                Op::Free { space, kib } => {
+                    let id = spaces[space % spaces.len()];
+                    h.free(id, ByteSize::kib(kib));
+                }
+                Op::Release { space } => {
+                    let id = spaces[space % spaces.len()];
+                    h.release_space(id);
+                }
+                Op::ForceGc => {
+                    let used_before = h.used();
+                    let rec = h.force_full_gc(SimTime::ZERO);
+                    prop_assert!(h.used() <= used_before);
+                    prop_assert_eq!(rec.used_after, h.used());
+                }
+            }
+            prop_assert!(h.check_invariants().is_ok(), "{:?}", h.check_invariants());
+            prop_assert!(h.live() <= h.used());
+            prop_assert!(h.used() <= h.capacity());
+            prop_assert!(h.peak_used() >= h.used());
+        }
+    }
+
+    /// After a full collection the heap holds exactly its live bytes:
+    /// garbage never survives a full GC.
+    #[test]
+    fn full_gc_leaves_no_garbage(
+        allocs in proptest::collection::vec((1..200u64, any::<bool>()), 1..60)
+    ) {
+        let mut h = Heap::new(HeapConfig::with_capacity(ByteSize::kib(4096)));
+        let s = h.create_space("s");
+        for (kib, die) in allocs {
+            if h.alloc(s, ByteSize::kib(kib), SimTime::ZERO).is_ok() && die {
+                h.free(s, ByteSize::kib(kib));
+            }
+        }
+        h.force_full_gc(SimTime::ZERO);
+        prop_assert_eq!(h.garbage(), ByteSize::ZERO);
+        prop_assert_eq!(h.used(), h.live());
+    }
+
+    /// Allocation accounting is conservative: successful allocations
+    /// minus frees equals the live set.
+    #[test]
+    fn live_bytes_equal_alloc_minus_free(
+        steps in proptest::collection::vec((1..100u64, 0..100u64), 1..80)
+    ) {
+        let mut h = Heap::new(HeapConfig::with_capacity(ByteSize::mib(64)));
+        let s = h.create_space("s");
+        let mut expected_live = 0u64;
+        for (alloc_kib, free_kib) in steps {
+            if h.alloc(s, ByteSize::kib(alloc_kib), SimTime::ZERO).is_ok() {
+                expected_live += alloc_kib * 1024;
+            }
+            let freed = h.free(s, ByteSize::kib(free_kib));
+            expected_live -= freed.as_u64();
+        }
+        prop_assert_eq!(h.live().as_u64(), expected_live);
+    }
+}

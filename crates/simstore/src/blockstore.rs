@@ -1,0 +1,202 @@
+//! An HDFS-like block store: datasets split into fixed-size blocks,
+//! replicated round-robin across nodes.
+//!
+//! The MapReduce engine derives one input split per block and prefers
+//! scheduling map tasks where a replica lives (locality); the Hyracks scan
+//! operators read the blocks local to each node.
+
+use simcore::{ByteSize, NodeId};
+
+/// Identifier of a stored dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DatasetId(pub u32);
+
+/// One block of a dataset.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// The dataset this block belongs to.
+    pub dataset: DatasetId,
+    /// Index of the block within the dataset.
+    pub index: u32,
+    /// Payload bytes in this block (the last block may be short).
+    pub bytes: ByteSize,
+    /// Nodes holding a replica, primary first.
+    pub replicas: Vec<NodeId>,
+}
+
+impl Block {
+    /// Whether `node` holds a replica of this block.
+    pub fn is_local_to(&self, node: NodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+}
+
+/// A stored dataset: contiguous logical bytes split into blocks.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// The dataset's id.
+    pub id: DatasetId,
+    /// Human-readable name (e.g. `"wikipedia-49G"`).
+    pub name: String,
+    /// Total logical size.
+    pub bytes: ByteSize,
+    /// The dataset's blocks, in order.
+    pub blocks: Vec<Block>,
+}
+
+/// Block store parameters.
+#[derive(Clone, Debug)]
+pub struct BlockStoreConfig {
+    /// Block size (the paper's experiments use 128 MB; at 1/1024 scale
+    /// that is 128 KiB).
+    pub block_size: ByteSize,
+    /// Replication factor (HDFS default 3).
+    pub replication: usize,
+    /// Number of storage nodes.
+    pub nodes: usize,
+}
+
+impl Default for BlockStoreConfig {
+    fn default() -> Self {
+        BlockStoreConfig {
+            block_size: ByteSize::kib(128),
+            replication: 3,
+            nodes: 1,
+        }
+    }
+}
+
+/// The cluster-wide block store.
+#[derive(Clone, Debug)]
+pub struct BlockStore {
+    cfg: BlockStoreConfig,
+    datasets: Vec<Dataset>,
+    next_primary: usize,
+}
+
+impl BlockStore {
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero nodes or a zero block size.
+    pub fn new(cfg: BlockStoreConfig) -> Self {
+        assert!(cfg.nodes > 0, "block store needs at least one node");
+        assert!(!cfg.block_size.is_zero(), "zero block size");
+        BlockStore { cfg, datasets: Vec::new(), next_primary: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BlockStoreConfig {
+        &self.cfg
+    }
+
+    /// Stores a dataset of `bytes`, splitting it into blocks and placing
+    /// replicas round-robin. Returns the dataset id.
+    pub fn put(&mut self, name: impl Into<String>, bytes: ByteSize) -> DatasetId {
+        let id = DatasetId(self.datasets.len() as u32);
+        let bs = self.cfg.block_size.as_u64();
+        let total = bytes.as_u64();
+        let n_blocks = total.div_ceil(bs).max(1);
+        let replication = self.cfg.replication.min(self.cfg.nodes);
+        let mut blocks = Vec::with_capacity(n_blocks as usize);
+        for i in 0..n_blocks {
+            let this = if i == n_blocks - 1 && !total.is_multiple_of(bs) && total > 0 {
+                total % bs
+            } else {
+                bs.min(total.max(1))
+            };
+            let mut replicas = Vec::with_capacity(replication);
+            for r in 0..replication {
+                replicas.push(NodeId(
+                    ((self.next_primary + r) % self.cfg.nodes) as u32,
+                ));
+            }
+            self.next_primary = (self.next_primary + 1) % self.cfg.nodes;
+            blocks.push(Block {
+                dataset: id,
+                index: i as u32,
+                bytes: ByteSize(this),
+                replicas,
+            });
+        }
+        self.datasets.push(Dataset { id, name: name.into(), bytes, blocks });
+        id
+    }
+
+    /// Looks up a dataset.
+    pub fn dataset(&self, id: DatasetId) -> Option<&Dataset> {
+        self.datasets.get(id.0 as usize)
+    }
+
+    /// Blocks of `id` that have a replica on `node`.
+    pub fn local_blocks(&self, id: DatasetId, node: NodeId) -> Vec<&Block> {
+        self.dataset(id)
+            .map(|d| d.blocks.iter().filter(|b| b.is_local_to(node)).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(nodes: usize) -> BlockStore {
+        BlockStore::new(BlockStoreConfig {
+            block_size: ByteSize::kib(128),
+            replication: 3,
+            nodes,
+        })
+    }
+
+    #[test]
+    fn splits_into_blocks_with_short_tail() {
+        let mut s = store(4);
+        let id = s.put("data", ByteSize::kib(300));
+        let d = s.dataset(id).unwrap();
+        assert_eq!(d.blocks.len(), 3);
+        assert_eq!(d.blocks[0].bytes, ByteSize::kib(128));
+        assert_eq!(d.blocks[1].bytes, ByteSize::kib(128));
+        assert_eq!(d.blocks[2].bytes, ByteSize::kib(44));
+        let total: ByteSize = d.blocks.iter().map(|b| b.bytes).sum();
+        assert_eq!(total, ByteSize::kib(300));
+    }
+
+    #[test]
+    fn replication_clamped_to_node_count() {
+        let mut s = store(2);
+        let id = s.put("data", ByteSize::kib(128));
+        let d = s.dataset(id).unwrap();
+        assert_eq!(d.blocks[0].replicas.len(), 2);
+    }
+
+    #[test]
+    fn replicas_spread_round_robin() {
+        let mut s = store(4);
+        let id = s.put("data", ByteSize::kib(512)); // 4 blocks
+        let d = s.dataset(id).unwrap();
+        let primaries: Vec<u32> =
+            d.blocks.iter().map(|b| b.replicas[0].as_u32()).collect();
+        assert_eq!(primaries, vec![0, 1, 2, 3]);
+        // Every node sees some local blocks.
+        for n in 0..4 {
+            assert!(!s.local_blocks(id, NodeId(n)).is_empty());
+        }
+    }
+
+    #[test]
+    fn tiny_dataset_still_gets_one_block() {
+        let mut s = store(1);
+        let id = s.put("tiny", ByteSize(100));
+        let d = s.dataset(id).unwrap();
+        assert_eq!(d.blocks.len(), 1);
+        assert_eq!(d.blocks[0].bytes, ByteSize(100));
+    }
+
+    #[test]
+    fn missing_dataset_yields_nothing() {
+        let s = store(1);
+        assert!(s.dataset(DatasetId(5)).is_none());
+        assert!(s.local_blocks(DatasetId(5), NodeId(0)).is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! A per-node disk: a registry of simulated files plus an I/O cost model.
+
+use std::fmt;
+
+use simcore::{ByteSize, CostModel, SimDuration};
+
+/// Identifier of a simulated on-disk file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u64);
+
+impl fmt::Debug for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+
+/// Metadata of a simulated file (spill file, serialized partition, ...).
+#[derive(Clone, Debug)]
+pub struct DiskFile {
+    /// The file's id.
+    pub id: FileId,
+    /// Debug label.
+    pub label: String,
+    /// Size on disk.
+    pub bytes: ByteSize,
+}
+
+/// Aggregate I/O statistics for one disk.
+#[derive(Clone, Debug, Default)]
+pub struct DiskStats {
+    /// Total bytes written.
+    pub bytes_written: ByteSize,
+    /// Total bytes read.
+    pub bytes_read: ByteSize,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Number of read operations.
+    pub reads: u64,
+    /// Total virtual time spent in disk I/O.
+    pub io_time: SimDuration,
+}
+
+/// A node's disk.
+///
+/// Capacity is tracked but generous by default: the paper's failures are
+/// heap failures; the disk exists to give serialization a realistic price.
+#[derive(Clone, Debug)]
+pub struct Disk {
+    cost: CostModel,
+    capacity: ByteSize,
+    used: ByteSize,
+    files: Vec<Option<DiskFile>>,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Creates an empty disk.
+    pub fn new(capacity: ByteSize, cost: CostModel) -> Self {
+        Disk {
+            cost,
+            capacity,
+            used: ByteSize::ZERO,
+            files: Vec::new(),
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Remaining capacity.
+    pub fn free(&self) -> ByteSize {
+        self.capacity - self.used
+    }
+
+    /// I/O statistics.
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// Writes a new file of `bytes`; returns its id and the I/O time.
+    ///
+    /// Returns `None` if the disk is full (callers map this to
+    /// `SimError::DiskFull`).
+    pub fn write(
+        &mut self,
+        label: impl Into<String>,
+        bytes: ByteSize,
+    ) -> Option<(FileId, SimDuration)> {
+        if self.used + bytes > self.capacity {
+            return None;
+        }
+        let id = FileId(self.files.len() as u64);
+        self.files.push(Some(DiskFile { id, label: label.into(), bytes }));
+        self.used += bytes;
+        let t = self.cost.disk_write(bytes);
+        self.stats.bytes_written += bytes;
+        self.stats.writes += 1;
+        self.stats.io_time += t;
+        Some((id, t))
+    }
+
+    /// Registers a file that is *already on disk* (an input block laid
+    /// down before the job started): occupies space but costs no I/O
+    /// time now. Returns `None` if the disk is full.
+    pub fn register(
+        &mut self,
+        label: impl Into<String>,
+        bytes: ByteSize,
+    ) -> Option<FileId> {
+        if self.used + bytes > self.capacity {
+            return None;
+        }
+        let id = FileId(self.files.len() as u64);
+        self.files.push(Some(DiskFile { id, label: label.into(), bytes }));
+        self.used += bytes;
+        Some(id)
+    }
+
+    /// Reads a whole file; returns its size and the I/O time.
+    pub fn read(&mut self, id: FileId) -> Option<(ByteSize, SimDuration)> {
+        let bytes = self.files.get(id.0 as usize)?.as_ref()?.bytes;
+        let t = self.cost.disk_read(bytes);
+        self.stats.bytes_read += bytes;
+        self.stats.reads += 1;
+        self.stats.io_time += t;
+        Some((bytes, t))
+    }
+
+    /// Looks up file metadata.
+    pub fn file(&self, id: FileId) -> Option<&DiskFile> {
+        self.files.get(id.0 as usize).and_then(|f| f.as_ref())
+    }
+
+    /// Deletes a file, freeing its space. Returns the bytes freed.
+    pub fn delete(&mut self, id: FileId) -> ByteSize {
+        match self.files.get_mut(id.0 as usize).and_then(Option::take) {
+            Some(f) => {
+                self.used -= f.bytes;
+                f.bytes
+            }
+            None => ByteSize::ZERO,
+        }
+    }
+
+    /// Number of live files.
+    pub fn file_count(&self) -> usize {
+        self.files.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> Disk {
+        Disk::new(ByteSize::mib(100), CostModel::default())
+    }
+
+    #[test]
+    fn write_read_delete_roundtrip() {
+        let mut d = disk();
+        let (id, wt) = d.write("spill", ByteSize::mib(10)).unwrap();
+        assert!(wt > SimDuration::ZERO);
+        assert_eq!(d.used(), ByteSize::mib(10));
+        assert_eq!(d.file(id).unwrap().label, "spill");
+
+        let (bytes, rt) = d.read(id).unwrap();
+        assert_eq!(bytes, ByteSize::mib(10));
+        assert!(rt > SimDuration::ZERO);
+        // Reads are faster than writes under the default cost model.
+        assert!(rt < wt);
+
+        assert_eq!(d.delete(id), ByteSize::mib(10));
+        assert_eq!(d.used(), ByteSize::ZERO);
+        assert!(d.read(id).is_none());
+        assert_eq!(d.delete(id), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn disk_full_is_reported() {
+        let mut d = Disk::new(ByteSize::mib(5), CostModel::default());
+        assert!(d.write("a", ByteSize::mib(4)).is_some());
+        assert!(d.write("b", ByteSize::mib(4)).is_none());
+        assert_eq!(d.file_count(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = disk();
+        let (id, _) = d.write("a", ByteSize::mib(1)).unwrap();
+        d.read(id);
+        d.read(id);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().reads, 2);
+        assert_eq!(d.stats().bytes_read, ByteSize::mib(2));
+        assert!(d.stats().io_time > SimDuration::ZERO);
+    }
+}

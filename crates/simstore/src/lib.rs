@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Simulated storage: per-node disks with a bandwidth/latency cost model
+//! and an HDFS-like replicated block store.
+//!
+//! Stands in for the paper's SSD RAID-0 volumes and HDFS (128 MB blocks).
+//! The ITask partition manager serializes partitions here; the MapReduce
+//! engine spills map buffers and reads input splits from the block store.
+
+pub mod blockstore;
+pub mod disk;
+
+pub use blockstore::{Block, BlockStore, BlockStoreConfig, Dataset, DatasetId};
+pub use disk::{Disk, DiskFile, DiskStats, FileId};

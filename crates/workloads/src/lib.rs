@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Seeded synthetic dataset generators with the *shape* of the paper's
+//! inputs (DESIGN.md §1):
+//!
+//! * [`webmap`] — a power-law web graph standing in for the Yahoo!
+//!   Webmap and its subgraphs (Table 3), used by WC / HS / II;
+//! * [`tpch`] — TPC-H Customer/Order/LineItem rows (Table 4), used by
+//!   HJ / GR;
+//! * [`stackoverflow`] — posts with heavy-tailed lengths (the hot-key
+//!   root cause of §2), used by MSA;
+//! * [`wikipedia`] — articles with Zipf word frequencies and
+//!   heavy-tailed sentence lengths (the large-intermediate-results root
+//!   cause), used by IMC / IIB / WCM / CRP.
+//!
+//! Everything is scaled by `simcore::SCALE` (1/1024): a dataset labelled
+//! `"72GB"` carries 72 MiB of simulated payload. Generation is
+//! deterministic per `(seed, block)` so any block can be produced
+//! independently on any node, exactly like reading an HDFS block.
+
+pub mod stackoverflow;
+pub mod tpch;
+pub mod webmap;
+pub mod wikipedia;
+pub mod words;
+
+pub use stackoverflow::{Post, StackOverflowConfig};
+pub use tpch::{Customer, LineItem, Order, TpchConfig, TpchScale};
+pub use webmap::{AdjRecord, WebmapConfig, WebmapSize};
+pub use wikipedia::{Article, WikipediaConfig};
+pub use words::WordDist;

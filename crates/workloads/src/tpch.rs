@@ -1,0 +1,300 @@
+//! TPC-H style Customer / Order / LineItem generators (Table 4), used by
+//! the hash-join (HJ) and group-by (GR) benchmarks.
+
+use simcore::jbloat::{self, HeapSized};
+use simcore::rng::stable_hash64;
+use simcore::ByteSize;
+
+/// The scale factors of Table 4 (plus the larger sweeps of §6.2's
+/// scalability upper-bound experiment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TpchScale {
+    /// "10×": 9.8GB.
+    X10,
+    /// "20×": 19.7GB.
+    X20,
+    /// "30×": 29.7GB.
+    X30,
+    /// "50×": 49.6GB.
+    X50,
+    /// "100×": 99.8GB.
+    X100,
+    /// "150×": 150.4GB.
+    X150,
+    /// "250×" (GR's measured upper bound).
+    X250,
+    /// "600×" (HJ's measured upper bound).
+    X600,
+}
+
+impl TpchScale {
+    /// The six sizes of Table 4, smallest first.
+    pub const TABLE4: [TpchScale; 6] = [
+        TpchScale::X10,
+        TpchScale::X20,
+        TpchScale::X30,
+        TpchScale::X50,
+        TpchScale::X100,
+        TpchScale::X150,
+    ];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TpchScale::X10 => "10x",
+            TpchScale::X20 => "20x",
+            TpchScale::X30 => "30x",
+            TpchScale::X50 => "50x",
+            TpchScale::X100 => "100x",
+            TpchScale::X150 => "150x",
+            TpchScale::X250 => "250x",
+            TpchScale::X600 => "600x",
+        }
+    }
+
+    /// The numeric scale factor.
+    pub fn factor(self) -> u64 {
+        match self {
+            TpchScale::X10 => 10,
+            TpchScale::X20 => 20,
+            TpchScale::X30 => 30,
+            TpchScale::X50 => 50,
+            TpchScale::X100 => 100,
+            TpchScale::X150 => 150,
+            TpchScale::X250 => 250,
+            TpchScale::X600 => 600,
+        }
+    }
+
+    /// Paper-scale row counts `(customers, orders, lineitems)` from
+    /// Table 4 (1.5e5 / 1.5e6 / 6e6 rows per unit scale).
+    pub fn paper_counts(self) -> (u64, u64, u64) {
+        let f = self.factor();
+        (150_000 * f, 1_500_000 * f, 6_000_000 * f)
+    }
+}
+
+/// A TPC-H `CUSTOMER` row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Customer {
+    /// Primary key.
+    pub custkey: u64,
+    /// Nation foreign key.
+    pub nationkey: u32,
+    /// Account balance in cents.
+    pub acctbal: i64,
+}
+
+impl HeapSized for Customer {
+    fn heap_bytes(&self) -> u64 {
+        // Row object + name/address/phone strings (~46 chars total).
+        jbloat::object(3, 20) + jbloat::string(46)
+    }
+
+    fn ser_bytes(&self) -> u64 {
+        // Textual .tbl row.
+        120
+    }
+}
+
+/// A TPC-H `ORDERS` row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Order {
+    /// Primary key.
+    pub orderkey: u64,
+    /// Customer foreign key.
+    pub custkey: u64,
+    /// Total price in cents.
+    pub totalprice: i64,
+    /// Order date as days since epoch.
+    pub orderdate: u32,
+}
+
+impl HeapSized for Order {
+    fn heap_bytes(&self) -> u64 {
+        jbloat::object(2, 28) + jbloat::string(28)
+    }
+
+    fn ser_bytes(&self) -> u64 {
+        96
+    }
+}
+
+/// A TPC-H `LINEITEM` row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineItem {
+    /// Order foreign key.
+    pub orderkey: u64,
+    /// Line number within the order.
+    pub linenumber: u32,
+    /// Supplier key.
+    pub suppkey: u64,
+    /// Quantity.
+    pub quantity: u32,
+    /// Extended price in cents.
+    pub extendedprice: i64,
+}
+
+impl HeapSized for LineItem {
+    fn heap_bytes(&self) -> u64 {
+        jbloat::object(1, 40) + jbloat::string(20)
+    }
+
+    fn ser_bytes(&self) -> u64 {
+        112
+    }
+}
+
+/// Generator for one TPC-H dataset (scaled 1/1024 from Table 4).
+#[derive(Clone, Debug)]
+pub struct TpchConfig {
+    /// Which scale factor.
+    pub scale: TpchScale,
+    /// Scaled customer rows.
+    pub customers: u64,
+    /// Scaled order rows.
+    pub orders: u64,
+    /// Scaled lineitem rows.
+    pub lineitems: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl TpchConfig {
+    /// The scaled dataset for a Table 4 row.
+    pub fn preset(scale: TpchScale, seed: u64) -> Self {
+        let (c, o, l) = scale.paper_counts();
+        TpchConfig {
+            scale,
+            customers: (c / simcore::SCALE).max(1),
+            orders: (o / simcore::SCALE).max(1),
+            lineitems: (l / simcore::SCALE).max(1),
+            seed,
+        }
+    }
+
+    /// Scaled total payload bytes (serialized row sizes).
+    pub fn total_bytes(&self) -> ByteSize {
+        ByteSize(
+            self.customers * 120 + self.orders * 96 + self.lineitems * 112,
+        )
+    }
+
+    /// A per-row deterministic draw in `[0, bound)`, independent of how
+    /// the table is split into blocks.
+    fn draw(&self, stream: u64, row: u64, bound: u64) -> u64 {
+        stable_hash64(self.seed ^ stable_hash64(stream) ^ row.wrapping_mul(0x9E37)) % bound
+    }
+
+    /// Customer rows `[first, first+count)` for a block split.
+    pub fn customer_block(&self, first: u64, count: u64) -> Vec<Customer> {
+        (first..(first + count).min(self.customers))
+            .map(|k| Customer {
+                custkey: k,
+                nationkey: self.draw(0x0C01, k, 25) as u32,
+                acctbal: self.draw(0x0C02, k, 1_000_000) as i64 - 100_000,
+            })
+            .collect()
+    }
+
+    /// Order rows `[first, first+count)`; `custkey` is uniform over the
+    /// customer table.
+    pub fn order_block(&self, first: u64, count: u64) -> Vec<Order> {
+        (first..(first + count).min(self.orders))
+            .map(|k| Order {
+                orderkey: k,
+                custkey: self.draw(0x0D01, k, self.customers.max(1)),
+                totalprice: self.draw(0x0D02, k, 50_000_000) as i64,
+                orderdate: 8000 + self.draw(0x0D03, k, 2557) as u32,
+            })
+            .collect()
+    }
+
+    /// LineItem rows `[first, first+count)`; each order owns
+    /// `lineitems/orders` consecutive items.
+    pub fn lineitem_block(&self, first: u64, count: u64) -> Vec<LineItem> {
+        let per_order = (self.lineitems / self.orders.max(1)).max(1);
+        (first..(first + count).min(self.lineitems))
+            .map(|k| LineItem {
+                orderkey: (k / per_order).min(self.orders.saturating_sub(1)),
+                linenumber: (k % per_order) as u32,
+                suppkey: self.draw(0x0E01, k, 10_000),
+                quantity: 1 + self.draw(0x0E02, k, 50) as u32,
+                extendedprice: self.draw(0x0E03, k, 10_000_000) as i64,
+            })
+            .collect()
+    }
+
+    /// Blocks are split-invariant: any chunking yields the same rows.
+    #[cfg(test)]
+    fn lineitem_chunking_invariant(&self) -> bool {
+        let a: Vec<LineItem> =
+            (0..10).flat_map(|i| self.lineitem_block(i * 7, 7)).collect();
+        let b = self.lineitem_block(0, 70);
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table4_shape() {
+        let cfg = TpchConfig::preset(TpchScale::X100, 1);
+        assert_eq!(cfg.customers, 150_000 * 100 / 1024);
+        assert_eq!(cfg.orders, 1_500_000 * 100 / 1024);
+        assert_eq!(cfg.lineitems, 6_000_000 * 100 / 1024);
+        // ~99.8GB/1024 ≈ 94-100MiB of payload.
+        let b = cfg.total_bytes();
+        assert!(b > ByteSize::mib(70) && b < ByteSize::mib(120), "{b}");
+    }
+
+    #[test]
+    fn blocks_are_deterministic_and_clamped() {
+        let cfg = TpchConfig::preset(TpchScale::X10, 2);
+        assert_eq!(cfg.customer_block(0, 100), cfg.customer_block(0, 100));
+        let tail = cfg.customer_block(cfg.customers - 5, 100);
+        assert_eq!(tail.len(), 5);
+    }
+
+    #[test]
+    fn blocks_are_chunking_invariant() {
+        let cfg = TpchConfig::preset(TpchScale::X10, 5);
+        assert!(cfg.lineitem_chunking_invariant());
+    }
+
+    #[test]
+    fn foreign_keys_are_valid() {
+        let cfg = TpchConfig::preset(TpchScale::X10, 3);
+        for o in cfg.order_block(0, 1_000) {
+            assert!(o.custkey < cfg.customers);
+        }
+        for l in cfg.lineitem_block(0, 1_000) {
+            assert!(l.orderkey < cfg.orders);
+        }
+    }
+
+    #[test]
+    fn lineitems_cluster_by_order() {
+        let cfg = TpchConfig::preset(TpchScale::X10, 4);
+        let items = cfg.lineitem_block(0, 40);
+        let per_order = (cfg.lineitems / cfg.orders).max(1);
+        assert_eq!(items[0].orderkey, 0);
+        assert_eq!(items[per_order as usize].orderkey, 1);
+    }
+
+    #[test]
+    fn rows_have_java_bloat() {
+        let c = Customer { custkey: 1, nationkey: 2, acctbal: 3 };
+        assert!(c.heap_bytes() > c.ser_bytes());
+        let l = LineItem {
+            orderkey: 1,
+            linenumber: 2,
+            suppkey: 3,
+            quantity: 4,
+            extendedprice: 5,
+        };
+        assert!(l.heap_bytes() > 60);
+    }
+}

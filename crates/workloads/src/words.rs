@@ -1,0 +1,72 @@
+//! Shared Zipf word machinery for the text-like datasets.
+
+use simcore::rng::{stable_hash64, ZipfTable};
+use simcore::DetRng;
+
+/// A Zipf-distributed vocabulary: word ids in `0..vocab`, rank 0 hottest.
+#[derive(Clone, Debug)]
+pub struct WordDist {
+    table: ZipfTable,
+}
+
+impl WordDist {
+    /// Builds a vocabulary of `vocab` words with Zipf exponent `s`
+    /// (natural text is ≈ 1.0).
+    pub fn new(vocab: usize, s: f64) -> Self {
+        WordDist { table: ZipfTable::new(vocab, s) }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Draws one word id.
+    pub fn sample(&self, rng: &mut DetRng) -> u32 {
+        self.table.sample(rng) as u32
+    }
+
+    /// Draws `n` word ids.
+    pub fn sample_many(&self, rng: &mut DetRng, n: usize) -> Vec<u32> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Deterministic "spelling length" of a word id, 3..=12 characters
+    /// (for bloat/byte accounting).
+    pub fn word_chars(word: u32) -> u64 {
+        3 + stable_hash64(word as u64) % 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_in_vocabulary() {
+        let d = WordDist::new(1000, 1.0);
+        let mut rng = DetRng::new(1);
+        for _ in 0..5_000 {
+            assert!((d.sample(&mut rng) as usize) < d.vocab());
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let d = WordDist::new(10_000, 1.0);
+        let mut rng = DetRng::new(2);
+        let words = d.sample_many(&mut rng, 50_000);
+        let hot = words.iter().filter(|&&w| w < 10).count();
+        let cold = words.iter().filter(|&&w| w >= 5_000).count();
+        assert!(hot > cold, "hot={hot} cold={cold}");
+    }
+
+    #[test]
+    fn word_chars_is_stable_and_bounded() {
+        for w in 0..1000u32 {
+            let c = WordDist::word_chars(w);
+            assert!((3..=12).contains(&c));
+            assert_eq!(c, WordDist::word_chars(w));
+        }
+    }
+}

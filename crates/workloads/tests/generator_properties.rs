@@ -1,0 +1,83 @@
+//! Property tests over all dataset generators: block decomposition must
+//! cover every record exactly once at any block size, and the headline
+//! distribution properties must hold for arbitrary seeds.
+
+use proptest::prelude::*;
+use simcore::ByteSize;
+use workloads::stackoverflow::StackOverflowConfig;
+use workloads::webmap::{WebmapConfig, WebmapSize};
+use workloads::wikipedia::WikipediaConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Webmap blocks tile the vertex space for any block size.
+    #[test]
+    fn webmap_blocks_tile_for_any_block_size(
+        seed in 0u64..1000,
+        block_kib in 32u64..512,
+    ) {
+        let cfg = WebmapConfig::preset(WebmapSize::G3, seed);
+        let bs = ByteSize::kib(block_kib);
+        let mut next_expected = 0u64;
+        for b in 0..cfg.num_blocks(bs) {
+            for rec in cfg.block(b, bs) {
+                prop_assert_eq!(rec.vertex, next_expected);
+                next_expected += 1;
+            }
+        }
+        prop_assert_eq!(next_expected, cfg.vertices);
+    }
+
+    /// StackOverflow posts tile and keep their byte target for any seed.
+    #[test]
+    fn stackoverflow_blocks_tile(seed in 0u64..1000, block_kib in 64u64..512) {
+        let cfg = StackOverflowConfig::full_dump(seed);
+        let bs = ByteSize::kib(block_kib);
+        let mut ids = 0u64;
+        let mut bytes = 0u64;
+        for b in 0..cfg.num_blocks(bs) {
+            for p in cfg.block(b, bs) {
+                prop_assert_eq!(p.id, ids);
+                ids += 1;
+                bytes += p.body_chars;
+            }
+        }
+        prop_assert_eq!(ids, cfg.posts);
+        let err = (bytes as f64 - cfg.total_bytes.as_u64() as f64).abs()
+            / cfg.total_bytes.as_u64() as f64;
+        prop_assert!(err < 0.5, "bytes {} err {}", bytes, err);
+    }
+
+    /// Wikipedia articles tile; every article's sentences cover it.
+    #[test]
+    fn wikipedia_blocks_tile(seed in 0u64..1000) {
+        let cfg = WikipediaConfig::sample(seed);
+        let bs = ByteSize::kib(128);
+        let mut ids = 0u64;
+        for b in 0..cfg.num_blocks(bs) {
+            for a in cfg.block(b, bs) {
+                prop_assert_eq!(a.id, ids);
+                ids += 1;
+                let sum: u64 = a.sentence_chars.iter().map(|&c| c as u64).sum();
+                prop_assert!(sum >= a.chars);
+                prop_assert!(!a.words.is_empty());
+            }
+        }
+        prop_assert_eq!(ids, cfg.articles);
+    }
+
+    /// No generated block's *object form* dwarfs its neighbours: the
+    /// remainder-spreading fix bounds block skew (oversized blocks were
+    /// a real bug — a 1MiB split OOMed every mapper it met).
+    #[test]
+    fn wikipedia_block_sizes_are_balanced(seed in 0u64..500) {
+        let cfg = WikipediaConfig::sample(seed);
+        let bs = ByteSize::kib(128);
+        let counts: Vec<usize> =
+            (0..cfg.num_blocks(bs)).map(|b| cfg.block(b, bs).len()).collect();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "block record counts must differ by <=1: {min}..{max}");
+    }
+}

@@ -1,0 +1,93 @@
+//! A guided tour of the simulated managed runtime itself: watch garbage
+//! accumulate, minor collections evacuate the young generation, a full
+//! collection reclaim the old generation, LUGCs appear as the live set
+//! approaches capacity, and the OME land — the raw machinery everything
+//! else in this repository is built on.
+//!
+//! ```sh
+//! cargo run --release --example heap_pressure_tour
+//! ```
+
+use simcore::{ByteSize, SimTime};
+use simmem::{GcKind, Heap, HeapConfig};
+
+fn show(heap: &Heap, label: &str) {
+    println!(
+        "  [{label:<28}] used {:>9} | live {:>9} | garbage {:>9} | eff.free {:>9}",
+        heap.used().to_string(),
+        heap.live().to_string(),
+        heap.garbage().to_string(),
+        heap.effective_free().to_string(),
+    );
+}
+
+fn main() {
+    // A "12GB" node heap at 1/1024 scale.
+    let mut heap = Heap::new(HeapConfig::with_capacity(ByteSize::mib(12)));
+    let now = SimTime::ZERO;
+    println!("heap pressure tour: a 12MiB (≙ 12GB) generational heap\n");
+
+    // 1. Plain allocation: everything lands in the young generation.
+    let frames = heap.create_space("input-frames");
+    let state = heap.create_space("aggregation-state");
+    heap.alloc(frames, ByteSize::mib(1), now).unwrap();
+    heap.alloc(state, ByteSize::mib(1), now).unwrap();
+    show(&heap, "2MiB allocated");
+
+    // 2. Freeing creates garbage, not free memory — the JVM behaviour
+    //    the whole paper is built around.
+    heap.free(frames, ByteSize::mib(1));
+    show(&heap, "1MiB freed -> garbage");
+
+    // 3. Young-generation churn: short-lived frames die young across
+    //    minor collections, never inflating full-GC cost.
+    let mut minors = 0;
+    for _ in 0..200 {
+        let out = heap.alloc(frames, ByteSize::kib(64), now).unwrap();
+        minors += out.pauses.iter().filter(|p| p.kind == GcKind::Minor).count();
+        heap.free(frames, ByteSize::kib(64));
+    }
+    show(&heap, &format!("12.5MiB churned, {minors} minor GCs"));
+
+    // 4. A full collection sweeps the old generation clean.
+    let rec = heap.force_full_gc(now);
+    println!(
+        "  full GC: reclaimed {} in {} (useless: {})",
+        rec.reclaimed(),
+        rec.pause,
+        rec.useless
+    );
+    show(&heap, "after full GC");
+
+    // 5. Fill the heap with long-lived state: collections become long
+    //    and useless (LUGC) — the ITask monitor's interrupt signal.
+    while heap.alloc(state, ByteSize::kib(256), now).is_ok() {
+        if heap.effective_free() < ByteSize::mib(1) {
+            break;
+        }
+    }
+    let rec = heap.force_full_gc(now);
+    println!(
+        "\n  near-capacity full GC: reclaimed {} in {} (useless: {})",
+        rec.reclaimed(),
+        rec.pause,
+        rec.useless
+    );
+    assert!(rec.useless, "a full GC that frees <10% of the heap is a LUGC");
+    show(&heap, "live set ~= capacity");
+
+    // 6. And finally the OME.
+    let err = heap
+        .alloc(state, ByteSize::mib(2), now)
+        .expect_err("2MiB cannot fit");
+    println!("\n  allocation of 2MiB -> {err}");
+    println!(
+        "\n  stats: {} minor / {} full collections, {} of them useless, {} total pause",
+        heap.stats().minor_count,
+        heap.stats().full_count,
+        heap.stats().useless_count,
+        heap.stats().total_pause,
+    );
+    println!("\n  This OME is exactly what ITask's monitor/scheduler/partition");
+    println!("  manager pipeline exists to prevent — see the other examples.");
+}

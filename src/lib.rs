@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! **itask-repro** — a reproduction of *"Interruptible Tasks: Treating
+//! Memory Pressure As Interrupts for Highly Scalable Data-Parallel
+//! Programs"* (SOSP '15) on a simulated managed runtime, in Rust.
+//!
+//! This umbrella crate re-exports the workspace so examples and
+//! integration tests can reach everything through one dependency:
+//!
+//! * [`itask`] — the paper's contribution: the ITask programming model
+//!   and the IRS runtime;
+//! * [`sim`] (core/mem/store/net/cluster) — the simulated substrate
+//!   standing in for the JVM, SSDs, network and EC2 nodes;
+//! * [`hyracks`] / [`hadoop`] — the two frameworks the paper
+//!   instantiates ITasks in;
+//! * [`workloads`] / [`apps`] — the synthetic datasets and the ten
+//!   benchmark programs (regular + ITask versions).
+//!
+//! Start with `examples/quickstart.rs`, then DESIGN.md for the system
+//! inventory and EXPERIMENTS.md for the reproduced tables and figures.
+
+pub use apps;
+pub use hadoop;
+pub use hyracks;
+pub use itask_core as itask;
+pub use planner;
+pub use workloads;
+
+/// The simulation substrate, re-exported under one roof.
+pub mod sim {
+    pub use simcluster as cluster;
+    pub use simcore as core;
+    pub use simmem as mem;
+    pub use simnet as net;
+    pub use simstore as store;
+}

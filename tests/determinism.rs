@@ -1,0 +1,76 @@
+//! Determinism guarantees: the whole stack — generators, heap, engines,
+//! IRS — must reproduce bit-identical results for identical seeds, and
+//! diverge for different ones. Every table and figure in EXPERIMENTS.md
+//! depends on this.
+
+use itask_repro::apps::hyracks_apps::{wc, HyracksParams};
+use itask_repro::sim::core::ByteSize;
+use itask_repro::workloads::webmap::{WebmapConfig, WebmapSize};
+
+fn kv_sorted(mut v: Vec<itask_repro::apps::OutKv>) -> Vec<itask_repro::apps::OutKv> {
+    v.sort();
+    v
+}
+
+#[test]
+fn regular_runs_replay_exactly() {
+    let p = HyracksParams::default();
+    let a = wc::run_regular(WebmapSize::G3, &p);
+    let b = wc::run_regular(WebmapSize::G3, &p);
+    assert_eq!(a.report.elapsed, b.report.elapsed);
+    assert_eq!(a.peak_heap(), b.peak_heap());
+    assert_eq!(
+        a.report.critical_path_gc(),
+        b.report.critical_path_gc()
+    );
+    assert_eq!(kv_sorted(a.result.unwrap()), kv_sorted(b.result.unwrap()));
+}
+
+#[test]
+fn itask_runs_replay_exactly_even_under_pressure() {
+    let p = HyracksParams {
+        heap_per_node: ByteSize::mib(6),
+        ..HyracksParams::default()
+    };
+    let a = wc::run_itask(WebmapSize::G10, &p);
+    let b = wc::run_itask(WebmapSize::G10, &p);
+    assert_eq!(a.report.elapsed, b.report.elapsed);
+    assert_eq!(
+        a.report.counter("itask.interrupts"),
+        b.report.counter("itask.interrupts")
+    );
+    assert_eq!(
+        a.report.counter("itask.serializations"),
+        b.report.counter("itask.serializations")
+    );
+    assert_eq!(kv_sorted(a.result.unwrap()), kv_sorted(b.result.unwrap()));
+}
+
+#[test]
+fn different_seeds_produce_different_datasets_but_same_shape() {
+    let a = WebmapConfig::preset(WebmapSize::G3, 1);
+    let b = WebmapConfig::preset(WebmapSize::G3, 2);
+    let block_a = a.block(0, ByteSize::kib(128));
+    let block_b = b.block(0, ByteSize::kib(128));
+    assert_eq!(block_a.len(), block_b.len(), "same structure");
+    assert_ne!(block_a, block_b, "different content");
+    // Same invariant-level statistics.
+    let (va, ea, _) = a.exact_stats(ByteSize::kib(128));
+    let (vb, eb, _) = b.exact_stats(ByteSize::kib(128));
+    assert_eq!(va, vb);
+    let drift = (ea as f64 - eb as f64).abs() / ea as f64;
+    assert!(drift < 0.05, "edge counts within 5%: {ea} vs {eb}");
+}
+
+#[test]
+fn seed_changes_propagate_to_results() {
+    let p1 = HyracksParams { seed: 1, ..HyracksParams::default() };
+    let p2 = HyracksParams { seed: 2, ..HyracksParams::default() };
+    let a = wc::run_regular(WebmapSize::G3, &p1);
+    let b = wc::run_regular(WebmapSize::G3, &p2);
+    assert_ne!(
+        kv_sorted(a.result.unwrap()),
+        kv_sorted(b.result.unwrap()),
+        "different seeds must not collide"
+    );
+}

@@ -1,0 +1,117 @@
+//! Workspace-level integration tests: the paper's headline behaviours,
+//! exercised through the public umbrella API across all crates at once.
+
+use itask_repro::apps::hyracks_apps::{gr, hj, wc, HyracksParams};
+use itask_repro::apps::hadoop_apps::{crp, msa};
+use itask_repro::sim::core::{ByteSize, SCALE};
+use itask_repro::workloads::tpch::TpchScale;
+use itask_repro::workloads::webmap::WebmapSize;
+
+/// Headline claim (Hyracks, §6.2): on a dataset where every regular
+/// configuration dies of an OME, the ITask version completes with exact
+/// results under the default configuration.
+#[test]
+fn itask_survives_where_every_regular_config_fails() {
+    let size = WebmapSize::G27;
+    let mut regular_failures = 0;
+    for threads in [2, 8] {
+        let p = HyracksParams { threads, ..HyracksParams::default() };
+        let run = wc::run_regular(size, &p);
+        if run.is_oom() {
+            regular_failures += 1;
+        }
+    }
+    assert!(regular_failures > 0, "27GB WC must pressure the regular version");
+
+    let p = HyracksParams::default();
+    let it = wc::run_itask(size, &p);
+    assert!(it.ok(), "ITask WC survives the 27GB dataset");
+    assert!(wc::verify(it.result.as_ref().unwrap(), size, p.seed));
+    // It survived by the paper's machinery, not by fitting in memory.
+    let pressure_actions = it.report.counter("itask.interrupts")
+        + it.report.counter("itask.emergency_interrupts")
+        + it.report.counter("itask.serializations");
+    assert!(pressure_actions > 0.0, "pressure handling must have engaged");
+}
+
+/// Headline claim (Hadoop, §6.1): the reported configuration crashes
+/// with a YARN retry storm; ITask survives it untouched and beats the
+/// manually tuned fix.
+#[test]
+fn table1_shape_for_msa() {
+    let seed = 42;
+    let (ctime, attempts) = msa::run_ctime(seed);
+    assert!(!ctime.ok(), "the Table 1 configuration must crash");
+    assert!(attempts > 100, "the crash must burn the retry budget: {attempts}");
+
+    let (ptime, _) = msa::run_tuned(seed);
+    assert!(ptime.ok(), "the recommended fix completes");
+
+    let itime = msa::run_itask(seed);
+    assert!(itime.ok(), "ITask survives the original configuration");
+    assert!(msa::verify(itime.result.as_ref().unwrap(), seed));
+    assert!(
+        itime.elapsed() < ptime.elapsed(),
+        "ITask ({}) must beat manual tuning ({})",
+        itime.elapsed(),
+        ptime.elapsed()
+    );
+}
+
+/// CRP's skew cannot be fixed by parameters at all (the recommendation
+/// was editing the dataset); ITask handles the original data.
+#[test]
+fn crp_survives_unbreakable_sentences() {
+    let seed = 42;
+    let (ctime, _) = crp::run_ctime(seed);
+    assert!(!ctime.ok());
+    let itime = crp::run_itask(seed);
+    assert!(itime.ok());
+    assert!(crp::verify(itime.result.as_ref().unwrap(), seed));
+}
+
+/// Figure 11(a) shape: shrinking the heap degrades the ITask version
+/// gracefully instead of killing it.
+#[test]
+fn itask_degrades_gracefully_under_smaller_heaps() {
+    let mut last = None;
+    for heap_mib in [12u64, 8, 6] {
+        let p = HyracksParams {
+            heap_per_node: ByteSize::mib(heap_mib),
+            ..HyracksParams::default()
+        };
+        let run = wc::run_itask(WebmapSize::G10, &p);
+        assert!(run.ok(), "ITask WC must survive a {heap_mib}MiB heap");
+        assert!(wc::verify(run.result.as_ref().unwrap(), WebmapSize::G10, p.seed));
+        assert!(
+            run.peak_heap() <= ByteSize::mib(heap_mib),
+            "peak within capacity"
+        );
+        last = Some(run.elapsed());
+    }
+    // Still finite and sane at half the memory.
+    assert!(last.unwrap().as_secs_f64() * (SCALE as f64) < 3_000.0);
+}
+
+/// The scalability-upper-bound probe of §6.2: ITask HJ processes the
+/// 600x TPC-H dataset (~6x beyond where the regular version dies).
+#[test]
+fn hj_itask_scales_to_600x() {
+    let p = HyracksParams::default();
+    let run = hj::run_itask(TpchScale::X600, &p);
+    assert!(run.ok(), "HJ ITask must scale to 600x: {:?}", run.result.err());
+    assert!(hj::verify(run.result.as_ref().unwrap(), TpchScale::X600, p.seed));
+}
+
+/// Regular and ITask versions agree bit-for-bit on outputs (GR).
+#[test]
+fn engines_agree_on_group_by_results() {
+    let p = HyracksParams { heap_per_node: ByteSize::mib(64), ..HyracksParams::default() };
+    let reg = gr::run_regular(TpchScale::X10, &p);
+    let it = gr::run_itask(TpchScale::X10, &p);
+    let mut a = reg.result.unwrap();
+    let mut b = it.result.unwrap();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}

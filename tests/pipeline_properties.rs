@@ -1,0 +1,131 @@
+//! Property tests over the whole pipeline: for arbitrary (small)
+//! workloads, heap sizes and interrupt schedules, the ITask execution
+//! must produce exactly the same aggregate as a direct computation —
+//! interrupts may reshape *when* work happens, never *what* it computes.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use itask_repro::itask::{
+    offer_serialized, Irs, IrsConfig, Scale, Tag, TaskCx, TaskGraph, Tuple, TupleTask,
+};
+use itask_repro::sim::cluster::{NodeSim, NodeState};
+use itask_repro::sim::core::{ByteSize, NodeId, SimResult};
+
+#[derive(Clone, Copy)]
+struct W(u32);
+
+impl Tuple for W {
+    fn heap_bytes(&self) -> u64 {
+        48
+    }
+}
+
+#[derive(Default)]
+struct Count {
+    counts: BTreeMap<u32, u64>,
+}
+
+impl Count {
+    fn flush(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        if self.counts.is_empty() {
+            return Ok(());
+        }
+        let d = std::mem::take(&mut self.counts);
+        let ser = ByteSize(d.len() as u64 * 12);
+        cx.emit_final(Box::new(d), ser)
+    }
+}
+
+impl TupleTask for Count {
+    type In = W;
+
+    fn initialize(&mut self, _cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        Ok(())
+    }
+
+    fn process(&mut self, cx: &mut TaskCx<'_, '_>, t: &W) -> SimResult<()> {
+        if let std::collections::btree_map::Entry::Vacant(v) = self.counts.entry(t.0) {
+            cx.alloc_out(ByteSize(64))?;
+            v.insert(0);
+        }
+        *self.counts.get_mut(&t.0).expect("present") += 1;
+        Ok(())
+    }
+
+    fn interrupt(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        self.flush(cx)
+    }
+
+    fn cleanup(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+        self.flush(cx)
+    }
+}
+
+/// Runs the interruptible count over `words` on a `heap_kib` node.
+fn itask_count(words: &[u32], heap_kib: u64, chunk: usize) -> Option<BTreeMap<u32, u64>> {
+    let mut sim = NodeSim::new(NodeState::new(
+        NodeId(0),
+        4,
+        ByteSize::kib(heap_kib),
+        ByteSize::mib(64),
+    ));
+    let mut graph = TaskGraph::new();
+    let count = graph.add_task("count", || Box::new(Scale(Count::default())));
+    let mut irs = Irs::new(graph, IrsConfig::default());
+    let handle = irs.handle();
+    for ch in words.chunks(chunk.max(1)) {
+        let items: Vec<W> = ch.iter().map(|&w| W(w)).collect();
+        offer_serialized(&handle, sim.node_mut(), count, Tag(0), items).ok()?;
+    }
+    irs.run_to_idle(&mut sim).ok()?;
+    let mut totals = BTreeMap::new();
+    for out in irs.take_final_outputs() {
+        let m = out.data.downcast::<BTreeMap<u32, u64>>().ok()?;
+        for (w, c) in m.into_iter() {
+            *totals.entry(w).or_insert(0) += c;
+        }
+    }
+    Some(totals)
+}
+
+fn truth(words: &[u32]) -> BTreeMap<u32, u64> {
+    let mut m = BTreeMap::new();
+    for &w in words {
+        *m.entry(w).or_insert(0u64) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exactly-once processing across arbitrary workloads, partition
+    /// granularities and heap sizes (pressured and unpressured alike).
+    #[test]
+    fn counts_survive_any_pressure(
+        words in proptest::collection::vec(0u32..500, 200..3_000),
+        heap_kib in 96u64..1024,
+        chunk in 50usize..800,
+    ) {
+        // Skip configurations where a single chunk cannot ever fit
+        // (tuple bytes alone exceed the heap) — those legitimately OME.
+        let chunk_bytes = (chunk as u64) * 48;
+        prop_assume!(chunk_bytes < heap_kib * 1024 / 2);
+        let got = itask_count(&words, heap_kib, chunk);
+        prop_assert!(got.is_some(), "run must survive");
+        prop_assert_eq!(got.unwrap(), truth(&words));
+    }
+
+    /// Determinism as a property: same inputs, same everything.
+    #[test]
+    fn replay_is_bit_identical(
+        words in proptest::collection::vec(0u32..200, 200..1_200),
+        heap_kib in 128u64..512,
+    ) {
+        let a = itask_count(&words, heap_kib, 300);
+        let b = itask_count(&words, heap_kib, 300);
+        prop_assert_eq!(a, b);
+    }
+}
