@@ -12,9 +12,9 @@ use std::rc::Rc;
 
 use hadoop::{HadoopConfig, MapCx, Mapper, ReduceCx, Reducer, RegularJobResult};
 use hyracks::{ItaskFactories, OpCx, Operator, ShuffleBatch};
-use itask_core::{ITask, Scale, TaskCx, TupleTask, Tuple};
-use simcore::{ByteSize, SimError, SimResult, TaskId};
+use itask_core::{ITask, Scale, TaskCx, Tuple, TupleTask};
 use simcluster::JobReport;
+use simcore::{ByteSize, SimError, SimResult, TaskId};
 
 /// A tuple that knows its aggregation key and can absorb another tuple
 /// with the same key.
@@ -33,7 +33,7 @@ pub trait MergeableTuple: Tuple + Clone {
 /// One application's aggregation semantics.
 pub trait AggSpec: Clone + 'static {
     /// Input record type.
-    type In: Tuple;
+    type In: Tuple + Clone;
     /// Shuffled/accumulated tuple type.
     type Mid: MergeableTuple;
     /// Final output record type.
@@ -85,7 +85,9 @@ pub struct AggState<M: MergeableTuple> {
 impl<M: MergeableTuple> AggState<M> {
     /// Empty state.
     pub fn new() -> Self {
-        AggState { map: BTreeMap::new() }
+        AggState {
+            map: BTreeMap::new(),
+        }
     }
 
     /// Whether nothing has been accumulated.
@@ -95,11 +97,7 @@ impl<M: MergeableTuple> AggState<M> {
 
     /// Folds one tuple in; `charge` receives the byte delta (positive:
     /// allocate, negative: free).
-    pub fn add(
-        &mut self,
-        item: M,
-        charge: &mut dyn FnMut(i64) -> SimResult<()>,
-    ) -> SimResult<()> {
+    pub fn add(&mut self, item: M, charge: &mut dyn FnMut(i64) -> SimResult<()>) -> SimResult<()> {
         use std::collections::btree_map::Entry;
         match self.map.entry(item.key()) {
             Entry::Vacant(v) => {
@@ -263,7 +261,11 @@ pub struct AggReduceOp<S: AggSpec> {
 impl<S: AggSpec> AggReduceOp<S> {
     /// Creates the operator.
     pub fn new(spec: S, buckets: u32) -> Self {
-        AggReduceOp { spec, buckets, state: AggState::new() }
+        AggReduceOp {
+            spec,
+            buckets,
+            state: AggState::new(),
+        }
     }
 }
 
@@ -309,7 +311,12 @@ pub struct AggMapTask<S: AggSpec> {
 impl<S: AggSpec> AggMapTask<S> {
     /// Creates the task.
     pub fn new(spec: S, buckets: u32) -> Self {
-        AggMapTask { spec, buckets, state: AggState::new(), scratch: Vec::new() }
+        AggMapTask {
+            spec,
+            buckets,
+            state: AggState::new(),
+            scratch: Vec::new(),
+        }
     }
 
     fn flush(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
@@ -323,7 +330,9 @@ impl<S: AggSpec> AggMapTask<S> {
                 .or_default()
                 .push(item);
         }
-        let batch = ShuffleBatch { buckets: buckets.into_iter().collect() };
+        let batch = ShuffleBatch {
+            buckets: buckets.into_iter().collect(),
+        };
         let ser: ByteSize = batch.buckets.iter().map(|(_, v)| ser_of(v)).sum();
         cx.emit_final(Box::new(batch), ser)
     }
@@ -375,7 +384,9 @@ pub struct AggReduceTask<S: AggSpec> {
 impl<S: AggSpec> AggReduceTask<S> {
     /// Creates the task.
     pub fn new(_spec: S) -> Self {
-        AggReduceTask { state: AggState::new() }
+        AggReduceTask {
+            state: AggState::new(),
+        }
     }
 
     fn flush(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
@@ -419,7 +430,10 @@ pub struct AggMergeTask<S: AggSpec> {
 impl<S: AggSpec> AggMergeTask<S> {
     /// Creates the task.
     pub fn new(spec: S) -> Self {
-        AggMergeTask { spec, state: AggState::new() }
+        AggMergeTask {
+            spec,
+            state: AggState::new(),
+        }
     }
 }
 
@@ -445,8 +459,12 @@ impl<S: AggSpec> TupleTask for AggMergeTask<S> {
     }
 
     fn cleanup(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
-        let out: Vec<S::Out> =
-            self.state.drain().into_iter().map(|m| self.spec.finish(m)).collect();
+        let out: Vec<S::Out> = self
+            .state
+            .drain()
+            .into_iter()
+            .map(|m| self.spec.finish(m))
+            .collect();
         let ser = ser_of(&out);
         cx.emit_final(Box::new(out), ser)
     }
@@ -461,12 +479,8 @@ pub fn itask_factories<S: AggSpec>(spec: S, buckets: u32) -> ItaskFactories {
         map: Rc::new(move || {
             Box::new(Scale(AggMapTask::new(s1.clone(), buckets))) as Box<dyn ITask>
         }),
-        reduce: Rc::new(move || {
-            Box::new(Scale(AggReduceTask::new(s2.clone()))) as Box<dyn ITask>
-        }),
-        merge: Rc::new(move || {
-            Box::new(Scale(AggMergeTask::new(s3.clone()))) as Box<dyn ITask>
-        }),
+        reduce: Rc::new(move || Box::new(Scale(AggReduceTask::new(s2.clone()))) as Box<dyn ITask>),
+        merge: Rc::new(move || Box::new(Scale(AggMergeTask::new(s3.clone()))) as Box<dyn ITask>),
     }
 }
 
@@ -559,7 +573,10 @@ pub struct AggReducer<S: AggSpec> {
 impl<S: AggSpec> AggReducer<S> {
     /// Creates the reducer.
     pub fn new(spec: S) -> Self {
-        AggReducer { spec, state: AggState::new() }
+        AggReducer {
+            spec,
+            state: AggState::new(),
+        }
     }
 }
 
@@ -568,7 +585,8 @@ impl<S: AggSpec> Reducer for AggReducer<S> {
     type Out = S::Out;
 
     fn reduce(&mut self, cx: &mut ReduceCx<'_, '_, S::Out>, item: &S::Mid) -> SimResult<()> {
-        self.state.add(item.clone(), &mut |d| charge_reduce_state(cx, d))
+        self.state
+            .add(item.clone(), &mut |d| charge_reduce_state(cx, d))
     }
 
     fn close(&mut self, cx: &mut ReduceCx<'_, '_, S::Out>) -> SimResult<()> {

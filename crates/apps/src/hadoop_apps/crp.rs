@@ -29,7 +29,9 @@ pub struct CrpSpec {
 
 impl Default for CrpSpec {
     fn default() -> Self {
-        CrpSpec { sentence_cap: u32::MAX }
+        CrpSpec {
+            sentence_cap: u32::MAX,
+        }
     }
 }
 
@@ -49,7 +51,10 @@ impl AggSpec for CrpSpec {
     }
 
     fn finish(&self, mid: CountMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.count }
+        OutKv {
+            key: mid.key,
+            value: mid.count,
+        }
     }
 
     fn scratch_bytes(&self, rec: &Article) -> u64 {
@@ -70,7 +75,11 @@ pub fn table1_config() -> HadoopConfig {
 
 /// CTime run (the original dataset, original configuration).
 pub fn run_ctime(seed: u64) -> (RunSummary<OutKv>, u32) {
-    regular(&CrpSpec::default(), &table1_config(), wikipedia_splits(false, seed))
+    regular(
+        &CrpSpec::default(),
+        &table1_config(),
+        wikipedia_splits(false, seed),
+    )
 }
 
 /// PTime run: the recommended "break long sentences" preprocessing,
@@ -85,7 +94,11 @@ pub fn run_tuned(seed: u64) -> (RunSummary<OutKv>, u32) {
 
 /// ITime run: original dataset, original configuration, ITasks.
 pub fn run_itask(seed: u64) -> RunSummary<OutKv> {
-    itask(&CrpSpec::default(), &table1_config(), wikipedia_splits(false, seed))
+    itask(
+        &CrpSpec::default(),
+        &table1_config(),
+        wikipedia_splits(false, seed),
+    )
 }
 
 /// Invariant: total lemma count equals total word occurrences.

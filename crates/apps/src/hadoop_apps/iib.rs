@@ -41,7 +41,10 @@ impl AggSpec for IibSpec {
     }
 
     fn finish(&self, mid: ListMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.items.len() as u64 }
+        OutKv {
+            key: mid.key,
+            value: mid.items.len() as u64,
+        }
     }
 }
 

@@ -36,7 +36,10 @@ impl AggSpec for ImcSpec {
     }
 
     fn finish(&self, mid: CountMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.count }
+        OutKv {
+            key: mid.key,
+            value: mid.count,
+        }
     }
 
     /// The studied bug: the in-map combiner never flushes.

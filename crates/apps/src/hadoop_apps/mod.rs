@@ -5,15 +5,15 @@
 //! ITime run).
 
 pub mod crp;
-pub mod more_problems;
 pub mod iib;
 pub mod imc;
+pub mod more_problems;
 pub mod msa;
 pub mod wcm;
 
 use hadoop::HadoopConfig;
-use simcore::{ByteSize, SimError};
 use simcluster::JobReport;
+use simcore::{ByteSize, SimError};
 use workloads::stackoverflow::{Post, StackOverflowConfig};
 use workloads::wikipedia::{Article, WikipediaConfig};
 
@@ -33,7 +33,9 @@ pub fn stackoverflow_splits(seed: u64) -> Vec<Vec<Post>> {
 /// tuned configurations shrink it).
 pub fn stackoverflow_splits_sized(seed: u64, split: ByteSize) -> Vec<Vec<Post>> {
     let cfg = StackOverflowConfig::full_dump(seed);
-    (0..cfg.num_blocks(split)).map(|b| cfg.block(b, split)).collect()
+    (0..cfg.num_blocks(split))
+        .map(|b| cfg.block(b, split))
+        .collect()
 }
 
 /// Loads a Wikipedia dataset (full dump or sample) as splits of the
@@ -44,8 +46,14 @@ pub fn wikipedia_splits(full: bool, seed: u64) -> Vec<Vec<Article>> {
 
 /// Loads a Wikipedia dataset at an explicit split size.
 pub fn wikipedia_splits_sized(full: bool, seed: u64, split: ByteSize) -> Vec<Vec<Article>> {
-    let cfg = if full { WikipediaConfig::full_dump(seed) } else { WikipediaConfig::sample(seed) };
-    (0..cfg.num_blocks(split)).map(|b| cfg.block(b, split)).collect()
+    let cfg = if full {
+        WikipediaConfig::full_dump(seed)
+    } else {
+        WikipediaConfig::sample(seed)
+    };
+    (0..cfg.num_blocks(split))
+        .map(|b| cfg.block(b, split))
+        .collect()
 }
 
 /// Runs a spec's regular Hadoop job and wraps it uniformly.
@@ -56,7 +64,13 @@ pub fn regular<S: AggSpec>(
 ) -> (RunSummary<S::Out>, u32) {
     let run = run_hadoop_regular(spec, cfg, splits);
     let attempts = run.map_attempts + run.reduce_attempts;
-    (RunSummary { report: run.report, result: run.result }, attempts)
+    (
+        RunSummary {
+            report: run.report,
+            result: run.result,
+        },
+        attempts,
+    )
 }
 
 /// Runs a spec's ITask Hadoop job and wraps it uniformly.

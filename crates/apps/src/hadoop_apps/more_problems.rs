@@ -62,11 +62,19 @@ impl AggSpec for SbaSpec {
         // Group by a coarse key; every appended value retains ~600B of
         // builder payload (`ListMid` accounts uniform item sizes, so the
         // mean appended-string cost is used).
-        out.push(ListMid::one(rec.id % 12, rec.body_chars, 520, SBA_APPEND_BYTES));
+        out.push(ListMid::one(
+            rec.id % 12,
+            rec.body_chars,
+            520,
+            SBA_APPEND_BYTES,
+        ));
     }
 
     fn finish(&self, mid: ListMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.items.iter().sum() }
+        OutKv {
+            key: mid.key,
+            value: mid.items.iter().sum(),
+        }
     }
 }
 
@@ -110,7 +118,10 @@ impl AggSpec for LsbSpec {
     }
 
     fn finish(&self, mid: CountMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.count }
+        OutKv {
+            key: mid.key,
+            value: mid.count,
+        }
     }
 }
 
@@ -157,7 +168,10 @@ impl AggSpec for WppSpec {
     }
 
     fn finish(&self, mid: CountMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.count }
+        OutKv {
+            key: mid.key,
+            value: mid.count,
+        }
     }
 
     fn scratch_bytes(&self, rec: &Post) -> u64 {
@@ -201,7 +215,10 @@ impl AggSpec for FavSpec {
 
     fn explode(&self, rec: &LineItem, out: &mut Vec<CountMid>) {
         // (supplier, quantity) and (supplier, line number) value pairs.
-        out.push(CountMid::one(rec.suppkey * 64 + rec.quantity as u64 % 64, 168));
+        out.push(CountMid::one(
+            rec.suppkey * 64 + rec.quantity as u64 % 64,
+            168,
+        ));
         out.push(CountMid::one(
             0x8000_0000_0000 + rec.suppkey * 16 + rec.linenumber as u64 % 16,
             168,
@@ -209,7 +226,10 @@ impl AggSpec for FavSpec {
     }
 
     fn finish(&self, mid: CountMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.count }
+        OutKv {
+            key: mid.key,
+            value: mid.count,
+        }
     }
 }
 
@@ -268,7 +288,10 @@ impl AggSpec for SpiSpec {
     }
 
     fn finish(&self, mid: ListMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.items.len() as u64 }
+        OutKv {
+            key: mid.key,
+            value: mid.items.len() as u64,
+        }
     }
 }
 
@@ -311,7 +334,10 @@ impl AggSpec for HjdSpec {
     }
 
     fn finish(&self, mid: CountMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.count }
+        OutKv {
+            key: mid.key,
+            value: mid.count,
+        }
     }
 
     fn init_bytes(&self) -> u64 {
@@ -376,11 +402,18 @@ impl AggSpec for TfrSpec {
     }
 
     fn explode(&self, rec: &WholeFile, out: &mut Vec<CountMid>) {
-        out.push(CountMid { key: rec.id % 32, count: rec.chars, entry_bytes: 136 });
+        out.push(CountMid {
+            key: rec.id % 32,
+            count: rec.chars,
+            entry_bytes: 136,
+        });
     }
 
     fn finish(&self, mid: CountMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.count }
+        OutKv {
+            key: mid.key,
+            value: mid.count,
+        }
     }
 }
 
@@ -447,7 +480,10 @@ impl AggSpec for RhmSpec {
 
     fn finish(&self, mid: StripeMid) -> OutKv {
         let pairs: u64 = mid.neighbors.values().map(|&c| c as u64).sum();
-        OutKv { key: mid.key, value: pairs }
+        OutKv {
+            key: mid.key,
+            value: pairs,
+        }
     }
 }
 

@@ -66,7 +66,7 @@ pub fn table1_config() -> HadoopConfig {
 /// finer splits, so the buffer stays small next to the join table.
 pub fn tuned_config() -> HadoopConfig {
     let mut cfg = HadoopConfig::table1(NODES, 1024, 1024, 1, 6);
-    cfg.split_size = simcore::ByteSize::kib(32);
+    cfg.split_size = simcore::ByteSize::kib(16);
     cfg.reduce_tasks = 180;
     cfg
 }

@@ -14,8 +14,7 @@ use crate::summary::RunSummary;
 use super::{itask, regular, wikipedia_splits, NODES};
 
 /// Stripe entry base (outer map node + inner map header).
-const WCM_ENTRY: u32 =
-    (jbloat::hashmap_entry(jbloat::string(11), 0) + jbloat::object(2, 8)) as u32;
+const WCM_ENTRY: u32 = (jbloat::hashmap_entry(jbloat::string(11), 0) + jbloat::object(2, 8)) as u32;
 /// Per neighbour cell (compact int-keyed counter cell).
 const WCM_CELL: u32 = 48;
 
@@ -40,7 +39,10 @@ impl AggSpec for WcmSpec {
 
     fn finish(&self, mid: StripeMid) -> OutKv {
         let pairs: u64 = mid.neighbors.values().map(|&c| c as u64).sum();
-        OutKv { key: mid.key, value: pairs }
+        OutKv {
+            key: mid.key,
+            value: pairs,
+        }
     }
 }
 

@@ -38,7 +38,10 @@ impl AggSpec for GrSpec {
     }
 
     fn finish(&self, mid: ListMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.items.iter().sum() }
+        OutKv {
+            key: mid.key,
+            value: mid.items.iter().sum(),
+        }
     }
 }
 

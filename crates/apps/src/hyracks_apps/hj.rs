@@ -66,7 +66,10 @@ impl AggSpec for HjSpec {
     }
 
     fn finish(&self, mid: JoinMid) -> OutKv {
-        OutKv { key: mid.custkey, value: mid.joined }
+        OutKv {
+            key: mid.custkey,
+            value: mid.joined,
+        }
     }
 }
 
@@ -77,12 +80,22 @@ pub fn inputs(scale: TpchScale, params: &HyracksParams) -> Vec<Vec<Vec<JoinIn>>>
     let mut blocks: Vec<Vec<JoinIn>> = Vec::new();
     let mut k = 0;
     while k < cfg.customers {
-        blocks.push(cfg.customer_block(k, per_block).into_iter().map(JoinIn::C).collect());
+        blocks.push(
+            cfg.customer_block(k, per_block)
+                .into_iter()
+                .map(JoinIn::C)
+                .collect(),
+        );
         k += per_block;
     }
     let mut k = 0;
     while k < cfg.orders {
-        blocks.push(cfg.order_block(k, per_block).into_iter().map(JoinIn::O).collect());
+        blocks.push(
+            cfg.order_block(k, per_block)
+                .into_iter()
+                .map(JoinIn::O)
+                .collect(),
+        );
         k += per_block;
     }
     hyracks::distribute_blocks(params.nodes, blocks, params.granularity)

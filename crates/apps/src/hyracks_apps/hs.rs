@@ -32,7 +32,11 @@ impl AggSpec for HsSpec {
     }
 
     fn explode(&self, rec: &AdjRecord, out: &mut Vec<SortMid>) {
-        out.push(SortMid { key: rec.vertex, chars: rec.chars() as u32, node_bytes: PQ_NODE });
+        out.push(SortMid {
+            key: rec.vertex,
+            chars: rec.chars() as u32,
+            node_bytes: PQ_NODE,
+        });
     }
 
     fn finish(&self, mid: SortMid) -> SortMid {
@@ -40,8 +44,7 @@ impl AggSpec for HsSpec {
     }
 
     fn bucket(&self, key: u64, buckets: u32) -> u32 {
-        ((key as u128 * buckets as u128 / self.vertices.max(1) as u128) as u32)
-            .min(buckets - 1)
+        ((key as u128 * buckets as u128 / self.vertices.max(1) as u128) as u32).min(buckets - 1)
     }
 
     /// Sorting cannot early-flush: a sorted run must hold its whole
@@ -53,7 +56,9 @@ impl AggSpec for HsSpec {
 }
 
 fn spec(size: WebmapSize, seed: u64) -> HsSpec {
-    HsSpec { vertices: WebmapConfig::preset(size, seed).vertices }
+    HsSpec {
+        vertices: WebmapConfig::preset(size, seed).vertices,
+    }
 }
 
 /// Runs the regular HS.

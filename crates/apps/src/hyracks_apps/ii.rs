@@ -39,7 +39,10 @@ impl AggSpec for IiSpec {
     }
 
     fn finish(&self, mid: ListMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.items.len() as u64 }
+        OutKv {
+            key: mid.key,
+            value: mid.items.len() as u64,
+        }
     }
 }
 

@@ -9,8 +9,8 @@ pub mod wc;
 
 use hyracks::{ItaskJobSpec, JobSpec};
 use itask_core::IrsConfig;
-use simcore::ByteSize;
 use simcluster::{Cluster, ClusterConfig};
+use simcore::{ByteSize, FaultPlan};
 
 use itask_core::Tuple;
 use workloads::webmap::{WebmapConfig, WebmapSize};
@@ -48,6 +48,9 @@ pub struct HyracksParams {
     pub granularity: ByteSize,
     /// Workload seed.
     pub seed: u64,
+    /// Optional chaos schedule, armed on the cluster substrate before
+    /// the job starts (both regular and ITask runs).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for HyracksParams {
@@ -59,20 +62,26 @@ impl Default for HyracksParams {
             threads: 8,
             granularity: ByteSize::kib(32),
             seed: 42,
+            fault_plan: None,
         }
     }
 }
 
 impl HyracksParams {
-    /// Builds the cluster for these parameters.
+    /// Builds the cluster for these parameters, arming the fault plan
+    /// (if any) on every node's substrate and on the fabric.
     pub fn cluster(&self) -> Cluster {
-        Cluster::new(ClusterConfig {
+        let mut cluster = Cluster::new(ClusterConfig {
             nodes: self.nodes,
             cores: self.cores,
             heap_per_node: self.heap_per_node,
             disk_per_node: ByteSize::gib(4),
             ..ClusterConfig::default()
-        })
+        });
+        if let Some(plan) = &self.fault_plan {
+            cluster.install_faults(plan.clone());
+        }
+        cluster
     }
 
     /// Shuffle buckets: four per (node, core), so one bucket's
@@ -116,7 +125,10 @@ pub fn run_itask_spec<S: AggSpec>(
     let mut cluster = params.cluster();
     let job = ItaskJobSpec {
         name: spec.name().into(),
-        irs: IrsConfig { max_parallelism: params.cores, ..IrsConfig::default() },
+        irs: IrsConfig {
+            max_parallelism: params.cores,
+            ..IrsConfig::default()
+        },
         granularity: params.granularity,
         buckets: params.buckets(),
     };

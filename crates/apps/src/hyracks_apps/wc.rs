@@ -37,7 +37,10 @@ impl AggSpec for WcSpec {
     }
 
     fn finish(&self, mid: CountMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.count }
+        OutKv {
+            key: mid.key,
+            value: mid.count,
+        }
     }
 }
 

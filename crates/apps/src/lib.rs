@@ -20,9 +20,9 @@
 //! to themselves.
 
 pub mod agg;
-pub mod mids;
 pub mod hadoop_apps;
 pub mod hyracks_apps;
+pub mod mids;
 pub mod summary;
 
 pub use agg::{AggSpec, MergeableTuple};

@@ -24,7 +24,11 @@ impl CountMid {
 
     /// Creates a single-occurrence entry.
     pub fn one(key: u64, entry_bytes: u32) -> Self {
-        CountMid { key, count: 1, entry_bytes }
+        CountMid {
+            key,
+            count: 1,
+            entry_bytes,
+        }
     }
 }
 
@@ -66,7 +70,12 @@ pub struct ListMid {
 impl ListMid {
     /// Creates a single-item entry.
     pub fn one(key: u64, item: u64, entry_bytes: u32, item_bytes: u32) -> Self {
-        ListMid { key, items: vec![item], entry_bytes, item_bytes }
+        ListMid {
+            key,
+            items: vec![item],
+            entry_bytes,
+            item_bytes,
+        }
     }
 }
 
@@ -110,7 +119,12 @@ impl StripeMid {
     pub fn pair(key: u64, neighbor: u32, entry_bytes: u32, cell_bytes: u32) -> Self {
         let mut neighbors = std::collections::BTreeMap::new();
         neighbors.insert(neighbor, 1);
-        StripeMid { key, neighbors, entry_bytes, cell_bytes }
+        StripeMid {
+            key,
+            neighbors,
+            entry_bytes,
+            cell_bytes,
+        }
     }
 }
 
@@ -339,7 +353,11 @@ mod tests {
 
     #[test]
     fn sort_mid_carries_string_bloat() {
-        let s = SortMid { key: 9, chars: 100, node_bytes: 64 };
+        let s = SortMid {
+            key: 9,
+            chars: 100,
+            node_bytes: 64,
+        };
         assert!(s.heap_bytes() > 200);
         assert_eq!(s.ser_bytes(), 100);
     }

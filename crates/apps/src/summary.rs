@@ -1,7 +1,7 @@
 //! Uniform run summaries consumed by the benchmark harnesses.
 
-use simcore::{ByteSize, SimDuration, SimError, SCALE};
 use simcluster::JobReport;
+use simcore::{ByteSize, SimDuration, SimError, SCALE};
 
 /// One job execution: report plus outputs (or the fatal error).
 pub struct RunSummary<Out> {

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use apps::agg::{AggSpec, AggState, MergeableTuple};
-use apps::hyracks_apps::{gr::GrSpec, hj::HjSpec, ii::IiSpec, wc::WcSpec};
 use apps::hyracks_apps::hj::JoinIn;
+use apps::hyracks_apps::{gr::GrSpec, hj::HjSpec, ii::IiSpec, wc::WcSpec};
 use apps::{CountMid, JoinMid, ListMid, StripeMid};
 use itask_core::Tuple;
 use workloads::tpch::{Customer, Order};

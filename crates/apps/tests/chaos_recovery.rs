@@ -1,0 +1,136 @@
+//! Chaos-mode acceptance: an ITask job run under a fault schedule with a
+//! node crash, silent spill corruption and transient disk errors must
+//! finish with results *identical* to its fault-free run — the IRS
+//! recovery paths (bounded retry, lineage re-serialization, crash
+//! requeue via the interrupt cursor) preserve exactly-once semantics.
+
+use std::collections::BTreeMap;
+
+use apps::hyracks_apps::{ii, wc, HyracksParams};
+use apps::OutKv;
+use simcore::{ByteSize, FaultPlan, NodeId, SimDuration, SimTime};
+use workloads::webmap::WebmapSize;
+
+fn ample() -> HyracksParams {
+    HyracksParams {
+        heap_per_node: ByteSize::mib(64),
+        ..Default::default()
+    }
+}
+
+fn kv_map(outs: &[OutKv]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for o in outs {
+        assert!(
+            m.insert(o.key, o.value).is_none(),
+            "duplicate key {}",
+            o.key
+        );
+    }
+    m
+}
+
+/// A schedule with every studied fault class: a mid-run node crash,
+/// low-rate transient I/O errors and silent spill corruption.
+fn chaos_plan(mid_run: SimDuration) -> FaultPlan {
+    FaultPlan::new(11)
+        .with_disk_transients(20)
+        .with_corruption(10)
+        .with_crash(NodeId(3), SimTime::ZERO + mid_run)
+}
+
+#[test]
+fn wc_itask_survives_chaos_bit_identically() {
+    let clean_params = ample();
+    let clean = wc::run_itask(WebmapSize::G3, &clean_params);
+    let clean_out = clean.result.expect("fault-free WC");
+
+    let mid = SimDuration::from_nanos(clean.report.elapsed.as_nanos() / 2);
+    let mut params = ample();
+    params.fault_plan = Some(chaos_plan(mid));
+    let chaotic = wc::run_itask(WebmapSize::G3, &params);
+    let r = &chaotic.report;
+
+    // The schedule must actually have bitten...
+    assert_eq!(
+        r.counter("faults_crashes"),
+        1.0,
+        "node 3 must crash mid-run"
+    );
+    assert!(
+        r.counter("itask.transient_io_retries") > 0.0,
+        "no transient was injected"
+    );
+    assert!(
+        r.counter("itask.crash_requeued_partitions") > 0.0
+            || r.counter("itask.crash_salvaged_instances") > 0.0,
+        "the crash must have cost the victim node live work"
+    );
+
+    // ...and the job must still produce the exact fault-free answer.
+    let chaos_out = chaotic.result.expect("chaotic WC must survive");
+    assert_eq!(kv_map(&clean_out), kv_map(&chaos_out));
+
+    // Recovery is not free: the chaotic run can only be slower.
+    assert!(chaotic.report.elapsed >= clean.report.elapsed);
+}
+
+#[test]
+fn ii_itask_survives_chaos_bit_identically() {
+    let clean_params = ample();
+    let clean = ii::run_itask(WebmapSize::G3, &clean_params);
+    let clean_out = clean.result.expect("fault-free II");
+
+    let mid = SimDuration::from_nanos(clean.report.elapsed.as_nanos() / 2);
+    let mut params = ample();
+    params.fault_plan = Some(chaos_plan(mid));
+    let chaotic = ii::run_itask(WebmapSize::G3, &params);
+    let r = &chaotic.report;
+
+    assert_eq!(
+        r.counter("faults_crashes"),
+        1.0,
+        "node 3 must crash mid-run"
+    );
+    assert!(
+        r.counter("itask.transient_io_retries") > 0.0,
+        "no transient was injected"
+    );
+
+    let chaos_out = chaotic.result.expect("chaotic II must survive");
+    assert_eq!(kv_map(&clean_out), kv_map(&chaos_out));
+}
+
+#[test]
+fn corruption_recovery_rebuilds_from_lineage() {
+    // Corruption only bites a partition that is spilled and later
+    // reloaded, so squeeze the heap until the IRS serializes aggressively
+    // and corrupt a third of all writes.
+    let mut params = ample();
+    params.heap_per_node = ByteSize::mib(2);
+    params.fault_plan = Some(FaultPlan::new(5).with_corruption(333));
+    let run = wc::run_itask(WebmapSize::G3, &params);
+    let recovered = run.report.counter("itask.corruption_recoveries");
+    assert!(recovered > 0.0, "no corrupted spill was ever re-read");
+    let out = run.result.expect("WC must survive corrupted spills");
+
+    let mut clean_params = ample();
+    clean_params.heap_per_node = ByteSize::mib(2);
+    let clean = wc::run_itask(WebmapSize::G3, &clean_params);
+    assert_eq!(kv_map(&clean.result.expect("clean WC")), kv_map(&out));
+}
+
+#[test]
+fn chaos_runs_are_deterministic() {
+    let mut params = ample();
+    params.fault_plan = Some(chaos_plan(SimDuration::from_millis(40)));
+    let a = wc::run_itask(WebmapSize::G3, &params);
+    let b = wc::run_itask(WebmapSize::G3, &params);
+    assert_eq!(a.report.elapsed, b.report.elapsed);
+    assert_eq!(a.report.counters, b.report.counters);
+    match (&a.result, &b.result) {
+        (Ok(x), Ok(y)) => assert_eq!(kv_map(x), kv_map(y)),
+        (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string()),
+        _ => panic!("divergent outcomes"),
+    }
+}

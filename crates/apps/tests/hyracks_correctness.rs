@@ -21,7 +21,11 @@ fn ample() -> HyracksParams {
 fn kv_map(outs: &[OutKv]) -> BTreeMap<u64, u64> {
     let mut m = BTreeMap::new();
     for o in outs {
-        assert!(m.insert(o.key, o.value).is_none(), "duplicate key {}", o.key);
+        assert!(
+            m.insert(o.key, o.value).is_none(),
+            "duplicate key {}",
+            o.key
+        );
     }
     m
 }
@@ -42,11 +46,17 @@ fn hs_outputs_are_sorted_and_complete() {
     let p = ample();
     let reg = hs::run_regular(WebmapSize::G3, &p);
     let out = reg.result.expect("regular HS");
-    assert!(hs::verify(&out, WebmapSize::G3, p.seed, true), "regular output must be sorted");
+    assert!(
+        hs::verify(&out, WebmapSize::G3, p.seed, true),
+        "regular output must be sorted"
+    );
 
     let it = hs::run_itask(WebmapSize::G3, &p);
     let out = it.result.expect("ITask HS");
-    assert!(hs::verify(&out, WebmapSize::G3, p.seed, false), "ITask output must be a permutation");
+    assert!(
+        hs::verify(&out, WebmapSize::G3, p.seed, false),
+        "ITask output must be a permutation"
+    );
 }
 
 #[test]

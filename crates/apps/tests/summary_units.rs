@@ -15,7 +15,10 @@ fn report(elapsed_ms: u64) -> JobReport {
 
 #[test]
 fn paper_seconds_applies_the_scale() {
-    let s: RunSummary<u32> = RunSummary { report: report(100), result: Ok(vec![]) };
+    let s: RunSummary<u32> = RunSummary {
+        report: report(100),
+        result: Ok(vec![]),
+    };
     assert!(s.ok());
     assert!(!s.is_oom());
     assert!((s.paper_seconds() - 0.1 * SCALE as f64).abs() < 1e-9);
@@ -43,7 +46,10 @@ fn oom_classification_follows_the_error() {
 
 #[test]
 fn gc_fraction_of_empty_report_is_zero() {
-    let s: RunSummary<u32> = RunSummary { report: report(0), result: Ok(vec![]) };
+    let s: RunSummary<u32> = RunSummary {
+        report: report(0),
+        result: Ok(vec![]),
+    };
     assert_eq!(s.gc_fraction(), 0.0);
     assert_eq!(s.peak_heap(), ByteSize::ZERO);
 }

@@ -32,7 +32,11 @@ fn web_parser_scratch_crashes_regular_and_survives_itask() {
 #[ignore = "simulates eight ~50GB-scale jobs; run with --release -- --ignored"]
 fn all_eight_remaining_problems_crash_and_survive() {
     for s in more_problems::all(42) {
-        assert!(!s.crash.ok(), "{} must crash under its reported config", s.name);
+        assert!(
+            !s.crash.ok(),
+            "{} must crash under its reported config",
+            s.name
+        );
         assert!(s.survive.ok(), "{} must survive with ITask", s.name);
     }
 }

@@ -117,5 +117,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_heap, bench_generators, bench_irs, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_heap,
+    bench_generators,
+    bench_irs,
+    bench_end_to_end
+);
 criterion_main!(benches);

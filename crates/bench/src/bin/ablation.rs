@@ -6,11 +6,13 @@
 use std::rc::Rc;
 
 use apps::agg::itask_factories;
-use apps::hyracks_apps::HyracksParams;
 use apps::hyracks_apps::wc::WcSpec;
+use apps::hyracks_apps::HyracksParams;
 #[allow(unused_imports)]
 use itask_bench::{cols, print_table, Cell};
-use itask_core::{InterruptMode, IrsConfig, ManagerConfig, MonitorConfig, SerializeMode, VictimPolicy};
+use itask_core::{
+    InterruptMode, IrsConfig, ManagerConfig, MonitorConfig, SerializeMode, VictimPolicy,
+};
 use simcore::ByteSize;
 use workloads::webmap::WebmapSize;
 
@@ -36,8 +38,14 @@ fn run_with(
             max_parallelism: params.cores,
             victim_policy: policy,
             interrupt_mode: mode,
-            manager: ManagerConfig { mode: ser, ..ManagerConfig::default() },
-            monitor: MonitorConfig { serialize_free_pct: hover_pct, ..MonitorConfig::default() },
+            manager: ManagerConfig {
+                mode: ser,
+                ..ManagerConfig::default()
+            },
+            monitor: MonitorConfig {
+                serialize_free_pct: hover_pct,
+                ..MonitorConfig::default()
+            },
             ..IrsConfig::default()
         },
         granularity: params.granularity,
@@ -115,7 +123,10 @@ fn main() {
         ));
         let speed = |other: &Cell| {
             if full.ok && other.ok {
-                format!("{:.2}x", other.elapsed.as_secs_f64() / full.elapsed.as_secs_f64())
+                format!(
+                    "{:.2}x",
+                    other.elapsed.as_secs_f64() / full.elapsed.as_secs_f64()
+                )
             } else if full.ok {
                 "inf (baseline failed)".into()
             } else {

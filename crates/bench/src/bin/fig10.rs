@@ -17,7 +17,10 @@ use workloads::webmap::WebmapSize;
 const THREADS: [usize; 5] = [1, 2, 4, 6, 8];
 
 fn params(threads: usize) -> HyracksParams {
-    HyracksParams { threads, ..HyracksParams::default() }
+    HyracksParams {
+        threads,
+        ..HyracksParams::default()
+    }
 }
 
 /// Best (fastest successful) regular run across thread counts.
@@ -45,10 +48,17 @@ fn compare<T>(
     regular: impl Fn(usize, usize) -> RunSummary<T>,
     itask: impl Fn(usize) -> RunSummary<T>,
 ) {
-    let header: Vec<String> = ["dataset", "regular (best cfg)", "thr", "ITask", "peak reg", "peak ITask"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "dataset",
+        "regular (best cfg)",
+        "thr",
+        "ITask",
+        "peak reg",
+        "peak ITask",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for (d, label) in datasets.iter().enumerate() {
@@ -69,13 +79,24 @@ fn compare<T>(
         rec.extend(cell_csv(&it));
         csv_rows.push(rec);
     }
-    print_table(&format!("Figure 10: {name} — ITask vs best regular"), &header, &rows);
+    print_table(
+        &format!("Figure 10: {name} — ITask vs best regular"),
+        &header,
+        &rows,
+    );
     if let Some(dir) = csv {
         let path = format!("{dir}/fig10_{name}.csv");
-        let header = ["dataset", "version", "status", "paper_secs", "gc_frac", "peak_bytes"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>();
+        let header = [
+            "dataset",
+            "version",
+            "status",
+            "paper_secs",
+            "gc_frac",
+            "peak_bytes",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
         if let Err(e) = write_csv(&path, &header, &csv_rows) {
             eprintln!("csv write failed ({path}): {e}");
         } else {

@@ -22,11 +22,10 @@ fn heap_sweep<T>(
     regular: impl Fn(&HyracksParams) -> apps::RunSummary<T>,
     itask: impl Fn(&HyracksParams) -> apps::RunSummary<T>,
 ) {
-    let header: Vec<String> =
-        ["heap", "regular (8 thr)", "ITask", "peak reg", "peak ITask"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let header: Vec<String> = ["heap", "regular (8 thr)", "ITask", "peak reg", "peak ITask"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     for h in HEAPS_MIB {
         let p = params(h);
@@ -68,7 +67,11 @@ fn main() {
         run.paper_seconds(),
         if run.ok() { "completed" } else { "FAILED" }
     );
-    if let Some(series) = run.report.nodes.first().and_then(|n| n.log.series("active_threads"))
+    if let Some(series) = run
+        .report
+        .nodes
+        .first()
+        .and_then(|n| n.log.series("active_threads"))
     {
         let avg = series.time_weighted_mean();
         let max = series.max_value();
@@ -79,7 +82,10 @@ fn main() {
             .map(|s| char::from_digit((s.value as u32).min(9), 10).unwrap_or('9'))
             .collect();
         println!("instances (downsampled, 0-9): {line}");
-        let t_end = pts.last().map(|s| s.at.as_secs_f64() * SCALE as f64).unwrap_or(0.0);
+        let t_end = pts
+            .last()
+            .map(|s| s.at.as_secs_f64() * SCALE as f64)
+            .unwrap_or(0.0);
         println!("x axis: 0 .. {t_end:.1} paper-equivalent seconds");
     }
     // The paper's per-operator decomposition (Map / Reduce / Merge).

@@ -16,7 +16,12 @@ fn series(report: &simcluster::JobReport) -> Vec<(f64, f64)> {
         .map(|s| {
             s.downsample_max(40)
                 .into_iter()
-                .map(|p| (p.at.as_secs_f64() * SCALE as f64, p.value / (1 << 20) as f64))
+                .map(|p| {
+                    (
+                        p.at.as_secs_f64() * SCALE as f64,
+                        p.value / (1 << 20) as f64,
+                    )
+                })
                 .collect()
         })
         .unwrap_or_default()
@@ -35,17 +40,30 @@ fn sparkline(points: &[(f64, f64)], cap_mib: f64) -> String {
 
 fn main() {
     let size = WebmapSize::G27; // regular WC dies here; ITask survives
-    let params = HyracksParams { threads: 8, ..HyracksParams::default() };
+    let params = HyracksParams {
+        threads: 8,
+        ..HyracksParams::default()
+    };
     let cap_mib = params.heap_per_node.as_u64() as f64 / (1 << 20) as f64;
 
-    println!("Figure 3: heap occupancy over time, WC on the {} dataset", size.label());
-    println!("(node 0, heap capacity {} ≙ 12GB; x = paper-equivalent seconds)\n", params.heap_per_node);
+    println!(
+        "Figure 3: heap occupancy over time, WC on the {} dataset",
+        size.label()
+    );
+    println!(
+        "(node 0, heap capacity {} ≙ 12GB; x = paper-equivalent seconds)\n",
+        params.heap_per_node
+    );
 
     let regular = wc::run_regular(size, &params);
     let reg_points = series(&regular.report);
     println!(
         "regular ({}): {}",
-        if regular.ok() { "completed".into() } else { format!("OME at {:.1}s", regular.paper_seconds()) },
+        if regular.ok() {
+            "completed".into()
+        } else {
+            format!("OME at {:.1}s", regular.paper_seconds())
+        },
         sparkline(&reg_points, cap_mib)
     );
 
@@ -53,18 +71,27 @@ fn main() {
     let it_points = series(&itask.report);
     println!(
         "ITask   ({}): {}",
-        if itask.ok() { format!("completed at {:.1}s", itask.paper_seconds()) } else { "OME".into() },
+        if itask.ok() {
+            format!("completed at {:.1}s", itask.paper_seconds())
+        } else {
+            "OME".into()
+        },
         sparkline(&it_points, cap_mib)
     );
     println!(
         "\nITask pressure handling: {} interrupts, {} serializations, {} LUGCs observed",
-        itask.report.counter("itask.interrupts") + itask.report.counter("itask.emergency_interrupts"),
+        itask.report.counter("itask.interrupts")
+            + itask.report.counter("itask.emergency_interrupts"),
         itask.report.counter("itask.serializations"),
         itask.report.counter("monitor.lugcs"),
     );
 
     // Numeric tail for EXPERIMENTS.md.
-    let header = vec!["t (paper s)".to_string(), "regular MiB".to_string(), "ITask MiB".to_string()];
+    let header = vec![
+        "t (paper s)".to_string(),
+        "regular MiB".to_string(),
+        "ITask MiB".to_string(),
+    ];
     let n = reg_points.len().max(it_points.len());
     let rows: Vec<Vec<String>> = (0..n)
         .map(|i| {

@@ -14,14 +14,21 @@ use workloads::webmap::WebmapSize;
 const THREADS: [usize; 5] = [1, 2, 4, 6, 8];
 
 fn params(threads: usize) -> HyracksParams {
-    HyracksParams { threads, ..HyracksParams::default() }
+    HyracksParams {
+        threads,
+        ..HyracksParams::default()
+    }
 }
 
 fn sweep<F, T>(name: &str, datasets: &[&str], quick: bool, csv: Option<&str>, run: F)
 where
     F: Fn(usize, usize) -> apps::RunSummary<T>,
 {
-    let n_sets = if quick { datasets.len().min(2) } else { datasets.len() };
+    let n_sets = if quick {
+        datasets.len().min(2)
+    } else {
+        datasets.len()
+    };
     let mut header = vec!["dataset".to_string()];
     header.extend(THREADS.iter().map(|t| format!("{t} thr")));
     let mut rows = Vec::new();
@@ -37,13 +44,24 @@ where
         }
         rows.push(row);
     }
-    print_table(&format!("Figure 9: {name} (regular, time by threads)"), &header, &rows);
+    print_table(
+        &format!("Figure 9: {name} (regular, time by threads)"),
+        &header,
+        &rows,
+    );
     if let Some(dir) = csv {
         let path = format!("{dir}/fig9_{}.csv", name.split(' ').next().unwrap_or(name));
-        let header = ["dataset", "threads", "status", "paper_secs", "gc_frac", "peak_bytes"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>();
+        let header = [
+            "dataset",
+            "threads",
+            "status",
+            "paper_secs",
+            "gc_frac",
+            "peak_bytes",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
         if let Err(e) = write_csv(&path, &header, &csv_rows) {
             eprintln!("csv write failed ({path}): {e}");
         } else {

@@ -50,15 +50,45 @@ fn main() {
 
     if five {
         let (c, a) = msa::run_ctime(SEED);
-        rows.push(row("MSA [13]", "map-side aggregation", &c, a, &msa::run_itask(SEED)));
+        rows.push(row(
+            "MSA [13]",
+            "map-side aggregation",
+            &c,
+            a,
+            &msa::run_itask(SEED),
+        ));
         let (c, a) = imc::run_ctime(SEED);
-        rows.push(row("IMC [16]", "in-map combiner", &c, a, &imc::run_itask(SEED)));
+        rows.push(row(
+            "IMC [16]",
+            "in-map combiner",
+            &c,
+            a,
+            &imc::run_itask(SEED),
+        ));
         let (c, a) = iib::run_ctime(SEED);
-        rows.push(row("IIB [8]", "inverted-index building", &c, a, &iib::run_itask(SEED)));
+        rows.push(row(
+            "IIB [8]",
+            "inverted-index building",
+            &c,
+            a,
+            &iib::run_itask(SEED),
+        ));
         let (c, a) = wcm::run_ctime(SEED);
-        rows.push(row("WCM [15]", "co-occurrence matrix", &c, a, &wcm::run_itask(SEED)));
+        rows.push(row(
+            "WCM [15]",
+            "co-occurrence matrix",
+            &c,
+            a,
+            &wcm::run_itask(SEED),
+        ));
         let (c, a) = crp::run_ctime(SEED);
-        rows.push(row("CRP [10]", "review lemmatizer", &c, a, &crp::run_itask(SEED)));
+        rows.push(row(
+            "CRP [10]",
+            "review lemmatizer",
+            &c,
+            a,
+            &crp::run_itask(SEED),
+        ));
     }
     if eight {
         for s in more_problems::all(SEED) {
@@ -66,7 +96,12 @@ fn main() {
         }
     }
 
-    let header = cols(&["problem", "root cause", "regular (reported config)", "ITask (same config)"]);
+    let header = cols(&[
+        "problem",
+        "root cause",
+        "regular (reported config)",
+        "ITask (same config)",
+    ]);
     print_table(
         &format!(
             "All 13 reproduced problems (seed {SEED}, times x{} paper-equivalent)",

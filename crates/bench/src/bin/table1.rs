@@ -72,44 +72,79 @@ fn main() {
 
     if want("msa") {
         rows.push(row(
-            "MSA", "StackOverflow FD 29GB",
+            "MSA",
+            "StackOverflow FD 29GB",
             &msa::table1_config(),
-            msa::run_ctime(SEED), msa::run_tuned(SEED), msa::run_itask(SEED),
+            msa::run_ctime(SEED),
+            msa::run_tuned(SEED),
+            msa::run_itask(SEED),
         ));
     }
     if want("imc") {
         rows.push(row(
-            "IMC", "Wikipedia FD 49GB",
+            "IMC",
+            "Wikipedia FD 49GB",
             &imc::table1_config(),
-            imc::run_ctime(SEED), imc::run_tuned(SEED), imc::run_itask(SEED),
+            imc::run_ctime(SEED),
+            imc::run_tuned(SEED),
+            imc::run_itask(SEED),
         ));
     }
     if want("iib") {
         rows.push(row(
-            "IIB", "Wikipedia FD 49GB",
+            "IIB",
+            "Wikipedia FD 49GB",
             &iib::table1_config(),
-            iib::run_ctime(SEED), iib::run_tuned(SEED), iib::run_itask(SEED),
+            iib::run_ctime(SEED),
+            iib::run_tuned(SEED),
+            iib::run_itask(SEED),
         ));
     }
     if want("wcm") {
         rows.push(row(
-            "WCM", "Wikipedia FD 49GB",
+            "WCM",
+            "Wikipedia FD 49GB",
             &wcm::table1_config(),
-            wcm::run_ctime(SEED), wcm::run_tuned(SEED), wcm::run_itask(SEED),
+            wcm::run_ctime(SEED),
+            wcm::run_tuned(SEED),
+            wcm::run_itask(SEED),
         ));
     }
     if want("crp") {
         rows.push(row(
-            "CRP", "Wikipedia SP 5GB",
+            "CRP",
+            "Wikipedia SP 5GB",
             &crp::table1_config(),
-            crp::run_ctime(SEED), crp::run_tuned(SEED), crp::run_itask(SEED),
+            crp::run_ctime(SEED),
+            crp::run_tuned(SEED),
+            crp::run_itask(SEED),
         ));
     }
 
-    let header = cols(&["Name", "Data", "Config (paper MB)", "CTime", "PTime", "ITime"]);
+    let header = cols(&[
+        "Name",
+        "Data",
+        "Config (paper MB)",
+        "CTime",
+        "PTime",
+        "ITime",
+    ]);
     let table: Vec<Vec<String>> = rows
         .into_iter()
-        .map(|r| vec![r.name.into(), r.data.into(), r.config, r.ctime, r.ptime, r.itime])
+        .map(|r| {
+            vec![
+                r.name.into(),
+                r.data.into(),
+                r.config,
+                r.ctime,
+                r.ptime,
+                r.itime,
+            ]
+        })
         .collect();
-    print_table("Table 1: Hadoop problems — crash / tuned / ITask times", &header, &table);
+    print_table(
+        "Table 1: Hadoop problems — crash / tuned / ITask times",
+        &header,
+        &table,
+    );
 }

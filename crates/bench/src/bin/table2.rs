@@ -47,8 +47,12 @@ fn main() {
         rows.push(row("CRP", &crp::run_itask(SEED)));
     }
     let header = cols(&[
-        "Name", "Processed Input", "Final Results", "Intermediate Results",
-        "Lazy Serialization", "outcome",
+        "Name",
+        "Processed Input",
+        "Final Results",
+        "Intermediate Results",
+        "Lazy Serialization",
+        "outcome",
     ]);
     print_table(
         "Table 2: ITask memory-savings breakdown (paper-equivalent bytes)",

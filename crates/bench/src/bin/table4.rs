@@ -6,8 +6,15 @@ use workloads::tpch::{TpchConfig, TpchScale};
 
 fn main() {
     let header = cols(&[
-        "scale", "paper size", "paper #Cust", "paper #Order", "paper #LineItem",
-        "scaled #Cust", "scaled #Order", "scaled #LineItem", "scaled bytes",
+        "scale",
+        "paper size",
+        "paper #Cust",
+        "paper #Order",
+        "paper #LineItem",
+        "scaled #Cust",
+        "scaled #Order",
+        "scaled #LineItem",
+        "scaled bytes",
     ]);
     let paper_sizes = ["9.8GB", "19.7GB", "29.7GB", "49.6GB", "99.8GB", "150.4GB"];
     let mut rows = Vec::new();

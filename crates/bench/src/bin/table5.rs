@@ -58,7 +58,13 @@ fn scalability<T>(
             format!("{g}KB"),
             format!("{:.1}s", e.as_secs_f64() * SCALE as f64),
         ],
-        None => vec![name.to_string(), "-".into(), "-".into(), "-".into(), "-".into()],
+        None => vec![
+            name.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ],
     }
 }
 
@@ -69,7 +75,11 @@ fn main() {
         let progs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
         progs.is_empty() || progs.iter().any(|a| a.as_str() == p)
     };
-    let grans: Vec<u64> = if quick { vec![16, 32] } else { GRANS_KIB.to_vec() };
+    let grans: Vec<u64> = if quick {
+        vec![16, 32]
+    } else {
+        GRANS_KIB.to_vec()
+    };
 
     let webmap: Vec<WebmapSize> = {
         let mut v = WebmapSize::ALL.to_vec();
@@ -107,6 +117,16 @@ fn main() {
         }));
     }
 
-    let header = cols(&["Name", "DS (largest scaled)", "#K (threads)", "#T (granularity)", "best time"]);
-    print_table("Table 5: scalability of the regular programs (12GB heap)", &header, &rows);
+    let header = cols(&[
+        "Name",
+        "DS (largest scaled)",
+        "#K (threads)",
+        "#T (granularity)",
+        "best time",
+    ]);
+    print_table(
+        "Table 5: scalability of the regular programs (12GB heap)",
+        &header,
+        &rows,
+    );
 }

@@ -15,7 +15,10 @@ use workloads::webmap::WebmapSize;
 const THREADS: [usize; 5] = [1, 2, 4, 6, 8];
 
 fn params(threads: usize) -> HyracksParams {
-    HyracksParams { threads, ..HyracksParams::default() }
+    HyracksParams {
+        threads,
+        ..HyracksParams::default()
+    }
 }
 
 struct Summary {
@@ -121,7 +124,11 @@ fn main() {
         let it_gb = itask_cap_gb
             .or(s.itask_largest.map(|d| sizes[d]))
             .unwrap_or(0.0);
-        let scal = if reg_gb > 0.0 { it_gb / reg_gb } else { f64::NAN };
+        let scal = if reg_gb > 0.0 {
+            it_gb / reg_gb
+        } else {
+            f64::NAN
+        };
         rows.push(vec![
             name.to_string(),
             format!("{}/{}", s.time_wins, s.datasets),
@@ -133,39 +140,56 @@ fn main() {
     };
 
     if want("wc") {
-        let s = summarize(n_web, |d, t| wc::run_regular(webmap[d], &params(t)), |d| {
-            wc::run_itask(webmap[d], &params(8))
-        });
+        let s = summarize(
+            n_web,
+            |d, t| wc::run_regular(webmap[d], &params(t)),
+            |d| wc::run_itask(webmap[d], &params(8)),
+        );
         add("WC", s, &web_gb, None);
     }
     if want("hs") {
-        let s = summarize(n_web, |d, t| hs::run_regular(webmap[d], &params(t)), |d| {
-            hs::run_itask(webmap[d], &params(8))
-        });
+        let s = summarize(
+            n_web,
+            |d, t| hs::run_regular(webmap[d], &params(t)),
+            |d| hs::run_itask(webmap[d], &params(8)),
+        );
         add("HS", s, &web_gb, None);
     }
     if want("ii") {
-        let s = summarize(n_web, |d, t| ii::run_regular(webmap[d], &params(t)), |d| {
-            ii::run_itask(webmap[d], &params(8))
-        });
+        let s = summarize(
+            n_web,
+            |d, t| ii::run_regular(webmap[d], &params(t)),
+            |d| ii::run_itask(webmap[d], &params(8)),
+        );
         add("II", s, &web_gb, None);
     }
     if want("hj") {
-        let s = summarize(n_tpch, |d, t| hj::run_regular(tpch[d], &params(t)), |d| {
-            hj::run_itask(tpch[d], &params(8))
-        });
+        let s = summarize(
+            n_tpch,
+            |d, t| hj::run_regular(tpch[d], &params(t)),
+            |d| hj::run_itask(tpch[d], &params(8)),
+        );
         // Probe the paper's 600x upper bound.
         let probe = hj::run_itask(TpchScale::X600, &params(8));
         add("HJ", s, &tpch_gb, probe.ok().then_some(600.0 * 9.8 / 10.0));
     }
     if want("gr") {
-        let s = summarize(n_tpch, |d, t| gr::run_regular(tpch[d], &params(t)), |d| {
-            gr::run_itask(tpch[d], &params(8))
-        });
+        let s = summarize(
+            n_tpch,
+            |d, t| gr::run_regular(tpch[d], &params(t)),
+            |d| gr::run_itask(tpch[d], &params(8)),
+        );
         let probe = gr::run_itask(TpchScale::X250, &params(8));
         add("GR", s, &tpch_gb, probe.ok().then_some(250.0 * 9.8 / 10.0));
     }
 
-    let header = cols(&["Name", "#TS", "%TS (mean)", "#HS", "%HS (mean)", "Scalability"]);
+    let header = cols(&[
+        "Name",
+        "#TS",
+        "%TS (mean)",
+        "#HS",
+        "%HS (mean)",
+        "Scalability",
+    ]);
     print_table("Table 6: ITask vs regular summary", &header, &rows);
 }

@@ -48,7 +48,11 @@ impl Cell {
     /// `"123.4s (gc 45%)"` or `"OME@67.8s"`.
     pub fn show(&self) -> String {
         if self.ok {
-            format!("{:7.1}s (gc {:2.0}%)", self.paper_secs(), self.gc_frac() * 100.0)
+            format!(
+                "{:7.1}s (gc {:2.0}%)",
+                self.paper_secs(),
+                self.gc_frac() * 100.0
+            )
         } else {
             format!("OME@{:.1}s", self.paper_secs())
         }
@@ -74,7 +78,10 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(header));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -108,11 +115,7 @@ mod tests {
 ///
 /// Values are written verbatim; callers supply already-formatted
 /// numbers. Fields containing commas or quotes are quoted.
-pub fn write_csv(
-    path: &str,
-    header: &[String],
-    rows: &[Vec<String>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &str, header: &[String], rows: &[Vec<String>]) -> std::io::Result<()> {
     use std::io::Write;
     let mut f = std::fs::File::create(path)?;
     let escape = |s: &str| {
@@ -154,7 +157,10 @@ mod csv_tests {
         write_csv(
             path,
             &cols(&["a", "b"]),
-            &[vec!["1,2".into(), "plain".into()], vec!["x\"y".into(), "z".into()]],
+            &[
+                vec!["1,2".into(), "plain".into()],
+                vec!["x\"y".into(), "z".into()],
+            ],
         )
         .unwrap();
         let content = std::fs::read_to_string(path).unwrap();

@@ -77,7 +77,12 @@ impl TaskGraph {
 
     fn add(&mut self, name: impl Into<String>, kind: TaskKind, factory: TaskFactory) -> TaskId {
         let id = TaskId(self.tasks.len() as u32);
-        self.tasks.push(TaskDesc { id, name: name.into(), kind, factory });
+        self.tasks.push(TaskDesc {
+            id,
+            name: name.into(),
+            kind,
+            factory,
+        });
         id
     }
 

@@ -6,8 +6,8 @@
 //! heap at all — the IRS deserializes them on activation, which is what
 //! lets an ITask job hold a dataset far larger than the heap.
 
-use simcore::{PartitionId, SimResult};
 use simcluster::NodeState;
+use simcore::{PartitionId, SimResult};
 
 use crate::partition::{Tag, Tuple, VecPartition};
 use crate::runtime::IrsHandle;
@@ -46,11 +46,9 @@ pub fn offer_serialized<T: Tuple>(
     let ser: u64 = items.iter().map(Tuple::ser_bytes).sum();
     let file = node
         .disk
-        .register(format!("{id}.input"), simcore::ByteSize(ser))
-        .ok_or(simcore::SimError::DiskFull {
-            node: node.id,
-            requested: simcore::ByteSize(ser),
-        })?;
-    handle.push_partition(Box::new(VecPartition::new_serialized(id, task, tag, items, file)));
+        .register(format!("{id}.input"), simcore::ByteSize(ser))?;
+    handle.push_partition(Box::new(VecPartition::new_serialized(
+        id, task, tag, items, file,
+    )));
     Ok(id)
 }

@@ -47,7 +47,7 @@ pub mod worker;
 
 pub use graph::TaskGraph;
 pub use input::{offer_in_memory, offer_serialized};
-pub use manager::{ManagerConfig, SerializeMode};
+pub use manager::{DeserRecovery, ManagerConfig, SerializeMode};
 pub use monitor::{MemSignal, Monitor, MonitorConfig};
 pub use partition::{
     Partition, PartitionBox, PartitionMeta, PartitionState, Tag, Tuple, VecPartition,
@@ -55,5 +55,6 @@ pub use partition::{
 pub use runtime::{FinalOutput, InterruptMode, Irs, IrsConfig, IrsHandle};
 pub use scheduler::VictimPolicy;
 pub use stats::{IrsStats, ReclaimBreakdown};
-pub use trace::{IrsEvent, IrsTrace, TracedEvent};
 pub use task::{ITask, InstanceSpaces, Scale, TaskCx, TaskKind, TupleTask};
+pub use trace::{IrsEvent, IrsTrace, TracedEvent};
+pub use worker::ItaskWorker;

@@ -6,8 +6,8 @@
 //! held by partitions whose tasks are not even running. Only if that is
 //! not enough does the scheduler start interrupting live instances.
 
-use simcore::{ByteSize, PartitionId, SimDuration, SimTime, TaskId};
-use simcluster::NodeState;
+use simcluster::{NodeState, DEFAULT_IO_RETRIES};
+use simcore::{ByteSize, PartitionId, SimDuration, SimError, SimTime, TaskId};
 
 use crate::graph::TaskGraph;
 use crate::partition::{Partition, PartitionState};
@@ -83,7 +83,8 @@ pub fn serialize_partition_mode(
         }
         // Even the byte array does not fit: fall through to disk.
         node.heap.release_space(bytes_space);
-        let file = node.disk_write_async(format!("{id}.ser"), ser_bytes)?;
+        let (file, _retries) =
+            node.disk_write_retried(&format!("{id}.ser"), ser_bytes, DEFAULT_IO_RETRIES)?;
         let meta = part.meta_mut();
         meta.state = PartitionState::Serialized(file);
         meta.last_serialized = Some(node.now);
@@ -91,13 +92,25 @@ pub fn serialize_partition_mode(
     }
     // CPU cost of encoding is charged to the node clock (the paper uses
     // background threads; encoding overlaps compute, so we charge only
-    // the cheap async-write bookkeeping).
-    let file = node.disk_write_async(format!("{id}.ser"), ser_bytes)?;
+    // the cheap async-write bookkeeping). Transient disk faults are
+    // absorbed by bounded retry with the device backing off in between.
+    let (file, _retries) =
+        node.disk_write_retried(&format!("{id}.ser"), ser_bytes, DEFAULT_IO_RETRIES)?;
     let freed = node.heap.release_space(space);
     let meta = part.meta_mut();
     meta.state = PartitionState::Serialized(file);
     meta.last_serialized = Some(node.now);
     Ok(freed)
+}
+
+/// What a deserialization had to survive (fault-injection runs): zero
+/// everywhere on a healthy substrate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeserRecovery {
+    /// Transient read/write faults absorbed by bounded retry.
+    pub transient_retries: u32,
+    /// Corrupt spill files rebuilt from the retained object form.
+    pub corruption_rebuilds: u32,
 }
 
 /// Deserializes one partition for activation: disk read, decode CPU,
@@ -110,25 +123,73 @@ pub fn deserialize_partition(
     part: &mut dyn Partition,
     node: &mut NodeState,
 ) -> simcore::SimResult<(ByteSize, SimDuration)> {
+    deserialize_partition_recovering(part, node).map(|(bytes, cost, _rec)| (bytes, cost))
+}
+
+/// [`deserialize_partition`] that also reports what it had to recover
+/// from. Reads are checksum-verified; a corrupt spill file is deleted
+/// and rebuilt from the partition's retained object form (its lineage —
+/// [`crate::partition::VecPartition`] keeps the tuples across
+/// serialization), paying the encode CPU and a fresh write, then the
+/// read is retried. Both the rebuild loop and the per-I/O transient
+/// retries are bounded, so a hostile injector cannot live-lock the
+/// activation: when the budget runs out the underlying error surfaces.
+pub fn deserialize_partition_recovering(
+    part: &mut dyn Partition,
+    node: &mut NodeState,
+) -> simcore::SimResult<(ByteSize, SimDuration, DeserRecovery)> {
     let meta = part.meta();
     let mem_bytes = meta.mem_bytes;
     let ser_bytes = meta.ser_bytes;
     let id = meta.id;
+    let mut rec = DeserRecovery::default();
     match meta.state {
-        PartitionState::InMemory(_) => Ok((ByteSize::ZERO, SimDuration::ZERO)),
+        PartitionState::InMemory(_) => Ok((ByteSize::ZERO, SimDuration::ZERO, rec)),
         PartitionState::Serialized(file) => {
             let space = node.heap.create_space(format!("{id}.deser"));
             if let Err(e) = node.alloc(space, mem_bytes) {
                 node.heap.release_space(space);
                 return Err(e);
             }
-            let (_bytes, stall) = node.disk_read_charged(file)?;
-            let cost = stall + node.cost.deserialize_cpu(ser_bytes);
+            let mut file = file;
+            let mut cost = SimDuration::ZERO;
+            loop {
+                match node.disk_read_retried(file, DEFAULT_IO_RETRIES) {
+                    Ok((_bytes, stall, retries)) => {
+                        rec.transient_retries += retries;
+                        cost += stall;
+                        break;
+                    }
+                    Err(SimError::CorruptPartition { .. })
+                        if rec.corruption_rebuilds < DEFAULT_IO_RETRIES =>
+                    {
+                        // The stored bytes are damaged; the object form
+                        // is still held by the partition, so re-encode,
+                        // write a fresh spill file and read that instead.
+                        node.disk.delete(file);
+                        cost += node.cost.serialize_cpu(ser_bytes);
+                        let (fresh, retries) = node
+                            .disk_write_retried(&format!("{id}.ser"), ser_bytes, DEFAULT_IO_RETRIES)
+                            .inspect_err(|_| {
+                                node.heap.release_space(space);
+                            })?;
+                        rec.transient_retries += retries;
+                        rec.corruption_rebuilds += 1;
+                        part.meta_mut().state = PartitionState::Serialized(fresh);
+                        file = fresh;
+                    }
+                    Err(e) => {
+                        node.heap.release_space(space);
+                        return Err(e);
+                    }
+                }
+            }
+            cost += node.cost.deserialize_cpu(ser_bytes);
             node.disk.delete(file);
             let meta = part.meta_mut();
             meta.state = PartitionState::InMemory(space);
             meta.last_deserialized = Some(node.now + cost);
-            Ok((mem_bytes, cost))
+            Ok((mem_bytes, cost, rec))
         }
         PartitionState::SerializedInMemory(bytes_space) => {
             // Decode straight from the byte array: no disk stall.
@@ -142,7 +203,7 @@ pub fn deserialize_partition(
             let meta = part.meta_mut();
             meta.state = PartitionState::InMemory(space);
             meta.last_deserialized = Some(node.now + cost);
-            Ok((mem_bytes, cost))
+            Ok((mem_bytes, cost, rec))
         }
     }
 }
@@ -198,8 +259,7 @@ pub fn serialization_order(
             .then(a.2.cmp(&b.2))
             .then(a.3.cmp(&b.3))
     });
-    let (unprotected, protected): (Vec<_>, Vec<_>) =
-        candidates.into_iter().partition(|c| !c.4);
+    let (unprotected, protected): (Vec<_>, Vec<_>) = candidates.into_iter().partition(|c| !c.4);
     unprotected
         .into_iter()
         .chain(protected)
@@ -255,7 +315,8 @@ mod tests {
         n: usize,
     ) -> Box<VecPartition<B>> {
         let space = node.heap.create_space(format!("p{id}"));
-        node.alloc(space, ByteSize(bytes_per_tuple * n as u64)).unwrap();
+        node.alloc(space, ByteSize(bytes_per_tuple * n as u64))
+            .unwrap();
         let items = (0..n).map(|_| B(bytes_per_tuple)).collect();
         Box::new(VecPartition::new(
             PartitionId(id),
@@ -278,7 +339,10 @@ mod tests {
         assert!(p.meta().last_serialized.is_some());
         assert_eq!(n.disk.file_count(), 1);
         // Serializing again is a no-op.
-        assert_eq!(serialize_partition(p.as_mut(), &mut n).unwrap(), ByteSize::ZERO);
+        assert_eq!(
+            serialize_partition(p.as_mut(), &mut n).unwrap(),
+            ByteSize::ZERO
+        );
 
         let (charged, cost) = deserialize_partition(p.as_mut(), &mut n).unwrap();
         assert_eq!(charged, ByteSize(10_000));
@@ -324,13 +388,7 @@ mod tests {
         // Partition for b.
         q.push(in_memory_partition(&mut n, 2, b.as_u32(), 10, 1));
 
-        let order = serialization_order(
-            &q,
-            &g,
-            &[c],
-            SimTime::ZERO,
-            ManagerConfig::default(),
-        );
+        let order = serialization_order(&q, &g, &[c], SimTime::ZERO, ManagerConfig::default());
         // a's partition is serialized first, c's last.
         assert_eq!(order, vec![PartitionId(0), PartitionId(2), PartitionId(1)]);
     }
@@ -367,8 +425,7 @@ mod tests {
         serialize_partition(p.as_mut(), &mut n).unwrap();
         let mut q = PartitionQueue::new();
         q.push(p);
-        let order =
-            serialization_order(&q, &g, &[a], SimTime::ZERO, ManagerConfig::default());
+        let order = serialization_order(&q, &g, &[a], SimTime::ZERO, ManagerConfig::default());
         assert!(order.is_empty());
     }
 }
@@ -377,8 +434,8 @@ mod tests {
 mod memory_bytes_tests {
     use super::*;
     use crate::partition::{Tag, Tuple, VecPartition};
-    use simcore::{ByteSize, NodeId, PartitionId, TaskId};
     use simcluster::NodeState;
+    use simcore::{ByteSize, NodeId, PartitionId, TaskId};
 
     struct B(u64);
 
@@ -399,18 +456,26 @@ mod memory_bytes_tests {
         let space = n.heap.create_space("p");
         n.alloc(space, ByteSize(bytes_per * count as u64)).unwrap();
         let items = (0..count).map(|_| B(bytes_per)).collect();
-        Box::new(VecPartition::new(PartitionId(0), TaskId(0), Tag(0), items, space))
+        Box::new(VecPartition::new(
+            PartitionId(0),
+            TaskId(0),
+            Tag(0),
+            items,
+            space,
+        ))
     }
 
     #[test]
     fn memory_bytes_mode_compacts_without_disk() {
         let mut n = node(4096);
         let mut p = partition(&mut n, 900, 10); // 9000B object form, 3000B bytes
-        let net = serialize_partition_mode(p.as_mut(), &mut n, SerializeMode::MemoryBytes)
-            .unwrap();
+        let net = serialize_partition_mode(p.as_mut(), &mut n, SerializeMode::MemoryBytes).unwrap();
         assert_eq!(net, ByteSize(9000 - 3000), "net release = bloat - bytes");
         assert!(!p.meta().in_memory());
-        assert!(matches!(p.meta().state, PartitionState::SerializedInMemory(_)));
+        assert!(matches!(
+            p.meta().state,
+            PartitionState::SerializedInMemory(_)
+        ));
         assert_eq!(n.disk.file_count(), 0, "no disk I/O in this mode");
         // The byte array is live on the heap.
         assert_eq!(n.heap.live(), ByteSize(3000));

@@ -34,7 +34,11 @@ pub struct MonitorConfig {
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig { grow_free_pct: 20, reduce_target_pct: 10, serialize_free_pct: 40 }
+        MonitorConfig {
+            grow_free_pct: 20,
+            reduce_target_pct: 10,
+            serialize_free_pct: 40,
+        }
     }
 }
 
@@ -62,7 +66,11 @@ pub struct Monitor {
 impl Monitor {
     /// Creates a monitor with the given thresholds.
     pub fn new(cfg: MonitorConfig) -> Self {
-        Monitor { cfg, stats: MonitorStats::default(), thrashing_reported: false }
+        Monitor {
+            cfg,
+            stats: MonitorStats::default(),
+            thrashing_reported: false,
+        }
     }
 
     /// The configuration.
@@ -83,17 +91,20 @@ impl Monitor {
 
     /// The absolute free-byte target a REDUCE aims for (`M%`).
     pub fn reduce_target(&self, heap: &Heap) -> ByteSize {
-        heap.capacity().mul_ratio(self.cfg.reduce_target_pct as u64, 100)
+        heap.capacity()
+            .mul_ratio(self.cfg.reduce_target_pct as u64, 100)
     }
 
     /// The absolute free-byte threshold for growth (`N%`).
     pub fn grow_threshold(&self, heap: &Heap) -> ByteSize {
-        heap.capacity().mul_ratio(self.cfg.grow_free_pct as u64, 100)
+        heap.capacity()
+            .mul_ratio(self.cfg.grow_free_pct as u64, 100)
     }
 
     /// The background-serialization hover target.
     pub fn serialize_target(&self, heap: &Heap) -> ByteSize {
-        heap.capacity().mul_ratio(self.cfg.serialize_free_pct as u64, 100)
+        heap.capacity()
+            .mul_ratio(self.cfg.serialize_free_pct as u64, 100)
     }
 
     /// Digests the GC records observed since the last call plus the

@@ -146,13 +146,7 @@ pub struct VecPartition<T: Tuple> {
 impl<T: Tuple> VecPartition<T> {
     /// Wraps `items` into a partition charged to `space` (the caller has
     /// already allocated the bytes into that space, or will).
-    pub fn new(
-        id: PartitionId,
-        input_of: TaskId,
-        tag: Tag,
-        items: Vec<T>,
-        space: SpaceId,
-    ) -> Self {
+    pub fn new(id: PartitionId, input_of: TaskId, tag: Tag, items: Vec<T>, space: SpaceId) -> Self {
         let mem: u64 = items.iter().map(Tuple::heap_bytes).sum();
         let ser: u64 = items.iter().map(Tuple::ser_bytes).sum();
         VecPartition {
@@ -227,7 +221,12 @@ impl<T: Tuple> VecPartition<T> {
 
     /// Sum of the simulated heap bytes of the processed prefix.
     pub fn processed_bytes(&self) -> ByteSize {
-        ByteSize(self.items[..self.meta.cursor].iter().map(Tuple::heap_bytes).sum())
+        ByteSize(
+            self.items[..self.meta.cursor]
+                .iter()
+                .map(Tuple::heap_bytes)
+                .sum(),
+        )
     }
 }
 
@@ -353,8 +352,14 @@ mod tests {
         let mut h = heap();
         let mut p = part(&mut h, &[1]);
         let dynamic: &mut dyn Partition = &mut p;
-        assert!(dynamic.as_any_mut().downcast_mut::<VecPartition<Fixed>>().is_some());
-        assert!(dynamic.as_any().downcast_ref::<VecPartition<Fixed>>().is_some());
+        assert!(dynamic
+            .as_any_mut()
+            .downcast_mut::<VecPartition<Fixed>>()
+            .is_some());
+        assert!(dynamic
+            .as_any()
+            .downcast_ref::<VecPartition<Fixed>>()
+            .is_some());
     }
 
     #[test]

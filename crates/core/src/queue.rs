@@ -50,6 +50,12 @@ impl PartitionQueue {
         self.entries.iter_mut().find(|p| p.meta().id == id)
     }
 
+    /// Removes and returns every queued partition, in queue order
+    /// (crash recovery: the engine re-homes them onto survivors).
+    pub fn drain_all(&mut self) -> Vec<PartitionBox> {
+        std::mem::take(&mut self.entries)
+    }
+
     /// Removes and returns a partition by id.
     pub fn take(&mut self, id: PartitionId) -> Option<PartitionBox> {
         let idx = self.entries.iter().position(|p| p.meta().id == id)?;
@@ -89,7 +95,10 @@ impl PartitionQueue {
 
     /// Total simulated heap bytes of queued *in-memory* partitions.
     pub fn in_memory_bytes(&self) -> simcore::ByteSize {
-        self.metas().filter(|m| m.in_memory()).map(|m| m.mem_bytes).sum()
+        self.metas()
+            .filter(|m| m.in_memory())
+            .map(|m| m.mem_bytes)
+            .sum()
     }
 }
 

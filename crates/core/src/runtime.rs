@@ -19,8 +19,8 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
-use simcore::{ByteSize, PartitionId, SimResult, TaskId, ThreadId};
 use simcluster::NodeSim;
+use simcore::{ByteSize, PartitionId, SimResult, TaskId, ThreadId};
 
 use crate::graph::TaskGraph;
 use crate::manager::{serialization_order, serialize_partition_mode, ManagerConfig, SerializeMode};
@@ -259,6 +259,12 @@ impl IrsHandle {
         let cur = s.pressure_hint.unwrap_or(ByteSize::ZERO);
         s.pressure_hint = Some(cur.max(needed));
     }
+
+    /// Records partitions re-homed onto this node after a peer crash
+    /// (fault-injection runs; called by the engine's recovery path).
+    pub fn note_crash_requeued(&self, n: u64) {
+        self.0.borrow_mut().stats.crash_requeued_partitions += n;
+    }
 }
 
 /// The per-node IRS controller.
@@ -331,6 +337,13 @@ impl Irs {
     /// Takes the final outputs published since the last call.
     pub fn take_final_outputs(&mut self) -> Vec<FinalOutput> {
         std::mem::take(&mut self.handle.0.borrow_mut().final_outputs)
+    }
+
+    /// Drains every queued partition (crash recovery: after the node
+    /// died and its live instances were salvaged, the engine re-homes
+    /// the whole queue onto surviving nodes).
+    pub fn drain_queue(&mut self) -> Vec<PartitionBox> {
+        self.handle.0.borrow_mut().queue.drain_all()
     }
 
     /// Enables the structured decision trace.
@@ -433,7 +446,9 @@ impl Irs {
             }
             let freed = {
                 let mut s = self.handle.0.borrow_mut();
-                let Some(part) = s.queue.get_mut(pid) else { continue };
+                let Some(part) = s.queue.get_mut(pid) else {
+                    continue;
+                };
                 serialize_partition_mode(part.as_mut(), sim.node_mut(), self.cfg.manager.mode)?
             };
             if !freed.is_zero() {
@@ -441,8 +456,13 @@ impl Irs {
                     st.serializations += 1;
                     st.reclaim.lazy_serialized += freed;
                 });
-                self.handle
-                    .trace(sim.node().now, IrsEvent::Serialized { partition: pid, freed });
+                self.handle.trace(
+                    sim.node().now,
+                    IrsEvent::Serialized {
+                        partition: pid,
+                        freed,
+                    },
+                );
             }
         }
         // Stage 2: if still under the emergency line (`M%`, or the
@@ -459,11 +479,11 @@ impl Irs {
                 .filter(|(t, _)| !s.terminate.contains(t))
                 .map(|(t, r)| (*t, r.clone()))
                 .collect();
-            if let Some(victim) = pick_victim(&candidates, &self.graph, self.cfg.victim_policy)
-            {
+            if let Some(victim) = pick_victim(&candidates, &self.graph, self.cfg.victim_policy) {
                 let task = candidates[&victim].task;
                 s.terminate.insert(victim);
-                s.trace.record(sim.node().now, IrsEvent::VictimMarked { task });
+                s.trace
+                    .record(sim.node().now, IrsEvent::VictimMarked { task });
             }
         }
         Ok(())
@@ -505,7 +525,9 @@ impl Irs {
             }
             let freed = {
                 let mut s = self.handle.0.borrow_mut();
-                let Some(part) = s.queue.get_mut(pid) else { continue };
+                let Some(part) = s.queue.get_mut(pid) else {
+                    continue;
+                };
                 serialize_partition_mode(part.as_mut(), sim.node_mut(), self.cfg.manager.mode)?
             };
             if !freed.is_zero() {
@@ -513,8 +535,13 @@ impl Irs {
                     st.serializations += 1;
                     st.reclaim.lazy_serialized += freed;
                 });
-                self.handle
-                    .trace(sim.node().now, IrsEvent::Serialized { partition: pid, freed });
+                self.handle.trace(
+                    sim.node().now,
+                    IrsEvent::Serialized {
+                        partition: pid,
+                        freed,
+                    },
+                );
             }
         }
         if sim.node().heap.effective_free() >= grow_gate {
@@ -529,7 +556,11 @@ impl Irs {
         // one instance per 100us tick would dominate short jobs.
         let heap = &sim.node().heap;
         let roomy = heap.effective_free() >= heap.capacity().mul_ratio(1, 2);
-        let burst = if roomy { self.cfg.max_parallelism } else { self.cfg.grow_per_tick };
+        let burst = if roomy {
+            self.cfg.max_parallelism
+        } else {
+            self.cfg.grow_per_tick
+        };
         for _ in 0..burst {
             {
                 let s = self.handle.0.borrow();
@@ -581,11 +612,23 @@ impl Irs {
         let kind = desc.kind;
         let thread = sim.spawn(Box::new(worker));
         let mut s = self.handle.0.borrow_mut();
-        s.trace.record(now, IrsEvent::Activated { task: task_id, partitions: n_parts });
+        s.trace.record(
+            now,
+            IrsEvent::Activated {
+                task: task_id,
+                partitions: n_parts,
+            },
+        );
         s.instance_threads.insert(instance, thread);
         s.running.insert(
             thread,
-            RunningInstance { thread, task: task_id, kind, tag, recent_progress: 0 },
+            RunningInstance {
+                thread,
+                task: task_id,
+                kind,
+                tag,
+                recent_progress: 0,
+            },
         );
     }
 
@@ -612,6 +655,8 @@ impl Irs {
                 return Err(err);
             }
         }
-        Err(simcore::SimError::Internal("IRS failed to reach idle".into()))
+        Err(simcore::SimError::Internal(
+            "IRS failed to reach idle".into(),
+        ))
     }
 }

@@ -142,17 +142,15 @@ pub fn pick_activation(
                 }
             }
             TaskKind::Multi => {
-                let producers_quiescent = graph.producers(task).iter().all(|&p| {
-                    queue.pending_for(p) == 0
-                        && running.values().all(|r| r.task != p)
-                });
+                let producers_quiescent = graph
+                    .producers(task)
+                    .iter()
+                    .all(|&p| queue.pending_for(p) == 0 && running.values().all(|r| r.task != p));
                 if !producers_quiescent {
                     continue;
                 }
                 for (tag, _count) in queue.tags_for(task) {
-                    let busy = running
-                        .values()
-                        .any(|r| r.task == task && r.tag == tag);
+                    let busy = running.values().any(|r| r.task == task && r.tag == tag);
                     if busy {
                         continue;
                     }
@@ -260,14 +258,21 @@ mod tests {
         let mut running = BTreeMap::new();
         running.insert(ThreadId(0), instance(0, merge, TaskKind::Multi, 1));
         let v = pick_victim(&running, &g, VictimPolicy::Rules).unwrap();
-        assert_eq!(v, ThreadId(0), "the only instance must still be interruptible");
+        assert_eq!(
+            v,
+            ThreadId(0),
+            "the only instance must still be interruptible"
+        );
     }
 
     #[test]
     fn no_victim_from_empty_pool() {
         let (g, ..) = wc_graph();
         assert_eq!(pick_victim(&BTreeMap::new(), &g, VictimPolicy::Rules), None);
-        assert_eq!(pick_victim(&BTreeMap::new(), &g, VictimPolicy::Random), None);
+        assert_eq!(
+            pick_victim(&BTreeMap::new(), &g, VictimPolicy::Random),
+            None
+        );
     }
 
     #[test]
@@ -334,6 +339,9 @@ mod tests {
     #[test]
     fn empty_queue_activates_nothing() {
         let (g, ..) = wc_graph();
-        assert_eq!(pick_activation(&PartitionQueue::new(), &g, &BTreeMap::new()), None);
+        assert_eq!(
+            pick_activation(&PartitionQueue::new(), &g, &BTreeMap::new()),
+            None
+        );
     }
 }

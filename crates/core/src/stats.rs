@@ -49,6 +49,16 @@ pub struct IrsStats {
     pub failed_activations: u64,
     /// Peak concurrently running instances.
     pub peak_instances: u64,
+    /// Transient disk faults absorbed by bounded retry during
+    /// (de)serialization (fault-injection runs).
+    pub transient_io_retries: u64,
+    /// Corrupt spill files rebuilt from the retained object form
+    /// (lineage) and re-read successfully.
+    pub corruption_recoveries: u64,
+    /// Instances salvaged off a crashed node through the interrupt path.
+    pub crash_salvaged_instances: u64,
+    /// Partitions re-homed onto this node after a peer crash.
+    pub crash_requeued_partitions: u64,
     /// Reclaimed-memory breakdown.
     pub reclaim: ReclaimBreakdown,
 }

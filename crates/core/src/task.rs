@@ -16,8 +16,8 @@
 
 use std::any::Any;
 
-use simcore::{ByteSize, CostModel, SimDuration, SimResult, SimTime, SpaceId, TaskId};
 use simcluster::WorkCx;
+use simcore::{ByteSize, CostModel, SimDuration, SimResult, SimTime, SpaceId, TaskId};
 
 use crate::partition::{Partition, Tag, Tuple, VecPartition};
 use crate::runtime::{FinalOutput, IrsHandle};
@@ -67,7 +67,14 @@ impl<'a, 'b> TaskCx<'a, 'b> {
         spaces: &'a mut InstanceSpaces,
         interrupting: bool,
     ) -> Self {
-        TaskCx { work, shared, task, input_tag, spaces, interrupting }
+        TaskCx {
+            work,
+            shared,
+            task,
+            input_tag,
+            spaces,
+            interrupting,
+        }
     }
 
     /// The tag of the partition currently being processed (for a reduce
@@ -170,14 +177,13 @@ impl<'a, 'b> TaskCx<'a, 'b> {
         // the live set (paper §5.3's background serialization).
         let heap = &self.work.node().heap;
         let tight = heap.effective_free()
-            < heap.capacity().mul_ratio(self.shared.serialize_free_pct() as u64, 100);
+            < heap
+                .capacity()
+                .mul_ratio(self.shared.serialize_free_pct() as u64, 100);
         if tight {
             let mode = self.shared.serialize_mode();
-            let freed = crate::manager::serialize_partition_mode(
-                &mut part,
-                self.work.node(),
-                mode,
-            )?;
+            let freed =
+                crate::manager::serialize_partition_mode(&mut part, self.work.node(), mode)?;
             if !freed.is_zero() {
                 self.shared.note_serialized_at_birth(freed);
             }
@@ -208,7 +214,11 @@ impl<'a, 'b> TaskCx<'a, 'b> {
     }
 
     fn rotate_out_space(&mut self) -> SpaceId {
-        let new = self.work.node().heap.create_space(format!("{}.out", self.task));
+        let new = self
+            .work
+            .node()
+            .heap
+            .create_space(format!("{}.out", self.task));
         std::mem::replace(&mut self.spaces.out, new)
     }
 }

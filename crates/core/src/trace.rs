@@ -41,6 +41,18 @@ pub enum IrsEvent {
         /// Whether this was an emergency self-interrupt.
         emergency: bool,
     },
+    /// A corrupt spill file was rebuilt from the retained object form
+    /// and re-read (fault-injection runs).
+    CorruptionRecovered {
+        /// The partition whose byte form was rebuilt.
+        partition: PartitionId,
+    },
+    /// An instance was salvaged off a crashed node through the
+    /// interrupt path (fault-injection runs).
+    CrashSalvaged {
+        /// The salvaged instance's logical task.
+        task: TaskId,
+    },
 }
 
 /// A timestamped decision.
@@ -122,20 +134,32 @@ mod tests {
         t.record(SimTime::from_nanos(1), IrsEvent::GrowSignal);
         t.record(
             SimTime::from_nanos(2),
-            IrsEvent::Activated { task: TaskId(0), partitions: 1 },
+            IrsEvent::Activated {
+                task: TaskId(0),
+                partitions: 1,
+            },
         );
         t.record(SimTime::from_nanos(3), IrsEvent::ReduceSignal);
         t.record(
             SimTime::from_nanos(4),
-            IrsEvent::Serialized { partition: PartitionId(7), freed: ByteSize(100) },
+            IrsEvent::Serialized {
+                partition: PartitionId(7),
+                freed: ByteSize(100),
+            },
         );
         t.record(
             SimTime::from_nanos(5),
-            IrsEvent::Interrupted { task: TaskId(0), emergency: false },
+            IrsEvent::Interrupted {
+                task: TaskId(0),
+                emergency: false,
+            },
         );
         assert_eq!(t.events().len(), 5);
         assert!(t.events().windows(2).all(|w| w[0].at <= w[1].at));
-        assert_eq!(t.count_where(|e| matches!(e, IrsEvent::Serialized { .. })), 1);
+        assert_eq!(
+            t.count_where(|e| matches!(e, IrsEvent::Serialized { .. })),
+            1
+        );
         assert_eq!(t.count_where(|e| matches!(e, IrsEvent::GrowSignal)), 1);
         let rendered = t.render();
         assert!(rendered.contains("Serialized"));

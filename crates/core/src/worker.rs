@@ -3,10 +3,10 @@
 
 use std::collections::VecDeque;
 
-use simcore::{SimError, TaskId};
 use simcluster::{StepOutcome, Work, WorkCx};
+use simcore::{SimError, TaskId};
 
-use crate::manager::deserialize_partition;
+use crate::manager::deserialize_partition_recovering;
 use crate::partition::{PartitionBox, Tag};
 use crate::runtime::{InterruptMode, IrsHandle};
 use crate::task::{ITask, InstanceSpaces, TaskCx, TaskKind};
@@ -68,13 +68,22 @@ impl ItaskWorker {
     fn ensure_spaces(&mut self, cx: &mut WorkCx<'_>) -> &mut InstanceSpaces {
         let (task_id, instance) = (self.task_id, self.instance);
         self.spaces.get_or_insert_with(|| InstanceSpaces {
-            local: cx.node().heap.create_space(format!("{task_id}.i{instance}.local")),
-            out: cx.node().heap.create_space(format!("{task_id}.i{instance}.out")),
+            local: cx
+                .node()
+                .heap
+                .create_space(format!("{task_id}.i{instance}.local")),
+            out: cx
+                .node()
+                .heap
+                .create_space(format!("{task_id}.i{instance}.out")),
         })
     }
 
     fn current_tag(&self) -> Tag {
-        self.inputs.front().map(|p| p.meta().tag).unwrap_or(self.tag)
+        self.inputs
+            .front()
+            .map(|p| p.meta().tag)
+            .unwrap_or(self.tag)
     }
 
     /// Releases instance spaces; returns bytes from the local space.
@@ -127,7 +136,10 @@ impl ItaskWorker {
         });
         self.handle.trace(
             cx.now(),
-            crate::trace::IrsEvent::Interrupted { task: self.task_id, emergency },
+            crate::trace::IrsEvent::Interrupted {
+                task: self.task_id,
+                emergency,
+            },
         );
         self.handle.retire(self.instance);
         StepOutcome::Finished
@@ -153,6 +165,44 @@ impl ItaskWorker {
         StepOutcome::Finished
     }
 
+    /// Post-mortem salvage after a node crash (fault-injection runs).
+    ///
+    /// The paper's interrupt path works just as well after the node
+    /// died, because everything it relies on is *already* off-node or
+    /// deterministic: the processed prefix's results have left the node
+    /// (component 4(a) streams finals out as they are produced; the
+    /// in-object accumulation until interrupt/cleanup is a simulation
+    /// artifact), and the cursor marks exactly where processing stopped.
+    /// Flushing accumulated state through `interrupt` and requeueing the
+    /// unprocessed remainder therefore reproduces the instant-of-crash
+    /// state with exactly-once semantics: emitted outputs are never
+    /// re-emitted, unprocessed tuples are processed exactly once more,
+    /// on whichever surviving node the engine re-homes them to.
+    pub fn crash_salvage(&mut self, cx: &mut WorkCx<'_>) -> simcore::SimResult<()> {
+        if self.initialized {
+            let tag = self.current_tag();
+            let spaces = self.spaces.as_mut().expect("initialized implies spaces");
+            let mut tcx = TaskCx::new(cx, &self.handle, self.task_id, tag, spaces, true);
+            self.task.interrupt(&mut tcx)?;
+        }
+        for part in &mut self.inputs {
+            let freed = part.release_processed(&mut cx.node().heap);
+            self.handle.note_processed_input(freed);
+        }
+        let local = self.release_spaces(cx);
+        self.handle.note_local(local);
+        while let Some(part) = self.inputs.pop_front() {
+            self.handle.push_partition(part);
+        }
+        self.handle.stats_mut(|st| st.crash_salvaged_instances += 1);
+        self.handle.trace(
+            cx.now(),
+            crate::trace::IrsEvent::CrashSalvaged { task: self.task_id },
+        );
+        self.handle.retire(self.instance);
+        Ok(())
+    }
+
     /// Activation failed (input would not fit): requeue everything and
     /// tell the IRS to reduce memory pressure before retrying.
     fn abort_activation(&mut self, cx: &mut WorkCx<'_>, err: SimError) -> StepOutcome {
@@ -165,7 +215,9 @@ impl ItaskWorker {
         let give_up = self
             .inputs
             .front()
-            .map(|p| self.handle.bump_activation_failure(p.meta().id) > self.max_activation_failures)
+            .map(|p| {
+                self.handle.bump_activation_failure(p.meta().id) > self.max_activation_failures
+            })
             .unwrap_or(false);
         self.release_spaces(cx);
         if give_up {
@@ -190,11 +242,22 @@ impl Work for ItaskWorker {
         // Lazily materialize the front partition before touching it.
         if let Some(front) = self.inputs.front_mut() {
             if !front.meta().in_memory() {
-                match deserialize_partition(front.as_mut(), cx.node()) {
-                    Ok((bytes, io_cost)) => {
+                let pid = front.meta().id;
+                match deserialize_partition_recovering(front.as_mut(), cx.node()) {
+                    Ok((bytes, io_cost, rec)) => {
                         cx.charge(io_cost);
                         if !bytes.is_zero() {
-                            self.handle.stats_mut(|st| st.deserializations += 1);
+                            self.handle.stats_mut(|st| {
+                                st.deserializations += 1;
+                                st.transient_io_retries += rec.transient_retries as u64;
+                                st.corruption_recoveries += rec.corruption_rebuilds as u64;
+                            });
+                        }
+                        if rec.corruption_rebuilds > 0 {
+                            self.handle.trace(
+                                cx.now(),
+                                crate::trace::IrsEvent::CorruptionRecovered { partition: pid },
+                            );
                         }
                     }
                     Err(e) if e.is_oom() => {
@@ -285,6 +348,15 @@ impl Work for ItaskWorker {
     }
 
     fn label(&self) -> String {
-        format!("{}[i{} {:?} tag{}]", self.task_id, self.instance, self.kind, self.tag.0)
+        format!(
+            "{}[i{} {:?} tag{}]",
+            self.task_id, self.instance, self.kind, self.tag.0
+        )
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        // ITask workers carry salvageable state (cursor-tracked inputs,
+        // accumulated task state): expose it for crash recovery.
+        Some(self)
     }
 }

@@ -79,7 +79,11 @@ fn run(mode: InterruptMode, policy: VictimPolicy, heap_kib: u64) -> RunOut {
     let count = graph.add_task("count", || Box::new(Scale(Count::default())));
     let mut irs = Irs::new(
         graph,
-        IrsConfig { interrupt_mode: mode, victim_policy: policy, ..IrsConfig::default() },
+        IrsConfig {
+            interrupt_mode: mode,
+            victim_policy: policy,
+            ..IrsConfig::default()
+        },
     );
     let handle = irs.handle();
     let mut rng = DetRng::new(11);
@@ -109,7 +113,10 @@ fn kill_restart_is_correct_but_slower() {
     let full = run(InterruptMode::Cooperative, VictimPolicy::Rules, 448);
     let kill = run(InterruptMode::KillRestart, VictimPolicy::Rules, 448);
     assert_eq!(full.counts, kill.counts, "both modes count exactly");
-    assert!(full.interrupts > 0, "the heap must be tight enough to interrupt");
+    assert!(
+        full.interrupts > 0,
+        "the heap must be tight enough to interrupt"
+    );
     assert!(
         kill.elapsed > full.elapsed,
         "reprocessing from scratch must cost time: {} vs {}",

@@ -35,7 +35,12 @@ impl TupleTask for Nop {
 }
 
 fn sim() -> NodeSim {
-    NodeSim::new(NodeState::new(NodeId(0), 4, ByteSize::mib(4), ByteSize::mib(16)))
+    NodeSim::new(NodeState::new(
+        NodeId(0),
+        4,
+        ByteSize::mib(4),
+        ByteSize::mib(16),
+    ))
 }
 
 #[test]
@@ -65,8 +70,7 @@ fn offers_update_queue_and_heap_accounting() {
     assert_eq!(irs.queued(), 1);
     assert_eq!(sim.node().heap.live(), ByteSize(500));
 
-    let on_disk =
-        offer_serialized(&handle, sim.node_mut(), t, Tag(2), vec![T(99); 4]).unwrap();
+    let on_disk = offer_serialized(&handle, sim.node_mut(), t, Tag(2), vec![T(99); 4]).unwrap();
     assert_eq!(irs.queued(), 2);
     assert_ne!(in_mem, on_disk, "fresh partition ids");
     // The serialized offer cost no additional heap.
@@ -86,8 +90,7 @@ fn offer_into_full_heap_fails_cleanly() {
         ByteSize::kib(32),
         ByteSize::mib(16),
     ));
-    let err =
-        offer_in_memory(&handle, sim.node_mut(), t, Tag(0), vec![T(8_000); 10]).unwrap_err();
+    let err = offer_in_memory(&handle, sim.node_mut(), t, Tag(0), vec![T(8_000); 10]).unwrap_err();
     assert!(err.is_oom());
     // The failed offer leaked nothing into the queue.
     assert_eq!(irs.queued(), 0);
@@ -106,13 +109,8 @@ fn serialized_partition_constructor_sets_state() {
         SpaceId(0),
     );
     assert!(matches!(p.meta().state, PartitionState::InMemory(_)));
-    let q = VecPartition::new_serialized(
-        PartitionId(4),
-        TaskId(1),
-        Tag(9),
-        vec![T(10), T(20)],
-        file,
-    );
+    let q =
+        VecPartition::new_serialized(PartitionId(4), TaskId(1), Tag(9), vec![T(10), T(20)], file);
     assert!(matches!(q.meta().state, PartitionState::Serialized(_)));
     assert!(!q.meta().in_memory());
     assert_eq!(q.meta().space(), None);

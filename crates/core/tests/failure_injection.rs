@@ -143,7 +143,10 @@ fn disk_full_mid_run_propagates() {
     }
     let h = merge_holder.clone();
     let count = graph.add_task("count", move || {
-        Box::new(Scale(ToMerge { counts: BTreeMap::new(), merge: h.clone() }))
+        Box::new(Scale(ToMerge {
+            counts: BTreeMap::new(),
+            merge: h.clone(),
+        }))
     });
     let merge = graph.add_mitask("merge", || Box::new(Scale(Count::default())));
     merge_holder.set(merge.as_u32());
@@ -168,4 +171,112 @@ fn disk_full_mid_run_propagates() {
         Err(SimError::OutOfMemory { .. }) => {}
         Err(other) => panic!("unexpected failure kind: {other}"),
     }
+}
+
+/// A partition whose deserialized form cannot fit the heap surfaces a
+/// clean OutOfMemory from activation, releases the transient heap space
+/// and leaves the partition serialized on disk (retryable later).
+#[test]
+fn ome_during_deserialization_is_clean_and_retryable() {
+    use itask_core::{Partition, PartitionState, VecPartition};
+    use simcore::{PartitionId, TaskId};
+
+    let mut state = NodeState::new(
+        NodeId(0),
+        1,
+        ByteSize::kib(4), // 4KiB heap vs a ~47KiB object form
+        ByteSize::mib(1),
+    );
+    let items: Vec<W> = (0..1_000).map(W).collect();
+    let ser = ByteSize(items.iter().map(Tuple::ser_bytes).sum());
+    let file = state.disk.register("p0.ser", ser).expect("fits");
+    let mut part = VecPartition::new_serialized(PartitionId(0), TaskId(0), Tag(0), items, file);
+
+    let err =
+        itask_core::manager::deserialize_partition(&mut part, &mut state).expect_err("cannot fit");
+    assert!(err.is_oom(), "expected OME, got {err}");
+    assert_eq!(
+        state.heap.used(),
+        ByteSize::ZERO,
+        "transient space must be released"
+    );
+    assert!(
+        matches!(part.meta().state, PartitionState::Serialized(_)),
+        "the partition must stay on disk, retryable once memory frees up"
+    );
+}
+
+/// Shuffle-style intermediates (emitted to a downstream MITask) that the
+/// manager must spill onto an almost-full disk: the run fails with
+/// DiskFull — never a hang, never corrupted heap accounting.
+#[test]
+fn disk_full_during_shuffle_spill_propagates() {
+    let mut sim = NodeSim::new(NodeState::new(
+        NodeId(0),
+        2,
+        ByteSize::kib(128), // pressured: queued intermediates must spill
+        ByteSize::kib(256),
+    ));
+    let mut graph = TaskGraph::new();
+    let merge_holder = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    struct Exploder {
+        merge: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+    impl TupleTask for Exploder {
+        type In = W;
+        fn initialize(&mut self, _cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+            Ok(())
+        }
+        fn process(&mut self, cx: &mut TaskCx<'_, '_>, t: &W) -> SimResult<()> {
+            // Shuffle fan-out: every record emits a batch downstream.
+            let items: Vec<W> = (0..8).map(|i| W(t.0.wrapping_mul(8) + i)).collect();
+            cx.emit_to_task(
+                simcore::TaskId(self.merge.get()),
+                Tag((t.0 % 4) as u64),
+                items,
+            )
+        }
+        fn interrupt(&mut self, _cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+            Ok(())
+        }
+        fn cleanup(&mut self, _cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
+            Ok(())
+        }
+    }
+    let h = merge_holder.clone();
+    let map = graph.add_task("explode", move || {
+        Box::new(Scale(Exploder { merge: h.clone() }))
+    });
+    let merge = graph.add_mitask("merge", || Box::new(Scale(Count::default())));
+    merge_holder.set(merge.as_u32());
+    graph.connect(map, merge);
+
+    let mut irs = Irs::new(graph, IrsConfig::default());
+    let handle = irs.handle();
+    let mut rng = DetRng::new(9);
+    let mut offers = 0;
+    while offers < 24 {
+        let items: Vec<W> = (0..1_000).map(|_| W(rng.below(1 << 20) as u32)).collect();
+        if offer_serialized(&handle, sim.node_mut(), map, Tag(0), items).is_err() {
+            break;
+        }
+        offers += 1;
+    }
+    // Almost fill what's left of the disk so the first shuffle spill
+    // cannot be staged.
+    let free = sim.node().disk.free();
+    if free > ByteSize(512) {
+        sim.node_mut()
+            .disk
+            .register("hog", ByteSize(free.as_u64() - 512))
+            .expect("hog fits");
+    }
+    match irs.run_to_idle(&mut sim) {
+        Err(SimError::DiskFull { node, .. }) => assert_eq!(node, NodeId(0)),
+        Err(SimError::OutOfMemory { .. }) => {} // acceptable: heap died first
+        Ok(()) => panic!("run cannot complete: intermediates exceed disk + heap"),
+        Err(other) => panic!("unexpected failure kind: {other}"),
+    }
+    // Accounting stayed sane through the failure.
+    assert!(sim.node().heap.used() <= sim.node().heap.capacity());
 }

@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 
 use itask_core::{
-    offer_serialized, Irs, IrsConfig, Scale, Tag, TaskCx, TaskGraph, TupleTask, Tuple,
+    offer_serialized, Irs, IrsConfig, Scale, Tag, TaskCx, TaskGraph, Tuple, TupleTask,
 };
 use simcluster::{NodeSim, NodeState};
 use simcore::{ByteSize, DetRng, NodeId, SimResult, TaskId};
@@ -51,7 +51,10 @@ struct CountWords {
 
 impl CountWords {
     fn new(dest: Dest) -> Self {
-        CountWords { counts: BTreeMap::new(), dest }
+        CountWords {
+            counts: BTreeMap::new(),
+            dest,
+        }
     }
 
     fn flush(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
@@ -115,7 +118,10 @@ struct MergeCounts {
 
 impl MergeCounts {
     fn new() -> Self {
-        MergeCounts { counts: BTreeMap::new(), tag: None }
+        MergeCounts {
+            counts: BTreeMap::new(),
+            tag: None,
+        }
     }
 }
 
@@ -206,7 +212,10 @@ fn run_count_only(
     irs.run_to_idle(&mut sim).expect("ITask run must survive");
     let mut merged = BTreeMap::new();
     for out in irs.take_final_outputs() {
-        let m = out.data.downcast::<BTreeMap<u32, u64>>().expect("count output");
+        let m = out
+            .data
+            .downcast::<BTreeMap<u32, u64>>()
+            .expect("count output");
         for (w, c) in m.into_iter() {
             *merged.entry(w).or_insert(0) += c;
         }

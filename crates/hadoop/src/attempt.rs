@@ -4,8 +4,8 @@
 use std::collections::BTreeMap;
 
 use itask_core::Tuple;
-use simcore::{ByteSize, NodeId, SimDuration, SimError, SpaceId};
 use simcluster::{NodeSim, NodeState, StepOutcome, Work, WorkCx};
+use simcore::{ByteSize, FaultInjector, NodeId, SimDuration, SimError, SpaceId};
 
 use crate::config::HadoopConfig;
 use crate::task::{MapCx, Mapper, ReduceCx, Reducer};
@@ -39,11 +39,30 @@ pub struct AttemptOutcome {
     pub peak_heap: ByteSize,
     /// Spill files written (map attempts).
     pub spills: u32,
+    /// Substrate-fault relaunches folded into this outcome: the retry
+    /// wrappers re-run an attempt that died of a *transient* substrate
+    /// error (disk hiccup, corruption) and accumulate the wasted time
+    /// here. OMEs are deterministic and are never folded — the stage
+    /// scheduler expands those into their full YARN retry chain.
+    pub extra_attempts: u32,
 }
 
-fn fresh_jvm(heap: ByteSize) -> NodeSim {
+/// Golden-ratio increment that re-salts the fault seed per relaunch, so
+/// a retried attempt does not deterministically replay the same faults.
+const ATTEMPT_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn fresh_jvm(heap: ByteSize, cfg: &HadoopConfig, salt: u64) -> NodeSim {
     // One core per task JVM; a generous virtual disk for spills.
-    NodeSim::new(NodeState::new(NodeId(0), 1, heap, ByteSize::gib(4)))
+    let mut state = NodeState::new(NodeId(0), 1, heap, ByteSize::gib(4));
+    if let Some(plan) = &cfg.fault_plan {
+        // Each attempt JVM gets its own injector: same plan, seed
+        // re-salted by attempt number (salt 0 = the plan verbatim).
+        let mut plan = plan.clone();
+        plan.seed ^= salt;
+        let injector = std::rc::Rc::new(std::cell::RefCell::new(FaultInjector::new(plan)));
+        state.install_injector(injector);
+    }
+    NodeSim::new(state)
 }
 
 fn drive(sim: &mut NodeSim) -> AttemptResult {
@@ -125,7 +144,9 @@ impl<M: Mapper> MapWork<M> {
             }
         };
         while !cx.out_of_quantum() {
-            let Some(frame) = self.frames.front() else { break };
+            let Some(frame) = self.frames.front() else {
+                break;
+            };
             if self.frame_space.is_none() {
                 let mem: u64 = frame.iter().map(Tuple::heap_bytes).sum();
                 let ser: u64 = frame.iter().map(Tuple::ser_bytes).sum();
@@ -217,7 +238,16 @@ pub fn run_map_attempt<M: Mapper + 'static>(
     frames: Vec<Vec<M::In>>,
     mapper: M,
 ) -> (AttemptOutcome, BTreeMap<u32, Vec<M::Out>>) {
-    let mut sim = fresh_jvm(cfg.map_heap);
+    run_map_attempt_salted(cfg, frames, mapper, 0)
+}
+
+fn run_map_attempt_salted<M: Mapper + 'static>(
+    cfg: &HadoopConfig,
+    frames: Vec<Vec<M::In>>,
+    mapper: M,
+    salt: u64,
+) -> (AttemptOutcome, BTreeMap<u32, Vec<M::Out>>) {
+    let mut sim = fresh_jvm(cfg.map_heap, cfg, salt);
     // The worker is recovered after the run to harvest its outputs, so
     // it communicates through the node only.
     let work = MapWork {
@@ -254,7 +284,11 @@ pub fn run_map_attempt<M: Mapper + 'static>(
             self.inner.label()
         }
     }
-    sim.spawn(Box::new(Shim { inner: work, out: out_cell.clone(), spills: spills_cell.clone() }));
+    sim.spawn(Box::new(Shim {
+        inner: work,
+        out: out_cell.clone(),
+        spills: spills_cell.clone(),
+    }));
     let result = drive(&mut sim);
     let node = sim.node();
     let outcome = AttemptOutcome {
@@ -263,9 +297,50 @@ pub fn run_map_attempt<M: Mapper + 'static>(
         gc_time: node.gc_time,
         peak_heap: node.heap.peak_used(),
         spills: spills_cell.get(),
+        extra_attempts: 0,
     };
     let out = std::mem::take(&mut *out_cell.borrow_mut());
     (outcome, out)
+}
+
+/// Runs a map attempt, relaunching (up to the YARN attempt budget) when
+/// it dies of a transient substrate fault. OMEs are deterministic —
+/// relaunching cannot help — so they are returned immediately and the
+/// stage scheduler models their retry chain instead. Each relaunch gets
+/// a re-salted fault seed; its wasted duration, GC time and peak heap
+/// are folded into the returned outcome, with `extra_attempts` counting
+/// the relaunches.
+pub fn run_map_attempt_retrying<M: Mapper + 'static>(
+    cfg: &HadoopConfig,
+    frames: Vec<Vec<M::In>>,
+    mapper: impl Fn() -> M,
+) -> (AttemptOutcome, BTreeMap<u32, Vec<M::Out>>)
+where
+    M::In: Clone,
+{
+    let budget = cfg.max_attempts.max(1);
+    let mut wasted = SimDuration::ZERO;
+    let mut wasted_gc = SimDuration::ZERO;
+    let mut peak = ByteSize::ZERO;
+    let mut extra = 0u32;
+    loop {
+        let salt = (extra as u64).wrapping_mul(ATTEMPT_SALT);
+        let (mut outcome, out) = run_map_attempt_salted(cfg, frames.clone(), mapper(), salt);
+        let relaunchable = matches!(&outcome.result,
+            AttemptResult::Failed(e) if e.is_substrate() && !e.is_oom());
+        if relaunchable && extra + 1 < budget {
+            wasted += outcome.duration;
+            wasted_gc += outcome.gc_time;
+            peak = peak.max(outcome.peak_heap);
+            extra += 1;
+            continue;
+        }
+        outcome.duration += wasted;
+        outcome.gc_time += wasted_gc;
+        outcome.peak_heap = outcome.peak_heap.max(peak);
+        outcome.extra_attempts = extra;
+        return (outcome, out);
+    }
 }
 
 struct ReduceWork<R: Reducer> {
@@ -290,7 +365,9 @@ impl<R: Reducer> ReduceWork<R> {
             }
         };
         while !cx.out_of_quantum() {
-            let Some(frame) = self.frames.front() else { break };
+            let Some(frame) = self.frames.front() else {
+                break;
+            };
             if self.frame_space.is_none() {
                 let mem: u64 = frame.iter().map(Tuple::heap_bytes).sum();
                 let ser: u64 = frame.iter().map(Tuple::ser_bytes).sum();
@@ -368,7 +445,16 @@ pub fn run_reduce_attempt<R: Reducer + 'static>(
     frames: Vec<Vec<R::In>>,
     reducer: R,
 ) -> (AttemptOutcome, Vec<R::Out>) {
-    let mut sim = fresh_jvm(cfg.reduce_heap);
+    run_reduce_attempt_salted(cfg, frames, reducer, 0)
+}
+
+fn run_reduce_attempt_salted<R: Reducer + 'static>(
+    cfg: &HadoopConfig,
+    frames: Vec<Vec<R::In>>,
+    reducer: R,
+    salt: u64,
+) -> (AttemptOutcome, Vec<R::Out>) {
+    let mut sim = fresh_jvm(cfg.reduce_heap, cfg, salt);
     let out_cell = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
     struct Shim<R: Reducer> {
         inner: ReduceWork<R>,
@@ -407,7 +493,42 @@ pub fn run_reduce_attempt<R: Reducer + 'static>(
         gc_time: node.gc_time,
         peak_heap: node.heap.peak_used(),
         spills: 0,
+        extra_attempts: 0,
     };
     let out = std::mem::take(&mut *out_cell.borrow_mut());
     (outcome, out)
+}
+
+/// Reduce-side counterpart of [`run_map_attempt_retrying`].
+pub fn run_reduce_attempt_retrying<R: Reducer + 'static>(
+    cfg: &HadoopConfig,
+    frames: Vec<Vec<R::In>>,
+    reducer: impl Fn() -> R,
+) -> (AttemptOutcome, Vec<R::Out>)
+where
+    R::In: Clone,
+{
+    let budget = cfg.max_attempts.max(1);
+    let mut wasted = SimDuration::ZERO;
+    let mut wasted_gc = SimDuration::ZERO;
+    let mut peak = ByteSize::ZERO;
+    let mut extra = 0u32;
+    loop {
+        let salt = (extra as u64).wrapping_mul(ATTEMPT_SALT);
+        let (mut outcome, out) = run_reduce_attempt_salted(cfg, frames.clone(), reducer(), salt);
+        let relaunchable = matches!(&outcome.result,
+            AttemptResult::Failed(e) if e.is_substrate() && !e.is_oom());
+        if relaunchable && extra + 1 < budget {
+            wasted += outcome.duration;
+            wasted_gc += outcome.gc_time;
+            peak = peak.max(outcome.peak_heap);
+            extra += 1;
+            continue;
+        }
+        outcome.duration += wasted;
+        outcome.gc_time += wasted_gc;
+        outcome.peak_heap = outcome.peak_heap.max(peak);
+        outcome.extra_attempts = extra;
+        return (outcome, out);
+    }
 }

@@ -1,6 +1,6 @@
 //! Hadoop job configuration: the framework parameters of Table 1.
 
-use simcore::ByteSize;
+use simcore::{ByteSize, FaultPlan};
 
 /// The knobs the paper's Table 1 reports per problem (scaled 1/1024).
 #[derive(Clone, Debug)]
@@ -24,6 +24,10 @@ pub struct HadoopConfig {
     pub max_attempts: u32,
     /// Reduce-side hash buckets (number of reduce tasks).
     pub reduce_tasks: u32,
+    /// Fault schedule armed on every attempt JVM's substrate (chaos
+    /// runs); each attempt re-salts the seed so a relaunch does not
+    /// deterministically replay the same faults.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl HadoopConfig {
@@ -41,6 +45,7 @@ impl HadoopConfig {
             split_size: ByteSize::kib(128),
             max_attempts: 4,
             reduce_tasks: (nodes * mr) as u32,
+            fault_plan: None,
         }
     }
 

@@ -8,8 +8,8 @@
 
 use hyracks::{distribute_blocks, ItaskFactories, ItaskJobSpec};
 use itask_core::{IrsConfig, Tuple};
-use simcore::{ByteSize, SimError};
 use simcluster::{Cluster, ClusterConfig, JobReport};
+use simcore::{ByteSize, SimError};
 
 use crate::config::HadoopConfig;
 

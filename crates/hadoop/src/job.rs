@@ -4,10 +4,12 @@
 use std::collections::BTreeMap;
 
 use itask_core::Tuple;
-use simcore::{ByteSize, CostModel, EventLog, NodeId, SimDuration, SimError};
 use simcluster::{JobOutcome, JobReport, NodeReport};
+use simcore::{ByteSize, CostModel, EventLog, NodeId, SimDuration, SimError};
 
-use crate::attempt::{run_map_attempt, run_reduce_attempt, AttemptOutcome, AttemptResult};
+use crate::attempt::{
+    run_map_attempt_retrying, run_reduce_attempt_retrying, AttemptOutcome, AttemptResult,
+};
 use crate::config::HadoopConfig;
 use crate::task::{Mapper, Reducer};
 
@@ -34,7 +36,9 @@ struct SlotSchedule {
 
 impl SlotSchedule {
     fn new(slots: usize) -> Self {
-        SlotSchedule { slot_free: vec![SimDuration::ZERO; slots.max(1)] }
+        SlotSchedule {
+            slot_free: vec![SimDuration::ZERO; slots.max(1)],
+        }
     }
 
     /// Schedules one attempt not before `earliest`; returns (slot, end).
@@ -53,7 +57,11 @@ impl SlotSchedule {
     }
 
     fn makespan(&self) -> SimDuration {
-        self.slot_free.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.slot_free
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -84,12 +92,20 @@ fn schedule_stage(
     let mut attempts = 0u32;
     let mut fail: Option<(SimDuration, SimError)> = None;
     for outcome in outcomes {
-        let tries = if outcome.result.ok() { 1 } else { max_attempts };
+        // Substrate relaunches are already folded into the outcome
+        // (duration + extra_attempts); what remains of the YARN budget
+        // models the deterministic OME repeats.
+        let tries = if outcome.result.ok() {
+            1
+        } else {
+            max_attempts.saturating_sub(outcome.extra_attempts).max(1)
+        };
+        let startup = CONTAINER_STARTUP * (1 + outcome.extra_attempts) as u64;
         let mut earliest = SimDuration::ZERO;
         for _ in 0..tries {
-            let (slot, end) = sched.place(earliest, outcome.duration + CONTAINER_STARTUP);
+            let (slot, end) = sched.place(earliest, outcome.duration + startup);
             earliest = end;
-            attempts += 1;
+            attempts += 1 + outcome.extra_attempts;
             let node = slot % nodes.max(1);
             let acc = &mut accounts[node];
             acc.gc_time += outcome.gc_time;
@@ -127,7 +143,12 @@ fn synthesize_report(
             log: EventLog::new(),
         })
         .collect();
-    JobReport { outcome, elapsed, nodes, counters: BTreeMap::new() }
+    JobReport {
+        outcome,
+        elapsed,
+        nodes,
+        counters: BTreeMap::new(),
+    }
 }
 
 /// Runs a regular Hadoop job: map attempts over `splits`, shuffle,
@@ -141,12 +162,16 @@ pub fn run_regular_job<M, R>(
 where
     M: Mapper + 'static,
     R: Reducer<In = M::Out> + 'static,
+    M::In: Clone,
+    M::Out: Clone,
 {
     let cost = CostModel::default();
     let mut accounts = vec![NodeAccount::default(); cfg.nodes];
 
-    // ---- Map stage: one task per split, each attempt simulated once
-    // (attempts are deterministic, so retries repeat the outcome).
+    // ---- Map stage: one task per split. OMEs are deterministic (the
+    // stage scheduler repeats them for the full YARN budget); transient
+    // substrate faults are relaunched with re-salted seeds inside the
+    // retrying runner.
     let mut map_outcomes = Vec::new();
     let mut shuffle_data: BTreeMap<u32, Vec<M::Out>> = BTreeMap::new();
     for split in splits {
@@ -154,10 +179,13 @@ where
         // record-reader frames (Hadoop never materializes a whole block
         // as objects).
         let frames = chunk(split, ByteSize::kib(64));
-        let (outcome, out) = run_map_attempt(cfg, frames, map_factory());
+        let (outcome, out) = run_map_attempt_retrying(cfg, frames, &map_factory);
         if outcome.result.ok() {
             for (bucket, tuples) in out {
-                shuffle_data.entry(bucket % cfg.reduce_tasks).or_default().extend(tuples);
+                shuffle_data
+                    .entry(bucket % cfg.reduce_tasks)
+                    .or_default()
+                    .extend(tuples);
             }
         }
         map_outcomes.push(outcome);
@@ -171,8 +199,7 @@ where
         &mut accounts,
     );
     if let Some((t, e)) = map_fail {
-        let mut report =
-            synthesize_report(cfg, t, &accounts, JobOutcome::Failed(e.clone()));
+        let mut report = synthesize_report(cfg, t, &accounts, JobOutcome::Failed(e.clone()));
         report.bump_counter("hadoop.map_attempts", map_attempts as f64);
         report.bump_counter("hadoop.spills", spills as f64);
         return RegularJobResult {
@@ -196,7 +223,7 @@ where
     let mut outputs: Vec<R::Out> = Vec::new();
     for (_bucket, tuples) in shuffle_data {
         let frames = chunk(tuples, cfg.split_size);
-        let (outcome, out) = run_reduce_attempt(cfg, frames, reduce_factory());
+        let (outcome, out) = run_reduce_attempt_retrying(cfg, frames, &reduce_factory);
         if outcome.result.ok() {
             outputs.extend(out);
         }
@@ -212,12 +239,7 @@ where
 
     let base = map_span + shuffle_time;
     if let Some((t, e)) = reduce_fail {
-        let mut report = synthesize_report(
-            cfg,
-            base + t,
-            &accounts,
-            JobOutcome::Failed(e.clone()),
-        );
+        let mut report = synthesize_report(cfg, base + t, &accounts, JobOutcome::Failed(e.clone()));
         report.bump_counter("hadoop.map_attempts", map_attempts as f64);
         report.bump_counter("hadoop.reduce_attempts", reduce_attempts as f64);
         report.bump_counter("hadoop.spills", spills as f64);
@@ -234,7 +256,12 @@ where
     report.bump_counter("hadoop.map_attempts", map_attempts as f64);
     report.bump_counter("hadoop.reduce_attempts", reduce_attempts as f64);
     report.bump_counter("hadoop.spills", spills as f64);
-    RegularJobResult { report, result: Ok(outputs), map_attempts, reduce_attempts }
+    RegularJobResult {
+        report,
+        result: Ok(outputs),
+        map_attempts,
+        reduce_attempts,
+    }
 }
 
 /// Splits tuples into frames of at most `granularity` *object-form*

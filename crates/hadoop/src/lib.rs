@@ -24,7 +24,10 @@ pub mod itask;
 pub mod job;
 pub mod task;
 
-pub use attempt::{run_map_attempt, run_reduce_attempt, AttemptOutcome, AttemptResult};
+pub use attempt::{
+    run_map_attempt, run_map_attempt_retrying, run_reduce_attempt, run_reduce_attempt_retrying,
+    AttemptOutcome, AttemptResult,
+};
 pub use config::HadoopConfig;
 pub use itask::{run_itask_job, ITASK_BUCKET_MULTIPLIER};
 pub use job::{run_regular_job, RegularJobResult};

@@ -3,8 +3,8 @@
 use std::collections::BTreeMap;
 
 use itask_core::Tuple;
-use simcore::{ByteSize, CostModel, SimDuration, SimResult, SpaceId};
 use simcluster::WorkCx;
+use simcore::{ByteSize, CostModel, SimDuration, SimResult, SpaceId};
 
 /// Context for a running map attempt: user-state allocation plus
 /// `context.write`-style emission into the spill-managed sort buffer.
@@ -70,10 +70,13 @@ impl<Out: Tuple> MapCx<'_, '_, Out> {
             return Ok(());
         }
         // Sort cost before writing the run.
-        self.work.charge(self.work.cost().serialize_cpu(*self.buffer_bytes));
+        self.work
+            .charge(self.work.cost().serialize_cpu(*self.buffer_bytes));
         let ser = self.buffer_bytes.mul_ratio(1, 3).max(ByteSize(1));
         let spill_no = *self.spills;
-        self.work.node().disk_write_async(format!("spill{spill_no}"), ser)?;
+        self.work
+            .node()
+            .disk_write_async(format!("spill{spill_no}"), ser)?;
         *self.spilled_ser += ser;
         *self.spills += 1;
         let buf = self.buffer_space;

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use hadoop::{run_itask_job, run_regular_job, HadoopConfig, MapCx, Mapper, ReduceCx, Reducer};
 use hyracks::{ItaskFactories, ShuffleBatch};
-use itask_core::{ITask, Scale, TaskCx, TupleTask, Tuple};
+use itask_core::{ITask, Scale, TaskCx, Tuple, TupleTask};
 use simcore::{ByteSize, DetRng, SimResult, TaskId};
 
 const ENTRY: u64 = 64;
@@ -100,9 +100,15 @@ impl ItaskWcMap {
         for (w, c) in std::mem::take(&mut self.counts) {
             buckets.entry(w % 16).or_default().push(CountT(w, c));
         }
-        let batch = ShuffleBatch { buckets: buckets.into_iter().collect() };
-        let ser: u64 =
-            batch.buckets.iter().flat_map(|(_, v)| v).map(Tuple::ser_bytes).sum();
+        let batch = ShuffleBatch {
+            buckets: buckets.into_iter().collect(),
+        };
+        let ser: u64 = batch
+            .buckets
+            .iter()
+            .flat_map(|(_, v)| v)
+            .map(Tuple::ser_bytes)
+            .sum();
         cx.emit_final(Box::new(batch), ByteSize(ser))
     }
 }
@@ -142,8 +148,10 @@ impl ItaskWcReduce {
         if self.counts.is_empty() {
             return Ok(());
         }
-        let items: Vec<CountT> =
-            std::mem::take(&mut self.counts).into_iter().map(|(w, c)| CountT(w, c)).collect();
+        let items: Vec<CountT> = std::mem::take(&mut self.counts)
+            .into_iter()
+            .map(|(w, c)| CountT(w, c))
+            .collect();
         let tag = cx.input_tag();
         cx.emit_to_task(TaskId(1), tag, items)
     }
@@ -199,16 +207,20 @@ impl TupleTask for ItaskWcMerge {
         if self.counts.is_empty() {
             return Ok(());
         }
-        let items: Vec<CountT> =
-            std::mem::take(&mut self.counts).into_iter().map(|(w, c)| CountT(w, c)).collect();
+        let items: Vec<CountT> = std::mem::take(&mut self.counts)
+            .into_iter()
+            .map(|(w, c)| CountT(w, c))
+            .collect();
         let tag = cx.input_tag();
         let me = cx.task();
         cx.emit_to_task(me, tag, items)
     }
 
     fn cleanup(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
-        let out: Vec<CountT> =
-            std::mem::take(&mut self.counts).into_iter().map(|(w, c)| CountT(w, c)).collect();
+        let out: Vec<CountT> = std::mem::take(&mut self.counts)
+            .into_iter()
+            .map(|(w, c)| CountT(w, c))
+            .collect();
         let ser: u64 = out.iter().map(Tuple::ser_bytes).sum();
         cx.emit_final(Box::new(out), ByteSize(ser))
     }
@@ -229,7 +241,10 @@ fn splits(n_words: usize, vocab: u64, seed: u64) -> (Vec<Vec<WordT>>, BTreeMap<u
     for &w in &words {
         *truth.entry(w).or_insert(0u64) += 1;
     }
-    let splits = words.chunks(2_500).map(|c| c.iter().map(|&w| WordT(w)).collect()).collect();
+    let splits = words
+        .chunks(2_500)
+        .map(|c| c.iter().map(|&w| WordT(w)).collect())
+        .collect();
     (splits, truth)
 }
 

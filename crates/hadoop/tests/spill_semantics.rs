@@ -90,7 +90,11 @@ fn spills_bound_framework_memory() {
     let frames: Vec<Vec<Rec>> = (0..20).map(|_| (0..320).map(Rec).collect()).collect();
     let (outcome, out) = run_map_attempt(&cfg, frames, Emit);
     assert!(outcome.result.ok(), "{:?}", outcome.result);
-    assert!(outcome.spills >= 5, "expected many spills, got {}", outcome.spills);
+    assert!(
+        outcome.spills >= 5,
+        "expected many spills, got {}",
+        outcome.spills
+    );
     assert!(outcome.peak_heap <= ByteSize::kib(256));
     let emitted: usize = out.values().map(Vec::len).sum();
     assert_eq!(emitted, 20 * 320);
@@ -103,17 +107,25 @@ fn user_state_kills_the_attempt_not_the_framework() {
     let (outcome, out) = run_map_attempt(&cfg, frames, Hoard(256));
     assert!(!outcome.result.ok(), "hoarding 2.5MB in 256KB must die");
     assert!(out.is_empty(), "failed attempts publish nothing");
-    assert!(outcome.gc_time > simcore::SimDuration::ZERO, "it fought first");
+    assert!(
+        outcome.gc_time > simcore::SimDuration::ZERO,
+        "it fought first"
+    );
 }
 
 #[test]
 fn regular_job_counts_attempts_and_completes() {
     let cfg = tiny_cfg();
-    let splits: Vec<Vec<Rec>> = (0..6).map(|s| (0..200).map(|i| Rec(s * 200 + i)).collect()).collect();
+    let splits: Vec<Vec<Rec>> = (0..6)
+        .map(|s| (0..200).map(|i| Rec(s * 200 + i)).collect())
+        .collect();
     let run = run_regular_job(&cfg, splits, || Emit, Sum::default);
     assert!(run.report.outcome.ok());
     assert_eq!(run.map_attempts, 6);
-    assert_eq!(run.reduce_attempts as usize, 8.min(cfg.reduce_tasks as usize));
+    assert_eq!(
+        run.reduce_attempts as usize,
+        8.min(cfg.reduce_tasks as usize)
+    );
     // 1200 distinct keys, each counted once.
     let total: u64 = run.result.unwrap().iter().map(|r| r.0).sum();
     assert_eq!(total, 1200);
@@ -135,7 +147,10 @@ fn failed_tasks_exhaust_the_retry_budget() {
 #[test]
 fn pooled_heap_is_the_slot_aggregate() {
     let cfg = HadoopConfig::table1(4, 512, 1024, 8, 3);
-    assert_eq!(cfg.pooled_heap(), ByteSize::kib(8 * 512).max(ByteSize::kib(3 * 1024)));
+    assert_eq!(
+        cfg.pooled_heap(),
+        ByteSize::kib(8 * 512).max(ByteSize::kib(3 * 1024))
+    );
 }
 
 mod chunk_properties {
@@ -149,11 +164,7 @@ mod chunk_properties {
     impl hadoop::Mapper for Fwd {
         type In = Rec;
         type Out = Rec;
-        fn map(
-            &mut self,
-            cx: &mut hadoop::MapCx<'_, '_, Rec>,
-            t: &Rec,
-        ) -> simcore::SimResult<()> {
+        fn map(&mut self, cx: &mut hadoop::MapCx<'_, '_, Rec>, t: &Rec) -> simcore::SimResult<()> {
             cx.write(0, *t)
         }
         fn close(&mut self, _cx: &mut hadoop::MapCx<'_, '_, Rec>) -> simcore::SimResult<()> {

@@ -5,10 +5,10 @@ use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use itask_core::{
-    offer_serialized, Irs, IrsConfig, ITask, Tag, TaskGraph, Tuple,
+    offer_serialized, ITask, Irs, IrsConfig, ItaskWorker, PartitionState, Tag, TaskGraph, Tuple,
 };
-use simcore::{ByteSize, NodeId, SimDuration, SimResult};
-use simcluster::{Cluster, JobOutcome, JobReport};
+use simcluster::{Cluster, JobOutcome, JobReport, WorkCx, DEFAULT_IO_RETRIES};
+use simcore::{ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
 
 use crate::operator::{Operator, OperatorWorker, OutputSink};
 
@@ -58,7 +58,10 @@ impl ItaskJobSpec {
     pub fn new(name: impl Into<String>, nodes: usize, cores: usize) -> Self {
         ItaskJobSpec {
             name: name.into(),
-            irs: IrsConfig { max_parallelism: cores, ..IrsConfig::default() },
+            irs: IrsConfig {
+                max_parallelism: cores,
+                ..IrsConfig::default()
+            },
             granularity: ByteSize::kib(32),
             buckets: (nodes * cores) as u32,
         }
@@ -93,16 +96,31 @@ pub fn chunk_into_frames<T: Tuple>(records: Vec<T>, granularity: ByteSize) -> Ve
 }
 
 /// Drives every node until all threads retire; the first failure aborts.
+///
+/// With a fault plan armed on the cluster, scheduled node crashes fire
+/// as node clocks reach their instants. A regular job has no way to
+/// recover the lost state, so a crash fails it with `NodeLost` (the
+/// paper's baselines die; ITask jobs recover in [`drive_irs`] instead).
 fn drive_phase(cluster: &mut Cluster) -> SimResult<()> {
+    let faulted = cluster.injector().is_some();
     loop {
         let mut any_live = false;
-        for sim in cluster.sims() {
-            if sim.live_count() > 0 {
-                any_live = true;
-                let round = sim.run_round();
-                if let Some((_, e)) = round.failed.into_iter().next() {
-                    return Err(e);
+        for n in 0..cluster.node_count() {
+            let node = NodeId(n as u32);
+            let sim = cluster.sim(node);
+            if sim.is_crashed() || sim.live_count() == 0 {
+                continue;
+            }
+            any_live = true;
+            let failed = sim.run_round().failed;
+            if faulted {
+                let _ = cluster.poll_crash(node);
+                if cluster.sim(node).is_crashed() {
+                    return Err(SimError::NodeLost { node });
                 }
+            }
+            if let Some((_, e)) = failed.into_iter().next() {
+                return Err(e);
             }
         }
         if !any_live {
@@ -114,26 +132,47 @@ fn drive_phase(cluster: &mut Cluster) -> SimResult<()> {
 /// Per-source bucketed output batches entering the shuffle.
 type BucketedOutputs<T> = Vec<(NodeId, Vec<(u32, Vec<T>)>)>;
 
+/// Per-destination-node bucket → tuples maps leaving the shuffle.
+type ShuffledInputs<T> = Vec<BTreeMap<u32, Vec<T>>>;
+
 /// Routes bucketed outputs to their destination nodes, charging the
 /// fabric, and returns per-node bucket → tuples maps plus the barrier
 /// duration.
+///
+/// Buckets only land on live nodes (on a healthy cluster that is every
+/// node, and the routing is identical to the classic `bucket % nodes`).
+/// Finals produced by a node that crashed afterwards were streamed out
+/// before the crash, so a surviving node re-sends them on its behalf.
+/// Transfers consult the armed fault plan: slowdown windows dilate the
+/// wire time, finite partitions stall the sender, and a permanent
+/// partition fails the shuffle with `NetPartition`.
 fn shuffle<T: Tuple>(
     cluster: &mut Cluster,
     outputs: BucketedOutputs<T>,
-) -> (Vec<BTreeMap<u32, Vec<T>>>, SimDuration) {
+) -> SimResult<(ShuffledInputs<T>, SimDuration)> {
     let nodes = cluster.node_count();
-    let mut per_node: Vec<BTreeMap<u32, Vec<T>>> = (0..nodes).map(|_| BTreeMap::new()).collect();
+    let live = cluster.live_nodes();
+    let now = SimTime::ZERO + cluster.elapsed();
+    let mut per_node: ShuffledInputs<T> = (0..nodes).map(|_| BTreeMap::new()).collect();
     let mut max_wire = SimDuration::ZERO;
     for (src, batches) in outputs {
+        let src = if live.contains(&src) {
+            src
+        } else {
+            *live.first().ok_or(SimError::NodeLost { node: src })?
+        };
         for (bucket, tuples) in batches {
-            let dst = NodeId((bucket as usize % nodes) as u32);
+            let dst = live[bucket as usize % live.len()];
             let bytes = ByteSize(tuples.iter().map(Tuple::ser_bytes).sum());
-            let wire = cluster.fabric().transfer(src, dst, bytes);
+            let wire = cluster.fabric().transfer_at(src, dst, bytes, now)?;
             max_wire = max_wire.max(wire);
-            per_node[dst.as_usize()].entry(bucket).or_default().extend(tuples);
+            per_node[dst.as_usize()]
+                .entry(bucket)
+                .or_default()
+                .extend(tuples);
         }
     }
-    (per_node, max_wire)
+    Ok((per_node, max_wire))
 }
 
 /// Runs a regular (non-interruptible) two-phase job.
@@ -151,7 +190,11 @@ where
     M: Operator + 'static,
     R: Operator<In = M::Out> + 'static,
 {
-    assert_eq!(inputs.len(), cluster.node_count(), "one input list per node");
+    assert_eq!(
+        inputs.len(),
+        cluster.node_count(),
+        "one input list per node"
+    );
     assert!(spec.threads > 0, "at least one thread");
 
     // ---- Phase 1: partition-local operators over input frames.
@@ -191,7 +234,10 @@ where
         .enumerate()
         .map(|(n, s)| (NodeId(n as u32), std::mem::take(&mut *s.borrow_mut())))
         .collect();
-    let (per_node, wire) = shuffle(cluster, outputs);
+    let (per_node, wire) = match shuffle(cluster, outputs) {
+        Ok(x) => x,
+        Err(e) => return (cluster.report(JobOutcome::Failed(e.clone())), Err(e)),
+    };
     cluster.sync_clocks(wire);
 
     // ---- Phase 2: bucket-exclusive aggregation.
@@ -248,21 +294,36 @@ pub struct ItaskFactories {
 }
 
 /// Drives a set of per-node IRS controllers to completion.
+///
+/// With a fault plan armed, scheduled node crashes fire as node clocks
+/// reach their instants; the crashed node's work is recovered onto the
+/// survivors by [`recover_crashed_node`] and the job keeps going —
+/// recovery fails the job only when *no* node survives.
 fn drive_irs(cluster: &mut Cluster, irss: &mut [Irs]) -> SimResult<()> {
+    let faulted = cluster.injector().is_some();
     loop {
         let mut any = false;
-        for (n, irs) in irss.iter_mut().enumerate() {
-            let sim = cluster.sim(NodeId(n as u32));
-            if irs.is_idle() {
+        for n in 0..irss.len() {
+            let node = NodeId(n as u32);
+            if cluster.sim(node).is_crashed() || irss[n].is_idle() {
                 continue;
             }
             any = true;
-            irs.tick(sim)?;
-            if irs.is_idle() {
+            irss[n].tick(cluster.sim(node))?;
+            if irss[n].is_idle() {
                 continue;
             }
-            let round = sim.run_round();
-            if let Some((_, e)) = round.failed.into_iter().next() {
+            let failed = cluster.sim(node).run_round().failed;
+            if faulted {
+                let salvaged = cluster.poll_crash(node);
+                if cluster.sim(node).is_crashed() {
+                    // The node died this round: its thread errors die
+                    // with it; recover its work onto the survivors.
+                    recover_crashed_node(cluster, irss, node, salvaged)?;
+                    continue;
+                }
+            }
+            if let Some((_, e)) = failed.into_iter().next() {
                 return Err(e);
             }
         }
@@ -270,6 +331,77 @@ fn drive_irs(cluster: &mut Cluster, irss: &mut [Irs]) -> SimResult<()> {
             return Ok(());
         }
     }
+}
+
+/// Crash recovery (DESIGN.md "Fault model"): a node crash is modeled as
+/// an interrupt at the last safe point. The node's live instances are
+/// salvaged post-mortem through the cooperative interrupt path — their
+/// processed prefixes' results already left the node, the cursors mark
+/// where processing stopped — and then every partition the node still
+/// owned is re-homed onto the survivors round-robin by partition id,
+/// paying a re-replication transfer plus a destination disk write.
+/// Exactly-once falls out of the cursor semantics: emitted outputs are
+/// never re-emitted, the unprocessed remainder is processed once more
+/// elsewhere, so results stay bit-identical to a fault-free run.
+fn recover_crashed_node(
+    cluster: &mut Cluster,
+    irss: &mut [Irs],
+    crashed: NodeId,
+    salvaged: Vec<Box<dyn simcluster::Work>>,
+) -> SimResult<()> {
+    // 1. Post-mortem interrupts: flush accumulated task state, release
+    //    processed prefixes, requeue unprocessed remainders.
+    {
+        let sim = cluster.sim(crashed);
+        let mut cx = WorkCx::detached(sim.node_mut(), SimDuration::ZERO);
+        for mut work in salvaged {
+            if let Some(any) = work.as_any_mut() {
+                if let Some(worker) = any.downcast_mut::<ItaskWorker>() {
+                    worker.crash_salvage(&mut cx)?;
+                }
+            }
+        }
+    }
+    // 2. Re-home the dead node's queue onto the survivors.
+    let mut parts = irss[crashed.as_usize()].drain_queue();
+    parts.sort_by_key(|p| p.meta().id);
+    let live = cluster.live_nodes();
+    if live.is_empty() {
+        return Err(SimError::NodeLost { node: crashed });
+    }
+    let now = SimTime::ZERO + cluster.elapsed();
+    for mut part in parts {
+        // Whatever heap form was accounted on the dead node dies there.
+        if let Some(space) = part.meta().space() {
+            cluster.sim(crashed).node_mut().heap.release_space(space);
+        }
+        let (pid, ser) = (part.meta().id, part.meta().ser_bytes);
+        // Keep a whole tag group on ONE survivor. An MITask aggregates
+        // its tag group in a single instance, and upstream tasks emit
+        // partials *locally* — so a reduce partition tagged B and the
+        // dead node's merge partials tagged B must land on the same
+        // node, or two merge instances would each emit finals for the
+        // same keys (duplicated results). Routing by tag alone (not
+        // partition id or consumer task) guarantees that.
+        let dst = live[(part.meta().tag.0 % live.len() as u64) as usize];
+        // Re-replication source: any survivor other than the target.
+        let donor = live.iter().copied().find(|&n| n != dst).unwrap_or(dst);
+        let wire = cluster.fabric().transfer_at(donor, dst, ser, now)?;
+        let dst_sim = cluster.sim(dst);
+        dst_sim.node_mut().now += wire;
+        let (file, _retries) = dst_sim.node_mut().disk_write_retried(
+            &format!("{pid}.rehome"),
+            ser,
+            DEFAULT_IO_RETRIES,
+        )?;
+        let meta = part.meta_mut();
+        meta.state = PartitionState::Serialized(file);
+        meta.last_serialized = Some(dst_sim.node().now);
+        let handle = irss[dst.as_usize()].handle();
+        handle.push_partition(part);
+        handle.note_crash_requeued(1);
+    }
+    Ok(())
 }
 
 /// Accumulates one phase's IRS statistics into the report counters.
@@ -282,12 +414,31 @@ fn absorb_irs_stats(report: &mut JobReport, irss: &[Irs]) {
         report.bump_counter("itask.serializations", st.serializations as f64);
         report.bump_counter("itask.deserializations", st.deserializations as f64);
         report.bump_counter("itask.peak_instances", st.peak_instances as f64);
-        report.bump_counter("reclaim.local_structs", st.reclaim.local_structs.as_u64() as f64);
+        report.bump_counter("itask.transient_io_retries", st.transient_io_retries as f64);
+        report.bump_counter(
+            "itask.corruption_recoveries",
+            st.corruption_recoveries as f64,
+        );
+        report.bump_counter(
+            "itask.crash_salvaged_instances",
+            st.crash_salvaged_instances as f64,
+        );
+        report.bump_counter(
+            "itask.crash_requeued_partitions",
+            st.crash_requeued_partitions as f64,
+        );
+        report.bump_counter(
+            "reclaim.local_structs",
+            st.reclaim.local_structs.as_u64() as f64,
+        );
         report.bump_counter(
             "reclaim.processed_input",
             st.reclaim.processed_input.as_u64() as f64,
         );
-        report.bump_counter("reclaim.final_results", st.reclaim.final_results.as_u64() as f64);
+        report.bump_counter(
+            "reclaim.final_results",
+            st.reclaim.final_results.as_u64() as f64,
+        );
         report.bump_counter(
             "reclaim.intermediate_results",
             st.reclaim.intermediate_results.as_u64() as f64,
@@ -319,7 +470,11 @@ where
     Mid: Tuple,
     Out: 'static,
 {
-    assert_eq!(inputs.len(), cluster.node_count(), "one input list per node");
+    assert_eq!(
+        inputs.len(),
+        cluster.node_count(),
+        "one input list per node"
+    );
 
     // ---- Phase 1: map ITasks fed by serialized input partitions.
     let mut irss: Vec<Irs> = Vec::new();
@@ -357,9 +512,14 @@ where
         }
         outputs.push((NodeId(n as u32), batches));
     }
-    let mut report_counters = cluster.report(JobOutcome::Completed);
-    absorb_irs_stats(&mut report_counters, &irss);
-    let (per_node, wire) = shuffle(cluster, outputs);
+    let (per_node, wire) = match shuffle(cluster, outputs) {
+        Ok(x) => x,
+        Err(e) => {
+            let mut report = cluster.report(JobOutcome::Failed(e.clone()));
+            absorb_irs_stats(&mut report, &irss);
+            return (report, Err(e));
+        }
+    };
     cluster.sync_clocks(wire);
 
     // ---- Phase 2: reduce + merge ITasks.
@@ -398,7 +558,10 @@ where
     let mut outs: Vec<Out> = Vec::new();
     for irs in &mut irss2 {
         for out in irs.take_final_outputs() {
-            let v = out.data.downcast::<Vec<Out>>().expect("merge tasks emit Vec<Out> finals");
+            let v = out
+                .data
+                .downcast::<Vec<Out>>()
+                .expect("merge tasks emit Vec<Out> finals");
             outs.extend(*v);
         }
     }

@@ -5,8 +5,8 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use itask_core::Tuple;
-use simcore::{ByteSize, CostModel, SimDuration, SimResult, SimTime, SpaceId};
 use simcluster::{StepOutcome, Work, WorkCx};
+use simcore::{ByteSize, CostModel, SimDuration, SimResult, SimTime, SpaceId};
 
 /// Context handed to operator callbacks: cost charging, the operator's
 /// state space on the simulated heap, and streaming emission toward the
@@ -141,13 +141,19 @@ impl<O: Operator> OperatorWorker<O> {
             }
         };
         if !self.opened {
-            let mut ocx = OpCx { work: cx, state_space, emitted: &mut self.emitted };
+            let mut ocx = OpCx {
+                work: cx,
+                state_space,
+                emitted: &mut self.emitted,
+            };
             self.op.open(&mut ocx)?;
             self.opened = true;
         }
         while !cx.out_of_quantum() {
             // Ensure a loaded frame.
-            let Some(frame) = self.frames.front() else { break };
+            let Some(frame) = self.frames.front() else {
+                break;
+            };
             if self.frame_space.is_none() {
                 let (mem, ser) = Self::frame_bytes(frame);
                 let space = cx.create_space(format!("{}.frame", self.label));
@@ -175,8 +181,11 @@ impl<O: Operator> OperatorWorker<O> {
                     // and `emitted` mutably.
                     let frame = self.frames.front().expect("frame present");
                     let t = &frame[self.cursor];
-                    let mut ocx =
-                        OpCx { work: cx, state_space, emitted: &mut self.emitted };
+                    let mut ocx = OpCx {
+                        work: cx,
+                        state_space,
+                        emitted: &mut self.emitted,
+                    };
                     self.op.next(&mut ocx, t)?;
                 }
                 self.cursor += 1;
@@ -190,7 +199,11 @@ impl<O: Operator> OperatorWorker<O> {
             }
         }
         if self.frames.is_empty() {
-            let mut ocx = OpCx { work: cx, state_space, emitted: &mut self.emitted };
+            let mut ocx = OpCx {
+                work: cx,
+                state_space,
+                emitted: &mut self.emitted,
+            };
             self.op.close(&mut ocx)?;
             self.flush_emitted();
             if let Some(s) = self.state_space.take() {
@@ -282,8 +295,7 @@ mod tests {
     fn worker_processes_all_frames_and_emits() {
         let mut s = sim(4096);
         let sink: OutputSink<W> = Rc::default();
-        let frames: VecDeque<Vec<W>> =
-            (0..4).map(|_| (0..100).map(|_| W(50)).collect()).collect();
+        let frames: VecDeque<Vec<W>> = (0..4).map(|_| (0..100).map(|_| W(50)).collect()).collect();
         s.spawn(Box::new(OperatorWorker::new(
             Count { n: 0 },
             frames,
@@ -309,8 +321,9 @@ mod tests {
     fn state_explosion_fails_with_oom() {
         let mut s = sim(64); // 64KiB heap, state wants 640KiB
         let sink: OutputSink<W> = Rc::default();
-        let frames: VecDeque<Vec<W>> =
-            (0..10).map(|_| (0..1000).map(|_| W(10)).collect()).collect();
+        let frames: VecDeque<Vec<W>> = (0..10)
+            .map(|_| (0..1000).map(|_| W(10)).collect())
+            .collect();
         s.spawn(Box::new(OperatorWorker::new(
             Count { n: 0 },
             frames,

@@ -112,8 +112,7 @@ mod empty_and_skewed_inputs {
         let mut c = cluster(2);
         let spec = JobSpec::new("empty", 2, 2);
         let inputs: Vec<Vec<Vec<T>>> = vec![Vec::new(), Vec::new()];
-        let (report, result) =
-            run_regular(&mut c, inputs, &spec, Sum::default, Sum::default);
+        let (report, result) = run_regular(&mut c, inputs, &spec, Sum::default, Sum::default);
         assert!(report.outcome.ok());
         assert!(result.unwrap().is_empty());
     }
@@ -126,8 +125,7 @@ mod empty_and_skewed_inputs {
         let spec = JobSpec::new("skew", 3, 2);
         let frames: Vec<Vec<T>> = (0..6).map(|_| (1..=50).map(T).collect()).collect();
         let inputs = vec![frames, Vec::new(), Vec::new()];
-        let (report, result) =
-            run_regular(&mut c, inputs, &spec, Sum::default, Sum::default);
+        let (report, result) = run_regular(&mut c, inputs, &spec, Sum::default, Sum::default);
         assert!(report.outcome.ok());
         let total: u64 = result.unwrap().iter().map(|t| t.0).sum();
         assert_eq!(total, 6 * (1..=50u64).sum::<u64>());

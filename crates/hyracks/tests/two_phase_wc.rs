@@ -10,9 +10,9 @@ use hyracks::{
     distribute_blocks, run_itask, run_regular, ItaskFactories, ItaskJobSpec, JobSpec, OpCx,
     Operator, ShuffleBatch,
 };
-use itask_core::{ITask, Scale, TaskCx, TupleTask, Tuple};
-use simcore::TaskId;
+use itask_core::{ITask, Scale, TaskCx, Tuple, TupleTask};
 use simcluster::{Cluster, ClusterConfig};
+use simcore::TaskId;
 use simcore::{ByteSize, DetRng, SimResult};
 
 const ENTRY: u64 = 64;
@@ -130,8 +130,13 @@ impl CountMapTask {
         for (w, c) in std::mem::take(&mut self.counts) {
             buckets.entry(bucket_of(w)).or_default().push(CountT(w, c));
         }
-        let batch = ShuffleBatch { buckets: buckets.into_iter().collect() };
-        bump(&MAP_OUT, batch.buckets.iter().flat_map(|(_, v)| v).map(|c| c.1).sum());
+        let batch = ShuffleBatch {
+            buckets: buckets.into_iter().collect(),
+        };
+        bump(
+            &MAP_OUT,
+            batch.buckets.iter().flat_map(|(_, v)| v).map(|c| c.1).sum(),
+        );
         let ser: u64 = batch
             .buckets
             .iter()
@@ -180,8 +185,10 @@ impl CountReduceTask {
         if self.counts.is_empty() {
             return Ok(());
         }
-        let items: Vec<CountT> =
-            std::mem::take(&mut self.counts).into_iter().map(|(w, c)| CountT(w, c)).collect();
+        let items: Vec<CountT> = std::mem::take(&mut self.counts)
+            .into_iter()
+            .map(|(w, c)| CountT(w, c))
+            .collect();
         bump(&RED_OUT, items.iter().map(|c| c.1).sum());
         let tag = cx.input_tag();
         cx.emit_to_task(TaskId(self.merge_task), tag, items)
@@ -242,16 +249,20 @@ impl TupleTask for CountMergeTask {
         if self.counts.is_empty() {
             return Ok(());
         }
-        let items: Vec<CountT> =
-            std::mem::take(&mut self.counts).into_iter().map(|(w, c)| CountT(w, c)).collect();
+        let items: Vec<CountT> = std::mem::take(&mut self.counts)
+            .into_iter()
+            .map(|(w, c)| CountT(w, c))
+            .collect();
         let tag = cx.input_tag();
         let me = cx.task();
         cx.emit_to_task(me, tag, items)
     }
 
     fn cleanup(&mut self, cx: &mut TaskCx<'_, '_>) -> SimResult<()> {
-        let out: Vec<CountT> =
-            std::mem::take(&mut self.counts).into_iter().map(|(w, c)| CountT(w, c)).collect();
+        let out: Vec<CountT> = std::mem::take(&mut self.counts)
+            .into_iter()
+            .map(|(w, c)| CountT(w, c))
+            .collect();
         bump(&MRG_OUT, out.iter().map(|c| c.1).sum());
         let ser: u64 = out.iter().map(Tuple::ser_bytes).sum();
         cx.emit_final(Box::new(out), ByteSize(ser))
@@ -286,7 +297,10 @@ fn input_blocks(n_words: usize, vocab: u64, seed: u64) -> (Vec<Vec<WordT>>, BTre
 fn as_map(outs: Vec<CountT>) -> BTreeMap<u32, u64> {
     let mut m = BTreeMap::new();
     for CountT(w, c) in outs {
-        assert!(m.insert(w, c).is_none(), "duplicate key {w} in final output");
+        assert!(
+            m.insert(w, c).is_none(),
+            "duplicate key {w} in final output"
+        );
     }
     m
 }
@@ -296,8 +310,10 @@ fn itask_factories() -> ItaskFactories {
         map: Rc::new(|| Box::new(Scale(CountMapTask::default())) as Box<dyn ITask>),
         // The merge task is always task id 1 in the phase-2 graph.
         reduce: Rc::new(|| {
-            Box::new(Scale(CountReduceTask { counts: BTreeMap::new(), merge_task: 1 }))
-                as Box<dyn ITask>
+            Box::new(Scale(CountReduceTask {
+                counts: BTreeMap::new(),
+                merge_task: 1,
+            })) as Box<dyn ITask>
         }),
         merge: Rc::new(|| Box::new(Scale(CountMergeTask::default())) as Box<dyn ITask>),
     }
@@ -309,13 +325,7 @@ fn regular_job_is_correct_with_ample_heap() {
     let mut c = cluster(8_192);
     let inputs = distribute_blocks(3, blocks, ByteSize::kib(32));
     let spec = JobSpec::new("wc", 3, 4);
-    let (report, result) = run_regular(
-        &mut c,
-        inputs,
-        &spec,
-        CountOp::default,
-        SumOp::default,
-    );
+    let (report, result) = run_regular(&mut c, inputs, &spec, CountOp::default, SumOp::default);
     assert!(report.outcome.ok());
     assert_eq!(as_map(result.unwrap()), truth);
     assert!(report.elapsed > simcore::SimDuration::ZERO);
@@ -327,12 +337,8 @@ fn itask_job_is_correct_with_ample_heap() {
     let mut c = cluster(8_192);
     let inputs = distribute_blocks(3, blocks, ByteSize::kib(32));
     let spec = ItaskJobSpec::new("wc-itask", 3, 4);
-    let (report, result) = run_itask::<WordT, CountT, CountT>(
-        &mut c,
-        inputs,
-        &spec,
-        &itask_factories(),
-    );
+    let (report, result) =
+        run_itask::<WordT, CountT, CountT>(&mut c, inputs, &spec, &itask_factories());
     assert!(report.outcome.ok(), "{:?}", report.outcome);
     assert_eq!(as_map(result.unwrap()), truth);
 }
@@ -356,7 +362,11 @@ fn regular_job_omes_where_itask_survives() {
     let ispec = ItaskJobSpec::new("wc-itask", 3, 4);
     let (report, result) =
         run_itask::<WordT, CountT, CountT>(&mut c_itask, inputs, &ispec, &itask_factories());
-    assert!(report.outcome.ok(), "ITask job must survive: {:?}", report.outcome);
+    assert!(
+        report.outcome.ok(),
+        "ITask job must survive: {:?}",
+        report.outcome
+    );
     let got = as_map(result.unwrap());
     let truth_total: u64 = truth.values().sum();
     // Stage-by-stage conservation: every occurrence that leaves a stage

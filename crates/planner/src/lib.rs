@@ -50,16 +50,19 @@ pub struct Query<In> {
 impl<In: Tuple> Query<In> {
     /// Starts a query plan.
     pub fn named(name: &'static str) -> Self {
-        Query { name, _marker: std::marker::PhantomData }
+        Query {
+            name,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Adds the keying stage: `f` turns each record into zero or more
     /// `(key, value)` contributions.
-    pub fn flat_map(
-        self,
-        f: impl Fn(&In, &mut Vec<(u64, u64)>) + 'static,
-    ) -> KeyedQuery<In> {
-        KeyedQuery { name: self.name, flat_map: Rc::new(f) }
+    pub fn flat_map(self, f: impl Fn(&In, &mut Vec<(u64, u64)>) + 'static) -> KeyedQuery<In> {
+        KeyedQuery {
+            name: self.name,
+            flat_map: Rc::new(f),
+        }
     }
 }
 
@@ -131,7 +134,7 @@ impl<In> Clone for FoldQuery<In> {
     }
 }
 
-impl<In: Tuple> AggSpec for FoldQuery<In> {
+impl<In: Tuple + Clone> AggSpec for FoldQuery<In> {
     type In = In;
     type Mid = CountMid;
     type Out = OutKv;
@@ -145,12 +148,19 @@ impl<In: Tuple> AggSpec for FoldQuery<In> {
         (self.flat_map)(rec, &mut kvs);
         for (k, v) in kvs {
             let count = if self.count_only { 1 } else { v };
-            out.push(CountMid { key: k, count, entry_bytes: self.entry_bytes });
+            out.push(CountMid {
+                key: k,
+                count,
+                entry_bytes: self.entry_bytes,
+            });
         }
     }
 
     fn finish(&self, mid: CountMid) -> OutKv {
-        OutKv { key: mid.key, value: mid.count }
+        OutKv {
+            key: mid.key,
+            value: mid.count,
+        }
     }
 }
 
@@ -177,7 +187,7 @@ impl<In> Clone for CollectQuery<In> {
     }
 }
 
-impl<In: Tuple> AggSpec for CollectQuery<In> {
+impl<In: Tuple + Clone> AggSpec for CollectQuery<In> {
     type In = In;
     type Mid = ListMid;
     type Out = OutKv;
@@ -195,7 +205,10 @@ impl<In: Tuple> AggSpec for CollectQuery<In> {
     }
 
     fn finish(&self, mid: ListMid) -> OutKv {
-        OutKv { key: mid.key, value: (self.finish)(&mid.items) }
+        OutKv {
+            key: mid.key,
+            value: (self.finish)(&mid.items),
+        }
     }
 }
 
@@ -220,8 +233,8 @@ pub trait RunnableQuery: AggSpec<Out = OutKv> + Sized {
     }
 }
 
-impl<In: Tuple> RunnableQuery for FoldQuery<In> {}
-impl<In: Tuple> RunnableQuery for CollectQuery<In> {}
+impl<In: Tuple + Clone> RunnableQuery for FoldQuery<In> {}
+impl<In: Tuple + Clone> RunnableQuery for CollectQuery<In> {}
 
 #[cfg(test)]
 mod tests {
@@ -239,7 +252,9 @@ mod tests {
 
     #[test]
     fn count_plan_emits_unit_contributions() {
-        let q = Query::<R>::named("c").flat_map(|r, out| out.push((r.0 % 4, 99))).count();
+        let q = Query::<R>::named("c")
+            .flat_map(|r, out| out.push((r.0 % 4, 99)))
+            .count();
         let mut out = Vec::new();
         q.explode(&R(6), &mut out);
         assert_eq!(out.len(), 1);
@@ -249,7 +264,9 @@ mod tests {
 
     #[test]
     fn sum_plan_accumulates_values() {
-        let q = Query::<R>::named("s").flat_map(|r, out| out.push((0, r.0))).sum();
+        let q = Query::<R>::named("s")
+            .flat_map(|r, out| out.push((0, r.0)))
+            .sum();
         let mut a = Vec::new();
         q.explode(&R(5), &mut a);
         let mut b = Vec::new();

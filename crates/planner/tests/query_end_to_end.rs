@@ -21,7 +21,10 @@ fn lineitem_inputs(params: &HyracksParams) -> (Vec<Vec<Vec<LineItem>>>, Vec<Line
         blocks.push(b);
         k += 1_200;
     }
-    (hyracks::distribute_blocks(params.nodes, blocks, params.granularity), all)
+    (
+        hyracks::distribute_blocks(params.nodes, blocks, params.granularity),
+        all,
+    )
 }
 
 fn as_map(outs: &[apps::OutKv]) -> BTreeMap<u64, u64> {
@@ -34,12 +37,13 @@ fn as_map(outs: &[apps::OutKv]) -> BTreeMap<u64, u64> {
 
 #[test]
 fn sum_query_matches_direct_computation() {
-    let params = HyracksParams { heap_per_node: ByteSize::mib(64), ..Default::default() };
+    let params = HyracksParams {
+        heap_per_node: ByteSize::mib(64),
+        ..Default::default()
+    };
     let (inputs, all) = lineitem_inputs(&params);
     let q = Query::<LineItem>::named("revenue_by_order")
-        .flat_map(|li, out| {
-            out.push((li.orderkey, li.extendedprice as u64 * li.quantity as u64))
-        })
+        .flat_map(|li, out| out.push((li.orderkey, li.extendedprice as u64 * li.quantity as u64)))
         .sum();
 
     let mut expected = BTreeMap::new();
@@ -56,7 +60,10 @@ fn sum_query_matches_direct_computation() {
 
 #[test]
 fn collect_query_computes_group_maxima() {
-    let params = HyracksParams { heap_per_node: ByteSize::mib(64), ..Default::default() };
+    let params = HyracksParams {
+        heap_per_node: ByteSize::mib(64),
+        ..Default::default()
+    };
     let (inputs, all) = lineitem_inputs(&params);
     let q = Query::<LineItem>::named("max_price_by_supplier")
         .flat_map(|li, out| out.push((li.suppkey, li.extendedprice as u64)))
@@ -81,8 +88,11 @@ fn generated_pipeline_survives_pressure_the_regular_one_may_not() {
     let blocks: Vec<Vec<AdjRecord>> = (0..cfg.num_blocks(ByteSize::kib(128)))
         .map(|b| cfg.block(b, ByteSize::kib(128)))
         .collect();
-    let expected_total: u64 =
-        blocks.iter().flatten().map(|r| 1 + r.neighbors.len() as u64).sum();
+    let expected_total: u64 = blocks
+        .iter()
+        .flatten()
+        .map(|r| 1 + r.neighbors.len() as u64)
+        .sum();
     let inputs = hyracks::distribute_blocks(params.nodes, blocks, params.granularity);
 
     let q = Query::<AdjRecord>::named("token_count")
@@ -101,11 +111,13 @@ fn generated_pipeline_survives_pressure_the_regular_one_may_not() {
 
 #[test]
 fn queries_are_deterministic() {
-    let params = HyracksParams { heap_per_node: ByteSize::mib(64), ..Default::default() };
+    let params = HyracksParams {
+        heap_per_node: ByteSize::mib(64),
+        ..Default::default()
+    };
     let (inputs, _) = lineitem_inputs(&params);
-    let q = Query::<LineItem>::named("qty").flat_map(|li, out| {
-        out.push((li.orderkey % 97, li.quantity as u64))
-    });
+    let q = Query::<LineItem>::named("qty")
+        .flat_map(|li, out| out.push((li.orderkey % 97, li.quantity as u64)));
     let q = q.sum();
     let a = q.run_itask(&params, inputs.clone());
     let b = q.run_itask(&params, inputs);

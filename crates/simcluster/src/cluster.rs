@@ -1,13 +1,17 @@
 //! The cluster: a set of node simulators plus the shared fabric and
 //! block store.
 
-use simcore::{ByteSize, CostModel, NodeId, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simcore::{ByteSize, CostModel, FaultInjector, FaultPlan, NodeId, SimDuration, SimTime};
 use simnet::Fabric;
 use simstore::{BlockStore, BlockStoreConfig};
 
 use crate::node::NodeState;
 use crate::report::{JobOutcome, JobReport, NodeReport};
 use crate::sched::NodeSim;
+use crate::work::Work;
 
 /// Cluster sizing. Defaults mirror the paper's testbed at 1/1024 scale:
 /// 10 worker nodes (11 minus the master), 8 cores each, 12 GB heaps
@@ -55,6 +59,7 @@ pub struct Cluster {
     sims: Vec<NodeSim>,
     fabric: Fabric,
     store: BlockStore,
+    injector: Option<Rc<RefCell<FaultInjector>>>,
 }
 
 impl Cluster {
@@ -83,7 +88,59 @@ impl Cluster {
             replication: cfg.replication,
             nodes: cfg.nodes,
         });
-        Cluster { cfg, sims, fabric, store }
+        Cluster {
+            cfg,
+            sims,
+            fabric,
+            store,
+            injector: None,
+        }
+    }
+
+    /// Arms a fault plan: one shared injector is installed into every
+    /// node's disk and the fabric, so all layers draw from the same
+    /// deterministic schedule. Returns the shared injector for engines
+    /// that need to poll crashes or read stats.
+    pub fn install_faults(&mut self, plan: FaultPlan) -> Rc<RefCell<FaultInjector>> {
+        let inj = Rc::new(RefCell::new(FaultInjector::new(plan)));
+        for sim in &mut self.sims {
+            sim.node_mut().install_injector(inj.clone());
+        }
+        self.fabric.install_injector(inj.clone());
+        self.injector = Some(inj.clone());
+        inj
+    }
+
+    /// The shared fault injector, if a plan was armed.
+    pub fn injector(&self) -> Option<Rc<RefCell<FaultInjector>>> {
+        self.injector.clone()
+    }
+
+    /// Fires any scheduled crash whose instant `node`'s clock has
+    /// reached: threads die, the disk is purged, the node goes down.
+    /// Returns the salvaged `Work` bodies (empty if no crash fired).
+    pub fn poll_crash(&mut self, node: NodeId) -> Vec<Box<dyn Work>> {
+        let due = match &self.injector {
+            Some(inj) => {
+                let now = self.sims[node.as_usize()].node().now;
+                inj.borrow_mut().crash_due(node, now)
+            }
+            None => false,
+        };
+        if due {
+            self.sims[node.as_usize()].crash()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Nodes still up (crashed nodes excluded).
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.sims
+            .iter()
+            .filter(|s| !s.is_crashed())
+            .map(|s| s.node().id)
+            .collect()
     }
 
     /// The configuration.
@@ -169,12 +226,22 @@ impl Cluster {
                 }
             })
             .collect();
-        JobReport {
+        let mut report = JobReport {
             outcome,
             elapsed: self.elapsed(),
             nodes,
             counters: std::collections::BTreeMap::new(),
+        };
+        if let Some(inj) = &self.injector {
+            let s = inj.borrow().stats();
+            report.bump_counter("faults_transient_reads", s.transient_reads as f64);
+            report.bump_counter("faults_transient_writes", s.transient_writes as f64);
+            report.bump_counter("faults_corrupted_writes", s.corrupted_writes as f64);
+            report.bump_counter("faults_delayed_transfers", s.delayed_transfers as f64);
+            report.bump_counter("faults_severed_transfers", s.severed_transfers as f64);
+            report.bump_counter("faults_crashes", s.crashes as f64);
         }
+        report
     }
 }
 
@@ -191,7 +258,10 @@ mod tests {
 
     #[test]
     fn sync_clocks_is_a_barrier() {
-        let mut c = Cluster::new(ClusterConfig { nodes: 3, ..Default::default() });
+        let mut c = Cluster::new(ClusterConfig {
+            nodes: 3,
+            ..Default::default()
+        });
         c.sim(NodeId(1)).node_mut().now += SimDuration::from_secs(5);
         c.sync_clocks(SimDuration::from_secs(1));
         for i in 0..3 {
@@ -203,8 +273,40 @@ mod tests {
     }
 
     #[test]
+    fn armed_faults_fire_crashes_and_count_in_report() {
+        let mut c = Cluster::new(ClusterConfig {
+            nodes: 3,
+            ..Default::default()
+        });
+        let plan = FaultPlan::new(9).with_crash(NodeId(1), SimTime::from_nanos(500));
+        c.install_faults(plan);
+
+        // Before the instant: nothing happens.
+        assert!(c.poll_crash(NodeId(1)).is_empty());
+        assert_eq!(c.live_nodes().len(), 3);
+
+        c.sim(NodeId(1)).node_mut().now += SimDuration::from_micros(1);
+        c.sim(NodeId(1))
+            .node_mut()
+            .disk_write_async("spill", ByteSize::kib(8))
+            .unwrap();
+        c.poll_crash(NodeId(1));
+        assert!(c.sim(NodeId(1)).is_crashed());
+        assert_eq!(c.sim(NodeId(1)).node().disk.file_count(), 0);
+        assert_eq!(c.live_nodes(), vec![NodeId(0), NodeId(2)]);
+        // Fires once only.
+        assert!(c.poll_crash(NodeId(1)).is_empty());
+
+        let r = c.report(JobOutcome::Completed);
+        assert_eq!(r.counter("faults_crashes"), 1.0);
+    }
+
+    #[test]
     fn report_snapshots_every_node() {
-        let mut c = Cluster::new(ClusterConfig { nodes: 2, ..Default::default() });
+        let mut c = Cluster::new(ClusterConfig {
+            nodes: 2,
+            ..Default::default()
+        });
         c.sim(NodeId(0)).node_mut().now += SimDuration::from_secs(3);
         let r = c.report(JobOutcome::Completed);
         assert_eq!(r.nodes.len(), 2);

@@ -22,7 +22,7 @@ pub mod sched;
 pub mod work;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use node::{NodeState, WorkCx};
+pub use node::{NodeState, WorkCx, DEFAULT_IO_RETRIES};
 pub use report::{JobOutcome, JobReport, NodeReport};
 pub use sched::{NodeSim, RoundReport, ThreadState};
 pub use work::{StepOutcome, Work};

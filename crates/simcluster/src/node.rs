@@ -1,10 +1,18 @@
 //! Per-node state and the context handed to simulated threads.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use simcore::{
-    ByteSize, CostModel, EventLog, NodeId, SimDuration, SimError, SimResult, SimTime, SpaceId,
+    ByteSize, CostModel, EventLog, FaultInjector, NodeId, SimDuration, SimError, SimResult,
+    SimTime, SpaceId,
 };
 use simmem::{GcRecord, Heap, HeapConfig};
 use simstore::{Disk, FileId};
+
+/// Default bound on transient-I/O retries. One above the injector's
+/// default burst cap, so a default plan can never exhaust the budget.
+pub const DEFAULT_IO_RETRIES: u32 = 5;
 
 /// The state of one cluster node: clock, heap, disk, accounting.
 #[derive(Debug)]
@@ -43,8 +51,11 @@ impl NodeState {
             id,
             cores,
             now: SimTime::ZERO,
-            heap: Heap::new(HeapConfig { cost, ..HeapConfig::with_capacity(heap_capacity) }),
-            disk: Disk::new(disk_capacity, cost),
+            heap: Heap::new(HeapConfig {
+                cost,
+                ..HeapConfig::with_capacity(heap_capacity)
+            }),
+            disk: Disk::new(id, disk_capacity, cost),
             cost,
             gc_time: SimDuration::ZERO,
             compute_time: SimDuration::ZERO,
@@ -63,12 +74,14 @@ impl NodeState {
                 self.absorb_pauses(&outcome.pauses);
                 Ok(())
             }
-            Err(simmem::HeapError::OutOfMemory { requested, free }) => {
-                Err(SimError::OutOfMemory { node: self.id, requested, free })
-            }
-            Err(simmem::HeapError::NoSuchSpace(id)) => {
-                Err(SimError::Internal(format!("allocation into released space {id}")))
-            }
+            Err(simmem::HeapError::OutOfMemory { requested, free }) => Err(SimError::OutOfMemory {
+                node: self.id,
+                requested,
+                free,
+            }),
+            Err(simmem::HeapError::NoSuchSpace(id)) => Err(SimError::Internal(format!(
+                "allocation into released space {id}"
+            ))),
         }
     }
 
@@ -83,8 +96,10 @@ impl NodeState {
         for rec in pauses {
             self.now += rec.pause;
             self.gc_time += rec.pause;
-            self.log.record("heap_used", self.now, rec.used_before.as_u64() as f64);
-            self.log.record("heap_used", self.now, rec.used_after.as_u64() as f64);
+            self.log
+                .record("heap_used", self.now, rec.used_before.as_u64() as f64);
+            self.log
+                .record("heap_used", self.now, rec.used_after.as_u64() as f64);
             self.gc_pending.push(rec.clone());
         }
     }
@@ -102,13 +117,33 @@ impl NodeState {
         label: impl Into<String>,
         bytes: ByteSize,
     ) -> SimResult<FileId> {
-        match self.disk.write(label, bytes) {
-            Some((id, io)) => {
-                let start = self.now.max(self.disk_free_at);
-                self.disk_free_at = start + io;
-                Ok(id)
+        let (id, io) = self.disk.write(label, bytes)?;
+        let start = self.now.max(self.disk_free_at);
+        self.disk_free_at = start + io;
+        Ok(id)
+    }
+
+    /// [`NodeState::disk_write_async`] with bounded retry: transient
+    /// faults back off exponentially (the device stays busy during the
+    /// backoff) and the write is re-issued, up to `budget` attempts.
+    /// Returns the file id and how many retries were needed.
+    pub fn disk_write_retried(
+        &mut self,
+        label: &str,
+        bytes: ByteSize,
+        budget: u32,
+    ) -> SimResult<(FileId, u32)> {
+        let mut retries = 0u32;
+        loop {
+            match self.disk_write_async(label.to_string(), bytes) {
+                Ok(id) => return Ok((id, retries)),
+                Err(e) if e.is_transient() && retries + 1 < budget.max(1) => {
+                    let backoff = self.io_backoff(retries);
+                    self.disk_free_at = self.now.max(self.disk_free_at) + backoff;
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
             }
-            None => Err(SimError::DiskFull { node: self.id, requested: bytes }),
         }
     }
 
@@ -117,21 +152,85 @@ impl NodeState {
     /// writes, then the read itself). The node clock is not advanced —
     /// only the reading thread stalls, other threads keep computing.
     pub fn disk_read_charged(&mut self, id: FileId) -> SimResult<(ByteSize, SimDuration)> {
-        let (bytes, io) = self
-            .disk
-            .read(id)
-            .ok_or_else(|| SimError::Internal(format!("read of unknown {id:?}")))?;
+        let (bytes, io) = self.disk.read(id)?;
+        Ok((bytes, self.charge_disk_stall(io)))
+    }
+
+    /// [`NodeState::disk_read_charged`] plus checksum verification:
+    /// corrupt content costs the full read and then fails with
+    /// [`SimError::CorruptPartition`].
+    pub fn disk_read_verified(&mut self, id: FileId) -> SimResult<(ByteSize, SimDuration)> {
+        match self.disk.read_verified(id) {
+            Ok((bytes, io)) => Ok((bytes, self.charge_disk_stall(io))),
+            Err(SimError::CorruptPartition { node, file }) => {
+                // The bytes were read (and paid for) before the
+                // mismatch was noticed.
+                let bytes = self
+                    .disk
+                    .file(id)
+                    .map(|f| f.bytes)
+                    .unwrap_or(ByteSize::ZERO);
+                let io = self.cost.disk_read(bytes);
+                self.charge_disk_stall(io);
+                Err(SimError::CorruptPartition { node, file })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`NodeState::disk_read_verified`] with bounded retry for
+    /// *transient* faults (corruption is not retried — the stored bytes
+    /// will not get better; callers recover from lineage instead).
+    /// Returns bytes, total stall including backoffs, and retries used.
+    pub fn disk_read_retried(
+        &mut self,
+        id: FileId,
+        budget: u32,
+    ) -> SimResult<(ByteSize, SimDuration, u32)> {
+        let mut retries = 0u32;
+        let mut extra = SimDuration::ZERO;
+        loop {
+            match self.disk_read_verified(id) {
+                Ok((bytes, stall)) => return Ok((bytes, stall + extra, retries)),
+                Err(e) if e.is_transient() && retries + 1 < budget.max(1) => {
+                    let backoff = self.io_backoff(retries);
+                    self.io_stall_time += backoff;
+                    extra += backoff;
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Exponential virtual-time backoff: `latency × 2^attempt`.
+    fn io_backoff(&self, attempt: u32) -> SimDuration {
+        SimDuration::from_nanos(
+            self.cost
+                .disk_op_latency
+                .as_nanos()
+                .saturating_mul(1u64 << attempt.min(16)),
+        )
+    }
+
+    fn charge_disk_stall(&mut self, io: SimDuration) -> SimDuration {
         let start = self.now.max(self.disk_free_at);
         let end = start + io;
         let stall = end.since(self.now);
         self.io_stall_time += stall;
         self.disk_free_at = end;
-        Ok((bytes, stall))
+        stall
+    }
+
+    /// Routes this node's disk I/O through a fault injector.
+    pub fn install_injector(&mut self, injector: Rc<RefCell<FaultInjector>>) {
+        self.disk.install_injector(injector);
     }
 
     /// Records the current heap occupancy into the `heap_used` series.
     pub fn sample_heap(&mut self) {
-        self.log.record("heap_used", self.now, self.heap.used().as_u64() as f64);
+        self.log
+            .record("heap_used", self.now, self.heap.used().as_u64() as f64);
     }
 }
 
@@ -147,7 +246,18 @@ pub struct WorkCx<'a> {
 
 impl<'a> WorkCx<'a> {
     pub(crate) fn new(node: &'a mut NodeState, quantum: SimDuration) -> Self {
-        WorkCx { node, quantum, used: SimDuration::ZERO }
+        WorkCx {
+            node,
+            quantum,
+            used: SimDuration::ZERO,
+        }
+    }
+
+    /// A context detached from the scheduler, for out-of-band work an
+    /// engine performs on a node directly — e.g. running the interrupt
+    /// path post-mortem to salvage instances off a crashed node.
+    pub fn detached(node: &'a mut NodeState, quantum: SimDuration) -> Self {
+        WorkCx::new(node, quantum)
     }
 
     /// The node this thread runs on.

@@ -90,7 +90,11 @@ impl JobReport {
 
     /// The highest per-node heap peak (Figure 10's "peak memory" line).
     pub fn peak_heap(&self) -> ByteSize {
-        self.nodes.iter().map(|n| n.peak_heap).max().unwrap_or(ByteSize::ZERO)
+        self.nodes
+            .iter()
+            .map(|n| n.peak_heap)
+            .max()
+            .unwrap_or(ByteSize::ZERO)
     }
 
     /// Total LUGCs observed.

@@ -33,6 +33,20 @@ struct ThreadSlot {
     progress: u64,
 }
 
+/// Placeholder body left in a slot whose real `Work` was salvaged by
+/// [`NodeSim::crash`]. Never stepped (the slot is `Failed`).
+struct CrashTombstone;
+
+impl Work for CrashTombstone {
+    fn step(&mut self, _cx: &mut WorkCx<'_>) -> StepOutcome {
+        StepOutcome::Failed(SimError::Internal("stepped a crash tombstone".into()))
+    }
+
+    fn label(&self) -> String {
+        "crashed".into()
+    }
+}
+
 /// What happened in one scheduling round.
 #[derive(Debug, Default)]
 pub struct RoundReport {
@@ -59,6 +73,7 @@ pub struct NodeSim {
     threads: Vec<ThreadSlot>,
     next_thread: u32,
     quantum: SimDuration,
+    crashed: bool,
 }
 
 impl NodeSim {
@@ -74,7 +89,33 @@ impl NodeSim {
             threads: Vec::new(),
             next_thread: 0,
             quantum: Self::DEFAULT_QUANTUM,
+            crashed: false,
         }
+    }
+
+    /// Whether this node has crashed (see [`NodeSim::crash`]).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Crashes the node: every live thread dies mid-step and the disk
+    /// loses all files. Returns the `Work` bodies of the threads that
+    /// were live, so the engine can salvage recoverable state (via
+    /// [`crate::work::Work::as_any_mut`]) before re-scheduling their
+    /// partitions elsewhere. A crashed node never runs another round.
+    pub fn crash(&mut self) -> Vec<Box<dyn Work>> {
+        self.crashed = true;
+        self.node.disk.purge();
+        let mut salvaged = Vec::new();
+        for slot in &mut self.threads {
+            if matches!(slot.state, ThreadState::Runnable | ThreadState::Waiting) {
+                slot.state = ThreadState::Failed;
+                // Swap the body out; the retired slot keeps a tombstone.
+                let body = std::mem::replace(&mut slot.work, Box::new(CrashTombstone));
+                salvaged.push(body);
+            }
+        }
+        salvaged
     }
 
     /// Read access to the node.
@@ -101,7 +142,12 @@ impl NodeSim {
     pub fn spawn(&mut self, work: Box<dyn Work>) -> ThreadId {
         let id = ThreadId(self.next_thread);
         self.next_thread += 1;
-        self.threads.push(ThreadSlot { id, work, state: ThreadState::Runnable, progress: 0 });
+        self.threads.push(ThreadSlot {
+            id,
+            work,
+            state: ThreadState::Runnable,
+            progress: 0,
+        });
         id
     }
 
@@ -161,12 +207,18 @@ impl NodeSim {
     /// quantum (an idle tick) so pollers eventually make progress.
     pub fn run_round(&mut self) -> RoundReport {
         let mut report = RoundReport::default();
+        if self.crashed {
+            return report;
+        }
         let mut max_used = SimDuration::ZERO;
         let mut sum_used = SimDuration::ZERO;
         let mut any_ran = false;
 
         for i in 0..self.threads.len() {
-            if !matches!(self.threads[i].state, ThreadState::Runnable | ThreadState::Waiting) {
+            if !matches!(
+                self.threads[i].state,
+                ThreadState::Runnable | ThreadState::Waiting
+            ) {
                 continue;
             }
             let outcome = {
@@ -201,8 +253,7 @@ impl NodeSim {
         // Processor sharing: the round's wall time is bounded below by the
         // longest single step and by total CPU spread over the cores.
         let cores = self.node.cores.max(1) as u64;
-        let shared =
-            SimDuration::from_nanos(sum_used.as_nanos().div_ceil(cores));
+        let shared = SimDuration::from_nanos(sum_used.as_nanos().div_ceil(cores));
         let mut wall = max_used.max(shared);
         if report.stepped > 0 && !any_ran && wall.is_zero() {
             // All waiting: idle tick.
@@ -273,7 +324,11 @@ mod tests {
     }
 
     fn crunch(tuples: u64, bytes_per_tuple: u64) -> Box<dyn Work> {
-        Box::new(Crunch { space: None, tuples, bytes_per_tuple })
+        Box::new(Crunch {
+            space: None,
+            tuples,
+            bytes_per_tuple,
+        })
     }
 
     fn sim(cores: usize, heap_mib: u64) -> NodeSim {
@@ -342,8 +397,7 @@ mod tests {
         }
         run_to_completion(&mut wide);
 
-        let speedup =
-            narrow.node().now.as_nanos() as f64 / wide.node().now.as_nanos() as f64;
+        let speedup = narrow.node().now.as_nanos() as f64 / wide.node().now.as_nanos() as f64;
         assert!(speedup > 4.0, "speedup {speedup}");
     }
 
@@ -371,6 +425,31 @@ mod tests {
         assert!(!s.kill(id));
         assert_eq!(s.thread_state(id), Some(ThreadState::Failed));
         assert_eq!(s.live_count(), 0);
+    }
+
+    #[test]
+    fn crash_retires_threads_and_purges_disk() {
+        let mut s = sim(8, 64);
+        let a = s.spawn(crunch(1_000_000, 8));
+        let b = s.spawn(crunch(1_000_000, 8));
+        s.run_round();
+        s.node_mut()
+            .disk_write_async("spill", ByteSize::mib(1))
+            .unwrap();
+
+        let salvaged = s.crash();
+        assert_eq!(salvaged.len(), 2);
+        assert!(s.is_crashed());
+        assert_eq!(s.node().disk.file_count(), 0);
+        assert_eq!(s.thread_state(a), Some(ThreadState::Failed));
+        assert_eq!(s.thread_state(b), Some(ThreadState::Failed));
+        assert_eq!(s.live_count(), 0);
+
+        // A crashed node never runs another round.
+        let before = s.node().now;
+        let r = s.run_round();
+        assert!(r.idle());
+        assert_eq!(s.node().now, before);
     }
 
     #[test]

@@ -33,4 +33,12 @@ pub trait Work {
 
     /// Debug label shown in reports (e.g. `"map[part3]"`).
     fn label(&self) -> String;
+
+    /// Downcast hook for crash recovery: implementations that carry
+    /// salvageable state (ITask workers with partially processed
+    /// partitions) return `Some(self)` so the engine can extract it
+    /// after a node crash. The default — no salvageable state.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }

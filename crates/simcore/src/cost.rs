@@ -85,8 +85,7 @@ impl CostModel {
 
     /// Pause of a minor collection with `survivors` bytes evacuated.
     pub fn minor_gc_pause(&self, survivors: ByteSize) -> SimDuration {
-        self.gc_minor_fixed
-            + ns_per_bytes(self.gc_minor_ns_per_survivor_byte, survivors.as_u64())
+        self.gc_minor_fixed + ns_per_bytes(self.gc_minor_ns_per_survivor_byte, survivors.as_u64())
     }
 
     /// Pause of a full collection over `live` live bytes in a heap with
@@ -163,7 +162,10 @@ mod tests {
     #[test]
     fn bandwidth_time_handles_zero_rate() {
         // A zero-bandwidth disk clamps to 1 B/s rather than dividing by zero.
-        let c = CostModel { disk_write_bps: 0, ..CostModel::default() };
+        let c = CostModel {
+            disk_write_bps: 0,
+            ..CostModel::default()
+        };
         let t = c.disk_write(ByteSize(5));
         assert!(t > SimDuration::from_secs(4));
     }

@@ -47,6 +47,33 @@ pub enum SimError {
         /// The write that could not be satisfied.
         requested: ByteSize,
     },
+    /// A transient I/O error (injected by a fault plan); retrying the
+    /// operation may succeed.
+    IoTransient {
+        /// The node whose disk hiccupped.
+        node: NodeId,
+    },
+    /// A stored partition failed its checksum on read: the on-disk
+    /// bytes are corrupt and must be re-created from lineage.
+    CorruptPartition {
+        /// The node holding the corrupt file.
+        node: NodeId,
+        /// The corrupt file's raw id on that node's disk.
+        file: u64,
+    },
+    /// The network between two nodes is partitioned with no scheduled
+    /// heal; the transfer can never complete.
+    NetPartition {
+        /// Sending node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+    },
+    /// A node crashed: its threads, heap and disk are gone.
+    NodeLost {
+        /// The crashed node.
+        node: NodeId,
+    },
     /// A configuration/usage error in the simulation setup.
     Config(String),
     /// An internal invariant was violated (a bug in the simulator).
@@ -62,12 +89,34 @@ impl SimError {
             _ => false,
         }
     }
+
+    /// Whether retrying the same operation may succeed (transient
+    /// faults only; corruption and crashes need real recovery).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::IoTransient { .. })
+    }
+
+    /// Whether this error was injected by the substrate fault plane
+    /// (as opposed to memory pressure or a framework bug).
+    pub fn is_substrate(&self) -> bool {
+        matches!(
+            self,
+            SimError::IoTransient { .. }
+                | SimError::CorruptPartition { .. }
+                | SimError::NetPartition { .. }
+                | SimError::NodeLost { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfMemory { node, requested, free } => write!(
+            SimError::OutOfMemory {
+                node,
+                requested,
+                free,
+            } => write!(
                 f,
                 "OutOfMemoryError on {node}: requested {requested}, only {free} free after full GC"
             ),
@@ -80,6 +129,16 @@ impl fmt::Display for SimError {
             SimError::DiskFull { node, requested } => {
                 write!(f, "disk full on {node}: could not write {requested}")
             }
+            SimError::IoTransient { node } => {
+                write!(f, "transient I/O error on {node}")
+            }
+            SimError::CorruptPartition { node, file } => {
+                write!(f, "checksum mismatch reading file{file} on {node}")
+            }
+            SimError::NetPartition { src, dst } => {
+                write!(f, "network partition: {src} cannot reach {dst}")
+            }
+            SimError::NodeLost { node } => write!(f, "{node} crashed"),
             SimError::Config(msg) => write!(f, "configuration error: {msg}"),
             SimError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
         }
@@ -124,5 +183,39 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("node1"));
         assert!(s.contains("2.00MiB"));
+    }
+
+    #[test]
+    fn substrate_classification() {
+        let transient = SimError::IoTransient { node: NodeId(3) };
+        assert!(transient.is_transient());
+        assert!(transient.is_substrate());
+        assert!(!transient.is_oom());
+
+        let corrupt = SimError::CorruptPartition {
+            node: NodeId(1),
+            file: 9,
+        };
+        assert!(!corrupt.is_transient());
+        assert!(corrupt.is_substrate());
+        assert!(corrupt.to_string().contains("file9"));
+
+        let lost = SimError::NodeLost { node: NodeId(2) };
+        assert!(lost.is_substrate());
+        assert!(lost.to_string().contains("node2"));
+
+        let part = SimError::NetPartition {
+            src: NodeId(0),
+            dst: NodeId(5),
+        };
+        assert!(part.is_substrate());
+
+        let oom = SimError::OutOfMemory {
+            node: NodeId(0),
+            requested: ByteSize(1),
+            free: ByteSize(0),
+        };
+        assert!(!oom.is_substrate());
+        assert!(!SimError::Config("x".into()).is_substrate());
     }
 }

@@ -13,6 +13,7 @@
 pub mod bytes;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod jbloat;
 pub mod log;
@@ -22,6 +23,10 @@ pub mod time;
 pub use bytes::{ByteSize, GIB, KIB, MIB};
 pub use cost::CostModel;
 pub use error::{SimError, SimResult};
+pub use fault::{
+    FaultInjector, FaultPlan, FaultStats, LinkState, NetFault, NetFaultKind, NodeCrash, ReadFault,
+    WriteFault,
+};
 pub use ids::{JobId, NodeId, PartitionId, SpaceId, TaskId, ThreadId};
 pub use jbloat::HeapSized;
 pub use log::{EventLog, Sample, Series};

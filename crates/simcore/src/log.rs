@@ -24,7 +24,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series.
     pub fn new(name: impl Into<String>) -> Self {
-        Series { name: name.into(), samples: Vec::new() }
+        Series {
+            name: name.into(),
+            samples: Vec::new(),
+        }
     }
 
     /// Appends a sample; out-of-order appends are clamped to the last
@@ -75,7 +78,10 @@ impl Series {
                     .iter()
                     .max_by(|a, b| a.value.total_cmp(&b.value))
                     .expect("non-empty chunk");
-                Sample { at: c[c.len() - 1].at, value: peak.value }
+                Sample {
+                    at: c[c.len() - 1].at,
+                    value: peak.value,
+                }
             })
             .collect()
     }

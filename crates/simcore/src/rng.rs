@@ -21,7 +21,9 @@ pub struct DetRng {
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        DetRng { inner: StdRng::seed_from_u64(seed) }
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child generator; `label` keeps sibling
@@ -135,7 +137,10 @@ impl ZipfTable {
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         let u = rng.unit();
         // First index whose cumulative mass reaches u.
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("NaN in CDF")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("NaN in CDF"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -235,8 +240,9 @@ mod tests {
     fn bounded_pareto_is_heavy_tailed() {
         let mut rng = DetRng::new(5);
         let n = 50_000;
-        let samples: Vec<u64> =
-            (0..n).map(|_| rng.bounded_pareto(10, 1_000_000, 1.1)).collect();
+        let samples: Vec<u64> = (0..n)
+            .map(|_| rng.bounded_pareto(10, 1_000_000, 1.1))
+            .collect();
         let small = samples.iter().filter(|&&v| v < 100).count();
         let big = samples.iter().filter(|&&v| v > 100_000).count();
         // Most mass near the floor, but a real tail exists.

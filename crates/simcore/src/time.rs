@@ -174,6 +174,9 @@ impl SimTime {
     /// The simulation epoch.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The end of time; used for fault windows that never close.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates a time point from nanoseconds since the epoch.
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)
@@ -243,14 +246,20 @@ mod tests {
     fn from_secs_f64_clamps_bad_input() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn arithmetic_saturates() {
         let max = SimDuration::from_nanos(u64::MAX);
         assert_eq!(max + SimDuration::from_secs(1), max);
-        assert_eq!(SimDuration::ZERO - SimDuration::from_secs(1), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::ZERO - SimDuration::from_secs(1),
+            SimDuration::ZERO
+        );
         assert_eq!(max * 2, max);
     }
 
@@ -280,8 +289,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_secs).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
         assert_eq!(total, SimDuration::from_secs(10));
     }
 }

@@ -249,7 +249,11 @@ impl Heap {
     /// Returns the number of bytes actually freed (clamped to the space's
     /// live bytes; zero for an unknown space). Young bytes die first.
     pub fn free(&mut self, space: SpaceId, n: ByteSize) -> ByteSize {
-        let Some(s) = self.spaces.get_mut(space.as_usize()).and_then(|s| s.as_mut()) else {
+        let Some(s) = self
+            .spaces
+            .get_mut(space.as_usize())
+            .and_then(|s| s.as_mut())
+        else {
             return ByteSize::ZERO;
         };
         // Youngest bytes die first (LIFO lifetimes dominate in practice).
@@ -287,11 +291,16 @@ impl Heap {
     }
 
     fn space_mut(&mut self, id: SpaceId) -> &mut SpaceInfo {
-        self.spaces[id.as_usize()].as_mut().expect("checked by caller")
+        self.spaces[id.as_usize()]
+            .as_mut()
+            .expect("checked by caller")
     }
 
     fn oom(&self, requested: ByteSize, _out: AllocOutcome) -> HeapError {
-        HeapError::OutOfMemory { requested, free: self.free_bytes() }
+        HeapError::OutOfMemory {
+            requested,
+            free: self.free_bytes(),
+        }
     }
 
     /// Evacuates the young generation: eden survivors move to the
@@ -373,7 +382,10 @@ impl Heap {
             return Err(format!("eden live mismatch: {y0} != {}", self.young0_live));
         }
         if y1 != self.young1_live {
-            return Err(format!("survivor live mismatch: {y1} != {}", self.young1_live));
+            return Err(format!(
+                "survivor live mismatch: {y1} != {}",
+                self.young1_live
+            ));
         }
         if old != self.old_live {
             return Err(format!("old live mismatch: {old} != {}", self.old_live));

@@ -6,8 +6,20 @@
 //! The paper's testbed uses EC2 "enhanced networking"; shuffle cost shapes
 //! end-to-end times but is not the contribution, so a linear
 //! latency-plus-bandwidth model suffices (DESIGN.md §1).
+//!
+//! With a [`FaultInjector`] installed (see [`Fabric::install_injector`]),
+//! the time-aware [`Fabric::transfer_at`] consults the injector's link
+//! state: slowdown windows dilate the wire time, finite partition windows
+//! stall the sender until they heal, and a permanent partition fails the
+//! transfer with [`simcore::SimError::NetPartition`].
 
-use simcore::{ByteSize, CostModel, NodeId, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simcore::{
+    ByteSize, CostModel, FaultInjector, LinkState, NodeId, SimDuration, SimError, SimResult,
+    SimTime,
+};
 
 /// Aggregate transfer statistics.
 #[derive(Clone, Debug, Default)]
@@ -20,6 +32,8 @@ pub struct NetStats {
     pub remote_transfers: u64,
     /// Total virtual time spent on the wire.
     pub wire_time: SimDuration,
+    /// Transfers that waited out a partition window or ran slowed.
+    pub degraded_transfers: u64,
 }
 
 /// The cluster fabric.
@@ -28,6 +42,7 @@ pub struct Fabric {
     cost: CostModel,
     nodes: usize,
     stats: NetStats,
+    injector: Option<Rc<RefCell<FaultInjector>>>,
 }
 
 impl Fabric {
@@ -38,7 +53,17 @@ impl Fabric {
     /// Panics if `nodes == 0`.
     pub fn new(nodes: usize, cost: CostModel) -> Self {
         assert!(nodes > 0, "fabric needs at least one node");
-        Fabric { cost, nodes, stats: NetStats::default() }
+        Fabric {
+            cost,
+            nodes,
+            stats: NetStats::default(),
+            injector: None,
+        }
+    }
+
+    /// Routes subsequent time-aware transfers through a fault injector.
+    pub fn install_injector(&mut self, injector: Rc<RefCell<FaultInjector>>) {
+        self.injector = Some(injector);
     }
 
     /// Number of nodes on the fabric.
@@ -70,15 +95,68 @@ impl Fabric {
         t
     }
 
+    /// Time-aware transfer: like [`Fabric::transfer`] but consults the
+    /// installed fault injector for the `src → dst` link state at `now`.
+    ///
+    /// A slowdown window dilates the wire time; a finite partition
+    /// window adds the wait until it heals; a permanent partition fails
+    /// with [`SimError::NetPartition`]. Without an injector this is
+    /// exactly `transfer`.
+    pub fn transfer_at(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: ByteSize,
+        now: SimTime,
+    ) -> SimResult<SimDuration> {
+        if src.as_usize() >= self.nodes || dst.as_usize() >= self.nodes {
+            return Err(SimError::Internal(format!(
+                "transfer between unknown nodes {src} → {dst} (fabric has {})",
+                self.nodes
+            )));
+        }
+        let Some(inj) = self.injector.clone() else {
+            return Ok(self.transfer(src, dst, bytes));
+        };
+        if src == dst {
+            self.stats.bytes_local += bytes;
+            return Ok(SimDuration::ZERO);
+        }
+        let state = inj.borrow().link_state(src, dst, now);
+        let (wait, factor) = match state {
+            LinkState::Up { factor } => (SimDuration::ZERO, factor),
+            LinkState::BlockedUntil(until) => {
+                // Retransmit when the window closes, at whatever speed
+                // the link has then.
+                let healed = inj.borrow().link_state(src, dst, until);
+                let f = match healed {
+                    LinkState::Up { factor } => factor,
+                    _ => 1.0,
+                };
+                (until.since(now), f)
+            }
+            LinkState::Severed => {
+                inj.borrow_mut().note_transfer(false, true);
+                return Err(SimError::NetPartition { src, dst });
+            }
+        };
+        let wire = self.cost.net_transfer(bytes) * factor.max(1.0);
+        let degraded = !wait.is_zero() || factor > 1.0;
+        if degraded {
+            self.stats.degraded_transfers += 1;
+            inj.borrow_mut().note_transfer(true, false);
+        }
+        self.stats.bytes_remote += bytes;
+        self.stats.remote_transfers += 1;
+        self.stats.wire_time += wire;
+        Ok(wait + wire)
+    }
+
     /// The cost of an all-to-all shuffle where each of `senders` nodes
     /// sends `bytes_per_pair` to each of `receivers` nodes, assuming
     /// perfect overlap across senders (the bottleneck is one sender's
     /// outbound link).
-    pub fn shuffle_time(
-        &self,
-        receivers: usize,
-        bytes_per_pair: ByteSize,
-    ) -> SimDuration {
+    pub fn shuffle_time(&self, receivers: usize, bytes_per_pair: ByteSize) -> SimDuration {
         let outbound = bytes_per_pair * receivers.max(1) as u64;
         self.cost.net_transfer(outbound)
     }
@@ -113,6 +191,94 @@ mod tests {
         let narrow = f.shuffle_time(2, ByteSize::mib(1));
         let wide = f.shuffle_time(8, ByteSize::mib(1));
         assert!(wide > narrow);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use simcore::FaultPlan;
+
+    fn at_secs(s: u64) -> SimTime {
+        SimTime::from_nanos(s * 1_000_000_000)
+    }
+
+    fn faulty(plan: FaultPlan) -> Fabric {
+        let mut f = Fabric::new(4, CostModel::default());
+        f.install_injector(Rc::new(RefCell::new(FaultInjector::new(plan))));
+        f
+    }
+
+    #[test]
+    fn transfer_at_without_injector_matches_transfer() {
+        let mut plain = Fabric::new(4, CostModel::default());
+        let mut aware = Fabric::new(4, CostModel::default());
+        let t1 = plain.transfer(NodeId(0), NodeId(1), ByteSize::mib(2));
+        let t2 = aware
+            .transfer_at(NodeId(0), NodeId(1), ByteSize::mib(2), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn slowdown_window_dilates_wire_time() {
+        let mut f = faulty(FaultPlan::new(0).with_slowdown(SimTime::ZERO, at_secs(1), 4.0));
+        let healthy = CostModel::default().net_transfer(ByteSize::mib(1));
+        let slowed = f
+            .transfer_at(NodeId(0), NodeId(1), ByteSize::mib(1), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(slowed, healthy * 4.0);
+        assert_eq!(f.stats().degraded_transfers, 1);
+        // After the window, full speed again.
+        let later = f
+            .transfer_at(NodeId(0), NodeId(1), ByteSize::mib(1), at_secs(2))
+            .unwrap();
+        assert_eq!(later, healthy);
+    }
+
+    #[test]
+    fn finite_partition_stalls_the_sender() {
+        let mut f = faulty(FaultPlan::new(0).with_link_partition(
+            NodeId(0),
+            NodeId(1),
+            SimTime::ZERO,
+            at_secs(3),
+        ));
+        let healthy = CostModel::default().net_transfer(ByteSize::mib(1));
+        let t = f
+            .transfer_at(NodeId(0), NodeId(1), ByteSize::mib(1), at_secs(1))
+            .unwrap();
+        assert_eq!(t, SimDuration::from_secs(2) + healthy);
+        // The unaffected link is untouched.
+        let other = f
+            .transfer_at(NodeId(0), NodeId(2), ByteSize::mib(1), at_secs(1))
+            .unwrap();
+        assert_eq!(other, healthy);
+    }
+
+    #[test]
+    fn permanent_partition_fails_typed() {
+        let mut f = faulty(FaultPlan::new(0).with_link_partition(
+            NodeId(1),
+            NodeId(2),
+            SimTime::ZERO,
+            SimTime::MAX,
+        ));
+        match f.transfer_at(NodeId(2), NodeId(1), ByteSize::mib(1), SimTime::ZERO) {
+            Err(SimError::NetPartition { src, dst }) => {
+                assert_eq!((src, dst), (NodeId(2), NodeId(1)));
+            }
+            other => panic!("expected NetPartition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_nodes_are_typed_errors_not_panics() {
+        let mut f = Fabric::new(2, CostModel::default());
+        let err = f
+            .transfer_at(NodeId(0), NodeId(9), ByteSize::mib(1), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Internal(_)));
     }
 }
 

@@ -83,7 +83,11 @@ impl BlockStore {
     pub fn new(cfg: BlockStoreConfig) -> Self {
         assert!(cfg.nodes > 0, "block store needs at least one node");
         assert!(!cfg.block_size.is_zero(), "zero block size");
-        BlockStore { cfg, datasets: Vec::new(), next_primary: 0 }
+        BlockStore {
+            cfg,
+            datasets: Vec::new(),
+            next_primary: 0,
+        }
     }
 
     /// The configuration.
@@ -108,9 +112,7 @@ impl BlockStore {
             };
             let mut replicas = Vec::with_capacity(replication);
             for r in 0..replication {
-                replicas.push(NodeId(
-                    ((self.next_primary + r) % self.cfg.nodes) as u32,
-                ));
+                replicas.push(NodeId(((self.next_primary + r) % self.cfg.nodes) as u32));
             }
             self.next_primary = (self.next_primary + 1) % self.cfg.nodes;
             blocks.push(Block {
@@ -120,7 +122,12 @@ impl BlockStore {
                 replicas,
             });
         }
-        self.datasets.push(Dataset { id, name: name.into(), bytes, blocks });
+        self.datasets.push(Dataset {
+            id,
+            name: name.into(),
+            bytes,
+            blocks,
+        });
         id
     }
 
@@ -175,8 +182,7 @@ mod tests {
         let mut s = store(4);
         let id = s.put("data", ByteSize::kib(512)); // 4 blocks
         let d = s.dataset(id).unwrap();
-        let primaries: Vec<u32> =
-            d.blocks.iter().map(|b| b.replicas[0].as_u32()).collect();
+        let primaries: Vec<u32> = d.blocks.iter().map(|b| b.replicas[0].as_u32()).collect();
         assert_eq!(primaries, vec![0, 1, 2, 3]);
         // Every node sees some local blocks.
         for n in 0..4 {

@@ -70,7 +70,10 @@ impl StackOverflowConfig {
 
     /// Number of blocks at `block_size`.
     pub fn num_blocks(&self, block_size: ByteSize) -> u64 {
-        self.total_bytes.as_u64().div_ceil(block_size.as_u64()).max(1)
+        self.total_bytes
+            .as_u64()
+            .div_ceil(block_size.as_u64())
+            .max(1)
     }
 
     /// Generates block `index`: a contiguous run of posts whose lengths
@@ -89,8 +92,7 @@ impl StackOverflowConfig {
             .map(|i| {
                 let raw = rng.bounded_pareto(64, self.max_post_chars, 1.25) as f64;
                 let raw_mean = bounded_pareto_mean(64.0, self.max_post_chars as f64, 1.25);
-                let body_chars = ((raw * mean / raw_mean) as u64)
-                    .clamp(64, self.max_post_chars);
+                let body_chars = ((raw * mean / raw_mean) as u64).clamp(64, self.max_post_chars);
                 Post {
                     id: first + i,
                     body_chars,
@@ -104,7 +106,8 @@ impl StackOverflowConfig {
 
 fn bounded_pareto_mean(l: f64, h: f64, a: f64) -> f64 {
     let la = l.powf(a);
-    (la / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+    (la / (1.0 - (l / h).powf(a)))
+        * (a / (a - 1.0))
         * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
 }
 
@@ -125,8 +128,9 @@ mod tests {
         let cfg = StackOverflowConfig::full_dump(2);
         let bs = ByteSize::kib(128);
         assert_eq!(cfg.block(0, bs), cfg.block(0, bs));
-        let total: u64 =
-            (0..cfg.num_blocks(bs)).map(|b| cfg.block(b, bs).len() as u64).sum();
+        let total: u64 = (0..cfg.num_blocks(bs))
+            .map(|b| cfg.block(b, bs).len() as u64)
+            .sum();
         assert_eq!(total, cfg.posts);
     }
 
@@ -159,10 +163,20 @@ mod tests {
 
     #[test]
     fn post_bloat_tracks_body() {
-        let p = Post { id: 1, body_chars: 1000, answers: 2, score: 3 };
+        let p = Post {
+            id: 1,
+            body_chars: 1000,
+            answers: 2,
+            score: 3,
+        };
         assert!(p.heap_bytes() > 2000); // UTF-16 + headers
         assert!(!p.is_hot());
-        let h = Post { id: 2, body_chars: 40_000, answers: 100, score: 9 };
+        let h = Post {
+            id: 2,
+            body_chars: 40_000,
+            answers: 100,
+            score: 9,
+        };
         assert!(h.is_hot());
     }
 }

@@ -175,9 +175,7 @@ impl TpchConfig {
 
     /// Scaled total payload bytes (serialized row sizes).
     pub fn total_bytes(&self) -> ByteSize {
-        ByteSize(
-            self.customers * 120 + self.orders * 96 + self.lineitems * 112,
-        )
+        ByteSize(self.customers * 120 + self.orders * 96 + self.lineitems * 112)
     }
 
     /// A per-row deterministic draw in `[0, bound)`, independent of how
@@ -228,8 +226,9 @@ impl TpchConfig {
     /// Blocks are split-invariant: any chunking yields the same rows.
     #[cfg(test)]
     fn lineitem_chunking_invariant(&self) -> bool {
-        let a: Vec<LineItem> =
-            (0..10).flat_map(|i| self.lineitem_block(i * 7, 7)).collect();
+        let a: Vec<LineItem> = (0..10)
+            .flat_map(|i| self.lineitem_block(i * 7, 7))
+            .collect();
         let b = self.lineitem_block(0, 70);
         a == b
     }
@@ -286,7 +285,11 @@ mod tests {
 
     #[test]
     fn rows_have_java_bloat() {
-        let c = Customer { custkey: 1, nationkey: 2, acctbal: 3 };
+        let c = Customer {
+            custkey: 1,
+            nationkey: 2,
+            acctbal: 3,
+        };
         assert!(c.heap_bytes() > c.ser_bytes());
         let l = LineItem {
             orderkey: 1,

@@ -136,7 +136,10 @@ impl WebmapConfig {
 
     /// Number of blocks at `block_size`.
     pub fn num_blocks(&self, block_size: ByteSize) -> u64 {
-        self.total_bytes.as_u64().div_ceil(block_size.as_u64()).max(1)
+        self.total_bytes
+            .as_u64()
+            .div_ceil(block_size.as_u64())
+            .max(1)
     }
 
     /// Generates block `index` (deterministic in `(seed, index)`).
@@ -159,8 +162,7 @@ impl WebmapConfig {
             .map(|i| {
                 let vertex = first + i;
                 let deg = sample_degree(&mut rng, mean, dmax);
-                let neighbors =
-                    (0..deg).map(|_| rng.below(self.vertices.max(1))).collect();
+                let neighbors = (0..deg).map(|_| rng.below(self.vertices.max(1))).collect();
                 AdjRecord { vertex, neighbors }
             })
             .collect()
@@ -194,7 +196,8 @@ fn sample_degree(rng: &mut DetRng, mean: f64, dmax: u64) -> u64 {
 /// Analytic mean of a bounded Pareto on `[l, h]` with shape `a != 1`.
 fn bounded_pareto_mean(l: f64, h: f64, a: f64) -> f64 {
     let la = l.powf(a);
-    (la / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+    (la / (1.0 - (l / h).powf(a)))
+        * (a / (a - 1.0))
         * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
 }
 
@@ -246,10 +249,18 @@ mod tests {
         let (v, e, bytes) = cfg.exact_stats(ByteSize::kib(128));
         assert_eq!(v, cfg.vertices);
         let edge_err = (e as f64 - cfg.edges as f64).abs() / cfg.edges as f64;
-        assert!(edge_err < 0.25, "edges {e} vs target {} (err {edge_err})", cfg.edges);
+        assert!(
+            edge_err < 0.25,
+            "edges {e} vs target {} (err {edge_err})",
+            cfg.edges
+        );
         let byte_err = (bytes.as_u64() as f64 - cfg.total_bytes.as_u64() as f64).abs()
             / cfg.total_bytes.as_u64() as f64;
-        assert!(byte_err < 0.35, "bytes {bytes} vs {} (err {byte_err})", cfg.total_bytes);
+        assert!(
+            byte_err < 0.35,
+            "bytes {bytes} vs {} (err {byte_err})",
+            cfg.total_bytes
+        );
     }
 
     #[test]
@@ -271,7 +282,10 @@ mod tests {
 
     #[test]
     fn record_bloat_exceeds_text_size() {
-        let rec = AdjRecord { vertex: 1, neighbors: vec![2, 3, 4] };
+        let rec = AdjRecord {
+            vertex: 1,
+            neighbors: vec![2, 3, 4],
+        };
         assert!(rec.heap_bytes() > rec.ser_bytes());
         assert_eq!(rec.ser_bytes(), rec.chars());
     }

@@ -79,7 +79,10 @@ impl WikipediaConfig {
 
     /// Number of blocks at `block_size`.
     pub fn num_blocks(&self, block_size: ByteSize) -> u64 {
-        self.total_bytes.as_u64().div_ceil(block_size.as_u64()).max(1)
+        self.total_bytes
+            .as_u64()
+            .div_ceil(block_size.as_u64())
+            .max(1)
     }
 
     /// Generates block `index` deterministically.
@@ -109,7 +112,12 @@ impl WikipediaConfig {
                     sentence_chars.push(s.max(1));
                     remaining = remaining.saturating_sub(s as u64);
                 }
-                Article { id: first + i, words, sentence_chars, chars }
+                Article {
+                    id: first + i,
+                    words,
+                    sentence_chars,
+                    chars,
+                }
             })
             .collect()
     }
@@ -134,8 +142,9 @@ mod tests {
         let cfg = WikipediaConfig::sample(2);
         let bs = ByteSize::kib(128);
         assert_eq!(cfg.block(0, bs), cfg.block(0, bs));
-        let total: u64 =
-            (0..cfg.num_blocks(bs)).map(|b| cfg.block(b, bs).len() as u64).sum();
+        let total: u64 = (0..cfg.num_blocks(bs))
+            .map(|b| cfg.block(b, bs).len() as u64)
+            .sum();
         assert_eq!(total, cfg.articles);
     }
 

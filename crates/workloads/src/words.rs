@@ -13,7 +13,9 @@ impl WordDist {
     /// Builds a vocabulary of `vocab` words with Zipf exponent `s`
     /// (natural text is ≈ 1.0).
     pub fn new(vocab: usize, s: f64) -> Self {
-        WordDist { table: ZipfTable::new(vocab, s) }
+        WordDist {
+            table: ZipfTable::new(vocab, s),
+        }
     }
 
     /// Vocabulary size.

@@ -14,16 +14,17 @@ use workloads::tpch::{LineItem, TpchConfig, TpchScale};
 fn main() {
     let params = HyracksParams::default(); // 10 nodes x 12GB heaps
     let cfg = TpchConfig::preset(TpchScale::X100, params.seed);
-    println!("declarative query: TPC-H lineitem, {} rows (≙ 99.8GB)", cfg.lineitems);
+    println!(
+        "declarative query: TPC-H lineitem, {} rows (≙ 99.8GB)",
+        cfg.lineitems
+    );
 
     // The whole program: a logical plan. No interrupt code anywhere.
     // `collect` materializes each group before reducing it — the
     // memory-hungry collect-then-aggregate shape that kills the regular
     // GR at this scale (Figure 9e).
     let mut q = Query::<LineItem>::named("revenue_by_order")
-        .flat_map(|li, out| {
-            out.push((li.orderkey, li.extendedprice as u64 * li.quantity as u64))
-        })
+        .flat_map(|li, out| out.push((li.orderkey, li.extendedprice as u64 * li.quantity as u64)))
         .collect(|vals| vals.iter().sum());
     // Model each collected value as a full Java row object (as GR does).
     q.item_bytes = 150;
@@ -51,8 +52,7 @@ fn main() {
     );
     println!(
         "  pressure:    {} interrupts, {} partitions serialized, peak heap {}",
-        run.report.counter("itask.interrupts")
-            + run.report.counter("itask.emergency_interrupts"),
+        run.report.counter("itask.interrupts") + run.report.counter("itask.emergency_interrupts"),
         run.report.counter("itask.serializations"),
         run.peak_heap(),
     );

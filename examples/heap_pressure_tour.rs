@@ -44,7 +44,11 @@ fn main() {
     let mut minors = 0;
     for _ in 0..200 {
         let out = heap.alloc(frames, ByteSize::kib(64), now).unwrap();
-        minors += out.pauses.iter().filter(|p| p.kind == GcKind::Minor).count();
+        minors += out
+            .pauses
+            .iter()
+            .filter(|p| p.kind == GcKind::Minor)
+            .count();
         heap.free(frames, ByteSize::kib(64));
     }
     show(&heap, &format!("12.5MiB churned, {minors} minor GCs"));
@@ -73,7 +77,10 @@ fn main() {
         rec.pause,
         rec.useless
     );
-    assert!(rec.useless, "a full GC that frees <10% of the heap is a LUGC");
+    assert!(
+        rec.useless,
+        "a full GC that frees <10% of the heap is a LUGC"
+    );
     show(&heap, "live set ~= capacity");
 
     // 6. And finally the OME.

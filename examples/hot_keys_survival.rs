@@ -16,7 +16,12 @@ fn main() {
     let cfg = StackOverflowConfig::full_dump(seed);
     let splits = stackoverflow_splits(seed);
     let hot: usize = splits.iter().flatten().filter(|p| p.is_hot()).count();
-    let longest = splits.iter().flatten().map(|p| p.body_chars).max().unwrap_or(0);
+    let longest = splits
+        .iter()
+        .flatten()
+        .map(|p| p.body_chars)
+        .max()
+        .unwrap_or(0);
 
     println!("hot keys: map-side aggregation (MSA) over the StackOverflow dump");
     println!(
@@ -48,8 +53,14 @@ fn main() {
 
     // ITask under the ORIGINAL configuration: no tuning, survives.
     let itime = msa::run_itask(seed);
-    assert!(itime.ok(), "the ITask version survives the original configuration");
-    assert!(msa::verify(itime.result.as_ref().unwrap(), seed), "output is complete");
+    assert!(
+        itime.ok(),
+        "the ITask version survives the original configuration"
+    );
+    assert!(
+        msa::verify(itime.result.as_ref().unwrap(), seed),
+        "output is complete"
+    );
     println!(
         "  ITask    : completed in {:.0}s under the ORIGINAL configuration",
         itime.elapsed().as_secs_f64() * SCALE as f64

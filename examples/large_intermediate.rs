@@ -24,7 +24,12 @@ fn main() {
     );
 
     let params = HyracksParams::default();
-    for size in [WebmapSize::G3, WebmapSize::G10, WebmapSize::G14, WebmapSize::G27] {
+    for size in [
+        WebmapSize::G3,
+        WebmapSize::G10,
+        WebmapSize::G14,
+        WebmapSize::G27,
+    ] {
         let reg = ii::run_regular(size, &params);
         let it = ii::run_itask(size, &params);
         let show = |ok: bool, secs: f64| {
@@ -48,14 +53,8 @@ fn main() {
         );
     }
 
-    println!(
-        "\n  The regular version hits the paper's wall above 3GB; the ITask"
-    );
-    println!(
-        "  version keeps going by interrupting index builders, tagging their"
-    );
-    println!(
-        "  partial postings for the merge MITask, and letting the partition"
-    );
+    println!("\n  The regular version hits the paper's wall above 3GB; the ITask");
+    println!("  version keeps going by interrupting index builders, tagging their");
+    println!("  partial postings for the merge MITask, and letting the partition");
     println!("  manager push parked partials to disk.");
 }

@@ -95,19 +95,22 @@ fn main() {
     let handle = irs.handle();
     for chunk in words.chunks(2_000) {
         let items: Vec<Word> = chunk.iter().map(|&w| Word(w)).collect();
-        offer_serialized(&handle, sim.node_mut(), count, Tag(0), items)
-            .expect("offering input");
+        offer_serialized(&handle, sim.node_mut(), count, Tag(0), items).expect("offering input");
     }
 
     // Run to completion under IRS control.
-    irs.run_to_idle(&mut sim).expect("the ITask run survives the pressure");
+    irs.run_to_idle(&mut sim)
+        .expect("the ITask run survives the pressure");
 
     // Merge the (possibly many) partial outputs.
     let mut totals: BTreeMap<u32, u64> = BTreeMap::new();
     let outputs = irs.take_final_outputs();
     let n_outputs = outputs.len();
     for out in outputs {
-        let m = out.data.downcast::<BTreeMap<u32, u64>>().expect("count map");
+        let m = out
+            .data
+            .downcast::<BTreeMap<u32, u64>>()
+            .expect("count map");
         for (w, c) in m.into_iter() {
             *totals.entry(w).or_insert(0) += c;
         }
@@ -119,7 +122,11 @@ fn main() {
     let node = sim.node();
     println!("quickstart: interruptible word count under memory pressure");
     println!("  input:        60000 words (~2.7MiB object form) vs a 640KiB heap");
-    println!("  result:       {} distinct words, {} occurrences", totals.len(), total);
+    println!(
+        "  result:       {} distinct words, {} occurrences",
+        totals.len(),
+        total
+    );
     println!("  outputs:      {n_outputs} partial result batches pushed out");
     println!(
         "  interrupts:   {} cooperative + {} emergency",

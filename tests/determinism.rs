@@ -19,10 +19,7 @@ fn regular_runs_replay_exactly() {
     let b = wc::run_regular(WebmapSize::G3, &p);
     assert_eq!(a.report.elapsed, b.report.elapsed);
     assert_eq!(a.peak_heap(), b.peak_heap());
-    assert_eq!(
-        a.report.critical_path_gc(),
-        b.report.critical_path_gc()
-    );
+    assert_eq!(a.report.critical_path_gc(), b.report.critical_path_gc());
     assert_eq!(kv_sorted(a.result.unwrap()), kv_sorted(b.result.unwrap()));
 }
 
@@ -47,6 +44,36 @@ fn itask_runs_replay_exactly_even_under_pressure() {
 }
 
 #[test]
+fn chaos_runs_replay_exactly() {
+    use itask_repro::sim::core::{FaultPlan, NodeId, SimTime};
+    // Same seed + same fault plan → bit-identical job report: elapsed,
+    // every counter (including the injected-fault and recovery ones)
+    // and the results themselves.
+    let plan = FaultPlan::new(13)
+        .with_disk_transients(25)
+        .with_corruption(10)
+        .with_crash(NodeId(2), SimTime::from_nanos(2_000_000));
+    let p = HyracksParams {
+        heap_per_node: ByteSize::mib(16),
+        fault_plan: Some(plan),
+        ..HyracksParams::default()
+    };
+    let a = wc::run_itask(WebmapSize::G3, &p);
+    let b = wc::run_itask(WebmapSize::G3, &p);
+    assert_eq!(a.report.elapsed, b.report.elapsed);
+    assert_eq!(a.report.counters, b.report.counters);
+    assert!(
+        a.report.counter("faults_crashes") >= 1.0,
+        "the plan must actually bite"
+    );
+    match (a.result, b.result) {
+        (Ok(x), Ok(y)) => assert_eq!(kv_sorted(x), kv_sorted(y)),
+        (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string()),
+        _ => panic!("divergent outcomes under identical seed + plan"),
+    }
+}
+
+#[test]
 fn different_seeds_produce_different_datasets_but_same_shape() {
     let a = WebmapConfig::preset(WebmapSize::G3, 1);
     let b = WebmapConfig::preset(WebmapSize::G3, 2);
@@ -64,8 +91,14 @@ fn different_seeds_produce_different_datasets_but_same_shape() {
 
 #[test]
 fn seed_changes_propagate_to_results() {
-    let p1 = HyracksParams { seed: 1, ..HyracksParams::default() };
-    let p2 = HyracksParams { seed: 2, ..HyracksParams::default() };
+    let p1 = HyracksParams {
+        seed: 1,
+        ..HyracksParams::default()
+    };
+    let p2 = HyracksParams {
+        seed: 2,
+        ..HyracksParams::default()
+    };
     let a = wc::run_regular(WebmapSize::G3, &p1);
     let b = wc::run_regular(WebmapSize::G3, &p2);
     assert_ne!(

@@ -1,8 +1,8 @@
 //! Workspace-level integration tests: the paper's headline behaviours,
 //! exercised through the public umbrella API across all crates at once.
 
-use itask_repro::apps::hyracks_apps::{gr, hj, wc, HyracksParams};
 use itask_repro::apps::hadoop_apps::{crp, msa};
+use itask_repro::apps::hyracks_apps::{gr, hj, wc, HyracksParams};
 use itask_repro::sim::core::{ByteSize, SCALE};
 use itask_repro::workloads::tpch::TpchScale;
 use itask_repro::workloads::webmap::WebmapSize;
@@ -15,13 +15,19 @@ fn itask_survives_where_every_regular_config_fails() {
     let size = WebmapSize::G27;
     let mut regular_failures = 0;
     for threads in [2, 8] {
-        let p = HyracksParams { threads, ..HyracksParams::default() };
+        let p = HyracksParams {
+            threads,
+            ..HyracksParams::default()
+        };
         let run = wc::run_regular(size, &p);
         if run.is_oom() {
             regular_failures += 1;
         }
     }
-    assert!(regular_failures > 0, "27GB WC must pressure the regular version");
+    assert!(
+        regular_failures > 0,
+        "27GB WC must pressure the regular version"
+    );
 
     let p = HyracksParams::default();
     let it = wc::run_itask(size, &p);
@@ -31,7 +37,10 @@ fn itask_survives_where_every_regular_config_fails() {
     let pressure_actions = it.report.counter("itask.interrupts")
         + it.report.counter("itask.emergency_interrupts")
         + it.report.counter("itask.serializations");
-    assert!(pressure_actions > 0.0, "pressure handling must have engaged");
+    assert!(
+        pressure_actions > 0.0,
+        "pressure handling must have engaged"
+    );
 }
 
 /// Headline claim (Hadoop, §6.1): the reported configuration crashes
@@ -42,7 +51,10 @@ fn table1_shape_for_msa() {
     let seed = 42;
     let (ctime, attempts) = msa::run_ctime(seed);
     assert!(!ctime.ok(), "the Table 1 configuration must crash");
-    assert!(attempts > 100, "the crash must burn the retry budget: {attempts}");
+    assert!(
+        attempts > 100,
+        "the crash must burn the retry budget: {attempts}"
+    );
 
     let (ptime, _) = msa::run_tuned(seed);
     assert!(ptime.ok(), "the recommended fix completes");
@@ -82,7 +94,11 @@ fn itask_degrades_gracefully_under_smaller_heaps() {
         };
         let run = wc::run_itask(WebmapSize::G10, &p);
         assert!(run.ok(), "ITask WC must survive a {heap_mib}MiB heap");
-        assert!(wc::verify(run.result.as_ref().unwrap(), WebmapSize::G10, p.seed));
+        assert!(wc::verify(
+            run.result.as_ref().unwrap(),
+            WebmapSize::G10,
+            p.seed
+        ));
         assert!(
             run.peak_heap() <= ByteSize::mib(heap_mib),
             "peak within capacity"
@@ -99,14 +115,25 @@ fn itask_degrades_gracefully_under_smaller_heaps() {
 fn hj_itask_scales_to_600x() {
     let p = HyracksParams::default();
     let run = hj::run_itask(TpchScale::X600, &p);
-    assert!(run.ok(), "HJ ITask must scale to 600x: {:?}", run.result.err());
-    assert!(hj::verify(run.result.as_ref().unwrap(), TpchScale::X600, p.seed));
+    assert!(
+        run.ok(),
+        "HJ ITask must scale to 600x: {:?}",
+        run.result.err()
+    );
+    assert!(hj::verify(
+        run.result.as_ref().unwrap(),
+        TpchScale::X600,
+        p.seed
+    ));
 }
 
 /// Regular and ITask versions agree bit-for-bit on outputs (GR).
 #[test]
 fn engines_agree_on_group_by_results() {
-    let p = HyracksParams { heap_per_node: ByteSize::mib(64), ..HyracksParams::default() };
+    let p = HyracksParams {
+        heap_per_node: ByteSize::mib(64),
+        ..HyracksParams::default()
+    };
     let reg = gr::run_regular(TpchScale::X10, &p);
     let it = gr::run_itask(TpchScale::X10, &p);
     let mut a = reg.result.unwrap();

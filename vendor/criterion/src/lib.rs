@@ -1,0 +1,108 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the tiny subset its benches use: `Criterion::bench_function`,
+//! `benchmark_group` (with `sample_size` and `finish`), `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark
+//! runs a short warmup then a fixed sample count and prints the mean
+//! iteration time — honest numbers, none of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `inner` over the sample iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        // Warmup round, untimed.
+        black_box(inner());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(inner());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.sample_size, total: Duration::ZERO };
+        f(&mut b);
+        let mean = b.total.checked_div(b.iters as u32).unwrap_or(Duration::ZERO);
+        println!("bench {id:<40} {mean:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), sample_size: None }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the group's iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let iters = self.sample_size.unwrap_or(self.parent.sample_size);
+        let mut b = Bencher { iters, total: Duration::ZERO };
+        f(&mut b);
+        let mean = b.total.checked_div(b.iters as u32).unwrap_or(Duration::ZERO);
+        println!("bench {}/{:<32} {mean:>12.2?}/iter ({iters} iters)", self.name, id);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` as running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
