@@ -76,17 +76,43 @@ pub trait AggSpec: Clone + 'static {
     }
 }
 
+/// Cheap deterministic hasher for the u64 aggregation keys: one
+/// Fibonacci multiply instead of SipHash on the per-tuple fold path.
+/// Order sensitivity is confined to [`AggState::drain`], which sorts.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; the key path below is `write_u64`.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, k: u64) {
+        let h = k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type KeyMap<M> = std::collections::HashMap<u64, M, std::hash::BuildHasherDefault<KeyHasher>>;
+
 /// The shared fold: a key → accumulator map with byte-accurate
 /// allocation callbacks.
 pub struct AggState<M: MergeableTuple> {
-    map: BTreeMap<u64, M>,
+    map: KeyMap<M>,
 }
 
 impl<M: MergeableTuple> AggState<M> {
     /// Empty state.
     pub fn new() -> Self {
         AggState {
-            map: BTreeMap::new(),
+            map: KeyMap::default(),
         }
     }
 
@@ -98,7 +124,7 @@ impl<M: MergeableTuple> AggState<M> {
     /// Folds one tuple in; `charge` receives the byte delta (positive:
     /// allocate, negative: free).
     pub fn add(&mut self, item: M, charge: &mut dyn FnMut(i64) -> SimResult<()>) -> SimResult<()> {
-        use std::collections::btree_map::Entry;
+        use std::collections::hash_map::Entry;
         match self.map.entry(item.key()) {
             Entry::Vacant(v) => {
                 charge(item.heap_bytes() as i64)?;
@@ -114,9 +140,13 @@ impl<M: MergeableTuple> AggState<M> {
         Ok(())
     }
 
-    /// Drains the accumulated tuples in key order.
+    /// Drains the accumulated tuples in key order (the sort restores
+    /// the order the previous BTreeMap-backed state emitted in — this
+    /// is the only place map order is observable).
     pub fn drain(&mut self) -> Vec<M> {
-        std::mem::take(&mut self.map).into_values().collect()
+        let mut items: Vec<(u64, M)> = self.map.drain().collect();
+        items.sort_unstable_by_key(|(k, _)| *k);
+        items.into_iter().map(|(_, v)| v).collect()
     }
 }
 

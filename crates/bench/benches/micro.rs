@@ -7,9 +7,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use apps::hyracks_apps::{wc, HyracksParams};
-use itask_core::{offer_serialized, Irs, IrsConfig, Scale, Tag, TaskGraph};
+use itask_core::queue::PartitionQueue;
+use itask_core::{offer_serialized, Irs, IrsConfig, Scale, Tag, TaskGraph, Tuple, VecPartition};
 use simcluster::{NodeSim, NodeState};
-use simcore::{ByteSize, NodeId, SimTime};
+use simcore::{ByteSize, EventLog, NodeId, PartitionId, SimTime, SpaceId, TaskId};
 use simmem::{Heap, HeapConfig};
 use workloads::webmap::WebmapSize;
 
@@ -28,6 +29,86 @@ fn bench_heap(c: &mut Criterion) {
         let s = heap.create_space("bench");
         heap.alloc(s, ByteSize::mib(1), SimTime::ZERO).unwrap();
         b.iter(|| black_box(heap.force_full_gc(SimTime::ZERO)));
+    });
+}
+
+struct Blob(u64);
+
+impl Tuple for Blob {
+    fn heap_bytes(&self) -> u64 {
+        self.0
+    }
+}
+
+fn queue_part(id: u32, task: u32, tag: u64) -> itask_core::PartitionBox {
+    let items: Vec<Blob> = (0..4).map(|_| Blob(128)).collect();
+    Box::new(VecPartition::new(
+        PartitionId(id),
+        TaskId(task),
+        Tag(tag),
+        items,
+        SpaceId(id),
+    ))
+}
+
+fn bench_queue(c: &mut Criterion) {
+    // The scheduler's per-quantum pattern: push a batch, scan one task's
+    // metadata, then drain it group by group.
+    c.bench_function("queue/push_scan_take_512", |b| {
+        b.iter(|| {
+            let mut q = PartitionQueue::new();
+            for i in 0..512u32 {
+                q.push(queue_part(i, (i % 8) / 4, (i % 4) as u64));
+            }
+            let picked = q
+                .metas_for(TaskId(0))
+                .min_by_key(|m| (!m.in_memory(), m.id))
+                .map(|m| m.id);
+            black_box(q.take(picked.unwrap()));
+            for tag in 0..4u64 {
+                black_box(q.take_group(TaskId(0), Tag(tag)).len());
+                black_box(q.take_group(TaskId(1), Tag(tag)).len());
+            }
+            black_box(q.len());
+        });
+    });
+
+    // Point removals interleaved with pushes (tombstone + compaction
+    // path).
+    c.bench_function("queue/interleaved_take_by_id_512", |b| {
+        b.iter(|| {
+            let mut q = PartitionQueue::new();
+            for i in 0..512u32 {
+                q.push(queue_part(i, 1, 0));
+                if i % 2 == 1 {
+                    black_box(q.take(PartitionId(i - 1)));
+                }
+            }
+            black_box(q.len());
+        });
+    });
+}
+
+fn bench_event_log(c: &mut Criterion) {
+    // A fig3-style trace: a handful of series, many appends each.
+    c.bench_function("log/record_8_series_4k_samples", |b| {
+        b.iter(|| {
+            let mut log = EventLog::new();
+            for i in 0..4096u64 {
+                let name = match i % 8 {
+                    0 => "heap.used",
+                    1 => "heap.live",
+                    2 => "gc.pause",
+                    3 => "queue.len",
+                    4 => "ser.bytes",
+                    5 => "deser.bytes",
+                    6 => "throughput",
+                    _ => "tasks.active",
+                };
+                log.record(name, SimTime::from_nanos(i * 1_000_000), i as f64);
+            }
+            black_box(log.all().len());
+        });
     });
 }
 
@@ -120,6 +201,8 @@ fn bench_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_heap,
+    bench_queue,
+    bench_event_log,
     bench_generators,
     bench_irs,
     bench_end_to_end

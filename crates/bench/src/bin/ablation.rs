@@ -2,12 +2,15 @@
 //! baseline (terminate a task and reprocess the partition from scratch)
 //! and (2) random victim selection instead of the priority rules. The
 //! paper reports ITask up to 5x faster than the naïve techniques.
+//!
+//! Usage: `ablation [--jobs N]`.
 
 use std::rc::Rc;
 
 use apps::agg::itask_factories;
 use apps::hyracks_apps::wc::WcSpec;
 use apps::hyracks_apps::HyracksParams;
+use itask_bench::sweep;
 #[allow(unused_imports)]
 use itask_bench::{cols, print_table, Cell};
 use itask_core::{
@@ -61,7 +64,52 @@ fn run_with(
     apps::RunSummary { report, result }
 }
 
+/// The five ablation configurations, in column order.
+const CONFIGS: [(InterruptMode, VictimPolicy, SerializeMode, u8, &str); 5] = [
+    (
+        InterruptMode::Cooperative,
+        VictimPolicy::Rules,
+        SerializeMode::Disk,
+        40,
+        "full",
+    ),
+    (
+        InterruptMode::KillRestart,
+        VictimPolicy::Rules,
+        SerializeMode::Disk,
+        40,
+        "kill",
+    ),
+    (
+        InterruptMode::Cooperative,
+        VictimPolicy::Random,
+        SerializeMode::Disk,
+        40,
+        "random",
+    ),
+    (
+        InterruptMode::Cooperative,
+        VictimPolicy::Rules,
+        SerializeMode::MemoryBytes,
+        40,
+        "membytes",
+    ),
+    // The paper's literal pseudocode serializes only down to M%:
+    // no proactive hover, no write-behind headroom.
+    (
+        InterruptMode::Cooperative,
+        VictimPolicy::Rules,
+        SerializeMode::Disk,
+        10,
+        "lazy",
+    ),
+];
+
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
+    let mut log = sweep::SweepLog::new("ablation", jobs);
+
     let sizes = [
         (WebmapSize::G10, 3u64),
         (WebmapSize::G14, 4),
@@ -77,50 +125,28 @@ fn main() {
         "vs kill",
         "vs random",
     ]);
+
+    // 3 datasets × 5 configurations, all independent.
+    let mut specs: Vec<sweep::RunSpec<Cell>> = Vec::new();
+    for (size, heap) in sizes {
+        for (mode, policy, ser, hover, key) in CONFIGS {
+            specs.push(sweep::spec(
+                format!("ablation {} {key}", size.label()),
+                move || Cell::from_summary(&run_with(size, heap, mode, policy, ser, hover)),
+            ));
+        }
+    }
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let mut cells = out.into_iter().map(|o| o.result);
+
     let mut rows = Vec::new();
     for (size, heap) in sizes {
-        let full = Cell::from_summary(&run_with(
-            size,
-            heap,
-            InterruptMode::Cooperative,
-            VictimPolicy::Rules,
-            SerializeMode::Disk,
-            40,
-        ));
-        let kill = Cell::from_summary(&run_with(
-            size,
-            heap,
-            InterruptMode::KillRestart,
-            VictimPolicy::Rules,
-            SerializeMode::Disk,
-            40,
-        ));
-        let random = Cell::from_summary(&run_with(
-            size,
-            heap,
-            InterruptMode::Cooperative,
-            VictimPolicy::Random,
-            SerializeMode::Disk,
-            40,
-        ));
-        let membytes = Cell::from_summary(&run_with(
-            size,
-            heap,
-            InterruptMode::Cooperative,
-            VictimPolicy::Rules,
-            SerializeMode::MemoryBytes,
-            40,
-        ));
-        // The paper's literal pseudocode serializes only down to M%:
-        // no proactive hover, no write-behind headroom.
-        let lazy = Cell::from_summary(&run_with(
-            size,
-            heap,
-            InterruptMode::Cooperative,
-            VictimPolicy::Rules,
-            SerializeMode::Disk,
-            10,
-        ));
+        let full = cells.next().expect("full cell");
+        let kill = cells.next().expect("kill cell");
+        let random = cells.next().expect("random cell");
+        let membytes = cells.next().expect("membytes cell");
+        let lazy = cells.next().expect("lazy cell");
         let speed = |other: &Cell| {
             if full.ok && other.ok {
                 format!(
@@ -150,4 +176,5 @@ fn main() {
         &header,
         &rows,
     );
+    log.finish();
 }

@@ -6,11 +6,13 @@
 //! every schedule with results identical to its fault-free run (checked
 //! here against the recovery counters) at a bounded overhead.
 //!
-//! Usage: `faults [--wc-only|--ii-only]`. Output is deterministic: all
-//! virtual time, seeded workloads, seeded fault schedules.
+//! Usage: `faults [--jobs N] [--wc-only|--ii-only]`. Output is
+//! deterministic: all virtual time, seeded workloads, seeded fault
+//! schedules.
 
 use apps::hyracks_apps::{ii, wc, HyracksParams};
 use apps::RunSummary;
+use itask_bench::sweep::{self, SweepLog};
 use itask_bench::{cols, print_table};
 use simcore::{ByteSize, FaultPlan, NodeId, SimDuration, SimTime};
 use workloads::webmap::WebmapSize;
@@ -101,13 +103,32 @@ fn recovery_cell<T>(s: &RunSummary<T>) -> String {
     )
 }
 
-fn ablate<T: Ord + std::fmt::Debug>(
+fn ablate<T: Ord + std::fmt::Debug + Send>(
+    jobs: usize,
+    log: &mut SweepLog,
+    key: &str,
     name: &str,
-    run_regular: impl Fn(&HyracksParams) -> RunSummary<T>,
-    run_itask: impl Fn(&HyracksParams) -> RunSummary<T>,
+    run_regular: impl Fn(&HyracksParams) -> RunSummary<T> + Sync,
+    run_itask: impl Fn(&HyracksParams) -> RunSummary<T> + Sync,
 ) {
-    let clean_reg = run_regular(&params());
-    let clean_it = run_itask(&params());
+    // Phase 1: the fault-free runs. The schedules depend on their
+    // elapsed times (the crash lands mid-run), so this is a barrier.
+    let (run_regular, run_itask) = (&run_regular, &run_itask);
+    let clean = sweep::run_all(
+        jobs,
+        vec![
+            sweep::spec(format!("faults {key} clean reg"), move || {
+                run_regular(&params())
+            }),
+            sweep::spec(format!("faults {key} clean itask"), move || {
+                run_itask(&params())
+            }),
+        ],
+    );
+    log.absorb(&clean);
+    let mut clean = clean.into_iter().map(|o| o.result);
+    let clean_reg = clean.next().expect("clean regular run");
+    let clean_it = clean.next().expect("clean itask run");
     let reg_secs = clean_reg.paper_seconds();
     let it_secs = clean_it.paper_seconds();
     let mut clean_out = clean_it.result.expect("fault-free ITask run must complete");
@@ -123,12 +144,35 @@ fn ablate<T: Ord + std::fmt::Debug>(
             / 2,
     );
 
-    let mut rows = Vec::new();
+    // Phase 2: every (schedule, engine) run is independent.
+    let mut specs: Vec<sweep::RunSpec<RunSummary<T>>> = Vec::new();
     for (label, plan) in schedules(mid) {
-        let mut p = params();
-        p.fault_plan = Some(plan);
-        let reg = run_regular(&p);
-        let it = run_itask(&p);
+        let reg_plan = plan.clone();
+        specs.push(sweep::spec(
+            format!("faults {key} {label} reg"),
+            move || {
+                let mut p = params();
+                p.fault_plan = Some(reg_plan);
+                run_regular(&p)
+            },
+        ));
+        specs.push(sweep::spec(
+            format!("faults {key} {label} itask"),
+            move || {
+                let mut p = params();
+                p.fault_plan = Some(plan);
+                run_itask(&p)
+            },
+        ));
+    }
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let mut runs = out.into_iter().map(|o| o.result);
+
+    let mut rows = Vec::new();
+    for (label, _) in schedules(mid) {
+        let reg = runs.next().expect("regular schedule run");
+        let it = runs.next().expect("itask schedule run");
         let identical = match &it.result {
             Ok(out) => {
                 let mut out = out.iter().collect::<Vec<_>>();
@@ -165,11 +209,16 @@ fn ablate<T: Ord + std::fmt::Debug>(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
     let wc_only = args.iter().any(|a| a == "--wc-only");
     let ii_only = args.iter().any(|a| a == "--ii-only");
+    let mut log = SweepLog::new("faults", jobs);
     if !ii_only {
         ablate(
+            jobs,
+            &mut log,
+            "wc",
             "WC",
             |p| wc::run_regular(SIZE, p),
             |p| wc::run_itask(SIZE, p),
@@ -177,9 +226,13 @@ fn main() {
     }
     if !wc_only {
         ablate(
+            jobs,
+            &mut log,
+            "ii",
             "II",
             |p| ii::run_regular(SIZE, p),
             |p| ii::run_itask(SIZE, p),
         );
     }
+    log.finish();
 }

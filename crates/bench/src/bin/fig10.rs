@@ -6,10 +6,10 @@
 //! sweep thread counts and take the fastest *successful* run (OME runs
 //! are reported as failures, as Figure 10 greys them out).
 //!
-//! Usage: `fig10 [program ...]`, programs ∈ {wc, hs, ii, hj, gr}.
+//! Usage: `fig10 [--jobs N] [program ...]`, programs ∈ {wc, hs, ii, hj, gr}.
 
 use apps::hyracks_apps::{gr, hj, hs, ii, wc, HyracksParams};
-use apps::RunSummary;
+use itask_bench::sweep::{self, RunSpec, SweepLog};
 use itask_bench::{cell_csv, print_table, write_csv, Cell};
 use workloads::tpch::TpchScale;
 use workloads::webmap::WebmapSize;
@@ -23,11 +23,12 @@ fn params(threads: usize) -> HyracksParams {
     }
 }
 
-/// Best (fastest successful) regular run across thread counts.
-fn best_regular<T>(run: impl Fn(usize) -> RunSummary<T>) -> (Option<usize>, Cell) {
+/// Best (fastest successful) regular run across thread counts, replayed
+/// from the thread-sweep cells in THREADS order.
+fn best_regular(cells: &mut impl Iterator<Item = Cell>) -> (Option<usize>, Cell) {
     let mut best: Option<(usize, Cell)> = None;
     for &t in &THREADS {
-        let cell = Cell::from_summary(&run(t));
+        let cell = cells.next().expect("regular cell");
         if cell.ok {
             match &best {
                 Some((_, b)) if b.ok && b.elapsed <= cell.elapsed => {}
@@ -41,12 +42,11 @@ fn best_regular<T>(run: impl Fn(usize) -> RunSummary<T>) -> (Option<usize>, Cell
     (cell.ok.then_some(t), cell)
 }
 
-fn compare<T>(
+fn render(
     name: &str,
     datasets: &[&str],
     csv: Option<&str>,
-    regular: impl Fn(usize, usize) -> RunSummary<T>,
-    itask: impl Fn(usize) -> RunSummary<T>,
+    cells: &mut impl Iterator<Item = Cell>,
 ) {
     let header: Vec<String> = [
         "dataset",
@@ -61,9 +61,9 @@ fn compare<T>(
     .collect();
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for (d, label) in datasets.iter().enumerate() {
-        let (best_t, reg) = best_regular(|t| regular(d, t));
-        let it = Cell::from_summary(&itask(d));
+    for label in datasets.iter() {
+        let (best_t, reg) = best_regular(cells);
+        let it = cells.next().expect("itask cell");
         rows.push(vec![
             label.to_string(),
             reg.show(),
@@ -106,7 +106,8 @@ fn compare<T>(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
     let csv: Option<String> = args
         .iter()
         .position(|a| a == "--csv")
@@ -138,50 +139,60 @@ fn main() {
     let web_labels: Vec<&str> = webmap.iter().map(|s| s.label()).collect();
     let tpch = TpchScale::TABLE4;
     let tpch_labels: Vec<&str> = tpch.iter().map(|s| s.label()).collect();
+    let mut log = SweepLog::new("fig10", jobs);
 
-    if want("wc") {
-        compare(
-            "WC",
-            &web_labels,
-            csv,
-            |d, t| wc::run_regular(webmap[d], &params(t)),
-            |d| wc::run_itask(webmap[d], &params(8)),
-        );
+    // Per program and dataset: thread sweep then the ITask run, all
+    // independent — one batch.
+    let progs: Vec<&str> = ["wc", "hs", "ii", "hj", "gr"]
+        .into_iter()
+        .filter(|p| want(p))
+        .collect();
+    let mut specs: Vec<RunSpec<Cell>> = Vec::new();
+    for &p in &progs {
+        let labels: &[&str] = match p {
+            "wc" | "hs" | "ii" => &web_labels,
+            _ => &tpch_labels,
+        };
+        for d in 0..labels.len() {
+            for &t in &THREADS {
+                let (webmap, tpch) = (&webmap, &tpch);
+                specs.push(sweep::spec(
+                    format!("fig10 {p} {} reg t{t}", labels[d]),
+                    move || match p {
+                        "wc" => Cell::from_summary(&wc::run_regular(webmap[d], &params(t))),
+                        "hs" => Cell::from_summary(&hs::run_regular(webmap[d], &params(t))),
+                        "ii" => Cell::from_summary(&ii::run_regular(webmap[d], &params(t))),
+                        "hj" => Cell::from_summary(&hj::run_regular(tpch[d], &params(t))),
+                        _ => Cell::from_summary(&gr::run_regular(tpch[d], &params(t))),
+                    },
+                ));
+            }
+            let (webmap, tpch) = (&webmap, &tpch);
+            specs.push(sweep::spec(
+                format!("fig10 {p} {} itask", labels[d]),
+                move || match p {
+                    "wc" => Cell::from_summary(&wc::run_itask(webmap[d], &params(8))),
+                    "hs" => Cell::from_summary(&hs::run_itask(webmap[d], &params(8))),
+                    "ii" => Cell::from_summary(&ii::run_itask(webmap[d], &params(8))),
+                    "hj" => Cell::from_summary(&hj::run_itask(tpch[d], &params(8))),
+                    _ => Cell::from_summary(&gr::run_itask(tpch[d], &params(8))),
+                },
+            ));
+        }
     }
-    if want("hs") {
-        compare(
-            "HS",
-            &web_labels,
-            csv,
-            |d, t| hs::run_regular(webmap[d], &params(t)),
-            |d| hs::run_itask(webmap[d], &params(8)),
-        );
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let mut cells = out.into_iter().map(|o| o.result);
+
+    for &p in &progs {
+        let (name, labels): (&str, &[&str]) = match p {
+            "wc" => ("WC", &web_labels),
+            "hs" => ("HS", &web_labels),
+            "ii" => ("II", &web_labels),
+            "hj" => ("HJ", &tpch_labels),
+            _ => ("GR", &tpch_labels),
+        };
+        render(name, labels, csv, &mut cells);
     }
-    if want("ii") {
-        compare(
-            "II",
-            &web_labels,
-            csv,
-            |d, t| ii::run_regular(webmap[d], &params(t)),
-            |d| ii::run_itask(webmap[d], &params(8)),
-        );
-    }
-    if want("hj") {
-        compare(
-            "HJ",
-            &tpch_labels,
-            csv,
-            |d, t| hj::run_regular(tpch[d], &params(t)),
-            |d| hj::run_itask(tpch[d], &params(8)),
-        );
-    }
-    if want("gr") {
-        compare(
-            "GR",
-            &tpch_labels,
-            csv,
-            |d, t| gr::run_regular(tpch[d], &params(t)),
-            |d| gr::run_itask(tpch[d], &params(8)),
-        );
-    }
+    log.finish();
 }

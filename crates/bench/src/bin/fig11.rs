@@ -1,9 +1,11 @@
 //! Figure 11: (a) WC and (b) II on the 10GB dataset under 12/10/8/6 GB
 //! heaps — regular (8 threads) vs ITask; (c) active ITask instances
 //! over time for WC on the 14GB dataset.
+//!
+//! Usage: `fig11 [--jobs N]`.
 
 use apps::hyracks_apps::{ii, wc, HyracksParams};
-use itask_bench::{print_table, Cell};
+use itask_bench::{print_table, sweep, Cell};
 use simcore::{ByteSize, SCALE};
 use workloads::webmap::WebmapSize;
 
@@ -17,20 +19,19 @@ fn params(heap_mib: u64) -> HyracksParams {
     }
 }
 
-fn heap_sweep<T>(
-    name: &str,
-    regular: impl Fn(&HyracksParams) -> apps::RunSummary<T>,
-    itask: impl Fn(&HyracksParams) -> apps::RunSummary<T>,
-) {
+/// A cell plus, for the fig 11(c) run, the node report carrying the
+/// activity log series.
+type Fig11Res = (Cell, Option<simcluster::JobReport>);
+
+fn render_heap_sweep(name: &str, cells: &mut impl Iterator<Item = Fig11Res>) {
     let header: Vec<String> = ["heap", "regular (8 thr)", "ITask", "peak reg", "peak ITask"]
         .iter()
         .map(|s| s.to_string())
         .collect();
     let mut rows = Vec::new();
     for h in HEAPS_MIB {
-        let p = params(h);
-        let reg = Cell::from_summary(&regular(&p));
-        let it = Cell::from_summary(&itask(&p));
+        let (reg, _) = cells.next().expect("regular cell");
+        let (it, _) = cells.next().expect("itask cell");
         rows.push(vec![
             format!("{}GB", h),
             reg.show(),
@@ -47,28 +48,57 @@ fn heap_sweep<T>(
 }
 
 fn main() {
-    heap_sweep(
-        "(a) WC",
-        |p| wc::run_regular(WebmapSize::G10, p),
-        |p| wc::run_itask(WebmapSize::G10, p),
-    );
-    heap_sweep(
-        "(b) II",
-        |p| ii::run_regular(WebmapSize::G10, p),
-        |p| ii::run_itask(WebmapSize::G10, p),
-    );
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
+    let mut log = sweep::SweepLog::new("fig11", jobs);
+
+    // (a)/(b): 4 heaps × {regular, itask} × {WC, II}; (c): one full run
+    // keeping its report. All independent — one batch.
+    let mut specs: Vec<sweep::RunSpec<Fig11Res>> = Vec::new();
+    for prog in ["wc", "ii"] {
+        for h in HEAPS_MIB {
+            specs.push(sweep::spec(format!("fig11 {prog} {h}GB reg"), move || {
+                let p = params(h);
+                let cell = match prog {
+                    "wc" => Cell::from_summary(&wc::run_regular(WebmapSize::G10, &p)),
+                    _ => Cell::from_summary(&ii::run_regular(WebmapSize::G10, &p)),
+                };
+                (cell, None)
+            }));
+            specs.push(sweep::spec(
+                format!("fig11 {prog} {h}GB itask"),
+                move || {
+                    let p = params(h);
+                    let cell = match prog {
+                        "wc" => Cell::from_summary(&wc::run_itask(WebmapSize::G10, &p)),
+                        _ => Cell::from_summary(&ii::run_itask(WebmapSize::G10, &p)),
+                    };
+                    (cell, None)
+                },
+            ));
+        }
+    }
+    specs.push(sweep::spec("fig11 wc G14 itask (c)", || {
+        let run = wc::run_itask(WebmapSize::G14, &params(12));
+        (Cell::from_summary(&run), Some(run.report))
+    }));
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let mut results = out.into_iter().map(|o| o.result);
+
+    render_heap_sweep("(a) WC", &mut results);
+    render_heap_sweep("(b) II", &mut results);
 
     // (c) Active ITask instances over time, WC on 14GB.
-    let p = params(12);
-    let run = wc::run_itask(WebmapSize::G14, &p);
+    let (cell, report) = results.next().expect("fig11(c) run");
+    let report = report.expect("fig11(c) keeps its report");
     println!("\n=== Figure 11(c): active ITask instances over time (WC, 14GB) ===");
     println!(
         "finished in {:.1} paper-equivalent seconds; {}",
-        run.paper_seconds(),
-        if run.ok() { "completed" } else { "FAILED" }
+        cell.paper_secs(),
+        if cell.ok { "completed" } else { "FAILED" }
     );
-    if let Some(series) = run
-        .report
+    if let Some(series) = report
         .nodes
         .first()
         .and_then(|n| n.log.series("active_threads"))
@@ -90,7 +120,7 @@ fn main() {
     }
     // The paper's per-operator decomposition (Map / Reduce / Merge).
     for name in ["active_map", "active_reduce", "active_merge"] {
-        if let Some(series) = run.report.nodes.first().and_then(|n| n.log.series(name)) {
+        if let Some(series) = report.nodes.first().and_then(|n| n.log.series(name)) {
             let pts = series.downsample_max(60);
             let line: String = pts
                 .iter()
@@ -104,4 +134,5 @@ fn main() {
             );
         }
     }
+    log.finish();
 }

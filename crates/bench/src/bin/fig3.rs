@@ -2,9 +2,11 @@
 //! workload that drives the regular execution into an OME. Prints the
 //! node-0 heap-occupancy series (downsampled) for both executions, the
 //! OME point of the regular run, and the ITask run's interrupt count.
+//!
+//! Usage: `fig3 [--jobs N]`.
 
 use apps::hyracks_apps::{wc, HyracksParams};
-use itask_bench::print_table;
+use itask_bench::{print_table, sweep};
 use simcore::{ByteSize, SCALE};
 use workloads::webmap::WebmapSize;
 
@@ -38,7 +40,33 @@ fn sparkline(points: &[(f64, f64)], cap_mib: f64) -> String {
         .collect()
 }
 
+/// Everything a run contributes to the figure, extracted worker-side.
+struct Fig3Run {
+    ok: bool,
+    paper_secs: f64,
+    points: Vec<(f64, f64)>,
+    interrupts: f64,
+    serializations: f64,
+    lugcs: f64,
+}
+
+fn extract<T>(s: &apps::RunSummary<T>) -> Fig3Run {
+    Fig3Run {
+        ok: s.ok(),
+        paper_secs: s.paper_seconds(),
+        points: series(&s.report),
+        interrupts: s.report.counter("itask.interrupts")
+            + s.report.counter("itask.emergency_interrupts"),
+        serializations: s.report.counter("itask.serializations"),
+        lugcs: s.report.counter("monitor.lugcs"),
+    }
+}
+
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
+    let mut log = sweep::SweepLog::new("fig3", jobs);
+
     let size = WebmapSize::G27; // regular WC dies here; ITask survives
     let params = HyracksParams {
         threads: 8,
@@ -55,35 +83,44 @@ fn main() {
         params.heap_per_node
     );
 
-    let regular = wc::run_regular(size, &params);
-    let reg_points = series(&regular.report);
+    let params_ref = &params;
+    let out = sweep::run_all(
+        jobs,
+        vec![
+            sweep::spec("fig3 wc regular", move || {
+                extract(&wc::run_regular(size, params_ref))
+            }),
+            sweep::spec("fig3 wc itask", move || {
+                extract(&wc::run_itask(size, params_ref))
+            }),
+        ],
+    );
+    log.absorb(&out);
+    let mut it = out.into_iter().map(|o| o.result);
+    let regular = it.next().expect("regular run");
+    let itask = it.next().expect("itask run");
+
     println!(
         "regular ({}): {}",
-        if regular.ok() {
+        if regular.ok {
             "completed".into()
         } else {
-            format!("OME at {:.1}s", regular.paper_seconds())
+            format!("OME at {:.1}s", regular.paper_secs)
         },
-        sparkline(&reg_points, cap_mib)
+        sparkline(&regular.points, cap_mib)
     );
-
-    let itask = wc::run_itask(size, &params);
-    let it_points = series(&itask.report);
     println!(
         "ITask   ({}): {}",
-        if itask.ok() {
-            format!("completed at {:.1}s", itask.paper_seconds())
+        if itask.ok {
+            format!("completed at {:.1}s", itask.paper_secs)
         } else {
             "OME".into()
         },
-        sparkline(&it_points, cap_mib)
+        sparkline(&itask.points, cap_mib)
     );
     println!(
         "\nITask pressure handling: {} interrupts, {} serializations, {} LUGCs observed",
-        itask.report.counter("itask.interrupts")
-            + itask.report.counter("itask.emergency_interrupts"),
-        itask.report.counter("itask.serializations"),
-        itask.report.counter("monitor.lugcs"),
+        itask.interrupts, itask.serializations, itask.lugcs,
     );
 
     // Numeric tail for EXPERIMENTS.md.
@@ -92,11 +129,11 @@ fn main() {
         "regular MiB".to_string(),
         "ITask MiB".to_string(),
     ];
-    let n = reg_points.len().max(it_points.len());
+    let n = regular.points.len().max(itask.points.len());
     let rows: Vec<Vec<String>> = (0..n)
         .map(|i| {
-            let r = reg_points.get(i);
-            let t = it_points.get(i);
+            let r = regular.points.get(i);
+            let t = itask.points.get(i);
             vec![
                 r.or(t).map(|p| format!("{:8.1}", p.0)).unwrap_or_default(),
                 r.map(|p| format!("{:6.2}", p.1)).unwrap_or_default(),
@@ -106,4 +143,5 @@ fn main() {
         .collect();
     print_table("Figure 3 series (downsampled)", &header, &rows);
     let _ = ByteSize::ZERO;
+    log.finish();
 }

@@ -3,10 +3,12 @@
 //! configurations are marked instead of plotted, exactly as the paper
 //! omits them.
 //!
-//! Usage: `fig9 [program ...]` where program ∈ {wc, hs, ii, hj, gr};
-//! default all. `fig9 --quick` restricts to the two smallest datasets.
+//! Usage: `fig9 [--jobs N] [program ...]` where program ∈ {wc, hs, ii,
+//! hj, gr}; default all. `fig9 --quick` restricts to the two smallest
+//! datasets.
 
 use apps::hyracks_apps::{gr, hj, hs, ii, wc, HyracksParams};
+use itask_bench::sweep::{self, RunSpec, SweepLog};
 use itask_bench::{cell_csv, print_table, write_csv, Cell};
 use workloads::tpch::TpchScale;
 use workloads::webmap::WebmapSize;
@@ -20,23 +22,21 @@ fn params(threads: usize) -> HyracksParams {
     }
 }
 
-fn sweep<F, T>(name: &str, datasets: &[&str], quick: bool, csv: Option<&str>, run: F)
-where
-    F: Fn(usize, usize) -> apps::RunSummary<T>,
-{
-    let n_sets = if quick {
-        datasets.len().min(2)
-    } else {
-        datasets.len()
-    };
+fn render(
+    name: &str,
+    datasets: &[&str],
+    n_sets: usize,
+    csv: Option<&str>,
+    cells: &mut impl Iterator<Item = Cell>,
+) {
     let mut header = vec!["dataset".to_string()];
     header.extend(THREADS.iter().map(|t| format!("{t} thr")));
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for (d, label) in datasets.iter().enumerate().take(n_sets) {
+    for label in datasets.iter().take(n_sets) {
         let mut row = vec![label.to_string()];
         for &t in &THREADS {
-            let cell = Cell::from_summary(&run(d, t));
+            let cell = cells.next().expect("grid cell");
             row.push(cell.show());
             let mut rec = vec![label.to_string(), t.to_string()];
             rec.extend(cell_csv(&cell));
@@ -71,7 +71,8 @@ where
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     // `--csv <dir>`: also write one machine-readable file per program.
     let csv: Option<String> = args
@@ -107,30 +108,59 @@ fn main() {
     let web_labels: Vec<&str> = webmap.iter().map(|s| s.label()).collect();
     let tpch = TpchScale::TABLE4;
     let tpch_labels: Vec<&str> = tpch.iter().map(|s| s.label()).collect();
+    let mut log = SweepLog::new("fig9", jobs);
 
-    if want("wc") {
-        sweep("WC (word count)", &web_labels, quick, csv, |d, t| {
-            wc::run_regular(webmap[d], &params(t))
-        });
+    // Every (program, dataset, threads) run is independent: one batch.
+    let progs: Vec<&str> = ["wc", "hs", "ii", "hj", "gr"]
+        .into_iter()
+        .filter(|p| want(p))
+        .collect();
+    let n_for = |p: &str| {
+        let full = match p {
+            "wc" | "hs" | "ii" => web_labels.len(),
+            _ => tpch_labels.len(),
+        };
+        if quick {
+            full.min(2)
+        } else {
+            full
+        }
+    };
+    let mut specs: Vec<RunSpec<Cell>> = Vec::new();
+    for &p in &progs {
+        let labels: &[&str] = match p {
+            "wc" | "hs" | "ii" => &web_labels,
+            _ => &tpch_labels,
+        };
+        for d in 0..n_for(p) {
+            for &t in &THREADS {
+                let (webmap, tpch) = (&webmap, &tpch);
+                specs.push(sweep::spec(
+                    format!("fig9 {p} {} t{t}", labels[d]),
+                    move || match p {
+                        "wc" => Cell::from_summary(&wc::run_regular(webmap[d], &params(t))),
+                        "hs" => Cell::from_summary(&hs::run_regular(webmap[d], &params(t))),
+                        "ii" => Cell::from_summary(&ii::run_regular(webmap[d], &params(t))),
+                        "hj" => Cell::from_summary(&hj::run_regular(tpch[d], &params(t))),
+                        _ => Cell::from_summary(&gr::run_regular(tpch[d], &params(t))),
+                    },
+                ));
+            }
+        }
     }
-    if want("hs") {
-        sweep("HS (heap sort)", &web_labels, quick, csv, |d, t| {
-            hs::run_regular(webmap[d], &params(t))
-        });
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let mut cells = out.into_iter().map(|o| o.result);
+
+    for &p in &progs {
+        let (name, labels): (&str, &[&str]) = match p {
+            "wc" => ("WC (word count)", &web_labels),
+            "hs" => ("HS (heap sort)", &web_labels),
+            "ii" => ("II (inverted index)", &web_labels),
+            "hj" => ("HJ (hash join)", &tpch_labels),
+            _ => ("GR (group by)", &tpch_labels),
+        };
+        render(name, labels, n_for(p), csv, &mut cells);
     }
-    if want("ii") {
-        sweep("II (inverted index)", &web_labels, quick, csv, |d, t| {
-            ii::run_regular(webmap[d], &params(t))
-        });
-    }
-    if want("hj") {
-        sweep("HJ (hash join)", &tpch_labels, quick, csv, |d, t| {
-            hj::run_regular(tpch[d], &params(t))
-        });
-    }
-    if want("gr") {
-        sweep("GR (group by)", &tpch_labels, quick, csv, |d, t| {
-            gr::run_regular(tpch[d], &params(t))
-        });
-    }
+    log.finish();
 }

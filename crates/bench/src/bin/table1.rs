@@ -3,23 +3,15 @@
 //! PTime (the StackOverflow-recommended fix), ITime (the ITask version
 //! under the reported configuration).
 //!
-//! Usage: `table1 [problem ...]`, problems ∈ {msa, imc, iib, wcm, crp}.
+//! Usage: `table1 [--jobs N] [problem ...]`, problems ∈ {msa, imc, iib, wcm, crp}.
 
 use apps::hadoop_apps::{crp, iib, imc, msa, wcm};
 use apps::RunSummary;
+use itask_bench::sweep::{self, RunSpec};
 use itask_bench::{cols, print_table};
 use simcore::SCALE;
 
 const SEED: u64 = 42;
-
-struct ProblemRow {
-    name: &'static str,
-    data: &'static str,
-    config: String,
-    ctime: String,
-    ptime: String,
-    itime: String,
-}
 
 fn secs<T>(s: &RunSummary<T>) -> f64 {
     s.report.elapsed.as_secs_f64() * SCALE as f64
@@ -41,86 +33,96 @@ fn show_ok<T>(s: &RunSummary<T>) -> String {
     }
 }
 
-fn row<T, U, V>(
-    name: &'static str,
-    data: &'static str,
-    cfg: &hadoop::HadoopConfig,
-    ctime: (RunSummary<T>, u32),
-    ptime: (RunSummary<U>, u32),
-    itime: RunSummary<V>,
-) -> ProblemRow {
-    ProblemRow {
-        name,
-        data,
-        config: format!(
-            "MH={}K RH={}K MM={} MR={}",
-            cfg.map_heap.as_u64() / 1024,
-            cfg.reduce_heap.as_u64() / 1024,
-            cfg.max_mappers,
-            cfg.max_reducers
-        ),
-        ctime: show_crash(&ctime.0, ctime.1),
-        ptime: show_ok(&ptime.0),
-        itime: show_ok(&itime),
-    }
+fn config_col(cfg: &hadoop::HadoopConfig) -> String {
+    format!(
+        "MH={}K RH={}K MM={} MR={}",
+        cfg.map_heap.as_u64() / 1024,
+        cfg.reduce_heap.as_u64() / 1024,
+        cfg.max_mappers,
+        cfg.max_reducers
+    )
+}
+
+/// The three timed cells of one problem row, as independent sweep jobs.
+macro_rules! problem_specs {
+    ($specs:ident, $name:expr, $module:ident) => {{
+        $specs.push(sweep::spec(concat!("table1 ", $name, " ctime"), || {
+            let (s, attempts) = $module::run_ctime(SEED);
+            show_crash(&s, attempts)
+        }));
+        $specs.push(sweep::spec(concat!("table1 ", $name, " ptime"), || {
+            let (s, _) = $module::run_tuned(SEED);
+            show_ok(&s)
+        }));
+        $specs.push(sweep::spec(concat!("table1 ", $name, " itime"), || {
+            show_ok(&$module::run_itask(SEED))
+        }));
+    }};
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
     let want = |p: &str| args.is_empty() || args.iter().any(|a| a == p);
-    let mut rows: Vec<ProblemRow> = Vec::new();
+    let mut log = sweep::SweepLog::new("table1", jobs);
 
+    // (Name, Data, Config) in table order; each contributes 3 jobs.
+    let mut meta: Vec<(&str, &str, String)> = Vec::new();
+    let mut specs: Vec<RunSpec<String>> = Vec::new();
     if want("msa") {
-        rows.push(row(
+        meta.push((
             "MSA",
             "StackOverflow FD 29GB",
-            &msa::table1_config(),
-            msa::run_ctime(SEED),
-            msa::run_tuned(SEED),
-            msa::run_itask(SEED),
+            config_col(&msa::table1_config()),
         ));
+        problem_specs!(specs, "MSA", msa);
     }
     if want("imc") {
-        rows.push(row(
+        meta.push((
             "IMC",
             "Wikipedia FD 49GB",
-            &imc::table1_config(),
-            imc::run_ctime(SEED),
-            imc::run_tuned(SEED),
-            imc::run_itask(SEED),
+            config_col(&imc::table1_config()),
         ));
+        problem_specs!(specs, "IMC", imc);
     }
     if want("iib") {
-        rows.push(row(
+        meta.push((
             "IIB",
             "Wikipedia FD 49GB",
-            &iib::table1_config(),
-            iib::run_ctime(SEED),
-            iib::run_tuned(SEED),
-            iib::run_itask(SEED),
+            config_col(&iib::table1_config()),
         ));
+        problem_specs!(specs, "IIB", iib);
     }
     if want("wcm") {
-        rows.push(row(
+        meta.push((
             "WCM",
             "Wikipedia FD 49GB",
-            &wcm::table1_config(),
-            wcm::run_ctime(SEED),
-            wcm::run_tuned(SEED),
-            wcm::run_itask(SEED),
+            config_col(&wcm::table1_config()),
         ));
+        problem_specs!(specs, "WCM", wcm);
     }
     if want("crp") {
-        rows.push(row(
-            "CRP",
-            "Wikipedia SP 5GB",
-            &crp::table1_config(),
-            crp::run_ctime(SEED),
-            crp::run_tuned(SEED),
-            crp::run_itask(SEED),
-        ));
+        meta.push(("CRP", "Wikipedia SP 5GB", config_col(&crp::table1_config())));
+        problem_specs!(specs, "CRP", crp);
     }
 
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let mut cells = out.into_iter().map(|o| o.result);
+
+    let table: Vec<Vec<String>> = meta
+        .into_iter()
+        .map(|(name, data, config)| {
+            vec![
+                name.into(),
+                data.into(),
+                config,
+                cells.next().expect("ctime cell"),
+                cells.next().expect("ptime cell"),
+                cells.next().expect("itime cell"),
+            ]
+        })
+        .collect();
     let header = cols(&[
         "Name",
         "Data",
@@ -129,22 +131,10 @@ fn main() {
         "PTime",
         "ITime",
     ]);
-    let table: Vec<Vec<String>> = rows
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.name.into(),
-                r.data.into(),
-                r.config,
-                r.ctime,
-                r.ptime,
-                r.itime,
-            ]
-        })
-        .collect();
     print_table(
         "Table 1: Hadoop problems — crash / tuned / ITask times",
         &header,
         &table,
     );
+    log.finish();
 }

@@ -2,10 +2,11 @@
 //! Hadoop problems — bytes reclaimed from processed input, final
 //! results, intermediate results, and lazy serialization.
 //!
-//! Usage: `table2 [problem ...]`.
+//! Usage: `table2 [--jobs N] [problem ...]`.
 
 use apps::hadoop_apps::{crp, iib, imc, msa, wcm};
 use apps::RunSummary;
+use itask_bench::sweep::{self, RunSpec};
 use itask_bench::{cols, print_table};
 use simcore::{ByteSize, SCALE};
 
@@ -28,24 +29,41 @@ fn row<T>(name: &str, s: &RunSummary<T>) -> Vec<String> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
     let want = |p: &str| args.is_empty() || args.iter().any(|a| a == p);
-    let mut rows = Vec::new();
+    let mut log = sweep::SweepLog::new("table2", jobs);
+
+    let mut specs: Vec<RunSpec<Vec<String>>> = Vec::new();
     if want("msa") {
-        rows.push(row("MSA", &msa::run_itask(SEED)));
+        specs.push(sweep::spec("table2 MSA itask", || {
+            row("MSA", &msa::run_itask(SEED))
+        }));
     }
     if want("imc") {
-        rows.push(row("IMC", &imc::run_itask(SEED)));
+        specs.push(sweep::spec("table2 IMC itask", || {
+            row("IMC", &imc::run_itask(SEED))
+        }));
     }
     if want("iib") {
-        rows.push(row("IIB", &iib::run_itask(SEED)));
+        specs.push(sweep::spec("table2 IIB itask", || {
+            row("IIB", &iib::run_itask(SEED))
+        }));
     }
     if want("wcm") {
-        rows.push(row("WCM", &wcm::run_itask(SEED)));
+        specs.push(sweep::spec("table2 WCM itask", || {
+            row("WCM", &wcm::run_itask(SEED))
+        }));
     }
     if want("crp") {
-        rows.push(row("CRP", &crp::run_itask(SEED)));
+        specs.push(sweep::spec("table2 CRP itask", || {
+            row("CRP", &crp::run_itask(SEED))
+        }));
     }
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let rows: Vec<Vec<String>> = out.into_iter().map(|o| o.result).collect();
+
     let header = cols(&[
         "Name",
         "Processed Input",
@@ -59,4 +77,5 @@ fn main() {
         &header,
         &rows,
     );
+    log.finish();
 }

@@ -1,10 +1,17 @@
 //! Table 4: the TPC-H datasets — paper-reported row counts vs the
 //! scaled generators.
+//!
+//! Usage: `table4 [--jobs N]`.
 
+use itask_bench::sweep::{self, RunSpec};
 use itask_bench::{cols, print_table};
 use workloads::tpch::{TpchConfig, TpchScale};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
+    let mut log = sweep::SweepLog::new("table4", jobs);
+
     let header = cols(&[
         "scale",
         "paper size",
@@ -17,21 +24,31 @@ fn main() {
         "scaled bytes",
     ]);
     let paper_sizes = ["9.8GB", "19.7GB", "29.7GB", "49.6GB", "99.8GB", "150.4GB"];
-    let mut rows = Vec::new();
-    for (i, scale) in TpchScale::TABLE4.iter().enumerate() {
-        let cfg = TpchConfig::preset(*scale, 42);
-        let (pc, po, pl) = scale.paper_counts();
-        rows.push(vec![
-            scale.label().to_string(),
-            paper_sizes[i].to_string(),
-            format!("{pc:.3e}"),
-            format!("{po:.3e}"),
-            format!("{pl:.3e}"),
-            format!("{}", cfg.customers),
-            format!("{}", cfg.orders),
-            format!("{}", cfg.lineitems),
-            format!("{}", cfg.total_bytes()),
-        ]);
-    }
+    let specs: Vec<RunSpec<Vec<String>>> = TpchScale::TABLE4
+        .iter()
+        .enumerate()
+        .map(|(i, scale)| {
+            let scale = *scale;
+            sweep::spec(format!("table4 {}", scale.label()), move || {
+                let cfg = TpchConfig::preset(scale, 42);
+                let (pc, po, pl) = scale.paper_counts();
+                vec![
+                    scale.label().to_string(),
+                    paper_sizes[i].to_string(),
+                    format!("{pc:.3e}"),
+                    format!("{po:.3e}"),
+                    format!("{pl:.3e}"),
+                    format!("{}", cfg.customers),
+                    format!("{}", cfg.orders),
+                    format!("{}", cfg.lineitems),
+                    format!("{}", cfg.total_bytes()),
+                ]
+            })
+        })
+        .collect();
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let rows: Vec<Vec<String>> = out.into_iter().map(|o| o.result).collect();
     print_table("Table 4: TPC-H inputs (scaled 1/1024)", &header, &rows);
+    log.finish();
 }

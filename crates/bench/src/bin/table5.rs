@@ -2,11 +2,12 @@
 //! the largest dataset each program can process, with the thread count
 //! and task granularity that give the best performance there.
 //!
-//! Usage: `table5 [program ...]`; `--quick` narrows the granularity
-//! sweep to 16/32KB.
+//! Usage: `table5 [--jobs N] [program ...]`; `--quick` narrows the
+//! granularity sweep to 16/32KB.
 
 use apps::hyracks_apps::{gr, hj, hs, ii, wc, HyracksParams};
 use apps::RunSummary;
+use itask_bench::sweep::{self, SweepLog};
 use itask_bench::{cols, print_table};
 use simcore::{ByteSize, SimDuration, SCALE};
 use workloads::tpch::TpchScale;
@@ -25,23 +26,44 @@ fn params(threads: usize, gran_kib: u64) -> HyracksParams {
 
 /// Finds the largest dataset index with any successful (threads, gran)
 /// configuration, plus the best configuration there.
-fn scalability<T>(
+///
+/// Datasets stay sequential (the serial harness stops at the first one
+/// with no viable configuration, and we do no extra work either), but
+/// each dataset's whole (threads × granularity) grid fans out across
+/// the worker pool. Selection replays outcomes in grid order, so the
+/// winner — and the printed row — matches a serial sweep exactly.
+fn scalability<T: Send>(
+    jobs: usize,
+    log: &mut SweepLog,
     name: &str,
     labels: &[&str],
     grans: &[u64],
-    run: impl Fn(usize, usize, u64) -> RunSummary<T>,
+    run: impl Fn(usize, usize, u64) -> RunSummary<T> + Sync,
 ) -> Vec<String> {
     let mut best: Option<(usize, usize, u64, SimDuration)> = None;
-    for d in 0..labels.len() {
+    for (d, label) in labels.iter().enumerate() {
+        let run = &run;
+        let mut specs = Vec::new();
+        for &t in &THREADS {
+            for &g in grans {
+                specs.push(sweep::spec(
+                    format!("table5 {name} {label} t{t} g{g}KiB"),
+                    move || {
+                        let s = run(d, t, g);
+                        (s.ok(), s.report.elapsed)
+                    },
+                ));
+            }
+        }
+        let outcomes = sweep::run_all(jobs, specs);
+        log.absorb(&outcomes);
+        let mut results = outcomes.into_iter().map(|o| o.result);
         let mut best_here: Option<(usize, u64, SimDuration)> = None;
         for &t in &THREADS {
             for &g in grans {
-                let s = run(d, t, g);
-                if s.ok() {
-                    let e = s.report.elapsed;
-                    if best_here.map(|b| e < b.2).unwrap_or(true) {
-                        best_here = Some((t, g, e));
-                    }
+                let (ok, e) = results.next().expect("grid outcome");
+                if ok && best_here.map(|b| e < b.2).unwrap_or(true) {
+                    best_here = Some((t, g, e));
                 }
             }
         }
@@ -69,7 +91,8 @@ fn scalability<T>(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let want = |p: &str| {
         let progs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
@@ -80,6 +103,7 @@ fn main() {
     } else {
         GRANS_KIB.to_vec()
     };
+    let mut log = SweepLog::new("table5", jobs);
 
     let webmap: Vec<WebmapSize> = {
         let mut v = WebmapSize::ALL.to_vec();
@@ -92,29 +116,54 @@ fn main() {
 
     let mut rows = Vec::new();
     if want("wc") {
-        rows.push(scalability("WC", &web_labels, &grans, |d, t, g| {
-            wc::run_regular(webmap[d], &params(t, g))
-        }));
+        rows.push(scalability(
+            jobs,
+            &mut log,
+            "WC",
+            &web_labels,
+            &grans,
+            |d, t, g| wc::run_regular(webmap[d], &params(t, g)),
+        ));
     }
     if want("hs") {
-        rows.push(scalability("HS", &web_labels, &grans, |d, t, g| {
-            hs::run_regular(webmap[d], &params(t, g))
-        }));
+        rows.push(scalability(
+            jobs,
+            &mut log,
+            "HS",
+            &web_labels,
+            &grans,
+            |d, t, g| hs::run_regular(webmap[d], &params(t, g)),
+        ));
     }
     if want("ii") {
-        rows.push(scalability("II", &web_labels, &grans, |d, t, g| {
-            ii::run_regular(webmap[d], &params(t, g))
-        }));
+        rows.push(scalability(
+            jobs,
+            &mut log,
+            "II",
+            &web_labels,
+            &grans,
+            |d, t, g| ii::run_regular(webmap[d], &params(t, g)),
+        ));
     }
     if want("hj") {
-        rows.push(scalability("HJ", &tpch_labels, &grans, |d, t, g| {
-            hj::run_regular(tpch[d], &params(t, g))
-        }));
+        rows.push(scalability(
+            jobs,
+            &mut log,
+            "HJ",
+            &tpch_labels,
+            &grans,
+            |d, t, g| hj::run_regular(tpch[d], &params(t, g)),
+        ));
     }
     if want("gr") {
-        rows.push(scalability("GR", &tpch_labels, &grans, |d, t, g| {
-            gr::run_regular(tpch[d], &params(t, g))
-        }));
+        rows.push(scalability(
+            jobs,
+            &mut log,
+            "GR",
+            &tpch_labels,
+            &grans,
+            |d, t, g| gr::run_regular(tpch[d], &params(t, g)),
+        ));
     }
 
     let header = cols(&[
@@ -129,4 +178,5 @@ fn main() {
         &header,
         &rows,
     );
+    log.finish();
 }

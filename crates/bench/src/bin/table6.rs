@@ -4,11 +4,11 @@
 //! regular versions can process (including the paper's 250x/600x
 //! upper-bound probes for GR/HJ).
 //!
-//! Usage: `table6 [program ...]`; `--quick` limits to 3 datasets.
+//! Usage: `table6 [--jobs N] [program ...]`; `--quick` limits to 3 datasets.
 
 use apps::hyracks_apps::{gr, hj, hs, ii, wc, HyracksParams};
-use apps::RunSummary;
-use itask_bench::{cols, print_table};
+use itask_bench::sweep::{self, RunSpec};
+use itask_bench::{cols, print_table, Cell};
 use workloads::tpch::TpchScale;
 use workloads::webmap::WebmapSize;
 
@@ -31,11 +31,9 @@ struct Summary {
     itask_largest: Option<usize>,
 }
 
-fn summarize<T>(
-    n_sets: usize,
-    regular: impl Fn(usize, usize) -> RunSummary<T>,
-    itask: impl Fn(usize) -> RunSummary<T>,
-) -> Summary {
+/// Replays the serial selection over measured cells: per dataset, the
+/// five regular runs (thread sweep) followed by the ITask run.
+fn summarize(n_sets: usize, cells: &mut impl Iterator<Item = Cell>) -> Summary {
     let mut s = Summary {
         time_wins: 0,
         time_savings: Vec::new(),
@@ -47,40 +45,40 @@ fn summarize<T>(
     };
     for d in 0..n_sets {
         // Regular at its best thread count.
-        let mut best: Option<RunSummary<T>> = None;
-        for &t in &THREADS {
-            let r = regular(d, t);
-            let better = match (&best, r.ok()) {
+        let mut best: Option<Cell> = None;
+        for _ in &THREADS {
+            let r = cells.next().expect("regular cell");
+            let better = match (&best, r.ok) {
                 (None, _) => true,
-                (Some(b), true) => !b.ok() || r.report.elapsed < b.report.elapsed,
-                (Some(b), false) => !b.ok() && r.report.elapsed > b.report.elapsed,
+                (Some(b), true) => !b.ok || r.elapsed < b.elapsed,
+                (Some(b), false) => !b.ok && r.elapsed > b.elapsed,
             };
             if better {
                 best = Some(r);
             }
         }
         let reg = best.expect("ran at least one config");
-        let it = itask(d);
-        if reg.ok() {
+        let it = cells.next().expect("itask cell");
+        if reg.ok {
             s.reg_largest = Some(d);
         }
-        if it.ok() {
+        if it.ok {
             s.itask_largest = Some(d);
         }
-        if it.ok() && (!reg.ok() || it.report.elapsed <= reg.report.elapsed) {
+        if it.ok && (!reg.ok || it.elapsed <= reg.elapsed) {
             s.time_wins += 1;
         }
-        if it.ok() && reg.ok() {
-            let rs = reg.report.elapsed.as_secs_f64();
-            let is = it.report.elapsed.as_secs_f64();
+        if it.ok && reg.ok {
+            let rs = reg.elapsed.as_secs_f64();
+            let is = it.elapsed.as_secs_f64();
             s.time_savings.push((rs - is) / rs);
-            let rp = reg.peak_heap().as_u64() as f64;
-            let ip = it.peak_heap().as_u64() as f64;
+            let rp = reg.peak.as_u64() as f64;
+            let ip = it.peak.as_u64() as f64;
             s.heap_savings.push((rp - ip) / rp);
             if ip <= rp {
                 s.heap_wins += 1;
             }
-        } else if it.ok() {
+        } else if it.ok {
             // Regular failed: ITask wins on memory by surviving.
             s.heap_wins += 1;
         }
@@ -97,7 +95,8 @@ fn mean(v: &[f64]) -> f64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let want = |p: &str| {
         let progs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
@@ -111,10 +110,61 @@ fn main() {
     let tpch = TpchScale::TABLE4;
     let n_web = if quick { 3 } else { webmap.len() };
     let n_tpch = if quick { 3 } else { tpch.len() };
+    let mut log = sweep::SweepLog::new("table6", jobs);
 
     // Paper-scale dataset sizes in GB for the scalability ratio.
     let web_gb = [3.0, 10.0, 14.0, 27.0, 44.0, 72.0];
     let tpch_gb = [9.8, 19.7, 29.7, 49.6, 99.8, 150.4];
+
+    // Every run of every program is independent, so the whole binary is
+    // one batch: per program and dataset, 5 regular runs then the ITask
+    // run, followed by the HJ/GR upper-bound probes.
+    let progs: Vec<&str> = ["wc", "hs", "ii", "hj", "gr"]
+        .into_iter()
+        .filter(|p| want(p))
+        .collect();
+    let mut specs: Vec<RunSpec<Cell>> = Vec::new();
+    for &p in &progs {
+        let (n_sets, labels): (usize, Vec<&str>) = match p {
+            "wc" | "hs" | "ii" => (n_web, webmap.iter().map(|s| s.label()).collect()),
+            _ => (n_tpch, tpch.iter().map(|s| s.label()).collect()),
+        };
+        for d in 0..n_sets {
+            for &t in &THREADS {
+                let label = format!("table6 {p} {} reg t{t}", labels[d]);
+                let (webmap, tpch) = (&webmap, &tpch);
+                specs.push(sweep::spec(label, move || match p {
+                    "wc" => Cell::from_summary(&wc::run_regular(webmap[d], &params(t))),
+                    "hs" => Cell::from_summary(&hs::run_regular(webmap[d], &params(t))),
+                    "ii" => Cell::from_summary(&ii::run_regular(webmap[d], &params(t))),
+                    "hj" => Cell::from_summary(&hj::run_regular(tpch[d], &params(t))),
+                    _ => Cell::from_summary(&gr::run_regular(tpch[d], &params(t))),
+                }));
+            }
+            let label = format!("table6 {p} {} itask", labels[d]);
+            let (webmap, tpch) = (&webmap, &tpch);
+            specs.push(sweep::spec(label, move || match p {
+                "wc" => Cell::from_summary(&wc::run_itask(webmap[d], &params(8))),
+                "hs" => Cell::from_summary(&hs::run_itask(webmap[d], &params(8))),
+                "ii" => Cell::from_summary(&ii::run_itask(webmap[d], &params(8))),
+                "hj" => Cell::from_summary(&hj::run_itask(tpch[d], &params(8))),
+                _ => Cell::from_summary(&gr::run_itask(tpch[d], &params(8))),
+            }));
+        }
+        if p == "hj" {
+            specs.push(sweep::spec("table6 hj probe X600", || {
+                Cell::from_summary(&hj::run_itask(TpchScale::X600, &params(8)))
+            }));
+        }
+        if p == "gr" {
+            specs.push(sweep::spec("table6 gr probe X250", || {
+                Cell::from_summary(&gr::run_itask(TpchScale::X250, &params(8)))
+            }));
+        }
+    }
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let mut cells = out.into_iter().map(|o| o.result);
 
     let mut rows = Vec::new();
     let mut add = |name: &str, s: Summary, sizes: &[f64], itask_cap_gb: Option<f64>| {
@@ -139,48 +189,31 @@ fn main() {
         ]);
     };
 
-    if want("wc") {
-        let s = summarize(
-            n_web,
-            |d, t| wc::run_regular(webmap[d], &params(t)),
-            |d| wc::run_itask(webmap[d], &params(8)),
-        );
-        add("WC", s, &web_gb, None);
-    }
-    if want("hs") {
-        let s = summarize(
-            n_web,
-            |d, t| hs::run_regular(webmap[d], &params(t)),
-            |d| hs::run_itask(webmap[d], &params(8)),
-        );
-        add("HS", s, &web_gb, None);
-    }
-    if want("ii") {
-        let s = summarize(
-            n_web,
-            |d, t| ii::run_regular(webmap[d], &params(t)),
-            |d| ii::run_itask(webmap[d], &params(8)),
-        );
-        add("II", s, &web_gb, None);
-    }
-    if want("hj") {
-        let s = summarize(
-            n_tpch,
-            |d, t| hj::run_regular(tpch[d], &params(t)),
-            |d| hj::run_itask(tpch[d], &params(8)),
-        );
-        // Probe the paper's 600x upper bound.
-        let probe = hj::run_itask(TpchScale::X600, &params(8));
-        add("HJ", s, &tpch_gb, probe.ok().then_some(600.0 * 9.8 / 10.0));
-    }
-    if want("gr") {
-        let s = summarize(
-            n_tpch,
-            |d, t| gr::run_regular(tpch[d], &params(t)),
-            |d| gr::run_itask(tpch[d], &params(8)),
-        );
-        let probe = gr::run_itask(TpchScale::X250, &params(8));
-        add("GR", s, &tpch_gb, probe.ok().then_some(250.0 * 9.8 / 10.0));
+    for &p in &progs {
+        match p {
+            "wc" => {
+                let s = summarize(n_web, &mut cells);
+                add("WC", s, &web_gb, None);
+            }
+            "hs" => {
+                let s = summarize(n_web, &mut cells);
+                add("HS", s, &web_gb, None);
+            }
+            "ii" => {
+                let s = summarize(n_web, &mut cells);
+                add("II", s, &web_gb, None);
+            }
+            "hj" => {
+                let s = summarize(n_tpch, &mut cells);
+                let probe = cells.next().expect("hj probe cell");
+                add("HJ", s, &tpch_gb, probe.ok.then_some(600.0 * 9.8 / 10.0));
+            }
+            _ => {
+                let s = summarize(n_tpch, &mut cells);
+                let probe = cells.next().expect("gr probe cell");
+                add("GR", s, &tpch_gb, probe.ok.then_some(250.0 * 9.8 / 10.0));
+            }
+        }
     }
 
     let header = cols(&[
@@ -192,4 +225,5 @@ fn main() {
         "Scalability",
     ]);
     print_table("Table 6: ITask vs regular summary", &header, &rows);
+    log.finish();
 }

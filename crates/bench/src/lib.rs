@@ -5,6 +5,8 @@
 //! seconds, the ×1024 "paper-equivalent" seconds, GC fractions, peak
 //! heaps and OME markers.
 
+pub mod sweep;
+
 use simcore::{ByteSize, SimDuration, SCALE};
 
 /// One measured cell of a table/figure.

@@ -1,0 +1,357 @@
+//! Parallel sweep executor for the table/figure binaries.
+//!
+//! Every harness binary runs a sweep of independent deterministic
+//! simulations. Each simulation is a self-contained single-threaded
+//! virtual-time world, so whole runs can fan out across OS threads
+//! without perturbing results: workers compute raw run data, and the
+//! caller assembles rows in the original spec order, keeping the
+//! printed tables byte-identical to a serial run.
+//!
+//! The executor also captures per-run wall-clock time and, via
+//! [`SweepLog`], emits a machine-readable `BENCH_sweeps.json` next to
+//! the text artifacts so perf changes are visible run over run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One schedulable unit of a sweep: a label (for progress lines and
+/// `BENCH_sweeps.json`) and a closure that runs one simulation.
+///
+/// The lifetime lets jobs borrow from the caller's stack (configs,
+/// labels): the pool runs under [`std::thread::scope`], so borrows
+/// outlive every worker.
+pub struct RunSpec<'a, R> {
+    /// Human-readable run id, e.g. `"table5 wc 72GB t4 g32KiB"`.
+    pub label: String,
+    /// The run itself. Builds its own world; returns plain data.
+    pub job: Box<dyn FnOnce() -> R + Send + 'a>,
+}
+
+/// Builds a [`RunSpec`] from a label and closure.
+pub fn spec<'a, R>(
+    label: impl Into<String>,
+    job: impl FnOnce() -> R + Send + 'a,
+) -> RunSpec<'a, R> {
+    RunSpec {
+        label: label.into(),
+        job: Box::new(job),
+    }
+}
+
+/// The result of one run, in the same position as its spec.
+pub struct RunOutcome<R> {
+    /// The spec's label.
+    pub label: String,
+    /// What the job returned.
+    pub result: R,
+    /// Host wall-clock time for this run, in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Resolves a `--jobs` value: `0` means "all available cores".
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Extracts `--jobs N` / `--jobs=N` from an argument list (mutating
+/// it), returning the requested worker count (`0` = auto). Exits with
+/// an error message on a malformed value.
+pub fn take_jobs_flag(args: &mut Vec<String>) -> usize {
+    let mut jobs = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let (hit, value) = if args[i] == "--jobs" {
+            if i + 1 >= args.len() {
+                eprintln!("--jobs requires a value");
+                std::process::exit(2);
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            (true, v)
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            let v = v.to_string();
+            args.remove(i);
+            (true, v)
+        } else {
+            (false, String::new())
+        };
+        if hit {
+            match value.parse::<usize>() {
+                Ok(n) if n > 0 => jobs = n,
+                _ => {
+                    eprintln!("invalid --jobs value: {value}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    jobs
+}
+
+/// Runs every spec on a fixed pool of `jobs` worker threads (`0` =
+/// all available cores) and returns outcomes in spec order.
+///
+/// Workers claim specs through a shared atomic cursor, so a slow run
+/// never blocks the queue; one stderr progress line is printed per
+/// completed run (`[k/n] <label> <wall_ms>ms`). With `jobs = 1` the
+/// specs execute sequentially in order, exactly like the old serial
+/// harness.
+pub fn run_all<'a, R: Send>(jobs: usize, specs: Vec<RunSpec<'a, R>>) -> Vec<RunOutcome<R>> {
+    let n = specs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = effective_jobs(jobs).min(n);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunSpec<'a, R>>>> =
+        specs.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let results: Vec<Mutex<Option<RunOutcome<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let spec = slots[i]
+                    .lock()
+                    .expect("sweep slot poisoned")
+                    .take()
+                    .expect("sweep spec claimed twice");
+                let t0 = Instant::now();
+                let result = (spec.job)();
+                let wall_ms = t0.elapsed().as_millis() as u64;
+                let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!("[{k}/{n}] {} {wall_ms}ms", spec.label);
+                *results[i].lock().expect("sweep result poisoned") = Some(RunOutcome {
+                    label: spec.label,
+                    result,
+                    wall_ms,
+                });
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep result poisoned")
+                .expect("sweep worker died before storing a result")
+        })
+        .collect()
+}
+
+/// Per-binary wall-clock log, persisted as JSON.
+///
+/// Each binary appends every completed run, then [`SweepLog::finish`]
+/// writes a per-binary sidecar (`<dir>/sweeps/<bin>.json`) and
+/// regenerates the merged `<dir>/BENCH_sweeps.json` from all sidecars
+/// present, so concurrent binaries never clobber each other's rows.
+/// `<dir>` is `bench_results`, overridable via `ITASK_BENCH_RESULTS`.
+pub struct SweepLog {
+    bin: String,
+    jobs: usize,
+    runs: Vec<(String, u64)>,
+    started: Instant,
+}
+
+impl SweepLog {
+    /// Starts a log for one binary; `jobs` is the resolved worker count.
+    pub fn new(bin: &str, jobs: usize) -> Self {
+        SweepLog {
+            bin: bin.to_string(),
+            jobs: effective_jobs(jobs),
+            runs: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records the wall-clock of every outcome in a batch.
+    pub fn absorb<R>(&mut self, outcomes: &[RunOutcome<R>]) {
+        self.runs.reserve(outcomes.len());
+        for o in outcomes {
+            self.runs.push((o.label.clone(), o.wall_ms));
+        }
+    }
+
+    /// Records a single timed step that ran outside the executor.
+    pub fn push(&mut self, label: impl Into<String>, wall_ms: u64) {
+        self.runs.push((label.into(), wall_ms));
+    }
+
+    /// Writes the sidecar and re-merges `BENCH_sweeps.json`.
+    ///
+    /// IO failures are reported on stderr but never fail the binary:
+    /// the tables themselves are the primary artifact.
+    pub fn finish(self) {
+        let total_ms = self.started.elapsed().as_millis() as u64;
+        if let Err(e) = self.write(total_ms) {
+            eprintln!("[sweep] could not write BENCH_sweeps.json: {e}");
+        }
+    }
+
+    fn write(&self, total_ms: u64) -> std::io::Result<()> {
+        let dir = results_dir();
+        let sweep_dir = dir.join("sweeps");
+        std::fs::create_dir_all(&sweep_dir)?;
+        let mut body = String::new();
+        body.push_str("{\n");
+        body.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        body.push_str(&format!("  \"total_wall_ms\": {total_ms},\n"));
+        body.push_str("  \"runs\": [\n");
+        for (i, (label, ms)) in self.runs.iter().enumerate() {
+            let sep = if i + 1 == self.runs.len() { "" } else { "," };
+            body.push_str(&format!(
+                "    {{\"label\": \"{}\", \"wall_ms\": {ms}}}{sep}\n",
+                json_escape(label)
+            ));
+        }
+        body.push_str("  ]\n}");
+        std::fs::write(sweep_dir.join(format!("{}.json", self.bin)), &body)?;
+        merge_sweeps(&dir)
+    }
+}
+
+/// Rebuilds `<dir>/BENCH_sweeps.json` from every sidecar in
+/// `<dir>/sweeps/`, sorted by binary name for stable output.
+fn merge_sweeps(dir: &std::path::Path) -> std::io::Result<()> {
+    let sweep_dir = dir.join("sweeps");
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for entry in std::fs::read_dir(&sweep_dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            entries.push((name, std::fs::read_to_string(&path)?));
+        }
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str("  \"binaries\": {\n");
+    for (i, (name, body)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        let indented = body.replace('\n', "\n    ");
+        out.push_str(&format!("    \"{}\": {indented}{sep}\n", json_escape(name)));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(dir.join("BENCH_sweeps.json"), out)
+}
+
+fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("ITASK_BENCH_RESULTS")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("bench_results"))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_keep_spec_order() {
+        let specs: Vec<RunSpec<'_, usize>> = (0..16usize)
+            .map(|i| {
+                spec(format!("job{i}"), move || {
+                    // Vary the work so completion order scrambles.
+                    let mut acc = i;
+                    for _ in 0..((16 - i) * 1000) {
+                        acc = acc.wrapping_mul(31).wrapping_add(7);
+                    }
+                    std::hint::black_box(acc);
+                    i
+                })
+            })
+            .collect();
+        let out = run_all(4, specs);
+        let got: Vec<usize> = out.iter().map(|o| o.result).collect();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+        assert_eq!(out[3].label, "job3");
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mk = || {
+            (0..8)
+                .map(|i: u64| spec(format!("r{i}"), move || i * i))
+                .collect::<Vec<_>>()
+        };
+        let a: Vec<u64> = run_all(1, mk()).into_iter().map(|o| o.result).collect();
+        let b: Vec<u64> = run_all(4, mk()).into_iter().map(|o| o.result).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let mut args = vec!["--quick".to_string(), "--jobs".into(), "3".into()];
+        assert_eq!(take_jobs_flag(&mut args), 3);
+        assert_eq!(args, vec!["--quick".to_string()]);
+        let mut args = vec!["--jobs=7".to_string(), "wc".into()];
+        assert_eq!(take_jobs_flag(&mut args), 7);
+        assert_eq!(args, vec!["wc".to_string()]);
+        let mut args = vec!["wc".to_string()];
+        assert_eq!(take_jobs_flag(&mut args), 0);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let out: Vec<RunOutcome<()>> = run_all(4, Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn sweep_log_writes_sidecar_and_merge() {
+        let dir = std::env::temp_dir().join(format!("itask_sweeplog_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("ITASK_BENCH_RESULTS", &dir);
+        let mut log = SweepLog::new("testbin", 1);
+        log.push("alpha", 12);
+        log.push("beta", 34);
+        log.finish();
+        std::env::remove_var("ITASK_BENCH_RESULTS");
+        let sidecar = std::fs::read_to_string(dir.join("sweeps/testbin.json")).unwrap();
+        assert!(sidecar.contains("\"alpha\""));
+        let merged = std::fs::read_to_string(dir.join("BENCH_sweeps.json")).unwrap();
+        assert!(merged.contains("\"testbin\""));
+        assert!(merged.contains("\"host_cores\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,135 @@
+//! Regression test: the parallel sweep executor must not change results.
+//!
+//! Runs a reduced table5-style sweep (WC regular, 3GB webmap, a 2×2
+//! threads × granularity grid) once serially and once with four
+//! workers, then checks the rendered table text, the CSV bytes, and the
+//! per-run results are identical. Each simulation is its own
+//! single-threaded virtual-time world, so worker count must be
+//! unobservable everywhere except wall-clock.
+
+use apps::hyracks_apps::{wc, HyracksParams};
+use itask_bench::sweep;
+use itask_bench::{cols, write_csv};
+use simcore::{ByteSize, SimDuration, SCALE};
+use workloads::webmap::WebmapSize;
+
+const THREADS: [usize; 2] = [1, 2];
+const GRANS_KIB: [u64; 2] = [16, 32];
+
+/// One full grid pass; mirrors table5's `scalability` selection replay.
+fn grid(jobs: usize) -> (Vec<(bool, SimDuration)>, Vec<Vec<String>>) {
+    let mut specs = Vec::new();
+    for &t in &THREADS {
+        for &g in &GRANS_KIB {
+            specs.push(sweep::spec(format!("det wc 3GB t{t} g{g}KiB"), move || {
+                let p = HyracksParams {
+                    threads: t,
+                    granularity: ByteSize::kib(g),
+                    ..HyracksParams::default()
+                };
+                let s = wc::run_regular(WebmapSize::G3, &p);
+                (s.ok(), s.report.elapsed)
+            }));
+        }
+    }
+    let outcomes = sweep::run_all(jobs, specs);
+    let results: Vec<(bool, SimDuration)> = outcomes.iter().map(|o| o.result).collect();
+    // Replay in grid order, exactly like the serial loop would.
+    let mut rows = Vec::new();
+    let mut it = results.iter();
+    for &t in &THREADS {
+        for &g in &GRANS_KIB {
+            let &(ok, e) = it.next().unwrap();
+            rows.push(vec![
+                t.to_string(),
+                format!("{g}KB"),
+                if ok {
+                    format!("{:.1}s", e.as_secs_f64() * SCALE as f64)
+                } else {
+                    "OME".into()
+                },
+            ]);
+        }
+    }
+    (results, rows)
+}
+
+/// Renders rows the way `print_table` does, as a string.
+fn render(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = fmt_row(header);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let (serial_results, serial_rows) = grid(1);
+    let (par_results, par_rows) = grid(4);
+
+    assert_eq!(
+        serial_results, par_results,
+        "per-run results must not depend on worker count"
+    );
+
+    let header = cols(&["#K", "#T", "time"]);
+    let serial_text = render(&header, &serial_rows);
+    let par_text = render(&header, &par_rows);
+    assert_eq!(serial_text, par_text, "table text must be byte-identical");
+
+    let dir = std::env::temp_dir().join(format!("itask-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("serial.csv");
+    let b = dir.join("parallel.csv");
+    write_csv(a.to_str().unwrap(), &header, &serial_rows).unwrap();
+    write_csv(b.to_str().unwrap(), &header, &par_rows).unwrap();
+    let (ab, bb) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    assert!(!ab.is_empty());
+    assert_eq!(ab, bb, "CSV bytes must be identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn executor_preserves_spec_order_under_oversubscription() {
+    // Many more specs than workers, uneven job sizes: outcomes must
+    // still come back in submission order with matching labels.
+    let specs: Vec<_> = (0..32usize)
+        .map(|i| {
+            sweep::spec(format!("order {i}"), move || {
+                // Skewed busy-work so completion order differs from
+                // submission order.
+                let spins = if i % 7 == 0 { 40_000 } else { 500 };
+                let mut x = i as u64;
+                for _ in 0..spins {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                }
+                (i, x)
+            })
+        })
+        .collect();
+    let outcomes = sweep::run_all(4, specs);
+    assert_eq!(outcomes.len(), 32);
+    for (i, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.label, format!("order {i}"));
+        assert_eq!(o.result.0, i);
+    }
+}

@@ -252,8 +252,11 @@ impl<T: Tuple> Partition for VecPartition<T> {
         if cursor == 0 || !self.meta.in_memory() {
             return ByteSize::ZERO;
         }
-        let freed_mem = self.processed_bytes();
-        let freed_ser: u64 = self.items[..cursor].iter().map(Tuple::ser_bytes).sum();
+        // One pass over the prefix for both byte sums.
+        let (mem, ser) = self.items[..cursor].iter().fold((0u64, 0u64), |(m, s), t| {
+            (m + t.heap_bytes(), s + t.ser_bytes())
+        });
+        let (freed_mem, freed_ser) = (ByteSize(mem), ser);
         self.items.drain(..cursor);
         self.meta.cursor = 0;
         self.meta.len = self.items.len();

@@ -1,5 +1,13 @@
 //! The global partition queue (paper §5.3): every unprocessed or
 //! partially-processed partition waiting for a task instance.
+//!
+//! Internally the queue is a tombstone slot vector plus BTreeMap
+//! indexes: by partition id (point lookups) and by `(task, tag)` group
+//! (the scheduler's per-task scans and MITask group activation). The
+//! slot vector preserves insertion order — everything observable
+//! ("queue order") is defined by it — while the indexes turn the
+//! previously linear `take`/`get_mut`/`pending_for` and the scheduler's
+//! whole-queue sweeps into ordered-map lookups.
 
 use std::collections::BTreeMap;
 
@@ -12,7 +20,19 @@ use crate::partition::{PartitionBox, PartitionMeta, Tag};
 /// exposed metadata.
 #[derive(Default)]
 pub struct PartitionQueue {
-    entries: Vec<PartitionBox>,
+    /// Insertion-ordered slots; `None` marks a removed entry.
+    slots: Vec<Option<PartitionBox>>,
+    /// Number of live (Some) slots.
+    live: usize,
+    /// Partition id → slot indexes in queue order. Ids are unique per
+    /// node, but crash recovery re-homes partitions across nodes, so a
+    /// queue can briefly hold two entries with the same id — lookups
+    /// resolve to the earliest, matching the old linear scan.
+    by_id: BTreeMap<PartitionId, Vec<usize>>,
+    /// `(task, tag)` → slot indexes in insertion order.
+    by_group: BTreeMap<(TaskId, Tag), Vec<usize>>,
+    /// Task → queued partition count.
+    by_task: BTreeMap<TaskId, usize>,
 }
 
 impl PartitionQueue {
@@ -23,74 +43,120 @@ impl PartitionQueue {
 
     /// Number of queued partitions.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// Enqueues a partition. Fully-processed partitions are dropped (an
     /// interrupt can race with exhaustion).
     pub fn push(&mut self, part: PartitionBox) {
-        if !part.meta().exhausted() {
-            self.entries.push(part);
+        if part.meta().exhausted() {
+            return;
         }
+        let m = part.meta();
+        let (id, task, tag) = (m.id, m.input_of, m.tag);
+        let idx = self.slots.len();
+        self.slots.push(Some(part));
+        self.live += 1;
+        self.by_id.entry(id).or_default().push(idx);
+        self.by_group.entry((task, tag)).or_default().push(idx);
+        *self.by_task.entry(task).or_insert(0) += 1;
     }
 
     /// Metadata of every queued partition, in queue order.
     pub fn metas(&self) -> impl Iterator<Item = &PartitionMeta> {
-        self.entries.iter().map(|p| p.meta())
+        self.slots.iter().flatten().map(|p| p.meta())
+    }
+
+    /// Metadata of every partition addressed to `task`, grouped by tag
+    /// (ascending), insertion order within a group.
+    pub fn metas_for(&self, task: TaskId) -> impl Iterator<Item = &PartitionMeta> {
+        self.group_range(task)
+            .flat_map(|(_, idxs)| idxs.iter())
+            .map(|&i| self.slots[i].as_ref().expect("indexed slot live").meta())
+    }
+
+    /// Metadata of the partitions addressed to `task` carrying `tag`,
+    /// in insertion order.
+    pub fn metas_for_group(&self, task: TaskId, tag: Tag) -> impl Iterator<Item = &PartitionMeta> {
+        self.by_group
+            .get(&(task, tag))
+            .into_iter()
+            .flat_map(|idxs| idxs.iter())
+            .map(|&i| self.slots[i].as_ref().expect("indexed slot live").meta())
     }
 
     /// Mutable access to one partition (the partition manager flips
     /// serialization states in place).
     pub fn get_mut(&mut self, id: PartitionId) -> Option<&mut PartitionBox> {
-        self.entries.iter_mut().find(|p| p.meta().id == id)
+        let idx = *self.by_id.get(&id)?.first()?;
+        self.slots[idx].as_mut()
     }
 
     /// Removes and returns every queued partition, in queue order
     /// (crash recovery: the engine re-homes them onto survivors).
     pub fn drain_all(&mut self) -> Vec<PartitionBox> {
-        std::mem::take(&mut self.entries)
+        let out: Vec<PartitionBox> = std::mem::take(&mut self.slots)
+            .into_iter()
+            .flatten()
+            .collect();
+        self.live = 0;
+        self.by_id.clear();
+        self.by_group.clear();
+        self.by_task.clear();
+        out
     }
 
-    /// Removes and returns a partition by id.
+    /// Removes and returns a partition by id (the earliest queued when
+    /// re-homing duplicated an id).
     pub fn take(&mut self, id: PartitionId) -> Option<PartitionBox> {
-        let idx = self.entries.iter().position(|p| p.meta().id == id)?;
-        Some(self.entries.remove(idx))
+        let idxs = self.by_id.get_mut(&id)?;
+        let idx = idxs.remove(0);
+        if idxs.is_empty() {
+            self.by_id.remove(&id);
+        }
+        let part = self.slots[idx].take().expect("indexed slot live");
+        let m = part.meta();
+        self.unindex_group(m.input_of, m.tag, idx);
+        self.note_removed(m.input_of);
+        self.maybe_compact();
+        Some(part)
     }
 
     /// Removes and returns every partition addressed to `task` carrying
     /// `tag` (an MITask activation group), in queue order.
     pub fn take_group(&mut self, task: TaskId, tag: Tag) -> Vec<PartitionBox> {
-        let mut group = Vec::new();
-        let mut i = 0;
-        while i < self.entries.len() {
-            let m = self.entries[i].meta();
-            if m.input_of == task && m.tag == tag {
-                group.push(self.entries.remove(i));
-            } else {
-                i += 1;
-            }
+        let Some(idxs) = self.by_group.remove(&(task, tag)) else {
+            return Vec::new();
+        };
+        let mut group = Vec::with_capacity(idxs.len());
+        // Compaction must wait until after the loop: it renumbers slots
+        // and would invalidate the remaining `idxs`.
+        for idx in idxs {
+            let part = self.slots[idx].take().expect("indexed slot live");
+            self.unindex_id(part.meta().id, idx);
+            self.note_removed(task);
+            group.push(part);
         }
+        self.maybe_compact();
         group
     }
 
     /// Number of queued partitions addressed to `task`.
     pub fn pending_for(&self, task: TaskId) -> usize {
-        self.metas().filter(|m| m.input_of == task).count()
+        self.by_task.get(&task).copied().unwrap_or(0)
     }
 
     /// Tags queued for `task`, with partition counts (deterministic
     /// order).
     pub fn tags_for(&self, task: TaskId) -> BTreeMap<Tag, usize> {
-        let mut map = BTreeMap::new();
-        for m in self.metas().filter(|m| m.input_of == task) {
-            *map.entry(m.tag).or_insert(0) += 1;
-        }
-        map
+        self.group_range(task)
+            .map(|(&(_, tag), idxs)| (tag, idxs.len()))
+            .collect()
     }
 
     /// Total simulated heap bytes of queued *in-memory* partitions.
@@ -99,6 +165,66 @@ impl PartitionQueue {
             .filter(|m| m.in_memory())
             .map(|m| m.mem_bytes)
             .sum()
+    }
+
+    fn group_range(
+        &self,
+        task: TaskId,
+    ) -> std::collections::btree_map::Range<'_, (TaskId, Tag), Vec<usize>> {
+        self.by_group
+            .range((task, Tag(u64::MIN))..=(task, Tag(u64::MAX)))
+    }
+
+    fn unindex_id(&mut self, id: PartitionId, idx: usize) {
+        if let Some(idxs) = self.by_id.get_mut(&id) {
+            if let Some(pos) = idxs.iter().position(|&i| i == idx) {
+                idxs.remove(pos);
+            }
+            if idxs.is_empty() {
+                self.by_id.remove(&id);
+            }
+        }
+    }
+
+    fn unindex_group(&mut self, task: TaskId, tag: Tag, idx: usize) {
+        if let Some(idxs) = self.by_group.get_mut(&(task, tag)) {
+            if let Some(pos) = idxs.iter().position(|&i| i == idx) {
+                idxs.remove(pos);
+            }
+            if idxs.is_empty() {
+                self.by_group.remove(&(task, tag));
+            }
+        }
+    }
+
+    fn note_removed(&mut self, task: TaskId) {
+        self.live -= 1;
+        if let Some(n) = self.by_task.get_mut(&task) {
+            *n -= 1;
+            if *n == 0 {
+                self.by_task.remove(&task);
+            }
+        }
+    }
+
+    /// Reclaims tombstones once they outnumber live entries (keeps
+    /// long-running jobs from growing the slot vector without bound).
+    fn maybe_compact(&mut self) {
+        if self.slots.len() < 64 || self.live * 2 >= self.slots.len() {
+            return;
+        }
+        let slots = std::mem::take(&mut self.slots);
+        self.slots = slots.into_iter().flatten().map(Some).collect();
+        self.by_id.clear();
+        self.by_group.clear();
+        for (idx, part) in self.slots.iter().enumerate() {
+            let m = part.as_ref().expect("compacted slot live").meta();
+            self.by_id.entry(m.id).or_default().push(idx);
+            self.by_group
+                .entry((m.input_of, m.tag))
+                .or_default()
+                .push(idx);
+        }
     }
 }
 
@@ -169,5 +295,58 @@ mod tests {
         q.push(part(0, 1, 0, 2)); // 200 bytes
         q.push(part(1, 1, 0, 3)); // 300 bytes
         assert_eq!(q.in_memory_bytes(), ByteSize(500));
+    }
+
+    #[test]
+    fn metas_for_covers_every_tag_of_a_task() {
+        let mut q = PartitionQueue::new();
+        q.push(part(0, 2, 8, 1));
+        q.push(part(1, 2, 7, 1));
+        q.push(part(2, 3, 7, 1));
+        let ids: Vec<PartitionId> = q.metas_for(TaskId(2)).map(|m| m.id).collect();
+        // Tag order (7 before 8), insertion order within a tag.
+        assert_eq!(ids, vec![PartitionId(1), PartitionId(0)]);
+        let ids: Vec<PartitionId> = q.metas_for_group(TaskId(2), Tag(7)).map(|m| m.id).collect();
+        assert_eq!(ids, vec![PartitionId(1)]);
+        assert_eq!(q.metas_for(TaskId(9)).count(), 0);
+    }
+
+    #[test]
+    fn duplicate_ids_resolve_in_queue_order() {
+        // Crash re-homing can land a foreign partition whose id collides
+        // with a local one; lookups must hit the earliest entry.
+        let mut q = PartitionQueue::new();
+        q.push(part(5, 1, 0, 1));
+        q.push(part(5, 2, 3, 1)); // re-homed duplicate, different task
+        assert_eq!(q.len(), 2);
+        let first = q.take(PartitionId(5)).unwrap();
+        assert_eq!(first.meta().input_of, TaskId(1));
+        let second = q.take(PartitionId(5)).unwrap();
+        assert_eq!(second.meta().input_of, TaskId(2));
+        assert!(q.take(PartitionId(5)).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_order_survives_interleaved_removals_and_compaction() {
+        let mut q = PartitionQueue::new();
+        for i in 0..200 {
+            q.push(part(i, 1, (i % 3) as u64, 1));
+        }
+        // Remove enough to trigger compaction.
+        for i in (0..200).step_by(2) {
+            assert!(q.take(PartitionId(i)).is_some());
+        }
+        assert_eq!(q.len(), 100);
+        let ids: Vec<u32> = q.metas().map(|m| m.id.as_u32()).collect();
+        let want: Vec<u32> = (0..200).filter(|i| i % 2 == 1).collect();
+        assert_eq!(ids, want, "queue order must survive compaction");
+        // Indexes still agree after compaction.
+        assert!(q.get_mut(PartitionId(1)).is_some());
+        assert_eq!(q.pending_for(TaskId(1)), 100);
+        let group = q.take_group(TaskId(1), Tag(0));
+        let got: Vec<u32> = group.iter().map(|p| p.meta().id.as_u32()).collect();
+        let want: Vec<u32> = (0..200).filter(|i| i % 2 == 1 && i % 3 == 0).collect();
+        assert_eq!(got, want);
     }
 }

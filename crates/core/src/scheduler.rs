@@ -125,11 +125,9 @@ pub fn pick_activation(
         match desc.kind {
             TaskKind::Single => {
                 // Choose this task's best partition: in-memory first,
-                // then lowest id.
-                let cand = queue
-                    .metas()
-                    .filter(|m| m.input_of == task)
-                    .min_by_key(|m| (!m.in_memory(), m.id));
+                // then lowest id. (The key is a total order, so the
+                // indexed iteration order cannot change the winner.)
+                let cand = queue.metas_for(task).min_by_key(|m| (!m.in_memory(), m.id));
                 if let Some(m) = cand {
                     consider(
                         Score {
@@ -154,9 +152,7 @@ pub fn pick_activation(
                     if busy {
                         continue;
                     }
-                    let any_in_memory = queue
-                        .metas()
-                        .any(|m| m.input_of == task && m.tag == tag && m.in_memory());
+                    let any_in_memory = queue.metas_for_group(task, tag).any(|m| m.in_memory());
                     consider(
                         Score {
                             needs_io: !any_in_memory,

@@ -77,19 +77,30 @@ pub struct ShuffleBatch<T> {
 
 /// Splits records into frames of at most `granularity` serialized bytes.
 pub fn chunk_into_frames<T: Tuple>(records: Vec<T>, granularity: ByteSize) -> Vec<Vec<T>> {
-    let mut frames = Vec::new();
-    let mut frame = Vec::new();
+    // Two passes: count each frame's length first so every frame (and
+    // the outer vec) is allocated at exact capacity instead of grown.
+    let cap = granularity.as_u64();
+    let mut counts: Vec<usize> = Vec::new();
+    let mut n = 0usize;
     let mut bytes = 0u64;
-    for r in records {
+    for r in &records {
         let b = r.ser_bytes();
-        if bytes + b > granularity.as_u64() && !frame.is_empty() {
-            frames.push(std::mem::take(&mut frame));
+        if bytes + b > cap && n > 0 {
+            counts.push(n);
+            n = 0;
             bytes = 0;
         }
         bytes += b;
-        frame.push(r);
+        n += 1;
     }
-    if !frame.is_empty() {
+    if n > 0 {
+        counts.push(n);
+    }
+    let mut frames = Vec::with_capacity(counts.len());
+    let mut it = records.into_iter();
+    for n in counts {
+        let mut frame = Vec::with_capacity(n);
+        frame.extend(it.by_ref().take(n));
         frames.push(frame);
     }
     frames

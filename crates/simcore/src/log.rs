@@ -88,9 +88,14 @@ impl Series {
 }
 
 /// A collection of named series recorded during a run.
+///
+/// Series stay in first-use order in a vector; a name → index map backs
+/// [`EventLog::record`], which monitors call on every observation (the
+/// previous per-record linear name scan was measurable in profiles).
 #[derive(Clone, Debug, Default)]
 pub struct EventLog {
     series: Vec<Series>,
+    index: std::collections::BTreeMap<String, usize>,
 }
 
 impl EventLog {
@@ -99,21 +104,27 @@ impl EventLog {
         Self::default()
     }
 
-    /// Appends a sample to `name`, creating the series on first use.
-    pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
-        match self.series.iter_mut().find(|s| s.name == name) {
-            Some(s) => s.push(at, value),
+    fn series_index(&mut self, name: &str) -> usize {
+        match self.index.get(name) {
+            Some(&i) => i,
             None => {
-                let mut s = Series::new(name);
-                s.push(at, value);
-                self.series.push(s);
+                let i = self.series.len();
+                self.series.push(Series::new(name));
+                self.index.insert(name.to_string(), i);
+                i
             }
         }
     }
 
+    /// Appends a sample to `name`, creating the series on first use.
+    pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
+        let i = self.series_index(name);
+        self.series[i].push(at, value);
+    }
+
     /// Looks up a series by name.
     pub fn series(&self, name: &str) -> Option<&Series> {
-        self.series.iter().find(|s| s.name == name)
+        self.index.get(name).map(|&i| &self.series[i])
     }
 
     /// All recorded series.
@@ -122,11 +133,13 @@ impl EventLog {
     }
 
     /// Merges another log's series into this one (used to combine
-    /// per-node logs into a cluster view).
+    /// per-node logs into a cluster view). One index lookup per series,
+    /// not per sample.
     pub fn merge(&mut self, other: &EventLog) {
         for s in &other.series {
+            let i = self.series_index(&s.name);
             for sample in &s.samples {
-                self.record(&s.name, sample.at, sample.value);
+                self.series[i].push(sample.at, sample.value);
             }
         }
     }

@@ -185,42 +185,53 @@ impl TpchConfig {
     }
 
     /// Customer rows `[first, first+count)` for a block split.
+    /// (`Range<u64>` is not `ExactSizeIterator`, so these block
+    /// builders pre-size their vecs instead of collecting.)
     pub fn customer_block(&self, first: u64, count: u64) -> Vec<Customer> {
-        (first..(first + count).min(self.customers))
-            .map(|k| Customer {
+        let end = (first + count).min(self.customers);
+        let mut rows = Vec::with_capacity(end.saturating_sub(first) as usize);
+        for k in first..end {
+            rows.push(Customer {
                 custkey: k,
                 nationkey: self.draw(0x0C01, k, 25) as u32,
                 acctbal: self.draw(0x0C02, k, 1_000_000) as i64 - 100_000,
-            })
-            .collect()
+            });
+        }
+        rows
     }
 
     /// Order rows `[first, first+count)`; `custkey` is uniform over the
     /// customer table.
     pub fn order_block(&self, first: u64, count: u64) -> Vec<Order> {
-        (first..(first + count).min(self.orders))
-            .map(|k| Order {
+        let end = (first + count).min(self.orders);
+        let mut rows = Vec::with_capacity(end.saturating_sub(first) as usize);
+        for k in first..end {
+            rows.push(Order {
                 orderkey: k,
                 custkey: self.draw(0x0D01, k, self.customers.max(1)),
                 totalprice: self.draw(0x0D02, k, 50_000_000) as i64,
                 orderdate: 8000 + self.draw(0x0D03, k, 2557) as u32,
-            })
-            .collect()
+            });
+        }
+        rows
     }
 
     /// LineItem rows `[first, first+count)`; each order owns
     /// `lineitems/orders` consecutive items.
     pub fn lineitem_block(&self, first: u64, count: u64) -> Vec<LineItem> {
         let per_order = (self.lineitems / self.orders.max(1)).max(1);
-        (first..(first + count).min(self.lineitems))
-            .map(|k| LineItem {
+        let end = (first + count).min(self.lineitems);
+        let mut rows = Vec::with_capacity(end.saturating_sub(first) as usize);
+        for k in first..end {
+            rows.push(LineItem {
                 orderkey: (k / per_order).min(self.orders.saturating_sub(1)),
                 linenumber: (k % per_order) as u32,
                 suppkey: self.draw(0x0E01, k, 10_000),
                 quantity: 1 + self.draw(0x0E02, k, 50) as u32,
                 extendedprice: self.draw(0x0E03, k, 10_000_000) as i64,
-            })
-            .collect()
+            });
+        }
+        rows
     }
 
     /// Blocks are split-invariant: any chunking yields the same rows.

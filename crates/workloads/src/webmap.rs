@@ -158,14 +158,19 @@ impl WebmapConfig {
         let mut rng = DetRng::new(self.seed).fork(index);
         let mean = self.mean_degree();
         let dmax = (self.vertices / 8).max(16);
-        (0..count)
-            .map(|i| {
-                let vertex = first + i;
-                let deg = sample_degree(&mut rng, mean, dmax);
-                let neighbors = (0..deg).map(|_| rng.below(self.vertices.max(1))).collect();
-                AdjRecord { vertex, neighbors }
-            })
-            .collect()
+        // `Range<u64>` is not `ExactSizeIterator`, so a plain collect
+        // would grow the vecs; pre-size them instead.
+        let mut recs = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let vertex = first + i;
+            let deg = sample_degree(&mut rng, mean, dmax);
+            let mut neighbors = Vec::with_capacity(deg as usize);
+            for _ in 0..deg {
+                neighbors.push(rng.below(self.vertices.max(1)));
+            }
+            recs.push(AdjRecord { vertex, neighbors });
+        }
+        recs
     }
 
     /// Exact generated statistics (iterates every block).

@@ -95,31 +95,35 @@ impl WikipediaConfig {
         let count = (index + 1) * self.articles / n_blocks - first;
         let mut rng = DetRng::new(self.seed).fork(index);
         let mean = self.mean_chars();
-        (0..count)
-            .map(|i| {
-                // Article length varies ±60% around the mean.
-                let chars = rng.range_inclusive(mean * 2 / 5, mean * 8 / 5);
-                // ~6.5 chars per word (word + space).
-                let n_words = (chars / 6).max(1) as usize;
-                let words = self.dist.sample_many(&mut rng, n_words);
-                // Split into sentences with a heavy-tailed length mix.
-                let mut sentence_chars = Vec::new();
-                let mut remaining = chars;
-                while remaining > 0 {
-                    let s = rng
-                        .bounded_pareto(30, self.max_sentence_chars, 1.6)
-                        .min(remaining) as u32;
-                    sentence_chars.push(s.max(1));
-                    remaining = remaining.saturating_sub(s as u64);
-                }
-                Article {
-                    id: first + i,
-                    words,
-                    sentence_chars,
-                    chars,
-                }
-            })
-            .collect()
+        // `Range<u64>` is not `ExactSizeIterator`, so a plain collect
+        // would grow the vec; pre-size it instead.
+        let mut articles = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            // Article length varies ±60% around the mean.
+            let chars = rng.range_inclusive(mean * 2 / 5, mean * 8 / 5);
+            // ~6.5 chars per word (word + space).
+            let n_words = (chars / 6).max(1) as usize;
+            let words = self.dist.sample_many(&mut rng, n_words);
+            // Split into sentences with a heavy-tailed length mix
+            // (bounded Pareto mean ≈ 80 chars; the capacity guess only
+            // has to be in the right ballpark to avoid regrows).
+            let mut sentence_chars = Vec::with_capacity((chars / 64 + 1) as usize);
+            let mut remaining = chars;
+            while remaining > 0 {
+                let s = rng
+                    .bounded_pareto(30, self.max_sentence_chars, 1.6)
+                    .min(remaining) as u32;
+                sentence_chars.push(s.max(1));
+                remaining = remaining.saturating_sub(s as u64);
+            }
+            articles.push(Article {
+                id: first + i,
+                words,
+                sentence_chars,
+                chars,
+            });
+        }
+        articles
     }
 }
 
