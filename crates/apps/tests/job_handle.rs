@@ -1,0 +1,45 @@
+//! `hadoop::JobHandle` reuse: one registered handle serves repeated
+//! submissions (the service layer's per-kind template) with results
+//! identical to the one-shot API and to each other.
+
+use apps::agg::itask_factories;
+use apps::hyracks_apps::wc::WcSpec;
+use apps::OutKv;
+use hadoop::{run_itask_job, HadoopConfig, JobHandle, ITASK_BUCKET_MULTIPLIER};
+use workloads::webmap::AdjRecord;
+
+fn splits() -> Vec<Vec<AdjRecord>> {
+    (0..8u64)
+        .map(|s| {
+            (0..40u64)
+                .map(|i| AdjRecord {
+                    vertex: s * 40 + i,
+                    neighbors: vec![(s * 40 + i) % 7, (s + i) % 11],
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn handle_resubmits_identically() {
+    let cfg = HadoopConfig::table1(4, 256, 256, 2, 2);
+    let buckets = cfg.reduce_tasks * ITASK_BUCKET_MULTIPLIER;
+    let handle = JobHandle::new(cfg.clone(), itask_factories(WcSpec, buckets));
+
+    let (_, first) = handle.submit::<_, apps::CountMid, OutKv>(splits());
+    let (_, second) = handle.clone().submit::<_, apps::CountMid, OutKv>(splits());
+    let (_, direct) = run_itask_job::<_, apps::CountMid, OutKv>(&cfg, splits(), handle.factories());
+
+    let mut first = first.expect("first submission completes");
+    let mut second = second.expect("second submission completes");
+    let mut direct = direct.expect("direct run completes");
+    first.sort();
+    second.sort();
+    direct.sort();
+    assert_eq!(first, second, "a handle must be reusable");
+    assert_eq!(first, direct, "handle and one-shot API must agree");
+    // 8 splits x 40 records x 3 tokens each flowed through.
+    let total: u64 = first.iter().map(|o| o.value).sum();
+    assert_eq!(total, 8 * 40 * 3);
+}

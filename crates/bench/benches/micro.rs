@@ -184,6 +184,61 @@ fn bench_irs(c: &mut Criterion) {
     });
 }
 
+fn bench_service(c: &mut Criterion) {
+    use simserve::{
+        AdmissionConfig, AdmissionController, Arrival, ClusterView, PolicyKind, QuantileSketch,
+    };
+    use std::collections::BTreeMap;
+
+    // The admission controller's steady-state loop: enqueue a wave of
+    // arrivals across tenants, drain under the policy, credit service.
+    for policy in [PolicyKind::Fifo, PolicyKind::WeightedFair] {
+        c.bench_function(
+            &format!("service/admission_churn_256_{}", policy.label()),
+            |b| {
+                let view = ClusterView {
+                    active: 0,
+                    min_free_ratio: 0.8,
+                    any_reduce_signal: false,
+                };
+                b.iter(|| {
+                    let cfg = AdmissionConfig {
+                        policy,
+                        max_active: usize::MAX,
+                        ..AdmissionConfig::default()
+                    };
+                    let mut ctl = AdmissionController::new(cfg, BTreeMap::new());
+                    for i in 0..256u32 {
+                        ctl.enqueue_arrival(&Arrival {
+                            at: SimTime::from_nanos(i as u64),
+                            tenant: i % 8,
+                            seq: i / 8,
+                            kind: simserve::JobKind::DegreeCount,
+                            dataset_seed: i as u64,
+                        });
+                    }
+                    while let Some(job) = ctl.next(view) {
+                        ctl.credit_served(job.tenant, 1_000);
+                        black_box(job.seq);
+                    }
+                    black_box(ctl.queued());
+                });
+            },
+        );
+    }
+
+    // Sketch ingestion + quantile walk at service scale.
+    c.bench_function("service/sketch_insert_4k_quantiles", |b| {
+        b.iter(|| {
+            let mut s = QuantileSketch::new(128);
+            for i in 0..4_096u64 {
+                s.insert(i.wrapping_mul(2654435761) % 1_000_000);
+            }
+            black_box((s.quantile(0.5), s.quantile(0.95), s.quantile(0.99)));
+        });
+    });
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end_wc_3gb");
     g.sample_size(10);
@@ -205,6 +260,7 @@ criterion_group!(
     bench_event_log,
     bench_generators,
     bench_irs,
+    bench_service,
     bench_end_to_end
 );
 criterion_main!(benches);

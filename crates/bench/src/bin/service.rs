@@ -1,0 +1,145 @@
+//! Multi-tenant service table: ITask vs regular under rising tenant
+//! counts, plus an admission-policy ablation.
+//!
+//! The headline table is the service-operator version of the paper's
+//! scalability claim: on shared heaps, the regular engine starts losing
+//! jobs to OMEs as tenants co-locate, while the ITask engine absorbs
+//! the same offered load by interrupting and spilling — at higher but
+//! bounded latency. The second table fixes the tenant count and swaps
+//! admission policies, showing memory-aware admission trading queue
+//! wait for OME avoidance on the engine that cannot protect itself.
+//!
+//! Usage: `service [--jobs N] [--quick]`. Output is deterministic:
+//! every cell derives from one seeded virtual-time run, assembled in
+//! spec order regardless of `--jobs`.
+
+use itask_bench::sweep::{self, SweepLog};
+use itask_bench::{cols, print_table};
+use simserve::{EngineKind, PolicyKind, Service, ServiceConfig, ServiceReport};
+
+const SEED: u64 = 42;
+
+fn run_engine(engine: EngineKind, tenants: u32) -> ServiceReport {
+    Service::new(ServiceConfig::standard(engine, tenants, SEED)).run()
+}
+
+fn run_policy(policy: PolicyKind, tenants: u32) -> ServiceReport {
+    let mut cfg = ServiceConfig::standard(EngineKind::Regular, tenants, SEED);
+    cfg.admission.policy = policy;
+    Service::new(cfg).run()
+}
+
+/// Headline: both engines across rising tenant counts.
+fn tenant_sweep(jobs: usize, log: &mut SweepLog, counts: &[u32]) {
+    let mut specs = Vec::new();
+    for &t in counts {
+        for engine in [EngineKind::Regular, EngineKind::Itask] {
+            specs.push(sweep::spec(
+                format!("service t{t} {}", engine.label()),
+                move || run_engine(engine, t),
+            ));
+        }
+    }
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let mut runs = out.into_iter().map(|o| o.result);
+
+    let mut rows = Vec::new();
+    for &t in counts {
+        let reg = runs.next().expect("regular run");
+        let it = runs.next().expect("itask run");
+        let (rc, ic) = (reg.summary_cells(), it.summary_cells());
+        rows.push(vec![
+            t.to_string(),
+            rc[0].clone(),
+            rc[1].clone(),
+            rc[4].clone(),
+            rc[6].clone(),
+            ic[0].clone(),
+            ic[1].clone(),
+            ic[4].clone(),
+            ic[6].clone(),
+        ]);
+    }
+    print_table(
+        "Multi-tenant service: regular vs ITask (4 nodes, shared heaps, FIFO admission)",
+        &cols(&[
+            "tenants",
+            "reg done",
+            "reg OMEs",
+            "reg p50",
+            "reg p99",
+            "itask done",
+            "itask OMEs",
+            "itask p50",
+            "itask p99",
+        ]),
+        &rows,
+    );
+}
+
+/// Ablation: admission policies protecting the regular engine.
+fn policy_sweep(jobs: usize, log: &mut SweepLog, tenants: u32) {
+    let policies = [
+        PolicyKind::Fifo,
+        PolicyKind::WeightedFair,
+        PolicyKind::MemoryAware,
+    ];
+    let specs = policies
+        .iter()
+        .map(|&p| {
+            sweep::spec(
+                format!("service policy {} t{tenants}", p.label()),
+                move || run_policy(p, tenants),
+            )
+        })
+        .collect();
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let mut runs = out.into_iter().map(|o| o.result);
+
+    let mut rows = Vec::new();
+    for p in policies {
+        let r = runs.next().expect("policy run");
+        let c = r.summary_cells();
+        rows.push(vec![
+            p.label().to_string(),
+            c[0].clone(),
+            c[1].clone(),
+            c[2].clone(),
+            c[3].clone(),
+            c[4].clone(),
+            c[7].clone(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Admission-policy ablation: regular engine, {tenants} tenants (OMEs vs queue wait)"
+        ),
+        &cols(&[
+            "policy",
+            "done",
+            "OMEs",
+            "retries",
+            "failed",
+            "p50",
+            "qwait p95",
+        ]),
+        &rows,
+    );
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = sweep::take_jobs_flag(&mut args);
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut log = SweepLog::new("service", jobs);
+    let counts: &[u32] = if quick {
+        &[1, 2, 3]
+    } else {
+        &[1, 2, 3, 4, 6, 8]
+    };
+    tenant_sweep(jobs, &mut log, counts);
+    policy_sweep(jobs, &mut log, if quick { 3 } else { 6 });
+    log.finish();
+}

@@ -60,11 +60,30 @@ pub fn effective_jobs(jobs: usize) -> usize {
     }
 }
 
+/// Default worker count from an `ITASK_BENCH_JOBS` environment value
+/// (CI and local sweeps set it once instead of hard-coding `--jobs` per
+/// invocation). `None`, empty, or unparsable values fall back to `0`
+/// (auto) — with a stderr warning when a value was present but bad.
+pub fn env_jobs_default(val: Option<&str>) -> usize {
+    match val {
+        None => 0,
+        Some(v) if v.trim().is_empty() => 0,
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("ignoring invalid ITASK_BENCH_JOBS value: {v}");
+                0
+            }
+        },
+    }
+}
+
 /// Extracts `--jobs N` / `--jobs=N` from an argument list (mutating
-/// it), returning the requested worker count (`0` = auto). Exits with
-/// an error message on a malformed value.
+/// it), returning the requested worker count (`0` = auto). With no flag
+/// present, falls back to the `ITASK_BENCH_JOBS` environment variable.
+/// Exits with an error message on a malformed flag value.
 pub fn take_jobs_flag(args: &mut Vec<String>) -> usize {
-    let mut jobs = 0usize;
+    let mut jobs = env_jobs_default(std::env::var("ITASK_BENCH_JOBS").ok().as_deref());
     let mut i = 0;
     while i < args.len() {
         let (hit, value) = if args[i] == "--jobs" {
@@ -324,6 +343,19 @@ mod tests {
         assert_eq!(args, vec!["wc".to_string()]);
         let mut args = vec!["wc".to_string()];
         assert_eq!(take_jobs_flag(&mut args), 0);
+    }
+
+    #[test]
+    fn env_default_parses_and_rejects() {
+        // The pure helper is what `take_jobs_flag` consults when no
+        // --jobs flag is present (flag wins when both are given).
+        assert_eq!(env_jobs_default(None), 0);
+        assert_eq!(env_jobs_default(Some("")), 0);
+        assert_eq!(env_jobs_default(Some("  ")), 0);
+        assert_eq!(env_jobs_default(Some("4")), 4);
+        assert_eq!(env_jobs_default(Some(" 2 ")), 2);
+        assert_eq!(env_jobs_default(Some("zero")), 0);
+        assert_eq!(env_jobs_default(Some("-1")), 0);
     }
 
     #[test]

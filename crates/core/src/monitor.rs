@@ -61,6 +61,10 @@ pub struct Monitor {
     /// Set when the partition manager reports (de)serialization
     /// thrashing; forces a REDUCE at the next observation (§5.3).
     thrashing_reported: bool,
+    /// The most recent signal emitted by [`Monitor::observe`]. External
+    /// policies (e.g. a service admission controller) read this without
+    /// perturbing the stats.
+    last_signal: Option<MemSignal>,
 }
 
 impl Monitor {
@@ -70,7 +74,13 @@ impl Monitor {
             cfg,
             stats: MonitorStats::default(),
             thrashing_reported: false,
+            last_signal: None,
         }
+    }
+
+    /// The most recent signal emitted, if any observation has happened.
+    pub fn last_signal(&self) -> Option<MemSignal> {
+        self.last_signal
     }
 
     /// The configuration.
@@ -113,15 +123,17 @@ impl Monitor {
         let lugcs = records.iter().filter(|r| r.useless).count() as u64;
         self.stats.lugcs_seen += lugcs;
         let thrashing = std::mem::take(&mut self.thrashing_reported);
-        if lugcs > 0 || thrashing {
+        let signal = if lugcs > 0 || thrashing {
             self.stats.reduce_signals += 1;
-            return MemSignal::Reduce;
-        }
-        if heap.effective_free() >= self.grow_threshold(heap) {
+            MemSignal::Reduce
+        } else if heap.effective_free() >= self.grow_threshold(heap) {
             self.stats.grow_signals += 1;
-            return MemSignal::Grow;
-        }
-        MemSignal::Steady
+            MemSignal::Grow
+        } else {
+            MemSignal::Steady
+        };
+        self.last_signal = Some(signal);
+        signal
     }
 }
 
@@ -174,6 +186,18 @@ mod tests {
         let mut m = Monitor::new(MonitorConfig::default());
         let heap = heap_with_live(100, 85); // 15% free: between M and N
         assert_eq!(m.observe(&[], &heap), MemSignal::Steady);
+    }
+
+    #[test]
+    fn last_signal_mirrors_the_latest_observation() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        assert_eq!(m.last_signal(), None);
+        let tight = heap_with_live(100, 95);
+        m.observe(&[lugc()], &tight);
+        assert_eq!(m.last_signal(), Some(MemSignal::Reduce));
+        let roomy = heap_with_live(100, 10);
+        m.observe(&[], &roomy);
+        assert_eq!(m.last_signal(), Some(MemSignal::Grow));
     }
 
     #[test]

@@ -51,6 +51,14 @@ impl PartitionQueue {
         self.live == 0
     }
 
+    /// Number of slots (live + tombstones) in the backing vector.
+    /// Compaction keeps this within a constant factor of `len()`, so a
+    /// long multi-job run cannot grow the queue without bound; exposed
+    /// for the regression test asserting exactly that.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Enqueues a partition. Fully-processed partitions are dropped (an
     /// interrupt can race with exhaustion).
     pub fn push(&mut self, part: PartitionBox) {
@@ -215,6 +223,11 @@ impl PartitionQueue {
         }
         let slots = std::mem::take(&mut self.slots);
         self.slots = slots.into_iter().flatten().map(Some).collect();
+        // An in-place collect can keep the pre-compaction capacity; give
+        // the excess back once it dwarfs the live set.
+        if self.slots.capacity() > self.slots.len().saturating_mul(4) {
+            self.slots.shrink_to(self.slots.len() * 2);
+        }
         self.by_id.clear();
         self.by_group.clear();
         for (idx, part) in self.slots.iter().enumerate() {
@@ -348,5 +361,35 @@ mod tests {
         let got: Vec<u32> = group.iter().map(|p| p.meta().id.as_u32()).collect();
         let want: Vec<u32> = (0..200).filter(|i| i % 2 == 1 && i % 3 == 0).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sustained_churn_keeps_slot_vector_bounded() {
+        // A long-lived service queue sees endless push/take churn; the
+        // tombstone count must never exceed the live count by more than
+        // the compaction hysteresis, whatever the interleaving.
+        let mut q = PartitionQueue::new();
+        let mut next_id = 0u32;
+        for round in 0..50 {
+            for _ in 0..40 {
+                q.push(part(next_id, 1 + (next_id % 4), (next_id % 5) as u64, 1));
+                next_id += 1;
+            }
+            // Drain all but a small residue, oldest first.
+            let keep = 10 + (round % 3) as usize;
+            let ids: Vec<PartitionId> = q.metas().map(|m| m.id).collect();
+            for id in &ids[..ids.len() - keep] {
+                assert!(q.take(*id).is_some());
+            }
+            let bound = (2 * q.len()).max(63);
+            assert!(
+                q.slot_count() <= bound,
+                "round {round}: {} slots for {} live",
+                q.slot_count(),
+                q.len()
+            );
+        }
+        // 2000 partitions flowed through; the vector stayed small.
+        assert!(q.slot_count() < 128, "final slots: {}", q.slot_count());
     }
 }

@@ -75,6 +75,9 @@ pub struct IrsConfig {
     pub grow_per_tick: usize,
     /// Give up on a partition after this many failed activations.
     pub max_activation_failures: u32,
+    /// Allocation scope (owning service-layer job id) the IRS spawns its
+    /// workers under, so multi-job heaps attribute every space to a job.
+    pub scope: Option<u64>,
 }
 
 impl Default for IrsConfig {
@@ -87,6 +90,7 @@ impl Default for IrsConfig {
             interrupt_mode: InterruptMode::Cooperative,
             grow_per_tick: 1,
             max_activation_failures: 32,
+            scope: None,
         }
     }
 }
@@ -315,6 +319,13 @@ impl Irs {
     /// Monitor statistics so far.
     pub fn monitor_stats(&self) -> crate::monitor::MonitorStats {
         self.monitor.stats()
+    }
+
+    /// The monitor's most recent memory signal (`Steady` before the
+    /// first observation). Admission controllers consult this before
+    /// co-locating another job on the same heap.
+    pub fn memory_signal(&self) -> MemSignal {
+        self.monitor.last_signal().unwrap_or(MemSignal::Steady)
     }
 
     /// Queued partition count.
@@ -610,7 +621,7 @@ impl Irs {
         );
         let instance = worker.instance_id();
         let kind = desc.kind;
-        let thread = sim.spawn(Box::new(worker));
+        let thread = sim.spawn_scoped(Box::new(worker), self.cfg.scope);
         let mut s = self.handle.0.borrow_mut();
         s.trace.record(
             now,

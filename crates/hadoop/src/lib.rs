@@ -29,6 +29,6 @@ pub use attempt::{
     AttemptOutcome, AttemptResult,
 };
 pub use config::HadoopConfig;
-pub use itask::{run_itask_job, ITASK_BUCKET_MULTIPLIER};
+pub use itask::{run_itask_job, JobHandle, ITASK_BUCKET_MULTIPLIER};
 pub use job::{run_regular_job, RegularJobResult};
 pub use task::{MapCx, Mapper, ReduceCx, Reducer};

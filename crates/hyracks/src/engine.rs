@@ -304,6 +304,16 @@ pub struct ItaskFactories {
     pub merge: Rc<dyn Fn() -> Box<dyn ITask>>,
 }
 
+impl Clone for ItaskFactories {
+    fn clone(&self) -> Self {
+        ItaskFactories {
+            map: self.map.clone(),
+            reduce: self.reduce.clone(),
+            merge: self.merge.clone(),
+        }
+    }
+}
+
 /// Drives a set of per-node IRS controllers to completion.
 ///
 /// With a fault plan armed, scheduled node crashes fire as node clocks

@@ -26,4 +26,4 @@ pub use engine::{
     chunk_into_frames, distribute_blocks, run_itask, run_regular, ItaskFactories, ItaskJobSpec,
     JobSpec, ShuffleBatch,
 };
-pub use operator::{OpCx, Operator};
+pub use operator::{OpCx, Operator, OperatorWorker, OutputSink};

@@ -205,6 +205,55 @@ impl Cluster {
         }
     }
 
+    /// Free-heap ratio of one node: effective free bytes (capacity minus
+    /// live set — garbage is reclaimable) over capacity, in `[0, 1]`.
+    pub fn free_heap_ratio(&self, node: NodeId) -> f64 {
+        let n = self.sims[node.as_usize()].node();
+        let cap = n.heap.capacity().as_u64();
+        if cap == 0 {
+            return 0.0;
+        }
+        n.heap.effective_free().as_u64() as f64 / cap as f64
+    }
+
+    /// The tightest free-heap ratio across live nodes (1.0 for an empty
+    /// cluster) — what a memory-aware admission controller gates on.
+    pub fn min_free_heap_ratio(&self) -> f64 {
+        self.sims
+            .iter()
+            .filter(|s| !s.is_crashed())
+            .map(|s| {
+                let n = s.node();
+                let cap = n.heap.capacity().as_u64().max(1);
+                n.heap.effective_free().as_u64() as f64 / cap as f64
+            })
+            .fold(1.0_f64, f64::min)
+    }
+
+    /// Total live threads across live nodes (all jobs).
+    pub fn total_live_threads(&self) -> usize {
+        self.sims
+            .iter()
+            .filter(|s| !s.is_crashed())
+            .map(|s| s.live_count())
+            .sum()
+    }
+
+    /// Advances every live node's clock to at least `target` (no-op for
+    /// nodes already past it). A job service uses this to jump an idle
+    /// cluster to the next client arrival instant.
+    pub fn advance_clocks_to(&mut self, target: SimTime) {
+        for sim in &mut self.sims {
+            if sim.is_crashed() {
+                continue;
+            }
+            let n = sim.node_mut();
+            if n.now < target {
+                n.now = target;
+            }
+        }
+    }
+
     /// Builds a job report from the current node states.
     pub fn report(&self, outcome: JobOutcome) -> JobReport {
         let nodes: Vec<NodeReport> = self
@@ -270,6 +319,35 @@ mod tests {
                 SimDuration::from_secs(6)
             );
         }
+    }
+
+    #[test]
+    fn heap_ratios_and_clock_jumps_serve_the_admission_layer() {
+        let mut c = Cluster::new(ClusterConfig {
+            nodes: 2,
+            heap_per_node: ByteSize::kib(100),
+            ..Default::default()
+        });
+        assert_eq!(c.min_free_heap_ratio(), 1.0);
+        let node = NodeId(0);
+        let space = c.sim(node).node_mut().heap.create_space("ballast");
+        c.sim(node)
+            .node_mut()
+            .heap
+            .alloc(space, ByteSize::kib(40), SimTime::ZERO)
+            .unwrap();
+        assert!((c.free_heap_ratio(node) - 0.6).abs() < 1e-9);
+        assert_eq!(c.free_heap_ratio(NodeId(1)), 1.0);
+        assert!((c.min_free_heap_ratio() - 0.6).abs() < 1e-9);
+
+        c.advance_clocks_to(SimTime::from_nanos(1_000));
+        assert_eq!(c.sim(NodeId(1)).node().now, SimTime::from_nanos(1_000));
+        // Already-ahead nodes are untouched.
+        c.sim(NodeId(1)).node_mut().now += SimDuration::from_secs(1);
+        let ahead = c.sim(NodeId(1)).node().now;
+        c.advance_clocks_to(SimTime::from_nanos(2_000));
+        assert_eq!(c.sim(NodeId(1)).node().now, ahead);
+        assert_eq!(c.sim(NodeId(0)).node().now, SimTime::from_nanos(2_000));
     }
 
     #[test]

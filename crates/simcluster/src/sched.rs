@@ -31,6 +31,10 @@ struct ThreadSlot {
     /// Scale-loop iterations (or any progress unit) the work reported
     /// since the last observation — the IRS speed rule reads this.
     progress: u64,
+    /// Owning allocation scope (job id), if spawned via
+    /// [`NodeSim::spawn_scoped`]. Heap spaces created while this thread
+    /// steps are attributed to it.
+    scope: Option<u64>,
 }
 
 /// Placeholder body left in a slot whose real `Work` was salvaged by
@@ -140,6 +144,14 @@ impl NodeSim {
 
     /// Spawns a simulated thread; it will be stepped from the next round.
     pub fn spawn(&mut self, work: Box<dyn Work>) -> ThreadId {
+        self.spawn_scoped(work, None)
+    }
+
+    /// Spawns a thread owned by an allocation scope (a service-layer job
+    /// id). While the thread steps, the heap's alloc scope is set to it,
+    /// so spaces created anywhere down the call chain are attributed to
+    /// the owning job; [`NodeSim::thread_scope`] maps failures back.
+    pub fn spawn_scoped(&mut self, work: Box<dyn Work>, scope: Option<u64>) -> ThreadId {
         let id = ThreadId(self.next_thread);
         self.next_thread += 1;
         self.threads.push(ThreadSlot {
@@ -147,8 +159,43 @@ impl NodeSim {
             work,
             state: ThreadState::Runnable,
             progress: 0,
+            scope,
         });
         id
+    }
+
+    /// The allocation scope a thread was spawned under, if any.
+    pub fn thread_scope(&self, id: ThreadId) -> Option<u64> {
+        self.threads
+            .iter()
+            .find(|t| t.id == id)
+            .and_then(|t| t.scope)
+    }
+
+    /// Kills every live thread spawned under `scope` (job teardown).
+    /// Returns how many were killed.
+    pub fn kill_scope(&mut self, scope: u64) -> usize {
+        let mut killed = 0;
+        for t in &mut self.threads {
+            if t.scope == Some(scope)
+                && matches!(t.state, ThreadState::Runnable | ThreadState::Waiting)
+            {
+                t.state = ThreadState::Failed;
+                killed += 1;
+            }
+        }
+        killed
+    }
+
+    /// Number of live threads spawned under `scope`.
+    pub fn live_count_in_scope(&self, scope: u64) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| {
+                t.scope == Some(scope)
+                    && matches!(t.state, ThreadState::Runnable | ThreadState::Waiting)
+            })
+            .count()
     }
 
     /// Kills a thread outright (the naïve baseline of §6.1; ITask proper
@@ -222,6 +269,9 @@ impl NodeSim {
                 continue;
             }
             let outcome = {
+                // Attribute heap spaces created during this step to the
+                // thread's owning job (multi-tenant accounting).
+                self.node.heap.set_alloc_scope(self.threads[i].scope);
                 let mut cx = WorkCx::new(&mut self.node, self.quantum);
                 let outcome = self.threads[i].work.step(&mut cx);
                 let used = cx.used();
@@ -249,6 +299,8 @@ impl NodeSim {
                 }
             }
         }
+
+        self.node.heap.set_alloc_scope(None);
 
         // Processor sharing: the round's wall time is bounded below by the
         // longest single step and by total CPU spread over the cores.
@@ -450,6 +502,36 @@ mod tests {
         let r = s.run_round();
         assert!(r.idle());
         assert_eq!(s.node().now, before);
+    }
+
+    #[test]
+    fn scoped_threads_attribute_spaces_and_tear_down_together() {
+        let mut s = sim(8, 64);
+        let a = s.spawn_scoped(crunch(30_000, 16), Some(1));
+        let b = s.spawn_scoped(crunch(30_000, 16), Some(2));
+        let c = s.spawn(crunch(30_000, 16));
+        for _ in 0..3 {
+            s.run_round();
+        }
+        assert_eq!(s.thread_scope(a), Some(1));
+        assert_eq!(s.thread_scope(b), Some(2));
+        assert_eq!(s.thread_scope(c), None);
+        assert_eq!(s.live_count_in_scope(1), 1);
+        // Spaces created inside the step were tagged with the scope.
+        let live1 = s.node().heap.scope_live(1);
+        let live2 = s.node().heap.scope_live(2);
+        assert!(live1 > ByteSize::ZERO && live2 > ByteSize::ZERO);
+        // Tearing down job 1 kills its thread and releases its spaces.
+        assert_eq!(s.kill_scope(1), 1);
+        assert_eq!(s.live_count_in_scope(1), 0);
+        let freed = s.node_mut().heap.release_scope(1);
+        assert_eq!(freed, live1);
+        assert_eq!(s.node().heap.scope_live(1), ByteSize::ZERO);
+        assert_eq!(s.node().heap.scope_live(2), live2);
+        // Other jobs keep running.
+        let (fin, fail) = run_to_completion(&mut s);
+        assert_eq!(fin.len(), 2);
+        assert!(fail.is_empty());
     }
 
     #[test]

@@ -100,6 +100,9 @@ pub struct Heap {
     peak_used: ByteSize,
     stats: GcStats,
     records: Vec<GcRecord>,
+    /// Scope stamped onto spaces created while it is set (see
+    /// [`Heap::set_alloc_scope`]).
+    alloc_scope: Option<u64>,
 }
 
 impl Heap {
@@ -116,6 +119,7 @@ impl Heap {
             peak_used: ByteSize::ZERO,
             stats: GcStats::default(),
             records: Vec::new(),
+            alloc_scope: None,
         }
     }
 
@@ -172,11 +176,57 @@ impl Heap {
         &self.records
     }
 
-    /// Creates a new, empty space.
+    /// Creates a new, empty space, attributed to the current allocation
+    /// scope (if one is set).
     pub fn create_space(&mut self, label: impl Into<String>) -> SpaceId {
         let id = SpaceId(self.spaces.len() as u32);
-        self.spaces.push(Some(SpaceInfo::new(id, label.into())));
+        let mut info = SpaceInfo::new(id, label.into());
+        info.scope = self.alloc_scope;
+        self.spaces.push(Some(info));
         id
+    }
+
+    /// Sets the allocation scope stamped onto spaces created from now on.
+    ///
+    /// A multi-job service sets the scope to the owning job's id around
+    /// each scheduler step, so every space a job creates — directly or
+    /// deep inside the runtime — is attributed to that job and can be
+    /// torn down with [`Heap::release_scope`] when the job ends.
+    pub fn set_alloc_scope(&mut self, scope: Option<u64>) {
+        self.alloc_scope = scope;
+    }
+
+    /// The current allocation scope.
+    pub fn alloc_scope(&self) -> Option<u64> {
+        self.alloc_scope
+    }
+
+    /// Live bytes attributed to `scope` across all its spaces.
+    pub fn scope_live(&self, scope: u64) -> ByteSize {
+        self.spaces
+            .iter()
+            .flatten()
+            .filter(|s| s.scope == Some(scope))
+            .map(|s| s.live())
+            .fold(ByteSize::ZERO, |a, b| a + b)
+    }
+
+    /// Releases every space attributed to `scope`: all their live bytes
+    /// become garbage (reclaimed by the next collection) and their ids
+    /// become invalid. Returns the bytes turned into garbage.
+    pub fn release_scope(&mut self, scope: u64) -> ByteSize {
+        let ids: Vec<SpaceId> = self
+            .spaces
+            .iter()
+            .flatten()
+            .filter(|s| s.scope == Some(scope))
+            .map(|s| s.id)
+            .collect();
+        let mut freed = ByteSize::ZERO;
+        for id in ids {
+            freed += self.release_space(id);
+        }
+        freed
     }
 
     /// Looks up a live space.
@@ -568,6 +618,37 @@ mod tests {
         assert_eq!(h.space_live(b), ByteSize::kib(50));
         // Released ids reject further allocation.
         assert!(h.alloc(a, ByteSize(1), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn scopes_attribute_and_release_spaces_in_bulk() {
+        let mut h = heap(1024);
+        h.set_alloc_scope(Some(7));
+        let a = h.create_space("job7.a");
+        let b = h.create_space("job7.b");
+        h.set_alloc_scope(Some(8));
+        let c = h.create_space("job8.c");
+        h.set_alloc_scope(None);
+        let d = h.create_space("system");
+        h.alloc(a, ByteSize::kib(10), SimTime::ZERO).unwrap();
+        h.alloc(b, ByteSize::kib(20), SimTime::ZERO).unwrap();
+        h.alloc(c, ByteSize::kib(5), SimTime::ZERO).unwrap();
+        h.alloc(d, ByteSize::kib(1), SimTime::ZERO).unwrap();
+        assert_eq!(h.scope_live(7), ByteSize::kib(30));
+        assert_eq!(h.scope_live(8), ByteSize::kib(5));
+        assert_eq!(h.scope_live(99), ByteSize::ZERO);
+        assert_eq!(h.space(d).unwrap().scope, None);
+
+        assert_eq!(h.release_scope(7), ByteSize::kib(30));
+        assert!(h.space(a).is_none());
+        assert!(h.space(b).is_none());
+        assert_eq!(h.scope_live(7), ByteSize::ZERO);
+        // Other scopes and unscoped spaces are untouched.
+        assert_eq!(h.scope_live(8), ByteSize::kib(5));
+        assert_eq!(h.space_live(d), ByteSize::kib(1));
+        h.force_full_gc(SimTime::ZERO);
+        assert_eq!(h.used(), ByteSize::kib(6));
+        h.check_invariants().unwrap();
     }
 
     #[test]

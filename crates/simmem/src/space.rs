@@ -17,6 +17,11 @@ pub struct SpaceInfo {
     pub id: SpaceId,
     /// Debug label (e.g. `"task3.local"`, `"part17.deser"`).
     pub label: String,
+    /// Allocation scope (owning job) this space is attributed to, if the
+    /// heap had one set when the space was created. Scopes let a service
+    /// layer tear down everything a job allocated without tracking the
+    /// individual space ids.
+    pub scope: Option<u64>,
     /// Live bytes in eden (allocated since the last minor collection).
     pub young0_live: ByteSize,
     /// Live bytes in the survivor bucket (survived one minor collection).
@@ -30,6 +35,7 @@ impl SpaceInfo {
         SpaceInfo {
             id,
             label,
+            scope: None,
             young0_live: ByteSize::ZERO,
             young1_live: ByteSize::ZERO,
             old_live: ByteSize::ZERO,

@@ -1,0 +1,357 @@
+//! Admission control: per-tenant queues plus a pluggable policy that
+//! decides which queued job (if any) may start next.
+//!
+//! The memory-aware policy is the service-layer use of the IRS monitor:
+//! before co-locating another job onto shared heaps it consults the
+//! cluster's worst free-heap ratio and the active jobs' memory signals,
+//! holding admissions while any running job is under `REDUCE` pressure.
+//! FIFO and weighted-fair ignore memory entirely and serve as the
+//! baselines the service table compares against.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use simcore::SimTime;
+
+use crate::workload::{Arrival, JobKind};
+
+/// Which admission policy orders and gates the queues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Global arrival order; admit whenever a slot is free.
+    Fifo,
+    /// Pick the tenant with the smallest served-virtual-time
+    /// (served busy-nanos divided by weight); admit whenever a slot is
+    /// free.
+    WeightedFair,
+    /// FIFO order, but co-locating beyond one active job additionally
+    /// requires every node's free-heap ratio above a floor and no
+    /// active job signalling `REDUCE`.
+    MemoryAware,
+}
+
+impl PolicyKind {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::WeightedFair => "wfair",
+            PolicyKind::MemoryAware => "memaware",
+        }
+    }
+}
+
+/// Admission configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// The ordering/gating policy.
+    pub policy: PolicyKind,
+    /// Hard cap on concurrently active jobs.
+    pub max_active: usize,
+    /// Memory-aware floor: co-locate only while the worst node keeps at
+    /// least this fraction of its heap effectively free.
+    pub min_free_ratio: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            policy: PolicyKind::Fifo,
+            max_active: 4,
+            min_free_ratio: 0.35,
+        }
+    }
+}
+
+/// One queued submission (an [`Arrival`] plus retry bookkeeping).
+#[derive(Clone, Debug)]
+pub struct QueuedJob {
+    /// Submitting tenant.
+    pub tenant: u32,
+    /// Per-tenant sequence number.
+    pub seq: u32,
+    /// Job kind to build on admission.
+    pub kind: JobKind,
+    /// Original submission instant (latency is measured from here even
+    /// across retries).
+    pub arrived: SimTime,
+    /// Dataset seed.
+    pub dataset_seed: u64,
+    /// How many times this job has already failed and been requeued.
+    pub retries: u32,
+    /// Global enqueue stamp (FIFO order; retries are stamped afresh so
+    /// they rejoin at the back).
+    stamp: u64,
+}
+
+/// What the policy may inspect about the cluster before admitting.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterView {
+    /// Number of currently active jobs.
+    pub active: usize,
+    /// Worst per-node effectively-free heap fraction.
+    pub min_free_ratio: f64,
+    /// Whether any active job's IRS currently signals `REDUCE`.
+    pub any_reduce_signal: bool,
+}
+
+/// Per-tenant queues plus the policy state.
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    queues: BTreeMap<u32, VecDeque<QueuedJob>>,
+    /// Tenant weights (weighted-fair).
+    weights: BTreeMap<u32, u64>,
+    /// Served busy-nanos per tenant (weighted-fair virtual time).
+    served: BTreeMap<u32, u64>,
+    next_stamp: u64,
+}
+
+impl AdmissionController {
+    /// Creates a controller; `weights` maps tenant → weighted-fair
+    /// share (tenants absent from the map default to weight 1).
+    pub fn new(cfg: AdmissionConfig, weights: BTreeMap<u32, u64>) -> Self {
+        AdmissionController {
+            cfg,
+            queues: BTreeMap::new(),
+            weights,
+            served: BTreeMap::new(),
+            next_stamp: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Total queued jobs across tenants.
+    pub fn queued(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Enqueues a fresh arrival.
+    pub fn enqueue_arrival(&mut self, a: &Arrival) {
+        let job = QueuedJob {
+            tenant: a.tenant,
+            seq: a.seq,
+            kind: a.kind,
+            arrived: a.at,
+            dataset_seed: a.dataset_seed,
+            retries: 0,
+            stamp: self.next_stamp,
+        };
+        self.next_stamp += 1;
+        self.queues.entry(a.tenant).or_default().push_back(job);
+    }
+
+    /// Requeues a failed job at the back of its tenant's queue with a
+    /// fresh stamp and an incremented retry count.
+    pub fn requeue(&mut self, mut job: QueuedJob) {
+        job.retries += 1;
+        job.stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.queues.entry(job.tenant).or_default().push_back(job);
+    }
+
+    /// Credits a tenant with served busy time (drives weighted-fair
+    /// virtual time forward on completion or failure).
+    pub fn credit_served(&mut self, tenant: u32, busy_nanos: u64) {
+        *self.served.entry(tenant).or_insert(0) += busy_nanos;
+    }
+
+    /// Pops the next admissible job under the policy, or `None` if the
+    /// queues are empty, every slot is taken, or the memory gate holds.
+    ///
+    /// All policies are work-conserving: when nothing is active, the
+    /// head job is always admitted regardless of memory state.
+    pub fn next(&mut self, view: ClusterView) -> Option<QueuedJob> {
+        if view.active >= self.cfg.max_active || self.queued() == 0 {
+            return None;
+        }
+        match self.cfg.policy {
+            PolicyKind::Fifo => self.pop_fifo(),
+            PolicyKind::WeightedFair => self.pop_weighted_fair(),
+            PolicyKind::MemoryAware => {
+                if view.active > 0
+                    && (view.min_free_ratio < self.cfg.min_free_ratio || view.any_reduce_signal)
+                {
+                    return None;
+                }
+                self.pop_fifo()
+            }
+        }
+    }
+
+    /// Head job across tenants by global stamp.
+    fn pop_fifo(&mut self) -> Option<QueuedJob> {
+        let tenant = self
+            .queues
+            .iter()
+            .filter_map(|(t, q)| q.front().map(|j| (j.stamp, *t)))
+            .min()
+            .map(|(_, t)| t)?;
+        self.pop_front(tenant)
+    }
+
+    /// Head job of the non-empty tenant with the smallest virtual time
+    /// (`served / weight`), ties broken by tenant id. Comparison uses
+    /// cross-multiplied integers so it is exactly deterministic.
+    fn pop_weighted_fair(&mut self) -> Option<QueuedJob> {
+        let mut best: Option<(u128, u32)> = None;
+        for (&t, q) in &self.queues {
+            if q.is_empty() {
+                continue;
+            }
+            let w = self.weights.get(&t).copied().unwrap_or(1).max(1);
+            // vtime = served / weight, scaled to avoid division: compare
+            // served * LCM-free via served * other_w < other_served * w.
+            // Simpler: scale served by a common resolution per weight.
+            let served = self.served.get(&t).copied().unwrap_or(0);
+            let vtime = (served as u128) * 1_000_000 / w as u128;
+            if best.map(|(bv, bt)| (vtime, t) < (bv, bt)).unwrap_or(true) {
+                best = Some((vtime, t));
+            }
+        }
+        let tenant = best.map(|(_, t)| t)?;
+        self.pop_front(tenant)
+    }
+
+    fn pop_front(&mut self, tenant: u32) -> Option<QueuedJob> {
+        let q = self.queues.get_mut(&tenant)?;
+        let job = q.pop_front();
+        if q.is_empty() {
+            self.queues.remove(&tenant);
+        }
+        job
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    fn arrival(tenant: u32, seq: u32, at_ms: u64) -> Arrival {
+        Arrival {
+            at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+            tenant,
+            seq,
+            kind: JobKind::DegreeCount,
+            dataset_seed: (tenant as u64) << 32 | seq as u64,
+        }
+    }
+
+    fn calm(active: usize) -> ClusterView {
+        ClusterView {
+            active,
+            min_free_ratio: 0.9,
+            any_reduce_signal: false,
+        }
+    }
+
+    #[test]
+    fn fifo_serves_global_arrival_order_and_respects_cap() {
+        let cfg = AdmissionConfig {
+            policy: PolicyKind::Fifo,
+            max_active: 2,
+            ..AdmissionConfig::default()
+        };
+        let mut c = AdmissionController::new(cfg, BTreeMap::new());
+        c.enqueue_arrival(&arrival(1, 0, 10));
+        c.enqueue_arrival(&arrival(0, 0, 20));
+        c.enqueue_arrival(&arrival(1, 1, 30));
+        let a = c.next(calm(0)).unwrap();
+        let b = c.next(calm(1)).unwrap();
+        assert_eq!((a.tenant, a.seq), (1, 0));
+        assert_eq!((b.tenant, b.seq), (0, 0));
+        // Cap reached: the third job waits even though it is queued.
+        assert!(c.next(calm(2)).is_none());
+        assert_eq!(c.queued(), 1);
+        let d = c.next(calm(1)).unwrap();
+        assert_eq!((d.tenant, d.seq), (1, 1));
+    }
+
+    #[test]
+    fn weighted_fair_prefers_underserved_heavy_tenants() {
+        let cfg = AdmissionConfig {
+            policy: PolicyKind::WeightedFair,
+            max_active: 8,
+            ..AdmissionConfig::default()
+        };
+        let mut weights = BTreeMap::new();
+        weights.insert(0u32, 1u64);
+        weights.insert(1u32, 3u64);
+        let mut c = AdmissionController::new(cfg, weights);
+        for seq in 0..3 {
+            c.enqueue_arrival(&arrival(0, seq, seq as u64));
+            c.enqueue_arrival(&arrival(1, seq, seq as u64));
+        }
+        // Equal served time: tie on vtime 0 broken by tenant id.
+        let first = c.next(calm(0)).unwrap();
+        assert_eq!(first.tenant, 0);
+        // Tenant 0 has now been served heavily; weight-3 tenant 1 has a
+        // 3x smaller vtime per unit served, so it gets the next slots.
+        c.credit_served(0, 9_000);
+        c.credit_served(1, 9_000);
+        let second = c.next(calm(1)).unwrap();
+        assert_eq!(second.tenant, 1);
+        c.credit_served(1, 12_000);
+        // vtime(0) = 9000/1 > vtime(1) = 21000/3 = 7000: tenant 1 again.
+        let third = c.next(calm(2)).unwrap();
+        assert_eq!(third.tenant, 1);
+    }
+
+    #[test]
+    fn memory_aware_gates_colocation_but_stays_work_conserving() {
+        let cfg = AdmissionConfig {
+            policy: PolicyKind::MemoryAware,
+            max_active: 4,
+            min_free_ratio: 0.5,
+        };
+        let mut c = AdmissionController::new(cfg, BTreeMap::new());
+        c.enqueue_arrival(&arrival(0, 0, 1));
+        c.enqueue_arrival(&arrival(0, 1, 2));
+        c.enqueue_arrival(&arrival(0, 2, 3));
+        let tight = ClusterView {
+            active: 1,
+            min_free_ratio: 0.2,
+            any_reduce_signal: false,
+        };
+        let pressured = ClusterView {
+            active: 1,
+            min_free_ratio: 0.9,
+            any_reduce_signal: true,
+        };
+        // Work conservation: empty cluster admits even under a low view.
+        let first = c
+            .next(ClusterView {
+                active: 0,
+                min_free_ratio: 0.0,
+                any_reduce_signal: true,
+            })
+            .unwrap();
+        assert_eq!(first.seq, 0);
+        // Co-location blocked by the free-heap floor and by REDUCE.
+        assert!(c.next(tight).is_none());
+        assert!(c.next(pressured).is_none());
+        // Healthy cluster co-locates.
+        let second = c.next(calm(1)).unwrap();
+        assert_eq!(second.seq, 1);
+    }
+
+    #[test]
+    fn requeue_rejoins_at_the_back_with_retry_count() {
+        let mut c = AdmissionController::new(AdmissionConfig::default(), BTreeMap::new());
+        c.enqueue_arrival(&arrival(0, 0, 1));
+        c.enqueue_arrival(&arrival(0, 1, 2));
+        let failed = c.next(calm(0)).unwrap();
+        assert_eq!(failed.seq, 0);
+        let arrived = failed.arrived;
+        c.requeue(failed);
+        let next = c.next(calm(0)).unwrap();
+        assert_eq!(next.seq, 1, "requeued job goes to the back");
+        let retried = c.next(calm(0)).unwrap();
+        assert_eq!(retried.seq, 0);
+        assert_eq!(retried.retries, 1);
+        assert_eq!(retried.arrived, arrived, "latency clock not reset");
+    }
+}

@@ -1,0 +1,39 @@
+//! simserve: a deterministic multi-tenant job service on the cluster
+//! simulator.
+//!
+//! The paper evaluates ITasks one job at a time; this crate asks the
+//! service-operator question instead: *how many tenants can one cluster
+//! absorb before jobs start dying?* It layers on top of the existing
+//! simulator stack:
+//!
+//! - [`workload`] — a seeded open-loop client generator: N tenants
+//!   submitting planner fold, Hyracks WC, and planner collect jobs at
+//!   configurable rates and mixes, all derived from one root seed.
+//! - [`admission`] — per-tenant queues behind a pluggable policy:
+//!   FIFO, weighted-fair, or memory-aware (which consults the
+//!   cluster's free-heap ratios and the active jobs' IRS memory
+//!   signals before co-locating).
+//! - [`job`] — an incremental two-phase job driver whose threads and
+//!   heap spaces are attributed to per-job *allocation scopes*, so
+//!   concurrent jobs share node heaps, contend genuinely, interrupt
+//!   each other, and can be torn down surgically.
+//! - [`service`] — the scheduling loop tying it together, with
+//!   per-tenant SLO accounting (latency and queue-wait quantiles via
+//!   the deterministic [`sketch`], OME/retry/failure counts) and an
+//!   event log of service gauges.
+//!
+//! Everything is virtual-time and seeded: the same configuration
+//! produces byte-identical reports on any machine at any parallelism,
+//! which `itask-bench`'s `service` binary relies on for its tables.
+
+pub mod admission;
+pub mod job;
+pub mod service;
+pub mod sketch;
+pub mod workload;
+
+pub use admission::{AdmissionConfig, AdmissionController, ClusterView, PolicyKind, QueuedJob};
+pub use job::{EngineKind, JobDriver, JobParams, TwoPhaseJob};
+pub use service::{Service, ServiceConfig, ServiceReport, TenantSlo};
+pub use sketch::QuantileSketch;
+pub use workload::{generate_arrivals, Arrival, JobKind, TenantSpec};

@@ -1,0 +1,476 @@
+//! The service loop: a deterministic multi-tenant job service driving
+//! admission, concurrent execution, failure handling, and per-tenant
+//! SLO accounting on one shared simulated cluster.
+//!
+//! One iteration of the loop is one scheduling round: due arrivals are
+//! enqueued, the admission policy fills free slots, every active job's
+//! control plane is pumped, every live node runs one processor-sharing
+//! round (stepping *all* jobs' threads together, so co-located jobs
+//! contend for the same heaps), crashes fire, and failures are retried
+//! or charged against their tenant. Everything is seeded and stepped in
+//! a fixed order, so a `(config, seed)` pair always produces the same
+//! report — byte for byte.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use itask_core::MemSignal;
+use simcluster::{Cluster, ClusterConfig};
+use simcore::{ByteSize, EventLog, FaultPlan, NodeId, SimDuration, SimError, SimTime};
+
+use crate::admission::{AdmissionConfig, AdmissionController, ClusterView, QueuedJob};
+use crate::job::{salvage_crashed_workers, EngineKind, JobDriver, JobParams, TwoPhaseJob};
+use crate::sketch::QuantileSketch;
+use crate::workload::{dataset_blocks, generate_arrivals, JobKind, TenantSpec};
+
+/// Safety valve: a service run that exceeds this many scheduling rounds
+/// has livelocked (a bug, not a workload property — idle periods jump
+/// the clock instead of spinning).
+const MAX_ROUNDS: u64 = 2_000_000;
+
+/// Full configuration of one service run.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Cluster shape.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores: usize,
+    /// Managed-heap capacity per node (the contended resource).
+    pub heap_per_node: ByteSize,
+    /// Which engine executes every job.
+    pub engine: EngineKind,
+    /// Admission policy and limits.
+    pub admission: AdmissionConfig,
+    /// Root seed for arrival schedules and datasets.
+    pub seed: u64,
+    /// Arrival-generation horizon.
+    pub horizon: SimDuration,
+    /// The tenants and their traffic profiles.
+    pub tenants: Vec<TenantSpec>,
+    /// Failed jobs are requeued at most this many times before being
+    /// charged as failed.
+    pub max_retries: u32,
+    /// Optional deterministic fault plan (node crashes, disk faults).
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-job sizing knobs.
+    pub params: JobParams,
+    /// Input block granularity for generated datasets.
+    pub block_size: ByteSize,
+}
+
+impl ServiceConfig {
+    /// The calibrated standard configuration used by benches and tests:
+    /// heaps sized so one job of any kind runs comfortably but
+    /// co-located heavy jobs genuinely pressure each other.
+    pub fn standard(engine: EngineKind, tenant_count: u32, seed: u64) -> Self {
+        ServiceConfig {
+            nodes: 4,
+            cores: 2,
+            heap_per_node: ByteSize::kib(512),
+            engine,
+            admission: AdmissionConfig::default(),
+            seed,
+            horizon: SimDuration::from_millis(40),
+            tenants: (0..tenant_count)
+                .map(|i| TenantSpec::uniform(i, SimDuration::from_millis(8)))
+                .collect(),
+            max_retries: 2,
+            fault_plan: None,
+            params: JobParams {
+                threads: 2,
+                max_parallelism: 2,
+                granularity: ByteSize::kib(8),
+                buckets: 16,
+            },
+            block_size: ByteSize::kib(8),
+        }
+    }
+}
+
+/// Per-tenant service-level accounting.
+#[derive(Clone, Debug, Default)]
+pub struct TenantSlo {
+    /// Jobs submitted (arrivals inside the horizon).
+    pub submitted: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs that exhausted their retries.
+    pub failed: u64,
+    /// Out-of-memory errors charged to this tenant's jobs.
+    pub omes: u64,
+    /// Retry attempts consumed.
+    pub retries: u64,
+    /// End-to-end latency (submission → completion), nanoseconds.
+    pub latency: QuantileSketch,
+    /// Queue wait (submission → admission), nanoseconds.
+    pub queue_wait: QuantileSketch,
+}
+
+/// The outcome of one service run.
+pub struct ServiceReport {
+    /// Per-tenant SLO accounting.
+    pub tenants: BTreeMap<u32, TenantSlo>,
+    /// Virtual wall time of the whole run.
+    pub elapsed: SimDuration,
+    /// Total output tuples across completed jobs (a checksum that the
+    /// engines computed the same answers).
+    pub total_outputs: u64,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Time series of service-level gauges.
+    pub log: EventLog,
+}
+
+impl ServiceReport {
+    /// Sums a counter over every tenant.
+    pub fn total(&self, f: impl Fn(&TenantSlo) -> u64) -> u64 {
+        self.tenants.values().map(f).sum()
+    }
+
+    /// All tenants' latency sketches merged.
+    pub fn merged_latency(&self) -> QuantileSketch {
+        let mut all = QuantileSketch::default();
+        for t in self.tenants.values() {
+            all.merge(&t.latency);
+        }
+        all
+    }
+
+    /// All tenants' queue-wait sketches merged.
+    pub fn merged_queue_wait(&self) -> QuantileSketch {
+        let mut all = QuantileSketch::default();
+        for t in self.tenants.values() {
+            all.merge(&t.queue_wait);
+        }
+        all
+    }
+
+    /// The report reduced to stable table cells:
+    /// `[done/submitted, OMEs, retries, failed, p50, p95, p99, qwait-p95]`.
+    /// Everything derives from integer state, so equal runs produce
+    /// byte-identical cells — the service table's determinism contract.
+    pub fn summary_cells(&self) -> Vec<String> {
+        let lat = self.merged_latency();
+        let qw = self.merged_queue_wait();
+        vec![
+            format!(
+                "{}/{}",
+                self.total(|t| t.completed),
+                self.total(|t| t.submitted)
+            ),
+            self.total(|t| t.omes).to_string(),
+            self.total(|t| t.retries).to_string(),
+            self.total(|t| t.failed).to_string(),
+            fmt_ms(lat.quantile(0.5)),
+            fmt_ms(lat.quantile(0.95)),
+            fmt_ms(lat.quantile(0.99)),
+            fmt_ms(qw.quantile(0.95)),
+        ]
+    }
+}
+
+/// Nanoseconds as fixed-point milliseconds (integer math: stable).
+fn fmt_ms(ns: u64) -> String {
+    let tenths = ns / 100_000;
+    format!("{}.{}ms", tenths / 10, tenths % 10)
+}
+
+/// One admitted, executing job.
+struct ActiveJob {
+    driver: Box<dyn JobDriver>,
+    queued: QueuedJob,
+    started_at: SimTime,
+    failure: Option<SimError>,
+}
+
+/// The service runtime.
+pub struct Service {
+    cfg: ServiceConfig,
+    cluster: Cluster,
+    controller: AdmissionController,
+    arrivals: VecDeque<crate::workload::Arrival>,
+    active: Vec<ActiveJob>,
+    slos: BTreeMap<u32, TenantSlo>,
+    log: EventLog,
+    next_scope: u64,
+    total_outputs: u64,
+    rounds: u64,
+}
+
+impl Service {
+    /// Builds the service: generates the arrival schedule, sizes the
+    /// cluster, and arms the fault plan if any.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: cfg.nodes,
+            cores: cfg.cores,
+            heap_per_node: cfg.heap_per_node,
+            ..ClusterConfig::default()
+        });
+        if let Some(plan) = cfg.fault_plan.clone() {
+            cluster.install_faults(plan);
+        }
+        let arrivals = generate_arrivals(cfg.seed, &cfg.tenants, cfg.horizon);
+        let mut slos: BTreeMap<u32, TenantSlo> = BTreeMap::new();
+        for t in &cfg.tenants {
+            slos.insert(t.id, TenantSlo::default());
+        }
+        let weights = cfg.tenants.iter().map(|t| (t.id, t.weight)).collect();
+        let controller = AdmissionController::new(cfg.admission, weights);
+        Service {
+            cfg,
+            cluster,
+            controller,
+            arrivals: arrivals.into(),
+            active: Vec::new(),
+            slos,
+            log: EventLog::new(),
+            next_scope: 1,
+            total_outputs: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Runs the service to completion (all arrivals processed, all jobs
+    /// completed or failed) and returns the report.
+    pub fn run(mut self) -> ServiceReport {
+        loop {
+            let now = SimTime::ZERO + self.cluster.elapsed();
+            self.enqueue_due(now);
+            self.admit(now);
+            self.pump();
+            self.step_data_plane();
+            self.handle_crashes();
+            self.settle_jobs();
+
+            let idle = self.active.is_empty() && self.controller.queued() == 0;
+            if idle {
+                match self.arrivals.front() {
+                    None => break,
+                    Some(next) => {
+                        // Nothing to run until the next arrival: jump.
+                        let at = next.at;
+                        self.cluster.advance_clocks_to(at);
+                    }
+                }
+            }
+            self.rounds += 1;
+            assert!(
+                self.rounds < MAX_ROUNDS,
+                "service livelocked after {} rounds ({} active, {} queued)",
+                self.rounds,
+                self.active.len(),
+                self.controller.queued()
+            );
+        }
+        ServiceReport {
+            tenants: self.slos,
+            elapsed: self.cluster.elapsed(),
+            total_outputs: self.total_outputs,
+            rounds: self.rounds,
+            log: self.log,
+        }
+    }
+
+    /// Moves due arrivals into the admission queues.
+    fn enqueue_due(&mut self, now: SimTime) {
+        while let Some(a) = self.arrivals.front() {
+            if a.at > now {
+                break;
+            }
+            let a = self.arrivals.pop_front().expect("front checked");
+            self.slos.entry(a.tenant).or_default().submitted += 1;
+            self.controller.enqueue_arrival(&a);
+        }
+        self.log
+            .record("svc.queued", now, self.controller.queued() as f64);
+    }
+
+    /// Fills free slots per the admission policy.
+    fn admit(&mut self, now: SimTime) {
+        loop {
+            let view = ClusterView {
+                active: self.active.len(),
+                min_free_ratio: self.cluster.min_free_heap_ratio(),
+                any_reduce_signal: self
+                    .active
+                    .iter()
+                    .any(|j| j.driver.memory_signal() == MemSignal::Reduce),
+            };
+            let Some(job) = self.controller.next(view) else {
+                break;
+            };
+            let scope = self.next_scope;
+            self.next_scope += 1;
+            let mut driver = build_driver(
+                job.kind,
+                self.cfg.engine,
+                scope,
+                self.cfg.params,
+                job.dataset_seed,
+                self.cfg.block_size,
+                &mut self.cluster,
+            );
+            let wait = now.since(job.arrived).as_nanos();
+            let failure = driver.start(&mut self.cluster).err();
+            let slo = self.slos.entry(job.tenant).or_default();
+            slo.queue_wait.insert(wait);
+            self.active.push(ActiveJob {
+                driver,
+                queued: job,
+                started_at: now,
+                failure,
+            });
+            self.log.record("svc.active", now, self.active.len() as f64);
+        }
+    }
+
+    /// Advances every healthy active job's control plane once.
+    fn pump(&mut self) {
+        for job in &mut self.active {
+            if job.failure.is_some() {
+                continue;
+            }
+            match job.driver.pump(&mut self.cluster) {
+                Ok(_done) => {}
+                Err(e) => job.failure = Some(e),
+            }
+        }
+    }
+
+    /// Runs one scheduling round on every live node and maps thread
+    /// failures back to their owning jobs via allocation scopes.
+    fn step_data_plane(&mut self) {
+        for n in 0..self.cluster.node_count() {
+            let node = NodeId(n as u32);
+            if self.cluster.sim(node).is_crashed() {
+                continue;
+            }
+            let report = self.cluster.sim(node).run_round();
+            for (tid, err) in report.failed {
+                let scope = self.cluster.sim(node).thread_scope(tid);
+                if let Some(scope) = scope {
+                    if let Some(job) = self
+                        .active
+                        .iter_mut()
+                        .find(|j| j.driver.scope() == scope && j.failure.is_none())
+                    {
+                        job.failure = Some(err);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fires due crashes: salvages ITask workers through the interrupt
+    /// path, then lets every job react (re-home or fail).
+    fn handle_crashes(&mut self) {
+        for n in 0..self.cluster.node_count() {
+            let node = NodeId(n as u32);
+            let salvaged = self.cluster.poll_crash(node);
+            if salvaged.is_empty() && !self.cluster.sim(node).is_crashed() {
+                continue;
+            }
+            if !salvaged.is_empty() {
+                if let Err(e) = salvage_crashed_workers(&mut self.cluster, node, salvaged) {
+                    // Salvage is best-effort; jobs that lost state will
+                    // fail on their own and retry.
+                    let at = SimTime::ZERO + self.cluster.elapsed();
+                    self.log.record("svc.salvage_error", at, 1.0);
+                    let _ = e;
+                }
+                for job in &mut self.active {
+                    if job.failure.is_some() {
+                        continue;
+                    }
+                    if let Err(e) = job.driver.on_node_crash(&mut self.cluster, node) {
+                        job.failure = Some(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retires completed and failed jobs: SLO accounting, teardown,
+    /// retry or charge.
+    fn settle_jobs(&mut self) {
+        let now = SimTime::ZERO + self.cluster.elapsed();
+        let mut i = 0;
+        while i < self.active.len() {
+            let done = self.active[i].driver.output_count().is_some();
+            let failed = self.active[i].failure.is_some();
+            if !done && !failed {
+                i += 1;
+                continue;
+            }
+            let mut job = self.active.swap_remove(i);
+            job.driver.teardown(&mut self.cluster);
+            let busy = now.since(job.started_at).as_nanos();
+            self.controller.credit_served(job.queued.tenant, busy);
+            let slo = self.slos.entry(job.queued.tenant).or_default();
+            if done {
+                slo.completed += 1;
+                slo.latency.insert(now.since(job.queued.arrived).as_nanos());
+                self.total_outputs += job.driver.output_count().unwrap_or(0);
+                self.log.record("svc.completed", now, 1.0);
+            } else {
+                let err = job.failure.expect("failed checked");
+                if err.is_oom() {
+                    slo.omes += 1;
+                    self.log.record("svc.ome", now, 1.0);
+                }
+                if job.queued.retries < self.cfg.max_retries {
+                    slo.retries += 1;
+                    self.controller.requeue(job.queued);
+                } else {
+                    slo.failed += 1;
+                    self.log.record("svc.failed", now, 1.0);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the typed driver for a job kind (each kind pins a different
+/// `AggSpec`, so the match is where the types are erased).
+fn build_driver(
+    kind: JobKind,
+    engine: EngineKind,
+    scope: u64,
+    params: JobParams,
+    dataset_seed: u64,
+    block_size: ByteSize,
+    cluster: &mut Cluster,
+) -> Box<dyn JobDriver> {
+    let blocks = dataset_blocks(kind, dataset_seed, block_size);
+    let live = cluster.live_nodes();
+    let mut inputs: Vec<Vec<Vec<workloads::webmap::AdjRecord>>> =
+        (0..cluster.node_count()).map(|_| Vec::new()).collect();
+    if !live.is_empty() {
+        for (i, block) in blocks.into_iter().enumerate() {
+            inputs[live[i % live.len()].as_usize()].push(block);
+        }
+    }
+    match kind {
+        JobKind::DegreeCount => Box::new(TwoPhaseJob::new(
+            JobKind::degree_count_query(),
+            engine,
+            scope,
+            params,
+            inputs,
+        )),
+        JobKind::WordCount => Box::new(TwoPhaseJob::new(
+            apps::hyracks_apps::wc::WcSpec,
+            engine,
+            scope,
+            params,
+            inputs,
+        )),
+        JobKind::LinkCollect => Box::new(TwoPhaseJob::new(
+            JobKind::link_collect_query(),
+            engine,
+            scope,
+            params,
+            inputs,
+        )),
+    }
+}

@@ -1,0 +1,236 @@
+//! Tenants, job kinds, and the seeded open-loop client generator.
+//!
+//! Each tenant submits a stream of jobs from a weighted mix of three
+//! kinds spanning the repo's front ends — a planner fold query (light),
+//! the Hyracks WC application spec (medium), and a planner collect
+//! query whose reduce-side adjacency lists are the memory hog (heavy,
+//! the service-scale cousin of the paper's II/GR problems). All three
+//! compile to the same two-phase [`apps::AggSpec`] shape over webmap
+//! adjacency records, so one generic driver executes any of them on
+//! either engine.
+
+use planner::{CollectQuery, FoldQuery, Query};
+use simcore::{ByteSize, DetRng, SimDuration, SimTime};
+use workloads::webmap::{AdjRecord, WebmapConfig, WebmapSize};
+
+/// The job catalog: what a client can submit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// Planner fold: out-degree histogram (small input, counter state).
+    DegreeCount,
+    /// Hyracks WC: token counts over the adjacency text (medium).
+    WordCount,
+    /// Planner collect: in-link lists per target vertex (reduce-side
+    /// list state — the co-location memory hog).
+    LinkCollect,
+}
+
+impl JobKind {
+    /// Short label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobKind::DegreeCount => "deg",
+            JobKind::WordCount => "wc",
+            JobKind::LinkCollect => "links",
+        }
+    }
+
+    /// The generated dataset for one submission of this kind.
+    pub fn dataset(self, seed: u64) -> WebmapConfig {
+        let (vertices, edges, bytes) = match self {
+            JobKind::DegreeCount => (600, 1_800, ByteSize::kib(28)),
+            JobKind::WordCount => (1_500, 6_000, ByteSize::kib(90)),
+            JobKind::LinkCollect => (3_000, 24_000, ByteSize::kib(360)),
+        };
+        WebmapConfig {
+            size: WebmapSize::G3,
+            vertices,
+            edges,
+            total_bytes: bytes,
+            seed,
+        }
+    }
+
+    /// The planner fold spec for [`JobKind::DegreeCount`].
+    pub fn degree_count_query() -> FoldQuery<AdjRecord> {
+        Query::<AdjRecord>::named("svc_deg")
+            .flat_map(|r, out| out.push((r.neighbors.len() as u64, 1)))
+            .count()
+    }
+
+    /// The planner collect spec for [`JobKind::LinkCollect`].
+    pub fn link_collect_query() -> CollectQuery<AdjRecord> {
+        Query::<AdjRecord>::named("svc_links")
+            .flat_map(|r, out| {
+                for &n in &r.neighbors {
+                    out.push((n, r.vertex));
+                }
+            })
+            .collect(|items| items.len() as u64)
+    }
+}
+
+/// One tenant's traffic profile.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Tenant id (also the weighted-fair tie-break).
+    pub id: u32,
+    /// Weighted-fair share.
+    pub weight: u64,
+    /// Mean time between submissions (open loop: arrivals do not wait
+    /// for completions).
+    pub mean_interarrival: SimDuration,
+    /// Weighted job mix `(kind, weight)`.
+    pub mix: Vec<(JobKind, u32)>,
+}
+
+impl TenantSpec {
+    /// A uniform tenant: equal shares, the default mixed workload.
+    pub fn uniform(id: u32, mean_interarrival: SimDuration) -> Self {
+        TenantSpec {
+            id,
+            weight: 1,
+            mean_interarrival,
+            mix: vec![
+                (JobKind::DegreeCount, 2),
+                (JobKind::WordCount, 2),
+                (JobKind::LinkCollect, 1),
+            ],
+        }
+    }
+}
+
+/// One generated job submission.
+#[derive(Clone, Debug)]
+pub struct Arrival {
+    /// Submission instant.
+    pub at: SimTime,
+    /// Submitting tenant.
+    pub tenant: u32,
+    /// Per-tenant sequence number.
+    pub seq: u32,
+    /// What was submitted.
+    pub kind: JobKind,
+    /// Seed for the job's dataset generator.
+    pub dataset_seed: u64,
+}
+
+/// Generates every tenant's arrival stream up to `horizon`, merged into
+/// one deterministic schedule (sorted by instant, tenant, sequence).
+///
+/// Interarrival gaps are the tenant's mean scaled by a seeded jitter in
+/// `[0.5, 1.5)`; job kinds are drawn from the tenant's weighted mix.
+/// Everything derives from `seed` via forked [`DetRng`] streams, so the
+/// same `(seed, tenants, horizon)` always yields the same schedule.
+pub fn generate_arrivals(seed: u64, tenants: &[TenantSpec], horizon: SimDuration) -> Vec<Arrival> {
+    let mut all = Vec::new();
+    let mut root = DetRng::new(seed);
+    for t in tenants {
+        let mut rng = root.fork(t.id as u64 + 1);
+        let total_mix: u32 = t.mix.iter().map(|(_, w)| w).sum();
+        assert!(total_mix > 0, "tenant {} has an empty job mix", t.id);
+        let mut at = SimTime::ZERO;
+        let mut seq = 0u32;
+        loop {
+            let jitter = 500 + rng.below(1_000); // [0.5, 1.5) per mille
+            let gap = SimDuration::from_nanos(
+                t.mean_interarrival.as_nanos().saturating_mul(jitter) / 1_000,
+            );
+            at += gap;
+            if at.since(SimTime::ZERO) > horizon {
+                break;
+            }
+            let mut pick = rng.below(total_mix as u64) as u32;
+            let mut kind = t.mix[0].0;
+            for &(k, w) in &t.mix {
+                if pick < w {
+                    kind = k;
+                    break;
+                }
+                pick -= w;
+            }
+            all.push(Arrival {
+                at,
+                tenant: t.id,
+                seq,
+                kind,
+                dataset_seed: simcore::rng::stable_hash64(
+                    seed ^ ((t.id as u64) << 32) ^ seq as u64,
+                ),
+            });
+            seq += 1;
+        }
+    }
+    all.sort_by_key(|a| (a.at, a.tenant, a.seq));
+    all
+}
+
+/// Generator blocks for one arrival's dataset.
+pub fn dataset_blocks(
+    kind: JobKind,
+    dataset_seed: u64,
+    block_size: ByteSize,
+) -> Vec<Vec<AdjRecord>> {
+    let cfg = kind.dataset(dataset_seed);
+    (0..cfg.num_blocks(block_size))
+        .map(|b| cfg.block(b, block_size))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenants(n: u32) -> Vec<TenantSpec> {
+        (0..n)
+            .map(|i| TenantSpec::uniform(i, SimDuration::from_millis(200)))
+            .collect()
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_sorted() {
+        let a = generate_arrivals(42, &tenants(3), SimDuration::from_secs(2));
+        let b = generate_arrivals(42, &tenants(3), SimDuration::from_secs(2));
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.at, x.tenant, x.seq, x.kind),
+                (y.at, y.tenant, y.seq, y.kind)
+            );
+            assert_eq!(x.dataset_seed, y.dataset_seed);
+        }
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_arrivals(1, &tenants(2), SimDuration::from_secs(2));
+        let b = generate_arrivals(2, &tenants(2), SimDuration::from_secs(2));
+        let times_a: Vec<_> = a.iter().map(|x| x.at).collect();
+        let times_b: Vec<_> = b.iter().map(|x| x.at).collect();
+        assert_ne!(times_a, times_b);
+    }
+
+    #[test]
+    fn mix_covers_every_kind_over_time() {
+        let a = generate_arrivals(7, &tenants(4), SimDuration::from_secs(10));
+        for kind in [
+            JobKind::DegreeCount,
+            JobKind::WordCount,
+            JobKind::LinkCollect,
+        ] {
+            assert!(a.iter().any(|x| x.kind == kind), "{kind:?} never generated");
+        }
+    }
+
+    #[test]
+    fn datasets_are_small_and_seeded() {
+        let blocks = dataset_blocks(JobKind::WordCount, 99, ByteSize::kib(16));
+        assert!(!blocks.is_empty());
+        let again = dataset_blocks(JobKind::WordCount, 99, ByteSize::kib(16));
+        assert_eq!(blocks, again);
+        let other = dataset_blocks(JobKind::WordCount, 100, ByteSize::kib(16));
+        assert_ne!(blocks, other);
+    }
+}

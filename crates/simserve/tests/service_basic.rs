@@ -1,0 +1,53 @@
+//! End-to-end service runs on both engines: jobs complete, SLOs are
+//! accounted, and the two engines agree on the answers.
+
+use simcore::SimDuration;
+use simserve::{EngineKind, Service, ServiceConfig};
+
+fn run(engine: EngineKind, tenants: u32, seed: u64) -> simserve::ServiceReport {
+    Service::new(ServiceConfig::standard(engine, tenants, seed)).run()
+}
+
+#[test]
+fn single_tenant_completes_everything_on_both_engines() {
+    let reg = run(EngineKind::Regular, 1, 11);
+    let it = run(EngineKind::Itask, 1, 11);
+    for (name, r) in [("regular", &reg), ("itask", &it)] {
+        let submitted = r.total(|t| t.submitted);
+        let completed = r.total(|t| t.completed);
+        assert!(submitted > 0, "{name}: no arrivals generated");
+        assert_eq!(
+            completed,
+            submitted,
+            "{name}: {completed}/{submitted} completed (failed {}, omes {})",
+            r.total(|t| t.failed),
+            r.total(|t| t.omes),
+        );
+        assert!(r.total_outputs > 0, "{name}: no outputs");
+        assert!(r.elapsed > SimDuration::ZERO);
+    }
+    // Same seed, same arrival schedule, same datasets: the two engines
+    // must compute the same answers.
+    assert_eq!(reg.total_outputs, it.total_outputs);
+}
+
+#[test]
+fn slo_sketches_record_every_completion() {
+    let r = run(EngineKind::Itask, 2, 23);
+    for (tenant, slo) in &r.tenants {
+        assert_eq!(
+            slo.latency.count(),
+            slo.completed,
+            "tenant {tenant}: latency samples != completions"
+        );
+        assert_eq!(
+            slo.queue_wait.count(),
+            slo.completed + slo.failed + slo.retries,
+            "tenant {tenant}: queue-wait samples != admissions"
+        );
+        if slo.completed > 0 {
+            assert!(slo.latency.quantile(0.5) > 0);
+            assert!(slo.latency.quantile(0.99) >= slo.latency.quantile(0.5));
+        }
+    }
+}
