@@ -6,6 +6,8 @@
 //! GC pauses are stop-the-world and advance the clock directly as they
 //! happen (inside [`crate::node::NodeState::alloc`]).
 
+use std::collections::BTreeMap;
+
 use simcore::{ByteSize, SimDuration, SimError, ThreadId};
 
 use crate::node::{NodeState, WorkCx};
@@ -78,6 +80,10 @@ pub struct NodeSim {
     next_thread: u32,
     quantum: SimDuration,
     crashed: bool,
+    /// CPU time consumed per allocation scope, harvested (and reset)
+    /// via [`Self::take_scope_cpu`]. A job's own consumption, as
+    /// opposed to its wall-clock residency on the node.
+    scope_cpu: BTreeMap<u64, SimDuration>,
 }
 
 impl NodeSim {
@@ -94,6 +100,7 @@ impl NodeSim {
             next_thread: 0,
             quantum: Self::DEFAULT_QUANTUM,
             crashed: false,
+            scope_cpu: BTreeMap::new(),
         }
     }
 
@@ -187,6 +194,14 @@ impl NodeSim {
         killed
     }
 
+    /// CPU time threads of `scope` have consumed on this node since the
+    /// scope's last harvest. Removes the counter: scopes identify jobs
+    /// and are never reused, so a settled scope's slot would otherwise
+    /// linger for the rest of a long service run.
+    pub fn take_scope_cpu(&mut self, scope: u64) -> SimDuration {
+        self.scope_cpu.remove(&scope).unwrap_or(SimDuration::ZERO)
+    }
+
     /// Number of live threads spawned under `scope`.
     pub fn live_count_in_scope(&self, scope: u64) -> usize {
         self.threads
@@ -277,6 +292,9 @@ impl NodeSim {
                 let used = cx.used();
                 max_used = max_used.max(used);
                 sum_used += used;
+                if let Some(scope) = self.threads[i].scope {
+                    *self.scope_cpu.entry(scope).or_insert(SimDuration::ZERO) += used;
+                }
                 outcome
             };
             report.stepped += 1;
@@ -532,6 +550,25 @@ mod tests {
         let (fin, fail) = run_to_completion(&mut s);
         assert_eq!(fin.len(), 2);
         assert!(fail.is_empty());
+    }
+
+    #[test]
+    fn scope_cpu_tracks_own_consumption_not_residency() {
+        let mut s = sim(1, 64);
+        // Scope 1 does 4x the work of scope 2 on one shared core; both
+        // are co-resident for the whole run.
+        s.spawn_scoped(crunch(40_000, 8), Some(1));
+        s.spawn_scoped(crunch(10_000, 8), Some(2));
+        run_to_completion(&mut s);
+        let c1 = s.take_scope_cpu(1);
+        let c2 = s.take_scope_cpu(2);
+        assert!(c2 > SimDuration::ZERO);
+        let ratio = c1.as_nanos() as f64 / c2.as_nanos() as f64;
+        assert!(ratio > 3.0, "scope CPU ratio {ratio} reflects residency");
+        // Harvest is take-once.
+        assert_eq!(s.take_scope_cpu(1), SimDuration::ZERO);
+        // Unscoped threads are not accounted anywhere.
+        assert_eq!(s.take_scope_cpu(999), SimDuration::ZERO);
     }
 
     #[test]

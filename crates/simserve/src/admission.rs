@@ -74,6 +74,10 @@ pub struct QueuedJob {
     /// Original submission instant (latency is measured from here even
     /// across retries).
     pub arrived: SimTime,
+    /// Most recent enqueue instant: the arrival for fresh submissions,
+    /// the requeue instant for retries. Queue wait is measured from
+    /// here, so a retry's wait does not absorb its prior execution.
+    pub enqueued: SimTime,
     /// Dataset seed.
     pub dataset_seed: u64,
     /// How many times this job has already failed and been requeued.
@@ -135,6 +139,7 @@ impl AdmissionController {
             seq: a.seq,
             kind: a.kind,
             arrived: a.at,
+            enqueued: a.at,
             dataset_seed: a.dataset_seed,
             retries: 0,
             stamp: self.next_stamp,
@@ -144,9 +149,11 @@ impl AdmissionController {
     }
 
     /// Requeues a failed job at the back of its tenant's queue with a
-    /// fresh stamp and an incremented retry count.
-    pub fn requeue(&mut self, mut job: QueuedJob) {
+    /// fresh stamp, a fresh enqueue instant (`now`), and an incremented
+    /// retry count.
+    pub fn requeue(&mut self, mut job: QueuedJob, now: SimTime) {
         job.retries += 1;
+        job.enqueued = now;
         job.stamp = self.next_stamp;
         self.next_stamp += 1;
         self.queues.entry(job.tenant).or_default().push_back(job);
@@ -193,25 +200,25 @@ impl AdmissionController {
     }
 
     /// Head job of the non-empty tenant with the smallest virtual time
-    /// (`served / weight`), ties broken by tenant id. Comparison uses
-    /// cross-multiplied integers so it is exactly deterministic.
+    /// (`served / weight`), ties broken by tenant id. Pairs are ordered
+    /// by cross-multiplication — `served_t * w_b < served_b * w_t` —
+    /// so the comparison is exact: no scaling constant, no integer
+    /// division to quantize distinct vtimes together.
     fn pop_weighted_fair(&mut self) -> Option<QueuedJob> {
-        let mut best: Option<(u128, u32)> = None;
+        let mut best: Option<(u128, u128, u32)> = None; // (served, weight, tenant)
         for (&t, q) in &self.queues {
             if q.is_empty() {
                 continue;
             }
-            let w = self.weights.get(&t).copied().unwrap_or(1).max(1);
-            // vtime = served / weight, scaled to avoid division: compare
-            // served * LCM-free via served * other_w < other_served * w.
-            // Simpler: scale served by a common resolution per weight.
-            let served = self.served.get(&t).copied().unwrap_or(0);
-            let vtime = (served as u128) * 1_000_000 / w as u128;
-            if best.map(|(bv, bt)| (vtime, t) < (bv, bt)).unwrap_or(true) {
-                best = Some((vtime, t));
+            let w = self.weights.get(&t).copied().unwrap_or(1).max(1) as u128;
+            let served = self.served.get(&t).copied().unwrap_or(0) as u128;
+            // Queues iterate in ascending tenant order, so the strict
+            // inequality keeps the lowest tenant id on vtime ties.
+            if best.map(|(bs, bw, _)| served * bw < bs * w).unwrap_or(true) {
+                best = Some((served, w, t));
             }
         }
-        let tenant = best.map(|(_, t)| t)?;
+        let tenant = best.map(|(_, _, t)| t)?;
         self.pop_front(tenant)
     }
 
@@ -346,12 +353,39 @@ mod tests {
         let failed = c.next(calm(0)).unwrap();
         assert_eq!(failed.seq, 0);
         let arrived = failed.arrived;
-        c.requeue(failed);
+        let requeued_at = SimTime::ZERO + SimDuration::from_millis(9);
+        c.requeue(failed, requeued_at);
         let next = c.next(calm(0)).unwrap();
         assert_eq!(next.seq, 1, "requeued job goes to the back");
         let retried = c.next(calm(0)).unwrap();
         assert_eq!(retried.seq, 0);
         assert_eq!(retried.retries, 1);
         assert_eq!(retried.arrived, arrived, "latency clock not reset");
+        assert_eq!(
+            retried.enqueued, requeued_at,
+            "queue-wait clock restarts at the requeue"
+        );
+    }
+
+    #[test]
+    fn weighted_fair_ordering_is_exact_for_tiny_vtime_gaps() {
+        let cfg = AdmissionConfig {
+            policy: PolicyKind::WeightedFair,
+            max_active: 8,
+            ..AdmissionConfig::default()
+        };
+        // Both tenants' scaled vtimes would quantize to the same value
+        // under `served * 1e6 / w`; cross-multiplication must still see
+        // that tenant 1 (weight 3M, served 1) is the less-served one.
+        let mut weights = BTreeMap::new();
+        weights.insert(0u32, 2_000_000u64);
+        weights.insert(1u32, 3_000_000u64);
+        let mut c = AdmissionController::new(cfg, weights);
+        c.enqueue_arrival(&arrival(0, 0, 1));
+        c.enqueue_arrival(&arrival(1, 0, 2));
+        c.credit_served(0, 1);
+        c.credit_served(1, 1);
+        let first = c.next(calm(0)).unwrap();
+        assert_eq!(first.tenant, 1, "sub-resolution vtime gap lost");
     }
 }

@@ -442,6 +442,11 @@ impl<S: AggSpec> JobDriver for TwoPhaseJob<S> {
     }
 
     fn memory_signal(&self) -> MemSignal {
+        if self.irss.is_empty() {
+            // Regular jobs (and phase transitions) have no monitor: the
+            // trait contract is Steady, not "room to grow".
+            return MemSignal::Steady;
+        }
         let mut worst = MemSignal::Grow;
         for irs in &self.irss {
             match irs.memory_signal() {
@@ -522,4 +527,66 @@ fn service_shuffle<T: Tuple>(
         cluster.sim(dst).node_mut().now += wire;
     }
     Ok(per_node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{dataset_blocks, JobKind};
+    use simcluster::ClusterConfig;
+
+    /// The window the service's crash-transition reporting must cover:
+    /// a node that dies holding *only queued partitions* (offered by
+    /// `start`/`enter_reduce`, workers not yet spawned by a pump tick)
+    /// salvages nothing, yet `on_node_crash` must still re-home every
+    /// one of them — abandoning the queue would let the job quiesce
+    /// over the survivors and complete with partial output.
+    #[test]
+    fn on_node_crash_rehomes_queued_partitions_before_workers_spawn() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 4,
+            ..ClusterConfig::default()
+        });
+        let blocks = dataset_blocks(JobKind::DegreeCount, 77, ByteSize::kib(8));
+        assert!(blocks.len() >= 4, "need input on every node");
+        let mut inputs: Vec<Vec<Vec<workloads::webmap::AdjRecord>>> =
+            (0..4).map(|_| Vec::new()).collect();
+        for (i, b) in blocks.into_iter().enumerate() {
+            inputs[i % 4].push(b);
+        }
+        let params = JobParams {
+            threads: 2,
+            max_parallelism: 2,
+            granularity: ByteSize::kib(8),
+            buckets: 16,
+        };
+        let mut job = TwoPhaseJob::new(
+            JobKind::degree_count_query(),
+            EngineKind::Itask,
+            1,
+            params,
+            inputs,
+        );
+        job.start(&mut cluster).unwrap();
+
+        let dead = NodeId(1);
+        let queued_before = job.irss[dead.as_usize()].queued();
+        assert!(queued_before > 0, "offers must be queued on the doomed node");
+        assert_eq!(cluster.sim(dead).live_count(), 0, "no workers spawned yet");
+
+        let salvaged = cluster.sim(dead).crash();
+        assert!(salvaged.is_empty(), "queued-only node salvages nothing");
+        job.on_node_crash(&mut cluster, dead).unwrap();
+
+        assert_eq!(job.irss[dead.as_usize()].queued(), 0, "dead queue drained");
+        let rehomed: u64 = job
+            .irss
+            .iter()
+            .map(|irs| irs.stats().crash_requeued_partitions)
+            .sum();
+        assert_eq!(
+            rehomed as usize, queued_before,
+            "every queued partition must land on a survivor"
+        );
+    }
 }

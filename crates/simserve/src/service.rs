@@ -178,7 +178,6 @@ fn fmt_ms(ns: u64) -> String {
 struct ActiveJob {
     driver: Box<dyn JobDriver>,
     queued: QueuedJob,
-    started_at: SimTime,
     failure: Option<SimError>,
 }
 
@@ -310,14 +309,16 @@ impl Service {
                 self.cfg.block_size,
                 &mut self.cluster,
             );
-            let wait = now.since(job.arrived).as_nanos();
+            // Waits are measured from the latest enqueue, so a retry's
+            // sample is its genuine re-queueing delay, not the failed
+            // execution that preceded it.
+            let wait = now.since(job.enqueued).as_nanos();
             let failure = driver.start(&mut self.cluster).err();
             let slo = self.slos.entry(job.tenant).or_default();
             slo.queue_wait.insert(wait);
             self.active.push(ActiveJob {
                 driver,
                 queued: job,
-                started_at: now,
                 failure,
             });
             self.log.record("svc.active", now, self.active.len() as f64);
@@ -363,11 +364,21 @@ impl Service {
 
     /// Fires due crashes: salvages ITask workers through the interrupt
     /// path, then lets every job react (re-home or fail).
+    ///
+    /// Jobs are notified on the crash *transition*, never on salvage
+    /// contents: a node can die with zero live threads (e.g. a job
+    /// between `enter_reduce` offering partitions and the next pump
+    /// spawning workers) and its queued state must still be re-homed —
+    /// otherwise the job would quiesce over the survivors alone and
+    /// settle as completed with partial output.
     fn handle_crashes(&mut self) {
         for n in 0..self.cluster.node_count() {
             let node = NodeId(n as u32);
+            let was_crashed = self.cluster.sim(node).is_crashed();
             let salvaged = self.cluster.poll_crash(node);
-            if salvaged.is_empty() && !self.cluster.sim(node).is_crashed() {
+            if was_crashed || !self.cluster.sim(node).is_crashed() {
+                // No crash fired this round (salvage is only ever
+                // non-empty when one does).
                 continue;
             }
             if !salvaged.is_empty() {
@@ -378,13 +389,13 @@ impl Service {
                     self.log.record("svc.salvage_error", at, 1.0);
                     let _ = e;
                 }
-                for job in &mut self.active {
-                    if job.failure.is_some() {
-                        continue;
-                    }
-                    if let Err(e) = job.driver.on_node_crash(&mut self.cluster, node) {
-                        job.failure = Some(e);
-                    }
+            }
+            for job in &mut self.active {
+                if job.failure.is_some() {
+                    continue;
+                }
+                if let Err(e) = job.driver.on_node_crash(&mut self.cluster, node) {
+                    job.failure = Some(e);
                 }
             }
         }
@@ -403,9 +414,19 @@ impl Service {
                 continue;
             }
             let mut job = self.active.swap_remove(i);
+            // Weighted-fair charges what the job itself consumed — the
+            // per-scope CPU time the schedulers metered — not its
+            // wall-clock residency, which would also bill the tenant
+            // for rounds spent co-resident with heavy neighbors.
+            let mut busy = SimDuration::ZERO;
+            for n in 0..self.cluster.node_count() {
+                busy += self
+                    .cluster
+                    .sim(NodeId(n as u32))
+                    .take_scope_cpu(job.driver.scope());
+            }
             job.driver.teardown(&mut self.cluster);
-            let busy = now.since(job.started_at).as_nanos();
-            self.controller.credit_served(job.queued.tenant, busy);
+            self.controller.credit_served(job.queued.tenant, busy.as_nanos());
             let slo = self.slos.entry(job.queued.tenant).or_default();
             if done {
                 slo.completed += 1;
@@ -420,7 +441,7 @@ impl Service {
                 }
                 if job.queued.retries < self.cfg.max_retries {
                     slo.retries += 1;
-                    self.controller.requeue(job.queued);
+                    self.controller.requeue(job.queued, now);
                 } else {
                     slo.failed += 1;
                     self.log.record("svc.failed", now, 1.0);
@@ -472,5 +493,116 @@ fn build_driver(
             params,
             inputs,
         )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Arrival;
+
+    /// A service with no arrivals of its own, so tests can inject jobs
+    /// at precise points in the round.
+    fn empty_service(engine: EngineKind, fault_plan: Option<FaultPlan>) -> Service {
+        let mut cfg = ServiceConfig::standard(engine, 1, 1);
+        cfg.tenants.clear();
+        cfg.fault_plan = fault_plan;
+        Service::new(cfg)
+    }
+
+    /// Builds a driver for one injected job and registers it active,
+    /// without starting it.
+    fn inject(svc: &mut Service, engine: EngineKind) {
+        let mut ctl = AdmissionController::new(AdmissionConfig::default(), BTreeMap::new());
+        ctl.enqueue_arrival(&Arrival {
+            at: SimTime::ZERO,
+            tenant: 0,
+            seq: 0,
+            kind: JobKind::DegreeCount,
+            dataset_seed: 77,
+        });
+        let job = ctl
+            .next(ClusterView {
+                active: 0,
+                min_free_ratio: 1.0,
+                any_reduce_signal: false,
+            })
+            .expect("queued job");
+        let driver = build_driver(
+            job.kind,
+            engine,
+            1,
+            svc.cfg.params,
+            job.dataset_seed,
+            svc.cfg.block_size,
+            &mut svc.cluster,
+        );
+        svc.active.push(ActiveJob {
+            driver,
+            queued: job,
+            failure: None,
+        });
+    }
+
+    /// A crash must be reported to every active job even when the dead
+    /// node had zero live threads (empty salvage): regular jobs have no
+    /// recovery plane and die with `NodeLost`.
+    #[test]
+    fn crash_with_zero_live_threads_still_fails_regular_jobs() {
+        let plan = FaultPlan::new(0).with_crash(NodeId(1), SimTime::ZERO);
+        let mut svc = empty_service(EngineKind::Regular, Some(plan));
+        inject(&mut svc, EngineKind::Regular);
+        // The job has not started: no threads anywhere, so the crash
+        // salvages nothing — and must be reported regardless.
+        svc.handle_crashes();
+        assert!(
+            matches!(
+                svc.active[0].failure,
+                Some(SimError::NodeLost { node: NodeId(1) })
+            ),
+            "crash with empty salvage not reported: {:?}",
+            svc.active[0].failure
+        );
+    }
+
+    /// An ITask job whose state on the dead node is *only* queued
+    /// partitions (offered, workers not yet spawned) must re-home them
+    /// and still produce the full answer — not settle as completed with
+    /// the dead node's share of the output silently missing.
+    #[test]
+    fn itask_queued_only_state_is_rehomed_on_crash() {
+        let run = |crash: bool| {
+            let plan =
+                crash.then(|| FaultPlan::new(0).with_crash(NodeId(1), SimTime::ZERO));
+            let mut svc = empty_service(EngineKind::Itask, plan);
+            inject(&mut svc, EngineKind::Itask);
+            svc.active[0]
+                .driver
+                .start(&mut svc.cluster)
+                .expect("start offers partitions");
+            // Fire the crash before any pump: the dead node holds only
+            // queued partitions and zero live threads.
+            svc.handle_crashes();
+            assert!(
+                svc.active[0].failure.is_none(),
+                "itask job must survive: {:?}",
+                svc.active[0].failure
+            );
+            for _ in 0..200_000 {
+                if svc.active.is_empty() {
+                    break;
+                }
+                svc.pump();
+                svc.step_data_plane();
+                svc.handle_crashes();
+                svc.settle_jobs();
+            }
+            assert_eq!(svc.slos[&0].completed, 1, "job must settle as completed");
+            svc.total_outputs
+        };
+        let with_crash = run(true);
+        let without = run(false);
+        assert!(without > 0);
+        assert_eq!(with_crash, without, "crash run lost partitions");
     }
 }
