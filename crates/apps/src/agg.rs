@@ -14,7 +14,7 @@ use hadoop::{HadoopConfig, MapCx, Mapper, ReduceCx, Reducer, RegularJobResult};
 use hyracks::{ItaskFactories, OpCx, Operator, ShuffleBatch};
 use itask_core::{ITask, Scale, TaskCx, Tuple, TupleTask};
 use simcluster::JobReport;
-use simcore::{ByteSize, SimError, SimResult, TaskId};
+use simcore::{prof, ByteSize, SimError, SimResult, TaskId};
 
 /// A tuple that knows its aggregation key and can absorb another tuple
 /// with the same key.
@@ -123,7 +123,7 @@ impl<M: MergeableTuple> AggState<M> {
 
     /// Folds one tuple in; `charge` receives the byte delta (positive:
     /// allocate, negative: free).
-    pub fn add(&mut self, item: M, charge: &mut dyn FnMut(i64) -> SimResult<()>) -> SimResult<()> {
+    pub fn add(&mut self, item: M, charge: &mut impl FnMut(i64) -> SimResult<()>) -> SimResult<()> {
         use std::collections::hash_map::Entry;
         match self.map.entry(item.key()) {
             Entry::Vacant(v) => {
@@ -144,9 +144,14 @@ impl<M: MergeableTuple> AggState<M> {
     /// the order the previous BTreeMap-backed state emitted in — this
     /// is the only place map order is observable).
     pub fn drain(&mut self) -> Vec<M> {
-        let mut items: Vec<(u64, M)> = self.map.drain().collect();
-        items.sort_unstable_by_key(|(k, _)| *k);
-        items.into_iter().map(|(_, v)| v).collect()
+        let _wall = prof::wall_timer(prof::Stage::AggDrain);
+        prof::count(prof::Stage::AggDrain, 1, self.map.len() as u64);
+        let mut out: Vec<M> = Vec::with_capacity(self.map.len());
+        out.extend(self.map.drain().map(|(_, v)| v));
+        // Keys are unique, so sorting the tuples by their own key gives
+        // the order the previous BTreeMap-backed state emitted in.
+        out.sort_unstable_by_key(MergeableTuple::key);
+        out
     }
 }
 

@@ -73,6 +73,7 @@ fn render(
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
+    sweep::take_profile_flag(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     // `--csv <dir>`: also write one machine-readable file per program.
     let csv: Option<String> = args

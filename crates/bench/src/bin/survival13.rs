@@ -55,6 +55,7 @@ macro_rules! five_specs {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
+    sweep::take_profile_flag(&mut args);
     let five = !args.iter().any(|a| a == "--eight-only");
     let eight = !args.iter().any(|a| a == "--five-only");
     let mut log = sweep::SweepLog::new("survival13", jobs);

@@ -15,6 +15,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use simcore::prof;
+
 /// One schedulable unit of a sweep: a label (for progress lines and
 /// `BENCH_sweeps.json`) and a closure that runs one simulation.
 ///
@@ -114,6 +116,32 @@ pub fn take_jobs_flag(args: &mut Vec<String>) -> usize {
         }
     }
     jobs
+}
+
+/// Extracts `--profile` from an argument list (mutating it). When the
+/// flag is present, resets and arms the in-simulator profiler including
+/// its wall-clock sidecar; [`SweepLog::finish`] then embeds the
+/// per-stage breakdown in the binary's JSON sidecar (merged into
+/// `BENCH_sweeps.json`) and writes a human-readable
+/// `<dir>/sweeps/<bin>.profile.txt`.
+///
+/// Stdout is untouched: the deterministic tables stay byte-identical
+/// with and without `--profile`.
+pub fn take_profile_flag(args: &mut Vec<String>) -> bool {
+    let mut on = false;
+    args.retain(|a| {
+        if a == "--profile" {
+            on = true;
+            false
+        } else {
+            true
+        }
+    });
+    if on {
+        prof::reset();
+        prof::enable(true);
+    }
+    on
 }
 
 /// Runs every spec on a fixed pool of `jobs` worker threads (`0` =
@@ -223,10 +251,21 @@ impl SweepLog {
         let dir = results_dir();
         let sweep_dir = dir.join("sweeps");
         std::fs::create_dir_all(&sweep_dir)?;
+        // With `--profile` armed, embed the per-stage breakdown (the
+        // deterministic counters plus the wall sidecar) and drop a
+        // human-readable twin next to the JSON.
+        let profile = prof::is_enabled().then(prof::snapshot);
         let mut body = String::new();
         body.push_str("{\n");
         body.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         body.push_str(&format!("  \"total_wall_ms\": {total_ms},\n"));
+        if let Some(snap) = &profile {
+            body.push_str(&format!("  \"profile\": {},\n", prof::to_json(snap)));
+            std::fs::write(
+                sweep_dir.join(format!("{}.profile.txt", self.bin)),
+                prof::render_sidecar(snap),
+            )?;
+        }
         body.push_str("  \"runs\": [\n");
         for (i, (label, ms)) in self.runs.iter().enumerate() {
             let sep = if i + 1 == self.runs.len() { "" } else { "," };

@@ -1,0 +1,115 @@
+//! Golden-output snapshot tests for the bench binaries.
+//!
+//! Each test runs a bench binary in its quick mode and diffs its stdout
+//! against a checked-in snapshot under `tests/golden/` at the workspace
+//! root. The binaries print only virtual-time results on stdout
+//! (wall-clock progress lines go to stderr), so the snapshots are
+//! byte-stable across hosts, `--jobs` counts, and host-side
+//! optimisations — any diff means the simulation itself changed.
+//!
+//! To regenerate after an intentional behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --release -p itask-bench --test golden
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Run `bin` with `args`, capture stdout, and compare to the snapshot.
+///
+/// Sidecar sweep logs are redirected to a scratch dir via
+/// `ITASK_BENCH_RESULTS` so the test never dirties `bench_results/`.
+fn check_golden(bin: &str, args: &[&str], golden_name: &str) {
+    let scratch = std::env::temp_dir().join(format!("itask-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    let out = Command::new(bin)
+        .args(args)
+        .env("ITASK_BENCH_RESULTS", &scratch)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} exited with {}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let actual = String::from_utf8(out.stdout).expect("bench stdout is UTF-8");
+
+    let path = golden_dir().join(golden_name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test --release -p itask-bench --test golden",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let mut first_diff = None;
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != a {
+                first_diff = Some((i + 1, e.to_string(), a.to_string()));
+                break;
+            }
+        }
+        let detail = match first_diff {
+            Some((line, e, a)) => {
+                format!("first differing line {line}:\n  golden: {e}\n  actual: {a}")
+            }
+            None => format!(
+                "line counts differ: golden {} vs actual {}",
+                expected.lines().count(),
+                actual.lines().count()
+            ),
+        };
+        panic!(
+            "{bin} {args:?} stdout diverged from {}\n{detail}\n\
+             If the change is intentional, regenerate with UPDATE_GOLDEN=1.",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_service_quick() {
+    check_golden(
+        env!("CARGO_BIN_EXE_service"),
+        &["--quick"],
+        "service_quick.txt",
+    );
+}
+
+#[test]
+fn golden_faults_wc() {
+    check_golden(
+        env!("CARGO_BIN_EXE_faults"),
+        &["--wc-only"],
+        "faults_wc.txt",
+    );
+}
+
+#[test]
+fn golden_table5_quick_wc() {
+    // ~10s in release but minutes in debug; the CI golden job runs the
+    // suite with --release so this stays covered there.
+    if cfg!(debug_assertions) {
+        eprintln!("skipping table5 golden in debug mode; run with --release to cover it");
+        return;
+    }
+    check_golden(
+        env!("CARGO_BIN_EXE_table5"),
+        &["--quick", "wc"],
+        "table5_quick_wc.txt",
+    );
+}

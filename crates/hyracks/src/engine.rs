@@ -1,16 +1,17 @@
 //! Two-phase job execution: partition-local phase → hash shuffle →
 //! bucket-exclusive aggregation phase, in both regular and ITask form.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use itask_core::{
     offer_serialized, ITask, Irs, IrsConfig, ItaskWorker, PartitionState, Tag, TaskGraph, Tuple,
 };
 use simcluster::{Cluster, JobOutcome, JobReport, WorkCx, DEFAULT_IO_RETRIES};
-use simcore::{ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
+use simcore::{prof, ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
 
-use crate::operator::{Operator, OperatorWorker, OutputSink};
+use crate::operator::{BucketArena, Operator, OperatorWorker, OutputSink};
+use crate::pool::BatchPool;
 
 /// Parameters of a regular two-phase job.
 #[derive(Clone, Debug)]
@@ -77,6 +78,22 @@ pub struct ShuffleBatch<T> {
 
 /// Splits records into frames of at most `granularity` serialized bytes.
 pub fn chunk_into_frames<T: Tuple>(records: Vec<T>, granularity: ByteSize) -> Vec<Vec<T>> {
+    let mut pool = BatchPool::with_capacity(0);
+    chunk_into_frames_pooled(records, granularity, &mut pool)
+}
+
+/// [`chunk_into_frames`] drawing frame buffers from `pool` and parking
+/// the spent input buffer there, so phase-2 framing recycles the batch
+/// vectors the shuffle just retired instead of round-tripping the
+/// allocator. Host-side only: frame boundaries and contents are
+/// identical to the unpooled path.
+pub fn chunk_into_frames_pooled<T: Tuple>(
+    mut records: Vec<T>,
+    granularity: ByteSize,
+    pool: &mut BatchPool<T>,
+) -> Vec<Vec<T>> {
+    let _wall = prof::wall_timer(prof::Stage::FrameChunk);
+    prof::count(prof::Stage::FrameChunk, 1, records.len() as u64);
     // Two passes: count each frame's length first so every frame (and
     // the outer vec) is allocated at exact capacity instead of grown.
     let cap = granularity.as_u64();
@@ -97,12 +114,15 @@ pub fn chunk_into_frames<T: Tuple>(records: Vec<T>, granularity: ByteSize) -> Ve
         counts.push(n);
     }
     let mut frames = Vec::with_capacity(counts.len());
-    let mut it = records.into_iter();
-    for n in counts {
-        let mut frame = Vec::with_capacity(n);
-        frame.extend(it.by_ref().take(n));
-        frames.push(frame);
+    {
+        let mut it = records.drain(..);
+        for n in counts {
+            let mut frame = pool.take(n);
+            frame.extend(it.by_ref().take(n));
+            frames.push(frame);
+        }
     }
+    pool.put(records);
     frames
 }
 
@@ -140,11 +160,29 @@ fn drive_phase(cluster: &mut Cluster) -> SimResult<()> {
     }
 }
 
-/// Per-source bucketed output batches entering the shuffle.
-type BucketedOutputs<T> = Vec<(NodeId, Vec<(u32, Vec<T>)>)>;
+/// Per-source bucketed output entering the shuffle: each node's
+/// [`BucketArena`] of flush-ordered batches over dense per-bucket
+/// tuple arenas.
+type BucketedOutputs<T> = Vec<(NodeId, BucketArena<T>)>;
 
-/// Per-destination-node bucket → tuples maps leaving the shuffle.
-type ShuffledInputs<T> = Vec<BTreeMap<u32, Vec<T>>>;
+/// Per-destination-node bucket → tuples leaving the shuffle: a dense
+/// vector indexed by bucket id (empty slot = no tuples routed there).
+/// The bucket space is small (nodes × threads × a small constant), so
+/// direct indexing replaces the per-batch `BTreeMap` probe the old
+/// representation paid millions of times per run; in-order iteration
+/// filtered to non-empty slots yields exactly the ascending-bucket walk
+/// a BTreeMap gave.
+type ShuffledInputs<T> = Vec<Vec<Vec<T>>>;
+
+/// Iterates a node's shuffled buckets in ascending order, skipping the
+/// empty slots of the dense representation.
+fn nonempty_buckets<T>(buckets: Vec<Vec<T>>) -> impl Iterator<Item = (u32, Vec<T>)> {
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, tuples)| !tuples.is_empty())
+        .map(|(b, tuples)| (b as u32, tuples))
+}
 
 /// Routes bucketed outputs to their destination nodes, charging the
 /// fabric, and returns per-node bucket → tuples maps plus the barrier
@@ -160,29 +198,73 @@ type ShuffledInputs<T> = Vec<BTreeMap<u32, Vec<T>>>;
 fn shuffle<T: Tuple>(
     cluster: &mut Cluster,
     outputs: BucketedOutputs<T>,
+    pool: &mut BatchPool<T>,
 ) -> SimResult<(ShuffledInputs<T>, SimDuration)> {
+    let _wall = prof::wall_timer(prof::Stage::Shuffle);
     let nodes = cluster.node_count();
     let live = cluster.live_nodes();
     let now = SimTime::ZERO + cluster.elapsed();
-    let mut per_node: ShuffledInputs<T> = (0..nodes).map(|_| BTreeMap::new()).collect();
+    let mut per_node: ShuffledInputs<T> = (0..nodes).map(|_| Vec::new()).collect();
     let mut max_wire = SimDuration::ZERO;
-    for (src, batches) in outputs {
+    let (mut batch_count, mut byte_count) = (0u64, 0u64);
+    let mut wire_total = SimDuration::ZERO;
+    let mut cursors: Vec<usize> = Vec::new();
+    for (src, arena) in outputs {
         let src = if live.contains(&src) {
             src
         } else {
             *live.first().ok_or(SimError::NodeLost { node: src })?
         };
-        for (bucket, tuples) in batches {
-            let dst = live[bucket as usize % live.len()];
-            let bytes = ByteSize(tuples.iter().map(Tuple::ser_bytes).sum());
+        let (arenas, batches) = arena.into_parts();
+        // Charge the fabric per flushed batch, in flush order — the
+        // exact transfer sequence (and therefore every wire time) the
+        // per-batch-vector representation produced. A cursor per bucket
+        // walks each arena so a batch's bytes are summed over its own
+        // slice.
+        cursors.clear();
+        cursors.resize(arenas.len(), 0);
+        for (bucket, len) in batches {
+            let bi = bucket as usize;
+            let dst = live[bi % live.len()];
+            let start = cursors[bi];
+            cursors[bi] = start + len as usize;
+            let bytes = ByteSize(
+                arenas[bi][start..cursors[bi]]
+                    .iter()
+                    .map(Tuple::ser_bytes)
+                    .sum(),
+            );
             let wire = cluster.fabric().transfer_at(src, dst, bytes, now)?;
             max_wire = max_wire.max(wire);
-            per_node[dst.as_usize()]
-                .entry(bucket)
-                .or_default()
-                .extend(tuples);
+            batch_count += 1;
+            byte_count += bytes.as_u64();
+            wire_total += wire;
+        }
+        // Every batch of bucket `b` from this source lands on the same
+        // destination, so the whole per-bucket arena moves in one step:
+        // adopted outright by the first source to fill the slot, bulk-
+        // appended after that. Retired buffers park in the pool for
+        // phase-2 framing.
+        for (bi, mut tuples) in arenas.into_iter().enumerate() {
+            if tuples.is_empty() {
+                pool.put(tuples);
+                continue;
+            }
+            let dst = live[bi % live.len()];
+            let slots = &mut per_node[dst.as_usize()];
+            if slots.len() <= bi {
+                slots.resize_with(bi + 1, Vec::new);
+            }
+            if slots[bi].is_empty() {
+                pool.put(std::mem::replace(&mut slots[bi], tuples));
+            } else {
+                slots[bi].append(&mut tuples);
+                pool.put(tuples);
+            }
         }
     }
+    prof::count(prof::Stage::Shuffle, batch_count, byte_count);
+    prof::vtime(prof::Stage::Shuffle, wire_total);
     Ok((per_node, max_wire))
 }
 
@@ -245,7 +327,9 @@ where
         .enumerate()
         .map(|(n, s)| (NodeId(n as u32), std::mem::take(&mut *s.borrow_mut())))
         .collect();
-    let (per_node, wire) = match shuffle(cluster, outputs) {
+    // Spent batch buffers park here and come back out as phase-2 frames.
+    let mut pool: BatchPool<M::Out> = BatchPool::new();
+    let (per_node, wire) = match shuffle(cluster, outputs, &mut pool) {
         Ok(x) => x,
         Err(e) => return (cluster.report(JobOutcome::Failed(e.clone())), Err(e)),
     };
@@ -259,9 +343,9 @@ where
         // Whole buckets per thread (hash semantics).
         let mut per_thread: Vec<VecDeque<Vec<M::Out>>> =
             (0..spec.threads).map(|_| VecDeque::new()).collect();
-        for (bucket, tuples) in buckets {
+        for (bucket, tuples) in nonempty_buckets(buckets) {
             let t = (bucket as usize / cluster.node_count()) % spec.threads;
-            for frame in chunk_into_frames(tuples, spec.granularity) {
+            for frame in chunk_into_frames_pooled(tuples, spec.granularity, &mut pool) {
                 per_thread[t].push_back(frame);
             }
         }
@@ -287,7 +371,7 @@ where
     // ---- Collect (bucket order for determinism).
     let mut all: Vec<(u32, Vec<R::Out>)> = Vec::new();
     for s in reduce_sinks {
-        all.extend(std::mem::take(&mut *s.borrow_mut()));
+        all.extend(s.borrow_mut().drain_groups());
     }
     all.sort_by_key(|(b, _)| *b);
     let outs = all.into_iter().flat_map(|(_, v)| v).collect();
@@ -523,17 +607,21 @@ where
     // ---- Collect map finals and shuffle.
     let mut outputs: BucketedOutputs<Mid> = Vec::new();
     for (n, irs) in irss.iter_mut().enumerate() {
-        let mut batches = Vec::new();
+        let mut arena = BucketArena::default();
         for out in irs.take_final_outputs() {
             let batch = out
                 .data
                 .downcast::<ShuffleBatch<Mid>>()
                 .expect("map tasks emit ShuffleBatch finals");
-            batches.extend(batch.buckets);
+            for (bucket, tuples) in batch.buckets {
+                arena.push_batch(bucket, tuples);
+            }
         }
-        outputs.push((NodeId(n as u32), batches));
+        outputs.push((NodeId(n as u32), arena));
     }
-    let (per_node, wire) = match shuffle(cluster, outputs) {
+    // Spent batch buffers park here and come back out as phase-2 frames.
+    let mut pool: BatchPool<Mid> = BatchPool::new();
+    let (per_node, wire) = match shuffle(cluster, outputs, &mut pool) {
         Ok(x) => x,
         Err(e) => {
             let mut report = cluster.report(JobOutcome::Failed(e.clone()));
@@ -556,8 +644,8 @@ where
         let irs = Irs::new(graph, spec.irs);
         let handle = irs.handle();
         let sim = cluster.sim(NodeId(n as u32));
-        for (bucket, tuples) in buckets {
-            for frame in chunk_into_frames(tuples, spec.granularity) {
+        for (bucket, tuples) in nonempty_buckets(buckets) {
+            for frame in chunk_into_frames_pooled(tuples, spec.granularity, &mut pool) {
                 if let Err(e) =
                     offer_serialized(&handle, sim.node_mut(), reduce, Tag(bucket as u64), frame)
                 {

@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use itask_core::Tuple;
 use simcluster::{StepOutcome, Work, WorkCx};
-use simcore::{ByteSize, CostModel, SimDuration, SimResult, SimTime, SpaceId};
+use simcore::{prof, ByteSize, CostModel, SimDuration, SimResult, SimTime, SpaceId};
 
 /// Context handed to operator callbacks: cost charging, the operator's
 /// state space on the simulated heap, and streaming emission toward the
@@ -14,15 +14,17 @@ use simcore::{ByteSize, CostModel, SimDuration, SimResult, SimTime, SpaceId};
 pub struct OpCx<'a, 'b, Out> {
     work: &'a mut WorkCx<'b>,
     state_space: SpaceId,
-    emitted: &'a mut Vec<(u32, Out)>,
+    sink: &'a mut BucketArena<Out>,
 }
 
 impl<'a, 'b, Out> OpCx<'a, 'b, Out> {
     /// Pushes one tuple to the connector (Hyracks hands full frames to
     /// the next operator, so emitted data does not stay on this
-    /// operator's heap).
+    /// operator's heap). The tuple lands directly in the node sink's
+    /// per-bucket arena; batch bookkeeping happens when the worker's
+    /// quantum ends ([`BucketArena::seal_batches`]).
     pub fn emit(&mut self, bucket: u32, tuple: Out) {
-        self.emitted.push((bucket, tuple));
+        self.sink.push_grow(bucket, tuple);
     }
 
     /// Current virtual time.
@@ -80,9 +82,142 @@ pub trait Operator {
     fn close(&mut self, cx: &mut OpCx<'_, '_, Self::Out>) -> SimResult<()>;
 }
 
+/// A connector's staged output: flush-ordered batches stored as dense
+/// per-bucket arenas. Tuples for bucket `b` live contiguously in one
+/// vector (in emission order) instead of one small allocation per
+/// flushed batch, and `batches` records each `(bucket, len)` group in
+/// the order it was handed over — so the shuffle can still charge the
+/// fabric per batch (identical wire-time sequence to per-batch vectors)
+/// while moving whole buckets to their destinations in bulk.
+pub struct BucketArena<T> {
+    /// Tuples per bucket, indexed by bucket id (empty slot = nothing
+    /// emitted there). Within a bucket, concatenated flush order.
+    arenas: Vec<Vec<T>>,
+    /// `(bucket, len)` of every flushed batch, in flush order.
+    batches: Vec<(u32, u32)>,
+    /// Per-bucket tuple count already covered by `batches` — the seal
+    /// high-water mark [`Self::seal_batches`] diffs against.
+    sealed: Vec<u32>,
+}
+
+impl<T> Default for BucketArena<T> {
+    fn default() -> Self {
+        BucketArena {
+            arenas: Vec::new(),
+            batches: Vec::new(),
+            sealed: Vec::new(),
+        }
+    }
+}
+
+impl<T> BucketArena<T> {
+    /// True when nothing has been flushed into the arena.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Total tuples held across all buckets.
+    pub fn total_len(&self) -> u64 {
+        self.arenas.iter().map(|a| a.len() as u64).sum()
+    }
+
+    /// Appends one tuple to `bucket`'s arena, growing the bucket table
+    /// on first touch. The tuple stays unsealed (not yet part of any
+    /// batch) until the next [`Self::seal_batches`].
+    pub fn push_grow(&mut self, bucket: u32, t: T) {
+        let bi = bucket as usize;
+        if self.arenas.len() <= bi {
+            self.arenas.resize_with(bi + 1, Vec::new);
+        }
+        self.arenas[bi].push(t);
+    }
+
+    /// Seals everything pushed since the previous seal into one batch
+    /// per touched bucket (ascending bucket order) and returns the
+    /// newly sealed tuple count. The mark is global to the arena, so
+    /// worker threads sharing one node sink — each sealing at its own
+    /// quantum end, pushes never interleaving within a quantum — get
+    /// exactly one batch per (quantum, bucket), the grouping the old
+    /// buffer-then-flush path produced.
+    pub fn seal_batches(&mut self) -> u64 {
+        if self.sealed.len() < self.arenas.len() {
+            self.sealed.resize(self.arenas.len(), 0);
+        }
+        let mut total = 0u64;
+        for (bi, a) in self.arenas.iter().enumerate() {
+            let len = a.len() as u32;
+            let prev = self.sealed[bi];
+            if len > prev {
+                self.batches.push((bi as u32, len - prev));
+                self.sealed[bi] = len;
+                total += (len - prev) as u64;
+            }
+        }
+        total
+    }
+
+    /// Absorbs an already-batched `(bucket, tuples)` group wholesale
+    /// (ITask map finals arrive pre-bucketed as [`crate::ShuffleBatch`]).
+    /// Empty batches are recorded too — the shuffle charges the fabric
+    /// per batch, so dropping one would change wire times. Not meant to
+    /// be mixed with the [`Self::push_grow`]/[`Self::seal_batches`]
+    /// protocol on one arena.
+    pub fn push_batch(&mut self, bucket: u32, tuples: Vec<T>) {
+        let bi = bucket as usize;
+        if self.arenas.len() <= bi {
+            self.arenas.resize_with(bi + 1, Vec::new);
+        }
+        self.batches.push((bucket, tuples.len() as u32));
+        if self.arenas[bi].is_empty() {
+            // First batch for the bucket: adopt the allocation.
+            self.arenas[bi] = tuples;
+        } else {
+            self.arenas[bi].extend(tuples);
+        }
+    }
+
+    /// Decomposes into `(arenas, batches)` for the shuffle.
+    pub fn into_parts(self) -> (Vec<Vec<T>>, Vec<(u32, u32)>) {
+        (self.arenas, self.batches)
+    }
+
+    /// Takes every non-empty bucket as `(bucket, tuples)` in ascending
+    /// bucket order, leaving the arena empty. Per-bucket concatenation
+    /// in flush order is exactly what a stable sort of the old
+    /// batch-list representation produced, so collection code sees the
+    /// same tuple sequence.
+    pub fn drain_groups(&mut self) -> Vec<(u32, Vec<T>)> {
+        self.batches.clear();
+        self.sealed.clear();
+        self.arenas
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, a)| !a.is_empty())
+            .map(|(b, a)| (b as u32, std::mem::take(a)))
+            .collect()
+    }
+
+    /// Reconstructs the flush-ordered `(bucket, tuples)` batch list —
+    /// for consumers (the multi-tenant service's shuffle) that still
+    /// charge and route per batch from owned vectors.
+    pub fn into_batches(self) -> Vec<(u32, Vec<T>)> {
+        let BucketArena {
+            arenas, batches, ..
+        } = self;
+        let mut its: Vec<std::vec::IntoIter<T>> = arenas.into_iter().map(Vec::into_iter).collect();
+        batches
+            .into_iter()
+            .map(|(b, len)| {
+                let tuples = its[b as usize].by_ref().take(len as usize).collect();
+                (b, tuples)
+            })
+            .collect()
+    }
+}
+
 /// Where a worker's outputs are collected (per node, shared by its
 /// threads; single-threaded simulation makes `Rc<RefCell>` sound).
-pub type OutputSink<T> = Rc<std::cell::RefCell<Vec<(u32, Vec<T>)>>>;
+pub type OutputSink<T> = Rc<std::cell::RefCell<BucketArena<T>>>;
 
 /// A fixed-pool worker executing one [`Operator`] instance over a queue
 /// of frames.
@@ -90,7 +225,6 @@ pub struct OperatorWorker<O: Operator> {
     op: O,
     frames: VecDeque<Vec<O::In>>,
     sink: OutputSink<O::Out>,
-    emitted: Vec<(u32, O::Out)>,
     state_space: Option<SpaceId>,
     frame_space: Option<SpaceId>,
     cursor: usize,
@@ -115,7 +249,6 @@ impl<O: Operator> OperatorWorker<O> {
             op,
             frames,
             sink,
-            emitted: Vec::new(),
             state_space: None,
             frame_space: None,
             cursor: 0,
@@ -140,11 +273,16 @@ impl<O: Operator> OperatorWorker<O> {
                 s
             }
         };
+        // One sink borrow per quantum: emissions land directly in the
+        // shared arena and are sealed into batches before returning
+        // (single-threaded simulation — nothing else reads it mid-run).
+        let sink_rc = self.sink.clone();
+        let mut sink = sink_rc.borrow_mut();
         if !self.opened {
             let mut ocx = OpCx {
                 work: cx,
                 state_space,
-                emitted: &mut self.emitted,
+                sink: &mut sink,
             };
             self.op.open(&mut ocx)?;
             self.opened = true;
@@ -170,31 +308,34 @@ impl<O: Operator> OperatorWorker<O> {
             }
             // Process tuples. The frame is borrowed once for the whole
             // inner loop (disjoint field borrows: `frames` immutably,
-            // `op` and `emitted` mutably) — a `front()` lookup per
-            // tuple dominated this loop in profiles.
+            // `op` mutably) — a `front()` lookup per tuple dominated
+            // this loop in profiles.
             let frame_len;
             {
                 let OperatorWorker {
-                    op,
-                    frames,
-                    emitted,
-                    cursor,
-                    ..
+                    op, frames, cursor, ..
                 } = &mut *self;
                 let frame = frames.front().expect("frame present");
                 frame_len = frame.len();
                 let cost_model = cx.cost();
-                while *cursor < frame_len && !cx.out_of_quantum() {
+                let _map_wall = prof::wall_timer(prof::Stage::Map);
+                let cursor_before = *cursor;
+                let mut map_vtime = SimDuration::ZERO;
+                let mut ocx = OpCx {
+                    work: cx,
+                    state_space,
+                    sink: &mut sink,
+                };
+                while *cursor < frame_len && !ocx.work.out_of_quantum() {
                     let t = &frame[*cursor];
-                    cx.charge(cost_model.tuple_cost(ByteSize(t.ser_bytes())));
-                    let mut ocx = OpCx {
-                        work: cx,
-                        state_space,
-                        emitted: &mut *emitted,
-                    };
+                    let tuple_cost = cost_model.tuple_cost(ByteSize(t.ser_bytes()));
+                    ocx.work.charge(tuple_cost);
+                    map_vtime += tuple_cost;
                     op.next(&mut ocx, t)?;
                     *cursor += 1;
                 }
+                prof::count(prof::Stage::Map, 1, (*cursor - cursor_before) as u64);
+                prof::vtime(prof::Stage::Map, map_vtime);
             }
             if self.cursor >= frame_len {
                 // Frame done: its heap bytes become garbage.
@@ -208,43 +349,28 @@ impl<O: Operator> OperatorWorker<O> {
             let mut ocx = OpCx {
                 work: cx,
                 state_space,
-                emitted: &mut self.emitted,
+                sink: &mut sink,
             };
             self.op.close(&mut ocx)?;
-            self.flush_emitted();
+            Self::seal_sink(&mut sink);
             if let Some(s) = self.state_space.take() {
                 cx.node().heap.release_space(s);
             }
             return Ok(true);
         }
-        self.flush_emitted();
+        Self::seal_sink(&mut sink);
         Ok(false)
     }
 
-    /// Hands emitted tuples to the connector sink, grouped by bucket
-    /// (ascending, per-bucket insertion order — the stable sort keeps
-    /// the grouping identical to a BTreeMap pass without rebuilding one
-    /// every scheduler quantum).
-    fn flush_emitted(&mut self) {
-        if self.emitted.is_empty() {
-            return;
-        }
-        self.emitted.sort_by_key(|(b, _)| *b);
-        let mut groups: Vec<(u32, usize)> = Vec::new();
-        for &(b, _) in &self.emitted {
-            match groups.last_mut() {
-                Some((gb, n)) if *gb == b => *n += 1,
-                _ => groups.push((b, 1)),
-            }
-        }
-        let mut sink = self.sink.borrow_mut();
-        sink.reserve(groups.len());
-        // `drain` keeps `emitted`'s capacity for the next quantum.
-        let mut it = self.emitted.drain(..);
-        for (bucket, n) in groups {
-            let mut v = Vec::with_capacity(n);
-            v.extend(it.by_ref().take(n).map(|(_, t)| t));
-            sink.push((bucket, v));
+    /// Ends the quantum's emission window: everything this worker
+    /// pushed since the previous seal becomes one batch per touched
+    /// bucket (ascending) — the same grouping the old buffer-then-flush
+    /// path produced, without staging tuples in an intermediate vector.
+    fn seal_sink(sink: &mut BucketArena<O::Out>) {
+        let _wall = prof::wall_timer(prof::Stage::EmitFlush);
+        let sealed = sink.seal_batches();
+        if sealed > 0 {
+            prof::count(prof::Stage::EmitFlush, 1, sealed);
         }
     }
 }
@@ -330,9 +456,9 @@ mod tests {
             let r = s.run_round();
             assert!(r.failed.is_empty(), "{:?}", r.failed);
         }
-        let out = sink.borrow();
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].1[0].0, 400);
+        let groups = sink.borrow_mut().drain_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1[0].0, 400);
         // Everything was released at close.
         assert_eq!(s.node().heap.live(), ByteSize::ZERO);
     }

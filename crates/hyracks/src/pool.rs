@@ -1,0 +1,119 @@
+//! A slab of recycled `Vec<T>` buffers for tuple batches.
+//!
+//! The shuffle retires millions of small per-bucket batch vectors per
+//! run, and phase-2 framing immediately allocates a fresh wave of frame
+//! vectors of the same element type. [`BatchPool`] closes that loop:
+//! spent buffers are cleared and parked (up to a cap) instead of freed,
+//! and later draws reuse their capacity instead of hitting the
+//! allocator. This is purely a *host*-level optimization — pooling
+//! never touches simulated heap accounting or virtual-time charges, so
+//! results and printed tables are byte-identical with or without it.
+
+/// A size-capped stash of empty-but-capacitied `Vec<T>` buffers.
+pub struct BatchPool<T> {
+    slots: Vec<Vec<T>>,
+    max_slots: usize,
+}
+
+/// Default cap on parked buffers; past this, [`BatchPool::put`] lets
+/// buffers drop normally so a huge shuffle cannot pin its whole output
+/// footprint in the pool.
+pub const DEFAULT_POOL_SLOTS: usize = 4096;
+
+impl<T> BatchPool<T> {
+    /// An empty pool with the default slot cap.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_POOL_SLOTS)
+    }
+
+    /// An empty pool parking at most `max_slots` buffers.
+    pub fn with_capacity(max_slots: usize) -> Self {
+        BatchPool {
+            slots: Vec::new(),
+            max_slots,
+        }
+    }
+
+    /// Number of buffers currently parked.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Takes a buffer with room for at least `cap` elements: a parked
+    /// buffer (grown if its capacity falls short) or a fresh allocation
+    /// when the pool is dry.
+    pub fn take(&mut self, cap: usize) -> Vec<T> {
+        match self.slots.pop() {
+            Some(mut v) => {
+                debug_assert!(v.is_empty());
+                if v.capacity() < cap {
+                    v.reserve_exact(cap - v.len());
+                }
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Parks a spent buffer for reuse. Its contents are cleared
+    /// (dropping the elements now, exactly as an ordinary free would);
+    /// zero-capacity buffers and overflow past the slot cap are simply
+    /// dropped.
+    pub fn put(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        if buf.capacity() > 0 && self.slots.len() < self.max_slots {
+            self.slots.push(buf);
+        }
+    }
+}
+
+impl<T> Default for BatchPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_capacity() {
+        let mut pool: BatchPool<u64> = BatchPool::new();
+        let mut v = pool.take(8);
+        v.extend(0..8);
+        let ptr = v.as_ptr();
+        pool.put(v);
+        assert_eq!(pool.len(), 1);
+        let v2 = pool.take(4);
+        assert!(v2.is_empty());
+        assert!(v2.capacity() >= 8);
+        assert_eq!(v2.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn grows_undersized_buffers() {
+        let mut pool: BatchPool<u64> = BatchPool::new();
+        let mut v = pool.take(2);
+        v.extend(0..2);
+        pool.put(v);
+        let v2 = pool.take(100);
+        assert!(v2.capacity() >= 100);
+    }
+
+    #[test]
+    fn respects_slot_cap_and_drops_empty() {
+        let mut pool: BatchPool<u64> = BatchPool::with_capacity(2);
+        pool.put(Vec::with_capacity(1));
+        pool.put(Vec::with_capacity(1));
+        pool.put(Vec::with_capacity(1)); // over cap: dropped
+        assert_eq!(pool.len(), 2);
+        pool.put(Vec::new()); // zero capacity: dropped
+        assert_eq!(pool.len(), 2);
+    }
+}

@@ -17,6 +17,7 @@ pub mod fault;
 pub mod ids;
 pub mod jbloat;
 pub mod log;
+pub mod prof;
 pub mod rng;
 pub mod time;
 

@@ -1,6 +1,6 @@
 //! The heap state machine.
 
-use simcore::{ByteSize, CostModel, SimTime, SpaceId};
+use simcore::{prof, ByteSize, CostModel, SimTime, SpaceId};
 
 use crate::gc::{GcKind, GcRecord, GcStats};
 use crate::space::SpaceInfo;
@@ -381,6 +381,8 @@ impl Heap {
             pause,
             useless: false,
         };
+        prof::count(prof::Stage::Gc, 1, rec.reclaimed().as_u64());
+        prof::vtime(prof::Stage::Gc, pause);
         self.stats.absorb(&rec);
         self.records.push(rec.clone());
         out.pauses.push(rec);
@@ -412,6 +414,8 @@ impl Heap {
             pause,
             useless: free_after < self.cfg.lugc_threshold(),
         };
+        prof::count(prof::Stage::Gc, 1, rec.reclaimed().as_u64());
+        prof::vtime(prof::Stage::Gc, pause);
         self.stats.absorb(&rec);
         self.records.push(rec.clone());
         out.pauses.push(rec);

@@ -104,4 +104,105 @@ proptest! {
         }
         prop_assert_eq!(h.live().as_u64(), expected_live);
     }
+
+    /// Scope attribution partitions the live set: at every step, the
+    /// live bytes of the tracked scopes plus the live bytes of unscoped
+    /// spaces add up to exactly `Heap::live`, and each scope's total
+    /// equals the sum over its member spaces.
+    #[test]
+    fn scope_live_partitions_total_live(
+        ops in proptest::collection::vec(
+            (0..6u8, 0..4u64, 1..200u64),
+            1..100,
+        )
+    ) {
+        let mut h = Heap::new(HeapConfig::with_capacity(ByteSize::mib(64)));
+        // Mirror of every space ever created and the scope it carries.
+        let mut spaces: Vec<(SpaceId, Option<u64>)> = Vec::new();
+        for (kind, scope, kib) in ops {
+            match kind {
+                // Create a space under `scope`.
+                0 => {
+                    h.set_alloc_scope(Some(scope));
+                    spaces.push((h.create_space("scoped"), Some(scope)));
+                    h.set_alloc_scope(None);
+                }
+                // Create an unscoped space.
+                1 => {
+                    spaces.push((h.create_space("plain"), None));
+                }
+                // Alloc / free into an arbitrary existing space.
+                2 | 3 => {
+                    if let Some(&(id, _)) = spaces.get((scope as usize) % spaces.len().max(1)) {
+                        if kind == 2 {
+                            let _ = h.alloc(id, ByteSize::kib(kib), SimTime::ZERO);
+                        } else {
+                            h.free(id, ByteSize::kib(kib));
+                        }
+                    }
+                }
+                // Tear down a whole scope.
+                4 => {
+                    let released = h.release_scope(scope);
+                    prop_assert!(released <= h.capacity());
+                    prop_assert_eq!(h.scope_live(scope), ByteSize::ZERO);
+                }
+                // Collect; attribution must survive GC untouched.
+                _ => {
+                    h.force_full_gc(SimTime::ZERO);
+                }
+            }
+            let mut by_scope = ByteSize::ZERO;
+            for s in 0..4u64 {
+                by_scope += h.scope_live(s);
+                let member_sum = spaces
+                    .iter()
+                    .filter(|(_, sc)| *sc == Some(s))
+                    .map(|&(id, _)| h.space_live(id))
+                    .fold(ByteSize::ZERO, |a, b| a + b);
+                prop_assert_eq!(h.scope_live(s), member_sum);
+            }
+            let unscoped = spaces
+                .iter()
+                .filter(|(_, sc)| sc.is_none())
+                .map(|&(id, _)| h.space_live(id))
+                .fold(ByteSize::ZERO, |a, b| a + b);
+            prop_assert_eq!(by_scope + unscoped, h.live());
+            prop_assert!(h.check_invariants().is_ok(), "{:?}", h.check_invariants());
+        }
+    }
+
+    /// `release_scope` restores the heap's pre-scope live footprint
+    /// exactly: allocate a baseline, stamp a scope, allocate into it,
+    /// release, and the live set is back to the baseline byte count.
+    #[test]
+    fn release_scope_restores_footprint(
+        baseline in proptest::collection::vec(1..100u64, 1..8),
+        scoped in proptest::collection::vec(1..100u64, 1..24),
+    ) {
+        let mut h = Heap::new(HeapConfig::with_capacity(ByteSize::mib(64)));
+        let base_space = h.create_space("baseline");
+        for &kib in &baseline {
+            h.alloc(base_space, ByteSize::kib(kib), SimTime::ZERO).unwrap();
+        }
+        let live_before = h.live();
+
+        h.set_alloc_scope(Some(42));
+        let job_spaces: Vec<SpaceId> =
+            (0..3).map(|i| h.create_space(format!("job-{i}"))).collect();
+        h.set_alloc_scope(None);
+        let mut expected_scope = 0u64;
+        for (i, &kib) in scoped.iter().enumerate() {
+            h.alloc(job_spaces[i % job_spaces.len()], ByteSize::kib(kib), SimTime::ZERO)
+                .unwrap();
+            expected_scope += kib * 1024;
+        }
+        prop_assert_eq!(h.scope_live(42).as_u64(), expected_scope);
+
+        let released = h.release_scope(42);
+        prop_assert_eq!(released.as_u64(), expected_scope);
+        prop_assert_eq!(h.scope_live(42), ByteSize::ZERO);
+        prop_assert_eq!(h.live(), live_before);
+        prop_assert!(h.check_invariants().is_ok(), "{:?}", h.check_invariants());
+    }
 }

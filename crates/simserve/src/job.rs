@@ -234,7 +234,10 @@ impl<S: AggSpec> TwoPhaseJob<S> {
             EngineKind::Regular => std::mem::take(&mut self.map_sinks)
                 .into_iter()
                 .enumerate()
-                .map(|(n, s)| (NodeId(n as u32), std::mem::take(&mut *s.borrow_mut())))
+                .map(|(n, s)| {
+                    let arena = std::mem::take(&mut *s.borrow_mut());
+                    (NodeId(n as u32), arena.into_batches())
+                })
                 .collect(),
             EngineKind::Itask => {
                 let mut out = Vec::new();
@@ -323,7 +326,7 @@ impl<S: AggSpec> TwoPhaseJob<S> {
         let count: u64 = match self.engine {
             EngineKind::Regular => std::mem::take(&mut self.reduce_sinks)
                 .into_iter()
-                .map(|s| s.borrow().iter().map(|(_, v)| v.len() as u64).sum::<u64>())
+                .map(|s| s.borrow().total_len())
                 .sum(),
             EngineKind::Itask => {
                 let mut total = 0u64;
@@ -571,7 +574,10 @@ mod tests {
 
         let dead = NodeId(1);
         let queued_before = job.irss[dead.as_usize()].queued();
-        assert!(queued_before > 0, "offers must be queued on the doomed node");
+        assert!(
+            queued_before > 0,
+            "offers must be queued on the doomed node"
+        );
         assert_eq!(cluster.sim(dead).live_count(), 0, "no workers spawned yet");
 
         let salvaged = cluster.sim(dead).crash();

@@ -426,7 +426,8 @@ impl Service {
                     .take_scope_cpu(job.driver.scope());
             }
             job.driver.teardown(&mut self.cluster);
-            self.controller.credit_served(job.queued.tenant, busy.as_nanos());
+            self.controller
+                .credit_served(job.queued.tenant, busy.as_nanos());
             let slo = self.slos.entry(job.queued.tenant).or_default();
             if done {
                 slo.completed += 1;
@@ -572,8 +573,7 @@ mod tests {
     #[test]
     fn itask_queued_only_state_is_rehomed_on_crash() {
         let run = |crash: bool| {
-            let plan =
-                crash.then(|| FaultPlan::new(0).with_crash(NodeId(1), SimTime::ZERO));
+            let plan = crash.then(|| FaultPlan::new(0).with_crash(NodeId(1), SimTime::ZERO));
             let mut svc = empty_service(EngineKind::Itask, plan);
             inject(&mut svc, EngineKind::Itask);
             svc.active[0]

@@ -3,7 +3,7 @@
 //! XML objects can consume most of a task's heap on their own.
 
 use simcore::jbloat::{self, HeapSized};
-use simcore::{ByteSize, DetRng};
+use simcore::{prof, ByteSize, DetRng};
 
 /// One post (with its answers/comments folded into `body_chars`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,6 +80,7 @@ impl StackOverflowConfig {
     /// follow a bounded Pareto, rescaled so the dataset hits its byte
     /// target with a genuinely hot tail.
     pub fn block(&self, index: u64, block_size: ByteSize) -> Vec<Post> {
+        let _wall = prof::wall_timer(prof::Stage::Generate);
         let n_blocks = self.num_blocks(block_size);
         assert!(index < n_blocks, "block {index} out of {n_blocks}");
         // Spread the division remainder across blocks so no block is
@@ -88,6 +89,7 @@ impl StackOverflowConfig {
         let count = (index + 1) * self.posts / n_blocks - first;
         let mut rng = DetRng::new(self.seed).fork(index);
         let mean = self.mean_chars() as f64;
+        prof::count(prof::Stage::Generate, 1, count);
         (0..count)
             .map(|i| {
                 let raw = rng.bounded_pareto(64, self.max_post_chars, 1.25) as f64;

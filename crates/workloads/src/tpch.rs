@@ -3,7 +3,7 @@
 
 use simcore::jbloat::{self, HeapSized};
 use simcore::rng::stable_hash64;
-use simcore::ByteSize;
+use simcore::{prof, ByteSize};
 
 /// The scale factors of Table 4 (plus the larger sweeps of §6.2's
 /// scalability upper-bound experiment).
@@ -188,6 +188,7 @@ impl TpchConfig {
     /// (`Range<u64>` is not `ExactSizeIterator`, so these block
     /// builders pre-size their vecs instead of collecting.)
     pub fn customer_block(&self, first: u64, count: u64) -> Vec<Customer> {
+        let _wall = prof::wall_timer(prof::Stage::Generate);
         let end = (first + count).min(self.customers);
         let mut rows = Vec::with_capacity(end.saturating_sub(first) as usize);
         for k in first..end {
@@ -197,12 +198,14 @@ impl TpchConfig {
                 acctbal: self.draw(0x0C02, k, 1_000_000) as i64 - 100_000,
             });
         }
+        prof::count(prof::Stage::Generate, 1, rows.len() as u64);
         rows
     }
 
     /// Order rows `[first, first+count)`; `custkey` is uniform over the
     /// customer table.
     pub fn order_block(&self, first: u64, count: u64) -> Vec<Order> {
+        let _wall = prof::wall_timer(prof::Stage::Generate);
         let end = (first + count).min(self.orders);
         let mut rows = Vec::with_capacity(end.saturating_sub(first) as usize);
         for k in first..end {
@@ -213,12 +216,14 @@ impl TpchConfig {
                 orderdate: 8000 + self.draw(0x0D03, k, 2557) as u32,
             });
         }
+        prof::count(prof::Stage::Generate, 1, rows.len() as u64);
         rows
     }
 
     /// LineItem rows `[first, first+count)`; each order owns
     /// `lineitems/orders` consecutive items.
     pub fn lineitem_block(&self, first: u64, count: u64) -> Vec<LineItem> {
+        let _wall = prof::wall_timer(prof::Stage::Generate);
         let per_order = (self.lineitems / self.orders.max(1)).max(1);
         let end = (first + count).min(self.lineitems);
         let mut rows = Vec::with_capacity(end.saturating_sub(first) as usize);
@@ -231,6 +236,7 @@ impl TpchConfig {
                 extendedprice: self.draw(0x0E03, k, 10_000_000) as i64,
             });
         }
+        prof::count(prof::Stage::Generate, 1, rows.len() as u64);
         rows
     }
 

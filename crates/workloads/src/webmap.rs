@@ -5,7 +5,7 @@
 //! HS sorts the lines, II inverts vertex → neighbors.
 
 use simcore::jbloat::{self, HeapSized};
-use simcore::{ByteSize, DetRng};
+use simcore::{prof, ByteSize, DetRng};
 
 /// The six dataset sizes of Table 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -149,6 +149,7 @@ impl WebmapConfig {
     /// few vertices have enormous adjacency lists (the hot keys that
     /// break II and WC in the paper).
     pub fn block(&self, index: u64, block_size: ByteSize) -> Vec<AdjRecord> {
+        let _wall = prof::wall_timer(prof::Stage::Generate);
         let n_blocks = self.num_blocks(block_size);
         assert!(index < n_blocks, "block {index} out of {n_blocks}");
         // Spread the division remainder across blocks so no block is
@@ -170,6 +171,7 @@ impl WebmapConfig {
             }
             recs.push(AdjRecord { vertex, neighbors });
         }
+        prof::count(prof::Stage::Generate, 1, recs.len() as u64);
         recs
     }
 

@@ -4,7 +4,7 @@
 //! sentence itself, §2).
 
 use simcore::jbloat::{self, HeapSized};
-use simcore::{ByteSize, DetRng};
+use simcore::{prof, ByteSize, DetRng};
 
 use crate::words::WordDist;
 
@@ -87,6 +87,7 @@ impl WikipediaConfig {
 
     /// Generates block `index` deterministically.
     pub fn block(&self, index: u64, block_size: ByteSize) -> Vec<Article> {
+        let _wall = prof::wall_timer(prof::Stage::Generate);
         let n_blocks = self.num_blocks(block_size);
         assert!(index < n_blocks, "block {index} out of {n_blocks}");
         // Spread the division remainder across blocks so no block is
@@ -123,6 +124,7 @@ impl WikipediaConfig {
                 chars,
             });
         }
+        prof::count(prof::Stage::Generate, 1, articles.len() as u64);
         articles
     }
 }

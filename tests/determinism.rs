@@ -6,6 +6,16 @@
 use itask_repro::apps::hyracks_apps::{wc, HyracksParams};
 use itask_repro::sim::core::ByteSize;
 use itask_repro::workloads::webmap::{WebmapConfig, WebmapSize};
+use std::sync::Mutex;
+
+/// The profiler registry is process-global, so the test that enables it
+/// must not overlap with other tests in this binary (their runs would
+/// bleed into its counters). Every test takes this lock.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn kv_sorted(mut v: Vec<itask_repro::apps::OutKv>) -> Vec<itask_repro::apps::OutKv> {
     v.sort();
@@ -13,7 +23,52 @@ fn kv_sorted(mut v: Vec<itask_repro::apps::OutKv>) -> Vec<itask_repro::apps::Out
 }
 
 #[test]
+fn profiler_counters_identical_across_sweep_jobs() {
+    let _g = serial();
+    use itask_bench::sweep;
+    use itask_repro::sim::core::prof;
+
+    // A small thread-count grid, the same shape table5 fans out.
+    let grid = || -> Vec<sweep::RunSpec<'static, ()>> {
+        [1usize, 2, 4]
+            .into_iter()
+            .map(|threads| {
+                sweep::spec(format!("wc t{threads}"), move || {
+                    let p = HyracksParams {
+                        threads,
+                        ..HyracksParams::default()
+                    };
+                    let _ = wc::run_regular(WebmapSize::G3, &p);
+                })
+            })
+            .collect()
+    };
+
+    // Virtual-time profiler counters are sums of per-run contributions,
+    // so the deterministic render must be byte-identical no matter how
+    // the sweep executor schedules runs across OS threads.
+    let render = |jobs: usize| {
+        prof::reset();
+        prof::enable(false);
+        let _ = sweep::run_all(jobs, grid());
+        prof::disable();
+        prof::render(&prof::snapshot())
+    };
+    let serial_render = render(1);
+    let fanned_render = render(4);
+    assert_eq!(
+        serial_render, fanned_render,
+        "--jobs must never leak into profiler counters"
+    );
+    assert!(
+        serial_render.contains("map"),
+        "profile should have nonzero stages:\n{serial_render}"
+    );
+}
+
+#[test]
 fn regular_runs_replay_exactly() {
+    let _g = serial();
     let p = HyracksParams::default();
     let a = wc::run_regular(WebmapSize::G3, &p);
     let b = wc::run_regular(WebmapSize::G3, &p);
@@ -25,6 +80,7 @@ fn regular_runs_replay_exactly() {
 
 #[test]
 fn itask_runs_replay_exactly_even_under_pressure() {
+    let _g = serial();
     let p = HyracksParams {
         heap_per_node: ByteSize::mib(6),
         ..HyracksParams::default()
@@ -45,6 +101,7 @@ fn itask_runs_replay_exactly_even_under_pressure() {
 
 #[test]
 fn chaos_runs_replay_exactly() {
+    let _g = serial();
     use itask_repro::sim::core::{FaultPlan, NodeId, SimTime};
     // Same seed + same fault plan → bit-identical job report: elapsed,
     // every counter (including the injected-fault and recovery ones)
@@ -75,6 +132,7 @@ fn chaos_runs_replay_exactly() {
 
 #[test]
 fn different_seeds_produce_different_datasets_but_same_shape() {
+    let _g = serial();
     let a = WebmapConfig::preset(WebmapSize::G3, 1);
     let b = WebmapConfig::preset(WebmapSize::G3, 2);
     let block_a = a.block(0, ByteSize::kib(128));
@@ -91,6 +149,7 @@ fn different_seeds_produce_different_datasets_but_same_shape() {
 
 #[test]
 fn seed_changes_propagate_to_results() {
+    let _g = serial();
     let p1 = HyracksParams {
         seed: 1,
         ..HyracksParams::default()
