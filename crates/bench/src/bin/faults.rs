@@ -212,9 +212,11 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
     sweep::take_profile_flag(&mut args);
+    let trace = sweep::take_trace_flag(&mut args);
     let wc_only = args.iter().any(|a| a == "--wc-only");
     let ii_only = args.iter().any(|a| a == "--ii-only");
     let mut log = SweepLog::new("faults", jobs);
+    log.set_trace(trace);
     if !ii_only {
         ablate(
             jobs,

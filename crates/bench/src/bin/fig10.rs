@@ -109,6 +109,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
     sweep::take_profile_flag(&mut args);
+    let trace = sweep::take_trace_flag(&mut args);
     let csv: Option<String> = args
         .iter()
         .position(|a| a == "--csv")
@@ -141,6 +142,7 @@ fn main() {
     let tpch = TpchScale::TABLE4;
     let tpch_labels: Vec<&str> = tpch.iter().map(|s| s.label()).collect();
     let mut log = SweepLog::new("fig10", jobs);
+    log.set_trace(trace);
 
     // Per program and dataset: thread sweep then the ITask run, all
     // independent — one batch.

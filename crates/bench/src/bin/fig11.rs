@@ -51,7 +51,9 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
     sweep::take_profile_flag(&mut args);
+    let trace = sweep::take_trace_flag(&mut args);
     let mut log = sweep::SweepLog::new("fig11", jobs);
+    log.set_trace(trace);
 
     // (a)/(b): 4 heaps × {regular, itask} × {WC, II}; (c): one full run
     // keeping its report. All independent — one batch.

@@ -74,6 +74,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
     sweep::take_profile_flag(&mut args);
+    let trace = sweep::take_trace_flag(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     // `--csv <dir>`: also write one machine-readable file per program.
     let csv: Option<String> = args
@@ -110,6 +111,7 @@ fn main() {
     let tpch = TpchScale::TABLE4;
     let tpch_labels: Vec<&str> = tpch.iter().map(|s| s.label()).collect();
     let mut log = SweepLog::new("fig9", jobs);
+    log.set_trace(trace);
 
     // Every (program, dataset, threads) run is independent: one batch.
     let progs: Vec<&str> = ["wc", "hs", "ii", "hj", "gr"]

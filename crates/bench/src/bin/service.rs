@@ -133,8 +133,10 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
     sweep::take_profile_flag(&mut args);
+    let trace = sweep::take_trace_flag(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let mut log = SweepLog::new("service", jobs);
+    log.set_trace(trace);
     let counts: &[u32] = if quick {
         &[1, 2, 3]
     } else {

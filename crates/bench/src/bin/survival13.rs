@@ -56,9 +56,11 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
     sweep::take_profile_flag(&mut args);
+    let trace = sweep::take_trace_flag(&mut args);
     let five = !args.iter().any(|a| a == "--eight-only");
     let eight = !args.iter().any(|a| a == "--five-only");
     let mut log = sweep::SweepLog::new("survival13", jobs);
+    log.set_trace(trace);
 
     // The five detailed problems contribute (crash, survive) column
     // pairs; each of the other eight renders its whole row (its crash

@@ -32,8 +32,10 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
     sweep::take_profile_flag(&mut args);
+    let trace = sweep::take_trace_flag(&mut args);
     let want = |p: &str| args.is_empty() || args.iter().any(|a| a == p);
     let mut log = sweep::SweepLog::new("table2", jobs);
+    log.set_trace(trace);
 
     let mut specs: Vec<RunSpec<Vec<String>>> = Vec::new();
     if want("msa") {

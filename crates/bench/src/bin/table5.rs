@@ -94,6 +94,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
     sweep::take_profile_flag(&mut args);
+    let trace = sweep::take_trace_flag(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let want = |p: &str| {
         let progs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
@@ -105,6 +106,7 @@ fn main() {
         GRANS_KIB.to_vec()
     };
     let mut log = SweepLog::new("table5", jobs);
+    log.set_trace(trace);
 
     let webmap: Vec<WebmapSize> = {
         let mut v = WebmapSize::ALL.to_vec();

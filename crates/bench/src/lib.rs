@@ -6,6 +6,7 @@
 //! heaps and OME markers.
 
 pub mod sweep;
+pub mod tracefmt;
 
 use simcore::{ByteSize, SimDuration, SCALE};
 

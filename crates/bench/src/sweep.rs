@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use simcore::prof;
+use simcore::{prof, tracer};
 
 /// One schedulable unit of a sweep: a label (for progress lines and
 /// `BENCH_sweeps.json`) and a closure that runs one simulation.
@@ -49,6 +49,9 @@ pub struct RunOutcome<R> {
     pub result: R,
     /// Host wall-clock time for this run, in milliseconds.
     pub wall_ms: u64,
+    /// The run's harvested trace events, when `--trace` armed the
+    /// tracer (merged in deterministic `(time, node, seq)` order).
+    pub trace: Option<tracer::RunTrace>,
 }
 
 /// Resolves a `--jobs` value: `0` means "all available cores".
@@ -144,6 +147,41 @@ pub fn take_profile_flag(args: &mut Vec<String>) -> bool {
     on
 }
 
+/// Extracts `--trace <path>` / `--trace=<path>` from an argument list
+/// (mutating it). When present, arms the global [`tracer`]; the
+/// executor then buffers each run's events and [`SweepLog::finish`]
+/// writes Chrome trace-event JSON to `<path>` plus a compact JSONL twin
+/// to `<path>.jsonl` (the format `tracectl` consumes).
+///
+/// Stdout is untouched: the deterministic tables stay byte-identical
+/// with and without `--trace`, and the trace files themselves are
+/// byte-identical at any `--jobs`.
+pub fn take_trace_flag(args: &mut Vec<String>) -> Option<String> {
+    let mut path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
+            if i + 1 >= args.len() {
+                eprintln!("--trace requires a path");
+                std::process::exit(2);
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            path = Some(v);
+        } else if let Some(v) = args[i].strip_prefix("--trace=") {
+            let v = v.to_string();
+            args.remove(i);
+            path = Some(v);
+        } else {
+            i += 1;
+        }
+    }
+    if path.is_some() {
+        tracer::enable();
+    }
+    path
+}
+
 /// Runs every spec on a fixed pool of `jobs` worker threads (`0` =
 /// all available cores) and returns outcomes in spec order.
 ///
@@ -176,7 +214,9 @@ pub fn run_all<'a, R: Send>(jobs: usize, specs: Vec<RunSpec<'a, R>>) -> Vec<RunO
                     .take()
                     .expect("sweep spec claimed twice");
                 let t0 = Instant::now();
+                tracer::begin_run();
                 let result = (spec.job)();
+                let trace = tracer::take_run();
                 let wall_ms = t0.elapsed().as_millis() as u64;
                 let k = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!("[{k}/{n}] {} {wall_ms}ms", spec.label);
@@ -184,6 +224,7 @@ pub fn run_all<'a, R: Send>(jobs: usize, specs: Vec<RunSpec<'a, R>>) -> Vec<RunO
                     label: spec.label,
                     result,
                     wall_ms,
+                    trace,
                 });
             });
         }
@@ -210,6 +251,8 @@ pub struct SweepLog {
     jobs: usize,
     runs: Vec<(String, u64)>,
     started: Instant,
+    trace_path: Option<String>,
+    traces: Vec<(String, tracer::RunTrace)>,
 }
 
 impl SweepLog {
@@ -220,14 +263,27 @@ impl SweepLog {
             jobs: effective_jobs(jobs),
             runs: Vec::new(),
             started: Instant::now(),
+            trace_path: None,
+            traces: Vec::new(),
         }
     }
 
-    /// Records the wall-clock of every outcome in a batch.
+    /// Arms trace export: [`SweepLog::finish`] writes Chrome JSON to
+    /// `path` and JSONL to `path.jsonl` from the traces absorbed so
+    /// far. Pass the value returned by [`take_trace_flag`].
+    pub fn set_trace(&mut self, path: Option<String>) {
+        self.trace_path = path;
+    }
+
+    /// Records the wall-clock of every outcome in a batch, collecting
+    /// any harvested traces in batch order (= run index in the dump).
     pub fn absorb<R>(&mut self, outcomes: &[RunOutcome<R>]) {
         self.runs.reserve(outcomes.len());
         for o in outcomes {
             self.runs.push((o.label.clone(), o.wall_ms));
+            if let Some(trace) = &o.trace {
+                self.traces.push((o.label.clone(), trace.clone()));
+            }
         }
     }
 
@@ -242,9 +298,28 @@ impl SweepLog {
     /// the tables themselves are the primary artifact.
     pub fn finish(self) {
         let total_ms = self.started.elapsed().as_millis() as u64;
+        if let Err(e) = self.write_traces() {
+            eprintln!("[sweep] could not write trace files: {e}");
+        }
         if let Err(e) = self.write(total_ms) {
             eprintln!("[sweep] could not write BENCH_sweeps.json: {e}");
         }
+    }
+
+    fn write_traces(&self) -> std::io::Result<()> {
+        let Some(path) = &self.trace_path else {
+            return Ok(());
+        };
+        let path = std::path::Path::new(path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, tracer::chrome_json(&self.traces))?;
+        let mut jsonl = path.as_os_str().to_owned();
+        jsonl.push(".jsonl");
+        std::fs::write(jsonl, tracer::jsonl(&self.traces))
     }
 
     fn write(&self, total_ms: u64) -> std::io::Result<()> {
@@ -395,6 +470,59 @@ mod tests {
         assert_eq!(env_jobs_default(Some(" 2 ")), 2);
         assert_eq!(env_jobs_default(Some("zero")), 0);
         assert_eq!(env_jobs_default(Some("-1")), 0);
+    }
+
+    #[test]
+    fn trace_flag_parsing() {
+        // Note: a hit arms the global tracer; disarm before leaving so
+        // other tests in this binary see the default-off state.
+        let mut args = vec!["--quick".to_string(), "--trace".into(), "out.json".into()];
+        assert_eq!(take_trace_flag(&mut args).as_deref(), Some("out.json"));
+        assert_eq!(args, vec!["--quick".to_string()]);
+        let mut args = vec!["--trace=t/a.json".to_string(), "wc".into()];
+        assert_eq!(take_trace_flag(&mut args).as_deref(), Some("t/a.json"));
+        assert_eq!(args, vec!["wc".to_string()]);
+        tracer::disable();
+        let mut args = vec!["wc".to_string()];
+        assert_eq!(take_trace_flag(&mut args), None);
+        assert!(!tracer::is_enabled());
+    }
+
+    #[test]
+    fn traced_sweep_writes_chrome_and_jsonl() {
+        use simcore::{SimDuration, SimTime};
+        let dir = std::env::temp_dir().join(format!("itask_sweeptrace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        tracer::enable();
+        let specs: Vec<RunSpec<'_, ()>> = (0..2u64)
+            .map(|i| {
+                spec(format!("run{i}"), move || {
+                    tracer::emit(
+                        None,
+                        None,
+                        SimTime::from_nanos(i),
+                        SimDuration::ZERO,
+                        tracer::TraceData::NodeCrash,
+                    );
+                })
+            })
+            .collect();
+        let out = run_all(1, specs);
+        tracer::disable();
+        assert!(out
+            .iter()
+            .all(|o| o.trace.as_ref().is_some_and(|t| !t.is_empty())));
+        let mut log = SweepLog::new("tracebin", 1);
+        let trace_path = dir.join("trace.json");
+        log.set_trace(Some(trace_path.to_string_lossy().into_owned()));
+        log.absorb(&out);
+        log.write_traces().unwrap();
+        let chrome = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("\"run1\""));
+        let jsonl = std::fs::read_to_string(dir.join("trace.json.jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 4); // 2 headers + 2 events
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,778 @@
+//! Trace-file parsing and analysis for `tracectl`.
+//!
+//! Consumes the compact JSONL twin written next to every `--trace`
+//! Chrome dump (one run-header line per run, one line per event) and
+//! computes the derived reports the paper reads off its timelines: GC
+//! time share per node, the signal → victim → interrupt → re-activation
+//! latency chain (via the deterministic [`QuantileSketch`]), per-tenant
+//! queue/run breakdowns, and an A/B diff between two traces.
+//!
+//! The crate has no serde; a small hand-rolled recursive-descent JSON
+//! parser covers both the JSONL lines and (for schema checks) the
+//! Chrome JSON file. Every numeric value a trace contains is well below
+//! 2^53, so `f64` round-trips them exactly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use simserve::sketch::QuantileSketch;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (trace values are < 2^53, so f64 is exact).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as u64, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as i64, if it is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, rejecting trailing garbage.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => {
+                return String::from_utf8(out).map_err(|e| e.to_string());
+            }
+            b'\\' => {
+                let esc = *bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        *pos += 4;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        // Traces only escape control chars; surrogate
+                        // pairs never appear. Reject rather than mangle.
+                        let c = char::from_u32(cp).ok_or("surrogate in \\u escape")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // {
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // [
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// One event from a JSONL trace line.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Per-run monotonic event id.
+    pub id: u64,
+    /// Event kind (the stable `TraceData::kind()` names).
+    pub kind: String,
+    /// Node id, `-1` for cluster-wide events.
+    pub node: i64,
+    /// Allocation scope / service job id, if any.
+    pub scope: Option<u64>,
+    /// Virtual start time, nanoseconds.
+    pub ts: u64,
+    /// Virtual duration, nanoseconds (0 = instantaneous).
+    pub dur: u64,
+    /// The typed payload fields, as parsed JSON.
+    pub payload: Json,
+}
+
+impl TraceEvent {
+    /// A u64 payload field (0 when absent — trace payloads are total).
+    pub fn num(&self, key: &str) -> u64 {
+        self.payload.get(key).and_then(Json::as_u64).unwrap_or(0)
+    }
+
+    /// A bool payload field (false when absent).
+    pub fn flag(&self, key: &str) -> bool {
+        self.payload
+            .get(key)
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+    }
+
+    /// The causal link (0 = none).
+    pub fn cause(&self) -> u64 {
+        self.num("cause")
+    }
+}
+
+/// One run's worth of a trace file.
+#[derive(Clone, Debug)]
+pub struct TraceRun {
+    /// The sweep label of the run.
+    pub label: String,
+    /// Events in merged `(time, node, seq)` order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Loads a JSONL trace (the `<path>.jsonl` twin of a Chrome dump).
+pub fn load_jsonl(text: &str) -> Result<Vec<TraceRun>, String> {
+    let mut runs: Vec<TraceRun> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let run = v
+            .get("run")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {}: missing run index", lineno + 1))?
+            as usize;
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing kind", lineno + 1))?
+            .to_string();
+        if kind == "run" {
+            if run != runs.len() {
+                return Err(format!(
+                    "line {}: run header {run} out of order (have {})",
+                    lineno + 1,
+                    runs.len()
+                ));
+            }
+            runs.push(TraceRun {
+                label: v
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                events: Vec::new(),
+            });
+            continue;
+        }
+        let target = runs
+            .get_mut(run)
+            .ok_or_else(|| format!("line {}: event before its run header", lineno + 1))?;
+        target.events.push(TraceEvent {
+            id: v
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {}: missing id", lineno + 1))?,
+            kind,
+            node: v.get("node").and_then(Json::as_i64).unwrap_or(-1),
+            scope: v.get("scope").and_then(Json::as_u64),
+            ts: v
+                .get("ts")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {}: missing ts", lineno + 1))?,
+            dur: v.get("dur").and_then(Json::as_u64).unwrap_or(0),
+            payload: v,
+        });
+    }
+    Ok(runs)
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+fn sketch_line(s: &QuantileSketch) -> String {
+    if s.is_empty() {
+        "n=0".to_string()
+    } else {
+        format!(
+            "n={:<5} p50={:<10} p90={:<10} max={}",
+            s.count(),
+            fmt_ms(s.quantile(0.5)),
+            fmt_ms(s.quantile(0.9)),
+            fmt_ms(s.max()),
+        )
+    }
+}
+
+/// Aggregates a run computes once and both `report` and `diff` read.
+#[derive(Default)]
+struct RunSummary {
+    counts: BTreeMap<String, u64>,
+    /// Per node: (GC time, minor count, full count, useless count,
+    /// last event timestamp).
+    gc: BTreeMap<i64, (u64, u64, u64, u64, u64)>,
+    victim_latency: Option<QuantileSketch>,
+    interrupt_latency: Option<QuantileSketch>,
+    reactivate_latency: Option<QuantileSketch>,
+    /// Per tenant: submitted, admitted, completed, failed, oom,
+    /// wait sketch, latency sketch.
+    tenants: BTreeMap<u64, TenantSummary>,
+}
+
+#[derive(Default)]
+struct TenantSummary {
+    submitted: u64,
+    admitted: u64,
+    completed: u64,
+    failed: u64,
+    oom: u64,
+    wait: Option<QuantileSketch>,
+    latency: Option<QuantileSketch>,
+}
+
+fn sk() -> QuantileSketch {
+    QuantileSketch::new(QuantileSketch::DEFAULT_K)
+}
+
+fn summarize(run: &TraceRun) -> RunSummary {
+    let mut s = RunSummary::default();
+    // id → ts for causal latency lookups.
+    let ts_of: BTreeMap<u64, u64> = run.events.iter().map(|e| (e.id, e.ts)).collect();
+    let lat = |slot: &mut Option<QuantileSketch>, e: &TraceEvent| {
+        let cause = e.cause();
+        if cause != 0 {
+            if let Some(&start) = ts_of.get(&cause) {
+                slot.get_or_insert_with(sk)
+                    .insert(e.ts.saturating_sub(start));
+            }
+        }
+    };
+    for e in &run.events {
+        *s.counts.entry(e.kind.clone()).or_insert(0) += 1;
+        let g = s.gc.entry(e.node).or_default();
+        g.4 = g.4.max(e.ts + e.dur);
+        match e.kind.as_str() {
+            "gc" => {
+                g.0 += e.dur;
+                if e.flag("full") {
+                    g.2 += 1;
+                } else {
+                    g.1 += 1;
+                }
+                if e.flag("useless") {
+                    g.3 += 1;
+                }
+            }
+            "victim" => lat(&mut s.victim_latency, e),
+            "interrupt" => lat(&mut s.interrupt_latency, e),
+            "activate" => lat(&mut s.reactivate_latency, e),
+            "submit" => {
+                s.tenants.entry(e.num("tenant")).or_default().submitted += 1;
+            }
+            "admit" => {
+                let t = s.tenants.entry(e.num("tenant")).or_default();
+                t.admitted += 1;
+                t.wait.get_or_insert_with(sk).insert(e.num("wait_ns"));
+            }
+            "complete" => {
+                let t = s.tenants.entry(e.num("tenant")).or_default();
+                t.completed += 1;
+                t.latency.get_or_insert_with(sk).insert(e.num("latency_ns"));
+            }
+            "fail" => {
+                let t = s.tenants.entry(e.num("tenant")).or_default();
+                t.failed += 1;
+                if e.flag("oom") {
+                    t.oom += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+fn node_name(node: i64) -> String {
+    if node < 0 {
+        "cluster".to_string()
+    } else {
+        format!("node{node}")
+    }
+}
+
+/// Renders the Figure-3-style sequencing: every complete
+/// signal → victim-mark → interrupt → re-activation chain in the run,
+/// as one arrow line each (capped at `max_chains`, earliest first).
+fn render_chains(run: &TraceRun, out: &mut String, max_chains: usize) {
+    let by_id: BTreeMap<u64, &TraceEvent> = run.events.iter().map(|e| (e.id, e)).collect();
+    let mut chains = 0usize;
+    let mut truncated = 0usize;
+    for e in &run.events {
+        if e.kind != "activate" || e.cause() == 0 {
+            continue;
+        }
+        let Some(interrupt) = by_id.get(&e.cause()) else {
+            continue;
+        };
+        let mark = by_id.get(&interrupt.cause());
+        let signal = mark.and_then(|m| by_id.get(&m.cause()));
+        if chains >= max_chains {
+            truncated += 1;
+            continue;
+        }
+        chains += 1;
+        let mut line = String::new();
+        if let (Some(sig), Some(m)) = (signal, mark) {
+            let _ = write!(
+                line,
+                "signal@{} -> mark@{} -> ",
+                fmt_ms(sig.ts),
+                fmt_ms(m.ts)
+            );
+        } else if interrupt.flag("emergency") {
+            let _ = write!(line, "allocation failure -> ");
+        }
+        let _ = writeln!(
+            out,
+            "    {line}interrupt@{} ({}, task{}) -> reactivate@{} ({}, {} partition{})",
+            fmt_ms(interrupt.ts),
+            node_name(interrupt.node),
+            interrupt.num("task"),
+            fmt_ms(e.ts),
+            node_name(e.node),
+            e.num("partitions"),
+            if e.num("partitions") == 1 { "" } else { "s" },
+        );
+    }
+    if chains == 0 {
+        let _ = writeln!(out, "    (no interrupt -> re-activation chains)");
+    } else if truncated > 0 {
+        let _ = writeln!(out, "    ... and {truncated} more chains");
+    }
+}
+
+/// Renders the full `tracectl report` for a loaded trace.
+pub fn report(runs: &[TraceRun]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace: {} run(s)", runs.len());
+    for (i, run) in runs.iter().enumerate() {
+        let s = summarize(run);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "== run {i}: {} ({} events)",
+            run.label,
+            run.events.len()
+        );
+        let counts: Vec<String> = s.counts.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        let _ = writeln!(out, "  events: {}", counts.join(" "));
+        let gc_nodes: Vec<&i64> =
+            s.gc.iter()
+                .filter(|(n, g)| **n >= 0 && (g.1 + g.2 > 0 || g.0 > 0))
+                .map(|(n, _)| n)
+                .collect();
+        if !gc_nodes.is_empty() {
+            let _ = writeln!(out, "  gc time share per node:");
+            for n in gc_nodes {
+                let (gc_ns, minor, full, useless, end) = s.gc[n];
+                // Comparison ("ctime") sub-runs restart a node's clock,
+                // so summed pause time can exceed the final timestamp;
+                // a percentage would be meaningless there.
+                let share = if end > 0 && gc_ns <= end {
+                    format!(
+                        "({:5.1}% of {})",
+                        100.0 * gc_ns as f64 / end as f64,
+                        fmt_ms(end)
+                    )
+                } else {
+                    "(restarted timeline)".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "    {:<8} {:>10} {share} minor={minor} full={full} useless={useless}",
+                    node_name(*n),
+                    fmt_ms(gc_ns),
+                );
+            }
+        }
+        let _ = writeln!(out, "  interrupt chain latencies:");
+        let _ = writeln!(
+            out,
+            "    signal->mark        {}",
+            sketch_line(s.victim_latency.as_ref().unwrap_or(&sk()))
+        );
+        let _ = writeln!(
+            out,
+            "    mark->interrupt     {}",
+            sketch_line(s.interrupt_latency.as_ref().unwrap_or(&sk()))
+        );
+        let _ = writeln!(
+            out,
+            "    interrupt->activate {}",
+            sketch_line(s.reactivate_latency.as_ref().unwrap_or(&sk()))
+        );
+        let _ = writeln!(out, "  interrupt/re-activation sequencing:");
+        render_chains(run, &mut out, 8);
+        if !s.tenants.is_empty() {
+            let _ = writeln!(out, "  tenants:");
+            for (t, ts) in &s.tenants {
+                let _ = writeln!(
+                    out,
+                    "    t{t}: submitted={} admitted={} completed={} failed={} oom={} wait[{}] latency[{}]",
+                    ts.submitted,
+                    ts.admitted,
+                    ts.completed,
+                    ts.failed,
+                    ts.oom,
+                    sketch_line(ts.wait.as_ref().unwrap_or(&sk())),
+                    sketch_line(ts.latency.as_ref().unwrap_or(&sk())),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the two-trace A/B diff: per-run (matched by index) kind
+/// counts, total GC time and chain medians, side by side with deltas.
+pub fn diff(a: &[TraceRun], b: &[TraceRun]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "diff: A has {} run(s), B has {} run(s)",
+        a.len(),
+        b.len()
+    );
+    for i in 0..a.len().max(b.len()) {
+        let _ = writeln!(out);
+        match (a.get(i), b.get(i)) {
+            (Some(ra), Some(rb)) => {
+                let _ = writeln!(out, "== run {i}: A={} | B={}", ra.label, rb.label);
+                let sa = summarize(ra);
+                let sb = summarize(rb);
+                let mut kinds: Vec<&String> = sa.counts.keys().chain(sb.counts.keys()).collect();
+                kinds.sort();
+                kinds.dedup();
+                for k in kinds {
+                    let ca = sa.counts.get(k).copied().unwrap_or(0);
+                    let cb = sb.counts.get(k).copied().unwrap_or(0);
+                    if ca == cb {
+                        let _ = writeln!(out, "  {k:<10} {ca:>8}  (unchanged)");
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "  {k:<10} {ca:>8} -> {cb:<8} ({:+})",
+                            cb as i64 - ca as i64
+                        );
+                    }
+                }
+                let gc_a: u64 = sa.gc.values().map(|g| g.0).sum();
+                let gc_b: u64 = sb.gc.values().map(|g| g.0).sum();
+                let _ = writeln!(
+                    out,
+                    "  total gc   {} -> {} ({:+.3}ms)",
+                    fmt_ms(gc_a),
+                    fmt_ms(gc_b),
+                    (gc_b as f64 - gc_a as f64) / 1e6
+                );
+                for (name, qa, qb) in [
+                    (
+                        "mark->interrupt",
+                        &sa.interrupt_latency,
+                        &sb.interrupt_latency,
+                    ),
+                    (
+                        "interrupt->activate",
+                        &sa.reactivate_latency,
+                        &sb.reactivate_latency,
+                    ),
+                ] {
+                    let p50 = |s: &Option<QuantileSketch>| {
+                        s.as_ref()
+                            .filter(|s| !s.is_empty())
+                            .map(|s| s.quantile(0.5))
+                    };
+                    match (p50(qa), p50(qb)) {
+                        (Some(ma), Some(mb)) => {
+                            let _ = writeln!(
+                                out,
+                                "  p50 {name:<19} {} -> {} ({:+.3}ms)",
+                                fmt_ms(ma),
+                                fmt_ms(mb),
+                                (mb as f64 - ma as f64) / 1e6
+                            );
+                        }
+                        (None, None) => {}
+                        (ma, mb) => {
+                            let show = |m: Option<u64>| m.map_or("absent".to_string(), fmt_ms);
+                            let _ = writeln!(out, "  p50 {name:<19} {} -> {}", show(ma), show(mb));
+                        }
+                    }
+                }
+            }
+            (Some(ra), None) => {
+                let _ = writeln!(out, "== run {i}: only in A ({})", ra.label);
+            }
+            (None, Some(rb)) => {
+                let _ = writeln!(out, "== run {i}: only in B ({})", rb.label);
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_values() {
+        let v = parse(r#"{"a":1,"b":-2.5,"c":"x\"y\n","d":[true,false,null],"e":{}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b"), Some(&Json::Num(-2.5)));
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x\"y\n"));
+        assert_eq!(v.get("d").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("e"), Some(&Json::Obj(vec![])));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes() {
+        let v = parse(r#""a	b""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\tb"));
+    }
+
+    fn sample_jsonl() -> String {
+        concat!(
+            "{\"run\":0,\"kind\":\"run\",\"label\":\"wc t4\",\"events\":5}\n",
+            "{\"run\":0,\"id\":1,\"kind\":\"signal\",\"node\":0,\"scope\":null,\"ts\":100,\"dur\":0,\"reduce\":true}\n",
+            "{\"run\":0,\"id\":2,\"kind\":\"victim\",\"node\":0,\"scope\":null,\"ts\":150,\"dur\":0,\"task\":1,\"cause\":1}\n",
+            "{\"run\":0,\"id\":3,\"kind\":\"interrupt\",\"node\":0,\"scope\":null,\"ts\":400,\"dur\":0,\"task\":1,\"emergency\":false,\"cause\":2}\n",
+            "{\"run\":0,\"id\":4,\"kind\":\"gc\",\"node\":0,\"scope\":null,\"ts\":500,\"dur\":250,\"full\":true,\"reclaimed\":10,\"free_after\":90,\"useless\":false}\n",
+            "{\"run\":0,\"id\":5,\"kind\":\"activate\",\"node\":1,\"scope\":null,\"ts\":900,\"dur\":0,\"task\":1,\"partitions\":2,\"cause\":3}\n",
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn loader_parses_runs_and_events() {
+        let runs = load_jsonl(&sample_jsonl()).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].label, "wc t4");
+        assert_eq!(runs[0].events.len(), 5);
+        assert_eq!(runs[0].events[3].dur, 250);
+        assert_eq!(runs[0].events[4].cause(), 3);
+    }
+
+    #[test]
+    fn loader_rejects_orphan_events() {
+        let text = "{\"run\":0,\"id\":1,\"kind\":\"gc\",\"ts\":1,\"dur\":1}\n";
+        assert!(load_jsonl(text).is_err());
+    }
+
+    #[test]
+    fn report_shows_chains_gc_and_latencies() {
+        let runs = load_jsonl(&sample_jsonl()).unwrap();
+        let r = report(&runs);
+        assert!(r.contains("signal@0.000ms -> mark@0.000ms"), "{r}");
+        assert!(r.contains("interrupt@0.000ms (node0, task1)"), "{r}");
+        assert!(
+            r.contains("reactivate@0.001ms (node1, 2 partitions)"),
+            "{r}"
+        );
+        assert!(r.contains("full=1"), "{r}");
+        assert!(r.contains("mark->interrupt     n=1"), "{r}");
+    }
+
+    #[test]
+    fn diff_reports_count_deltas() {
+        let a = load_jsonl(&sample_jsonl()).unwrap();
+        let mut b = a.clone();
+        b[0].events.pop(); // drop the re-activation
+        let d = diff(&a, &b);
+        assert!(d.contains("activate          1 -> 0        (-1)"), "{d}");
+        assert!(d.contains("gc                1  (unchanged)"), "{d}");
+    }
+
+    #[test]
+    fn tenant_rollup_counts_lifecycle() {
+        let text = concat!(
+            "{\"run\":0,\"kind\":\"run\",\"label\":\"svc\",\"events\":3}\n",
+            "{\"run\":0,\"id\":1,\"kind\":\"submit\",\"node\":-1,\"scope\":null,\"ts\":1,\"dur\":0,\"tenant\":2}\n",
+            "{\"run\":0,\"id\":2,\"kind\":\"admit\",\"node\":-1,\"scope\":1,\"ts\":5,\"dur\":0,\"tenant\":2,\"wait_ns\":4}\n",
+            "{\"run\":0,\"id\":3,\"kind\":\"complete\",\"node\":-1,\"scope\":1,\"ts\":9,\"dur\":0,\"tenant\":2,\"latency_ns\":8}\n",
+        );
+        let runs = load_jsonl(text).unwrap();
+        let r = report(&runs);
+        assert!(
+            r.contains("t2: submitted=1 admitted=1 completed=1 failed=0 oom=0"),
+            "{r}"
+        );
+    }
+}

@@ -100,6 +100,33 @@ fn golden_faults_wc() {
 }
 
 #[test]
+fn golden_tracectl_faults_wc() {
+    // Two stages: a traced faults sweep, then `tracectl report` over
+    // the dump. The report is pure virtual-time aggregation, so its
+    // stdout is as byte-stable as the table itself.
+    let scratch = std::env::temp_dir().join(format!("itask-golden-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let trace = scratch.join("faults_wc.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_faults"))
+        .args(["--wc-only", "--trace"])
+        .arg(&trace)
+        .env("ITASK_BENCH_RESULTS", &scratch)
+        .output()
+        .expect("spawn faults");
+    assert!(
+        out.status.success(),
+        "faults --wc-only --trace exited with {}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    check_golden(
+        env!("CARGO_BIN_EXE_tracectl"),
+        &["report", trace.to_str().expect("utf-8 scratch path")],
+        "tracectl_faults_wc.txt",
+    );
+}
+
+#[test]
 fn golden_table5_quick_wc() {
     // ~10s in release but minutes in debug; the CI golden job runs the
     // suite with --release so this stays covered there.

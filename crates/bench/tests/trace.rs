@@ -1,0 +1,153 @@
+//! Trace determinism and schema tests (§ Observability).
+//!
+//! The `--trace` dump is part of the deterministic surface: the merged
+//! event stream must be byte-identical whatever `--jobs` is, the Chrome
+//! JSON must parse, and every causal link must resolve to an event
+//! emitted earlier in the same run.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use itask_bench::tracefmt::{self, Json};
+
+/// Runs `bin args --trace <scratch>/trace.json --jobs <jobs>` and
+/// returns the bytes of (chrome json, jsonl).
+fn traced_run(bin: &str, args: &[&str], jobs: usize, tag: &str) -> (Vec<u8>, Vec<u8>) {
+    let scratch =
+        std::env::temp_dir().join(format!("itask-trace-{}-{tag}-j{jobs}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let trace: PathBuf = scratch.join("trace.json");
+    let out = Command::new(bin)
+        .args(args)
+        .arg("--jobs")
+        .arg(jobs.to_string())
+        .arg("--trace")
+        .arg(&trace)
+        .env("ITASK_BENCH_RESULTS", &scratch)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} --jobs {jobs} exited with {}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let chrome = std::fs::read(&trace).expect("chrome trace written");
+    let jsonl = std::fs::read(format!("{}.jsonl", trace.display())).expect("jsonl twin written");
+    (chrome, jsonl)
+}
+
+fn assert_jobs_invariant(bin: &str, args: &[&str], tag: &str) {
+    let (c1, l1) = traced_run(bin, args, 1, tag);
+    let (c4, l4) = traced_run(bin, args, 4, tag);
+    assert!(
+        c1 == c4,
+        "{tag}: chrome trace differs between --jobs 1 and --jobs 4"
+    );
+    assert!(
+        l1 == l4,
+        "{tag}: jsonl trace differs between --jobs 1 and --jobs 4"
+    );
+}
+
+#[test]
+fn trace_identical_across_jobs_service_quick() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_service"), &["--quick"], "service");
+}
+
+#[test]
+fn trace_identical_across_jobs_table5_quick_wc() {
+    // Minutes in debug; the CI golden job runs tests with --release.
+    if cfg!(debug_assertions) {
+        eprintln!("skipping table5 trace determinism in debug mode");
+        return;
+    }
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_table5"), &["--quick", "wc"], "table5");
+}
+
+/// Chrome JSON schema: parses, has the trace-event envelope, every
+/// event row carries the required members with the right shapes.
+#[test]
+fn trace_chrome_schema_is_valid() {
+    let (chrome, jsonl) = traced_run(env!("CARGO_BIN_EXE_faults"), &["--wc-only"], 2, "schema");
+    let doc = tracefmt::parse(std::str::from_utf8(&chrome).expect("utf-8"))
+        .expect("chrome trace parses as JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ns")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace has events");
+    let mut spans = 0u64;
+    let mut instants = 0u64;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph member");
+        assert!(e.get("pid").and_then(Json::as_i64).is_some(), "pid member");
+        assert!(e.get("tid").and_then(Json::as_i64).is_some(), "tid member");
+        match ph {
+            "M" => continue, // process/thread name metadata
+            "X" => {
+                spans += 1;
+                assert!(e.get("dur").and_then(Json::as_u64).unwrap_or(0) > 0);
+            }
+            "i" => {
+                instants += 1;
+                assert_eq!(e.get("s").and_then(Json::as_str), Some("t"));
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+        assert!(e.get("ts").and_then(Json::as_u64).is_some(), "ts member");
+        assert!(
+            e.get("name").and_then(Json::as_str).is_some(),
+            "name member"
+        );
+    }
+    assert!(instants > 0, "expected instant events");
+    // faults wc traces contain at least the shuffle spans.
+    assert!(spans > 0, "expected duration spans");
+
+    // Cross-check: the jsonl twin describes the same events.
+    let runs = tracefmt::load_jsonl(std::str::from_utf8(&jsonl).unwrap()).expect("jsonl loads");
+    let jsonl_events: usize = runs.iter().map(|r| r.events.len()).sum();
+    let chrome_events = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+        .count();
+    assert_eq!(jsonl_events, chrome_events);
+}
+
+/// Every causal link resolves to an event emitted earlier in the same
+/// run, and ids are strictly increasing in emission order.
+#[test]
+fn trace_causal_links_resolve() {
+    let (_, jsonl) = traced_run(env!("CARGO_BIN_EXE_service"), &["--quick"], 2, "causal");
+    let runs = tracefmt::load_jsonl(std::str::from_utf8(&jsonl).unwrap()).expect("jsonl loads");
+    assert!(!runs.is_empty());
+    let mut linked = 0u64;
+    for run in &runs {
+        let ids: std::collections::BTreeSet<u64> = run.events.iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), run.events.len(), "{}: duplicate ids", run.label);
+        for e in &run.events {
+            let cause = e.cause();
+            if cause != 0 {
+                linked += 1;
+                assert!(
+                    ids.contains(&cause),
+                    "{}: event {} links to unknown cause {cause}",
+                    run.label,
+                    e.id
+                );
+                assert!(
+                    cause < e.id,
+                    "{}: event {} links forward to {cause}",
+                    run.label,
+                    e.id
+                );
+            }
+        }
+    }
+    assert!(linked > 0, "expected causal links in service trace");
+}

@@ -20,6 +20,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use simcluster::NodeSim;
+use simcore::tracer::EventId;
 use simcore::{ByteSize, PartitionId, SimResult, TaskId, ThreadId};
 
 use crate::graph::TaskGraph;
@@ -120,6 +121,15 @@ pub(crate) struct IrsShared {
     pub(crate) serialize_mode: SerializeMode,
     /// Structured decision trace (disabled unless requested).
     pub(crate) trace: IrsTrace,
+    /// Tracer id of the most recent REDUCE/GROW signal — the causal
+    /// root victim-marks and pressure serializations link back to.
+    pub(crate) last_signal: EventId,
+    /// Victim-mark event per marked thread, consumed when the victim's
+    /// interrupt completes (links interrupt → mark → signal).
+    pub(crate) victim_marks: BTreeMap<ThreadId, EventId>,
+    /// Interrupt event that requeued each partition, consumed when the
+    /// partition re-activates (links re-activation → interrupt).
+    pub(crate) interrupt_origin: BTreeMap<PartitionId, EventId>,
     next_partition: u32,
     next_instance: u64,
 }
@@ -138,6 +148,9 @@ impl IrsShared {
             serialize_free_pct: 40,
             serialize_mode: SerializeMode::Disk,
             trace: IrsTrace::new(),
+            last_signal: EventId::NONE,
+            victim_marks: BTreeMap::new(),
+            interrupt_origin: BTreeMap::new(),
             next_partition: first_partition_id,
             next_instance: 0,
         }
@@ -193,6 +206,38 @@ impl IrsHandle {
     /// Appends to the decision trace (no-op unless tracing is enabled).
     pub(crate) fn trace(&self, at: simcore::SimTime, event: IrsEvent) {
         self.0.borrow_mut().trace.record(at, event);
+    }
+
+    /// Appends to the decision trace with a causal link, returning the
+    /// unified-tracer event id (NONE when global tracing is off).
+    pub(crate) fn trace_linked(
+        &self,
+        at: simcore::SimTime,
+        event: IrsEvent,
+        cause: EventId,
+    ) -> EventId {
+        self.0.borrow_mut().trace.record_linked(at, event, cause)
+    }
+
+    /// Consumes the victim-mark event recorded for `instance`'s thread,
+    /// if any (an interrupt links back to the mark that requested it).
+    pub(crate) fn take_victim_mark(&self, instance: u64) -> EventId {
+        let mut s = self.0.borrow_mut();
+        let Some(thread) = s.instance_threads.get(&instance).copied() else {
+            return EventId::NONE;
+        };
+        s.victim_marks.remove(&thread).unwrap_or(EventId::NONE)
+    }
+
+    /// Records that `interrupt` requeued `partition`, so the eventual
+    /// re-activation can link back to it.
+    pub(crate) fn note_interrupt_origin(&self, partition: PartitionId, interrupt: EventId) {
+        if interrupt.is_some() {
+            self.0
+                .borrow_mut()
+                .interrupt_origin
+                .insert(partition, interrupt);
+        }
     }
 
     /// Records final-result bytes for the Table 2 breakdown.
@@ -369,6 +414,13 @@ impl Irs {
 
     /// The controller step: call between scheduling rounds.
     pub fn tick(&mut self, sim: &mut NodeSim) -> SimResult<()> {
+        // Stamp the (node, scope) origin onto everything this tick
+        // forwards into the unified tracer.
+        self.handle
+            .0
+            .borrow_mut()
+            .trace
+            .set_origin(Some(sim.node().id), self.cfg.scope);
         let records = sim.node_mut().drain_gc_records();
         let mut signal = self.monitor.observe(&records, &sim.node().heap);
         let hint = std::mem::take(&mut self.handle.0.borrow_mut().pressure_hint);
@@ -377,11 +429,17 @@ impl Irs {
         }
         match signal {
             MemSignal::Reduce => {
-                self.handle.trace(sim.node().now, IrsEvent::ReduceSignal);
+                let id =
+                    self.handle
+                        .trace_linked(sim.node().now, IrsEvent::ReduceSignal, EventId::NONE);
+                self.handle.0.borrow_mut().last_signal = id;
                 self.handle_reduce(sim, hint.unwrap_or(ByteSize::ZERO))?;
             }
             MemSignal::Grow => {
-                self.handle.trace(sim.node().now, IrsEvent::GrowSignal);
+                let id =
+                    self.handle
+                        .trace_linked(sim.node().now, IrsEvent::GrowSignal, EventId::NONE);
+                self.handle.0.borrow_mut().last_signal = id;
                 self.handle_grow(sim)?;
             }
             MemSignal::Steady => self.assist_growth(sim)?,
@@ -467,12 +525,14 @@ impl Irs {
                     st.serializations += 1;
                     st.reclaim.lazy_serialized += freed;
                 });
-                self.handle.trace(
+                let sig = self.handle.0.borrow().last_signal;
+                self.handle.trace_linked(
                     sim.node().now,
                     IrsEvent::Serialized {
                         partition: pid,
                         freed,
                     },
+                    sig,
                 );
             }
         }
@@ -493,8 +553,13 @@ impl Irs {
             if let Some(victim) = pick_victim(&candidates, &self.graph, self.cfg.victim_policy) {
                 let task = candidates[&victim].task;
                 s.terminate.insert(victim);
-                s.trace
-                    .record(sim.node().now, IrsEvent::VictimMarked { task });
+                let sig = s.last_signal;
+                let mark =
+                    s.trace
+                        .record_linked(sim.node().now, IrsEvent::VictimMarked { task }, sig);
+                if mark.is_some() {
+                    s.victim_marks.insert(victim, mark);
+                }
             }
         }
         Ok(())
@@ -591,18 +656,29 @@ impl Irs {
     }
 
     fn activate(&mut self, sim: &mut NodeSim, act: Activation) {
-        let (task_id, parts, tag) = {
+        let (task_id, parts, tag, cause) = {
             let mut s = self.handle.0.borrow_mut();
             match act {
                 Activation::Single(task, pid) => {
                     let part = s.queue.take(pid).expect("activation raced with queue");
                     let tag = part.meta().tag;
-                    (task, VecDeque::from([part]), tag)
+                    // Re-activations link back to the interrupt that
+                    // requeued this partition (Figure 3's arrows).
+                    let cause = s.interrupt_origin.remove(&pid).unwrap_or(EventId::NONE);
+                    (task, VecDeque::from([part]), tag, cause)
                 }
                 Activation::Group(task, tag) => {
                     let group = s.queue.take_group(task, tag);
                     assert!(!group.is_empty(), "empty tag group activation");
-                    (task, VecDeque::from(group), tag)
+                    let mut cause = EventId::NONE;
+                    for part in &group {
+                        if let Some(id) = s.interrupt_origin.remove(&part.meta().id) {
+                            if !cause.is_some() {
+                                cause = id;
+                            }
+                        }
+                    }
+                    (task, VecDeque::from(group), tag, cause)
                 }
             }
         };
@@ -623,12 +699,13 @@ impl Irs {
         let kind = desc.kind;
         let thread = sim.spawn_scoped(Box::new(worker), self.cfg.scope);
         let mut s = self.handle.0.borrow_mut();
-        s.trace.record(
+        s.trace.record_linked(
             now,
             IrsEvent::Activated {
                 task: task_id,
                 partitions: n_parts,
             },
+            cause,
         );
         s.instance_threads.insert(instance, thread);
         s.running.insert(

@@ -5,8 +5,15 @@
 //! auditable decision history (the basis of Figure 3's annotated
 //! interrupt/re-activation points, and the first thing to read when a
 //! policy behaves unexpectedly).
+//!
+//! Since the unified tracer landed, this type is a thin *view*: every
+//! decision funnels through [`IrsTrace::record_linked`], which forwards
+//! to [`simcore::tracer`] (the single source of truth, with node/scope
+//! attribution and causal links) and keeps the legacy per-run event
+//! list only when locally enabled via [`IrsTrace::enable`].
 
-use simcore::{ByteSize, PartitionId, SimTime, TaskId};
+use simcore::tracer::{self, EventId, TraceData};
+use simcore::{ByteSize, NodeId, PartitionId, SimDuration, SimTime, TaskId};
 
 /// One IRS decision.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,6 +76,10 @@ pub struct TracedEvent {
 pub struct IrsTrace {
     events: Vec<TracedEvent>,
     enabled: bool,
+    /// Node forwarded events are attributed to (set per tick by the IRS).
+    node: Option<NodeId>,
+    /// Allocation scope (service job id) forwarded events carry.
+    scope: Option<u64>,
 }
 
 impl IrsTrace {
@@ -87,11 +98,40 @@ impl IrsTrace {
         self.enabled
     }
 
-    /// Appends an event (no-op while disabled).
+    /// Sets the `(node, scope)` origin stamped onto events forwarded to
+    /// the global tracer. The IRS refreshes this every tick, so traces
+    /// attribute decisions to the node the runtime is driving.
+    pub fn set_origin(&mut self, node: Option<NodeId>, scope: Option<u64>) {
+        self.node = node;
+        self.scope = scope;
+    }
+
+    /// Appends an event (no-op while disabled; still forwards to the
+    /// global tracer when a sweep armed it).
     pub fn record(&mut self, at: SimTime, event: IrsEvent) {
+        self.record_linked(at, event, EventId::NONE);
+    }
+
+    /// Appends an event carrying a causal link (the id of the event
+    /// that triggered it), returning the forwarded event's id for use
+    /// as a cause downstream. Returns [`EventId::NONE`] when the global
+    /// tracer is off.
+    pub fn record_linked(&mut self, at: SimTime, event: IrsEvent, cause: EventId) -> EventId {
+        let id = if tracer::is_enabled() {
+            tracer::emit(
+                self.node,
+                self.scope,
+                at,
+                SimDuration::ZERO,
+                irs_to_trace(&event, cause),
+            )
+        } else {
+            EventId::NONE
+        };
         if self.enabled {
             self.events.push(TracedEvent { at, event });
         }
+        id
     }
 
     /// All recorded events, oldest first.
@@ -112,6 +152,39 @@ impl IrsTrace {
             let _ = writeln!(s, "{:>12}  {:?}", e.at.to_string(), e.event);
         }
         s
+    }
+}
+
+/// Maps a legacy IRS decision onto the unified tracer's payload.
+fn irs_to_trace(event: &IrsEvent, cause: EventId) -> TraceData {
+    match event {
+        IrsEvent::ReduceSignal => TraceData::Signal { reduce: true },
+        IrsEvent::GrowSignal => TraceData::Signal { reduce: false },
+        IrsEvent::Activated { task, partitions } => TraceData::Activated {
+            task: task.as_u32(),
+            partitions: *partitions as u32,
+            cause,
+        },
+        IrsEvent::Serialized { partition, freed } => TraceData::Serialized {
+            partition: partition.as_u32(),
+            freed: freed.as_u64(),
+            cause,
+        },
+        IrsEvent::VictimMarked { task } => TraceData::VictimMarked {
+            task: task.as_u32(),
+            cause,
+        },
+        IrsEvent::Interrupted { task, emergency } => TraceData::Interrupted {
+            task: task.as_u32(),
+            emergency: *emergency,
+            cause,
+        },
+        IrsEvent::CorruptionRecovered { partition } => TraceData::CorruptionRecovered {
+            partition: partition.as_u32(),
+        },
+        IrsEvent::CrashSalvaged { task } => TraceData::CrashSalvaged {
+            task: task.as_u32(),
+        },
     }
 }
 
@@ -164,5 +237,37 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("Serialized"));
         assert_eq!(rendered.lines().count(), 5);
+    }
+
+    #[test]
+    fn record_forwards_to_global_tracer_with_origin_and_cause() {
+        // The global tracer is process-wide; hold a lock so parallel
+        // tests in this binary never observe our enabled window.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        tracer::enable();
+        tracer::begin_run();
+        // Forwarding is independent of the legacy local `enabled` flag.
+        let mut t = IrsTrace::new();
+        t.set_origin(Some(NodeId(2)), Some(9));
+        let sig = t.record_linked(
+            SimTime::from_nanos(1),
+            IrsEvent::ReduceSignal,
+            EventId::NONE,
+        );
+        assert!(sig.is_some());
+        let vic = t.record_linked(
+            SimTime::from_nanos(2),
+            IrsEvent::VictimMarked { task: TaskId(3) },
+            sig,
+        );
+        assert!(vic > sig);
+        let run = tracer::take_run().unwrap();
+        tracer::disable();
+        assert!(t.events().is_empty(), "legacy log stays off until enable()");
+        assert_eq!(run.len(), 2);
+        assert_eq!(run[0].node, Some(NodeId(2)));
+        assert_eq!(run[0].scope, Some(9));
+        assert_eq!(run[1].data.cause(), sig);
     }
 }

@@ -123,8 +123,23 @@ impl ItaskWorker {
         // Component 1: local structures die with the instance.
         let local = self.release_spaces(cx);
         self.handle.note_local(local);
+        // Trace the interrupt *before* requeueing so each pushed-back
+        // partition can be tagged with this event as its origin (the
+        // eventual re-activation links back through it). A scheduled
+        // interrupt links to its victim-mark; emergencies are self-
+        // inflicted and have none.
+        let mark = self.handle.take_victim_mark(self.instance);
+        let interrupt = self.handle.trace_linked(
+            cx.now(),
+            crate::trace::IrsEvent::Interrupted {
+                task: self.task_id,
+                emergency,
+            },
+            mark,
+        );
         // Unprocessed inputs go back to the queue for resumption.
         while let Some(part) = self.inputs.pop_front() {
+            self.handle.note_interrupt_origin(part.meta().id, interrupt);
             self.handle.push_partition(part);
         }
         self.handle.stats_mut(|st| {
@@ -134,13 +149,6 @@ impl ItaskWorker {
                 st.interrupts += 1;
             }
         });
-        self.handle.trace(
-            cx.now(),
-            crate::trace::IrsEvent::Interrupted {
-                task: self.task_id,
-                emergency,
-            },
-        );
         self.handle.retire(self.instance);
         StepOutcome::Finished
     }

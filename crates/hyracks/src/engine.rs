@@ -8,7 +8,7 @@ use itask_core::{
     offer_serialized, ITask, Irs, IrsConfig, ItaskWorker, PartitionState, Tag, TaskGraph, Tuple,
 };
 use simcluster::{Cluster, JobOutcome, JobReport, WorkCx, DEFAULT_IO_RETRIES};
-use simcore::{prof, ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
+use simcore::{prof, tracer, ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
 
 use crate::operator::{BucketArena, Operator, OperatorWorker, OutputSink};
 use crate::pool::BatchPool;
@@ -265,7 +265,37 @@ fn shuffle<T: Tuple>(
     }
     prof::count(prof::Stage::Shuffle, batch_count, byte_count);
     prof::vtime(prof::Stage::Shuffle, wire_total);
+    // One aggregate span per shuffle call (per-batch events would be
+    // millions per run): the span covers the shuffle barrier itself.
+    if tracer::is_enabled() {
+        tracer::emit(
+            None,
+            None,
+            now,
+            max_wire,
+            tracer::TraceData::Shuffle {
+                batches: batch_count,
+                bytes: byte_count,
+                wire_ns: wire_total.as_nanos(),
+            },
+        );
+    }
     Ok((per_node, max_wire))
+}
+
+/// Traces one node's phase-2 framing as a single aggregate event (the
+/// per-frame `prof` counters already capture volume; the trace only
+/// needs the when/where).
+fn trace_frame_chunk(cluster: &Cluster, node: NodeId, tuples: u64) {
+    if tracer::is_enabled() && tuples > 0 {
+        tracer::emit(
+            Some(node),
+            None,
+            SimTime::ZERO + cluster.elapsed(),
+            SimDuration::ZERO,
+            tracer::TraceData::FrameChunk { tuples },
+        );
+    }
 }
 
 /// Runs a regular (non-interruptible) two-phase job.
@@ -343,12 +373,15 @@ where
         // Whole buckets per thread (hash semantics).
         let mut per_thread: Vec<VecDeque<Vec<M::Out>>> =
             (0..spec.threads).map(|_| VecDeque::new()).collect();
+        let mut framed_tuples = 0u64;
         for (bucket, tuples) in nonempty_buckets(buckets) {
+            framed_tuples += tuples.len() as u64;
             let t = (bucket as usize / cluster.node_count()) % spec.threads;
             for frame in chunk_into_frames_pooled(tuples, spec.granularity, &mut pool) {
                 per_thread[t].push_back(frame);
             }
         }
+        trace_frame_chunk(cluster, NodeId(n as u32), framed_tuples);
         let sim = cluster.sim(NodeId(n as u32));
         for (t, frames) in per_thread.into_iter().enumerate() {
             if frames.is_empty() {
@@ -502,6 +535,18 @@ fn recover_crashed_node(
         let meta = part.meta_mut();
         meta.state = PartitionState::Serialized(file);
         meta.last_serialized = Some(dst_sim.node().now);
+        if tracer::is_enabled() {
+            tracer::emit(
+                Some(dst),
+                None,
+                dst_sim.node().now,
+                SimDuration::ZERO,
+                tracer::TraceData::Rehome {
+                    partition: pid.as_u32(),
+                    from: crashed.as_u32(),
+                },
+            );
+        }
         let handle = irss[dst.as_usize()].handle();
         handle.push_partition(part);
         handle.note_crash_requeued(1);
@@ -644,7 +689,9 @@ where
         let irs = Irs::new(graph, spec.irs);
         let handle = irs.handle();
         let sim = cluster.sim(NodeId(n as u32));
+        let mut framed_tuples = 0u64;
         for (bucket, tuples) in nonempty_buckets(buckets) {
+            framed_tuples += tuples.len() as u64;
             for frame in chunk_into_frames_pooled(tuples, spec.granularity, &mut pool) {
                 if let Err(e) =
                     offer_serialized(&handle, sim.node_mut(), reduce, Tag(bucket as u64), frame)
@@ -653,6 +700,7 @@ where
                 }
             }
         }
+        trace_frame_chunk(cluster, NodeId(n as u32), framed_tuples);
         irss2.push(irs);
     }
     if let Err(e) = drive_irs(cluster, &mut irss2) {

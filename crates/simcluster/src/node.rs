@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use simcore::{
-    ByteSize, CostModel, EventLog, FaultInjector, NodeId, SimDuration, SimError, SimResult,
+    tracer, ByteSize, CostModel, EventLog, FaultInjector, NodeId, SimDuration, SimError, SimResult,
     SimTime, SpaceId,
 };
 use simmem::{GcRecord, Heap, HeapConfig};
@@ -47,14 +47,16 @@ impl NodeState {
     /// Creates a node with the given heap capacity and disk.
     pub fn new(id: NodeId, cores: usize, heap_capacity: ByteSize, disk_capacity: ByteSize) -> Self {
         let cost = CostModel::default();
+        let mut heap = Heap::new(HeapConfig {
+            cost,
+            ..HeapConfig::with_capacity(heap_capacity)
+        });
+        heap.set_trace_node(id);
         NodeState {
             id,
             cores,
             now: SimTime::ZERO,
-            heap: Heap::new(HeapConfig {
-                cost,
-                ..HeapConfig::with_capacity(heap_capacity)
-            }),
+            heap,
             disk: Disk::new(id, disk_capacity, cost),
             cost,
             gc_time: SimDuration::ZERO,
@@ -74,11 +76,25 @@ impl NodeState {
                 self.absorb_pauses(&outcome.pauses);
                 Ok(())
             }
-            Err(simmem::HeapError::OutOfMemory { requested, free }) => Err(SimError::OutOfMemory {
-                node: self.id,
-                requested,
-                free,
-            }),
+            Err(simmem::HeapError::OutOfMemory { requested, free }) => {
+                if tracer::is_enabled() {
+                    tracer::emit(
+                        Some(self.id),
+                        self.heap.alloc_scope(),
+                        self.now,
+                        SimDuration::ZERO,
+                        tracer::TraceData::Oom {
+                            requested: requested.as_u64(),
+                            free: free.as_u64(),
+                        },
+                    );
+                }
+                Err(SimError::OutOfMemory {
+                    node: self.id,
+                    requested,
+                    free,
+                })
+            }
             Err(simmem::HeapError::NoSuchSpace(id)) => Err(SimError::Internal(format!(
                 "allocation into released space {id}"
             ))),

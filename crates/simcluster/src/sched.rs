@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use simcore::{ByteSize, SimDuration, SimError, ThreadId};
+use simcore::{tracer, ByteSize, SimDuration, SimError, ThreadId};
 
 use crate::node::{NodeState, WorkCx};
 use crate::work::{StepOutcome, Work};
@@ -84,6 +84,9 @@ pub struct NodeSim {
     /// via [`Self::take_scope_cpu`]. A job's own consumption, as
     /// opposed to its wall-clock residency on the node.
     scope_cpu: BTreeMap<u64, SimDuration>,
+    /// Runnable-thread count last emitted into the tracer; quantum
+    /// events fire only when the count changes.
+    last_traced_threads: usize,
 }
 
 impl NodeSim {
@@ -101,6 +104,7 @@ impl NodeSim {
             quantum: Self::DEFAULT_QUANTUM,
             crashed: false,
             scope_cpu: BTreeMap::new(),
+            last_traced_threads: usize::MAX,
         }
     }
 
@@ -116,6 +120,15 @@ impl NodeSim {
     /// partitions elsewhere. A crashed node never runs another round.
     pub fn crash(&mut self) -> Vec<Box<dyn Work>> {
         self.crashed = true;
+        if tracer::is_enabled() {
+            tracer::emit(
+                Some(self.node.id),
+                None,
+                self.node.now,
+                SimDuration::ZERO,
+                tracer::TraceData::NodeCrash,
+            );
+        }
         self.node.disk.purge();
         let mut salvaged = Vec::new();
         for slot in &mut self.threads {
@@ -332,14 +345,29 @@ impl NodeSim {
         self.node.now += wall;
         self.node.compute_time += max_used.max(shared);
         report.wall = wall;
-        self.node.log.record(
-            "active_threads",
-            self.node.now,
-            self.threads
-                .iter()
-                .filter(|t| t.state == ThreadState::Runnable)
-                .count() as f64,
-        );
+        let running = self
+            .threads
+            .iter()
+            .filter(|t| t.state == ThreadState::Runnable)
+            .count();
+        self.node
+            .log
+            .record("active_threads", self.node.now, running as f64);
+        // Trace the thread-count curve on *change* only, so quiescent
+        // rounds contribute no events (Figure-11-style traces stay
+        // readable and the dump stays small).
+        if tracer::is_enabled() && running != self.last_traced_threads {
+            self.last_traced_threads = running;
+            tracer::emit(
+                Some(self.node.id),
+                None,
+                self.node.now,
+                SimDuration::ZERO,
+                tracer::TraceData::ThreadQuantum {
+                    running: running as u32,
+                },
+            );
+        }
         self.node.sample_heap();
         report
     }

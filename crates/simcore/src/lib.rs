@@ -20,6 +20,7 @@ pub mod log;
 pub mod prof;
 pub mod rng;
 pub mod time;
+pub mod tracer;
 
 pub use bytes::{ByteSize, GIB, KIB, MIB};
 pub use cost::CostModel;

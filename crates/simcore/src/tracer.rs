@@ -1,0 +1,680 @@
+//! A deterministic, virtual-time structured tracing subsystem.
+//!
+//! Every layer of the reproduction emits into this one stream: the heap
+//! (GC pause spans, OMEs), the IRS (REDUCE/GROW signals and the
+//! victim-mark → interrupt → serialize → re-activate chains), the node
+//! scheduler (thread quanta, crashes), the engines (shuffle/frame
+//! batches, crash re-homing) and the service layer (admission and job
+//! lifecycle). Events carry `(node, scope, virtual start, duration)`
+//! plus a typed payload and an optional *causal link* to the event that
+//! triggered them, so a dump reconstructs the paper's Figure-3 timeline
+//! — annotated interrupt/re-activation points over the memory curve —
+//! rather than mere aggregate counters.
+//!
+//! Determinism contract: timestamps are virtual nanoseconds, event ids
+//! are per-run monotonic, and each run's buffer lives in a thread-local
+//! installed by the sweep executor around the run closure. Harvested
+//! buffers are merged in `(time, node, seq)` order, so a dump is
+//! byte-identical no matter how `--jobs` spreads runs across OS worker
+//! threads. Host wall-clock never enters the stream.
+//!
+//! Like [`crate::prof`], the tracer is process-global and disabled by
+//! default; every emission entry point is a single relaxed atomic load
+//! when disabled, cheap enough for simulator hot paths.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::ids::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// Per-run monotonic event identifier; `EventId::NONE` (zero) means
+/// "no event" (emission while disabled, or an absent causal link).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+impl EventId {
+    /// The null id: no event / no causal link.
+    pub const NONE: EventId = EventId(0);
+
+    /// Whether this id refers to an actual event.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// The typed payload of one trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceData {
+    /// A stop-the-world collection (span: duration = the pause).
+    Gc {
+        /// Full (whole-heap) vs minor (young-generation) collection.
+        full: bool,
+        /// Bytes reclaimed.
+        reclaimed: u64,
+        /// Free bytes after the collection.
+        free_after: u64,
+        /// Long-and-useless GC flag (paper §5.2; full collections only).
+        useless: bool,
+    },
+    /// An allocation failed even after a full collection (OME).
+    Oom {
+        /// Bytes the failed allocation requested.
+        requested: u64,
+        /// Free bytes at the failure.
+        free: u64,
+    },
+    /// The IRS monitor emitted a memory signal.
+    Signal {
+        /// REDUCE (`true`) or GROW (`false`).
+        reduce: bool,
+    },
+    /// A running instance was marked for cooperative interrupt.
+    VictimMarked {
+        /// The victim's logical task.
+        task: u32,
+        /// The REDUCE signal that drove the marking.
+        cause: EventId,
+    },
+    /// An instance completed an interrupt (cooperative or emergency).
+    Interrupted {
+        /// The instance's logical task.
+        task: u32,
+        /// Emergency self-interrupt (allocation failure) vs scheduled.
+        emergency: bool,
+        /// The victim-mark that requested it (none for emergencies).
+        cause: EventId,
+    },
+    /// A queued partition was serialized (lazy or write-behind).
+    Serialized {
+        /// The partition.
+        partition: u32,
+        /// Heap bytes released.
+        freed: u64,
+        /// The REDUCE signal that drove it (none for steady-state).
+        cause: EventId,
+    },
+    /// A task instance was activated on a partition or tag group.
+    Activated {
+        /// The logical task.
+        task: u32,
+        /// Partitions handed to the instance.
+        partitions: u32,
+        /// The interrupt that requeued its input (re-activations only).
+        cause: EventId,
+    },
+    /// A corrupt spill was rebuilt from lineage and re-read.
+    CorruptionRecovered {
+        /// The partition whose byte form was rebuilt.
+        partition: u32,
+    },
+    /// An instance was salvaged off a crashed node post-mortem.
+    CrashSalvaged {
+        /// The salvaged instance's logical task.
+        task: u32,
+    },
+    /// The node's runnable-thread count changed (emitted on change
+    /// only, so quiescent rounds cost nothing).
+    ThreadQuantum {
+        /// Runnable threads after this round.
+        running: u32,
+    },
+    /// The node crashed (fault-injection runs).
+    NodeCrash,
+    /// A partition was re-homed onto this node after a peer crash.
+    Rehome {
+        /// The re-homed partition.
+        partition: u32,
+        /// The crashed node it came from.
+        from: u32,
+    },
+    /// One whole shuffle call, aggregated (span: duration = barrier).
+    Shuffle {
+        /// Batches routed.
+        batches: u64,
+        /// Payload bytes moved.
+        bytes: u64,
+        /// Total wire time summed over transfers.
+        wire_ns: u64,
+    },
+    /// Record batches split into granularity-bounded frames (aggregated
+    /// per node per phase).
+    FrameChunk {
+        /// Tuples framed.
+        tuples: u64,
+    },
+    /// A job arrived in a tenant's admission queue.
+    JobSubmitted {
+        /// The owning tenant.
+        tenant: u32,
+    },
+    /// The admission controller admitted a job.
+    Admitted {
+        /// The owning tenant.
+        tenant: u32,
+        /// Queue wait, nanoseconds (since the latest enqueue).
+        wait_ns: u64,
+    },
+    /// A job completed successfully.
+    JobCompleted {
+        /// The owning tenant.
+        tenant: u32,
+        /// End-to-end latency since arrival, nanoseconds.
+        latency_ns: u64,
+    },
+    /// A job failed (and was retried or charged).
+    JobFailed {
+        /// The owning tenant.
+        tenant: u32,
+        /// Whether the failure was an OutOfMemoryError.
+        oom: bool,
+        /// Whether the service requeued it for another attempt.
+        retry: bool,
+    },
+}
+
+impl TraceData {
+    /// Stable event-kind name (JSONL `kind`, analyzer keys).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceData::Gc { .. } => "gc",
+            TraceData::Oom { .. } => "oom",
+            TraceData::Signal { .. } => "signal",
+            TraceData::VictimMarked { .. } => "victim",
+            TraceData::Interrupted { .. } => "interrupt",
+            TraceData::Serialized { .. } => "serialize",
+            TraceData::Activated { .. } => "activate",
+            TraceData::CorruptionRecovered { .. } => "corruption",
+            TraceData::CrashSalvaged { .. } => "salvage",
+            TraceData::ThreadQuantum { .. } => "quantum",
+            TraceData::NodeCrash => "crash",
+            TraceData::Rehome { .. } => "rehome",
+            TraceData::Shuffle { .. } => "shuffle",
+            TraceData::FrameChunk { .. } => "frame",
+            TraceData::JobSubmitted { .. } => "submit",
+            TraceData::Admitted { .. } => "admit",
+            TraceData::JobCompleted { .. } => "complete",
+            TraceData::JobFailed { .. } => "fail",
+        }
+    }
+
+    /// Display name for Chrome trace viewers (kind plus the variant
+    /// that matters visually).
+    pub fn display_name(&self) -> String {
+        match self {
+            TraceData::Gc { full: true, .. } => "gc.full".into(),
+            TraceData::Gc { full: false, .. } => "gc.minor".into(),
+            TraceData::Signal { reduce: true } => "signal.reduce".into(),
+            TraceData::Signal { reduce: false } => "signal.grow".into(),
+            other => other.kind().into(),
+        }
+    }
+
+    /// The causal link carried by this payload, if any.
+    pub fn cause(&self) -> EventId {
+        match self {
+            TraceData::VictimMarked { cause, .. }
+            | TraceData::Interrupted { cause, .. }
+            | TraceData::Serialized { cause, .. }
+            | TraceData::Activated { cause, .. } => *cause,
+            _ => EventId::NONE,
+        }
+    }
+
+    /// Payload fields as `"key":value` JSON pairs (no braces), shared
+    /// by the Chrome and JSONL writers so both stay in sync.
+    pub fn args_json(&self) -> String {
+        match self {
+            TraceData::Gc {
+                full,
+                reclaimed,
+                free_after,
+                useless,
+            } => format!(
+                "\"full\":{full},\"reclaimed\":{reclaimed},\"free_after\":{free_after},\"useless\":{useless}"
+            ),
+            TraceData::Oom { requested, free } => {
+                format!("\"requested\":{requested},\"free\":{free}")
+            }
+            TraceData::Signal { reduce } => format!("\"reduce\":{reduce}"),
+            TraceData::VictimMarked { task, cause } => {
+                format!("\"task\":{task},\"cause\":{}", cause.0)
+            }
+            TraceData::Interrupted {
+                task,
+                emergency,
+                cause,
+            } => format!(
+                "\"task\":{task},\"emergency\":{emergency},\"cause\":{}",
+                cause.0
+            ),
+            TraceData::Serialized {
+                partition,
+                freed,
+                cause,
+            } => format!(
+                "\"partition\":{partition},\"freed\":{freed},\"cause\":{}",
+                cause.0
+            ),
+            TraceData::Activated {
+                task,
+                partitions,
+                cause,
+            } => format!(
+                "\"task\":{task},\"partitions\":{partitions},\"cause\":{}",
+                cause.0
+            ),
+            TraceData::CorruptionRecovered { partition } => {
+                format!("\"partition\":{partition}")
+            }
+            TraceData::CrashSalvaged { task } => format!("\"task\":{task}"),
+            TraceData::ThreadQuantum { running } => format!("\"running\":{running}"),
+            TraceData::NodeCrash => String::new(),
+            TraceData::Rehome { partition, from } => {
+                format!("\"partition\":{partition},\"from\":{from}")
+            }
+            TraceData::Shuffle {
+                batches,
+                bytes,
+                wire_ns,
+            } => format!("\"batches\":{batches},\"bytes\":{bytes},\"wire_ns\":{wire_ns}"),
+            TraceData::FrameChunk { tuples } => format!("\"tuples\":{tuples}"),
+            TraceData::JobSubmitted { tenant } => format!("\"tenant\":{tenant}"),
+            TraceData::Admitted { tenant, wait_ns } => {
+                format!("\"tenant\":{tenant},\"wait_ns\":{wait_ns}")
+            }
+            TraceData::JobCompleted { tenant, latency_ns } => {
+                format!("\"tenant\":{tenant},\"latency_ns\":{latency_ns}")
+            }
+            TraceData::JobFailed { tenant, oom, retry } => {
+                format!("\"tenant\":{tenant},\"oom\":{oom},\"retry\":{retry}")
+            }
+        }
+    }
+}
+
+/// One trace event: identity, placement, virtual span and payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Per-run monotonic id (never `NONE` for an emitted event).
+    pub id: EventId,
+    /// The node it happened on (`None` for cluster-wide events).
+    pub node: Option<NodeId>,
+    /// The allocation scope / service job it belongs to, if any.
+    pub scope: Option<u64>,
+    /// Virtual start time.
+    pub at: SimTime,
+    /// Virtual duration (`ZERO` for instantaneous events).
+    pub dur: SimDuration,
+    /// The typed payload.
+    pub data: TraceData,
+}
+
+/// A harvested run trace: the run's label plus its merged events.
+pub type RunTrace = Vec<Event>;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static RUN: RefCell<Option<RunBuf>> = const { RefCell::new(None) };
+}
+
+#[derive(Default)]
+struct RunBuf {
+    next: u64,
+    events: Vec<Event>,
+}
+
+/// Turns tracing on process-wide. Emission still requires a per-run
+/// buffer installed via [`begin_run`] on the emitting thread.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns tracing off.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether tracing is on (single relaxed load — the entire disabled-path
+/// cost of every emission site).
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a fresh event buffer for the run about to execute on this
+/// thread (no-op while tracing is disabled). The sweep executor calls
+/// this immediately before each run closure.
+pub fn begin_run() {
+    if is_enabled() {
+        RUN.with(|r| *r.borrow_mut() = Some(RunBuf::default()));
+    }
+}
+
+/// Harvests the current run's events, merged in deterministic
+/// `(time, node, seq)` order, and uninstalls the buffer. Returns `None`
+/// when no buffer was installed (tracing disabled).
+pub fn take_run() -> Option<RunTrace> {
+    let buf = RUN.with(|r| r.borrow_mut().take())?;
+    let mut events = buf.events;
+    events.sort_by_key(|e| (e.at, e.node.map_or(u32::MAX, |n| n.0), e.id));
+    Some(events)
+}
+
+/// Emits one event into the current run's buffer, returning its id.
+/// Returns [`EventId::NONE`] while disabled or outside a run.
+pub fn emit(
+    node: Option<NodeId>,
+    scope: Option<u64>,
+    at: SimTime,
+    dur: SimDuration,
+    data: TraceData,
+) -> EventId {
+    if !is_enabled() {
+        return EventId::NONE;
+    }
+    RUN.with(|r| {
+        let mut r = r.borrow_mut();
+        match r.as_mut() {
+            Some(buf) => {
+                buf.next += 1;
+                let id = EventId(buf.next);
+                buf.events.push(Event {
+                    id,
+                    node,
+                    scope,
+                    at,
+                    dur,
+                    data,
+                });
+                id
+            }
+            None => EventId::NONE,
+        }
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn node_i64(node: Option<NodeId>) -> i64 {
+    node.map_or(-1, |n| n.0 as i64)
+}
+
+fn scope_json(scope: Option<u64>) -> String {
+    scope.map_or_else(|| "null".into(), |s| s.to_string())
+}
+
+/// Renders a set of harvested run traces as Chrome trace-event JSON
+/// (the "JSON Object Format": a `traceEvents` array plus metadata).
+///
+/// One process per run (`pid` = run index, named by the run label), one
+/// thread per node (`tid` = node id; `-1` holds cluster-wide events).
+/// Timestamps and durations are *virtual nanoseconds* written as
+/// integers, so output is byte-identical across hosts and `--jobs`.
+pub fn chrome_json(runs: &[(String, RunTrace)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |line: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+    for (run, (label, events)) in runs.iter().enumerate() {
+        push(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{run},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(label)
+            ),
+            &mut out,
+            &mut first,
+        );
+        let mut nodes: Vec<i64> = events.iter().map(|e| node_i64(e.node)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for n in nodes {
+            let name = if n < 0 {
+                "cluster".to_string()
+            } else {
+                format!("node{n}")
+            };
+            push(
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{run},\"tid\":{n},\"args\":{{\"name\":\"{name}\"}}}}"
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        for e in events {
+            let args = e.data.args_json();
+            let args = if args.is_empty() {
+                format!("\"id\":{},\"scope\":{}", e.id.0, scope_json(e.scope))
+            } else {
+                format!("\"id\":{},\"scope\":{},{args}", e.id.0, scope_json(e.scope))
+            };
+            let line = if e.dur.is_zero() {
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{run},\"tid\":{},\"ts\":{},\"args\":{{{args}}}}}",
+                    e.data.display_name(),
+                    node_i64(e.node),
+                    e.at.as_nanos(),
+                )
+            } else {
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{run},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+                    e.data.display_name(),
+                    node_i64(e.node),
+                    e.at.as_nanos(),
+                    e.dur.as_nanos(),
+                )
+            };
+            push(line, &mut out, &mut first);
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+/// Renders the compact JSONL twin: one run-header line per run
+/// (`"kind":"run"`) followed by one line per event, in merged order.
+/// This is the format `tracectl` consumes.
+pub fn jsonl(runs: &[(String, RunTrace)]) -> String {
+    let mut out = String::new();
+    for (run, (label, events)) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"run\":{run},\"kind\":\"run\",\"label\":\"{}\",\"events\":{}}}\n",
+            json_escape(label),
+            events.len()
+        ));
+        for e in events {
+            let args = e.data.args_json();
+            out.push_str(&format!(
+                "{{\"run\":{run},\"id\":{},\"kind\":\"{}\",\"node\":{},\"scope\":{},\"ts\":{},\"dur\":{}{}{}}}\n",
+                e.id.0,
+                e.data.kind(),
+                node_i64(e.node),
+                scope_json(e.scope),
+                e.at.as_nanos(),
+                e.dur.as_nanos(),
+                if args.is_empty() { "" } else { "," },
+                args,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracer state is process-global; tests serialize on this lock.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_emission_is_a_noop() {
+        let _g = lock();
+        disable();
+        begin_run();
+        let id = emit(
+            None,
+            None,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            TraceData::NodeCrash,
+        );
+        assert_eq!(id, EventId::NONE);
+        assert!(take_run().is_none());
+    }
+
+    #[test]
+    fn emission_outside_a_run_is_dropped() {
+        let _g = lock();
+        enable();
+        // No begin_run: the buffer is absent on this thread.
+        let _ = take_run();
+        let id = emit(
+            None,
+            None,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            TraceData::NodeCrash,
+        );
+        assert_eq!(id, EventId::NONE);
+        disable();
+    }
+
+    #[test]
+    fn ids_are_monotonic_and_merge_order_is_time_node_seq() {
+        let _g = lock();
+        enable();
+        begin_run();
+        let a = emit(
+            Some(NodeId(1)),
+            None,
+            SimTime::from_nanos(10),
+            SimDuration::ZERO,
+            TraceData::Signal { reduce: true },
+        );
+        let b = emit(
+            Some(NodeId(0)),
+            Some(7),
+            SimTime::from_nanos(10),
+            SimDuration::from_nanos(5),
+            TraceData::Gc {
+                full: true,
+                reclaimed: 100,
+                free_after: 50,
+                useless: false,
+            },
+        );
+        let c = emit(
+            None,
+            None,
+            SimTime::from_nanos(5),
+            SimDuration::ZERO,
+            TraceData::Shuffle {
+                batches: 1,
+                bytes: 2,
+                wire_ns: 3,
+            },
+        );
+        assert!(a.is_some() && b.is_some() && c.is_some());
+        assert!(a < b && b < c);
+        let run = take_run().unwrap();
+        // c first (earlier time), then b (node 0 before node 1), then a.
+        assert_eq!(run.iter().map(|e| e.id).collect::<Vec<_>>(), vec![c, b, a]);
+        disable();
+    }
+
+    #[test]
+    fn begin_run_resets_ids_and_buffer() {
+        let _g = lock();
+        enable();
+        begin_run();
+        emit(
+            None,
+            None,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            TraceData::NodeCrash,
+        );
+        begin_run();
+        let id = emit(
+            None,
+            None,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            TraceData::NodeCrash,
+        );
+        assert_eq!(id, EventId(1));
+        let run = take_run().unwrap();
+        assert_eq!(run.len(), 1);
+        assert!(take_run().is_none(), "buffer uninstalls on harvest");
+        disable();
+    }
+
+    #[test]
+    fn writers_render_stable_json() {
+        let _g = lock();
+        enable();
+        begin_run();
+        emit(
+            Some(NodeId(0)),
+            Some(3),
+            SimTime::from_nanos(100),
+            SimDuration::from_nanos(40),
+            TraceData::Gc {
+                full: false,
+                reclaimed: 10,
+                free_after: 90,
+                useless: false,
+            },
+        );
+        emit(
+            Some(NodeId(0)),
+            None,
+            SimTime::from_nanos(200),
+            SimDuration::ZERO,
+            TraceData::Interrupted {
+                task: 2,
+                emergency: false,
+                cause: EventId(1),
+            },
+        );
+        let run = take_run().unwrap();
+        disable();
+        let runs = vec![("quick \"wc\"".to_string(), run)];
+        let chrome = chrome_json(&runs);
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"name\":\"gc.minor\""));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"ph\":\"i\""));
+        assert!(chrome.contains("quick \\\"wc\\\""));
+        assert!(chrome.contains("\"cause\":1"));
+        let lines = jsonl(&runs);
+        assert!(lines.starts_with("{\"run\":0,\"kind\":\"run\""));
+        assert_eq!(lines.lines().count(), 3);
+        assert!(lines.contains("\"kind\":\"interrupt\""));
+    }
+}

@@ -1,6 +1,6 @@
 //! The heap state machine.
 
-use simcore::{prof, ByteSize, CostModel, SimTime, SpaceId};
+use simcore::{prof, tracer, ByteSize, CostModel, NodeId, SimTime, SpaceId};
 
 use crate::gc::{GcKind, GcRecord, GcStats};
 use crate::space::SpaceInfo;
@@ -103,6 +103,8 @@ pub struct Heap {
     /// Scope stamped onto spaces created while it is set (see
     /// [`Heap::set_alloc_scope`]).
     alloc_scope: Option<u64>,
+    /// Node attributed to traced GC spans (see [`Heap::set_trace_node`]).
+    trace_node: Option<NodeId>,
 }
 
 impl Heap {
@@ -120,6 +122,7 @@ impl Heap {
             stats: GcStats::default(),
             records: Vec::new(),
             alloc_scope: None,
+            trace_node: None,
         }
     }
 
@@ -199,6 +202,34 @@ impl Heap {
     /// The current allocation scope.
     pub fn alloc_scope(&self) -> Option<u64> {
         self.alloc_scope
+    }
+
+    /// Sets the node that traced GC spans are attributed to. A hosting
+    /// node calls this once at construction; heaps outside a cluster
+    /// (unit tests, micro-benches) trace as node-less.
+    pub fn set_trace_node(&mut self, node: NodeId) {
+        self.trace_node = Some(node);
+    }
+
+    /// Emits one GC pause span into the global tracer (no-op unless a
+    /// sweep armed it). Every collection funnels through here — the
+    /// same choke point as the `prof::Stage::Gc` counters — so traced
+    /// span durations and profiler GC vtime agree by construction.
+    fn trace_gc(&self, rec: &GcRecord) {
+        if tracer::is_enabled() {
+            tracer::emit(
+                self.trace_node,
+                self.alloc_scope,
+                rec.at,
+                rec.pause,
+                tracer::TraceData::Gc {
+                    full: rec.kind == GcKind::Full,
+                    reclaimed: rec.reclaimed().as_u64(),
+                    free_after: rec.free_after.as_u64(),
+                    useless: rec.useless,
+                },
+            );
+        }
     }
 
     /// Live bytes attributed to `scope` across all its spaces.
@@ -383,6 +414,7 @@ impl Heap {
         };
         prof::count(prof::Stage::Gc, 1, rec.reclaimed().as_u64());
         prof::vtime(prof::Stage::Gc, pause);
+        self.trace_gc(&rec);
         self.stats.absorb(&rec);
         self.records.push(rec.clone());
         out.pauses.push(rec);
@@ -416,6 +448,7 @@ impl Heap {
         };
         prof::count(prof::Stage::Gc, 1, rec.reclaimed().as_u64());
         prof::vtime(prof::Stage::Gc, pause);
+        self.trace_gc(&rec);
         self.stats.absorb(&rec);
         self.records.push(rec.clone());
         out.pauses.push(rec);

@@ -27,7 +27,7 @@ use itask_core::{
     offer_serialized, Irs, IrsConfig, ItaskWorker, MemSignal, PartitionState, Tag, TaskGraph, Tuple,
 };
 use simcluster::{Cluster, NodeSim, WorkCx, DEFAULT_IO_RETRIES};
-use simcore::{ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
+use simcore::{tracer, ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
 
 /// Which engine executes a job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -426,6 +426,18 @@ impl<S: AggSpec> JobDriver for TwoPhaseJob<S> {
             let meta = part.meta_mut();
             meta.state = PartitionState::Serialized(file);
             meta.last_serialized = Some(dst_sim.node().now);
+            if tracer::is_enabled() {
+                tracer::emit(
+                    Some(dst),
+                    Some(self.scope),
+                    dst_sim.node().now,
+                    SimDuration::ZERO,
+                    tracer::TraceData::Rehome {
+                        partition: pid.as_u32(),
+                        from: node.as_u32(),
+                    },
+                );
+            }
             let handle = self.irss[dst.as_usize()].handle();
             handle.push_partition(part);
             handle.note_crash_requeued(1);

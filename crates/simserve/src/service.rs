@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use itask_core::MemSignal;
 use simcluster::{Cluster, ClusterConfig};
-use simcore::{ByteSize, EventLog, FaultPlan, NodeId, SimDuration, SimError, SimTime};
+use simcore::{tracer, ByteSize, EventLog, FaultPlan, NodeId, SimDuration, SimError, SimTime};
 
 use crate::admission::{AdmissionConfig, AdmissionController, ClusterView, QueuedJob};
 use crate::job::{salvage_crashed_workers, EngineKind, JobDriver, JobParams, TwoPhaseJob};
@@ -278,6 +278,15 @@ impl Service {
             }
             let a = self.arrivals.pop_front().expect("front checked");
             self.slos.entry(a.tenant).or_default().submitted += 1;
+            if tracer::is_enabled() {
+                tracer::emit(
+                    None,
+                    None,
+                    a.at,
+                    SimDuration::ZERO,
+                    tracer::TraceData::JobSubmitted { tenant: a.tenant },
+                );
+            }
             self.controller.enqueue_arrival(&a);
         }
         self.log
@@ -313,6 +322,18 @@ impl Service {
             // sample is its genuine re-queueing delay, not the failed
             // execution that preceded it.
             let wait = now.since(job.enqueued).as_nanos();
+            if tracer::is_enabled() {
+                tracer::emit(
+                    None,
+                    Some(scope),
+                    now,
+                    SimDuration::ZERO,
+                    tracer::TraceData::Admitted {
+                        tenant: job.tenant,
+                        wait_ns: wait,
+                    },
+                );
+            }
             let failure = driver.start(&mut self.cluster).err();
             let slo = self.slos.entry(job.tenant).or_default();
             slo.queue_wait.insert(wait);
@@ -431,16 +452,44 @@ impl Service {
             let slo = self.slos.entry(job.queued.tenant).or_default();
             if done {
                 slo.completed += 1;
-                slo.latency.insert(now.since(job.queued.arrived).as_nanos());
+                let latency = now.since(job.queued.arrived).as_nanos();
+                slo.latency.insert(latency);
+                if tracer::is_enabled() {
+                    tracer::emit(
+                        None,
+                        Some(job.driver.scope()),
+                        now,
+                        SimDuration::ZERO,
+                        tracer::TraceData::JobCompleted {
+                            tenant: job.queued.tenant,
+                            latency_ns: latency,
+                        },
+                    );
+                }
                 self.total_outputs += job.driver.output_count().unwrap_or(0);
                 self.log.record("svc.completed", now, 1.0);
             } else {
                 let err = job.failure.expect("failed checked");
-                if err.is_oom() {
+                let oom = err.is_oom();
+                if oom {
                     slo.omes += 1;
                     self.log.record("svc.ome", now, 1.0);
                 }
-                if job.queued.retries < self.cfg.max_retries {
+                let retry = job.queued.retries < self.cfg.max_retries;
+                if tracer::is_enabled() {
+                    tracer::emit(
+                        None,
+                        Some(job.driver.scope()),
+                        now,
+                        SimDuration::ZERO,
+                        tracer::TraceData::JobFailed {
+                            tenant: job.queued.tenant,
+                            oom,
+                            retry,
+                        },
+                    );
+                }
+                if retry {
                     slo.retries += 1;
                     self.controller.requeue(job.queued, now);
                 } else {

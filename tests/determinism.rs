@@ -67,6 +67,50 @@ fn profiler_counters_identical_across_sweep_jobs() {
 }
 
 #[test]
+fn traced_gc_spans_sum_to_profiler_gc_vtime() {
+    let _g = serial();
+    use itask_repro::sim::core::{prof, tracer};
+
+    // The heap emits the profiler sample and the trace span from the
+    // same GcRecord, so under memory pressure (same setup as the replay
+    // test below) the two accountings must agree exactly: one traced
+    // span per collection, durations summing to the profiler's GC
+    // virtual time.
+    prof::reset();
+    prof::enable(false);
+    tracer::enable();
+    tracer::begin_run();
+    let p = HyracksParams {
+        heap_per_node: ByteSize::mib(6),
+        ..HyracksParams::default()
+    };
+    let summary = wc::run_itask(WebmapSize::G10, &p);
+    let trace = tracer::take_run().expect("tracer was armed");
+    tracer::disable();
+    prof::disable();
+    let snap = prof::snapshot();
+    prof::reset();
+    summary.result.expect("pressured wc run completes");
+
+    let gc = snap
+        .iter()
+        .find(|s| matches!(s.stage, prof::Stage::Gc))
+        .expect("gc stage snapshot");
+    let gc_spans: Vec<_> = trace.iter().filter(|e| e.data.kind() == "gc").collect();
+    assert!(gc.events > 0, "pressured run must collect");
+    assert_eq!(
+        gc_spans.len() as u64,
+        gc.events,
+        "one traced span per profiled collection"
+    );
+    let traced_ns: u64 = gc_spans.iter().map(|e| e.dur.as_nanos()).sum();
+    assert_eq!(
+        traced_ns, gc.vtime_ns,
+        "traced GC span durations must sum to the profiler's GC vtime"
+    );
+}
+
+#[test]
 fn regular_runs_replay_exactly() {
     let _g = serial();
     let p = HyracksParams::default();
