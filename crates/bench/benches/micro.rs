@@ -200,6 +200,7 @@ fn bench_service(c: &mut Criterion) {
                     active: 0,
                     min_free_ratio: 0.8,
                     any_reduce_signal: false,
+                    now: SimTime::ZERO,
                 };
                 b.iter(|| {
                     let cfg = AdmissionConfig {
@@ -209,13 +210,18 @@ fn bench_service(c: &mut Criterion) {
                     };
                     let mut ctl = AdmissionController::new(cfg, BTreeMap::new());
                     for i in 0..256u32 {
-                        ctl.enqueue_arrival(&Arrival {
-                            at: SimTime::from_nanos(i as u64),
-                            tenant: i % 8,
-                            seq: i / 8,
-                            kind: simserve::JobKind::DegreeCount,
-                            dataset_seed: i as u64,
-                        });
+                        let at = SimTime::from_nanos(i as u64);
+                        ctl.enqueue_arrival(
+                            &Arrival {
+                                at,
+                                tenant: i % 8,
+                                seq: i / 8,
+                                kind: simserve::JobKind::DegreeCount,
+                                dataset_seed: i as u64,
+                                deadline: None,
+                            },
+                            at,
+                        );
                     }
                     while let Some(job) = ctl.next(view) {
                         ctl.credit_served(job.tenant, 1_000);

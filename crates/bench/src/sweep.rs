@@ -252,7 +252,66 @@ pub struct SweepLog {
     runs: Vec<(String, u64)>,
     started: Instant,
     trace_path: Option<String>,
-    traces: Vec<(String, tracer::RunTrace)>,
+    stream: Option<TraceStream>,
+}
+
+/// Incremental trace writer: each absorbed run is rendered, appended to
+/// both files, and flushed immediately, so the log never holds more
+/// than one run's events beyond the executor's own buffers — a sweep of
+/// hundreds of traced runs streams to disk instead of accumulating.
+/// The Chrome array's comma state (`first`) lives here so the streamed
+/// bytes are identical to a whole-buffer render.
+struct TraceStream {
+    chrome: std::io::BufWriter<std::fs::File>,
+    jsonl: std::io::BufWriter<std::fs::File>,
+    run: usize,
+    first: bool,
+}
+
+impl TraceStream {
+    fn open(path: &str) -> std::io::Result<Self> {
+        use std::io::Write;
+        let path = std::path::Path::new(path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut chrome = std::io::BufWriter::new(std::fs::File::create(path)?);
+        chrome.write_all(tracer::CHROME_HEADER.as_bytes())?;
+        let mut jsonl_path = path.as_os_str().to_owned();
+        jsonl_path.push(".jsonl");
+        let jsonl = std::io::BufWriter::new(std::fs::File::create(jsonl_path)?);
+        Ok(TraceStream {
+            chrome,
+            jsonl,
+            run: 0,
+            first: true,
+        })
+    }
+
+    fn append(&mut self, label: &str, events: &tracer::RunTrace) -> std::io::Result<()> {
+        use std::io::Write;
+        self.chrome
+            .write_all(tracer::chrome_run(self.run, label, events, &mut self.first).as_bytes())?;
+        self.jsonl
+            .write_all(tracer::jsonl_run(self.run, label, events).as_bytes())?;
+        self.run += 1;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        use std::io::Write;
+        self.chrome.flush()?;
+        self.jsonl.flush()
+    }
+
+    fn close(mut self) -> std::io::Result<()> {
+        use std::io::Write;
+        self.chrome.write_all(tracer::CHROME_FOOTER.as_bytes())?;
+        self.chrome.flush()?;
+        self.jsonl.flush()
+    }
 }
 
 impl SweepLog {
@@ -264,27 +323,56 @@ impl SweepLog {
             runs: Vec::new(),
             started: Instant::now(),
             trace_path: None,
-            traces: Vec::new(),
+            stream: None,
         }
     }
 
-    /// Arms trace export: [`SweepLog::finish`] writes Chrome JSON to
-    /// `path` and JSONL to `path.jsonl` from the traces absorbed so
-    /// far. Pass the value returned by [`take_trace_flag`].
+    /// Arms trace export: each absorbed batch streams Chrome JSON to
+    /// `path` and JSONL to `path.jsonl` (run index = batch order), and
+    /// [`SweepLog::finish`] closes the files. Pass the value returned by
+    /// [`take_trace_flag`].
     pub fn set_trace(&mut self, path: Option<String>) {
         self.trace_path = path;
     }
 
-    /// Records the wall-clock of every outcome in a batch, collecting
-    /// any harvested traces in batch order (= run index in the dump).
+    /// Records the wall-clock of every outcome in a batch, streaming
+    /// any harvested traces straight to the trace files (flushed per
+    /// batch — nothing is buffered across batches).
     pub fn absorb<R>(&mut self, outcomes: &[RunOutcome<R>]) {
         self.runs.reserve(outcomes.len());
+        let mut wrote = false;
         for o in outcomes {
             self.runs.push((o.label.clone(), o.wall_ms));
             if let Some(trace) = &o.trace {
-                self.traces.push((o.label.clone(), trace.clone()));
+                if let Err(e) = self.append_trace(&o.label, trace) {
+                    eprintln!("[sweep] could not stream trace, disarming: {e}");
+                    self.trace_path = None;
+                    self.stream = None;
+                }
+                wrote = true;
             }
         }
+        if wrote {
+            if let Some(stream) = &mut self.stream {
+                if let Err(e) = stream.flush() {
+                    eprintln!("[sweep] could not flush trace files: {e}");
+                }
+            }
+        }
+    }
+
+    /// Appends one run to the trace files, opening them on first use.
+    fn append_trace(&mut self, label: &str, trace: &tracer::RunTrace) -> std::io::Result<()> {
+        if self.stream.is_none() {
+            let Some(path) = &self.trace_path else {
+                return Ok(());
+            };
+            self.stream = Some(TraceStream::open(path)?);
+        }
+        self.stream
+            .as_mut()
+            .expect("just opened")
+            .append(label, trace)
     }
 
     /// Records a single timed step that ran outside the executor.
@@ -296,9 +384,9 @@ impl SweepLog {
     ///
     /// IO failures are reported on stderr but never fail the binary:
     /// the tables themselves are the primary artifact.
-    pub fn finish(self) {
+    pub fn finish(mut self) {
         let total_ms = self.started.elapsed().as_millis() as u64;
-        if let Err(e) = self.write_traces() {
+        if let Err(e) = self.finish_traces() {
             eprintln!("[sweep] could not write trace files: {e}");
         }
         if let Err(e) = self.write(total_ms) {
@@ -306,20 +394,18 @@ impl SweepLog {
         }
     }
 
-    fn write_traces(&self) -> std::io::Result<()> {
-        let Some(path) = &self.trace_path else {
-            return Ok(());
-        };
-        let path = std::path::Path::new(path);
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
+    /// Closes the trace files (writing the Chrome footer). A traced
+    /// sweep that harvested zero runs still produces valid empty files.
+    fn finish_traces(&mut self) -> std::io::Result<()> {
+        if self.stream.is_none() {
+            if let Some(path) = &self.trace_path {
+                self.stream = Some(TraceStream::open(path)?);
             }
         }
-        std::fs::write(path, tracer::chrome_json(&self.traces))?;
-        let mut jsonl = path.as_os_str().to_owned();
-        jsonl.push(".jsonl");
-        std::fs::write(jsonl, tracer::jsonl(&self.traces))
+        match self.stream.take() {
+            Some(stream) => stream.close(),
+            None => Ok(()),
+        }
     }
 
     fn write(&self, total_ms: u64) -> std::io::Result<()> {
@@ -515,13 +601,25 @@ mod tests {
         let mut log = SweepLog::new("tracebin", 1);
         let trace_path = dir.join("trace.json");
         log.set_trace(Some(trace_path.to_string_lossy().into_owned()));
-        log.absorb(&out);
-        log.write_traces().unwrap();
+        // Absorb one run at a time: the stream must flush per batch, so
+        // the JSONL grows on disk before finish() is ever called.
+        log.absorb(&out[..1]);
+        let partial = std::fs::read_to_string(dir.join("trace.json.jsonl")).unwrap();
+        assert_eq!(partial.lines().count(), 2, "first batch on disk already");
+        log.absorb(&out[1..]);
+        log.finish_traces().unwrap();
         let chrome = std::fs::read_to_string(&trace_path).unwrap();
         assert!(chrome.contains("\"traceEvents\""));
         assert!(chrome.contains("\"run1\""));
+        // The streamed bytes must equal a whole-buffer render.
+        let whole: Vec<(String, tracer::RunTrace)> = out
+            .iter()
+            .map(|o| (o.label.clone(), o.trace.clone().unwrap()))
+            .collect();
+        assert_eq!(chrome, tracer::chrome_json(&whole));
         let jsonl = std::fs::read_to_string(dir.join("trace.json.jsonl")).unwrap();
         assert_eq!(jsonl.lines().count(), 4); // 2 headers + 2 events
+        assert_eq!(jsonl, tracer::jsonl(&whole));
         std::fs::remove_dir_all(&dir).ok();
     }
 

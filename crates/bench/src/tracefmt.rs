@@ -375,6 +375,14 @@ struct RunSummary {
     /// Per tenant: submitted, admitted, completed, failed, oom,
     /// wait sketch, latency sketch.
     tenants: BTreeMap<u64, TenantSummary>,
+    /// Shed jobs by reason label.
+    sheds: BTreeMap<String, u64>,
+    /// Circuit-breaker transitions by state label.
+    breaker: BTreeMap<String, u64>,
+    /// Brownout windows: count, total rounds, total virtual time.
+    brownout_windows: u64,
+    brownout_rounds: u64,
+    brownout_ns: u64,
 }
 
 #[derive(Default)]
@@ -443,6 +451,29 @@ fn summarize(run: &TraceRun) -> RunSummary {
                 if e.flag("oom") {
                     t.oom += 1;
                 }
+            }
+            "shed" => {
+                let reason = e
+                    .payload
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                *s.sheds.entry(reason).or_insert(0) += 1;
+            }
+            "breaker" => {
+                let state = e
+                    .payload
+                    .get("state")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                *s.breaker.entry(state).or_insert(0) += 1;
+            }
+            "brownout" => {
+                s.brownout_windows += 1;
+                s.brownout_rounds += e.num("rounds");
+                s.brownout_ns += e.dur;
             }
             _ => {}
         }
@@ -587,12 +618,105 @@ pub fn report(runs: &[TraceRun]) -> String {
                 );
             }
         }
+        // Only runs that actually armed the overload controls emit
+        // these kinds, so pre-existing traces render unchanged.
+        if !s.sheds.is_empty() || !s.breaker.is_empty() || s.brownout_windows > 0 {
+            let _ = writeln!(out, "  overload:");
+            if !s.sheds.is_empty() {
+                let parts: Vec<String> = s.sheds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+                let _ = writeln!(out, "    sheds: {}", parts.join(" "));
+            }
+            if !s.breaker.is_empty() {
+                let parts: Vec<String> =
+                    s.breaker.iter().map(|(k, n)| format!("{k}={n}")).collect();
+                let _ = writeln!(out, "    breaker: {}", parts.join(" "));
+            }
+            if s.brownout_windows > 0 {
+                let _ = writeln!(
+                    out,
+                    "    brownout: windows={} rounds={} time={}",
+                    s.brownout_windows,
+                    s.brownout_rounds,
+                    fmt_ms(s.brownout_ns)
+                );
+            }
+        }
     }
     out
 }
 
-/// Renders the two-trace A/B diff: per-run (matched by index) kind
-/// counts, total GC time and chain medians, side by side with deltas.
+/// Renders one matched run pair of the diff: kind counts, total GC time
+/// and chain medians, side by side with deltas.
+fn diff_pair(out: &mut String, ra: &TraceRun, rb: &TraceRun) {
+    let sa = summarize(ra);
+    let sb = summarize(rb);
+    let mut kinds: Vec<&String> = sa.counts.keys().chain(sb.counts.keys()).collect();
+    kinds.sort();
+    kinds.dedup();
+    for k in kinds {
+        let ca = sa.counts.get(k).copied().unwrap_or(0);
+        let cb = sb.counts.get(k).copied().unwrap_or(0);
+        if ca == cb {
+            let _ = writeln!(out, "  {k:<10} {ca:>8}  (unchanged)");
+        } else {
+            let _ = writeln!(
+                out,
+                "  {k:<10} {ca:>8} -> {cb:<8} ({:+})",
+                cb as i64 - ca as i64
+            );
+        }
+    }
+    let gc_a: u64 = sa.gc.values().map(|g| g.0).sum();
+    let gc_b: u64 = sb.gc.values().map(|g| g.0).sum();
+    let _ = writeln!(
+        out,
+        "  total gc   {} -> {} ({:+.3}ms)",
+        fmt_ms(gc_a),
+        fmt_ms(gc_b),
+        (gc_b as f64 - gc_a as f64) / 1e6
+    );
+    for (name, qa, qb) in [
+        (
+            "mark->interrupt",
+            &sa.interrupt_latency,
+            &sb.interrupt_latency,
+        ),
+        (
+            "interrupt->activate",
+            &sa.reactivate_latency,
+            &sb.reactivate_latency,
+        ),
+    ] {
+        let p50 = |s: &Option<QuantileSketch>| {
+            s.as_ref()
+                .filter(|s| !s.is_empty())
+                .map(|s| s.quantile(0.5))
+        };
+        match (p50(qa), p50(qb)) {
+            (Some(ma), Some(mb)) => {
+                let _ = writeln!(
+                    out,
+                    "  p50 {name:<19} {} -> {} ({:+.3}ms)",
+                    fmt_ms(ma),
+                    fmt_ms(mb),
+                    (mb as f64 - ma as f64) / 1e6
+                );
+            }
+            (None, None) => {}
+            (ma, mb) => {
+                let show = |m: Option<u64>| m.map_or("absent".to_string(), fmt_ms);
+                let _ = writeln!(out, "  p50 {name:<19} {} -> {}", show(ma), show(mb));
+            }
+        }
+    }
+}
+
+/// Renders the two-trace A/B diff. Runs are matched by *label* (first
+/// unmatched B run with the same label, in A order), not by position:
+/// sweeps that added, removed, or reordered configurations still diff
+/// the comparable runs against each other. When the two traces' label
+/// sequences differ a warning line says so; when they are identical the
+/// output is exactly the old positional diff.
 pub fn diff(a: &[TraceRun], b: &[TraceRun]) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -601,80 +725,43 @@ pub fn diff(a: &[TraceRun], b: &[TraceRun]) -> String {
         a.len(),
         b.len()
     );
-    for i in 0..a.len().max(b.len()) {
+    let labels_match = a.len() == b.len() && a.iter().zip(b).all(|(ra, rb)| ra.label == rb.label);
+    if !labels_match {
+        let _ = writeln!(
+            out,
+            "warning: run labels differ between traces; matching runs by label, not position"
+        );
+    }
+    let mut used_b = vec![false; b.len()];
+    for (i, ra) in a.iter().enumerate() {
+        let matched = b
+            .iter()
+            .enumerate()
+            .position(|(j, rb)| !used_b[j] && rb.label == ra.label);
         let _ = writeln!(out);
-        match (a.get(i), b.get(i)) {
-            (Some(ra), Some(rb)) => {
-                let _ = writeln!(out, "== run {i}: A={} | B={}", ra.label, rb.label);
-                let sa = summarize(ra);
-                let sb = summarize(rb);
-                let mut kinds: Vec<&String> = sa.counts.keys().chain(sb.counts.keys()).collect();
-                kinds.sort();
-                kinds.dedup();
-                for k in kinds {
-                    let ca = sa.counts.get(k).copied().unwrap_or(0);
-                    let cb = sb.counts.get(k).copied().unwrap_or(0);
-                    if ca == cb {
-                        let _ = writeln!(out, "  {k:<10} {ca:>8}  (unchanged)");
-                    } else {
-                        let _ = writeln!(
-                            out,
-                            "  {k:<10} {ca:>8} -> {cb:<8} ({:+})",
-                            cb as i64 - ca as i64
-                        );
-                    }
+        match matched {
+            Some(j) => {
+                used_b[j] = true;
+                if j == i {
+                    let _ = writeln!(out, "== run {i}: A={} | B={}", ra.label, b[j].label);
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "== run {i}: A={} | B={} (B run {j})",
+                        ra.label, b[j].label
+                    );
                 }
-                let gc_a: u64 = sa.gc.values().map(|g| g.0).sum();
-                let gc_b: u64 = sb.gc.values().map(|g| g.0).sum();
-                let _ = writeln!(
-                    out,
-                    "  total gc   {} -> {} ({:+.3}ms)",
-                    fmt_ms(gc_a),
-                    fmt_ms(gc_b),
-                    (gc_b as f64 - gc_a as f64) / 1e6
-                );
-                for (name, qa, qb) in [
-                    (
-                        "mark->interrupt",
-                        &sa.interrupt_latency,
-                        &sb.interrupt_latency,
-                    ),
-                    (
-                        "interrupt->activate",
-                        &sa.reactivate_latency,
-                        &sb.reactivate_latency,
-                    ),
-                ] {
-                    let p50 = |s: &Option<QuantileSketch>| {
-                        s.as_ref()
-                            .filter(|s| !s.is_empty())
-                            .map(|s| s.quantile(0.5))
-                    };
-                    match (p50(qa), p50(qb)) {
-                        (Some(ma), Some(mb)) => {
-                            let _ = writeln!(
-                                out,
-                                "  p50 {name:<19} {} -> {} ({:+.3}ms)",
-                                fmt_ms(ma),
-                                fmt_ms(mb),
-                                (mb as f64 - ma as f64) / 1e6
-                            );
-                        }
-                        (None, None) => {}
-                        (ma, mb) => {
-                            let show = |m: Option<u64>| m.map_or("absent".to_string(), fmt_ms);
-                            let _ = writeln!(out, "  p50 {name:<19} {} -> {}", show(ma), show(mb));
-                        }
-                    }
-                }
+                diff_pair(&mut out, ra, &b[j]);
             }
-            (Some(ra), None) => {
+            None => {
                 let _ = writeln!(out, "== run {i}: only in A ({})", ra.label);
             }
-            (None, Some(rb)) => {
-                let _ = writeln!(out, "== run {i}: only in B ({})", rb.label);
-            }
-            (None, None) => unreachable!(),
+        }
+    }
+    for (j, rb) in b.iter().enumerate() {
+        if !used_b[j] {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "== run {j}: only in B ({})", rb.label);
         }
     }
     out
@@ -758,6 +845,66 @@ mod tests {
         let d = diff(&a, &b);
         assert!(d.contains("activate          1 -> 0        (-1)"), "{d}");
         assert!(d.contains("gc                1  (unchanged)"), "{d}");
+    }
+
+    #[test]
+    fn diff_matches_runs_by_label_not_position() {
+        let base = load_jsonl(&sample_jsonl()).unwrap();
+        let mut ra = base[0].clone();
+        ra.label = "alpha".to_string();
+        let mut rb = base[0].clone();
+        rb.label = "beta".to_string();
+        rb.events.pop(); // make beta distinguishable in counts
+                         // A lists [alpha, beta]; B lists them reversed, plus a run only B has.
+        let mut rc = base[0].clone();
+        rc.label = "gamma".to_string();
+        let a = vec![ra.clone(), rb.clone()];
+        let b = vec![rb, ra, rc];
+        let d = diff(&a, &b);
+        assert!(
+            d.contains("warning: run labels differ between traces"),
+            "{d}"
+        );
+        // alpha matched against alpha (B run 1), so every kind is unchanged.
+        assert!(d.contains("== run 0: A=alpha | B=alpha (B run 1)"), "{d}");
+        assert!(d.contains("activate          1  (unchanged)"), "{d}");
+        assert!(d.contains("== run 1: A=beta | B=beta (B run 0)"), "{d}");
+        assert!(d.contains("== run 2: only in B (gamma)"), "{d}");
+    }
+
+    #[test]
+    fn diff_with_aligned_labels_has_no_warning() {
+        let a = load_jsonl(&sample_jsonl()).unwrap();
+        let d = diff(&a, &a);
+        assert!(!d.contains("warning:"), "{d}");
+        assert!(d.contains("== run 0: A=wc t4 | B=wc t4\n"), "{d}");
+    }
+
+    #[test]
+    fn report_rolls_up_overload_events() {
+        let text = concat!(
+            "{\"run\":0,\"kind\":\"run\",\"label\":\"ctl\",\"events\":4}\n",
+            "{\"run\":0,\"id\":1,\"kind\":\"shed\",\"node\":-1,\"scope\":null,\"ts\":1,\"dur\":0,\"tenant\":0,\"reason\":\"deadline\"}\n",
+            "{\"run\":0,\"id\":2,\"kind\":\"shed\",\"node\":-1,\"scope\":null,\"ts\":2,\"dur\":0,\"tenant\":1,\"reason\":\"deadline\"}\n",
+            "{\"run\":0,\"id\":3,\"kind\":\"breaker\",\"node\":0,\"scope\":null,\"ts\":3,\"dur\":0,\"state\":\"open\",\"cause\":0}\n",
+            "{\"run\":0,\"id\":4,\"kind\":\"brownout\",\"node\":-1,\"scope\":null,\"ts\":4,\"dur\":2000000,\"rounds\":3,\"cause\":0}\n",
+        );
+        let runs = load_jsonl(text).unwrap();
+        let r = report(&runs);
+        assert!(r.contains("overload:"), "{r}");
+        assert!(r.contains("sheds: deadline=2"), "{r}");
+        assert!(r.contains("breaker: open=1"), "{r}");
+        assert!(
+            r.contains("brownout: windows=1 rounds=3 time=2.000ms"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn report_without_overload_events_omits_section() {
+        let runs = load_jsonl(&sample_jsonl()).unwrap();
+        let r = report(&runs);
+        assert!(!r.contains("overload:"), "{r}");
     }
 
     #[test]

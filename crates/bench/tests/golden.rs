@@ -127,6 +127,15 @@ fn golden_tracectl_faults_wc() {
 }
 
 #[test]
+fn golden_overload_quick() {
+    check_golden(
+        env!("CARGO_BIN_EXE_overload"),
+        &["--quick"],
+        "overload_quick.txt",
+    );
+}
+
+#[test]
 fn golden_table5_quick_wc() {
     // ~10s in release but minutes in debug; the CI golden job runs the
     // suite with --release so this stays covered there.

@@ -56,6 +56,11 @@ fn trace_identical_across_jobs_service_quick() {
 }
 
 #[test]
+fn trace_identical_across_jobs_overload_quick() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_overload"), &["--quick"], "overload");
+}
+
+#[test]
 fn trace_identical_across_jobs_table5_quick_wc() {
     // Minutes in debug; the CI golden job runs tests with --release.
     if cfg!(debug_assertions) {
@@ -117,6 +122,42 @@ fn trace_chrome_schema_is_valid() {
         .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
         .count();
     assert_eq!(jsonl_events, chrome_events);
+}
+
+/// The overload bench arms the full control stack, so its trace must
+/// carry the overload event kinds, and every breaker/brownout event's
+/// causal link must resolve backward to a storm in the same run.
+#[test]
+fn trace_overload_controls_emit_linked_events() {
+    let (_, jsonl) = traced_run(
+        env!("CARGO_BIN_EXE_overload"),
+        &["--quick"],
+        2,
+        "overload-ev",
+    );
+    let runs = tracefmt::load_jsonl(std::str::from_utf8(&jsonl).unwrap()).expect("jsonl loads");
+    let mut kinds = std::collections::BTreeSet::new();
+    for run in &runs {
+        let ids: std::collections::BTreeSet<u64> = run.events.iter().map(|e| e.id).collect();
+        for e in &run.events {
+            kinds.insert(e.kind.clone());
+            if matches!(e.kind.as_str(), "breaker" | "brownout") {
+                let cause = e.cause();
+                if cause != 0 {
+                    assert!(
+                        ids.contains(&cause) && cause < e.id,
+                        "{}: {} event {} has dangling cause {cause}",
+                        run.label,
+                        e.kind,
+                        e.id
+                    );
+                }
+            }
+        }
+    }
+    for k in ["shed", "storm", "breaker", "brownout"] {
+        assert!(kinds.contains(k), "expected {k} events in overload trace");
+    }
 }
 
 /// Every causal link resolves to an event emitted earlier in the same

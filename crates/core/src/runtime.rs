@@ -395,6 +395,20 @@ impl Irs {
         std::mem::take(&mut self.handle.0.borrow_mut().final_outputs)
     }
 
+    /// Requests an early REDUCE on the next tick, aiming to free at
+    /// least `needed` bytes (`ByteSize::ZERO` = the default target).
+    ///
+    /// This is the operator-facing deflation hook: a service under
+    /// sustained cluster-wide pressure (brownout mode) forces queued
+    /// partitions out to disk *before* the heap walks into the full-GC
+    /// cliff, instead of waiting for the monitor to cross its own
+    /// thresholds. Internally it shares the pressure-hint path that
+    /// workers use after allocation failures, so the forced REDUCE is
+    /// indistinguishable from an organic one downstream.
+    pub fn request_reduce(&self, needed: ByteSize) {
+        self.handle.hint_pressure(needed);
+    }
+
     /// Drains every queued partition (crash recovery: after the node
     /// died and its live instances were salvaged, the engine re-homes
     /// the whole queue onto surviving nodes).

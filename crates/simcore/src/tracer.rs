@@ -171,6 +171,38 @@ pub enum TraceData {
         /// Whether the service requeued it for another attempt.
         retry: bool,
     },
+    /// The admission controller shed a job instead of running it.
+    Shed {
+        /// The owning tenant.
+        tenant: u32,
+        /// Stable reason label (`deadline`, `queue_full`, `retry_budget`).
+        reason: &'static str,
+    },
+    /// One round's OME/pause-storm contribution on a node (emitted only
+    /// when non-zero; breaker trips cite the latest one as their cause).
+    Storm {
+        /// OutOfMemoryErrors charged to the node this round.
+        omes: u64,
+        /// Full collections observed this round.
+        full_gcs: u64,
+        /// Long-and-useless collections observed this round.
+        useless_gcs: u64,
+    },
+    /// A node's OME-storm circuit breaker changed state.
+    Breaker {
+        /// New state (`open`, `half_open`, `closed`).
+        state: &'static str,
+        /// The storm sample that drove the transition (trips only).
+        cause: EventId,
+    },
+    /// A cluster-wide brownout window (span: duration = how long the
+    /// service held the tightened gate).
+    Brownout {
+        /// Scheduling rounds spent inside the window.
+        rounds: u64,
+        /// The storm sample that preceded activation, if any.
+        cause: EventId,
+    },
 }
 
 impl TraceData {
@@ -195,6 +227,10 @@ impl TraceData {
             TraceData::Admitted { .. } => "admit",
             TraceData::JobCompleted { .. } => "complete",
             TraceData::JobFailed { .. } => "fail",
+            TraceData::Shed { .. } => "shed",
+            TraceData::Storm { .. } => "storm",
+            TraceData::Breaker { .. } => "breaker",
+            TraceData::Brownout { .. } => "brownout",
         }
     }
 
@@ -206,6 +242,8 @@ impl TraceData {
             TraceData::Gc { full: false, .. } => "gc.minor".into(),
             TraceData::Signal { reduce: true } => "signal.reduce".into(),
             TraceData::Signal { reduce: false } => "signal.grow".into(),
+            TraceData::Shed { reason, .. } => format!("shed.{reason}"),
+            TraceData::Breaker { state, .. } => format!("breaker.{state}"),
             other => other.kind().into(),
         }
     }
@@ -216,7 +254,9 @@ impl TraceData {
             TraceData::VictimMarked { cause, .. }
             | TraceData::Interrupted { cause, .. }
             | TraceData::Serialized { cause, .. }
-            | TraceData::Activated { cause, .. } => *cause,
+            | TraceData::Activated { cause, .. }
+            | TraceData::Breaker { cause, .. }
+            | TraceData::Brownout { cause, .. } => *cause,
             _ => EventId::NONE,
         }
     }
@@ -288,6 +328,20 @@ impl TraceData {
             }
             TraceData::JobFailed { tenant, oom, retry } => {
                 format!("\"tenant\":{tenant},\"oom\":{oom},\"retry\":{retry}")
+            }
+            TraceData::Shed { tenant, reason } => {
+                format!("\"tenant\":{tenant},\"reason\":\"{reason}\"")
+            }
+            TraceData::Storm {
+                omes,
+                full_gcs,
+                useless_gcs,
+            } => format!("\"omes\":{omes},\"full_gcs\":{full_gcs},\"useless_gcs\":{useless_gcs}"),
+            TraceData::Breaker { state, cause } => {
+                format!("\"state\":\"{state}\",\"cause\":{}", cause.0)
+            }
+            TraceData::Brownout { rounds, cause } => {
+                format!("\"rounds\":{rounds},\"cause\":{}", cause.0)
             }
         }
     }
@@ -418,16 +472,25 @@ fn scope_json(scope: Option<u64>) -> String {
     scope.map_or_else(|| "null".into(), |s| s.to_string())
 }
 
-/// Renders a set of harvested run traces as Chrome trace-event JSON
-/// (the "JSON Object Format": a `traceEvents` array plus metadata).
+/// Opening bytes of a Chrome trace-event JSON document. Streamed
+/// writers emit this once, then [`chrome_run`] fragments, then
+/// [`CHROME_FOOTER`].
+pub const CHROME_HEADER: &str = "{\"traceEvents\":[\n";
+
+/// Closing bytes of a Chrome trace-event JSON document.
+pub const CHROME_FOOTER: &str = "\n],\"displayTimeUnit\":\"ns\"}\n";
+
+/// Renders one run's slice of the Chrome `traceEvents` array: process
+/// and thread name metadata followed by every event row. `first` is
+/// shared across runs so the comma separation stays valid when runs are
+/// appended incrementally (it flips to `false` after the first row).
 ///
 /// One process per run (`pid` = run index, named by the run label), one
 /// thread per node (`tid` = node id; `-1` holds cluster-wide events).
 /// Timestamps and durations are *virtual nanoseconds* written as
 /// integers, so output is byte-identical across hosts and `--jobs`.
-pub fn chrome_json(runs: &[(String, RunTrace)]) -> String {
-    let mut out = String::from("{\"traceEvents\":[\n");
-    let mut first = true;
+pub fn chrome_run(run: usize, label: &str, events: &RunTrace, first: &mut bool) -> String {
+    let mut out = String::new();
     let push = |line: String, out: &mut String, first: &mut bool| {
         if !*first {
             out.push_str(",\n");
@@ -435,87 +498,104 @@ pub fn chrome_json(runs: &[(String, RunTrace)]) -> String {
         *first = false;
         out.push_str(&line);
     };
-    for (run, (label, events)) in runs.iter().enumerate() {
+    push(
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{run},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(label)
+        ),
+        &mut out,
+        first,
+    );
+    let mut nodes: Vec<i64> = events.iter().map(|e| node_i64(e.node)).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for n in nodes {
+        let name = if n < 0 {
+            "cluster".to_string()
+        } else {
+            format!("node{n}")
+        };
         push(
             format!(
-                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{run},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
-                json_escape(label)
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{run},\"tid\":{n},\"args\":{{\"name\":\"{name}\"}}}}"
             ),
             &mut out,
-            &mut first,
+            first,
         );
-        let mut nodes: Vec<i64> = events.iter().map(|e| node_i64(e.node)).collect();
-        nodes.sort_unstable();
-        nodes.dedup();
-        for n in nodes {
-            let name = if n < 0 {
-                "cluster".to_string()
-            } else {
-                format!("node{n}")
-            };
-            push(
-                format!(
-                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{run},\"tid\":{n},\"args\":{{\"name\":\"{name}\"}}}}"
-                ),
-                &mut out,
-                &mut first,
-            );
-        }
-        for e in events {
-            let args = e.data.args_json();
-            let args = if args.is_empty() {
-                format!("\"id\":{},\"scope\":{}", e.id.0, scope_json(e.scope))
-            } else {
-                format!("\"id\":{},\"scope\":{},{args}", e.id.0, scope_json(e.scope))
-            };
-            let line = if e.dur.is_zero() {
-                format!(
-                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{run},\"tid\":{},\"ts\":{},\"args\":{{{args}}}}}",
-                    e.data.display_name(),
-                    node_i64(e.node),
-                    e.at.as_nanos(),
-                )
-            } else {
-                format!(
-                    "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{run},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
-                    e.data.display_name(),
-                    node_i64(e.node),
-                    e.at.as_nanos(),
-                    e.dur.as_nanos(),
-                )
-            };
-            push(line, &mut out, &mut first);
-        }
     }
-    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    for e in events {
+        let args = e.data.args_json();
+        let args = if args.is_empty() {
+            format!("\"id\":{},\"scope\":{}", e.id.0, scope_json(e.scope))
+        } else {
+            format!("\"id\":{},\"scope\":{},{args}", e.id.0, scope_json(e.scope))
+        };
+        let line = if e.dur.is_zero() {
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{run},\"tid\":{},\"ts\":{},\"args\":{{{args}}}}}",
+                e.data.display_name(),
+                node_i64(e.node),
+                e.at.as_nanos(),
+            )
+        } else {
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{run},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+                e.data.display_name(),
+                node_i64(e.node),
+                e.at.as_nanos(),
+                e.dur.as_nanos(),
+            )
+        };
+        push(line, &mut out, first);
+    }
     out
 }
 
-/// Renders the compact JSONL twin: one run-header line per run
+/// Renders a set of harvested run traces as one complete Chrome
+/// trace-event JSON document (header + every run + footer).
+pub fn chrome_json(runs: &[(String, RunTrace)]) -> String {
+    let mut out = String::from(CHROME_HEADER);
+    let mut first = true;
+    for (run, (label, events)) in runs.iter().enumerate() {
+        out.push_str(&chrome_run(run, label, events, &mut first));
+    }
+    out.push_str(CHROME_FOOTER);
+    out
+}
+
+/// Renders one run's compact JSONL lines: the run-header line
 /// (`"kind":"run"`) followed by one line per event, in merged order.
-/// This is the format `tracectl` consumes.
+/// Self-delimiting, so streamed writers append runs as they finish.
+pub fn jsonl_run(run: usize, label: &str, events: &RunTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"run\":{run},\"kind\":\"run\",\"label\":\"{}\",\"events\":{}}}\n",
+        json_escape(label),
+        events.len()
+    ));
+    for e in events {
+        let args = e.data.args_json();
+        out.push_str(&format!(
+            "{{\"run\":{run},\"id\":{},\"kind\":\"{}\",\"node\":{},\"scope\":{},\"ts\":{},\"dur\":{}{}{}}}\n",
+            e.id.0,
+            e.data.kind(),
+            node_i64(e.node),
+            scope_json(e.scope),
+            e.at.as_nanos(),
+            e.dur.as_nanos(),
+            if args.is_empty() { "" } else { "," },
+            args,
+        ));
+    }
+    out
+}
+
+/// Renders the whole JSONL twin for a set of runs. This is the format
+/// `tracectl` consumes.
 pub fn jsonl(runs: &[(String, RunTrace)]) -> String {
     let mut out = String::new();
     for (run, (label, events)) in runs.iter().enumerate() {
-        out.push_str(&format!(
-            "{{\"run\":{run},\"kind\":\"run\",\"label\":\"{}\",\"events\":{}}}\n",
-            json_escape(label),
-            events.len()
-        ));
-        for e in events {
-            let args = e.data.args_json();
-            out.push_str(&format!(
-                "{{\"run\":{run},\"id\":{},\"kind\":\"{}\",\"node\":{},\"scope\":{},\"ts\":{},\"dur\":{}{}{}}}\n",
-                e.id.0,
-                e.data.kind(),
-                node_i64(e.node),
-                scope_json(e.scope),
-                e.at.as_nanos(),
-                e.dur.as_nanos(),
-                if args.is_empty() { "" } else { "," },
-                args,
-            ));
-        }
+        out.push_str(&jsonl_run(run, label, events));
     }
     out
 }
@@ -676,5 +756,101 @@ mod tests {
         assert!(lines.starts_with("{\"run\":0,\"kind\":\"run\""));
         assert_eq!(lines.lines().count(), 3);
         assert!(lines.contains("\"kind\":\"interrupt\""));
+    }
+
+    #[test]
+    fn overload_variants_render_and_link() {
+        let _g = lock();
+        enable();
+        begin_run();
+        let storm = emit(
+            Some(NodeId(2)),
+            None,
+            SimTime::from_nanos(10),
+            SimDuration::ZERO,
+            TraceData::Storm {
+                omes: 3,
+                full_gcs: 2,
+                useless_gcs: 1,
+            },
+        );
+        emit(
+            Some(NodeId(2)),
+            None,
+            SimTime::from_nanos(20),
+            SimDuration::ZERO,
+            TraceData::Breaker {
+                state: "open",
+                cause: storm,
+            },
+        );
+        emit(
+            None,
+            None,
+            SimTime::from_nanos(30),
+            SimDuration::ZERO,
+            TraceData::Shed {
+                tenant: 4,
+                reason: "deadline",
+            },
+        );
+        emit(
+            None,
+            None,
+            SimTime::from_nanos(5),
+            SimDuration::from_nanos(40),
+            TraceData::Brownout {
+                rounds: 7,
+                cause: storm,
+            },
+        );
+        let run = take_run().unwrap();
+        disable();
+        // Merged order is (time, node, seq): brownout (t=5) sorts first,
+        // then storm, breaker, shed — both linked events cite the storm.
+        assert_eq!(run[0].data.cause(), storm, "brownout links to its storm");
+        assert_eq!(run[2].data.cause(), storm, "breaker links to its storm");
+        let runs = vec![("overload".to_string(), run)];
+        let lines = jsonl(&runs);
+        assert!(lines.contains("\"kind\":\"storm\""));
+        assert!(lines.contains("\"omes\":3,\"full_gcs\":2,\"useless_gcs\":1"));
+        assert!(lines.contains("\"state\":\"open\""));
+        assert!(lines.contains("\"reason\":\"deadline\""));
+        assert!(lines.contains("\"rounds\":7"));
+        let chrome = chrome_json(&runs);
+        assert!(chrome.contains("\"name\":\"breaker.open\""));
+        assert!(chrome.contains("\"name\":\"shed.deadline\""));
+        assert!(chrome.contains("\"name\":\"brownout\""));
+    }
+
+    #[test]
+    fn streamed_render_matches_whole_buffer() {
+        let _g = lock();
+        enable();
+        let mut runs = Vec::new();
+        for r in 0..3u64 {
+            begin_run();
+            emit(
+                Some(NodeId(r as u32)),
+                None,
+                SimTime::from_nanos(r),
+                SimDuration::ZERO,
+                TraceData::NodeCrash,
+            );
+            runs.push((format!("run{r}"), take_run().unwrap()));
+        }
+        disable();
+        // Appending per-run fragments must produce the same bytes as
+        // the whole-buffer writers — the streaming writer's contract.
+        let mut chrome = String::from(CHROME_HEADER);
+        let mut first = true;
+        let mut lines = String::new();
+        for (i, (label, events)) in runs.iter().enumerate() {
+            chrome.push_str(&chrome_run(i, label, events, &mut first));
+            lines.push_str(&jsonl_run(i, label, events));
+        }
+        chrome.push_str(CHROME_FOOTER);
+        assert_eq!(chrome, chrome_json(&runs));
+        assert_eq!(lines, jsonl(&runs));
     }
 }

@@ -7,11 +7,19 @@
 //! holding admissions while any running job is under `REDUCE` pressure.
 //! FIFO and weighted-fair ignore memory entirely and serve as the
 //! baselines the service table compares against.
+//!
+//! Overload controls live at the queue boundary: per-tenant queues are
+//! optionally bounded (`queue_cap`), jobs may carry submit deadlines
+//! that are enforced both at enqueue and at pop, and backed-off retries
+//! park in a delayed set until their release instant. Every job the
+//! controller refuses to run is recorded as a [`ShedRecord`] for the
+//! service to account and trace; nothing is dropped silently.
 
 use std::collections::{BTreeMap, VecDeque};
 
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 
+use crate::overload::{ShedReason, ShedRecord};
 use crate::workload::{Arrival, JobKind};
 
 /// Which admission policy orders and gates the queues.
@@ -50,6 +58,9 @@ pub struct AdmissionConfig {
     /// Memory-aware floor: co-locate only while the worst node keeps at
     /// least this fraction of its heap effectively free.
     pub min_free_ratio: f64,
+    /// Bound on each tenant's queue length; arrivals beyond it are shed
+    /// at enqueue. `None` (the default) keeps queues unbounded.
+    pub queue_cap: Option<usize>,
 }
 
 impl Default for AdmissionConfig {
@@ -58,6 +69,7 @@ impl Default for AdmissionConfig {
             policy: PolicyKind::Fifo,
             max_active: 4,
             min_free_ratio: 0.35,
+            queue_cap: None,
         }
     }
 }
@@ -82,6 +94,9 @@ pub struct QueuedJob {
     pub dataset_seed: u64,
     /// How many times this job has already failed and been requeued.
     pub retries: u32,
+    /// Absolute submit deadline; the controller sheds the job rather
+    /// than pop it once this instant has passed.
+    pub deadline: Option<SimTime>,
     /// Global enqueue stamp (FIFO order; retries are stamped afresh so
     /// they rejoin at the back).
     stamp: u64,
@@ -96,12 +111,19 @@ pub struct ClusterView {
     pub min_free_ratio: f64,
     /// Whether any active job's IRS currently signals `REDUCE`.
     pub any_reduce_signal: bool,
+    /// The current virtual instant (deadline enforcement at pop).
+    pub now: SimTime,
 }
 
 /// Per-tenant queues plus the policy state.
 pub struct AdmissionController {
     cfg: AdmissionConfig,
     queues: BTreeMap<u32, VecDeque<QueuedJob>>,
+    /// Backed-off retries parked until their release instant, keyed by
+    /// `(release, stamp)` so ties release in stamp order.
+    delayed: BTreeMap<(SimTime, u64), QueuedJob>,
+    /// Shed decisions since the last [`AdmissionController::take_shed`].
+    shed: Vec<ShedRecord>,
     /// Tenant weights (weighted-fair).
     weights: BTreeMap<u32, u64>,
     /// Served busy-nanos per tenant (weighted-fair virtual time).
@@ -116,6 +138,8 @@ impl AdmissionController {
         AdmissionController {
             cfg,
             queues: BTreeMap::new(),
+            delayed: BTreeMap::new(),
+            shed: Vec::new(),
             weights,
             served: BTreeMap::new(),
             next_stamp: 0,
@@ -127,13 +151,64 @@ impl AdmissionController {
         &self.cfg
     }
 
-    /// Total queued jobs across tenants.
+    /// Total immediately-runnable queued jobs across tenants (excludes
+    /// delayed retries still waiting on their release instant).
     pub fn queued(&self) -> usize {
         self.queues.values().map(VecDeque::len).sum()
     }
 
-    /// Enqueues a fresh arrival.
-    pub fn enqueue_arrival(&mut self, a: &Arrival) {
+    /// Backed-off retries still parked.
+    pub fn pending_delayed(&self) -> usize {
+        self.delayed.len()
+    }
+
+    /// The earliest parked retry's release instant, if any (the service
+    /// jumps its clock here when otherwise idle).
+    pub fn next_release(&self) -> Option<SimTime> {
+        self.delayed.keys().next().map(|&(at, _)| at)
+    }
+
+    /// Tenants with at least one immediately-runnable queued job. The
+    /// per-tenant map prunes lazily on every pop/shed path, so this is
+    /// exactly the non-empty set — no tombstone queues.
+    pub fn queued_tenants(&self) -> Vec<u32> {
+        debug_assert!(
+            self.queues.values().all(|q| !q.is_empty()),
+            "empty tenant queue left unpruned"
+        );
+        self.queues.keys().copied().collect()
+    }
+
+    /// Drains the shed decisions recorded since the last call.
+    pub fn take_shed(&mut self) -> Vec<ShedRecord> {
+        std::mem::take(&mut self.shed)
+    }
+
+    /// Enqueues a fresh arrival at `now`, unless it must be shed on the
+    /// spot: already past its deadline (the service fell far behind the
+    /// arrival schedule) or over the tenant's queue bound.
+    pub fn enqueue_arrival(&mut self, a: &Arrival, now: SimTime) {
+        if a.deadline.is_some_and(|d| d < now) {
+            self.shed.push(ShedRecord {
+                tenant: a.tenant,
+                seq: a.seq,
+                reason: ShedReason::DeadlineExpired,
+                at: now,
+            });
+            return;
+        }
+        if let Some(cap) = self.cfg.queue_cap {
+            let len = self.queues.get(&a.tenant).map_or(0, VecDeque::len);
+            if len >= cap {
+                self.shed.push(ShedRecord {
+                    tenant: a.tenant,
+                    seq: a.seq,
+                    reason: ShedReason::QueueFull,
+                    at: now,
+                });
+                return;
+            }
+        }
         let job = QueuedJob {
             tenant: a.tenant,
             seq: a.seq,
@@ -142,6 +217,7 @@ impl AdmissionController {
             enqueued: a.at,
             dataset_seed: a.dataset_seed,
             retries: 0,
+            deadline: a.deadline,
             stamp: self.next_stamp,
         };
         self.next_stamp += 1;
@@ -159,18 +235,77 @@ impl AdmissionController {
         self.queues.entry(job.tenant).or_default().push_back(job);
     }
 
+    /// Parks a failed job until `now + delay` (seeded exponential
+    /// backoff), with the same bookkeeping as [`requeue`]: retry count
+    /// up, fresh stamp, and the queue-wait clock restarting at the
+    /// *release* instant — a backed-off retry's wait measures queueing,
+    /// not its own deliberate delay.
+    ///
+    /// [`requeue`]: AdmissionController::requeue
+    pub fn requeue_after(&mut self, mut job: QueuedJob, now: SimTime, delay: SimDuration) {
+        if delay.is_zero() {
+            return self.requeue(job, now);
+        }
+        let release = now + delay;
+        job.retries += 1;
+        job.enqueued = release;
+        job.stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.delayed.insert((release, job.stamp), job);
+    }
+
+    /// Moves parked retries whose release instant has passed into their
+    /// tenant queues. Call once per round before popping.
+    pub fn release_due(&mut self, now: SimTime) {
+        while let Some((&(release, stamp), _)) = self.delayed.first_key_value() {
+            if release > now {
+                break;
+            }
+            let job = self
+                .delayed
+                .remove(&(release, stamp))
+                .expect("first key present");
+            self.queues.entry(job.tenant).or_default().push_back(job);
+        }
+    }
+
     /// Credits a tenant with served busy time (drives weighted-fair
     /// virtual time forward on completion or failure).
     pub fn credit_served(&mut self, tenant: u32, busy_nanos: u64) {
         *self.served.entry(tenant).or_insert(0) += busy_nanos;
     }
 
+    /// Sheds every queued job whose deadline has passed (enforcement at
+    /// pop: a job that waited out its deadline in the queue must not
+    /// burn cluster time), pruning tenant queues that empty out.
+    fn expire(&mut self, now: SimTime) {
+        let shed = &mut self.shed;
+        self.queues.retain(|_, q| {
+            q.retain(|j| {
+                let expired = j.deadline.is_some_and(|d| d < now);
+                if expired {
+                    shed.push(ShedRecord {
+                        tenant: j.tenant,
+                        seq: j.seq,
+                        reason: ShedReason::DeadlineExpired,
+                        at: now,
+                    });
+                }
+                !expired
+            });
+            !q.is_empty()
+        });
+    }
+
     /// Pops the next admissible job under the policy, or `None` if the
     /// queues are empty, every slot is taken, or the memory gate holds.
+    /// Deadline-expired jobs are shed first, so an admission never
+    /// hands back dead work.
     ///
     /// All policies are work-conserving: when nothing is active, the
     /// head job is always admitted regardless of memory state.
     pub fn next(&mut self, view: ClusterView) -> Option<QueuedJob> {
+        self.expire(view.now);
         if view.active >= self.cfg.max_active || self.queued() == 0 {
             return None;
         }
@@ -244,7 +379,19 @@ mod tests {
             seq,
             kind: JobKind::DegreeCount,
             dataset_seed: (tenant as u64) << 32 | seq as u64,
+            deadline: None,
         }
+    }
+
+    fn deadlined(tenant: u32, seq: u32, at_ms: u64, deadline_ms: u64) -> Arrival {
+        Arrival {
+            deadline: Some(SimTime::ZERO + SimDuration::from_millis(deadline_ms)),
+            ..arrival(tenant, seq, at_ms)
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
     fn calm(active: usize) -> ClusterView {
@@ -252,7 +399,19 @@ mod tests {
             active,
             min_free_ratio: 0.9,
             any_reduce_signal: false,
+            now: SimTime::ZERO,
         }
+    }
+
+    fn calm_at(active: usize, now_ms: u64) -> ClusterView {
+        ClusterView {
+            now: t(now_ms),
+            ..calm(active)
+        }
+    }
+
+    fn enq(c: &mut AdmissionController, a: &Arrival) {
+        c.enqueue_arrival(a, a.at);
     }
 
     #[test]
@@ -263,9 +422,9 @@ mod tests {
             ..AdmissionConfig::default()
         };
         let mut c = AdmissionController::new(cfg, BTreeMap::new());
-        c.enqueue_arrival(&arrival(1, 0, 10));
-        c.enqueue_arrival(&arrival(0, 0, 20));
-        c.enqueue_arrival(&arrival(1, 1, 30));
+        enq(&mut c, &arrival(1, 0, 10));
+        enq(&mut c, &arrival(0, 0, 20));
+        enq(&mut c, &arrival(1, 1, 30));
         let a = c.next(calm(0)).unwrap();
         let b = c.next(calm(1)).unwrap();
         assert_eq!((a.tenant, a.seq), (1, 0));
@@ -289,8 +448,8 @@ mod tests {
         weights.insert(1u32, 3u64);
         let mut c = AdmissionController::new(cfg, weights);
         for seq in 0..3 {
-            c.enqueue_arrival(&arrival(0, seq, seq as u64));
-            c.enqueue_arrival(&arrival(1, seq, seq as u64));
+            enq(&mut c, &arrival(0, seq, seq as u64));
+            enq(&mut c, &arrival(1, seq, seq as u64));
         }
         // Equal served time: tie on vtime 0 broken by tenant id.
         let first = c.next(calm(0)).unwrap();
@@ -313,20 +472,23 @@ mod tests {
             policy: PolicyKind::MemoryAware,
             max_active: 4,
             min_free_ratio: 0.5,
+            queue_cap: None,
         };
         let mut c = AdmissionController::new(cfg, BTreeMap::new());
-        c.enqueue_arrival(&arrival(0, 0, 1));
-        c.enqueue_arrival(&arrival(0, 1, 2));
-        c.enqueue_arrival(&arrival(0, 2, 3));
+        enq(&mut c, &arrival(0, 0, 1));
+        enq(&mut c, &arrival(0, 1, 2));
+        enq(&mut c, &arrival(0, 2, 3));
         let tight = ClusterView {
             active: 1,
             min_free_ratio: 0.2,
             any_reduce_signal: false,
+            now: SimTime::ZERO,
         };
         let pressured = ClusterView {
             active: 1,
             min_free_ratio: 0.9,
             any_reduce_signal: true,
+            now: SimTime::ZERO,
         };
         // Work conservation: empty cluster admits even under a low view.
         let first = c
@@ -334,6 +496,7 @@ mod tests {
                 active: 0,
                 min_free_ratio: 0.0,
                 any_reduce_signal: true,
+                now: SimTime::ZERO,
             })
             .unwrap();
         assert_eq!(first.seq, 0);
@@ -348,8 +511,8 @@ mod tests {
     #[test]
     fn requeue_rejoins_at_the_back_with_retry_count() {
         let mut c = AdmissionController::new(AdmissionConfig::default(), BTreeMap::new());
-        c.enqueue_arrival(&arrival(0, 0, 1));
-        c.enqueue_arrival(&arrival(0, 1, 2));
+        enq(&mut c, &arrival(0, 0, 1));
+        enq(&mut c, &arrival(0, 1, 2));
         let failed = c.next(calm(0)).unwrap();
         assert_eq!(failed.seq, 0);
         let arrived = failed.arrived;
@@ -381,11 +544,146 @@ mod tests {
         weights.insert(0u32, 2_000_000u64);
         weights.insert(1u32, 3_000_000u64);
         let mut c = AdmissionController::new(cfg, weights);
-        c.enqueue_arrival(&arrival(0, 0, 1));
-        c.enqueue_arrival(&arrival(1, 0, 2));
+        enq(&mut c, &arrival(0, 0, 1));
+        enq(&mut c, &arrival(1, 0, 2));
         c.credit_served(0, 1);
         c.credit_served(1, 1);
         let first = c.next(calm(0)).unwrap();
         assert_eq!(first.tenant, 1, "sub-resolution vtime gap lost");
+    }
+
+    #[test]
+    fn queue_cap_sheds_at_enqueue_per_tenant() {
+        let cfg = AdmissionConfig {
+            queue_cap: Some(2),
+            ..AdmissionConfig::default()
+        };
+        let mut c = AdmissionController::new(cfg, BTreeMap::new());
+        enq(&mut c, &arrival(0, 0, 1));
+        enq(&mut c, &arrival(0, 1, 2));
+        enq(&mut c, &arrival(0, 2, 3)); // over tenant 0's cap
+        enq(&mut c, &arrival(1, 0, 4)); // tenant 1 has its own budget
+        assert_eq!(c.queued(), 3);
+        let shed = c.take_shed();
+        assert_eq!(shed.len(), 1);
+        assert_eq!((shed[0].tenant, shed[0].seq), (0, 2));
+        assert_eq!(shed[0].reason, ShedReason::QueueFull);
+        assert_eq!(shed[0].reason.label(), "queue_full");
+        assert!(c.take_shed().is_empty(), "take_shed drains");
+    }
+
+    #[test]
+    fn deadlines_shed_at_enqueue_and_at_pop() {
+        let mut c = AdmissionController::new(AdmissionConfig::default(), BTreeMap::new());
+        // Arrives already past its deadline: shed on the spot.
+        c.enqueue_arrival(&deadlined(0, 0, 10, 5), t(10));
+        // Alive at enqueue, expires while queued: shed at pop.
+        c.enqueue_arrival(&deadlined(0, 1, 10, 20), t(10));
+        // No deadline: survives any wait.
+        enq(&mut c, &arrival(0, 2, 11));
+        assert_eq!(c.queued(), 2);
+        let popped = c.next(calm_at(0, 30)).unwrap();
+        assert_eq!(popped.seq, 2, "expired job skipped at pop");
+        let shed = c.take_shed();
+        assert_eq!(shed.len(), 2);
+        assert!(shed.iter().all(|s| s.reason == ShedReason::DeadlineExpired));
+        assert_eq!(shed[0].at, t(10));
+        assert_eq!(shed[1].at, t(30));
+    }
+
+    #[test]
+    fn deadline_exactly_now_still_runs() {
+        let mut c = AdmissionController::new(AdmissionConfig::default(), BTreeMap::new());
+        c.enqueue_arrival(&deadlined(0, 0, 5, 30), t(5));
+        let popped = c.next(calm_at(0, 30));
+        assert!(popped.is_some(), "deadline == now is not yet expired");
+        assert!(c.take_shed().is_empty());
+    }
+
+    #[test]
+    fn requeue_after_parks_until_release() {
+        let mut c = AdmissionController::new(AdmissionConfig::default(), BTreeMap::new());
+        enq(&mut c, &arrival(0, 0, 1));
+        let failed = c.next(calm(0)).unwrap();
+        c.requeue_after(failed, t(10), SimDuration::from_millis(5));
+        assert_eq!(c.queued(), 0);
+        assert_eq!(c.pending_delayed(), 1);
+        assert_eq!(c.next_release(), Some(t(15)));
+        // Not due yet: releasing early moves nothing.
+        c.release_due(t(14));
+        assert!(c.next(calm_at(0, 14)).is_none());
+        c.release_due(t(15));
+        assert_eq!(c.pending_delayed(), 0);
+        assert_eq!(c.next_release(), None);
+        let job = c.next(calm_at(0, 15)).unwrap();
+        assert_eq!(job.retries, 1);
+        assert_eq!(job.enqueued, t(15), "wait clock restarts at release");
+    }
+
+    #[test]
+    fn requeue_after_zero_delay_is_plain_requeue() {
+        let mut c = AdmissionController::new(AdmissionConfig::default(), BTreeMap::new());
+        enq(&mut c, &arrival(0, 0, 1));
+        let failed = c.next(calm(0)).unwrap();
+        c.requeue_after(failed, t(9), SimDuration::ZERO);
+        assert_eq!(c.pending_delayed(), 0);
+        let job = c.next(calm_at(0, 9)).unwrap();
+        assert_eq!((job.retries, job.enqueued), (1, t(9)));
+    }
+
+    #[test]
+    fn delayed_releases_in_release_then_stamp_order() {
+        let mut c = AdmissionController::new(AdmissionConfig::default(), BTreeMap::new());
+        enq(&mut c, &arrival(0, 0, 1));
+        enq(&mut c, &arrival(0, 1, 2));
+        let a = c.next(calm(0)).unwrap();
+        let b = c.next(calm(0)).unwrap();
+        // Same release instant: the earlier-parked job keeps the earlier
+        // stamp and pops first.
+        c.requeue_after(b, t(10), SimDuration::from_millis(3));
+        c.requeue_after(a, t(10), SimDuration::from_millis(3));
+        c.release_due(t(13));
+        let first = c.next(calm_at(0, 13)).unwrap();
+        let second = c.next(calm_at(0, 13)).unwrap();
+        assert_eq!((first.seq, second.seq), (1, 0));
+    }
+
+    #[test]
+    fn tenant_queues_prune_under_churn() {
+        // Regression: requeue/enqueue/expire cycles must never leave
+        // tombstone (empty) per-tenant queues behind.
+        let mut c = AdmissionController::new(AdmissionConfig::default(), BTreeMap::new());
+        assert!(c.queued_tenants().is_empty());
+        enq(&mut c, &arrival(3, 0, 1));
+        enq(&mut c, &arrival(7, 0, 2));
+        assert_eq!(c.queued_tenants(), vec![3, 7]);
+        let j3 = c.next(calm(0)).unwrap();
+        assert_eq!(c.queued_tenants(), vec![7]);
+        c.requeue(j3, t(5));
+        assert_eq!(c.queued_tenants(), vec![3, 7]);
+        let _ = c.next(calm_at(0, 5)).unwrap();
+        let _ = c.next(calm_at(0, 5)).unwrap();
+        assert!(c.queued_tenants().is_empty(), "popped queues pruned");
+        // Expiry-driven pruning: a queue emptied by deadline shedding
+        // disappears too (queued_tenants() debug-asserts no tombstones).
+        c.enqueue_arrival(&deadlined(9, 0, 6, 7), t(6));
+        assert_eq!(c.queued_tenants(), vec![9]);
+        assert!(c.next(calm_at(0, 20)).is_none());
+        assert!(c.queued_tenants().is_empty(), "expired queues pruned");
+        assert_eq!(c.take_shed().len(), 1);
+        // Churn loop: heavy mixed traffic, invariant holds throughout.
+        for round in 0..50u64 {
+            enq(
+                &mut c,
+                &arrival((round % 5) as u32, round as u32, 30 + round),
+            );
+            if round % 3 == 0 {
+                if let Some(j) = c.next(calm_at(0, 30 + round)) {
+                    c.requeue_after(j, t(30 + round), SimDuration::from_millis(2));
+                }
+            }
+            c.release_due(t(30 + round));
+            let _ = c.queued_tenants(); // debug_assert: no tombstones
+        }
     }
 }

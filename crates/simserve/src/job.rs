@@ -76,6 +76,25 @@ pub trait JobDriver {
     /// jobs have no recovery plane and fail with `NodeLost`.
     fn on_node_crash(&mut self, cluster: &mut Cluster, node: NodeId) -> SimResult<()>;
 
+    /// Evacuates the node's queued partitions onto `targets` while the
+    /// node is still *alive* (quarantine: the service is taking an
+    /// OME-storming node out of rotation). Returns how many partitions
+    /// moved. Engines without a partition queue have nothing to drain.
+    fn drain_node(
+        &mut self,
+        _cluster: &mut Cluster,
+        _node: NodeId,
+        _targets: &[NodeId],
+    ) -> SimResult<usize> {
+        Ok(0)
+    }
+
+    /// Asks the job to proactively shrink its footprint (brownout):
+    /// ITask jobs force a `REDUCE` on every controller's next tick,
+    /// deflating ahead of the full-GC cliff. Default no-op for engines
+    /// without an interrupt plane.
+    fn deflate(&mut self) {}
+
     /// Kills the job's remaining threads and releases every heap space
     /// attributed to it, on every node. Idempotent.
     fn teardown(&mut self, cluster: &mut Cluster);
@@ -321,6 +340,72 @@ impl<S: AggSpec> TwoPhaseJob<S> {
         Ok(())
     }
 
+    /// Moves every queued partition of `src`'s IRS onto `targets`,
+    /// keeping whole tag groups on one node (split groups would
+    /// duplicate finals). Shared by the crash path (`src` is dead: a
+    /// surviving donor re-sends the bytes) and the quarantine drain
+    /// (`src` is alive and pushes its own partitions out).
+    fn rehome_queue(
+        &mut self,
+        cluster: &mut Cluster,
+        src: NodeId,
+        targets: &[NodeId],
+        src_alive: bool,
+    ) -> SimResult<usize> {
+        if self.irss.is_empty() {
+            return Ok(0);
+        }
+        let mut parts = self.irss[src.as_usize()].drain_queue();
+        parts.sort_by_key(|p| p.meta().id);
+        if parts.is_empty() {
+            return Ok(0);
+        }
+        if targets.is_empty() {
+            return Err(SimError::NodeLost { node: src });
+        }
+        let now = SimTime::ZERO + cluster.elapsed();
+        let moved = parts.len();
+        for mut part in parts {
+            if let Some(space) = part.meta().space() {
+                cluster.sim(src).node_mut().heap.release_space(space);
+            }
+            let (pid, ser) = (part.meta().id, part.meta().ser_bytes);
+            let dst = targets[(part.meta().tag.0 % targets.len() as u64) as usize];
+            let tx = if src_alive {
+                src
+            } else {
+                targets.iter().copied().find(|&n| n != dst).unwrap_or(dst)
+            };
+            let wire = cluster.fabric().transfer_at(tx, dst, ser, now)?;
+            let dst_sim = cluster.sim(dst);
+            dst_sim.node_mut().now += wire;
+            let (file, _retries) = dst_sim.node_mut().disk_write_retried(
+                &format!("{pid}.rehome"),
+                ser,
+                DEFAULT_IO_RETRIES,
+            )?;
+            let meta = part.meta_mut();
+            meta.state = PartitionState::Serialized(file);
+            meta.last_serialized = Some(dst_sim.node().now);
+            if tracer::is_enabled() {
+                tracer::emit(
+                    Some(dst),
+                    Some(self.scope),
+                    dst_sim.node().now,
+                    SimDuration::ZERO,
+                    tracer::TraceData::Rehome {
+                        partition: pid.as_u32(),
+                        from: src.as_u32(),
+                    },
+                );
+            }
+            let handle = self.irss[dst.as_usize()].handle();
+            handle.push_partition(part);
+            handle.note_crash_requeued(1);
+        }
+        Ok(moved)
+    }
+
     /// Completes the job: counts reduce outputs.
     fn finish(&mut self) {
         let count: u64 = match self.engine {
@@ -398,51 +483,30 @@ impl<S: AggSpec> JobDriver for TwoPhaseJob<S> {
         if self.irss.is_empty() {
             return Ok(());
         }
-        // Re-home the dead node's queued partitions onto the survivors,
-        // keeping whole tag groups on one node (see the engine's
-        // recovery path for why: split groups would duplicate finals).
-        let mut parts = self.irss[node.as_usize()].drain_queue();
-        parts.sort_by_key(|p| p.meta().id);
+        // Re-home the dead node's queued partitions onto the survivors.
         let live = cluster.live_nodes();
-        if live.is_empty() {
-            return Err(SimError::NodeLost { node });
-        }
-        let now = SimTime::ZERO + cluster.elapsed();
-        for mut part in parts {
-            if let Some(space) = part.meta().space() {
-                cluster.sim(node).node_mut().heap.release_space(space);
-            }
-            let (pid, ser) = (part.meta().id, part.meta().ser_bytes);
-            let dst = live[(part.meta().tag.0 % live.len() as u64) as usize];
-            let donor = live.iter().copied().find(|&n| n != dst).unwrap_or(dst);
-            let wire = cluster.fabric().transfer_at(donor, dst, ser, now)?;
-            let dst_sim = cluster.sim(dst);
-            dst_sim.node_mut().now += wire;
-            let (file, _retries) = dst_sim.node_mut().disk_write_retried(
-                &format!("{pid}.rehome"),
-                ser,
-                DEFAULT_IO_RETRIES,
-            )?;
-            let meta = part.meta_mut();
-            meta.state = PartitionState::Serialized(file);
-            meta.last_serialized = Some(dst_sim.node().now);
-            if tracer::is_enabled() {
-                tracer::emit(
-                    Some(dst),
-                    Some(self.scope),
-                    dst_sim.node().now,
-                    SimDuration::ZERO,
-                    tracer::TraceData::Rehome {
-                        partition: pid.as_u32(),
-                        from: node.as_u32(),
-                    },
-                );
-            }
-            let handle = self.irss[dst.as_usize()].handle();
-            handle.push_partition(part);
-            handle.note_crash_requeued(1);
-        }
+        self.rehome_queue(cluster, node, &live, false)?;
         Ok(())
+    }
+
+    fn drain_node(
+        &mut self,
+        cluster: &mut Cluster,
+        node: NodeId,
+        targets: &[NodeId],
+    ) -> SimResult<usize> {
+        if self.phase == Phase::Done || self.engine == EngineKind::Regular {
+            // Regular jobs pin phase state to threads already running on
+            // the node; there is no queue to evacuate.
+            return Ok(0);
+        }
+        self.rehome_queue(cluster, node, targets, true)
+    }
+
+    fn deflate(&mut self) {
+        for irs in &self.irss {
+            irs.request_reduce(ByteSize::ZERO);
+        }
     }
 
     fn teardown(&mut self, cluster: &mut Cluster) {
@@ -606,5 +670,55 @@ mod tests {
             rehomed as usize, queued_before,
             "every queued partition must land on a survivor"
         );
+    }
+
+    /// Quarantine drain: the node is *alive* but being taken out of
+    /// rotation, so `drain_node` must evacuate its queue onto the given
+    /// targets without the node crashing — and without routing any
+    /// partition back to the drained node.
+    #[test]
+    fn drain_node_evacuates_a_live_node_onto_targets() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 4,
+            ..ClusterConfig::default()
+        });
+        let blocks = dataset_blocks(JobKind::DegreeCount, 77, ByteSize::kib(8));
+        let mut inputs: Vec<Vec<Vec<workloads::webmap::AdjRecord>>> =
+            (0..4).map(|_| Vec::new()).collect();
+        for (i, b) in blocks.into_iter().enumerate() {
+            inputs[i % 4].push(b);
+        }
+        let params = JobParams {
+            threads: 2,
+            max_parallelism: 2,
+            granularity: ByteSize::kib(8),
+            buckets: 16,
+        };
+        let mut job = TwoPhaseJob::new(
+            JobKind::degree_count_query(),
+            EngineKind::Itask,
+            1,
+            params,
+            inputs,
+        );
+        job.start(&mut cluster).unwrap();
+
+        let drained = NodeId(2);
+        let queued_before = job.irss[drained.as_usize()].queued();
+        assert!(queued_before > 0, "offers must be queued on the node");
+        let targets: Vec<NodeId> = cluster
+            .live_nodes()
+            .into_iter()
+            .filter(|&n| n != drained)
+            .collect();
+        let moved = job.drain_node(&mut cluster, drained, &targets).unwrap();
+        assert_eq!(moved, queued_before, "whole queue evacuated");
+        assert_eq!(job.irss[drained.as_usize()].queued(), 0);
+        assert!(
+            !cluster.sim(drained).is_crashed(),
+            "drain must not kill the node"
+        );
+        // Draining an already-empty node is a no-op, not an error.
+        assert_eq!(job.drain_node(&mut cluster, drained, &targets).unwrap(), 0);
     }
 }

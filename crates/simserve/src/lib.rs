@@ -21,6 +21,12 @@
 //!   per-tenant SLO accounting (latency and queue-wait quantiles via
 //!   the deterministic [`sketch`], OME/retry/failure counts) and an
 //!   event log of service gauges.
+//! - [`overload`] — survival controls for sustained OME storms:
+//!   deadline-aware shedding, per-tenant retry token budgets with
+//!   seeded exponential backoff, a per-node storm circuit breaker
+//!   (quarantine → drain → half-open probe), and a cluster-wide
+//!   brownout that deflates ITask jobs before the full-GC cliff. All
+//!   default-off, so pre-existing configurations are untouched.
 //!
 //! Everything is virtual-time and seeded: the same configuration
 //! produces byte-identical reports on any machine at any parallelism,
@@ -28,12 +34,18 @@
 
 pub mod admission;
 pub mod job;
+pub mod overload;
 pub mod service;
 pub mod sketch;
 pub mod workload;
 
 pub use admission::{AdmissionConfig, AdmissionController, ClusterView, PolicyKind, QueuedJob};
 pub use job::{EngineKind, JobDriver, JobParams, TwoPhaseJob};
+pub use overload::{
+    classify, Breaker, BreakerConfig, BreakerState, BreakerTransition, BrownoutConfig,
+    BrownoutState, FailureClass, OverloadConfig, RetryBudget, RetryPolicy, ShedReason, ShedRecord,
+    TokenBucket,
+};
 pub use service::{Service, ServiceConfig, ServiceReport, TenantSlo};
 pub use sketch::QuantileSketch;
 pub use workload::{generate_arrivals, Arrival, JobKind, TenantSpec};

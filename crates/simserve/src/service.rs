@@ -15,10 +15,16 @@ use std::collections::{BTreeMap, VecDeque};
 
 use itask_core::MemSignal;
 use simcluster::{Cluster, ClusterConfig};
-use simcore::{tracer, ByteSize, EventLog, FaultPlan, NodeId, SimDuration, SimError, SimTime};
+use simcore::{
+    tracer, tracer::EventId, ByteSize, EventLog, FaultPlan, NodeId, SimDuration, SimError, SimTime,
+};
 
 use crate::admission::{AdmissionConfig, AdmissionController, ClusterView, QueuedJob};
 use crate::job::{salvage_crashed_workers, EngineKind, JobDriver, JobParams, TwoPhaseJob};
+use crate::overload::{
+    classify, Breaker, BreakerTransition, BrownoutState, OverloadConfig, RetryPolicy, ShedReason,
+    TokenBucket,
+};
 use crate::sketch::QuantileSketch;
 use crate::workload::{dataset_blocks, generate_arrivals, JobKind, TenantSpec};
 
@@ -46,9 +52,12 @@ pub struct ServiceConfig {
     pub horizon: SimDuration,
     /// The tenants and their traffic profiles.
     pub tenants: Vec<TenantSpec>,
-    /// Failed jobs are requeued at most this many times before being
-    /// charged as failed.
-    pub max_retries: u32,
+    /// Retry policy: attempt ceilings per failure class, backoff, and
+    /// the optional per-tenant retry token budget.
+    pub retry: RetryPolicy,
+    /// Optional overload controls (circuit breaker, brownout); default
+    /// off, leaving pre-existing configurations untouched.
+    pub overload: OverloadConfig,
     /// Optional deterministic fault plan (node crashes, disk faults).
     pub fault_plan: Option<FaultPlan>,
     /// Per-job sizing knobs.
@@ -73,7 +82,8 @@ impl ServiceConfig {
             tenants: (0..tenant_count)
                 .map(|i| TenantSpec::uniform(i, SimDuration::from_millis(8)))
                 .collect(),
-            max_retries: 2,
+            retry: RetryPolicy::flat(2),
+            overload: OverloadConfig::default(),
             fault_plan: None,
             params: JobParams {
                 threads: 2,
@@ -99,6 +109,12 @@ pub struct TenantSlo {
     pub omes: u64,
     /// Retry attempts consumed.
     pub retries: u64,
+    /// Jobs shed because their submit deadline expired in a queue.
+    pub shed_deadline: u64,
+    /// Arrivals shed because the tenant's bounded queue was full.
+    pub shed_queue: u64,
+    /// Failures denied a retry by the tenant's empty token bucket.
+    pub shed_retry: u64,
     /// End-to-end latency (submission → completion), nanoseconds.
     pub latency: QuantileSketch,
     /// Queue wait (submission → admission), nanoseconds.
@@ -116,6 +132,10 @@ pub struct ServiceReport {
     pub total_outputs: u64,
     /// Scheduling rounds executed.
     pub rounds: u64,
+    /// Circuit-breaker trips (nodes quarantined, counting re-trips).
+    pub quarantines: u64,
+    /// Rounds spent browned out.
+    pub brownout_rounds: u64,
     /// Time series of service-level gauges.
     pub log: EventLog,
 }
@@ -124,6 +144,11 @@ impl ServiceReport {
     /// Sums a counter over every tenant.
     pub fn total(&self, f: impl Fn(&TenantSlo) -> u64) -> u64 {
         self.tenants.values().map(f).sum()
+    }
+
+    /// Jobs shed across all tenants and reasons.
+    pub fn total_shed(&self) -> u64 {
+        self.total(|t| t.shed_deadline + t.shed_queue + t.shed_retry)
     }
 
     /// All tenants' latency sketches merged.
@@ -193,6 +218,24 @@ pub struct Service {
     next_scope: u64,
     total_outputs: u64,
     rounds: u64,
+    /// Per-node circuit breakers (always sized, only stepped when the
+    /// breaker config is armed).
+    breakers: Vec<Breaker>,
+    /// Cluster-wide brownout state.
+    brownout: BrownoutState,
+    /// Per-tenant retry token buckets (lazily created on first spend).
+    retry_buckets: BTreeMap<u32, TokenBucket>,
+    /// Per-node cumulative GC counters already charged to the breaker:
+    /// `(minor, full, useless)`.
+    gc_seen: Vec<(u64, u64, u64)>,
+    /// Per-node OutOfMemory thread failures observed this round.
+    oom_round: Vec<u64>,
+    /// Per-node id of the last storm trace event (breaker causal link).
+    last_storm: Vec<EventId>,
+    /// Id of the last storm event anywhere (brownout causal link).
+    last_storm_any: EventId,
+    quarantines: u64,
+    brownout_rounds: u64,
 }
 
 impl Service {
@@ -215,6 +258,7 @@ impl Service {
         }
         let weights = cfg.tenants.iter().map(|t| (t.id, t.weight)).collect();
         let controller = AdmissionController::new(cfg.admission, weights);
+        let nodes = cfg.nodes;
         Service {
             cfg,
             cluster,
@@ -226,6 +270,15 @@ impl Service {
             next_scope: 1,
             total_outputs: 0,
             rounds: 0,
+            breakers: vec![Breaker::default(); nodes],
+            brownout: BrownoutState::default(),
+            retry_buckets: BTreeMap::new(),
+            gc_seen: vec![(0, 0, 0); nodes],
+            oom_round: vec![0; nodes],
+            last_storm: vec![EventId::NONE; nodes],
+            last_storm_any: EventId::NONE,
+            quarantines: 0,
+            brownout_rounds: 0,
         }
     }
 
@@ -236,20 +289,24 @@ impl Service {
             let now = SimTime::ZERO + self.cluster.elapsed();
             self.enqueue_due(now);
             self.admit(now);
+            self.drain_sheds(now);
             self.pump();
             self.step_data_plane();
             self.handle_crashes();
+            self.update_overload();
             self.settle_jobs();
 
             let idle = self.active.is_empty() && self.controller.queued() == 0;
             if idle {
-                match self.arrivals.front() {
-                    None => break,
-                    Some(next) => {
-                        // Nothing to run until the next arrival: jump.
-                        let at = next.at;
-                        self.cluster.advance_clocks_to(at);
-                    }
+                // Nothing runnable now: jump to whichever comes first,
+                // the next arrival or the next backed-off retry release
+                // (spinning rounds until a release would livelock).
+                let next_arrival = self.arrivals.front().map(|a| a.at);
+                match (next_arrival, self.controller.next_release()) {
+                    (None, None) => break,
+                    (Some(a), None) => self.cluster.advance_clocks_to(a),
+                    (None, Some(r)) => self.cluster.advance_clocks_to(r),
+                    (Some(a), Some(r)) => self.cluster.advance_clocks_to(a.min(r)),
                 }
             }
             self.rounds += 1;
@@ -261,17 +318,38 @@ impl Service {
                 self.controller.queued()
             );
         }
+        // A run can end still browned out: flush the open window so the
+        // trace always accounts every brownout round.
+        if let Some((since, rounds)) = self.brownout.window() {
+            if tracer::is_enabled() {
+                let now = SimTime::ZERO + self.cluster.elapsed();
+                tracer::emit(
+                    None,
+                    None,
+                    since,
+                    now.since(since),
+                    tracer::TraceData::Brownout {
+                        rounds,
+                        cause: self.last_storm_any,
+                    },
+                );
+            }
+        }
         ServiceReport {
             tenants: self.slos,
             elapsed: self.cluster.elapsed(),
             total_outputs: self.total_outputs,
             rounds: self.rounds,
+            quarantines: self.quarantines,
+            brownout_rounds: self.brownout_rounds,
             log: self.log,
         }
     }
 
-    /// Moves due arrivals into the admission queues.
+    /// Moves due arrivals into the admission queues (and due backed-off
+    /// retries out of the delayed set).
     fn enqueue_due(&mut self, now: SimTime) {
+        self.controller.release_due(now);
         while let Some(a) = self.arrivals.front() {
             if a.at > now {
                 break;
@@ -287,28 +365,68 @@ impl Service {
                     tracer::TraceData::JobSubmitted { tenant: a.tenant },
                 );
             }
-            self.controller.enqueue_arrival(&a);
+            self.controller.enqueue_arrival(&a, now);
         }
         self.log
             .record("svc.queued", now, self.controller.queued() as f64);
     }
 
-    /// Fills free slots per the admission policy.
+    /// Accounts and traces every shed decision the controller recorded
+    /// (at enqueue or at pop) since the last drain.
+    fn drain_sheds(&mut self, now: SimTime) {
+        for s in self.controller.take_shed() {
+            let slo = self.slos.entry(s.tenant).or_default();
+            match s.reason {
+                ShedReason::DeadlineExpired => slo.shed_deadline += 1,
+                ShedReason::QueueFull => slo.shed_queue += 1,
+                ShedReason::RetryBudget => slo.shed_retry += 1,
+            }
+            if tracer::is_enabled() {
+                tracer::emit(
+                    None,
+                    None,
+                    s.at,
+                    SimDuration::ZERO,
+                    tracer::TraceData::Shed {
+                        tenant: s.tenant,
+                        reason: s.reason.label(),
+                    },
+                );
+            }
+            self.log.record("svc.shed", now, 1.0);
+        }
+    }
+
+    /// Fills free slots per the admission policy. Brownout tightens the
+    /// loop two ways: the active ceiling drops to the brownout cap, and
+    /// the memory-aware gate sees a standing `REDUCE` signal.
     fn admit(&mut self, now: SimTime) {
+        let brownout_cap = self
+            .cfg
+            .overload
+            .brownout
+            .filter(|_| self.brownout.active())
+            .map(|b| b.max_active);
         loop {
+            if brownout_cap.is_some_and(|cap| self.active.len() >= cap) {
+                break;
+            }
             let view = ClusterView {
                 active: self.active.len(),
                 min_free_ratio: self.cluster.min_free_heap_ratio(),
-                any_reduce_signal: self
-                    .active
-                    .iter()
-                    .any(|j| j.driver.memory_signal() == MemSignal::Reduce),
+                any_reduce_signal: self.brownout.active()
+                    || self
+                        .active
+                        .iter()
+                        .any(|j| j.driver.memory_signal() == MemSignal::Reduce),
+                now,
             };
             let Some(job) = self.controller.next(view) else {
                 break;
             };
             let scope = self.next_scope;
             self.next_scope += 1;
+            let targets = self.schedulable_nodes();
             let mut driver = build_driver(
                 job.kind,
                 self.cfg.engine,
@@ -316,6 +434,7 @@ impl Service {
                 self.cfg.params,
                 job.dataset_seed,
                 self.cfg.block_size,
+                &targets,
                 &mut self.cluster,
             );
             // Waits are measured from the latest enqueue, so a retry's
@@ -346,6 +465,23 @@ impl Service {
         }
     }
 
+    /// Live nodes minus quarantined ones — where new jobs' inputs land.
+    /// Falls back to all live nodes if quarantine has eaten the whole
+    /// cluster (work-conservation beats a perfect quarantine).
+    fn schedulable_nodes(&self) -> Vec<NodeId> {
+        let live = self.cluster.live_nodes();
+        let targets: Vec<NodeId> = live
+            .iter()
+            .copied()
+            .filter(|n| !self.breakers[n.as_usize()].quarantined())
+            .collect();
+        if targets.is_empty() {
+            live
+        } else {
+            targets
+        }
+    }
+
     /// Advances every healthy active job's control plane once.
     fn pump(&mut self) {
         for job in &mut self.active {
@@ -369,6 +505,11 @@ impl Service {
             }
             let report = self.cluster.sim(node).run_round();
             for (tid, err) in report.failed {
+                if err.is_oom() {
+                    // Charged to the node for the storm breaker, on top
+                    // of the per-tenant SLO charge at settle.
+                    self.oom_round[n] += 1;
+                }
                 let scope = self.cluster.sim(node).thread_scope(tid);
                 if let Some(scope) = scope {
                     if let Some(job) = self
@@ -417,6 +558,162 @@ impl Service {
                 }
                 if let Err(e) = job.driver.on_node_crash(&mut self.cluster, node) {
                     job.failure = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Advances the overload controls one round: scores each node's
+    /// OME/GC storm into its circuit breaker (quarantining, draining,
+    /// and probing nodes as breakers transition) and walks the
+    /// cluster-wide brownout state machine (deflating active ITask jobs
+    /// while pressure is sustained). No-op unless armed in the config.
+    fn update_overload(&mut self) {
+        let now = SimTime::ZERO + self.cluster.elapsed();
+        if let Some(bcfg) = self.cfg.overload.breaker {
+            // Pass 1: this round's storm score per node, plus each
+            // node's effective windowed score for outlier detection.
+            let mut scores = vec![0u64; self.cluster.node_count()];
+            let mut effective = vec![0u64; self.cluster.node_count()];
+            let mut live_scores = Vec::new();
+            for n in 0..self.cluster.node_count() {
+                let node = NodeId(n as u32);
+                let omes = std::mem::take(&mut self.oom_round[n]);
+                if self.cluster.sim(node).is_crashed() {
+                    continue;
+                }
+                let stats = self.cluster.sim(node).node().heap.stats();
+                let (minor, full, useless) =
+                    (stats.minor_count, stats.full_count, stats.useless_count);
+                let seen = &mut self.gc_seen[n];
+                let d_full = full.saturating_sub(seen.1);
+                let d_useless = useless.saturating_sub(seen.2);
+                *seen = (minor, full, useless);
+                if omes + d_full + d_useless > 0 {
+                    if tracer::is_enabled() {
+                        let id = tracer::emit(
+                            Some(node),
+                            None,
+                            now,
+                            SimDuration::ZERO,
+                            tracer::TraceData::Storm {
+                                omes,
+                                full_gcs: d_full,
+                                useless_gcs: d_useless,
+                            },
+                        );
+                        if id.is_some() {
+                            self.last_storm[n] = id;
+                            self.last_storm_any = id;
+                        }
+                    }
+                    scores[n] = Breaker::score(&bcfg, omes, d_full, d_useless);
+                }
+                effective[n] = self.breakers[n].windowed_score(&bcfg, now) + scores[n];
+                live_scores.push(effective[n]);
+            }
+            // Quarantine shifts load off a sick node onto its peers,
+            // which only helps while the peers are actually healthier.
+            // A node is only *charged* when it is a clear outlier —
+            // its windowed score at least twice the live-cluster median
+            // — so a skewed storm trips its breaker while a uniform,
+            // cluster-wide storm (brownout's job) charges nobody.
+            live_scores.sort_unstable();
+            let median = live_scores.get(live_scores.len() / 2).copied().unwrap_or(0);
+            // Pass 2: charge outlier samples and step each machine.
+            for n in 0..self.cluster.node_count() {
+                let node = NodeId(n as u32);
+                if self.cluster.sim(node).is_crashed() {
+                    continue;
+                }
+                if scores[n] > 0 && effective[n] >= median.saturating_mul(2) {
+                    self.breakers[n].record(now, scores[n]);
+                }
+                let Some(transition) = self.breakers[n].step(&bcfg, now) else {
+                    continue;
+                };
+                if tracer::is_enabled() {
+                    tracer::emit(
+                        Some(node),
+                        None,
+                        now,
+                        SimDuration::ZERO,
+                        tracer::TraceData::Breaker {
+                            state: transition.label(),
+                            cause: self.last_storm[n],
+                        },
+                    );
+                }
+                match transition {
+                    BreakerTransition::Opened => {
+                        self.quarantines += 1;
+                        self.log.record("svc.quarantine", now, 1.0);
+                        // Drain: evacuate the node's queued partitions
+                        // onto healthy peers through the same re-homing
+                        // path a crash would use — but the node stays
+                        // alive, so it pushes its own bytes.
+                        let targets: Vec<NodeId> = self
+                            .cluster
+                            .live_nodes()
+                            .into_iter()
+                            .filter(|&m| m != node && !self.breakers[m.as_usize()].quarantined())
+                            .collect();
+                        if !targets.is_empty() {
+                            for job in &mut self.active {
+                                if job.failure.is_some() {
+                                    continue;
+                                }
+                                if let Err(e) =
+                                    job.driver.drain_node(&mut self.cluster, node, &targets)
+                                {
+                                    job.failure = Some(e);
+                                }
+                            }
+                        }
+                    }
+                    BreakerTransition::HalfOpened => {
+                        self.log.record("svc.quarantine", now, 0.5);
+                    }
+                    BreakerTransition::Closed => {
+                        self.log.record("svc.quarantine", now, 0.0);
+                    }
+                }
+            }
+        }
+        if let Some(bcfg) = self.cfg.overload.brownout {
+            let ratio = self.cluster.min_free_heap_ratio();
+            let (entered, exited) = self.brownout.observe(&bcfg, ratio, now);
+            if entered {
+                self.log.record("svc.brownout", now, 1.0);
+            }
+            if self.brownout.active() {
+                self.brownout_rounds += 1;
+            }
+            if entered {
+                // Proactive deflation on the entry edge: force every
+                // active ITask job's controllers into REDUCE before the
+                // full-GC cliff. Once deflated, the tightened admission
+                // gate keeps pressure falling — re-deflating every
+                // round would only thrash the spill path.
+                for job in &mut self.active {
+                    if job.failure.is_none() {
+                        job.driver.deflate();
+                    }
+                }
+            }
+            if let Some((since, rounds)) = exited {
+                self.log.record("svc.brownout", now, 0.0);
+                if tracer::is_enabled() {
+                    tracer::emit(
+                        None,
+                        None,
+                        since,
+                        now.since(since),
+                        tracer::TraceData::Brownout {
+                            rounds,
+                            cause: self.last_storm_any,
+                        },
+                    );
                 }
             }
         }
@@ -475,7 +772,27 @@ impl Service {
                     slo.omes += 1;
                     self.log.record("svc.ome", now, 1.0);
                 }
-                let retry = job.queued.retries < self.cfg.max_retries;
+                // Classification picks the attempt ceiling (transient
+                // substrate faults earn more attempts than deterministic
+                // OMEs), then the tenant's token bucket gets a veto:
+                // an empty bucket fails the job fast rather than letting
+                // a retry storm starve first-attempt traffic.
+                let class = classify(&err);
+                let policy = self.cfg.retry;
+                let mut retry = job.queued.retries < policy.max_for(class);
+                let mut budget_denied = false;
+                if retry {
+                    if let Some(budget) = policy.budget {
+                        let bucket = self
+                            .retry_buckets
+                            .entry(job.queued.tenant)
+                            .or_insert_with(|| TokenBucket::new(&budget, SimTime::ZERO));
+                        if !bucket.try_take(&budget, now) {
+                            retry = false;
+                            budget_denied = true;
+                        }
+                    }
+                }
                 if tracer::is_enabled() {
                     tracer::emit(
                         None,
@@ -491,10 +808,29 @@ impl Service {
                 }
                 if retry {
                     slo.retries += 1;
-                    self.controller.requeue(job.queued, now);
+                    let attempt = job.queued.retries + 1;
+                    let delay =
+                        policy.backoff(self.cfg.seed, job.queued.tenant, job.queued.seq, attempt);
+                    self.controller.requeue_after(job.queued, now, delay);
                 } else {
                     slo.failed += 1;
                     self.log.record("svc.failed", now, 1.0);
+                    if budget_denied {
+                        slo.shed_retry += 1;
+                        self.log.record("svc.shed", now, 1.0);
+                        if tracer::is_enabled() {
+                            tracer::emit(
+                                None,
+                                None,
+                                now,
+                                SimDuration::ZERO,
+                                tracer::TraceData::Shed {
+                                    tenant: job.queued.tenant,
+                                    reason: ShedReason::RetryBudget.label(),
+                                },
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -502,7 +838,10 @@ impl Service {
 }
 
 /// Builds the typed driver for a job kind (each kind pins a different
-/// `AggSpec`, so the match is where the types are erased).
+/// `AggSpec`, so the match is where the types are erased). Inputs land
+/// round-robin on `targets` (live minus quarantined nodes); an empty
+/// slice falls back to every live node.
+#[allow(clippy::too_many_arguments)]
 fn build_driver(
     kind: JobKind,
     engine: EngineKind,
@@ -510,10 +849,15 @@ fn build_driver(
     params: JobParams,
     dataset_seed: u64,
     block_size: ByteSize,
+    targets: &[NodeId],
     cluster: &mut Cluster,
 ) -> Box<dyn JobDriver> {
     let blocks = dataset_blocks(kind, dataset_seed, block_size);
-    let live = cluster.live_nodes();
+    let live = if targets.is_empty() {
+        cluster.live_nodes()
+    } else {
+        targets.to_vec()
+    };
     let mut inputs: Vec<Vec<Vec<workloads::webmap::AdjRecord>>> =
         (0..cluster.node_count()).map(|_| Vec::new()).collect();
     if !live.is_empty() {
@@ -564,18 +908,23 @@ mod tests {
     /// without starting it.
     fn inject(svc: &mut Service, engine: EngineKind) {
         let mut ctl = AdmissionController::new(AdmissionConfig::default(), BTreeMap::new());
-        ctl.enqueue_arrival(&Arrival {
-            at: SimTime::ZERO,
-            tenant: 0,
-            seq: 0,
-            kind: JobKind::DegreeCount,
-            dataset_seed: 77,
-        });
+        ctl.enqueue_arrival(
+            &Arrival {
+                at: SimTime::ZERO,
+                tenant: 0,
+                seq: 0,
+                kind: JobKind::DegreeCount,
+                dataset_seed: 77,
+                deadline: None,
+            },
+            SimTime::ZERO,
+        );
         let job = ctl
             .next(ClusterView {
                 active: 0,
                 min_free_ratio: 1.0,
                 any_reduce_signal: false,
+                now: SimTime::ZERO,
             })
             .expect("queued job");
         let driver = build_driver(
@@ -585,6 +934,7 @@ mod tests {
             svc.cfg.params,
             job.dataset_seed,
             svc.cfg.block_size,
+            &[],
             &mut svc.cluster,
         );
         svc.active.push(ActiveJob {

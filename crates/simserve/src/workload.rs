@@ -82,6 +82,10 @@ pub struct TenantSpec {
     pub mean_interarrival: SimDuration,
     /// Weighted job mix `(kind, weight)`.
     pub mix: Vec<(JobKind, u32)>,
+    /// Relative submit deadline: a job still queued this long after its
+    /// arrival is shed instead of run. `None` (the default) disables
+    /// deadline shedding for the tenant.
+    pub deadline: Option<SimDuration>,
 }
 
 impl TenantSpec {
@@ -96,7 +100,14 @@ impl TenantSpec {
                 (JobKind::WordCount, 2),
                 (JobKind::LinkCollect, 1),
             ],
+            deadline: None,
         }
+    }
+
+    /// The same tenant with a submit deadline armed.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -113,6 +124,10 @@ pub struct Arrival {
     pub kind: JobKind,
     /// Seed for the job's dataset generator.
     pub dataset_seed: u64,
+    /// Absolute submit deadline (`arrival + tenant deadline`), if the
+    /// tenant armed one. Derived without consuming RNG draws, so arming
+    /// deadlines never perturbs the arrival schedule itself.
+    pub deadline: Option<SimTime>,
 }
 
 /// Generates every tenant's arrival stream up to `horizon`, merged into
@@ -157,6 +172,7 @@ pub fn generate_arrivals(seed: u64, tenants: &[TenantSpec], horizon: SimDuration
                 dataset_seed: simcore::rng::stable_hash64(
                     seed ^ ((t.id as u64) << 32) ^ seq as u64,
                 ),
+                deadline: t.deadline.map(|d| at + d),
             });
             seq += 1;
         }
@@ -221,6 +237,26 @@ mod tests {
             JobKind::LinkCollect,
         ] {
             assert!(a.iter().any(|x| x.kind == kind), "{kind:?} never generated");
+        }
+    }
+
+    #[test]
+    fn deadlines_do_not_perturb_the_schedule() {
+        let plain = generate_arrivals(42, &tenants(3), SimDuration::from_secs(2));
+        let armed: Vec<TenantSpec> = tenants(3)
+            .into_iter()
+            .map(|t| t.with_deadline(SimDuration::from_millis(7)))
+            .collect();
+        let with = generate_arrivals(42, &armed, SimDuration::from_secs(2));
+        assert_eq!(plain.len(), with.len());
+        for (p, w) in plain.iter().zip(&with) {
+            assert_eq!(
+                (p.at, p.tenant, p.seq, p.kind),
+                (w.at, w.tenant, w.seq, w.kind)
+            );
+            assert_eq!(p.dataset_seed, w.dataset_seed);
+            assert_eq!(p.deadline, None);
+            assert_eq!(w.deadline, Some(w.at + SimDuration::from_millis(7)));
         }
     }
 
