@@ -211,6 +211,7 @@ fn ablate<T: Ord + std::fmt::Debug + Send>(
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
+    sweep::take_shards_flag(&mut args);
     sweep::take_profile_flag(&mut args);
     let trace = sweep::take_trace_flag(&mut args);
     let wc_only = args.iter().any(|a| a == "--wc-only");

@@ -65,6 +65,7 @@ fn extract<T>(s: &apps::RunSummary<T>) -> Fig3Run {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
+    sweep::take_shards_flag(&mut args);
     sweep::take_profile_flag(&mut args);
     let trace = sweep::take_trace_flag(&mut args);
     let mut log = sweep::SweepLog::new("fig3", jobs);

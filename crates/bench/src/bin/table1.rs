@@ -63,6 +63,7 @@ macro_rules! problem_specs {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
+    sweep::take_shards_flag(&mut args);
     sweep::take_profile_flag(&mut args);
     let trace = sweep::take_trace_flag(&mut args);
     let want = |p: &str| args.is_empty() || args.iter().any(|a| a == p);

@@ -93,6 +93,7 @@ fn scalability<T: Send>(
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
+    sweep::take_shards_flag(&mut args);
     sweep::take_profile_flag(&mut args);
     let trace = sweep::take_trace_flag(&mut args);
     let quick = args.iter().any(|a| a == "--quick");

@@ -121,6 +121,69 @@ pub fn take_jobs_flag(args: &mut Vec<String>) -> usize {
     jobs
 }
 
+/// Default shard count from an `ITASK_BENCH_SHARDS` environment value
+/// (1 = serial). `None`, empty, zero, or unparsable values fall back to
+/// `1` — with a stderr warning when a value was present but bad.
+pub fn env_shards_default(val: Option<&str>) -> usize {
+    match val {
+        None => 1,
+        Some(v) if v.trim().is_empty() => 1,
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("ignoring invalid ITASK_BENCH_SHARDS value: {v}");
+                1
+            }
+        },
+    }
+}
+
+/// Extracts `--shards N` / `--shards=N` from an argument list (mutating
+/// it) and installs the count as the process-wide default via
+/// [`simcluster::set_shards`]. With no flag present, falls back to the
+/// `ITASK_BENCH_SHARDS` environment variable (default 1 = serial).
+/// Exits with an error message on a malformed flag value.
+///
+/// Shards split the *cluster engine* — node simulators advance in
+/// lockstep rounds across a fixed worker pool — and are orthogonal to
+/// `--jobs` (which parallelizes whole sweep configurations). Stdout,
+/// traces, and profiler counters are byte-identical at any shard
+/// count.
+pub fn take_shards_flag(args: &mut Vec<String>) -> usize {
+    let mut shards = env_shards_default(std::env::var("ITASK_BENCH_SHARDS").ok().as_deref());
+    let mut i = 0;
+    while i < args.len() {
+        let (hit, value) = if args[i] == "--shards" {
+            if i + 1 >= args.len() {
+                eprintln!("--shards requires a value");
+                std::process::exit(2);
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            (true, v)
+        } else if let Some(v) = args[i].strip_prefix("--shards=") {
+            let v = v.to_string();
+            args.remove(i);
+            (true, v)
+        } else {
+            (false, String::new())
+        };
+        if hit {
+            match value.parse::<usize>() {
+                Ok(n) if n > 0 => shards = n,
+                _ => {
+                    eprintln!("invalid --shards value: {value}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    simcluster::set_shards(shards);
+    shards
+}
+
 /// Extracts `--profile` from an argument list (mutating it). When the
 /// flag is present, resets and arms the in-simulator profiler including
 /// its wall-clock sidecar; [`SweepLog::finish`] then embeds the

@@ -135,6 +135,49 @@ fn golden_overload_quick() {
     );
 }
 
+// The same snapshots re-checked on the pooled two-shard executor: the
+// shard count must be unobservable in every golden surface.
+
+#[test]
+fn golden_service_quick_shards2() {
+    check_golden(
+        env!("CARGO_BIN_EXE_service"),
+        &["--quick", "--shards", "2"],
+        "service_quick.txt",
+    );
+}
+
+#[test]
+fn golden_faults_wc_shards2() {
+    check_golden(
+        env!("CARGO_BIN_EXE_faults"),
+        &["--wc-only", "--shards", "2"],
+        "faults_wc.txt",
+    );
+}
+
+#[test]
+fn golden_overload_quick_shards2() {
+    check_golden(
+        env!("CARGO_BIN_EXE_overload"),
+        &["--quick", "--shards", "2"],
+        "overload_quick.txt",
+    );
+}
+
+#[test]
+fn golden_table5_quick_wc_shards2() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping table5 golden in debug mode; run with --release to cover it");
+        return;
+    }
+    check_golden(
+        env!("CARGO_BIN_EXE_table5"),
+        &["--quick", "wc", "--shards", "2"],
+        "table5_quick_wc.txt",
+    );
+}
+
 #[test]
 fn golden_table5_quick_wc() {
     // ~10s in release but minutes in debug; the CI golden job runs the

@@ -160,8 +160,13 @@ fn trace_overload_controls_emit_linked_events() {
     }
 }
 
-/// Every causal link resolves to an event emitted earlier in the same
-/// run, and ids are strictly increasing in emission order.
+/// Every causal link resolves to an event in the same run that happened
+/// no later in virtual time, and ids are unique within a run.
+///
+/// Ids are stream-namespaced (`stream << 32 | seq`, stream 0 = driver,
+/// stream n+1 = node n) so a driver event may legitimately link to a
+/// numerically larger node-stream id; causality is ordered by virtual
+/// time, not by raw id.
 #[test]
 fn trace_causal_links_resolve() {
     let (_, jsonl) = traced_run(env!("CARGO_BIN_EXE_service"), &["--quick"], 2, "causal");
@@ -169,21 +174,28 @@ fn trace_causal_links_resolve() {
     assert!(!runs.is_empty());
     let mut linked = 0u64;
     for run in &runs {
-        let ids: std::collections::BTreeSet<u64> = run.events.iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), run.events.len(), "{}: duplicate ids", run.label);
+        let at_by_id: std::collections::BTreeMap<u64, u64> =
+            run.events.iter().map(|e| (e.id, e.ts)).collect();
+        assert_eq!(
+            at_by_id.len(),
+            run.events.len(),
+            "{}: duplicate ids",
+            run.label
+        );
         for e in &run.events {
             let cause = e.cause();
             if cause != 0 {
                 linked += 1;
+                let cause_at = at_by_id.get(&cause);
                 assert!(
-                    ids.contains(&cause),
+                    cause_at.is_some(),
                     "{}: event {} links to unknown cause {cause}",
                     run.label,
                     e.id
                 );
                 assert!(
-                    cause < e.id,
-                    "{}: event {} links forward to {cause}",
+                    *cause_at.unwrap() <= e.ts,
+                    "{}: event {} links forward in time to {cause}",
                     run.label,
                     e.id
                 );

@@ -15,9 +15,9 @@
 //!   node's core count.
 
 use std::any::Any;
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use simcluster::NodeSim;
 use simcore::tracer::EventId;
@@ -39,7 +39,7 @@ pub struct FinalOutput {
     /// The task that produced it.
     pub from: TaskId,
     /// The payload (framework-interpreted).
-    pub data: Box<dyn Any>,
+    pub data: Box<dyn Any + Send>,
     /// Heap bytes it occupied on the producing node (already released).
     pub mem_bytes: ByteSize,
     /// Serialized size (what shuffling it costs).
@@ -157,15 +157,18 @@ impl IrsShared {
     }
 }
 
-/// Cloneable handle to the shared IRS state (single-threaded simulation,
-/// so `Rc<RefCell>` is the right tool).
+/// Cloneable handle to the shared IRS state. The controller (driver
+/// thread, between rounds) and the node's worker threads (possibly on a
+/// shard thread, during rounds) alias it at disjoint times, so an
+/// uncontended `Arc<Mutex>` replaces the old `Rc<RefCell>` — same
+/// discipline, `Send`able.
 #[derive(Clone)]
-pub struct IrsHandle(pub(crate) Rc<RefCell<IrsShared>>);
+pub struct IrsHandle(pub(crate) Arc<Mutex<IrsShared>>);
 
 impl IrsHandle {
     /// Allocates a fresh partition id.
     pub fn next_partition_id(&self) -> PartitionId {
-        let mut s = self.0.borrow_mut();
+        let mut s = self.0.lock().unwrap();
         let id = PartitionId(s.next_partition);
         s.next_partition += 1;
         id
@@ -173,39 +176,39 @@ impl IrsHandle {
 
     /// Enqueues a partition into the global partition queue.
     pub fn push_partition(&self, part: PartitionBox) {
-        self.0.borrow_mut().queue.push(part);
+        self.0.lock().unwrap().queue.push(part);
     }
 
     /// Publishes a final output.
     pub fn push_final(&self, out: FinalOutput) {
-        self.0.borrow_mut().final_outputs.push(out);
+        self.0.lock().unwrap().final_outputs.push(out);
     }
 
     /// Records intermediate-result bytes for the Table 2 breakdown.
     pub fn note_intermediate(&self, bytes: ByteSize) {
-        self.0.borrow_mut().stats.reclaim.intermediate_results += bytes;
+        self.0.lock().unwrap().stats.reclaim.intermediate_results += bytes;
     }
 
     /// The monitor's hover threshold (for write-behind decisions).
     pub(crate) fn serialize_free_pct(&self) -> u8 {
-        self.0.borrow().serialize_free_pct
+        self.0.lock().unwrap().serialize_free_pct
     }
 
     /// The partition manager's serialization target.
     pub(crate) fn serialize_mode(&self) -> SerializeMode {
-        self.0.borrow().serialize_mode
+        self.0.lock().unwrap().serialize_mode
     }
 
     /// Records a write-behind serialization.
     pub(crate) fn note_serialized_at_birth(&self, bytes: ByteSize) {
-        let mut s = self.0.borrow_mut();
+        let mut s = self.0.lock().unwrap();
         s.stats.serializations += 1;
         s.stats.reclaim.lazy_serialized += bytes;
     }
 
     /// Appends to the decision trace (no-op unless tracing is enabled).
     pub(crate) fn trace(&self, at: simcore::SimTime, event: IrsEvent) {
-        self.0.borrow_mut().trace.record(at, event);
+        self.0.lock().unwrap().trace.record(at, event);
     }
 
     /// Appends to the decision trace with a causal link, returning the
@@ -216,13 +219,13 @@ impl IrsHandle {
         event: IrsEvent,
         cause: EventId,
     ) -> EventId {
-        self.0.borrow_mut().trace.record_linked(at, event, cause)
+        self.0.lock().unwrap().trace.record_linked(at, event, cause)
     }
 
     /// Consumes the victim-mark event recorded for `instance`'s thread,
     /// if any (an interrupt links back to the mark that requested it).
     pub(crate) fn take_victim_mark(&self, instance: u64) -> EventId {
-        let mut s = self.0.borrow_mut();
+        let mut s = self.0.lock().unwrap();
         let Some(thread) = s.instance_threads.get(&instance).copied() else {
             return EventId::NONE;
         };
@@ -234,7 +237,8 @@ impl IrsHandle {
     pub(crate) fn note_interrupt_origin(&self, partition: PartitionId, interrupt: EventId) {
         if interrupt.is_some() {
             self.0
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .interrupt_origin
                 .insert(partition, interrupt);
         }
@@ -242,19 +246,19 @@ impl IrsHandle {
 
     /// Records final-result bytes for the Table 2 breakdown.
     pub fn note_final(&self, bytes: ByteSize) {
-        self.0.borrow_mut().stats.reclaim.final_results += bytes;
+        self.0.lock().unwrap().stats.reclaim.final_results += bytes;
     }
 
     pub(crate) fn note_local(&self, bytes: ByteSize) {
-        self.0.borrow_mut().stats.reclaim.local_structs += bytes;
+        self.0.lock().unwrap().stats.reclaim.local_structs += bytes;
     }
 
     pub(crate) fn note_processed_input(&self, bytes: ByteSize) {
-        self.0.borrow_mut().stats.reclaim.processed_input += bytes;
+        self.0.lock().unwrap().stats.reclaim.processed_input += bytes;
     }
 
     pub(crate) fn next_instance_id(&self) -> u64 {
-        let mut s = self.0.borrow_mut();
+        let mut s = self.0.lock().unwrap();
         let id = s.next_instance;
         s.next_instance += 1;
         id
@@ -262,7 +266,7 @@ impl IrsHandle {
 
     /// Whether the scheduler asked this instance to interrupt itself.
     pub(crate) fn should_terminate(&self, instance: u64) -> bool {
-        let s = self.0.borrow();
+        let s = self.0.lock().unwrap();
         s.instance_threads
             .get(&instance)
             .map(|t| s.terminate.contains(t))
@@ -271,7 +275,7 @@ impl IrsHandle {
 
     /// Adds scale-loop progress to an instance (speed rule input).
     pub(crate) fn note_progress(&self, instance: u64, units: u64) {
-        let mut s = self.0.borrow_mut();
+        let mut s = self.0.lock().unwrap();
         if let Some(&thread) = s.instance_threads.get(&instance) {
             if let Some(r) = s.running.get_mut(&thread) {
                 r.recent_progress += units;
@@ -281,7 +285,7 @@ impl IrsHandle {
 
     /// Retires an instance (finished, interrupted or failed).
     pub(crate) fn retire(&self, instance: u64) {
-        let mut s = self.0.borrow_mut();
+        let mut s = self.0.lock().unwrap();
         if let Some(thread) = s.instance_threads.remove(&instance) {
             s.running.remove(&thread);
             s.terminate.remove(&thread);
@@ -290,7 +294,7 @@ impl IrsHandle {
 
     /// Bumps and returns the failed-activation count of a partition.
     pub(crate) fn bump_activation_failure(&self, id: PartitionId) -> u32 {
-        let mut s = self.0.borrow_mut();
+        let mut s = self.0.lock().unwrap();
         s.stats.failed_activations += 1;
         let c = s.activation_failures.entry(id).or_insert(0);
         *c += 1;
@@ -298,13 +302,13 @@ impl IrsHandle {
     }
 
     pub(crate) fn stats_mut<R>(&self, f: impl FnOnce(&mut IrsStats) -> R) -> R {
-        f(&mut self.0.borrow_mut().stats)
+        f(&mut self.0.lock().unwrap().stats)
     }
 
     /// A worker hit an allocation failure: force a REDUCE next tick,
     /// aiming to free at least `needed` bytes (zero = default target).
     pub(crate) fn hint_pressure(&self, needed: ByteSize) {
-        let mut s = self.0.borrow_mut();
+        let mut s = self.0.lock().unwrap();
         let cur = s.pressure_hint.unwrap_or(ByteSize::ZERO);
         s.pressure_hint = Some(cur.max(needed));
     }
@@ -312,7 +316,7 @@ impl IrsHandle {
     /// Records partitions re-homed onto this node after a peer crash
     /// (fault-injection runs; called by the engine's recovery path).
     pub fn note_crash_requeued(&self, n: u64) {
-        self.0.borrow_mut().stats.crash_requeued_partitions += n;
+        self.0.lock().unwrap().stats.crash_requeued_partitions += n;
     }
 }
 
@@ -338,7 +342,7 @@ impl Irs {
             .map(|t| (t, format!("active_{}", graph.desc(t).name)))
             .collect();
         Irs {
-            handle: IrsHandle(Rc::new(RefCell::new(shared))),
+            handle: IrsHandle(Arc::new(Mutex::new(shared))),
             graph: Rc::new(graph),
             monitor: Monitor::new(cfg.monitor),
             cfg,
@@ -358,7 +362,7 @@ impl Irs {
 
     /// Runtime statistics so far.
     pub fn stats(&self) -> IrsStats {
-        self.handle.0.borrow().stats
+        self.handle.0.lock().unwrap().stats
     }
 
     /// Monitor statistics so far.
@@ -375,24 +379,24 @@ impl Irs {
 
     /// Queued partition count.
     pub fn queued(&self) -> usize {
-        self.handle.0.borrow().queue.len()
+        self.handle.0.lock().unwrap().queue.len()
     }
 
     /// Running instance count.
     pub fn running(&self) -> usize {
-        self.handle.0.borrow().running.len()
+        self.handle.0.lock().unwrap().running.len()
     }
 
     /// Whether the runtime has no queued partitions and no running
     /// instances (the engine decides if more input is coming).
     pub fn is_idle(&self) -> bool {
-        let s = self.handle.0.borrow();
+        let s = self.handle.0.lock().unwrap();
         s.queue.is_empty() && s.running.is_empty()
     }
 
     /// Takes the final outputs published since the last call.
     pub fn take_final_outputs(&mut self) -> Vec<FinalOutput> {
-        std::mem::take(&mut self.handle.0.borrow_mut().final_outputs)
+        std::mem::take(&mut self.handle.0.lock().unwrap().final_outputs)
     }
 
     /// Requests an early REDUCE on the next tick, aiming to free at
@@ -413,17 +417,17 @@ impl Irs {
     /// died and its live instances were salvaged, the engine re-homes
     /// the whole queue onto surviving nodes).
     pub fn drain_queue(&mut self) -> Vec<PartitionBox> {
-        self.handle.0.borrow_mut().queue.drain_all()
+        self.handle.0.lock().unwrap().queue.drain_all()
     }
 
     /// Enables the structured decision trace.
     pub fn enable_trace(&mut self) {
-        self.handle.0.borrow_mut().trace.enable();
+        self.handle.0.lock().unwrap().trace.enable();
     }
 
     /// A snapshot of the decision trace recorded so far.
     pub fn trace(&self) -> IrsTrace {
-        self.handle.0.borrow().trace.clone()
+        self.handle.0.lock().unwrap().trace.clone()
     }
 
     /// The controller step: call between scheduling rounds.
@@ -432,12 +436,13 @@ impl Irs {
         // forwards into the unified tracer.
         self.handle
             .0
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .trace
             .set_origin(Some(sim.node().id), self.cfg.scope);
         let records = sim.node_mut().drain_gc_records();
         let mut signal = self.monitor.observe(&records, &sim.node().heap);
-        let hint = std::mem::take(&mut self.handle.0.borrow_mut().pressure_hint);
+        let hint = std::mem::take(&mut self.handle.0.lock().unwrap().pressure_hint);
         if hint.is_some() {
             signal = MemSignal::Reduce;
         }
@@ -446,14 +451,14 @@ impl Irs {
                 let id =
                     self.handle
                         .trace_linked(sim.node().now, IrsEvent::ReduceSignal, EventId::NONE);
-                self.handle.0.borrow_mut().last_signal = id;
+                self.handle.0.lock().unwrap().last_signal = id;
                 self.handle_reduce(sim, hint.unwrap_or(ByteSize::ZERO))?;
             }
             MemSignal::Grow => {
                 let id =
                     self.handle
                         .trace_linked(sim.node().now, IrsEvent::GrowSignal, EventId::NONE);
-                self.handle.0.borrow_mut().last_signal = id;
+                self.handle.0.lock().unwrap().last_signal = id;
                 self.handle_grow(sim)?;
             }
             MemSignal::Steady => self.assist_growth(sim)?,
@@ -464,12 +469,12 @@ impl Irs {
         // activation the best chance to fit.
         if signal != MemSignal::Grow {
             let starved = {
-                let s = self.handle.0.borrow();
+                let s = self.handle.0.lock().unwrap();
                 s.running.is_empty() && !s.queue.is_empty()
             };
             if starved {
                 let choice = {
-                    let s = self.handle.0.borrow();
+                    let s = self.handle.0.lock().unwrap();
                     pick_activation(&s.queue, &self.graph, &s.running)
                 };
                 if let Some(act) = choice {
@@ -480,7 +485,7 @@ impl Irs {
         }
         // The speed rule measures progress between monitor checks: reset.
         {
-            let mut s = self.handle.0.borrow_mut();
+            let mut s = self.handle.0.lock().unwrap();
             for r in s.running.values_mut() {
                 r.recent_progress = 0;
             }
@@ -509,7 +514,7 @@ impl Irs {
             .max(needed.mul_ratio(5, 2));
         // Stage 1: lazy serialization of queued partitions.
         let order = {
-            let s = self.handle.0.borrow();
+            let s = self.handle.0.lock().unwrap();
             let running_tasks: Vec<TaskId> = s.running.values().map(|r| r.task).collect();
             serialization_order(
                 &s.queue,
@@ -528,7 +533,7 @@ impl Irs {
                 break;
             }
             let freed = {
-                let mut s = self.handle.0.borrow_mut();
+                let mut s = self.handle.0.lock().unwrap();
                 let Some(part) = s.queue.get_mut(pid) else {
                     continue;
                 };
@@ -539,7 +544,7 @@ impl Irs {
                     st.serializations += 1;
                     st.reclaim.lazy_serialized += freed;
                 });
-                let sig = self.handle.0.borrow().last_signal;
+                let sig = self.handle.0.lock().unwrap().last_signal;
                 self.handle.trace_linked(
                     sim.node().now,
                     IrsEvent::Serialized {
@@ -557,7 +562,7 @@ impl Irs {
             .reduce_target(&sim.node().heap)
             .max(needed.mul_ratio(5, 2));
         if sim.node().heap.effective_free() < victim_line {
-            let mut s = self.handle.0.borrow_mut();
+            let mut s = self.handle.0.lock().unwrap();
             let candidates: BTreeMap<ThreadId, RunningInstance> = s
                 .running
                 .iter()
@@ -588,7 +593,7 @@ impl Irs {
         let threshold = self.monitor.serialize_target(&sim.node().heap);
         let grow_gate = self.monitor.grow_threshold(&sim.node().heap);
         {
-            let s = self.handle.0.borrow();
+            let s = self.handle.0.lock().unwrap();
             if s.queue.is_empty() {
                 return Ok(());
             }
@@ -599,7 +604,7 @@ impl Irs {
             }
         }
         let order = {
-            let s = self.handle.0.borrow();
+            let s = self.handle.0.lock().unwrap();
             let running_tasks: Vec<TaskId> = s.running.values().map(|r| r.task).collect();
             serialization_order(
                 &s.queue,
@@ -614,7 +619,7 @@ impl Irs {
                 break;
             }
             let freed = {
-                let mut s = self.handle.0.borrow_mut();
+                let mut s = self.handle.0.lock().unwrap();
                 let Some(part) = s.queue.get_mut(pid) else {
                     continue;
                 };
@@ -653,13 +658,13 @@ impl Irs {
         };
         for _ in 0..burst {
             {
-                let s = self.handle.0.borrow();
+                let s = self.handle.0.lock().unwrap();
                 if s.running.len() >= self.cfg.max_parallelism {
                     return Ok(());
                 }
             }
             let choice = {
-                let s = self.handle.0.borrow();
+                let s = self.handle.0.lock().unwrap();
                 pick_activation(&s.queue, &self.graph, &s.running)
             };
             let Some(act) = choice else { return Ok(()) };
@@ -671,7 +676,7 @@ impl Irs {
 
     fn activate(&mut self, sim: &mut NodeSim, act: Activation) {
         let (task_id, parts, tag, cause) = {
-            let mut s = self.handle.0.borrow_mut();
+            let mut s = self.handle.0.lock().unwrap();
             match act {
                 Activation::Single(task, pid) => {
                     let part = s.queue.take(pid).expect("activation raced with queue");
@@ -712,7 +717,7 @@ impl Irs {
         let instance = worker.instance_id();
         let kind = desc.kind;
         let thread = sim.spawn_scoped(Box::new(worker), self.cfg.scope);
-        let mut s = self.handle.0.borrow_mut();
+        let mut s = self.handle.0.lock().unwrap();
         s.trace.record_linked(
             now,
             IrsEvent::Activated {
@@ -739,16 +744,17 @@ impl Irs {
     /// Convenience for single-node programs and tests; multi-node engines
     /// interleave `tick`/`run_round` across nodes themselves.
     pub fn run_to_idle(&mut self, sim: &mut NodeSim) -> SimResult<()> {
+        let mut stream_seq = 0u64;
         // Generous bound: a stuck runtime is a simulator bug.
         for _ in 0..10_000_000u64 {
             self.tick(sim)?;
             if self.is_idle() {
                 return Ok(());
             }
-            let round = sim.run_round();
+            let round = simcluster::ShardExecutor::run_solo_round(sim, &mut stream_seq);
             if let Some((thread, err)) = round.failed.into_iter().next() {
                 // Identify and retire the failed instance.
-                let mut s = self.handle.0.borrow_mut();
+                let mut s = self.handle.0.lock().unwrap();
                 if let Some(r) = s.running.remove(&thread) {
                     let _ = r;
                 }

@@ -59,18 +59,21 @@ fn fresh_jvm(heap: ByteSize, cfg: &HadoopConfig, salt: u64) -> NodeSim {
         // re-salted by attempt number (salt 0 = the plan verbatim).
         let mut plan = plan.clone();
         plan.seed ^= salt;
-        let injector = std::rc::Rc::new(std::cell::RefCell::new(FaultInjector::new(plan)));
-        state.install_injector(injector);
+        state.install_injector(FaultInjector::new(plan));
     }
     NodeSim::new(state)
 }
 
 fn drive(sim: &mut NodeSim) -> AttemptResult {
+    // Attempt JVMs are single-node worlds: rounds run inline through the
+    // shard executor's solo entry so trace events carry the same
+    // stream-namespaced ids as cluster runs at any --shards setting.
+    let mut stream_seq = 0u64;
     loop {
         if sim.live_count() == 0 {
             return AttemptResult::Completed;
         }
-        let round = sim.run_round();
+        let round = simcluster::ShardExecutor::run_solo_round(sim, &mut stream_seq);
         if let Some((_, e)) = round.failed.into_iter().next() {
             if e.is_oom() {
                 // Death throes: a JVM at the GC-overhead limit performs a
@@ -264,19 +267,20 @@ fn run_map_attempt_salted<M: Mapper + 'static>(
         out: BTreeMap::new(),
         closed: false,
     };
-    let out_cell = std::rc::Rc::new(std::cell::RefCell::new(BTreeMap::new()));
-    let spills_cell = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    let out_cell = std::sync::Arc::new(std::sync::Mutex::new(BTreeMap::new()));
+    let spills_cell = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
     struct Shim<M: Mapper> {
         inner: MapWork<M>,
-        out: std::rc::Rc<std::cell::RefCell<BTreeMap<u32, Vec<M::Out>>>>,
-        spills: std::rc::Rc<std::cell::Cell<u32>>,
+        out: std::sync::Arc<std::sync::Mutex<BTreeMap<u32, Vec<M::Out>>>>,
+        spills: std::sync::Arc<std::sync::atomic::AtomicU32>,
     }
     impl<M: Mapper> Work for Shim<M> {
         fn step(&mut self, cx: &mut WorkCx<'_>) -> StepOutcome {
             let outcome = self.inner.step(cx);
             if matches!(outcome, StepOutcome::Finished) {
-                *self.out.borrow_mut() = std::mem::take(&mut self.inner.out);
-                self.spills.set(self.inner.spills);
+                *self.out.lock().unwrap() = std::mem::take(&mut self.inner.out);
+                self.spills
+                    .store(self.inner.spills, std::sync::atomic::Ordering::Relaxed);
             }
             outcome
         }
@@ -296,10 +300,10 @@ fn run_map_attempt_salted<M: Mapper + 'static>(
         duration: node.now.since(simcore::SimTime::ZERO),
         gc_time: node.gc_time,
         peak_heap: node.heap.peak_used(),
-        spills: spills_cell.get(),
+        spills: spills_cell.load(std::sync::atomic::Ordering::Relaxed),
         extra_attempts: 0,
     };
-    let out = std::mem::take(&mut *out_cell.borrow_mut());
+    let out = std::mem::take(&mut *out_cell.lock().unwrap());
     (outcome, out)
 }
 
@@ -455,16 +459,16 @@ fn run_reduce_attempt_salted<R: Reducer + 'static>(
     salt: u64,
 ) -> (AttemptOutcome, Vec<R::Out>) {
     let mut sim = fresh_jvm(cfg.reduce_heap, cfg, salt);
-    let out_cell = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let out_cell = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     struct Shim<R: Reducer> {
         inner: ReduceWork<R>,
-        out: std::rc::Rc<std::cell::RefCell<Vec<R::Out>>>,
+        out: std::sync::Arc<std::sync::Mutex<Vec<R::Out>>>,
     }
     impl<R: Reducer> Work for Shim<R> {
         fn step(&mut self, cx: &mut WorkCx<'_>) -> StepOutcome {
             let outcome = self.inner.step(cx);
             if matches!(outcome, StepOutcome::Finished) {
-                *self.out.borrow_mut() = std::mem::take(&mut self.inner.out);
+                *self.out.lock().unwrap() = std::mem::take(&mut self.inner.out);
             }
             outcome
         }
@@ -495,7 +499,7 @@ fn run_reduce_attempt_salted<R: Reducer + 'static>(
         spills: 0,
         extra_attempts: 0,
     };
-    let out = std::mem::take(&mut *out_cell.borrow_mut());
+    let out = std::mem::take(&mut *out_cell.lock().unwrap());
     (outcome, out)
 }
 

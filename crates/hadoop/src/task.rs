@@ -136,7 +136,7 @@ impl<Out: Tuple> ReduceCx<'_, '_, Out> {
 }
 
 /// A Hadoop map task (user code).
-pub trait Mapper {
+pub trait Mapper: Send {
     /// Input record type.
     type In: Tuple;
     /// Emitted key-value type (bucketed by reduce task).
@@ -152,7 +152,7 @@ pub trait Mapper {
 /// A Hadoop reduce task (user code). Tuples arrive grouped by bucket and
 /// sorted by the shuffle; grouping into key-runs is the reducer's
 /// concern (apps typically aggregate into a map keyed by `In`'s key).
-pub trait Reducer {
+pub trait Reducer: Send {
     /// Shuffled input type.
     type In: Tuple;
     /// Final output record type.

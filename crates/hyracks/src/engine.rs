@@ -7,7 +7,7 @@ use std::rc::Rc;
 use itask_core::{
     offer_serialized, ITask, Irs, IrsConfig, ItaskWorker, PartitionState, Tag, TaskGraph, Tuple,
 };
-use simcluster::{Cluster, JobOutcome, JobReport, WorkCx, DEFAULT_IO_RETRIES};
+use simcluster::{Cluster, JobOutcome, JobReport, ShardExecutor, WorkCx, DEFAULT_IO_RETRIES};
 use simcore::{prof, tracer, ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
 
 use crate::operator::{BucketArena, Operator, OperatorWorker, OutputSink};
@@ -133,7 +133,39 @@ pub fn chunk_into_frames_pooled<T: Tuple>(
 /// recover the lost state, so a crash fails it with `NodeLost` (the
 /// paper's baselines die; ITask jobs recover in [`drive_irs`] instead).
 fn drive_phase(cluster: &mut Cluster) -> SimResult<()> {
-    let faulted = cluster.injector().is_some();
+    // Scheduled crashes interleave crash polling with every node's
+    // round, so they keep the serial legacy loop; crash-free runs go
+    // through the lockstep shard executor (byte-identical at any
+    // `--shards` count, including 1).
+    if cluster.crashes_scheduled() {
+        return drive_phase_serial(cluster);
+    }
+    let mut exec = ShardExecutor::new();
+    let mut nodes = Vec::with_capacity(cluster.node_count());
+    loop {
+        nodes.clear();
+        for n in 0..cluster.node_count() {
+            let node = NodeId(n as u32);
+            let sim = cluster.sim(node);
+            if !sim.is_crashed() && sim.live_count() > 0 {
+                nodes.push(node);
+            }
+        }
+        if nodes.is_empty() {
+            return Ok(());
+        }
+        let run = exec.run_round(cluster, &nodes, true);
+        if let Some((_, report)) = run.first_failure() {
+            if let Some((_, e)) = report.failed.first() {
+                return Err(e.clone());
+            }
+        }
+    }
+}
+
+/// Serial legacy round loop for crash-scheduled runs: one node per
+/// iteration, crash poll after each round.
+fn drive_phase_serial(cluster: &mut Cluster) -> SimResult<()> {
     loop {
         let mut any_live = false;
         for n in 0..cluster.node_count() {
@@ -143,12 +175,10 @@ fn drive_phase(cluster: &mut Cluster) -> SimResult<()> {
                 continue;
             }
             any_live = true;
-            let failed = sim.run_round().failed;
-            if faulted {
-                let _ = cluster.poll_crash(node);
-                if cluster.sim(node).is_crashed() {
-                    return Err(SimError::NodeLost { node });
-                }
+            let failed = ShardExecutor::run_node_round(cluster, node).failed;
+            let _ = cluster.poll_crash(node);
+            if cluster.sim(node).is_crashed() {
+                return Err(SimError::NodeLost { node });
             }
             if let Some((_, e)) = failed.into_iter().next() {
                 return Err(e);
@@ -323,7 +353,7 @@ where
     // ---- Phase 1: partition-local operators over input frames.
     let mut map_sinks: Vec<OutputSink<M::Out>> = Vec::new();
     for (n, frames) in inputs.into_iter().enumerate() {
-        let sink: OutputSink<M::Out> = Rc::default();
+        let sink: OutputSink<M::Out> = OutputSink::default();
         map_sinks.push(sink.clone());
         // Deal frames round-robin to the fixed thread pool.
         let mut per_thread: Vec<VecDeque<Vec<M::In>>> =
@@ -355,7 +385,7 @@ where
     let outputs: BucketedOutputs<M::Out> = map_sinks
         .into_iter()
         .enumerate()
-        .map(|(n, s)| (NodeId(n as u32), std::mem::take(&mut *s.borrow_mut())))
+        .map(|(n, s)| (NodeId(n as u32), std::mem::take(&mut *s.lock().unwrap())))
         .collect();
     // Spent batch buffers park here and come back out as phase-2 frames.
     let mut pool: BatchPool<M::Out> = BatchPool::new();
@@ -368,7 +398,7 @@ where
     // ---- Phase 2: bucket-exclusive aggregation.
     let mut reduce_sinks: Vec<OutputSink<R::Out>> = Vec::new();
     for (n, buckets) in per_node.into_iter().enumerate() {
-        let sink: OutputSink<R::Out> = Rc::default();
+        let sink: OutputSink<R::Out> = OutputSink::default();
         reduce_sinks.push(sink.clone());
         // Whole buckets per thread (hash semantics).
         let mut per_thread: Vec<VecDeque<Vec<M::Out>>> =
@@ -404,7 +434,7 @@ where
     // ---- Collect (bucket order for determinism).
     let mut all: Vec<(u32, Vec<R::Out>)> = Vec::new();
     for s in reduce_sinks {
-        all.extend(s.borrow_mut().drain_groups());
+        all.extend(s.lock().unwrap().drain_groups());
     }
     all.sort_by_key(|(b, _)| *b);
     let outs = all.into_iter().flat_map(|(_, v)| v).collect();
@@ -438,7 +468,48 @@ impl Clone for ItaskFactories {
 /// survivors by [`recover_crashed_node`] and the job keeps going —
 /// recovery fails the job only when *no* node survives.
 fn drive_irs(cluster: &mut Cluster, irss: &mut [Irs]) -> SimResult<()> {
-    let faulted = cluster.injector().is_some();
+    // Crash-scheduled runs keep the serial loop (recovery re-homes
+    // work between rounds); crash-free runs fan out through the shard
+    // executor. Controller ticks stay on the driver thread — tick(n)
+    // reads only node n, so hoisting all ticks before the parallel
+    // round preserves per-node semantics exactly.
+    if cluster.crashes_scheduled() {
+        return drive_irs_serial(cluster, irss);
+    }
+    let mut exec = ShardExecutor::new();
+    let mut nodes = Vec::with_capacity(irss.len());
+    loop {
+        let mut any = false;
+        nodes.clear();
+        for (n, irs) in irss.iter_mut().enumerate() {
+            let node = NodeId(n as u32);
+            if cluster.sim(node).is_crashed() || irs.is_idle() {
+                continue;
+            }
+            any = true;
+            irs.tick(cluster.sim(node))?;
+            if !irs.is_idle() {
+                nodes.push(node);
+            }
+        }
+        if !any {
+            return Ok(());
+        }
+        if nodes.is_empty() {
+            continue;
+        }
+        let run = exec.run_round(cluster, &nodes, true);
+        if let Some((_, report)) = run.first_failure() {
+            if let Some((_, e)) = report.failed.first() {
+                return Err(e.clone());
+            }
+        }
+    }
+}
+
+/// Serial legacy IRS loop for crash-scheduled runs: tick, round, and
+/// crash-poll one node at a time so recovery can interleave.
+fn drive_irs_serial(cluster: &mut Cluster, irss: &mut [Irs]) -> SimResult<()> {
     loop {
         let mut any = false;
         for n in 0..irss.len() {
@@ -451,15 +522,13 @@ fn drive_irs(cluster: &mut Cluster, irss: &mut [Irs]) -> SimResult<()> {
             if irss[n].is_idle() {
                 continue;
             }
-            let failed = cluster.sim(node).run_round().failed;
-            if faulted {
-                let salvaged = cluster.poll_crash(node);
-                if cluster.sim(node).is_crashed() {
-                    // The node died this round: its thread errors die
-                    // with it; recover its work onto the survivors.
-                    recover_crashed_node(cluster, irss, node, salvaged)?;
-                    continue;
-                }
+            let failed = ShardExecutor::run_node_round(cluster, node).failed;
+            let salvaged = cluster.poll_crash(node);
+            if cluster.sim(node).is_crashed() {
+                // The node died this round: its thread errors die
+                // with it; recover its work onto the survivors.
+                recover_crashed_node(cluster, irss, node, salvaged)?;
+                continue;
             }
             if let Some((_, e)) = failed.into_iter().next() {
                 return Err(e);

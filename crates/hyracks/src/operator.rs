@@ -2,7 +2,7 @@
 //! `nextFrame`-style push operators, executed by a fixed thread pool.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use itask_core::Tuple;
 use simcluster::{StepOutcome, Work, WorkCx};
@@ -65,7 +65,8 @@ impl<'a, 'b, Out> OpCx<'a, 'b, Out> {
 
 /// A regular dataflow operator: one instance per worker thread, state
 /// kept for the whole phase, streaming emission via [`OpCx::emit`].
-pub trait Operator {
+/// `Send` because workers ride node simulators across shard threads.
+pub trait Operator: Send {
     /// Input tuple type.
     type In: Tuple;
     /// Output tuple type (keyed by shuffle bucket).
@@ -216,8 +217,11 @@ impl<T> BucketArena<T> {
 }
 
 /// Where a worker's outputs are collected (per node, shared by its
-/// threads; single-threaded simulation makes `Rc<RefCell>` sound).
-pub type OutputSink<T> = Rc<std::cell::RefCell<BucketArena<T>>>;
+/// threads). Workers and the driver touch it at disjoint times — worker
+/// quanta during rounds, shuffle drains at barriers — so the mutex is
+/// never contended; `Arc<Mutex>` exists to make workers `Send`able for
+/// the shard executor.
+pub type OutputSink<T> = Arc<Mutex<BucketArena<T>>>;
 
 /// A fixed-pool worker executing one [`Operator`] instance over a queue
 /// of frames.
@@ -277,7 +281,7 @@ impl<O: Operator> OperatorWorker<O> {
         // shared arena and are sealed into batches before returning
         // (single-threaded simulation — nothing else reads it mid-run).
         let sink_rc = self.sink.clone();
-        let mut sink = sink_rc.borrow_mut();
+        let mut sink = sink_rc.lock().unwrap();
         if !self.opened {
             let mut ocx = OpCx {
                 work: cx,
@@ -440,7 +444,7 @@ mod tests {
     #[test]
     fn worker_processes_all_frames_and_emits() {
         let mut s = sim(4096);
-        let sink: OutputSink<W> = Rc::default();
+        let sink: OutputSink<W> = OutputSink::default();
         let frames: VecDeque<Vec<W>> = (0..4).map(|_| (0..100).map(|_| W(50)).collect()).collect();
         s.spawn(Box::new(OperatorWorker::new(
             Count { n: 0 },
@@ -456,7 +460,7 @@ mod tests {
             let r = s.run_round();
             assert!(r.failed.is_empty(), "{:?}", r.failed);
         }
-        let groups = sink.borrow_mut().drain_groups();
+        let groups = sink.lock().unwrap().drain_groups();
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].1[0].0, 400);
         // Everything was released at close.
@@ -466,7 +470,7 @@ mod tests {
     #[test]
     fn state_explosion_fails_with_oom() {
         let mut s = sim(64); // 64KiB heap, state wants 640KiB
-        let sink: OutputSink<W> = Rc::default();
+        let sink: OutputSink<W> = OutputSink::default();
         let frames: VecDeque<Vec<W>> = (0..10)
             .map(|_| (0..1000).map(|_| W(10)).collect())
             .collect();
@@ -489,6 +493,6 @@ mod tests {
             }
         }
         assert!(failed.expect("must fail").is_oom());
-        assert!(sink.borrow().is_empty());
+        assert!(sink.lock().unwrap().is_empty());
     }
 }

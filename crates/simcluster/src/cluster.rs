@@ -1,10 +1,17 @@
 //! The cluster: a set of node simulators plus the shared fabric and
 //! block store.
+//!
+//! Fault injection is *split by owner*: every node's disk owns a
+//! private [`FaultInjector`] instance, the fabric owns one, and the
+//! cluster keeps a driver-side one for crash scheduling. All are built
+//! from the same [`FaultPlan`], and because verdicts are keyed purely
+//! on `(seed, node, op, count)` the split draws exactly the schedule a
+//! single shared injector would — but without any `Rc<RefCell>` shared
+//! state, so node simulators can move across shard threads.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use simcore::{ByteSize, CostModel, FaultInjector, FaultPlan, NodeId, SimDuration, SimTime};
+use simcore::{
+    ByteSize, CostModel, FaultInjector, FaultPlan, FaultStats, NodeId, SimDuration, SimTime,
+};
 use simnet::Fabric;
 use simstore::{BlockStore, BlockStoreConfig};
 
@@ -59,7 +66,13 @@ pub struct Cluster {
     sims: Vec<NodeSim>,
     fabric: Fabric,
     store: BlockStore,
-    injector: Option<Rc<RefCell<FaultInjector>>>,
+    injector: Option<FaultInjector>,
+    /// Next per-node trace-stream sequence numbers (tracer stream `n+1`
+    /// belongs to node `n`; stream 0 is the driver). The shard executor
+    /// reads and advances these so event ids stay identical at every
+    /// shard count — ids encode *which node emitted, at which point in
+    /// its own logical progress*, not global arrival order.
+    stream_seqs: Vec<u64>,
 }
 
 impl Cluster {
@@ -88,42 +101,62 @@ impl Cluster {
             replication: cfg.replication,
             nodes: cfg.nodes,
         });
+        let nodes = cfg.nodes;
         Cluster {
             cfg,
             sims,
             fabric,
             store,
             injector: None,
+            stream_seqs: vec![0; nodes],
         }
     }
 
-    /// Arms a fault plan: one shared injector is installed into every
-    /// node's disk and the fabric, so all layers draw from the same
-    /// deterministic schedule. Returns the shared injector for engines
-    /// that need to poll crashes or read stats.
-    pub fn install_faults(&mut self, plan: FaultPlan) -> Rc<RefCell<FaultInjector>> {
-        let inj = Rc::new(RefCell::new(FaultInjector::new(plan)));
+    /// Arms a fault plan: every node's disk gets its *own* injector
+    /// instance of the plan, the fabric gets one, and the cluster keeps
+    /// a driver-side one for crash scheduling. Because verdicts are
+    /// keyed purely on `(seed, node, op, count)`, the per-owner split
+    /// draws the same deterministic schedule a single shared injector
+    /// would.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
         for sim in &mut self.sims {
-            sim.node_mut().install_injector(inj.clone());
+            sim.node_mut()
+                .install_injector(FaultInjector::new(plan.clone()));
         }
-        self.fabric.install_injector(inj.clone());
-        self.injector = Some(inj.clone());
-        inj
+        self.fabric
+            .install_injector(FaultInjector::new(plan.clone()));
+        self.injector = Some(FaultInjector::new(plan));
     }
 
-    /// The shared fault injector, if a plan was armed.
-    pub fn injector(&self) -> Option<Rc<RefCell<FaultInjector>>> {
-        self.injector.clone()
+    /// Whether a fault plan has been armed.
+    pub fn faults_armed(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// Whether the armed plan schedules node crashes. Crash-bearing
+    /// plans force engines onto the serial round path (a crash tears
+    /// down cross-node state mid-round, which shards cannot replay
+    /// speculatively); pure I/O/net fault plans parallelize fine.
+    pub fn crashes_scheduled(&self) -> bool {
+        self.injector
+            .as_ref()
+            .is_some_and(|inj| !inj.plan().crashes.is_empty())
+    }
+
+    /// The driver-side fault injector, if a plan was armed (crash
+    /// state: [`FaultInjector::is_down`], [`FaultInjector::down_nodes`]).
+    pub fn driver_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
     }
 
     /// Fires any scheduled crash whose instant `node`'s clock has
     /// reached: threads die, the disk is purged, the node goes down.
     /// Returns the salvaged `Work` bodies (empty if no crash fired).
     pub fn poll_crash(&mut self, node: NodeId) -> Vec<Box<dyn Work>> {
-        let due = match &self.injector {
+        let due = match &mut self.injector {
             Some(inj) => {
                 let now = self.sims[node.as_usize()].node().now;
-                inj.borrow_mut().crash_due(node, now)
+                inj.crash_due(node, now)
             }
             None => false,
         };
@@ -132,6 +165,28 @@ impl Cluster {
         } else {
             Vec::new()
         }
+    }
+
+    /// Injected-fault counters summed across every injector instance
+    /// (per-node disks, fabric, driver). Each owner only accrues its
+    /// own fault kinds, so the sum equals what the old cluster-shared
+    /// injector reported.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = self
+            .injector
+            .as_ref()
+            .map(|inj| inj.stats())
+            .unwrap_or_default();
+        for sim in &self.sims {
+            let s = sim.node().disk.injector_stats();
+            total.transient_reads += s.transient_reads;
+            total.transient_writes += s.transient_writes;
+            total.corrupted_writes += s.corrupted_writes;
+        }
+        let net = self.fabric.injector_stats();
+        total.delayed_transfers += net.delayed_transfers;
+        total.severed_transfers += net.severed_transfers;
+        total
     }
 
     /// Nodes still up (crashed nodes excluded).
@@ -161,6 +216,23 @@ impl Cluster {
     /// One node simulator.
     pub fn sim(&mut self, node: NodeId) -> &mut NodeSim {
         &mut self.sims[node.as_usize()]
+    }
+
+    /// Next trace-stream sequence number for `node` (see `stream_seqs`).
+    pub fn stream_seq(&self, node: NodeId) -> u64 {
+        self.stream_seqs[node.as_usize()]
+    }
+
+    /// Advances `node`'s trace-stream cursor after a harvested round.
+    pub fn set_stream_seq(&mut self, node: NodeId, next: u64) {
+        self.stream_seqs[node.as_usize()] = next;
+    }
+
+    /// Swaps `node`'s simulator with `other` — how the shard executor
+    /// ships a node to a worker thread (swap a placeholder in, move the
+    /// real simulator out through a channel, swap back at the barrier).
+    pub fn swap_sim(&mut self, node: NodeId, other: &mut NodeSim) {
+        std::mem::swap(&mut self.sims[node.as_usize()], other);
     }
 
     /// The network fabric.
@@ -281,8 +353,8 @@ impl Cluster {
             nodes,
             counters: std::collections::BTreeMap::new(),
         };
-        if let Some(inj) = &self.injector {
-            let s = inj.borrow().stats();
+        if self.injector.is_some() {
+            let s = self.fault_stats();
             report.bump_counter("faults_transient_reads", s.transient_reads as f64);
             report.bump_counter("faults_transient_writes", s.transient_writes as f64);
             report.bump_counter("faults_corrupted_writes", s.corrupted_writes as f64);

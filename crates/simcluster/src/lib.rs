@@ -11,18 +11,24 @@
 //! drained by whoever controls the node (the ITask monitor, or nobody for
 //! regular executions).
 //!
-//! The whole simulation is single-threaded over virtual time, so every run
-//! is bit-for-bit reproducible — a property the paper's wall-clock
-//! measurements cannot have, and one we rely on to regenerate tables.
+//! Simulation time is virtual and every run is bit-for-bit
+//! reproducible — a property the paper's wall-clock measurements cannot
+//! have, and one we rely on to regenerate tables. Host-parallel
+//! execution does not break this: the [`shard`] executor partitions
+//! node simulators across worker threads in deterministic lockstep
+//! rounds, merging trace/profiler output back in one canonical order,
+//! so stdout and trace bytes are identical at any `--shards` count.
 
 pub mod cluster;
 pub mod node;
 pub mod report;
 pub mod sched;
+pub mod shard;
 pub mod work;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use node::{NodeState, WorkCx, DEFAULT_IO_RETRIES};
+pub use node::{NodeCheckpoint, NodeState, WorkCx, DEFAULT_IO_RETRIES};
 pub use report::{JobOutcome, JobReport, NodeReport};
-pub use sched::{NodeSim, RoundReport, ThreadState};
+pub use sched::{NodeSim, NodeSimCheckpoint, RoundReport, ThreadState};
+pub use shard::{set_shards, shards, RoundRun, ShardExecutor};
 pub use work::{StepOutcome, Work};

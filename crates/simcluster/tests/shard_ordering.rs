@@ -1,0 +1,169 @@
+//! Property test: cross-shard event ordering is shard-count-invariant.
+//!
+//! Shard workers emit trace events into per-node stream overlays that
+//! the executor merges back at the round barrier; the canonical merged
+//! order (`(time, node, seq)`) must therefore be *identical* whatever
+//! the shard count — the events are the only cross-shard "messages" in
+//! the lockstep design, so their merged bytes are the ordering
+//! property. Randomized workloads (seeded LCG: node counts, skewed
+//! thread loads, tuple counts, per-thread emission cadence) run at
+//! shards 1/2/3/4 and the serialized trace of every parallel run must
+//! equal the serial one byte for byte.
+//!
+//! A single `#[test]` drives all cases because the tracer is
+//! process-global; this file is its own test binary, so nothing else
+//! races it.
+
+use simcluster::{Cluster, ClusterConfig, ShardExecutor, StepOutcome, Work, WorkCx};
+use simcore::{tracer, ByteSize, NodeId, SimDuration, SpaceId};
+
+/// Deterministic splitmix-style generator for the property cases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// Burns CPU over synthetic tuples and emits a trace event every
+/// `emit_every` tuples — the cross-shard messages whose merged order
+/// the property checks.
+struct Chatter {
+    space: Option<SpaceId>,
+    tuples: u64,
+    emit_every: u64,
+    processed: u64,
+}
+
+impl Work for Chatter {
+    fn step(&mut self, cx: &mut WorkCx<'_>) -> StepOutcome {
+        let space = match self.space {
+            Some(s) => s,
+            None => {
+                let s = cx.create_space("chatter");
+                self.space = Some(s);
+                s
+            }
+        };
+        let per_tuple = cx.cost().tuple_cost(ByteSize(64));
+        while self.tuples > 0 && !cx.out_of_quantum() {
+            cx.charge(per_tuple);
+            if let Err(e) = cx.alloc(space, ByteSize(40)) {
+                return StepOutcome::Failed(e);
+            }
+            self.tuples -= 1;
+            self.processed += 1;
+            if self.processed.is_multiple_of(self.emit_every) {
+                let node = cx.node().id;
+                let now = cx.now();
+                tracer::emit(
+                    Some(node),
+                    None,
+                    now,
+                    SimDuration::ZERO,
+                    tracer::TraceData::FrameChunk {
+                        tuples: self.processed,
+                    },
+                );
+            }
+        }
+        if self.tuples == 0 {
+            StepOutcome::Finished
+        } else {
+            StepOutcome::Ran
+        }
+    }
+
+    fn label(&self) -> String {
+        "chatter".into()
+    }
+}
+
+/// Builds one randomized cluster case and runs it to completion at the
+/// given shard count, returning the canonical serialized trace plus a
+/// per-node state fingerprint.
+fn run_case(case_seed: u64, shards: usize) -> (String, Vec<(u64, u64)>) {
+    let mut rng = Rng(case_seed);
+    let nodes = rng.range(2, 6) as usize;
+    let cfg = ClusterConfig {
+        nodes,
+        cores: rng.range(1, 4) as usize,
+        heap_per_node: ByteSize::mib(rng.range(4, 16)),
+        disk_per_node: ByteSize::mib(64),
+        ..Default::default()
+    };
+    let mut c = Cluster::new(cfg);
+    for i in 0..nodes {
+        let threads = rng.range(1, 4);
+        for _ in 0..threads {
+            c.sim(NodeId(i as u32)).spawn(Box::new(Chatter {
+                space: None,
+                tuples: rng.range(500, 6_000),
+                emit_every: rng.range(16, 257),
+                processed: 0,
+            }));
+        }
+    }
+
+    tracer::begin_run();
+    let mut exec = ShardExecutor::with_shards(shards);
+    loop {
+        let runnable: Vec<NodeId> = (0..nodes as u32)
+            .map(NodeId)
+            .filter(|&n| c.sim(n).live_count() > 0)
+            .collect();
+        if runnable.is_empty() {
+            break;
+        }
+        let run = exec.run_round(&mut c, &runnable, true);
+        assert!(!run.aborted, "case {case_seed}: unexpected failure");
+    }
+    let events = tracer::take_run().expect("trace harvested");
+    let trace = tracer::jsonl_run(0, &format!("case{case_seed}"), &events);
+    let state = (0..nodes as u32)
+        .map(|i| {
+            let n = c.sim(NodeId(i)).node();
+            (n.now.as_nanos(), n.heap.stats().minor_count)
+        })
+        .collect();
+    (trace, state)
+}
+
+#[test]
+fn merged_event_order_is_shard_invariant() {
+    tracer::enable();
+    for case in 0..8u64 {
+        let case_seed = 0xA5A5_0000 + case;
+        let (serial_trace, serial_state) = run_case(case_seed, 1);
+        assert!(
+            serial_trace.lines().count() > 1,
+            "case {case_seed}: workload emitted no events — property is vacuous"
+        );
+        for shards in [2usize, 3, 4] {
+            let (trace, state) = run_case(case_seed, shards);
+            assert_eq!(
+                state, serial_state,
+                "case {case_seed}: node state diverged at {shards} shards"
+            );
+            assert!(
+                trace == serial_trace,
+                "case {case_seed}: merged event order diverged at {shards} shards\n\
+                 first differing line: {:?}",
+                trace
+                    .lines()
+                    .zip(serial_trace.lines())
+                    .find(|(a, b)| a != b)
+            );
+        }
+    }
+    tracer::disable();
+}

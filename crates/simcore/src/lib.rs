@@ -31,7 +31,7 @@ pub use fault::{
 };
 pub use ids::{JobId, NodeId, PartitionId, SpaceId, TaskId, ThreadId};
 pub use jbloat::HeapSized;
-pub use log::{EventLog, Sample, Series};
+pub use log::{EventLog, LogMark, Sample, Series};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 

@@ -98,6 +98,13 @@ pub struct EventLog {
     index: std::collections::BTreeMap<String, usize>,
 }
 
+/// A snapshot of an [`EventLog`]'s append frontier (see
+/// [`EventLog::mark`]).
+#[derive(Clone, Debug)]
+pub struct LogMark {
+    lens: Vec<usize>,
+}
+
 impl EventLog {
     /// Creates an empty log.
     pub fn new() -> Self {
@@ -130,6 +137,30 @@ impl EventLog {
     /// All recorded series.
     pub fn all(&self) -> &[Series] {
         &self.series
+    }
+
+    /// Snapshots the log's append frontier (per-series sample counts).
+    /// Cheap: one `usize` per series. The shard executor marks every
+    /// node log before a speculative round so an overshot round can be
+    /// [`EventLog::rewind`]-ed away.
+    pub fn mark(&self) -> LogMark {
+        LogMark {
+            lens: self.series.iter().map(|s| s.samples.len()).collect(),
+        }
+    }
+
+    /// Truncates the log back to a [`EventLog::mark`]: samples appended
+    /// since are dropped, and series created since are removed entirely
+    /// (index included).
+    pub fn rewind(&mut self, mark: &LogMark) {
+        for (i, s) in self.series.iter_mut().enumerate() {
+            s.samples.truncate(mark.lens.get(i).copied().unwrap_or(0));
+        }
+        if self.series.len() > mark.lens.len() {
+            for s in self.series.drain(mark.lens.len()..) {
+                self.index.remove(&s.name);
+            }
+        }
     }
 
     /// Merges another log's series into this one (used to combine

@@ -12,11 +12,23 @@
 //! rather than mere aggregate counters.
 //!
 //! Determinism contract: timestamps are virtual nanoseconds, event ids
-//! are per-run monotonic, and each run's buffer lives in a thread-local
-//! installed by the sweep executor around the run closure. Harvested
-//! buffers are merged in `(time, node, seq)` order, so a dump is
-//! byte-identical no matter how `--jobs` spreads runs across OS worker
-//! threads. Host wall-clock never enters the stream.
+//! are per-stream monotonic, and each run's buffer lives in a
+//! thread-local installed by the sweep executor around the run closure.
+//! Harvested buffers are merged in `(time, node, seq)` order, so a dump
+//! is byte-identical no matter how `--jobs` spreads runs across OS
+//! worker threads. Host wall-clock never enters the stream.
+//!
+//! Intra-run parallelism uses *stream overlays*: while the shard
+//! executor steps a node's scheduling round (possibly on another OS
+//! thread), emissions land in a per-node stream whose ids are
+//! `(stream << 32) | seq` — stream 0 is the driver, stream `n + 1` is
+//! node `n`. Because stream assignment follows code location (driver
+//! code emits between rounds, node code emits inside its own round) and
+//! each stream's `seq` advances with the node's own logical progress,
+//! every event's id is a pure function of the simulation — identical at
+//! any `--shards` count. The driver absorbs harvested segments at round
+//! barriers and the usual `(time, node, id)` merge yields identical
+//! bytes whether rounds ran inline or fanned out.
 //!
 //! Like [`crate::prof`], the tracer is process-global and disabled by
 //! default; every emission entry point is a single relaxed atomic load
@@ -371,10 +383,20 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 
 thread_local! {
     static RUN: RefCell<Option<RunBuf>> = const { RefCell::new(None) };
+    static STREAM: RefCell<Option<StreamBuf>> = const { RefCell::new(None) };
 }
 
 #[derive(Default)]
 struct RunBuf {
+    next: u64,
+    events: Vec<Event>,
+}
+
+/// A per-node stream overlay: while installed, emissions on this thread
+/// get ids namespaced under `stream` instead of drawing from the run
+/// buffer's driver sequence.
+struct StreamBuf {
+    stream: u32,
     next: u64,
     events: Vec<Event>,
 }
@@ -416,6 +438,50 @@ pub fn take_run() -> Option<RunTrace> {
     Some(events)
 }
 
+/// Installs a stream overlay on this thread: until [`stream_take`],
+/// emissions get ids `(stream << 32) | seq` with `seq` continuing from
+/// `next`. The shard executor wraps each node round in the node's own
+/// stream (stream `n + 1`; 0 is the driver), making every event id
+/// independent of which OS thread — and which `--shards` count — ran
+/// the round. No-op while tracing is disabled.
+pub fn stream_begin(stream: u32, next: u64) {
+    if is_enabled() {
+        STREAM.with(|s| {
+            *s.borrow_mut() = Some(StreamBuf {
+                stream,
+                next,
+                events: Vec::new(),
+            })
+        });
+    }
+}
+
+/// Uninstalls this thread's stream overlay, returning the continuation
+/// sequence and the events captured since [`stream_begin`]. Returns
+/// `(next, empty)` when no overlay was installed (tracing disabled) —
+/// callers thread `next` back through unconditionally.
+pub fn stream_take(next: u64) -> (u64, Vec<Event>) {
+    match STREAM.with(|s| s.borrow_mut().take()) {
+        Some(buf) => (buf.next, buf.events),
+        None => (next, Vec::new()),
+    }
+}
+
+/// Appends already-stamped events (a harvested stream segment) into the
+/// current run's buffer. The merge order is recovered at [`take_run`];
+/// segments may be absorbed in any order. Dropped while disabled or
+/// outside a run.
+pub fn absorb(events: Vec<Event>) {
+    if !is_enabled() || events.is_empty() {
+        return;
+    }
+    RUN.with(|r| {
+        if let Some(buf) = r.borrow_mut().as_mut() {
+            buf.events.extend(events);
+        }
+    });
+}
+
 /// Emits one event into the current run's buffer, returning its id.
 /// Returns [`EventId::NONE`] while disabled or outside a run.
 pub fn emit(
@@ -427,6 +493,28 @@ pub fn emit(
 ) -> EventId {
     if !is_enabled() {
         return EventId::NONE;
+    }
+    // A stream overlay (a node round executing under the shard
+    // executor) captures the event with a namespaced id; otherwise the
+    // run buffer's driver sequence (stream 0) applies.
+    let streamed = STREAM.with(|s| {
+        let mut s = s.borrow_mut();
+        s.as_mut().map(|buf| {
+            buf.next += 1;
+            let id = EventId(((buf.stream as u64) << 32) | buf.next);
+            buf.events.push(Event {
+                id,
+                node,
+                scope,
+                at,
+                dur,
+                data: data.clone(),
+            });
+            id
+        })
+    });
+    if let Some(id) = streamed {
+        return id;
     }
     RUN.with(|r| {
         let mut r = r.borrow_mut();

@@ -13,12 +13,9 @@
 //! stall the sender until they heal, and a permanent partition fails the
 //! transfer with [`simcore::SimError::NetPartition`].
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use simcore::{
-    ByteSize, CostModel, FaultInjector, LinkState, NodeId, SimDuration, SimError, SimResult,
-    SimTime,
+    ByteSize, CostModel, FaultInjector, FaultStats, LinkState, NodeId, SimDuration, SimError,
+    SimResult, SimTime,
 };
 
 /// Aggregate transfer statistics.
@@ -42,7 +39,7 @@ pub struct Fabric {
     cost: CostModel,
     nodes: usize,
     stats: NetStats,
-    injector: Option<Rc<RefCell<FaultInjector>>>,
+    injector: Option<Box<FaultInjector>>,
 }
 
 impl Fabric {
@@ -62,8 +59,21 @@ impl Fabric {
     }
 
     /// Routes subsequent time-aware transfers through a fault injector.
-    pub fn install_injector(&mut self, injector: Rc<RefCell<FaultInjector>>) {
-        self.injector = Some(injector);
+    ///
+    /// The fabric *owns* its injector (it is driver-side state, stepped
+    /// only at shuffle barriers); network fault counters are read back
+    /// via [`Fabric::injector_stats`].
+    pub fn install_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(Box::new(injector));
+    }
+
+    /// Fault counters accumulated by the installed injector (zeros when
+    /// no injector is installed).
+    pub fn injector_stats(&self) -> FaultStats {
+        self.injector
+            .as_ref()
+            .map(|inj| inj.stats())
+            .unwrap_or_default()
     }
 
     /// Number of nodes on the fabric.
@@ -115,20 +125,21 @@ impl Fabric {
                 self.nodes
             )));
         }
-        let Some(inj) = self.injector.clone() else {
+        if self.injector.is_none() {
             return Ok(self.transfer(src, dst, bytes));
-        };
+        }
         if src == dst {
             self.stats.bytes_local += bytes;
             return Ok(SimDuration::ZERO);
         }
-        let state = inj.borrow().link_state(src, dst, now);
+        let inj = self.injector.as_mut().expect("checked above");
+        let state = inj.link_state(src, dst, now);
         let (wait, factor) = match state {
             LinkState::Up { factor } => (SimDuration::ZERO, factor),
             LinkState::BlockedUntil(until) => {
                 // Retransmit when the window closes, at whatever speed
                 // the link has then.
-                let healed = inj.borrow().link_state(src, dst, until);
+                let healed = inj.link_state(src, dst, until);
                 let f = match healed {
                     LinkState::Up { factor } => factor,
                     _ => 1.0,
@@ -136,16 +147,16 @@ impl Fabric {
                 (until.since(now), f)
             }
             LinkState::Severed => {
-                inj.borrow_mut().note_transfer(false, true);
+                inj.note_transfer(false, true);
                 return Err(SimError::NetPartition { src, dst });
             }
         };
-        let wire = self.cost.net_transfer(bytes) * factor.max(1.0);
         let degraded = !wait.is_zero() || factor > 1.0;
         if degraded {
+            inj.note_transfer(true, false);
             self.stats.degraded_transfers += 1;
-            inj.borrow_mut().note_transfer(true, false);
         }
+        let wire = self.cost.net_transfer(bytes) * factor.max(1.0);
         self.stats.bytes_remote += bytes;
         self.stats.remote_transfers += 1;
         self.stats.wire_time += wire;
@@ -205,7 +216,7 @@ mod fault_tests {
 
     fn faulty(plan: FaultPlan) -> Fabric {
         let mut f = Fabric::new(4, CostModel::default());
-        f.install_injector(Rc::new(RefCell::new(FaultInjector::new(plan))));
+        f.install_injector(FaultInjector::new(plan));
         f
     }
 

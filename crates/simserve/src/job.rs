@@ -19,7 +19,6 @@
 //! node, whatever state the job died in.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::rc::Rc;
 
 use apps::agg::{itask_factories, AggMapOp, AggReduceOp, AggSpec};
 use hyracks::{chunk_into_frames, OperatorWorker, OutputSink, ShuffleBatch};
@@ -188,7 +187,7 @@ impl<S: AggSpec> TwoPhaseJob<S> {
     /// Spawns regular operator workers for one phase on one node.
     #[allow(clippy::too_many_arguments)]
     fn spawn_regular_map(&mut self, sim: &mut NodeSim, frames: Vec<Vec<S::In>>, node: usize) {
-        let sink: OutputSink<S::Mid> = Rc::default();
+        let sink: OutputSink<S::Mid> = OutputSink::default();
         self.map_sinks.push(sink.clone());
         let threads = self.params.threads.max(1);
         let mut per_thread: Vec<VecDeque<Vec<S::In>>> =
@@ -254,7 +253,7 @@ impl<S: AggSpec> TwoPhaseJob<S> {
                 .into_iter()
                 .enumerate()
                 .map(|(n, s)| {
-                    let arena = std::mem::take(&mut *s.borrow_mut());
+                    let arena = std::mem::take(&mut *s.lock().unwrap());
                     (NodeId(n as u32), arena.into_batches())
                 })
                 .collect(),
@@ -283,7 +282,7 @@ impl<S: AggSpec> TwoPhaseJob<S> {
                 let threads = self.params.threads.max(1);
                 let node_count = cluster.node_count();
                 for (n, buckets) in per_node.into_iter().enumerate() {
-                    let sink: OutputSink<S::Out> = Rc::default();
+                    let sink: OutputSink<S::Out> = OutputSink::default();
                     self.reduce_sinks.push(sink.clone());
                     let mut per_thread: Vec<VecDeque<Vec<S::Mid>>> =
                         (0..threads).map(|_| VecDeque::new()).collect();
@@ -411,7 +410,7 @@ impl<S: AggSpec> TwoPhaseJob<S> {
         let count: u64 = match self.engine {
             EngineKind::Regular => std::mem::take(&mut self.reduce_sinks)
                 .into_iter()
-                .map(|s| s.borrow().total_len())
+                .map(|s| s.lock().unwrap().total_len())
                 .sum(),
             EngineKind::Itask => {
                 let mut total = 0u64;

@@ -14,7 +14,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use itask_core::MemSignal;
-use simcluster::{Cluster, ClusterConfig};
+use simcluster::{Cluster, ClusterConfig, ShardExecutor};
 use simcore::{
     tracer, tracer::EventId, ByteSize, EventLog, FaultPlan, NodeId, SimDuration, SimError, SimTime,
 };
@@ -236,6 +236,9 @@ pub struct Service {
     last_storm_any: EventId,
     quarantines: u64,
     brownout_rounds: u64,
+    /// Lockstep shard executor for the data-plane rounds (persistent so
+    /// the worker pool is built once, not per round).
+    exec: ShardExecutor,
 }
 
 impl Service {
@@ -279,6 +282,7 @@ impl Service {
             last_storm_any: EventId::NONE,
             quarantines: 0,
             brownout_rounds: 0,
+            exec: ShardExecutor::new(),
         }
     }
 
@@ -498,12 +502,23 @@ impl Service {
     /// Runs one scheduling round on every live node and maps thread
     /// failures back to their owning jobs via allocation scopes.
     fn step_data_plane(&mut self) {
+        // Every node's round commits (no fail-fast): a thread failure
+        // only fails its owning job, never the round. Crash polling
+        // happens in [`Self::handle_crashes`] *after* the barrier, so
+        // the parallel fan-out is safe even under a crash plan.
+        let mut nodes = Vec::with_capacity(self.cluster.node_count());
         for n in 0..self.cluster.node_count() {
             let node = NodeId(n as u32);
-            if self.cluster.sim(node).is_crashed() {
-                continue;
+            if !self.cluster.sim(node).is_crashed() {
+                nodes.push(node);
             }
-            let report = self.cluster.sim(node).run_round();
+        }
+        if nodes.is_empty() {
+            return;
+        }
+        let run = self.exec.run_round(&mut self.cluster, &nodes, false);
+        for (node, report) in run.reports {
+            let n = node.as_usize();
             for (tid, err) in report.failed {
                 if err.is_oom() {
                     // Charged to the node for the storm breaker, on top

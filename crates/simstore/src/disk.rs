@@ -6,15 +6,19 @@
 //! silently corrupted write stores a file whose checksum no longer
 //! matches its content, which [`Disk::read_verified`] later reports as
 //! [`SimError::CorruptPartition`].
+//!
+//! Each disk *owns* its injector. Verdicts are counter-hashed per
+//! `(node, op-kind)` (see [`simcore::fault`]), so per-node injector
+//! instances replaying the same plan produce exactly the schedule one
+//! shared injector would — while keeping the disk `Send` for the shard
+//! executor. The cluster aggregates per-disk stats back into one view.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
 
 use simcore::rng::stable_hash64;
 use simcore::{
-    ByteSize, CostModel, FaultInjector, NodeId, ReadFault, SimDuration, SimError, SimResult,
-    WriteFault,
+    ByteSize, CostModel, FaultInjector, FaultStats, NodeId, ReadFault, SimDuration, SimError,
+    SimResult, WriteFault,
 };
 
 /// Identifier of a simulated on-disk file.
@@ -82,7 +86,7 @@ pub struct Disk {
     used: ByteSize,
     files: Vec<Option<DiskFile>>,
     stats: DiskStats,
-    injector: Option<Rc<RefCell<FaultInjector>>>,
+    injector: Option<Box<FaultInjector>>,
 }
 
 impl Disk {
@@ -99,9 +103,32 @@ impl Disk {
         }
     }
 
-    /// Routes subsequent reads/writes through a fault injector.
-    pub fn install_injector(&mut self, injector: Rc<RefCell<FaultInjector>>) {
-        self.injector = Some(injector);
+    /// Routes subsequent reads/writes through a fault injector this
+    /// disk owns. Installing again replaces the previous injector
+    /// (used by the shard executor to rewind a speculative round).
+    pub fn install_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(Box::new(injector));
+    }
+
+    /// The owned fault injector, if one is installed.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_deref()
+    }
+
+    /// Replaces (or clears) the installed injector wholesale — the shard
+    /// executor's rewind path restores a pre-round clone so an aborted
+    /// speculative round leaves no trace in fault schedules or stats.
+    pub fn restore_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector.map(Box::new);
+    }
+
+    /// Injected-fault counts charged to this disk (zeroes without an
+    /// injector).
+    pub fn injector_stats(&self) -> FaultStats {
+        self.injector
+            .as_ref()
+            .map(|i| i.stats())
+            .unwrap_or_default()
     }
 
     /// The node this disk belongs to.
@@ -166,8 +193,8 @@ impl Disk {
         label: impl Into<String>,
         bytes: ByteSize,
     ) -> SimResult<(FileId, SimDuration)> {
-        let verdict = match &self.injector {
-            Some(inj) => inj.borrow_mut().on_disk_write(self.node),
+        let verdict = match &mut self.injector {
+            Some(inj) => inj.on_disk_write(self.node),
             None => WriteFault::Ok,
         };
         if verdict == WriteFault::Transient {
@@ -202,8 +229,8 @@ impl Disk {
             .ok_or_else(|| {
                 SimError::Internal(format!("read of unknown {id:?} on {}", self.node))
             })?;
-        let verdict = match &self.injector {
-            Some(inj) => inj.borrow_mut().on_disk_read(self.node),
+        let verdict = match &mut self.injector {
+            Some(inj) => inj.on_disk_read(self.node),
             None => ReadFault::Ok,
         };
         if verdict == ReadFault::Transient {
@@ -349,9 +376,8 @@ mod tests {
     #[test]
     fn injected_transients_surface_and_pass() {
         let plan = FaultPlan::new(11).with_disk_transients(400);
-        let inj = Rc::new(RefCell::new(FaultInjector::new(plan)));
         let mut d = disk();
-        d.install_injector(inj.clone());
+        d.install_injector(FaultInjector::new(plan));
         let mut transients = 0;
         let mut oks = 0;
         for i in 0..100 {
@@ -367,15 +393,14 @@ mod tests {
         assert!(transients > 0, "a 40% rate must fire in 100 writes");
         assert!(oks > 0, "the burst cap guarantees successes");
         assert_eq!(d.stats().transient_errors, transients);
-        assert_eq!(inj.borrow().stats().transient_writes, transients);
+        assert_eq!(d.injector_stats().transient_writes, transients);
     }
 
     #[test]
     fn corrupted_writes_fail_verified_reads_only() {
         let plan = FaultPlan::new(5).with_corruption(1000).with_max_burst(1000);
-        let inj = Rc::new(RefCell::new(FaultInjector::new(plan)));
         let mut d = disk();
-        d.install_injector(inj);
+        d.install_injector(FaultInjector::new(plan));
         let (id, _) = d.write("victim", ByteSize::kib(64)).unwrap();
         assert!(!d.file(id).unwrap().intact());
         // A plain read does not notice.
