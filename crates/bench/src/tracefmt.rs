@@ -363,6 +363,23 @@ fn sketch_line(s: &QuantileSketch) -> String {
     }
 }
 
+/// Like [`sketch_line`] but with the tail quantiles an SLO lens needs:
+/// commit latencies are judged at p99/p99.9, not p90.
+fn tail_line(s: &QuantileSketch) -> String {
+    if s.is_empty() {
+        "n=0".to_string()
+    } else {
+        format!(
+            "n={:<5} p50={:<10} p99={:<10} p99.9={:<10} max={}",
+            s.count(),
+            fmt_ms(s.quantile(0.5)),
+            fmt_ms(s.quantile(0.99)),
+            fmt_ms(s.quantile(0.999)),
+            fmt_ms(s.max()),
+        )
+    }
+}
+
 /// Aggregates a run computes once and both `report` and `diff` read.
 #[derive(Default)]
 struct RunSummary {
@@ -384,6 +401,10 @@ struct RunSummary {
     brownout_windows: u64,
     brownout_rounds: u64,
     brownout_ns: u64,
+    /// SMR propose→commit latencies (`latency_ns` on `commit` events).
+    commit_latency: Option<QuantileSketch>,
+    /// SMR view changes observed.
+    view_changes: u64,
 }
 
 #[derive(Default)]
@@ -476,6 +497,12 @@ fn summarize(run: &TraceRun) -> RunSummary {
                 s.brownout_rounds += e.num("rounds");
                 s.brownout_ns += e.dur;
             }
+            "commit" => {
+                s.commit_latency
+                    .get_or_insert_with(sk)
+                    .insert(e.num("latency_ns"));
+            }
+            "view_change" => s.view_changes += 1,
             _ => {}
         }
     }
@@ -545,6 +572,11 @@ fn render_chains(run: &TraceRun, out: &mut String, max_chains: usize) {
 pub fn report(runs: &[TraceRun]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "trace: {} run(s)", runs.len());
+    // Commit latencies merged across every SMR run in the trace (one
+    // sketch per run, folded with the deterministic sketch merge).
+    let mut all_commits: Option<QuantileSketch> = None;
+    let mut smr_runs = 0usize;
+    let mut all_view_changes = 0u64;
     for (i, run) in runs.iter().enumerate() {
         let s = summarize(run);
         let _ = writeln!(out);
@@ -641,6 +673,36 @@ pub fn report(runs: &[TraceRun]) -> String {
                     fmt_ms(s.brownout_ns)
                 );
             }
+        }
+        // Only SMR runs emit commit/view_change kinds, so pre-existing
+        // traces render unchanged.
+        if s.commit_latency.is_some() || s.view_changes > 0 {
+            let _ = writeln!(out, "  smr:");
+            let _ = writeln!(
+                out,
+                "    commit latency (propose->commit): {}",
+                tail_line(s.commit_latency.as_ref().unwrap_or(&sk()))
+            );
+            let _ = writeln!(out, "    view changes: {}", s.view_changes);
+            smr_runs += 1;
+            all_view_changes += s.view_changes;
+            if let Some(c) = &s.commit_latency {
+                all_commits.get_or_insert_with(sk).merge(c);
+            }
+        }
+    }
+    if smr_runs > 1 {
+        if let Some(all) = &all_commits {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "smr commit latency across {smr_runs} runs: {}",
+                tail_line(all)
+            );
+            let _ = writeln!(
+                out,
+                "smr view changes across {smr_runs} runs: {all_view_changes}"
+            );
         }
     }
     out
@@ -1048,6 +1110,55 @@ mod tests {
         let runs = load_jsonl(&sample_jsonl()).unwrap();
         let r = report(&runs);
         assert!(!r.contains("overload:"), "{r}");
+    }
+
+    fn smr_run_jsonl(run: usize, lat_a: u64, lat_b: u64) -> String {
+        format!(
+            concat!(
+                "{{\"run\":{r},\"kind\":\"run\",\"label\":\"smr{r}\",\"events\":5}}\n",
+                "{{\"run\":{r},\"id\":1,\"kind\":\"propose\",\"node\":0,\"scope\":null,\"ts\":0,\"dur\":0,\"index\":1,\"view\":0}}\n",
+                "{{\"run\":{r},\"id\":2,\"kind\":\"replicate\",\"node\":0,\"scope\":null,\"ts\":0,\"dur\":100,\"index\":1,\"to\":1,\"cause\":1}}\n",
+                "{{\"run\":{r},\"id\":3,\"kind\":\"commit\",\"node\":0,\"scope\":null,\"ts\":{a},\"dur\":0,\"index\":1,\"latency_ns\":{a},\"cause\":1}}\n",
+                "{{\"run\":{r},\"id\":4,\"kind\":\"commit\",\"node\":0,\"scope\":null,\"ts\":{b},\"dur\":0,\"index\":2,\"latency_ns\":{b},\"cause\":1}}\n",
+                "{{\"run\":{r},\"id\":5,\"kind\":\"view_change\",\"node\":1,\"scope\":null,\"ts\":{b},\"dur\":50,\"view\":1,\"leader\":1,\"cause\":0}}\n",
+            ),
+            r = run,
+            a = lat_a,
+            b = lat_b,
+        )
+    }
+
+    #[test]
+    fn report_rolls_up_smr_commit_tail() {
+        let runs = load_jsonl(&smr_run_jsonl(0, 2_000_000, 40_000_000)).unwrap();
+        let r = report(&runs);
+        assert!(r.contains("smr:"), "{r}");
+        assert!(r.contains("commit latency (propose->commit): n=2"), "{r}");
+        assert!(r.contains("p99.9=40.000ms"), "{r}");
+        assert!(r.contains("view changes: 1"), "{r}");
+        // A single SMR run gets no cross-run aggregate line.
+        assert!(!r.contains("across"), "{r}");
+    }
+
+    #[test]
+    fn report_merges_smr_sketches_across_runs() {
+        let text = format!(
+            "{}{}",
+            smr_run_jsonl(0, 2_000_000, 3_000_000),
+            smr_run_jsonl(1, 4_000_000, 50_000_000)
+        );
+        let runs = load_jsonl(&text).unwrap();
+        let r = report(&runs);
+        assert!(r.contains("smr commit latency across 2 runs: n=4"), "{r}");
+        assert!(r.contains("max=50.000ms"), "{r}");
+        assert!(r.contains("smr view changes across 2 runs: 2"), "{r}");
+    }
+
+    #[test]
+    fn report_without_smr_events_omits_section() {
+        let runs = load_jsonl(&sample_jsonl()).unwrap();
+        let r = report(&runs);
+        assert!(!r.contains("smr:"), "{r}");
     }
 
     #[test]

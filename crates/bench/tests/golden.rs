@@ -135,6 +135,11 @@ fn golden_overload_quick() {
     );
 }
 
+#[test]
+fn golden_smr_quick() {
+    check_golden(env!("CARGO_BIN_EXE_smr"), &["--quick"], "smr_quick.txt");
+}
+
 // The same snapshots re-checked on the pooled two-shard executor: the
 // shard count must be unobservable in every golden surface.
 
@@ -162,6 +167,15 @@ fn golden_overload_quick_shards2() {
         env!("CARGO_BIN_EXE_overload"),
         &["--quick", "--shards", "2"],
         "overload_quick.txt",
+    );
+}
+
+#[test]
+fn golden_smr_quick_shards2() {
+    check_golden(
+        env!("CARGO_BIN_EXE_smr"),
+        &["--quick", "--shards", "2"],
+        "smr_quick.txt",
     );
 }
 

@@ -87,10 +87,18 @@ fn shards_invariant_overload_quick() {
 
 #[test]
 fn shards_invariant_faults_wc() {
-    // Crash plans force the serial legacy path at any shard count; the
-    // fault sweeps also cover slowdown/partition plans on the pooled
-    // path, so the flag must be a no-op either way.
+    // Crash plans shard the crash-free windows between scheduled
+    // crashes; the fault sweeps also cover slowdown/partition plans on
+    // the pooled path, so the flag must be a no-op either way.
     assert_shards_invariant(env!("CARGO_BIN_EXE_faults"), &["--wc-only"], true, "faults");
+}
+
+#[test]
+fn shards_invariant_smr_quick() {
+    // The SMR quorum rides the lockstep executor directly (one replica
+    // per node, consensus between rounds), so commit latencies, view
+    // changes and the causal trace must all be shard-invariant.
+    assert_shards_invariant(env!("CARGO_BIN_EXE_smr"), &["--quick"], true, "smr");
 }
 
 #[test]

@@ -31,6 +31,7 @@
 //! (`crates/core/tests/irs_end_to_end.rs`) and, at full scale, in the
 //! `apps` crate (`apps::hyracks_apps::wc`).
 
+pub mod deflate;
 pub mod graph;
 pub mod input;
 pub mod manager;
@@ -45,6 +46,9 @@ pub mod task;
 pub mod trace;
 pub mod worker;
 
+pub use deflate::{
+    live_budget_for_pause, predicted_full_pause, Deflatable, DeflateStats, StateGuard,
+};
 pub use graph::TaskGraph;
 pub use input::{offer_in_memory, offer_serialized};
 pub use manager::{DeserRecovery, ManagerConfig, SerializeMode};

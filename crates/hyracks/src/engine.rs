@@ -126,46 +126,44 @@ pub fn chunk_into_frames_pooled<T: Tuple>(
     frames
 }
 
+/// Flushes one accumulated crash-free window: runs a lockstep round
+/// over `batch` (drained) and surfaces its first failure. A no-op for
+/// an empty batch.
+fn run_window(
+    exec: &mut ShardExecutor,
+    cluster: &mut Cluster,
+    batch: &mut Vec<NodeId>,
+) -> SimResult<()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    let run = exec.run_round(cluster, batch, true);
+    batch.clear();
+    if let Some((_, report)) = run.first_failure() {
+        if let Some((_, e)) = report.failed.first() {
+            return Err(e.clone());
+        }
+    }
+    Ok(())
+}
+
 /// Drives every node until all threads retire; the first failure aborts.
 ///
 /// With a fault plan armed on the cluster, scheduled node crashes fire
 /// as node clocks reach their instants. A regular job has no way to
 /// recover the lost state, so a crash fails it with `NodeLost` (the
 /// paper's baselines die; ITask jobs recover in [`drive_irs`] instead).
+///
+/// Crash plans no longer force the whole run serial: walking nodes in
+/// order, stretches of nodes with no pending crash batch into lockstep
+/// shard-executor rounds (a `poll_crash` on them would be a no-op), and
+/// only a node that still has an unfired crash runs round-then-poll
+/// serially — the exact interleaving of the old fully-serial loop, so
+/// output bytes are unchanged, with everything between the crash
+/// windows back on the parallel path.
 fn drive_phase(cluster: &mut Cluster) -> SimResult<()> {
-    // Scheduled crashes interleave crash polling with every node's
-    // round, so they keep the serial legacy loop; crash-free runs go
-    // through the lockstep shard executor (byte-identical at any
-    // `--shards` count, including 1).
-    if cluster.crashes_scheduled() {
-        return drive_phase_serial(cluster);
-    }
     let mut exec = ShardExecutor::new();
-    let mut nodes = Vec::with_capacity(cluster.node_count());
-    loop {
-        nodes.clear();
-        for n in 0..cluster.node_count() {
-            let node = NodeId(n as u32);
-            let sim = cluster.sim(node);
-            if !sim.is_crashed() && sim.live_count() > 0 {
-                nodes.push(node);
-            }
-        }
-        if nodes.is_empty() {
-            return Ok(());
-        }
-        let run = exec.run_round(cluster, &nodes, true);
-        if let Some((_, report)) = run.first_failure() {
-            if let Some((_, e)) = report.failed.first() {
-                return Err(e.clone());
-            }
-        }
-    }
-}
-
-/// Serial legacy round loop for crash-scheduled runs: one node per
-/// iteration, crash poll after each round.
-fn drive_phase_serial(cluster: &mut Cluster) -> SimResult<()> {
+    let mut batch: Vec<NodeId> = Vec::with_capacity(cluster.node_count());
     loop {
         let mut any_live = false;
         for n in 0..cluster.node_count() {
@@ -175,6 +173,11 @@ fn drive_phase_serial(cluster: &mut Cluster) -> SimResult<()> {
                 continue;
             }
             any_live = true;
+            if !cluster.crash_pending(node) {
+                batch.push(node);
+                continue;
+            }
+            run_window(&mut exec, cluster, &mut batch)?;
             let failed = ShardExecutor::run_node_round(cluster, node).failed;
             let _ = cluster.poll_crash(node);
             if cluster.sim(node).is_crashed() {
@@ -187,6 +190,7 @@ fn drive_phase_serial(cluster: &mut Cluster) -> SimResult<()> {
         if !any_live {
             return Ok(());
         }
+        run_window(&mut exec, cluster, &mut batch)?;
     }
 }
 
@@ -468,48 +472,15 @@ impl Clone for ItaskFactories {
 /// survivors by [`recover_crashed_node`] and the job keeps going —
 /// recovery fails the job only when *no* node survives.
 fn drive_irs(cluster: &mut Cluster, irss: &mut [Irs]) -> SimResult<()> {
-    // Crash-scheduled runs keep the serial loop (recovery re-homes
-    // work between rounds); crash-free runs fan out through the shard
-    // executor. Controller ticks stay on the driver thread — tick(n)
-    // reads only node n, so hoisting all ticks before the parallel
-    // round preserves per-node semantics exactly.
-    if cluster.crashes_scheduled() {
-        return drive_irs_serial(cluster, irss);
-    }
+    // Controller ticks stay on the driver thread — tick(n) reads only
+    // node n, and no other node's round touches node n, so deferring a
+    // batched node's round to the window flush preserves per-node
+    // semantics exactly. Nodes with a pending (unfired) crash run the
+    // serial tick-round-poll interleaving so recovery can re-home work
+    // before later nodes tick — the old fully-serial loop's order —
+    // while every crash-free stretch rides the shard executor.
     let mut exec = ShardExecutor::new();
-    let mut nodes = Vec::with_capacity(irss.len());
-    loop {
-        let mut any = false;
-        nodes.clear();
-        for (n, irs) in irss.iter_mut().enumerate() {
-            let node = NodeId(n as u32);
-            if cluster.sim(node).is_crashed() || irs.is_idle() {
-                continue;
-            }
-            any = true;
-            irs.tick(cluster.sim(node))?;
-            if !irs.is_idle() {
-                nodes.push(node);
-            }
-        }
-        if !any {
-            return Ok(());
-        }
-        if nodes.is_empty() {
-            continue;
-        }
-        let run = exec.run_round(cluster, &nodes, true);
-        if let Some((_, report)) = run.first_failure() {
-            if let Some((_, e)) = report.failed.first() {
-                return Err(e.clone());
-            }
-        }
-    }
-}
-
-/// Serial legacy IRS loop for crash-scheduled runs: tick, round, and
-/// crash-poll one node at a time so recovery can interleave.
-fn drive_irs_serial(cluster: &mut Cluster, irss: &mut [Irs]) -> SimResult<()> {
+    let mut batch: Vec<NodeId> = Vec::with_capacity(irss.len());
     loop {
         let mut any = false;
         for n in 0..irss.len() {
@@ -518,6 +489,14 @@ fn drive_irs_serial(cluster: &mut Cluster, irss: &mut [Irs]) -> SimResult<()> {
                 continue;
             }
             any = true;
+            if !cluster.crash_pending(node) {
+                irss[n].tick(cluster.sim(node))?;
+                if !irss[n].is_idle() {
+                    batch.push(node);
+                }
+                continue;
+            }
+            run_window(&mut exec, cluster, &mut batch)?;
             irss[n].tick(cluster.sim(node))?;
             if irss[n].is_idle() {
                 continue;
@@ -537,6 +516,7 @@ fn drive_irs_serial(cluster: &mut Cluster, irss: &mut [Irs]) -> SimResult<()> {
         if !any {
             return Ok(());
         }
+        run_window(&mut exec, cluster, &mut batch)?;
     }
 }
 

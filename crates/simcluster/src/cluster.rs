@@ -133,14 +133,19 @@ impl Cluster {
         self.injector.is_some()
     }
 
-    /// Whether the armed plan schedules node crashes. Crash-bearing
-    /// plans force engines onto the serial round path (a crash tears
-    /// down cross-node state mid-round, which shards cannot replay
-    /// speculatively); pure I/O/net fault plans parallelize fine.
-    pub fn crashes_scheduled(&self) -> bool {
+    /// Whether `node` still has a scheduled-but-unfired crash.
+    ///
+    /// Engines use this to classify crash-free *windows*: a
+    /// [`Cluster::poll_crash`] on any other node is a no-op, so
+    /// stretches of crash-free nodes run on the lockstep shard executor
+    /// and only the (rare) crash-pending node needs the serial
+    /// round-then-poll interleaving. Once a node's crashes have all
+    /// fired it re-joins the shardable set (though a crashed node is
+    /// excluded from rounds anyway).
+    pub fn crash_pending(&self, node: NodeId) -> bool {
         self.injector
             .as_ref()
-            .is_some_and(|inj| !inj.plan().crashes.is_empty())
+            .is_some_and(|inj| inj.crash_pending(node))
     }
 
     /// The driver-side fault injector, if a plan was armed (crash

@@ -398,6 +398,20 @@ impl FaultInjector {
         fire
     }
 
+    /// Whether `node` still has a scheduled crash that has not fired.
+    ///
+    /// Engines use this to classify crash-free *windows*: only a node
+    /// with a pending crash needs the serial round-then-poll
+    /// interleaving; every other node (and this node again, once its
+    /// crashes have all fired) can run on the lockstep shard executor.
+    pub fn crash_pending(&self, node: NodeId) -> bool {
+        self.plan
+            .crashes
+            .iter()
+            .enumerate()
+            .any(|(i, c)| !self.fired[i] && c.node == node)
+    }
+
     /// Whether `node` has crashed.
     pub fn is_down(&self, node: NodeId) -> bool {
         self.down.contains(&node)

@@ -215,6 +215,55 @@ pub enum TraceData {
         /// The storm sample that preceded activation, if any.
         cause: EventId,
     },
+    /// An SMR leader proposed a log entry to its quorum: the opening
+    /// event of a per-commit causal chain
+    /// (propose → replicate → ack → commit).
+    Propose {
+        /// Log index of the proposed entry.
+        index: u64,
+        /// View (term) the entry was proposed in.
+        view: u64,
+    },
+    /// The leader shipped one entry to one follower (span: duration =
+    /// wire time of the append RPC).
+    Replicate {
+        /// Log index.
+        index: u64,
+        /// Destination follower.
+        to: u32,
+        /// The propose event this replication carries out.
+        cause: EventId,
+    },
+    /// A follower applied an entry and acknowledged it to the leader
+    /// (the event's node is the acknowledging follower).
+    SmrAck {
+        /// Log index.
+        index: u64,
+        /// The replicate event this acknowledges.
+        cause: EventId,
+    },
+    /// The leader committed an entry: a quorum of acknowledgements
+    /// arrived and the leader's own apply finished.
+    Commit {
+        /// Log index.
+        index: u64,
+        /// Propose→commit latency in nanoseconds.
+        latency_ns: u64,
+        /// The propose event that opened the chain.
+        cause: EventId,
+    },
+    /// A view change elected a new leader after heartbeat silence (a
+    /// leader crash, or a leader GC pause outlasting the election
+    /// timeout).
+    ViewChange {
+        /// The new view number.
+        view: u64,
+        /// The new leader.
+        leader: u32,
+        /// The commit (or propose) that last proved the old leader
+        /// alive, if any.
+        cause: EventId,
+    },
 }
 
 impl TraceData {
@@ -243,6 +292,11 @@ impl TraceData {
             TraceData::Storm { .. } => "storm",
             TraceData::Breaker { .. } => "breaker",
             TraceData::Brownout { .. } => "brownout",
+            TraceData::Propose { .. } => "propose",
+            TraceData::Replicate { .. } => "replicate",
+            TraceData::SmrAck { .. } => "ack",
+            TraceData::Commit { .. } => "commit",
+            TraceData::ViewChange { .. } => "view_change",
         }
     }
 
@@ -256,6 +310,11 @@ impl TraceData {
             TraceData::Signal { reduce: false } => "signal.grow".into(),
             TraceData::Shed { reason, .. } => format!("shed.{reason}"),
             TraceData::Breaker { state, .. } => format!("breaker.{state}"),
+            TraceData::Propose { .. } => "smr.propose".into(),
+            TraceData::Replicate { .. } => "smr.replicate".into(),
+            TraceData::SmrAck { .. } => "smr.ack".into(),
+            TraceData::Commit { .. } => "smr.commit".into(),
+            TraceData::ViewChange { .. } => "smr.view_change".into(),
             other => other.kind().into(),
         }
     }
@@ -268,7 +327,11 @@ impl TraceData {
             | TraceData::Serialized { cause, .. }
             | TraceData::Activated { cause, .. }
             | TraceData::Breaker { cause, .. }
-            | TraceData::Brownout { cause, .. } => *cause,
+            | TraceData::Brownout { cause, .. }
+            | TraceData::Replicate { cause, .. }
+            | TraceData::SmrAck { cause, .. }
+            | TraceData::Commit { cause, .. }
+            | TraceData::ViewChange { cause, .. } => *cause,
             _ => EventId::NONE,
         }
     }
@@ -355,6 +418,28 @@ impl TraceData {
             TraceData::Brownout { rounds, cause } => {
                 format!("\"rounds\":{rounds},\"cause\":{}", cause.0)
             }
+            TraceData::Propose { index, view } => {
+                format!("\"index\":{index},\"view\":{view}")
+            }
+            TraceData::Replicate { index, to, cause } => {
+                format!("\"index\":{index},\"to\":{to},\"cause\":{}", cause.0)
+            }
+            TraceData::SmrAck { index, cause } => {
+                format!("\"index\":{index},\"cause\":{}", cause.0)
+            }
+            TraceData::Commit {
+                index,
+                latency_ns,
+                cause,
+            } => format!(
+                "\"index\":{index},\"latency_ns\":{latency_ns},\"cause\":{}",
+                cause.0
+            ),
+            TraceData::ViewChange {
+                view,
+                leader,
+                cause,
+            } => format!("\"view\":{view},\"leader\":{leader},\"cause\":{}", cause.0),
         }
     }
 }

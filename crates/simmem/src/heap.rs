@@ -1,6 +1,6 @@
 //! The heap state machine.
 
-use simcore::{prof, tracer, ByteSize, CostModel, NodeId, SimTime, SpaceId};
+use simcore::{prof, tracer, ByteSize, CostModel, NodeId, SimDuration, SimTime, SpaceId};
 
 use crate::gc::{GcKind, GcRecord, GcStats};
 use crate::space::SpaceInfo;
@@ -181,6 +181,19 @@ impl Heap {
     /// Aggregate collector statistics.
     pub fn stats(&self) -> &GcStats {
         &self.stats
+    }
+
+    /// Total stop-the-world pause accumulated so far — a *mark* for
+    /// attribution windows. Callers snapshot it, run a window of work,
+    /// and charge [`Heap::pause_since`] the mark to whatever the window
+    /// stalled (an SMR engine attributes it to commit latency).
+    pub fn pause_mark(&self) -> SimDuration {
+        self.stats.total_pause
+    }
+
+    /// Pause time accumulated since a [`Heap::pause_mark`] snapshot.
+    pub fn pause_since(&self, mark: SimDuration) -> SimDuration {
+        self.stats.total_pause.saturating_sub(mark)
     }
 
     /// Snapshots the report-visible counters (GC stats, peak occupancy,

@@ -18,6 +18,40 @@ use simcore::{
     SimResult, SimTime,
 };
 
+/// Wire shapes of the quorum RPCs a replicated state machine puts on
+/// the fabric (`simsmr`). Centralising the byte counts here keeps the
+/// leader, follower, and bench sides of a quorum priced identically.
+pub mod rpc {
+    use simcore::ByteSize;
+
+    /// Fixed header every quorum RPC carries: view, log index, commit
+    /// watermark, and a checksum.
+    pub const HEADER: ByteSize = ByteSize(64);
+
+    /// An `append-entries` RPC replicating one log entry of `payload`
+    /// serialized bytes.
+    pub fn append_entries(payload: ByteSize) -> ByteSize {
+        HEADER + payload
+    }
+
+    /// A follower's acknowledgement (header only).
+    pub fn ack() -> ByteSize {
+        HEADER
+    }
+
+    /// A leader heartbeat (header only).
+    pub fn heartbeat() -> ByteSize {
+        HEADER
+    }
+
+    /// A view-change announcement: the new view plus a 16-byte
+    /// (index, digest) summary for each of `entries` uncommitted
+    /// entries the new leader re-replicates.
+    pub fn view_change(entries: u64) -> ByteSize {
+        HEADER + ByteSize(16 * entries)
+    }
+}
+
 /// Aggregate transfer statistics.
 #[derive(Clone, Debug, Default)]
 pub struct NetStats {
@@ -163,6 +197,23 @@ impl Fabric {
         Ok(wait + wire)
     }
 
+    /// Quorum fan-out: sends one RPC of `bytes` from `src` to each
+    /// destination, in slice order, returning the per-destination wire
+    /// times. Each link is consulted independently through
+    /// [`Fabric::transfer_at`], so slowdown and partition windows apply
+    /// per follower; the first severed link fails the whole fan-out.
+    pub fn quorum_send_at(
+        &mut self,
+        src: NodeId,
+        dsts: &[NodeId],
+        bytes: ByteSize,
+        now: SimTime,
+    ) -> SimResult<Vec<SimDuration>> {
+        dsts.iter()
+            .map(|&dst| self.transfer_at(src, dst, bytes, now))
+            .collect()
+    }
+
     /// The cost of an all-to-all shuffle where each of `senders` nodes
     /// sends `bytes_per_pair` to each of `receivers` nodes, assuming
     /// perfect overlap across senders (the bottleneck is one sender's
@@ -304,6 +355,34 @@ mod edge_tests {
         // duration rather than zero or a panic.
         let t = f.shuffle_time(0, ByteSize::mib(1));
         assert_eq!(t, f.shuffle_time(1, ByteSize::mib(1)));
+    }
+
+    #[test]
+    fn rpc_shapes_are_header_plus_body() {
+        assert_eq!(rpc::ack(), rpc::HEADER);
+        assert_eq!(rpc::heartbeat(), rpc::HEADER);
+        assert_eq!(
+            rpc::append_entries(ByteSize::kib(2)),
+            rpc::HEADER + ByteSize::kib(2)
+        );
+        assert!(rpc::view_change(8) > rpc::view_change(0));
+    }
+
+    #[test]
+    fn quorum_fanout_prices_each_link() {
+        let mut f = Fabric::new(4, CostModel::default());
+        let times = f
+            .quorum_send_at(
+                NodeId(0),
+                &[NodeId(1), NodeId(2), NodeId(0)],
+                ByteSize::kib(2),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(times.len(), 3);
+        assert_eq!(times[0], times[1]);
+        assert_eq!(times[2], SimDuration::ZERO); // self-send is local
+        assert_eq!(f.stats().remote_transfers, 2);
     }
 
     #[test]

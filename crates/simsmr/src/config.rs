@@ -1,0 +1,142 @@
+//! Quorum, workload and runtime-policy knobs for one SMR run.
+
+use itask_core::MonitorConfig;
+use simcore::{ByteSize, FaultPlan, SimDuration};
+
+/// Which runtime drives the replicas' memory behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeMode {
+    /// No pressure mitigation: the applied state inflates until the
+    /// collector hits the full-GC cliff at peak occupancy.
+    Regular,
+    /// IRS deflation: a per-node [`itask_core::StateGuard`] converts GC
+    /// records and hover-target deficits into REDUCE-style deflation of
+    /// the applied state, keeping the live set — and with it the worst
+    /// full-collection pause — low on every replica.
+    Itask,
+    /// [`RuntimeMode::Itask`] plus election awareness: the driver prices
+    /// the leader's *next* full collection every round and deflates
+    /// pre-emptively whenever it could outlast half the election
+    /// timeout, so a GC pause can never depose a healthy leader.
+    ItaskElect,
+}
+
+impl RuntimeMode {
+    /// Short table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeMode::Regular => "regular",
+            RuntimeMode::Itask => "itask",
+            RuntimeMode::ItaskElect => "itask+elect",
+        }
+    }
+}
+
+/// Configuration of one SMR run.
+#[derive(Clone, Debug)]
+pub struct SmrConfig {
+    /// Quorum size (odd; 3 or 5 in the benches).
+    pub nodes: usize,
+    /// Log entries to commit.
+    pub entries: u64,
+    /// Serialized (wire) bytes of one log entry.
+    pub payload: ByteSize,
+    /// In-heap expansion factor of an applied entry: each commit grows
+    /// the aggregation state by `payload * expansion` live bytes (the
+    /// paper's "memory-hungry aggregation" — pointer-rich deserialized
+    /// form, §2).
+    pub expansion: u64,
+    /// Transient-garbage factor: applying an entry also allocates and
+    /// immediately drops `payload * churn` young bytes (parse buffers,
+    /// temporaries), which sets the minor-GC cadence.
+    pub churn: u64,
+    /// Managed-heap capacity per node.
+    pub heap_per_node: ByteSize,
+    /// Max proposals in flight (leader window).
+    pub window: usize,
+    /// Leader heartbeat period.
+    pub heartbeat_every: SimDuration,
+    /// Follower election timeout: a follower that has not seen a
+    /// heartbeat for this long starts a view change.
+    pub election_timeout: SimDuration,
+    /// Fixed cost of a view change on top of the announcement RPCs.
+    pub election_overhead: SimDuration,
+    /// Runtime policy.
+    pub mode: RuntimeMode,
+    /// IRS thresholds for the deflation guard (ITask modes). The
+    /// `serialize_free_pct` hover target doubles as the live-set
+    /// ceiling: latency-SLO machines hover much higher than batch jobs
+    /// (free ≥ 80% vs the paper's 40%) because commit tails scale with
+    /// the live set, not with throughput.
+    pub monitor: MonitorConfig,
+    /// Minimum deflation request; smaller hover deficits are deferred so
+    /// serialization happens in batched, accountable chunks.
+    pub deflate_chunk: ByteSize,
+    /// Scheduled faults (node crashes) to install, if any.
+    pub faults: Option<FaultPlan>,
+    /// Seed for the deterministic per-index payload digests.
+    pub seed: u64,
+    /// Shard count for the lockstep executor; `0` uses the global
+    /// `--shards` setting (the benches), a positive value pins it
+    /// (tests exercising byte-identity without touching global state).
+    pub shards: usize,
+}
+
+impl SmrConfig {
+    /// A quorum of `nodes` replicas under `mode`, with workload defaults
+    /// sized so the full log inflates to ~12.5 MiB of live state.
+    pub fn new(nodes: usize, mode: RuntimeMode) -> Self {
+        SmrConfig {
+            nodes,
+            entries: 400,
+            payload: ByteSize::kib(8),
+            expansion: 4,
+            churn: 24,
+            heap_per_node: ByteSize::mib(32),
+            window: 8,
+            heartbeat_every: SimDuration::from_millis(1),
+            election_timeout: SimDuration::from_millis(6),
+            election_overhead: SimDuration::from_millis(1),
+            mode,
+            monitor: MonitorConfig {
+                grow_free_pct: 20,
+                reduce_target_pct: 10,
+                serialize_free_pct: 80,
+            },
+            deflate_chunk: ByteSize::kib(256),
+            faults: None,
+            seed: 0x5acb_909d,
+            shards: 0,
+        }
+    }
+
+    /// Live bytes the aggregation state reaches once the whole log is
+    /// applied: `entries * payload * expansion`.
+    pub fn live_total(&self) -> ByteSize {
+        self.payload * self.expansion * self.entries
+    }
+
+    /// Sizes the per-node heap so the fully-applied state occupies
+    /// `pct`% of capacity — the bench's heap-pressure tiers.
+    pub fn with_pressure(mut self, pct: u64) -> Self {
+        self.heap_per_node = self.live_total().mul_ratio(100, pct.clamp(1, 100));
+        self
+    }
+
+    /// Shrinks the log for smoke runs (`--quick`).
+    pub fn quick(mut self) -> Self {
+        self.entries = 160;
+        self
+    }
+
+    /// Installs a fault plan (scheduled node crashes).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Majority size of the quorum.
+    pub fn majority(&self) -> usize {
+        self.nodes / 2 + 1
+    }
+}

@@ -1,0 +1,632 @@
+//! The quorum driver: proposes, replicates, collects acks, commits in
+//! log order, and runs heartbeat-timeout elections — all between
+//! lockstep rounds of the shard executor, so the whole protocol is
+//! byte-identical at any `--shards` count.
+//!
+//! # Timing model
+//!
+//! Each driver iteration is one scheduling round (~one quantum) of
+//! every live node. The leader proposes into its window at the global
+//! clock frontier; append-entries RPCs are priced per link by
+//! [`simnet::Fabric::transfer_at`] and arrive as [`Cmd::Apply`]
+//! commands gated on `ready_at`. After the round the driver drains
+//! acks (pricing the ack RPC back to the leader), commits entries in
+//! log order once `majority` replicas — leader included — have
+//! applied, and clamps commit times monotonic. A GC pause on a node
+//! advances that node's clock stop-the-world, so a paused leader's
+//! proposals, acks and heartbeats all slide — the pause lands in every
+//! inflight commit latency, which is the phenomenon under study.
+//!
+//! # Elections
+//!
+//! The leader heartbeats every `heartbeat_every`; a follower that sees
+//! no heartbeat for `election_timeout` starts a deterministic view
+//! change: the leadership rotates to the next live replica, a
+//! view-change RPC fans out, and every uncommitted entry is
+//! re-replicated by the new leader (replicas that already applied one
+//! re-ack without re-execution). Re-proposed entries keep their
+//! *original* propose time, so election delay lands in the commit
+//! tail. Both a scheduled leader crash and a full-GC pause longer than
+//! the timeout take this same path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use itask_core::{live_budget_for_pause, predicted_full_pause, StateGuard};
+use simcluster::{Cluster, ClusterConfig, ShardExecutor};
+use simcore::tracer::{self, EventId, TraceData};
+use simcore::{ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
+use simnet::rpc;
+use simserve::QuantileSketch;
+
+use crate::config::{RuntimeMode, SmrConfig};
+use crate::replica::{Ack, Cmd, Inbox, ReplicaWork};
+
+/// What one SMR run produced.
+#[derive(Clone, Debug)]
+pub struct SmrOutcome {
+    /// Runtime policy that drove the run.
+    pub mode: RuntimeMode,
+    /// Quorum size.
+    pub nodes: usize,
+    /// Entries committed (equals the configured log length on success).
+    pub commits: u64,
+    /// Propose → commit latency samples, in nanoseconds of virtual time.
+    pub latency: QuantileSketch,
+    /// View changes performed.
+    pub view_changes: u64,
+    /// Final view number.
+    pub final_view: u64,
+    /// Total stop-the-world GC pause accumulated across the quorum
+    /// (attributed per window via [`simmem::Heap::pause_mark`]).
+    pub gc_stall: SimDuration,
+    /// Virtual makespan of the run.
+    pub elapsed: SimDuration,
+    /// Full collections across the quorum.
+    pub full_gcs: u64,
+    /// Minor collections across the quorum.
+    pub minor_gcs: u64,
+    /// Long-and-useless collections across the quorum.
+    pub lugcs: u64,
+    /// Deflation rounds across the quorum (ITask modes).
+    pub deflations: u64,
+    /// Live bytes released by deflation.
+    pub deflated: ByteSize,
+    /// Peak heap occupancy as a percentage of capacity (worst node).
+    pub peak_heap_pct: u64,
+    /// Running digest of the committed log, per index.
+    pub committed_digests: Vec<u64>,
+    /// Running digest of each node's *applied* sequence, per index.
+    pub node_digests: Vec<Vec<u64>>,
+    /// `Ok` on a clean run; the first substrate error otherwise.
+    pub result: SimResult<()>,
+}
+
+impl SmrOutcome {
+    /// Commit-latency quantile in virtual nanoseconds.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        self.latency.quantile(q)
+    }
+
+    /// Digest of the whole committed log (`0` when nothing committed).
+    pub fn committed_digest(&self) -> u64 {
+        self.committed_digests.last().copied().unwrap_or(0)
+    }
+
+    /// Quorum safety: every node's applied sequence must agree with the
+    /// committed log on their common prefix (and hence with every other
+    /// node's). Violations would mean divergent state machines.
+    pub fn check_safety(&self) -> Result<(), String> {
+        for (n, digests) in self.node_digests.iter().enumerate() {
+            for (i, (d, c)) in digests.iter().zip(&self.committed_digests).enumerate() {
+                if d != c {
+                    return Err(format!(
+                        "node {n} diverges from the committed log at index {}",
+                        i + 1
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Consensus bookkeeping for one uncommitted entry.
+struct Entry {
+    /// Original propose time — survives view changes so election delay
+    /// is charged to the commit latency.
+    propose_at: SimTime,
+    propose_ev: EventId,
+    leader_done: Option<SimTime>,
+    /// Follower → ack arrival time at the current leader.
+    acks: BTreeMap<u32, SimTime>,
+    /// Follower → replicate event (causal parent of its ack).
+    replicate_ev: BTreeMap<u32, EventId>,
+}
+
+fn push_cmd(inbox: &Inbox, cmd: Cmd) {
+    inbox.lock().unwrap().push_back(cmd);
+}
+
+fn global_now(cluster: &mut Cluster, live: &[NodeId]) -> SimTime {
+    let mut t = SimTime::ZERO;
+    for &n in live {
+        t = t.max(cluster.sim(n).node().now);
+    }
+    t
+}
+
+/// Runs one SMR configuration to completion and reports the outcome.
+///
+/// # Panics
+///
+/// Panics if the quorum size is even or below 3.
+pub fn run(cfg: &SmrConfig) -> SmrOutcome {
+    assert!(
+        cfg.nodes >= 3 && cfg.nodes % 2 == 1,
+        "quorum must be odd and at least 3"
+    );
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: cfg.nodes,
+        cores: 2,
+        heap_per_node: cfg.heap_per_node,
+        ..ClusterConfig::default()
+    });
+    if let Some(plan) = &cfg.faults {
+        cluster.install_faults(plan.clone());
+    }
+    let mut exec = if cfg.shards == 0 {
+        ShardExecutor::new()
+    } else {
+        ShardExecutor::with_shards(cfg.shards)
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut inboxes = Vec::with_capacity(cfg.nodes);
+    let mut outboxes = Vec::with_capacity(cfg.nodes);
+    let mut replica_stats = Vec::with_capacity(cfg.nodes);
+    for n in 0..cfg.nodes {
+        let id = NodeId(n as u32);
+        let space = cluster
+            .sim(id)
+            .node_mut()
+            .heap
+            .create_space(format!("smr.state{n}"));
+        let (work, inbox, outbox, stats) = ReplicaWork::new(id, space, cfg, stop.clone());
+        cluster.sim(id).spawn(Box::new(work));
+        inboxes.push(inbox);
+        outboxes.push(outbox);
+        replica_stats.push(stats);
+    }
+
+    let majority = cfg.majority();
+    let mut guards: Vec<StateGuard> = (0..cfg.nodes)
+        .map(|_| StateGuard::new(cfg.monitor))
+        .collect();
+    let mut view = 0u64;
+    let mut leader = NodeId(0);
+    let mut next_propose = 1u64;
+    let mut committed = 0u64;
+    let mut last_commit_at = SimTime::ZERO;
+    let mut inflight: BTreeMap<u64, Entry> = BTreeMap::new();
+    let mut last_hb = vec![SimTime::ZERO; cfg.nodes];
+    let mut next_hb_due = SimTime::ZERO;
+    let mut pause_marks = vec![SimDuration::ZERO; cfg.nodes];
+    let mut gc_stall = SimDuration::ZERO;
+    let mut latency = QuantileSketch::new(QuantileSketch::DEFAULT_K);
+    let mut view_changes = 0u64;
+    let mut committed_digests: Vec<u64> = Vec::new();
+    let mut node_digests: Vec<Vec<u64>> = vec![Vec::new(); cfg.nodes];
+    let mut result: SimResult<()> = Ok(());
+    // Generous livelock backstop: a healthy run takes a handful of
+    // rounds per committed entry plus election detours.
+    let round_budget = 200_000 + cfg.entries.saturating_mul(5_000);
+    let mut rounds = 0u64;
+
+    'main: while committed < cfg.entries {
+        rounds += 1;
+        if rounds > round_budget {
+            result = Err(SimError::Internal(
+                "smr livelock: round budget exhausted".into(),
+            ));
+            break;
+        }
+        let live = cluster.live_nodes();
+        if live.len() < majority {
+            result = Err(SimError::Internal(format!(
+                "quorum lost: {} of {} nodes live",
+                live.len(),
+                cfg.nodes
+            )));
+            break;
+        }
+        let now = global_now(&mut cluster, &live);
+
+        // 1. Leader fills its proposal window.
+        if !cluster.sim(leader).is_crashed() {
+            while inflight.len() < cfg.window && next_propose <= cfg.entries {
+                let index = next_propose;
+                next_propose += 1;
+                let ev = tracer::emit(
+                    Some(leader),
+                    None,
+                    now,
+                    SimDuration::ZERO,
+                    TraceData::Propose { index, view },
+                );
+                let mut entry = Entry {
+                    propose_at: now,
+                    propose_ev: ev,
+                    leader_done: None,
+                    acks: BTreeMap::new(),
+                    replicate_ev: BTreeMap::new(),
+                };
+                push_cmd(
+                    &inboxes[leader.as_usize()],
+                    Cmd::Apply {
+                        index,
+                        ready_at: now,
+                    },
+                );
+                for &f in &live {
+                    if f == leader {
+                        continue;
+                    }
+                    let wire = match cluster.fabric().transfer_at(
+                        leader,
+                        f,
+                        rpc::append_entries(cfg.payload),
+                        now,
+                    ) {
+                        Ok(w) => w,
+                        Err(e) => {
+                            result = Err(e);
+                            break 'main;
+                        }
+                    };
+                    let rev = tracer::emit(
+                        Some(leader),
+                        None,
+                        now,
+                        wire,
+                        TraceData::Replicate {
+                            index,
+                            to: f.0,
+                            cause: ev,
+                        },
+                    );
+                    entry.replicate_ev.insert(f.0, rev);
+                    push_cmd(
+                        &inboxes[f.as_usize()],
+                        Cmd::Apply {
+                            index,
+                            ready_at: now + wire,
+                        },
+                    );
+                }
+                inflight.insert(index, entry);
+            }
+        }
+
+        // 2. One lockstep round over the live replicas.
+        let round = exec.run_round(&mut cluster, &live, true);
+        if let Some((node, report)) = round.first_failure() {
+            result = Err(report
+                .failed
+                .first()
+                .map(|(_, e)| e.clone())
+                .unwrap_or(SimError::NodeLost { node }));
+            break;
+        }
+
+        // 3. GC attribution and deflation policy, in node order.
+        for &n in &live {
+            let records = cluster.sim(n).node_mut().drain_gc_records();
+            let ni = n.as_usize();
+            {
+                let heap = &cluster.sim(n).node().heap;
+                gc_stall += heap.pause_since(pause_marks[ni]);
+                pause_marks[ni] = heap.pause_mark();
+            }
+            if cfg.mode == RuntimeMode::Regular {
+                continue;
+            }
+            let ask = {
+                let heap = &cluster.sim(n).node().heap;
+                guards[ni].poll(&records, heap)
+            };
+            if let Some(ask) = ask {
+                if ask >= cfg.deflate_chunk {
+                    push_cmd(&inboxes[ni], Cmd::Deflate { target: ask });
+                }
+            }
+            if cfg.mode == RuntimeMode::ItaskElect && n == leader {
+                // Election awareness: never let the next full collection
+                // outlast half the election timeout.
+                let budget = cfg.election_timeout / 2;
+                let node = cluster.sim(n).node();
+                if predicted_full_pause(&node.heap, &node.cost) > budget {
+                    let target = live_budget_for_pause(&node.heap, &node.cost, budget * 3 / 4);
+                    let ask = node.heap.live().saturating_sub(target);
+                    if !ask.is_zero() {
+                        push_cmd(&inboxes[ni], Cmd::Deflate { target: ask });
+                    }
+                }
+            }
+        }
+
+        // 4. Scheduled crashes fire on the nodes' own clocks. Crashed
+        //    replicas stay down: SMR availability comes from the quorum,
+        //    not from node recovery.
+        for &n in &live {
+            let _orphans = cluster.poll_crash(n);
+        }
+
+        // 5. Drain acks in node order, pricing the ack RPC to the leader.
+        for &n in &live {
+            if cluster.sim(n).is_crashed() {
+                outboxes[n.as_usize()].lock().unwrap().clear();
+                continue;
+            }
+            let drained: Vec<Ack> = outboxes[n.as_usize()].lock().unwrap().drain(..).collect();
+            for ack in drained {
+                let ni = n.as_usize();
+                if ack.index as usize == node_digests[ni].len() + 1 {
+                    node_digests[ni].push(ack.digest);
+                }
+                let Some(entry) = inflight.get_mut(&ack.index) else {
+                    continue; // already committed (re-replication dupe)
+                };
+                if n == leader {
+                    entry.leader_done.get_or_insert(ack.done_at);
+                } else {
+                    let wire =
+                        match cluster
+                            .fabric()
+                            .transfer_at(n, leader, rpc::ack(), ack.done_at)
+                        {
+                            Ok(w) => w,
+                            Err(e) => {
+                                result = Err(e);
+                                break 'main;
+                            }
+                        };
+                    let cause = entry
+                        .replicate_ev
+                        .get(&n.0)
+                        .copied()
+                        .unwrap_or(EventId::NONE);
+                    tracer::emit(
+                        Some(n),
+                        None,
+                        ack.done_at,
+                        wire,
+                        TraceData::SmrAck {
+                            index: ack.index,
+                            cause,
+                        },
+                    );
+                    entry.acks.entry(n.0).or_insert(ack.done_at + wire);
+                }
+            }
+        }
+
+        // 6. Commit in log order once the quorum is in.
+        while committed < cfg.entries {
+            let index = committed + 1;
+            let Some(entry) = inflight.get(&index) else {
+                break;
+            };
+            let Some(leader_done) = entry.leader_done else {
+                break;
+            };
+            if entry.acks.len() + 1 < majority {
+                break;
+            }
+            let mut arrivals: Vec<SimTime> = entry.acks.values().copied().collect();
+            arrivals.sort_unstable();
+            let quorum_at = arrivals[majority - 2];
+            let commit_at = leader_done.max(quorum_at).max(last_commit_at);
+            last_commit_at = commit_at;
+            let lat = commit_at.since(entry.propose_at);
+            latency.insert(lat.as_nanos());
+            tracer::emit(
+                Some(leader),
+                None,
+                commit_at,
+                SimDuration::ZERO,
+                TraceData::Commit {
+                    index,
+                    latency_ns: lat.as_nanos(),
+                    cause: entry.propose_ev,
+                },
+            );
+            committed_digests.push(
+                node_digests[leader.as_usize()]
+                    .get(index as usize - 1)
+                    .copied()
+                    .unwrap_or(0),
+            );
+            inflight.remove(&index);
+            committed = index;
+        }
+
+        // 7. Advance every live clock to the common frontier (a paused
+        //    node drags the frontier with it — stop-the-world shows up
+        //    as group time).
+        let frontier = global_now(&mut cluster, &live);
+        cluster.advance_clocks_to(frontier);
+        let now = frontier;
+
+        // 8. Election check *before* this round's heartbeats: a
+        //    follower times out when the gap since the last heartbeat
+        //    arrival exceeds the election timeout — whether the leader
+        //    crashed or just stalled through a long collection.
+        let leader_crashed = cluster.sim(leader).is_crashed();
+        let mut timed_out = false;
+        for &f in &live {
+            if f == leader || cluster.sim(f).is_crashed() {
+                continue;
+            }
+            if now.since(last_hb[f.as_usize()]) > cfg.election_timeout {
+                timed_out = true;
+            }
+        }
+        if timed_out {
+            view_changes += 1;
+            loop {
+                view += 1;
+                let cand = NodeId((view % cfg.nodes as u64) as u32);
+                if !cluster.sim(cand).is_crashed() {
+                    leader = cand;
+                    break;
+                }
+            }
+            let uncommitted = inflight.len() as u64;
+            let vc_ev = tracer::emit(
+                Some(leader),
+                None,
+                now,
+                cfg.election_overhead,
+                TraceData::ViewChange {
+                    view,
+                    leader: leader.0,
+                    cause: EventId::NONE,
+                },
+            );
+            let mut done_at = now + cfg.election_overhead;
+            for &f in &live {
+                if f == leader || cluster.sim(f).is_crashed() {
+                    continue;
+                }
+                match cluster
+                    .fabric()
+                    .transfer_at(leader, f, rpc::view_change(uncommitted), now)
+                {
+                    Ok(w) => done_at = done_at.max(now + w),
+                    Err(e) => {
+                        result = Err(e);
+                        break 'main;
+                    }
+                }
+            }
+            // The new leader re-replicates every uncommitted entry;
+            // replicas that already applied one re-ack without
+            // re-executing. Original propose times are kept.
+            for (&index, entry) in inflight.iter_mut() {
+                entry.leader_done = None;
+                entry.acks.clear();
+                entry.replicate_ev.clear();
+                push_cmd(
+                    &inboxes[leader.as_usize()],
+                    Cmd::Apply {
+                        index,
+                        ready_at: done_at,
+                    },
+                );
+                for &f in &live {
+                    if f == leader || cluster.sim(f).is_crashed() {
+                        continue;
+                    }
+                    let wire = match cluster.fabric().transfer_at(
+                        leader,
+                        f,
+                        rpc::append_entries(cfg.payload),
+                        done_at,
+                    ) {
+                        Ok(w) => w,
+                        Err(e) => {
+                            result = Err(e);
+                            break 'main;
+                        }
+                    };
+                    let rev = tracer::emit(
+                        Some(leader),
+                        None,
+                        done_at,
+                        wire,
+                        TraceData::Replicate {
+                            index,
+                            to: f.0,
+                            cause: vc_ev,
+                        },
+                    );
+                    entry.replicate_ev.insert(f.0, rev);
+                    push_cmd(
+                        &inboxes[f.as_usize()],
+                        Cmd::Apply {
+                            index,
+                            ready_at: done_at + wire,
+                        },
+                    );
+                }
+            }
+            cluster.advance_clocks_to(done_at);
+            for &f in &live {
+                last_hb[f.as_usize()] = done_at;
+            }
+            next_hb_due = done_at + cfg.heartbeat_every;
+        } else if !leader_crashed && now >= next_hb_due {
+            // 9. Heartbeats.
+            for &f in &live {
+                if f == leader || cluster.sim(f).is_crashed() {
+                    continue;
+                }
+                match cluster
+                    .fabric()
+                    .transfer_at(leader, f, rpc::heartbeat(), now)
+                {
+                    Ok(w) => last_hb[f.as_usize()] = now + w,
+                    Err(e) => {
+                        result = Err(e);
+                        break 'main;
+                    }
+                }
+            }
+            next_hb_due = now + cfg.heartbeat_every;
+        }
+    }
+
+    // Wind down: replicas retire at their next step; late acks only
+    // feed the per-node digest chains.
+    stop.store(true, Ordering::Relaxed);
+    for _ in 0..16 {
+        let live = cluster.live_nodes();
+        let busy = live.iter().any(|&n| cluster.sim(n).live_count() > 0);
+        if !busy {
+            break;
+        }
+        exec.run_round(&mut cluster, &live, false);
+    }
+    for (n, outbox) in outboxes.iter().enumerate() {
+        let drained: Vec<Ack> = outbox.lock().unwrap().drain(..).collect();
+        for ack in drained {
+            if ack.index as usize == node_digests[n].len() + 1 {
+                node_digests[n].push(ack.digest);
+            }
+        }
+    }
+
+    let mut full_gcs = 0u64;
+    let mut minor_gcs = 0u64;
+    let mut lugcs = 0u64;
+    let mut peak_heap_pct = 0u64;
+    for (n, &mark) in pause_marks.iter().enumerate() {
+        let node = cluster.sim(NodeId(n as u32)).node();
+        gc_stall += node.heap.pause_since(mark);
+        let stats = node.heap.stats();
+        full_gcs += stats.full_count;
+        minor_gcs += stats.minor_count;
+        lugcs += stats.useless_count;
+        peak_heap_pct = peak_heap_pct
+            .max(node.heap.peak_used().as_u64() * 100 / node.heap.capacity().as_u64().max(1));
+    }
+    let mut deflations = 0u64;
+    let mut deflated = ByteSize::ZERO;
+    for stats in &replica_stats {
+        let s = *stats.lock().unwrap();
+        deflations += s.deflations;
+        deflated += s.deflated;
+    }
+
+    SmrOutcome {
+        mode: cfg.mode,
+        nodes: cfg.nodes,
+        commits: committed,
+        latency,
+        view_changes,
+        final_view: view,
+        gc_stall,
+        elapsed: cluster.elapsed(),
+        full_gcs,
+        minor_gcs,
+        lugcs,
+        deflations,
+        deflated,
+        peak_heap_pct,
+        committed_digests,
+        node_digests,
+        result,
+    }
+}

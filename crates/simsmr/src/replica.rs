@@ -1,0 +1,259 @@
+//! The per-node replica: one long-lived [`Work`] per cluster node that
+//! applies replicated log entries into a heap-backed aggregation state
+//! and acknowledges them back to the driver.
+//!
+//! The replica is deliberately *dumb*: consensus bookkeeping (views,
+//! quorums, commits) lives in the driver ([`crate::engine`]); the work
+//! only models where the memory goes. Applying an entry charges
+//! deserialize/apply CPU, allocates transient parse garbage (dropped
+//! immediately — it dies young and sets the minor-GC cadence) and grows
+//! the live aggregation state by the entry's in-heap expansion. GC
+//! pauses triggered by those allocations advance the node clock
+//! stop-the-world, which is exactly how a collection stalls the
+//! append → ack → commit path.
+//!
+//! Under the ITask runtimes the driver also enqueues
+//! [`Cmd::Deflate`] commands; the replica then serializes a slice of
+//! its state ([`itask_core::Deflatable`]), writes it behind
+//! (async disk, like the paper's background serialization threads) and
+//! frees the heap bytes.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use itask_core::Deflatable;
+use simcluster::{StepOutcome, Work, WorkCx};
+use simcore::rng::stable_hash64;
+use simcore::{ByteSize, NodeId, SimResult, SimTime, SpaceId};
+use simmem::Heap;
+
+use crate::config::SmrConfig;
+
+/// Deterministic digest of the payload proposed at `index` (the log's
+/// contents are synthetic; only identity matters for safety checks).
+pub fn payload_digest(seed: u64, index: u64) -> u64 {
+    stable_hash64(seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A driver → replica command.
+#[derive(Clone, Copy, Debug)]
+pub enum Cmd {
+    /// Apply the entry at `index` once the node clock reaches
+    /// `ready_at` (the append-entries RPC's arrival time).
+    Apply {
+        /// 1-based log index.
+        index: u64,
+        /// Virtual arrival time of the RPC.
+        ready_at: SimTime,
+    },
+    /// Deflate up to `target` live bytes of aggregation state.
+    Deflate {
+        /// Bytes the IRS asked to release.
+        target: ByteSize,
+    },
+}
+
+/// A replica → driver acknowledgement: entry `index` is applied.
+#[derive(Clone, Copy, Debug)]
+pub struct Ack {
+    /// 1-based log index.
+    pub index: u64,
+    /// Node-clock time the apply finished (the ack's send time).
+    pub done_at: SimTime,
+    /// Running digest of the node's applied sequence through `index`.
+    pub digest: u64,
+}
+
+/// Driver-side handle to a replica's command queue.
+pub type Inbox = Arc<Mutex<VecDeque<Cmd>>>;
+/// Driver-side handle to a replica's outgoing acks.
+pub type Outbox = Arc<Mutex<Vec<Ack>>>;
+
+/// Engine-readable replica counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicaStats {
+    /// Entries applied (first time).
+    pub applied: u64,
+    /// Re-replicated duplicates acknowledged without re-execution.
+    pub dupes: u64,
+    /// Deflation rounds performed.
+    pub deflations: u64,
+    /// Live bytes released by deflation.
+    pub deflated: ByteSize,
+}
+
+/// The heap-backed aggregation state one replica accumulates.
+struct AppliedState {
+    space: SpaceId,
+    live: ByteSize,
+    last_applied: u64,
+    /// `digests[i]` is the running digest through index `i + 1`.
+    digests: Vec<u64>,
+}
+
+impl Deflatable for AppliedState {
+    fn live_bytes(&self) -> ByteSize {
+        self.live
+    }
+
+    fn deflate(&mut self, heap: &mut Heap, target: ByteSize) -> ByteSize {
+        let freed = heap.free(self.space, target.min(self.live));
+        self.live = self.live.saturating_sub(freed);
+        freed
+    }
+}
+
+/// One replica's simulated thread body.
+pub struct ReplicaWork {
+    node: NodeId,
+    inbox: Inbox,
+    outbox: Outbox,
+    stop: Arc<AtomicBool>,
+    stats: Arc<Mutex<ReplicaStats>>,
+    state: AppliedState,
+    payload: ByteSize,
+    expansion: u64,
+    churn: u64,
+    seed: u64,
+}
+
+impl ReplicaWork {
+    /// Builds a replica for `node` applying into `space`, returning the
+    /// work plus the driver-side handles to its queues and counters.
+    pub fn new(
+        node: NodeId,
+        space: SpaceId,
+        cfg: &SmrConfig,
+        stop: Arc<AtomicBool>,
+    ) -> (Self, Inbox, Outbox, Arc<Mutex<ReplicaStats>>) {
+        let inbox: Inbox = Arc::new(Mutex::new(VecDeque::new()));
+        let outbox: Outbox = Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(Mutex::new(ReplicaStats::default()));
+        let work = ReplicaWork {
+            node,
+            inbox: inbox.clone(),
+            outbox: outbox.clone(),
+            stop,
+            stats: stats.clone(),
+            state: AppliedState {
+                space,
+                live: ByteSize::ZERO,
+                last_applied: 0,
+                digests: Vec::new(),
+            },
+            payload: cfg.payload,
+            expansion: cfg.expansion,
+            churn: cfg.churn,
+            seed: cfg.seed,
+        };
+        (work, inbox, outbox, stats)
+    }
+
+    fn ack(&mut self, index: u64, done_at: SimTime) {
+        let digest = self.state.digests[index as usize - 1];
+        self.outbox.lock().unwrap().push(Ack {
+            index,
+            done_at,
+            digest,
+        });
+    }
+
+    fn apply(&mut self, cx: &mut WorkCx<'_>, index: u64) -> SimResult<()> {
+        let cost = cx.cost();
+        if index <= self.state.last_applied {
+            // Re-replication after a view change: the entry is already
+            // in the state; acknowledge without re-executing.
+            cx.charge(cost.tuple_cost(ByteSize::ZERO));
+            self.stats.lock().unwrap().dupes += 1;
+            self.ack(index, cx.now());
+            return Ok(());
+        }
+        debug_assert_eq!(
+            index,
+            self.state.last_applied + 1,
+            "log entries arrive in order"
+        );
+        cx.charge(cost.tuple_cost(self.payload));
+        let churn = self.payload * self.churn;
+        if !churn.is_zero() {
+            cx.alloc(self.state.space, churn)?;
+            cx.free(self.state.space, churn);
+        }
+        let grow = self.payload * self.expansion;
+        cx.alloc(self.state.space, grow)?;
+        self.state.live += grow;
+        self.state.last_applied = index;
+        let prev = self.state.digests.last().copied().unwrap_or(self.seed);
+        self.state
+            .digests
+            .push(stable_hash64(prev ^ payload_digest(self.seed, index)));
+        self.stats.lock().unwrap().applied += 1;
+        self.ack(index, cx.now());
+        Ok(())
+    }
+
+    fn run_deflate(&mut self, cx: &mut WorkCx<'_>, target: ByteSize) {
+        let freed = self.state.deflate(&mut cx.node().heap, target);
+        if freed.is_zero() {
+            return;
+        }
+        let cost = cx.cost();
+        cx.charge(cost.serialize_cpu(freed));
+        // The serialized form sheds the in-heap expansion; write it
+        // behind like the paper's background serialization threads.
+        let serialized = freed.mul_ratio(1, self.expansion.max(1));
+        let label = format!("smr.deflate.n{}", self.node.as_usize());
+        let _ = cx.node().disk_write_async(label, serialized);
+        let mut stats = self.stats.lock().unwrap();
+        stats.deflations += 1;
+        stats.deflated += freed;
+    }
+}
+
+impl Work for ReplicaWork {
+    fn step(&mut self, cx: &mut WorkCx<'_>) -> StepOutcome {
+        if self.stop.load(Ordering::Relaxed) {
+            return StepOutcome::Finished;
+        }
+        let mut did = false;
+        loop {
+            if cx.out_of_quantum() {
+                return StepOutcome::Ran;
+            }
+            let next = self.inbox.lock().unwrap().front().copied();
+            let Some(cmd) = next else {
+                return if did {
+                    StepOutcome::Ran
+                } else {
+                    StepOutcome::Waiting
+                };
+            };
+            match cmd {
+                Cmd::Apply { index, ready_at } => {
+                    if cx.now() < ready_at {
+                        // The RPC is still on the wire.
+                        return if did {
+                            StepOutcome::Ran
+                        } else {
+                            StepOutcome::Waiting
+                        };
+                    }
+                    self.inbox.lock().unwrap().pop_front();
+                    if let Err(e) = self.apply(cx, index) {
+                        return StepOutcome::Failed(e);
+                    }
+                }
+                Cmd::Deflate { target } => {
+                    self.inbox.lock().unwrap().pop_front();
+                    self.run_deflate(cx, target);
+                }
+            }
+            did = true;
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("smr[n{}]", self.node.as_usize())
+    }
+}
