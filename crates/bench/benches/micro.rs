@@ -233,6 +233,56 @@ fn bench_service(c: &mut Criterion) {
         );
     }
 
+    // Pop latency against a standing population: the sub-linear-growth
+    // claim of the indexed admission plane. Setup enqueues n tenants
+    // once (outside b.iter); each iteration is one steady-state
+    // pop → credit → requeue cycle against the full population, so a
+    // per-decision cost that scales with n (the old linear scan) shows
+    // up as 10^4x growth from 1e2 to 1e6 instead of log-factor growth.
+    for n in [100u32, 10_000, 1_000_000] {
+        c.bench_function(&format!("service/admission_pop_wfair_{n}t"), |b| {
+            use simserve::WeightRule;
+            let cfg = AdmissionConfig {
+                policy: PolicyKind::WeightedFair,
+                max_active: usize::MAX,
+                ..AdmissionConfig::default()
+            };
+            let rule = WeightRule {
+                premium_every: 10,
+                premium_weight: 8,
+            };
+            let mut ctl = AdmissionController::with_weight_rule(cfg, rule);
+            for i in 0..n {
+                let at = SimTime::from_nanos(i as u64);
+                ctl.enqueue_arrival(
+                    &Arrival {
+                        at,
+                        tenant: i,
+                        seq: 0,
+                        kind: simserve::JobKind::DegreeCount,
+                        dataset_seed: i as u64,
+                        deadline: None,
+                    },
+                    at,
+                );
+            }
+            let view = ClusterView {
+                active: 0,
+                min_free_ratio: 0.8,
+                any_reduce_signal: false,
+                now: SimTime::from_nanos(n as u64),
+            };
+            let mut served = 0u64;
+            b.iter(|| {
+                let job = ctl.next(view).expect("population never drains");
+                served += 1_000;
+                ctl.credit_served(job.tenant, served);
+                ctl.requeue(job, view.now);
+            });
+            black_box(ctl.queued());
+        });
+    }
+
     // Sketch ingestion + quantile walk at service scale.
     c.bench_function("service/sketch_insert_4k_quantiles", |b| {
         b.iter(|| {

@@ -22,15 +22,22 @@
 //! retention, failure rate, and drain overrun — and report `plateau`
 //! only when all three hold at every load level.
 //!
-//! Usage: `overload [--jobs N] [--quick]`. Output is deterministic:
-//! every cell derives from one seeded virtual-time run, assembled in
-//! spec order regardless of `--jobs`.
+//! Usage: `overload [--jobs N] [--quick] [--scale]`. Output is
+//! deterministic: every cell derives from one seeded virtual-time run,
+//! assembled in spec order regardless of `--jobs`.
+//!
+//! `--scale` re-runs the same ramp with the offered load spread over a
+//! lazily synthesized 10^5-tenant population (10^4 with `--quick`)
+//! through two admission shards — same aggregate jobs/s, same
+//! saturation verdicts, but the per-tenant rate is now microscopic and
+//! the admission plane must stay O(log n) per decision to keep up.
 
 use itask_bench::sweep::{self, SweepLog};
 use itask_bench::{cols, print_table};
 use simcore::SimDuration;
 use simserve::{
-    EngineKind, OverloadConfig, PolicyKind, RetryPolicy, Service, ServiceConfig, ServiceReport,
+    EngineKind, OverloadConfig, PolicyKind, RetryPolicy, ScaleSpec, Service, ServiceConfig,
+    ServiceReport, TenantModel,
 };
 
 const SEED: u64 = 42;
@@ -67,6 +74,46 @@ impl Config {
             Config::ItaskCtl => "itask+ctl",
         }
     }
+}
+
+/// The scale ramp: identical aggregate offered load, but spread across
+/// a synthesized `population` via the lazy arrival stream and gated by
+/// two admission shards. `max_active` is halved because the cap is per
+/// shard (2 x 2 = the classic global 4); likewise the brownout cap.
+fn run_config_scale(config: Config, population: u32, load: u64) -> ServiceReport {
+    let engine = match config {
+        Config::Regular => EngineKind::Regular,
+        _ => EngineKind::Itask,
+    };
+    let mut cfg = ServiceConfig::standard(engine, 0, SEED);
+    cfg.horizon = HORIZON;
+    cfg.admission.max_active = 2; // per shard
+    let mut model = TenantModel::uniform(
+        population,
+        SimDuration::from_nanos(1_000_000_000 / (BASE_OFFERED_PER_SEC * load)),
+    );
+    if config == Config::ItaskCtl {
+        model.deadline = Some(DEADLINE);
+        cfg.admission.policy = PolicyKind::MemoryAware;
+        cfg.admission.min_free_ratio = 0.2;
+        cfg.admission.queue_cap = Some(QUEUE_CAP);
+        cfg.retry = RetryPolicy::budgeted();
+        cfg.overload = OverloadConfig {
+            breaker: Some(simserve::BreakerConfig {
+                trip_score: 12,
+                ..Default::default()
+            }),
+            brownout: Some(simserve::BrownoutConfig {
+                max_active: 1, // per shard
+                ..Default::default()
+            }),
+        };
+    }
+    cfg.scale = Some(ScaleSpec {
+        model,
+        admission_shards: 2,
+    });
+    Service::new(cfg).run()
 }
 
 fn run_config(config: Config, tenants: u32, load: u64) -> ServiceReport {
@@ -128,23 +175,27 @@ fn main() {
     sweep::take_shards_flag(&mut args);
     sweep::take_profile_flag(&mut args);
     let trace = sweep::take_trace_flag(&mut args);
+    let scale = args.iter().any(|a| a == "--scale");
     let quick = args.iter().any(|a| a == "--quick");
-    let mut log = SweepLog::new("overload", jobs);
+    let mut log = SweepLog::new(if scale { "overload-scale" } else { "overload" }, jobs);
     log.set_trace(trace);
 
-    let (tenants, loads): (u32, &[u64]) = if quick {
-        (4, &[1, 2, 4])
-    } else {
-        (6, &[1, 2, 4, 8])
+    let (tenants, loads): (u32, &[u64]) = match (scale, quick) {
+        (false, true) => (4, &[1, 2, 4]),
+        (false, false) => (6, &[1, 2, 4, 8]),
+        (true, true) => (10_000, &[1, 2, 4]),
+        (true, false) => (100_000, &[1, 2, 4, 8]),
     };
 
     let mut specs = Vec::new();
     for &load in loads {
         for config in Config::ALL {
-            specs.push(sweep::spec(
-                format!("overload x{load} {}", config.label()),
-                move || run_config(config, tenants, load),
-            ));
+            let name = format!("overload x{load} {}", config.label());
+            specs.push(if scale {
+                sweep::spec(name, move || run_config_scale(config, tenants, load))
+            } else {
+                sweep::spec(name, move || run_config(config, tenants, load))
+            });
         }
     }
     let out = sweep::run_all(jobs, specs);

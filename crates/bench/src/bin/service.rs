@@ -9,13 +9,24 @@
 //! admission policies, showing memory-aware admission trading queue
 //! wait for OME avoidance on the engine that cannot protect itself.
 //!
-//! Usage: `service [--jobs N] [--quick]`. Output is deterministic:
-//! every cell derives from one seeded virtual-time run, assembled in
-//! spec order regardless of `--jobs`.
+//! Usage: `service [--jobs N] [--quick] [--scale]`. Output is
+//! deterministic: every cell derives from one seeded virtual-time run,
+//! assembled in spec order regardless of `--jobs`.
+//!
+//! `--scale` swaps both tables for the million-tenant mode: a lazily
+//! synthesized population (10^5 tenants, 10^4 with `--quick`) drives
+//! sharded admission (4 shards, indexed O(log n) queues, per-shard
+//! memory gating, bounded-memory shard sketches). Table 1 sweeps load
+//! shapes (steady / diurnal / bursty) under weighted-fair admission;
+//! table 2 holds the shape steady and sweeps admission policies.
 
 use itask_bench::sweep::{self, SweepLog};
 use itask_bench::{cols, print_table};
-use simserve::{EngineKind, PolicyKind, Service, ServiceConfig, ServiceReport};
+use simcore::SimDuration;
+use simserve::{
+    EngineKind, LoadShape, PolicyKind, RetryPolicy, ScaleSpec, Service, ServiceConfig,
+    ServiceReport, TenantModel, WeightRule,
+};
 
 const SEED: u64 = 42;
 
@@ -129,21 +140,172 @@ fn policy_sweep(jobs: usize, log: &mut SweepLog, tenants: u32) {
     );
 }
 
+/// The million-tenant service configuration: ITask engine, weighted
+/// shares from a procedural rule (every 10th tenant is premium), tight
+/// submit deadlines, bounded per-tenant queues, and budgeted retries —
+/// an overloaded shed-heavy regime where the admission plane itself is
+/// the system under test.
+fn run_scale(
+    policy: PolicyKind,
+    shape: LoadShape,
+    population: u32,
+    mean_gap: SimDuration,
+) -> ServiceReport {
+    let mut cfg = ServiceConfig::standard(EngineKind::Itask, 0, SEED);
+    cfg.admission.policy = policy;
+    cfg.admission.max_active = 2; // per shard
+    cfg.admission.queue_cap = Some(2);
+    cfg.retry = RetryPolicy::budgeted();
+    let mut model = TenantModel::uniform(population, mean_gap);
+    model.shape = shape;
+    model.deadline = Some(SimDuration::from_millis(4));
+    model.weights = WeightRule {
+        premium_every: 10,
+        premium_weight: 8,
+    };
+    cfg.scale = Some(ScaleSpec {
+        model,
+        admission_shards: 4,
+    });
+    Service::new(cfg).run()
+}
+
+/// Stable cells for the scale tables:
+/// `[done/submitted, shed, peak queued, p50, p99, qwait p95]`.
+fn scale_cells(r: &ServiceReport) -> Vec<String> {
+    let c = r.summary_cells();
+    vec![
+        c[0].clone(),
+        r.total_shed().to_string(),
+        r.peak_queued.to_string(),
+        c[4].clone(),
+        c[6].clone(),
+        c[7].clone(),
+    ]
+}
+
+const SCALE_COLS: [&str; 7] = [
+    "", // row label, set per table
+    "done",
+    "shed",
+    "peak q",
+    "p50",
+    "p99",
+    "qwait p95",
+];
+
+/// Scale table 1: load shapes under weighted-fair admission.
+fn scale_shape_sweep(
+    jobs: usize,
+    log: &mut SweepLog,
+    population: u32,
+    mean_gap: SimDuration,
+    shapes: &[LoadShape],
+) {
+    let specs = shapes
+        .iter()
+        .map(|&s| {
+            sweep::spec(format!("scale shape {}", s.label()), move || {
+                run_scale(PolicyKind::WeightedFair, s, population, mean_gap)
+            })
+        })
+        .collect();
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let rows: Vec<Vec<String>> = out
+        .into_iter()
+        .zip(shapes)
+        .map(|(o, s)| {
+            let mut row = vec![s.label().to_string()];
+            row.extend(scale_cells(&o.result));
+            row
+        })
+        .collect();
+    let mut headers = SCALE_COLS;
+    headers[0] = "shape";
+    print_table(
+        &format!("Scale service: load shapes at {population} tenants (wfair, 4 admission shards)"),
+        &cols(&headers),
+        &rows,
+    );
+}
+
+/// Scale table 2: admission policies at steady load.
+fn scale_policy_sweep(jobs: usize, log: &mut SweepLog, population: u32, mean_gap: SimDuration) {
+    let policies = [
+        PolicyKind::Fifo,
+        PolicyKind::WeightedFair,
+        PolicyKind::MemoryAware,
+    ];
+    let specs = policies
+        .iter()
+        .map(|&p| {
+            sweep::spec(format!("scale policy {}", p.label()), move || {
+                run_scale(p, LoadShape::Steady, population, mean_gap)
+            })
+        })
+        .collect();
+    let out = sweep::run_all(jobs, specs);
+    log.absorb(&out);
+    let rows: Vec<Vec<String>> = out
+        .into_iter()
+        .zip(policies)
+        .map(|(o, p)| {
+            let mut row = vec![p.label().to_string()];
+            row.extend(scale_cells(&o.result));
+            row
+        })
+        .collect();
+    let mut headers = SCALE_COLS;
+    headers[0] = "policy";
+    print_table(
+        &format!("Scale service: admission policies at {population} tenants (steady load)"),
+        &cols(&headers),
+        &rows,
+    );
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = sweep::take_jobs_flag(&mut args);
     sweep::take_shards_flag(&mut args);
     sweep::take_profile_flag(&mut args);
     let trace = sweep::take_trace_flag(&mut args);
+    let scale = args.iter().any(|a| a == "--scale");
     let quick = args.iter().any(|a| a == "--quick");
-    let mut log = SweepLog::new("service", jobs);
+    let mut log = SweepLog::new(if scale { "service-scale" } else { "service" }, jobs);
     log.set_trace(trace);
-    let counts: &[u32] = if quick {
-        &[1, 2, 3]
+    if scale {
+        // Quick keeps the population and offered load CI-sized; full
+        // mode is the 10^5-tenant, ~500k jobs/s regime of
+        // bench_results/BENCH_scale.txt.
+        let (population, mean_gap) = if quick {
+            (10_000, SimDuration::from_micros(40))
+        } else {
+            (100_000, SimDuration::from_micros(2))
+        };
+        let shapes = [
+            LoadShape::Steady,
+            LoadShape::Diurnal {
+                period: SimDuration::from_millis(10),
+                amplitude_pm: 600,
+            },
+            LoadShape::Bursty {
+                period: SimDuration::from_millis(8),
+                burst_len: SimDuration::from_millis(2),
+                mult_pm: 4_000,
+            },
+        ];
+        scale_shape_sweep(jobs, &mut log, population, mean_gap, &shapes);
+        scale_policy_sweep(jobs, &mut log, population, mean_gap);
     } else {
-        &[1, 2, 3, 4, 6, 8]
-    };
-    tenant_sweep(jobs, &mut log, counts);
-    policy_sweep(jobs, &mut log, if quick { 3 } else { 6 });
+        let counts: &[u32] = if quick {
+            &[1, 2, 3]
+        } else {
+            &[1, 2, 3, 4, 6, 8]
+        };
+        tenant_sweep(jobs, &mut log, counts);
+        policy_sweep(jobs, &mut log, if quick { 3 } else { 6 });
+    }
     log.finish();
 }

@@ -637,7 +637,11 @@ pub fn report(runs: &[TraceRun]) -> String {
         render_chains(run, &mut out, 8);
         if !s.tenants.is_empty() {
             let _ = writeln!(out, "  tenants:");
-            for (t, ts) in &s.tenants {
+            // Scale traces carry 10^5+ tenants: cap the rollup at the
+            // first 16 ids so the summary stays a summary. Pre-existing
+            // traces (<= a handful of tenants) render unchanged.
+            const MAX_TENANT_ROWS: usize = 16;
+            for (t, ts) in s.tenants.iter().take(MAX_TENANT_ROWS) {
                 let _ = writeln!(
                     out,
                     "    t{t}: submitted={} admitted={} completed={} failed={} oom={} wait[{}] latency[{}]",
@@ -648,6 +652,13 @@ pub fn report(runs: &[TraceRun]) -> String {
                     ts.oom,
                     sketch_line(ts.wait.as_ref().unwrap_or(&sk())),
                     sketch_line(ts.latency.as_ref().unwrap_or(&sk())),
+                );
+            }
+            if s.tenants.len() > MAX_TENANT_ROWS {
+                let _ = writeln!(
+                    out,
+                    "    ... and {} more tenants",
+                    s.tenants.len() - MAX_TENANT_ROWS
                 );
             }
         }

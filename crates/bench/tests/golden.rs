@@ -136,6 +136,28 @@ fn golden_overload_quick() {
 }
 
 #[test]
+fn golden_service_scale_quick() {
+    // The million-tenant admission plane's snapshot: lazy 10^4-tenant
+    // population, 4 admission shards, shard-merged sketches. Pins the
+    // indexed WFQ order, the lazy arrival stream, and the shard-order
+    // sketch merge all at once.
+    check_golden(
+        env!("CARGO_BIN_EXE_service"),
+        &["--scale", "--quick"],
+        "service_scale_quick.txt",
+    );
+}
+
+#[test]
+fn golden_service_scale_quick_shards2() {
+    check_golden(
+        env!("CARGO_BIN_EXE_service"),
+        &["--scale", "--quick", "--shards", "2"],
+        "service_scale_quick.txt",
+    );
+}
+
+#[test]
 fn golden_smr_quick() {
     check_golden(env!("CARGO_BIN_EXE_smr"), &["--quick"], "smr_quick.txt");
 }

@@ -307,6 +307,22 @@ impl Cluster {
             .fold(1.0_f64, f64::min)
     }
 
+    /// [`min_free_heap_ratio`](Cluster::min_free_heap_ratio) restricted
+    /// to the given nodes (1.0 when none of them are live) — the
+    /// per-shard memory gate for sharded admission.
+    pub fn min_free_heap_ratio_of(&self, nodes: &[NodeId]) -> f64 {
+        nodes
+            .iter()
+            .map(|&id| &self.sims[id.as_usize()])
+            .filter(|s| !s.is_crashed())
+            .map(|s| {
+                let n = s.node();
+                let cap = n.heap.capacity().as_u64().max(1);
+                n.heap.effective_free().as_u64() as f64 / cap as f64
+            })
+            .fold(1.0_f64, f64::min)
+    }
+
     /// Total live threads across live nodes (all jobs).
     pub fn total_live_threads(&self) -> usize {
         self.sims

@@ -30,5 +30,5 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use node::{NodeCheckpoint, NodeState, WorkCx, DEFAULT_IO_RETRIES};
 pub use report::{JobOutcome, JobReport, NodeReport};
 pub use sched::{NodeSim, NodeSimCheckpoint, RoundReport, ThreadState};
-pub use shard::{set_shards, shards, RoundRun, ShardExecutor};
+pub use shard::{run_parts, run_parts_with, set_shards, shards, RoundRun, ShardExecutor};
 pub use work::{StepOutcome, Work};

@@ -68,6 +68,81 @@ fn stream_of(node: NodeId) -> u32 {
     node.0 + 1
 }
 
+/// Fans generic driver-side work out across scoped worker threads,
+/// honouring the process-wide shard count, and commits results **in
+/// part order**.
+///
+/// The generic sibling of [`ShardExecutor::run_round`] for work that is
+/// not a node round — e.g. per-shard admission pops in simserve. Part
+/// `i` runs on worker `i % shards()` (the same position-based
+/// assignment the node pool uses, so placement depends only on the part
+/// list, never on timing), and the returned vector is indexed by part
+/// regardless of completion order, so output is byte-identical at any
+/// shard count. With `shards() <= 1` or a single part, everything runs
+/// inline on the caller's thread.
+///
+/// Closures run on worker threads and must therefore not emit tracer
+/// events or profiler counters — those belong to the driver thread.
+/// Batch any such output into the returned value and emit it after the
+/// merge.
+pub fn run_parts<T, R, F>(parts: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_parts_with(shards(), parts, f)
+}
+
+/// [`run_parts`] with an explicit worker count instead of the
+/// process-wide setting (tests and callers that manage their own
+/// parallelism).
+pub fn run_parts_with<T, R, F>(workers: usize, parts: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = workers.min(parts.len());
+    if workers <= 1 {
+        return parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| f(i, p))
+            .collect();
+    }
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, p) in parts.into_iter().enumerate() {
+        buckets[i % workers].push((i, p));
+    }
+    let total: usize = buckets.iter().map(Vec::len).sum();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, p)| (i, f(i, p)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("run_parts worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every part reported"))
+        .collect()
+}
+
 /// Outcome of one lockstep round across a set of nodes.
 #[derive(Debug, Default)]
 pub struct RoundRun {
@@ -571,5 +646,37 @@ mod tests {
         set_shards(3);
         assert_eq!(shards(), 3);
         set_shards(1);
+    }
+
+    #[test]
+    fn run_parts_commits_in_part_order_at_any_shard_count() {
+        // The inline path (shards=1) is the reference; pooled runs must
+        // return the same vector. Work is skewed so completion order
+        // differs from part order under real parallelism.
+        let work = |i: usize, x: u64| -> u64 {
+            let mut acc = x;
+            for k in 0..(1 + (i as u64 % 3)) * 10_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc ^ (i as u64)
+        };
+        let parts: Vec<u64> = (0..17u64).collect();
+        let serial = run_parts_with(1, parts.clone(), work);
+        for n in [2, 4, 8] {
+            assert_eq!(
+                run_parts_with(n, parts.clone(), work),
+                serial,
+                "diverged at {n} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn run_parts_handles_empty_and_single() {
+        assert_eq!(
+            run_parts_with(4, Vec::<u64>::new(), |_, x| x),
+            Vec::<u64>::new()
+        );
+        assert_eq!(run_parts_with(4, vec![9u64], |i, x| x + i as u64), vec![9]);
     }
 }

@@ -46,6 +46,9 @@ pub use overload::{
     BrownoutState, FailureClass, OverloadConfig, RetryBudget, RetryPolicy, ShedReason, ShedRecord,
     TokenBucket,
 };
-pub use service::{Service, ServiceConfig, ServiceReport, TenantSlo};
+pub use service::{ScaleSpec, Service, ServiceConfig, ServiceReport, TenantSlo};
 pub use sketch::QuantileSketch;
-pub use workload::{generate_arrivals, Arrival, JobKind, TenantSpec};
+pub use workload::{
+    generate_arrivals, Arrival, ArrivalGen, ArrivalSource, JobKind, LoadShape, TenantModel,
+    TenantSpec, WeightRule,
+};

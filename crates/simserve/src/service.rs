@@ -11,10 +11,10 @@
 //! a fixed order, so a `(config, seed)` pair always produces the same
 //! report — byte for byte.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 use itask_core::MemSignal;
-use simcluster::{Cluster, ClusterConfig, ShardExecutor};
+use simcluster::{run_parts, Cluster, ClusterConfig, ShardExecutor};
 use simcore::{
     tracer, tracer::EventId, ByteSize, EventLog, FaultPlan, NodeId, SimDuration, SimError, SimTime,
 };
@@ -26,7 +26,9 @@ use crate::overload::{
     TokenBucket,
 };
 use crate::sketch::QuantileSketch;
-use crate::workload::{dataset_blocks, generate_arrivals, JobKind, TenantSpec};
+use crate::workload::{
+    dataset_blocks, generate_arrivals, ArrivalGen, ArrivalSource, JobKind, TenantModel, TenantSpec,
+};
 
 /// Safety valve: a service run that exceeds this many scheduling rounds
 /// has livelocked (a bug, not a workload property — idle periods jump
@@ -64,6 +66,26 @@ pub struct ServiceConfig {
     pub params: JobParams,
     /// Input block granularity for generated datasets.
     pub block_size: ByteSize,
+    /// Scale mode: a lazily generated tenant population with sharded
+    /// admission, replacing `tenants` (which must then be empty).
+    /// `None` (the default) keeps the classic single-controller path —
+    /// and its bytes — untouched.
+    pub scale: Option<ScaleSpec>,
+}
+
+/// Configuration of scale mode: how the 10^5–10^6-tenant admission
+/// plane is populated and sharded.
+#[derive(Clone, Debug)]
+pub struct ScaleSpec {
+    /// The lazily synthesized tenant population.
+    pub model: TenantModel,
+    /// Admission shards: tenants hash to a shard (`tenant % shards`),
+    /// each shard owns an indexed controller gating on its own slice of
+    /// nodes (`node % shards`), and per-shard decisions fan out across
+    /// [`run_parts`] with a deterministic shard-order merge. Clamped to
+    /// `[1, nodes]`. The configured `max_active` (and any brownout cap)
+    /// applies per shard.
+    pub admission_shards: usize,
 }
 
 impl ServiceConfig {
@@ -92,6 +114,7 @@ impl ServiceConfig {
                 buckets: 16,
             },
             block_size: ByteSize::kib(8),
+            scale: None,
         }
     }
 }
@@ -136,6 +159,16 @@ pub struct ServiceReport {
     pub quarantines: u64,
     /// Rounds spent browned out.
     pub brownout_rounds: u64,
+    /// High-water mark of immediately-runnable queued jobs across all
+    /// admission shards.
+    pub peak_queued: u64,
+    /// Scale mode only: end-to-end latency samples, recorded per
+    /// admission shard and merged in shard order (bounded memory — the
+    /// per-tenant sketches stay empty at 10^5 tenants).
+    pub scale_latency: Option<QuantileSketch>,
+    /// Scale mode only: queue-wait samples, sharded and merged like
+    /// `scale_latency`.
+    pub scale_queue_wait: Option<QuantileSketch>,
     /// Time series of service-level gauges.
     pub log: EventLog,
 }
@@ -151,8 +184,12 @@ impl ServiceReport {
         self.total(|t| t.shed_deadline + t.shed_queue + t.shed_retry)
     }
 
-    /// All tenants' latency sketches merged.
+    /// All latency samples merged: the shard-merged scale sketch when
+    /// in scale mode, else every tenant's sketch merged.
     pub fn merged_latency(&self) -> QuantileSketch {
+        if let Some(s) = &self.scale_latency {
+            return s.clone();
+        }
         let mut all = QuantileSketch::default();
         for t in self.tenants.values() {
             all.merge(&t.latency);
@@ -160,8 +197,11 @@ impl ServiceReport {
         all
     }
 
-    /// All tenants' queue-wait sketches merged.
+    /// All queue-wait samples merged (scale sketch when present).
     pub fn merged_queue_wait(&self) -> QuantileSketch {
+        if let Some(s) = &self.scale_queue_wait {
+            return s.clone();
+        }
         let mut all = QuantileSketch::default();
         for t in self.tenants.values() {
             all.merge(&t.queue_wait);
@@ -204,16 +244,28 @@ struct ActiveJob {
     driver: Box<dyn JobDriver>,
     queued: QueuedJob,
     failure: Option<SimError>,
+    /// Admission shard that issued the job (0 outside scale mode).
+    shard: usize,
 }
 
 /// The service runtime.
 pub struct Service {
     cfg: ServiceConfig,
     cluster: Cluster,
-    controller: AdmissionController,
-    arrivals: VecDeque<crate::workload::Arrival>,
+    /// Admission controllers: exactly one outside scale mode; one per
+    /// admission shard (tenant % shards) in scale mode.
+    controllers: Vec<AdmissionController>,
+    arrivals: ArrivalSource,
+    /// Scale mode: node slice owned by each admission shard
+    /// (`node % shards`); a single all-nodes slice otherwise.
+    shard_nodes: Vec<Vec<NodeId>>,
     active: Vec<ActiveJob>,
     slos: BTreeMap<u32, TenantSlo>,
+    /// Scale mode: per-shard bounded-memory latency sketches (empty
+    /// vectors outside scale mode; per-tenant sketches used instead).
+    scale_lat: Vec<QuantileSketch>,
+    scale_wait: Vec<QuantileSketch>,
+    peak_queued: u64,
     log: EventLog,
     next_scope: u64,
     total_outputs: u64,
@@ -254,21 +306,65 @@ impl Service {
         if let Some(plan) = cfg.fault_plan.clone() {
             cluster.install_faults(plan);
         }
-        let arrivals = generate_arrivals(cfg.seed, &cfg.tenants, cfg.horizon);
         let mut slos: BTreeMap<u32, TenantSlo> = BTreeMap::new();
-        for t in &cfg.tenants {
-            slos.insert(t.id, TenantSlo::default());
-        }
-        let weights = cfg.tenants.iter().map(|t| (t.id, t.weight)).collect();
-        let controller = AdmissionController::new(cfg.admission, weights);
+        let all_nodes: Vec<NodeId> = (0..cfg.nodes).map(|n| NodeId(n as u32)).collect();
+        let (controllers, arrivals, shard_nodes, scale_lat, scale_wait) = match &cfg.scale {
+            None => {
+                for t in &cfg.tenants {
+                    slos.insert(t.id, TenantSlo::default());
+                }
+                let weights = cfg.tenants.iter().map(|t| (t.id, t.weight)).collect();
+                let fixed = generate_arrivals(cfg.seed, &cfg.tenants, cfg.horizon);
+                (
+                    vec![AdmissionController::new(cfg.admission, weights)],
+                    ArrivalSource::fixed(fixed),
+                    vec![all_nodes],
+                    Vec::new(),
+                    Vec::new(),
+                )
+            }
+            Some(spec) => {
+                assert!(
+                    cfg.tenants.is_empty(),
+                    "scale mode replaces the explicit tenant list"
+                );
+                let shards = spec.admission_shards.clamp(1, cfg.nodes.max(1));
+                let controllers = (0..shards)
+                    .map(|_| {
+                        AdmissionController::with_weight_rule(cfg.admission, spec.model.weights)
+                    })
+                    .collect();
+                let shard_nodes = (0..shards)
+                    .map(|s| {
+                        all_nodes
+                            .iter()
+                            .copied()
+                            .filter(|n| n.as_usize() % shards == s)
+                            .collect()
+                    })
+                    .collect();
+                let stream = ArrivalGen::new(cfg.seed, spec.model.clone(), cfg.horizon);
+                (
+                    controllers,
+                    ArrivalSource::lazy(stream),
+                    shard_nodes,
+                    vec![QuantileSketch::default(); shards],
+                    vec![QuantileSketch::default(); shards],
+                )
+            }
+        };
         let nodes = cfg.nodes;
         Service {
             cfg,
             cluster,
-            controller,
-            arrivals: arrivals.into(),
+            controllers,
+            arrivals,
+            shard_nodes,
             active: Vec::new(),
             slos,
+            scale_lat,
+            scale_wait,
+            peak_queued: 0,
             log: EventLog::new(),
             next_scope: 1,
             total_outputs: 0,
@@ -300,13 +396,18 @@ impl Service {
             self.update_overload();
             self.settle_jobs();
 
-            let idle = self.active.is_empty() && self.controller.queued() == 0;
+            let idle = self.active.is_empty() && self.queued_total() == 0;
             if idle {
                 // Nothing runnable now: jump to whichever comes first,
                 // the next arrival or the next backed-off retry release
                 // (spinning rounds until a release would livelock).
-                let next_arrival = self.arrivals.front().map(|a| a.at);
-                match (next_arrival, self.controller.next_release()) {
+                let next_arrival = self.arrivals.peek().map(|a| a.at);
+                let next_release = self
+                    .controllers
+                    .iter()
+                    .filter_map(|c| c.next_release())
+                    .min();
+                match (next_arrival, next_release) {
                     (None, None) => break,
                     (Some(a), None) => self.cluster.advance_clocks_to(a),
                     (None, Some(r)) => self.cluster.advance_clocks_to(r),
@@ -319,7 +420,7 @@ impl Service {
                 "service livelocked after {} rounds ({} active, {} queued)",
                 self.rounds,
                 self.active.len(),
-                self.controller.queued()
+                self.queued_total()
             );
         }
         // A run can end still browned out: flush the open window so the
@@ -339,6 +440,21 @@ impl Service {
                 );
             }
         }
+        // Shard sketches merge in shard order: any `--jobs`/`--shards`
+        // count produced the same per-shard sketches, so the merged
+        // quantiles are deterministic too.
+        let merge = |sketches: &[QuantileSketch]| {
+            let mut all = QuantileSketch::default();
+            for s in sketches {
+                all.merge(s);
+            }
+            all
+        };
+        let (scale_latency, scale_queue_wait) = if self.scale_lat.is_empty() {
+            (None, None)
+        } else {
+            (Some(merge(&self.scale_lat)), Some(merge(&self.scale_wait)))
+        };
         ServiceReport {
             tenants: self.slos,
             elapsed: self.cluster.elapsed(),
@@ -346,19 +462,34 @@ impl Service {
             rounds: self.rounds,
             quarantines: self.quarantines,
             brownout_rounds: self.brownout_rounds,
+            peak_queued: self.peak_queued,
+            scale_latency,
+            scale_queue_wait,
             log: self.log,
         }
+    }
+
+    /// Which admission shard owns a tenant.
+    fn shard_of(&self, tenant: u32) -> usize {
+        tenant as usize % self.controllers.len()
+    }
+
+    /// Immediately runnable jobs queued across all shards.
+    fn queued_total(&self) -> u64 {
+        self.controllers.iter().map(|c| c.queued() as u64).sum()
     }
 
     /// Moves due arrivals into the admission queues (and due backed-off
     /// retries out of the delayed set).
     fn enqueue_due(&mut self, now: SimTime) {
-        self.controller.release_due(now);
-        while let Some(a) = self.arrivals.front() {
+        for c in &mut self.controllers {
+            c.release_due(now);
+        }
+        while let Some(a) = self.arrivals.peek() {
             if a.at > now {
                 break;
             }
-            let a = self.arrivals.pop_front().expect("front checked");
+            let a = self.arrivals.pop().expect("peeked");
             self.slos.entry(a.tenant).or_default().submitted += 1;
             if tracer::is_enabled() {
                 tracer::emit(
@@ -369,16 +500,23 @@ impl Service {
                     tracer::TraceData::JobSubmitted { tenant: a.tenant },
                 );
             }
-            self.controller.enqueue_arrival(&a, now);
+            let shard = self.shard_of(a.tenant);
+            self.controllers[shard].enqueue_arrival(&a, now);
         }
-        self.log
-            .record("svc.queued", now, self.controller.queued() as f64);
+        let queued = self.queued_total();
+        self.peak_queued = self.peak_queued.max(queued);
+        self.log.record("svc.queued", now, queued as f64);
     }
 
     /// Accounts and traces every shed decision the controller recorded
     /// (at enqueue or at pop) since the last drain.
     fn drain_sheds(&mut self, now: SimTime) {
-        for s in self.controller.take_shed() {
+        let sheds: Vec<_> = self
+            .controllers
+            .iter_mut()
+            .flat_map(|c| c.take_shed())
+            .collect();
+        for s in sheds {
             let slo = self.slos.entry(s.tenant).or_default();
             match s.reason {
                 ShedReason::DeadlineExpired => slo.shed_deadline += 1,
@@ -405,6 +543,15 @@ impl Service {
     /// loop two ways: the active ceiling drops to the brownout cap, and
     /// the memory-aware gate sees a standing `REDUCE` signal.
     fn admit(&mut self, now: SimTime) {
+        if self.cfg.scale.is_some() {
+            self.admit_scale(now);
+        } else {
+            self.admit_serial(now);
+        }
+    }
+
+    /// The classic single-controller admission loop.
+    fn admit_serial(&mut self, now: SimTime) {
         let brownout_cap = self
             .cfg
             .overload
@@ -425,7 +572,7 @@ impl Service {
                         .any(|j| j.driver.memory_signal() == MemSignal::Reduce),
                 now,
             };
-            let Some(job) = self.controller.next(view) else {
+            let Some(job) = self.controllers[0].next(view) else {
                 break;
             };
             let scope = self.next_scope;
@@ -464,8 +611,109 @@ impl Service {
                 driver,
                 queued: job,
                 failure,
+                shard: 0,
             });
             self.log.record("svc.active", now, self.active.len() as f64);
+        }
+    }
+
+    /// Scale-mode admission: every shard's controller drains its queue
+    /// against a frozen per-shard view in parallel ([`run_parts`]), and
+    /// decisions commit in shard order so the outcome is identical at
+    /// any worker count. The view is frozen for the whole batch — the
+    /// documented semantics of one sharded admission round: `max_active`
+    /// and the brownout cap bound each *shard*, and the memory gate
+    /// reads the shard's node slice as of round start.
+    fn admit_scale(&mut self, now: SimTime) {
+        let shards = self.controllers.len();
+        let brownout_cap = self
+            .cfg
+            .overload
+            .brownout
+            .filter(|_| self.brownout.active())
+            .map(|b| b.max_active);
+        // Per-shard frozen inputs: active jobs, REDUCE signals, and the
+        // shard's own min-free-heap ratio.
+        let mut base_active = vec![0usize; shards];
+        let mut reduce = vec![self.brownout.active(); shards];
+        for j in &self.active {
+            base_active[j.shard] += 1;
+            if j.driver.memory_signal() == MemSignal::Reduce {
+                reduce[j.shard] = true;
+            }
+        }
+        let free: Vec<f64> = (0..shards)
+            .map(|s| self.cluster.min_free_heap_ratio_of(&self.shard_nodes[s]))
+            .collect();
+        let controllers = std::mem::take(&mut self.controllers);
+        let parts: Vec<_> = controllers
+            .into_iter()
+            .enumerate()
+            .map(|(s, c)| (c, base_active[s], reduce[s], free[s]))
+            .collect();
+        // The closure runs on worker threads: pure controller state
+        // machine, no tracer/profiler emission (driver-thread-only).
+        let results = run_parts(parts, |_s, (mut ctl, base, reduce, free)| {
+            let mut jobs = Vec::new();
+            loop {
+                let active = base + jobs.len();
+                if brownout_cap.is_some_and(|cap| active >= cap) {
+                    break;
+                }
+                let view = ClusterView {
+                    active,
+                    min_free_ratio: free,
+                    any_reduce_signal: reduce,
+                    now,
+                };
+                let Some(job) = ctl.next(view) else { break };
+                jobs.push(job);
+            }
+            (ctl, jobs)
+        });
+        // Commit in shard order: scopes, traces, and job starts happen
+        // in one canonical sequence regardless of worker count.
+        for (s, (ctl, jobs)) in results.into_iter().enumerate() {
+            self.controllers.push(ctl);
+            for job in jobs {
+                let scope = self.next_scope;
+                self.next_scope += 1;
+                let targets = self.schedulable_shard_nodes(s);
+                let mut driver = build_driver(
+                    job.kind,
+                    self.cfg.engine,
+                    scope,
+                    self.cfg.params,
+                    job.dataset_seed,
+                    self.cfg.block_size,
+                    &targets,
+                    &mut self.cluster,
+                );
+                let wait = now.since(job.enqueued).as_nanos();
+                if tracer::is_enabled() {
+                    tracer::emit(
+                        None,
+                        Some(scope),
+                        now,
+                        SimDuration::ZERO,
+                        tracer::TraceData::Admitted {
+                            tenant: job.tenant,
+                            wait_ns: wait,
+                        },
+                    );
+                }
+                let failure = driver.start(&mut self.cluster).err();
+                // Bounded memory at 10^5 tenants: waits go into the
+                // shard sketch, not per-tenant sketches.
+                self.scale_wait[s].insert(wait);
+                self.active.push(ActiveJob {
+                    driver,
+                    queued: job,
+                    failure,
+                    shard: s,
+                });
+                self.log.record("svc.active", now, self.active.len() as f64);
+            }
         }
     }
 
@@ -481,6 +729,24 @@ impl Service {
             .collect();
         if targets.is_empty() {
             live
+        } else {
+            targets
+        }
+    }
+
+    /// Scale mode: the shard's own nodes minus crashed/quarantined
+    /// ones, falling back to the whole cluster's schedulable set when
+    /// the shard's slice is entirely unavailable (work-conservation
+    /// again beats strict shard affinity).
+    fn schedulable_shard_nodes(&self, shard: usize) -> Vec<NodeId> {
+        let live = self.cluster.live_nodes();
+        let targets: Vec<NodeId> = self.shard_nodes[shard]
+            .iter()
+            .copied()
+            .filter(|n| live.contains(n) && !self.breakers[n.as_usize()].quarantined())
+            .collect();
+        if targets.is_empty() {
+            self.schedulable_nodes()
         } else {
             targets
         }
@@ -759,13 +1025,17 @@ impl Service {
                     .take_scope_cpu(job.driver.scope());
             }
             job.driver.teardown(&mut self.cluster);
-            self.controller
-                .credit_served(job.queued.tenant, busy.as_nanos());
+            let shard = self.shard_of(job.queued.tenant);
+            self.controllers[shard].credit_served(job.queued.tenant, busy.as_nanos());
             let slo = self.slos.entry(job.queued.tenant).or_default();
             if done {
                 slo.completed += 1;
                 let latency = now.since(job.queued.arrived).as_nanos();
-                slo.latency.insert(latency);
+                if self.scale_lat.is_empty() {
+                    slo.latency.insert(latency);
+                } else {
+                    self.scale_lat[job.shard].insert(latency);
+                }
                 if tracer::is_enabled() {
                     tracer::emit(
                         None,
@@ -826,7 +1096,7 @@ impl Service {
                     let attempt = job.queued.retries + 1;
                     let delay =
                         policy.backoff(self.cfg.seed, job.queued.tenant, job.queued.seq, attempt);
-                    self.controller.requeue_after(job.queued, now, delay);
+                    self.controllers[shard].requeue_after(job.queued, now, delay);
                 } else {
                     slo.failed += 1;
                     self.log.record("svc.failed", now, 1.0);
@@ -848,6 +1118,15 @@ impl Service {
                     }
                 }
             }
+        }
+        // A refilled bucket is indistinguishable from a fresh one
+        // (refills advance on the ZERO-anchored grid even while
+        // capped), so full buckets can be dropped: the retry-bucket map
+        // stays O(tenants retrying recently), not O(all tenants ever),
+        // under million-tenant churn.
+        if let Some(budget) = self.cfg.retry.budget {
+            self.retry_buckets
+                .retain(|_, b| b.balance(&budget, now) < budget.capacity);
         }
     }
 }
@@ -956,6 +1235,7 @@ mod tests {
             driver,
             queued: job,
             failure: None,
+            shard: 0,
         });
     }
 
@@ -1018,5 +1298,67 @@ mod tests {
         let without = run(false);
         assert!(without > 0);
         assert_eq!(with_crash, without, "crash run lost partitions");
+    }
+
+    /// The retry-bucket map must not accumulate one entry per tenant
+    /// that ever retried: once a bucket refills to capacity it is
+    /// indistinguishable from a fresh one and settle drops it.
+    #[test]
+    fn retry_buckets_prune_once_refilled() {
+        let mut svc = empty_service(EngineKind::Itask, None);
+        svc.cfg.retry = RetryPolicy::budgeted();
+        let budget = svc.cfg.retry.budget.expect("budgeted policy has budget");
+        for t in 0..1000u32 {
+            let mut b = TokenBucket::new(&budget, SimTime::ZERO);
+            assert!(b.try_take(&budget, SimTime::ZERO));
+            svc.retry_buckets.insert(t, b);
+        }
+        svc.settle_jobs();
+        assert_eq!(
+            svc.retry_buckets.len(),
+            1000,
+            "spent buckets must be retained"
+        );
+        // One full refill interval per missing token later, every
+        // bucket is back at capacity and must be dropped.
+        svc.cluster
+            .advance_clocks_to(SimTime::ZERO + SimDuration::from_secs(1));
+        svc.settle_jobs();
+        assert!(
+            svc.retry_buckets.is_empty(),
+            "refilled buckets must be pruned, {} left",
+            svc.retry_buckets.len()
+        );
+    }
+
+    /// Scale mode end to end on a small population: the run completes,
+    /// jobs finish, and the whole report is reproducible.
+    #[test]
+    fn scale_mode_runs_and_is_deterministic() {
+        use crate::workload::{LoadShape, TenantModel};
+        let run = || {
+            let mut cfg = ServiceConfig::standard(EngineKind::Itask, 0, 7);
+            cfg.horizon = SimDuration::from_millis(10);
+            cfg.admission.max_active = 2;
+            let mut model = TenantModel::uniform(1000, SimDuration::from_micros(400));
+            model.shape = LoadShape::Steady;
+            cfg.scale = Some(ScaleSpec {
+                model,
+                admission_shards: 2,
+            });
+            let report = Service::new(cfg).run();
+            (
+                report.summary_cells(),
+                report.total_shed(),
+                report.peak_queued,
+                report.total(|t| t.submitted),
+                report.total_outputs,
+            )
+        };
+        let a = run();
+        assert!(a.3 > 0, "lazy stream produced no arrivals");
+        assert!(!a.0[0].starts_with("0/"), "no jobs completed: {:?}", a.0);
+        let b = run();
+        assert_eq!(a, b, "scale mode must be deterministic");
     }
 }

@@ -9,6 +9,8 @@
 //! adjacency records, so one generic driver executes any of them on
 //! either engine.
 
+use std::collections::{HashMap, VecDeque};
+
 use planner::{CollectQuery, FoldQuery, Query};
 use simcore::{ByteSize, DetRng, SimDuration, SimTime};
 use workloads::webmap::{AdjRecord, WebmapConfig, WebmapSize};
@@ -67,6 +69,37 @@ impl JobKind {
                 }
             })
             .collect(|items| items.len() as u64)
+    }
+}
+
+/// Procedural tenant weights: the weighted-fair share derived from the
+/// tenant id alone, so a million-tenant population needs no per-tenant
+/// weight table. Every `premium_every`-th tenant (id divisible by it)
+/// gets `premium_weight`; everyone else gets weight 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightRule {
+    /// Stride of premium tenants; `0` disables the premium tier.
+    pub premium_every: u32,
+    /// Weighted-fair share for premium tenants.
+    pub premium_weight: u64,
+}
+
+impl WeightRule {
+    /// Every tenant at weight 1.
+    pub fn uniform() -> Self {
+        WeightRule {
+            premium_every: 0,
+            premium_weight: 1,
+        }
+    }
+
+    /// The weighted-fair share for `tenant` (always at least 1).
+    pub fn weight_of(self, tenant: u32) -> u64 {
+        if self.premium_every > 0 && tenant.is_multiple_of(self.premium_every) {
+            self.premium_weight.max(1)
+        } else {
+            1
+        }
     }
 }
 
@@ -181,6 +214,274 @@ pub fn generate_arrivals(seed: u64, tenants: &[TenantSpec], horizon: SimDuration
     all
 }
 
+/// Aggregate load shape for the scale generator: a per-mille rate
+/// multiplier as a pure integer function of time since the run start,
+/// so the same instant always sees the same rate on any host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadShape {
+    /// Constant baseline rate.
+    Steady,
+    /// Triangle-wave diurnal cycle: the rate climbs from
+    /// `1000 - amplitude_pm` per mille to `1000 + amplitude_pm` over
+    /// the first half of each `period` and falls back over the second.
+    Diurnal {
+        /// One full day-night cycle.
+        period: SimDuration,
+        /// Peak-to-baseline swing in per mille (clamped to 999 so the
+        /// rate never reaches zero).
+        amplitude_pm: u64,
+    },
+    /// Square-wave bursts: `mult_pm` per mille for the first
+    /// `burst_len` of each `period`, baseline 1000 otherwise.
+    Bursty {
+        /// Burst repetition interval.
+        period: SimDuration,
+        /// How long each burst lasts (clamped to the period).
+        burst_len: SimDuration,
+        /// Rate multiplier inside a burst, in per mille.
+        mult_pm: u64,
+    },
+}
+
+impl LoadShape {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadShape::Steady => "steady",
+            LoadShape::Diurnal { .. } => "diurnal",
+            LoadShape::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// The rate multiplier (per mille, always ≥ 1) at `since_start`.
+    pub fn multiplier_pm(self, since_start: SimDuration) -> u64 {
+        match self {
+            LoadShape::Steady => 1_000,
+            LoadShape::Diurnal {
+                period,
+                amplitude_pm,
+            } => {
+                let p = period.as_nanos();
+                let half = p / 2;
+                if half == 0 {
+                    return 1_000;
+                }
+                let phase = since_start.as_nanos() % p;
+                // Triangle in [0, half]: rises to the half-period peak,
+                // falls back down.
+                let tri = if phase < half { phase } else { p - phase };
+                let amp = amplitude_pm.min(999);
+                1_000 - amp + 2 * amp * tri / half
+            }
+            LoadShape::Bursty {
+                period,
+                burst_len,
+                mult_pm,
+            } => {
+                let p = period.as_nanos();
+                if p == 0 {
+                    return 1_000;
+                }
+                let phase = since_start.as_nanos() % p;
+                if phase < burst_len.as_nanos() {
+                    mult_pm.max(1)
+                } else {
+                    1_000
+                }
+            }
+        }
+    }
+}
+
+/// A whole tenant population described in O(1) state: the scale-mode
+/// counterpart of a `Vec<TenantSpec>`. Arrivals are drawn from one
+/// aggregate open-loop process and assigned to uniformly random tenant
+/// ids, so describing 10^6 tenants costs a few words — per-tenant state
+/// exists only for tenants that actually submit.
+#[derive(Clone, Debug)]
+pub struct TenantModel {
+    /// Number of addressable tenants (ids `0..population`).
+    pub population: u32,
+    /// Mean gap between aggregate arrivals (across the population) at
+    /// the baseline rate. The per-tenant mean is `population` times
+    /// this.
+    pub mean_gap: SimDuration,
+    /// Time-varying rate modulation.
+    pub shape: LoadShape,
+    /// Weighted job mix `(kind, weight)`, shared by every tenant.
+    pub mix: Vec<(JobKind, u32)>,
+    /// Relative submit deadline applied to every arrival, if armed.
+    pub deadline: Option<SimDuration>,
+    /// Procedural weighted-fair shares.
+    pub weights: WeightRule,
+}
+
+impl TenantModel {
+    /// A uniform population: the default mixed workload, equal weights,
+    /// no deadlines, steady rate.
+    pub fn uniform(population: u32, mean_gap: SimDuration) -> Self {
+        TenantModel {
+            population,
+            mean_gap,
+            shape: LoadShape::Steady,
+            mix: vec![
+                (JobKind::DegreeCount, 2),
+                (JobKind::WordCount, 2),
+                (JobKind::LinkCollect, 1),
+            ],
+            deadline: None,
+            weights: WeightRule::uniform(),
+        }
+    }
+}
+
+/// Lazy open-loop arrival stream over a [`TenantModel`]: synthesizes
+/// the next arrival on demand instead of materialising the whole
+/// schedule, so horizon and population scale independently of memory.
+///
+/// Gaps are the model's mean scaled by seeded jitter in `[0.5, 1.5)`
+/// and divided by the shape's rate multiplier; tenants are drawn
+/// uniformly from the population. Everything derives from `seed` via
+/// one [`DetRng`] stream, so the same `(seed, model, horizon)` always
+/// yields the same arrival sequence — and because arrivals are drawn
+/// from a single aggregate process they are emitted already in
+/// nondecreasing time order.
+pub struct ArrivalGen {
+    rng: DetRng,
+    model: TenantModel,
+    horizon: SimDuration,
+    seed: u64,
+    at: SimTime,
+    total_mix: u32,
+    /// Next per-tenant sequence number, allocated on a tenant's first
+    /// arrival only. Accessed strictly by key (never iterated), so the
+    /// hash map's unstable order cannot leak into the schedule.
+    seqs: HashMap<u32, u32>,
+    done: bool,
+}
+
+impl ArrivalGen {
+    /// Creates the stream; no per-tenant work happens here.
+    pub fn new(seed: u64, model: TenantModel, horizon: SimDuration) -> Self {
+        assert!(model.population > 0, "empty tenant population");
+        let total_mix: u32 = model.mix.iter().map(|(_, w)| w).sum();
+        assert!(total_mix > 0, "tenant model has an empty job mix");
+        ArrivalGen {
+            rng: DetRng::new(seed),
+            model,
+            horizon,
+            seed,
+            at: SimTime::ZERO,
+            total_mix,
+            seqs: HashMap::new(),
+            done: false,
+        }
+    }
+
+    /// Tenants that have submitted at least once (the only per-tenant
+    /// state the generator holds).
+    pub fn touched_tenants(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Synthesizes the next arrival, or `None` once the horizon is
+    /// reached (terminal: the stream never resumes).
+    pub fn next_arrival(&mut self) -> Option<Arrival> {
+        if self.done {
+            return None;
+        }
+        let jitter = 500 + self.rng.below(1_000); // [0.5, 1.5) per mille
+        let base = self.model.mean_gap.as_nanos().saturating_mul(jitter) / 1_000;
+        let mult = self
+            .model
+            .shape
+            .multiplier_pm(self.at.since(SimTime::ZERO))
+            .max(1);
+        let gap = (base.saturating_mul(1_000) / mult).max(1);
+        self.at += SimDuration::from_nanos(gap);
+        if self.at.since(SimTime::ZERO) > self.horizon {
+            self.done = true;
+            return None;
+        }
+        let tenant = self.rng.below(self.model.population as u64) as u32;
+        let mut pick = self.rng.below(self.total_mix as u64) as u32;
+        let mut kind = self.model.mix[0].0;
+        for &(k, w) in &self.model.mix {
+            if pick < w {
+                kind = k;
+                break;
+            }
+            pick -= w;
+        }
+        let slot = self.seqs.entry(tenant).or_insert(0);
+        let seq = *slot;
+        *slot += 1;
+        Some(Arrival {
+            at: self.at,
+            tenant,
+            seq,
+            kind,
+            dataset_seed: simcore::rng::stable_hash64(
+                self.seed ^ ((tenant as u64) << 32) ^ seq as u64,
+            ),
+            deadline: self.model.deadline.map(|d| self.at + d),
+        })
+    }
+}
+
+/// Where the service pulls arrivals from: a pre-generated schedule (the
+/// classic per-tenant generator) or the lazy scale stream.
+pub enum ArrivalSource {
+    /// Materialised schedule, popped front-first.
+    Fixed(VecDeque<Arrival>),
+    /// Lazily synthesized stream plus a one-slot lookahead for `peek`.
+    /// Boxed so the variant stays pocket-sized next to `Fixed`.
+    Lazy {
+        /// The generator.
+        stream: Box<ArrivalGen>,
+        /// Synthesized but not yet consumed.
+        peeked: Option<Arrival>,
+    },
+}
+
+impl ArrivalSource {
+    /// Wraps a materialised schedule.
+    pub fn fixed(arrivals: Vec<Arrival>) -> Self {
+        ArrivalSource::Fixed(arrivals.into())
+    }
+
+    /// Wraps a lazy stream.
+    pub fn lazy(stream: ArrivalGen) -> Self {
+        ArrivalSource::Lazy {
+            stream: Box::new(stream),
+            peeked: None,
+        }
+    }
+
+    /// The next arrival without consuming it.
+    pub fn peek(&mut self) -> Option<&Arrival> {
+        match self {
+            ArrivalSource::Fixed(q) => q.front(),
+            ArrivalSource::Lazy { stream, peeked } => {
+                if peeked.is_none() {
+                    *peeked = stream.next_arrival();
+                }
+                peeked.as_ref()
+            }
+        }
+    }
+
+    /// Consumes and returns the next arrival.
+    pub fn pop(&mut self) -> Option<Arrival> {
+        match self {
+            ArrivalSource::Fixed(q) => q.pop_front(),
+            ArrivalSource::Lazy { stream, peeked } => {
+                peeked.take().or_else(|| stream.next_arrival())
+            }
+        }
+    }
+}
+
 /// Generator blocks for one arrival's dataset.
 pub fn dataset_blocks(
     kind: JobKind,
@@ -257,6 +558,133 @@ mod tests {
             assert_eq!(p.dataset_seed, w.dataset_seed);
             assert_eq!(p.deadline, None);
             assert_eq!(w.deadline, Some(w.at + SimDuration::from_millis(7)));
+        }
+    }
+
+    #[test]
+    fn lazy_stream_is_deterministic_sorted_and_seq_numbered() {
+        let model = TenantModel::uniform(1_000, SimDuration::from_micros(50));
+        let drain = |seed: u64| {
+            let mut g = ArrivalGen::new(seed, model.clone(), SimDuration::from_millis(20));
+            let mut out = Vec::new();
+            while let Some(a) = g.next_arrival() {
+                out.push(a);
+            }
+            assert!(g.next_arrival().is_none(), "horizon exhaustion is terminal");
+            out
+        };
+        let a = drain(42);
+        let b = drain(42);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.at, x.tenant, x.seq, x.kind, x.dataset_seed),
+                (y.at, y.tenant, y.seq, y.kind, y.dataset_seed)
+            );
+        }
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "time-ordered");
+        // Per-tenant seqs count up densely from 0.
+        let mut next = HashMap::new();
+        for x in &a {
+            let slot = next.entry(x.tenant).or_insert(0u32);
+            assert_eq!(x.seq, *slot);
+            *slot += 1;
+        }
+        let c = drain(7);
+        assert_ne!(
+            a.iter().map(|x| x.at).collect::<Vec<_>>(),
+            c.iter().map(|x| x.at).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lazy_stream_allocates_no_tenant_state_up_front() {
+        // A million-tenant model is a few words until arrivals draw
+        // tenants; per-tenant state appears only for touched tenants.
+        let model = TenantModel::uniform(1_000_000, SimDuration::from_micros(10));
+        let mut g = ArrivalGen::new(42, model, SimDuration::from_secs(3_600));
+        assert_eq!(g.touched_tenants(), 0);
+        for _ in 0..100 {
+            g.next_arrival().expect("horizon is far away");
+        }
+        assert!(g.touched_tenants() <= 100);
+        assert!(g.touched_tenants() > 0);
+    }
+
+    #[test]
+    fn load_shapes_modulate_the_rate() {
+        // Steady is flat.
+        assert_eq!(
+            LoadShape::Steady.multiplier_pm(SimDuration::from_millis(3)),
+            1_000
+        );
+        // Diurnal: trough at phase 0, peak at half period, back to
+        // trough at the period boundary; bounded by the amplitude.
+        let d = LoadShape::Diurnal {
+            period: SimDuration::from_millis(10),
+            amplitude_pm: 600,
+        };
+        assert_eq!(d.multiplier_pm(SimDuration::ZERO), 400);
+        assert_eq!(d.multiplier_pm(SimDuration::from_millis(5)), 1_600);
+        assert_eq!(d.multiplier_pm(SimDuration::from_millis(10)), 400);
+        for us in 0..10_000u64 {
+            let m = d.multiplier_pm(SimDuration::from_micros(us));
+            assert!((400..=1_600).contains(&m));
+        }
+        // Bursty: multiplied inside the burst window, baseline outside.
+        let b = LoadShape::Bursty {
+            period: SimDuration::from_millis(8),
+            burst_len: SimDuration::from_millis(2),
+            mult_pm: 4_000,
+        };
+        assert_eq!(b.multiplier_pm(SimDuration::from_millis(1)), 4_000);
+        assert_eq!(b.multiplier_pm(SimDuration::from_millis(5)), 1_000);
+        assert_eq!(b.multiplier_pm(SimDuration::from_millis(9)), 4_000);
+        // The burst actually densifies arrivals: more land inside burst
+        // windows than in equally long off-burst windows.
+        let model = TenantModel {
+            shape: b,
+            ..TenantModel::uniform(10_000, SimDuration::from_micros(40))
+        };
+        let mut g = ArrivalGen::new(42, model, SimDuration::from_millis(64));
+        let (mut in_burst, mut off_burst) = (0u64, 0u64);
+        while let Some(a) = g.next_arrival() {
+            let phase = a.at.since(SimTime::ZERO).as_nanos() % 8_000_000;
+            if phase < 2_000_000 {
+                in_burst += 1;
+            } else {
+                off_burst += 1;
+            }
+        }
+        // Burst windows are 1/4 of the time at 4x the rate: they should
+        // hold clearly more than half of all arrivals.
+        assert!(in_burst > off_burst, "{in_burst} vs {off_burst}");
+    }
+
+    #[test]
+    fn arrival_source_peek_then_pop_agree_for_both_variants() {
+        let arrivals = generate_arrivals(
+            42,
+            &[TenantSpec::uniform(0, SimDuration::from_millis(5))],
+            SimDuration::from_millis(40),
+        );
+        let mut fixed = ArrivalSource::fixed(arrivals.clone());
+        let model = TenantModel::uniform(100, SimDuration::from_millis(1));
+        let mut lazy =
+            ArrivalSource::lazy(ArrivalGen::new(42, model, SimDuration::from_millis(40)));
+        for src in [&mut fixed, &mut lazy] {
+            let mut n = 0usize;
+            loop {
+                let peeked = src.peek().map(|a| (a.at, a.tenant, a.seq));
+                let popped = src.pop().map(|a| (a.at, a.tenant, a.seq));
+                assert_eq!(peeked, popped);
+                if popped.is_none() {
+                    break;
+                }
+                n += 1;
+            }
+            assert!(n > 0);
         }
     }
 

@@ -1,0 +1,223 @@
+//! Property test pinning the indexed O(log n) admission controller to
+//! the retained naive O(n) reference (`admission::reference`).
+//!
+//! The indexed controller's whole claim is *bit-for-bit* agreement:
+//! same pop sequence (vtime ties broken by lowest tenant id, FIFO by
+//! enqueue stamp), same queue census, same shed *set*. Random schedules
+//! of arrivals, pops (under random cluster views), served credits,
+//! requeues, backed-off retries, and clock advances must never make the
+//! two controllers diverge.
+//!
+//! The one sanctioned difference: expiry *order* within a single
+//! `release_due`/`next` call. The naive scan sheds tenant-major; the
+//! index sheds in (deadline, stamp) order. The shed *sets* are equal,
+//! and nothing downstream depends on intra-call order (the service
+//! counts sheds per tenant), so sheds compare as sorted multisets.
+
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+use simserve::admission::reference::NaiveController;
+use simserve::admission::{AdmissionConfig, AdmissionController, ClusterView};
+use simserve::workload::{Arrival, JobKind, WeightRule};
+use simserve::{PolicyKind, ShedRecord};
+
+const TENANTS: u32 = 8;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Enqueue a fresh arrival for `tenant` with an optional deadline
+    /// `deadline_us` after the current clock.
+    Arrive {
+        tenant: u32,
+        kind: u8,
+        deadline_us: Option<u64>,
+    },
+    /// Pop once under a random cluster view.
+    Pop {
+        active: usize,
+        free_pct: u8,
+        reduce: bool,
+    },
+    /// Pop once, then requeue the popped job (the retry path) either
+    /// immediately or with a backoff delay.
+    PopAndRequeue { delay_us: u64 },
+    /// Credit served time to a tenant (weighted-fair vtime movement).
+    Credit { tenant: u32, busy: u64 },
+    /// Advance the virtual clock (expires deadlines, releases retries).
+    Advance { us: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..TENANTS, 0u8..3, prop_oneof![
+            2 => Just(None),
+            3 => (1u64..5_000).prop_map(Some)
+        ])
+            .prop_map(|(tenant, kind, deadline_us)| Op::Arrive {
+                tenant,
+                kind,
+                deadline_us,
+            }),
+        3 => (0usize..6, 0u8..=100, any::<bool>()).prop_map(|(active, free_pct, reduce)| {
+            Op::Pop {
+                active,
+                free_pct,
+                reduce,
+            }
+        }),
+        1 => (0u64..3_000).prop_map(|delay_us| Op::PopAndRequeue { delay_us }),
+        2 => (0..TENANTS, 1u64..1_000_000).prop_map(|(tenant, busy)| Op::Credit { tenant, busy }),
+        2 => (1u64..4_000).prop_map(|us| Op::Advance { us }),
+    ]
+}
+
+fn config_strategy() -> impl Strategy<Value = AdmissionConfig> {
+    (
+        prop_oneof![
+            Just(PolicyKind::Fifo),
+            Just(PolicyKind::WeightedFair),
+            Just(PolicyKind::MemoryAware)
+        ],
+        1usize..6,
+        prop_oneof![
+            1 => Just(None),
+            1 => (1usize..4).prop_map(Some)
+        ],
+    )
+        .prop_map(|(policy, max_active, queue_cap)| AdmissionConfig {
+            policy,
+            max_active,
+            min_free_ratio: 0.35,
+            queue_cap,
+        })
+}
+
+fn kind_of(k: u8) -> JobKind {
+    match k % 3 {
+        0 => JobKind::DegreeCount,
+        1 => JobKind::WordCount,
+        _ => JobKind::LinkCollect,
+    }
+}
+
+/// Sheds compare as sorted multisets: same decisions, order within one
+/// call unspecified (see module docs).
+fn shed_key(s: &ShedRecord) -> (u64, u32, u32, &'static str) {
+    (s.at.as_nanos(), s.tenant, s.seq, s.reason.label())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn indexed_controller_matches_naive_reference(
+        cfg in config_strategy(),
+        rule in prop_oneof![
+            Just(WeightRule::uniform()),
+            (2u32..5, 2u64..16).prop_map(|(premium_every, premium_weight)| WeightRule {
+                premium_every,
+                premium_weight,
+            })
+        ],
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut fast = AdmissionController::with_weight_rule(cfg, rule);
+        let mut slow = NaiveController::with_weight_rule(cfg, rule);
+        let mut now = SimTime::ZERO;
+        let mut seqs = [0u32; TENANTS as usize];
+
+        for op in ops {
+            match op {
+                Op::Arrive { tenant, kind, deadline_us } => {
+                    let seq = seqs[tenant as usize];
+                    seqs[tenant as usize] += 1;
+                    let a = Arrival {
+                        at: now,
+                        tenant,
+                        seq,
+                        kind: kind_of(kind),
+                        dataset_seed: u64::from(tenant) << 32 | u64::from(seq),
+                        deadline: deadline_us.map(|us| now + SimDuration::from_micros(us)),
+                    };
+                    fast.enqueue_arrival(&a, now);
+                    slow.enqueue_arrival(&a, now);
+                }
+                Op::Pop { active, free_pct, reduce } => {
+                    let view = ClusterView {
+                        active,
+                        min_free_ratio: f64::from(free_pct) / 100.0,
+                        any_reduce_signal: reduce,
+                        now,
+                    };
+                    let a = fast.next(view);
+                    let b = slow.next(view);
+                    prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+                }
+                Op::PopAndRequeue { delay_us } => {
+                    let view = ClusterView {
+                        active: 0,
+                        min_free_ratio: 1.0,
+                        any_reduce_signal: false,
+                        now,
+                    };
+                    let a = fast.next(view);
+                    let b = slow.next(view);
+                    prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+                    if let (Some(a), Some(b)) = (a, b) {
+                        if delay_us == 0 {
+                            fast.requeue(a, now);
+                            slow.requeue(b, now);
+                        } else {
+                            let d = SimDuration::from_micros(delay_us);
+                            fast.requeue_after(a, now, d);
+                            slow.requeue_after(b, now, d);
+                        }
+                    }
+                }
+                Op::Credit { tenant, busy } => {
+                    fast.credit_served(tenant, busy);
+                    slow.credit_served(tenant, busy);
+                }
+                Op::Advance { us } => {
+                    now += SimDuration::from_micros(us);
+                    fast.release_due(now);
+                    slow.release_due(now);
+                }
+            }
+            // Census must agree after every single op.
+            prop_assert_eq!(fast.queued(), slow.queued());
+            prop_assert_eq!(fast.pending_delayed(), slow.pending_delayed());
+            prop_assert_eq!(fast.queued_tenants(), slow.queued_tenants());
+            prop_assert_eq!(fast.next_release(), slow.next_release());
+        }
+
+        // Shed decisions agree as multisets (expiry order inside one
+        // call is the sanctioned difference).
+        let mut fast_sheds = fast.take_shed();
+        let mut slow_sheds = slow.take_shed();
+        fast_sheds.sort_by_key(shed_key);
+        slow_sheds.sort_by_key(shed_key);
+        prop_assert_eq!(
+            fast_sheds.iter().map(shed_key).collect::<Vec<_>>(),
+            slow_sheds.iter().map(shed_key).collect::<Vec<_>>()
+        );
+
+        // Drain both to empty: the tail order must match exactly too.
+        loop {
+            let view = ClusterView {
+                active: 0,
+                min_free_ratio: 1.0,
+                any_reduce_signal: false,
+                now,
+            };
+            let a = fast.next(view);
+            let b = slow.next(view);
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(fast.queued(), 0);
+        prop_assert_eq!(slow.queued(), 0);
+    }
+}

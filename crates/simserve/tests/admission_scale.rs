@@ -1,0 +1,115 @@
+//! Release-mode scale smoke: the indexed admission controller at 10^6
+//! tenants.
+//!
+//! Complements the micro-benchmarks (which measure per-op latency) with
+//! a hard wall-clock ceiling in CI: one million enqueue/pop/credit
+//! cycles through the weighted-fair path must complete in seconds, not
+//! the hours the old O(n)-scan controller would need at this
+//! population. Skipped in debug builds (the golden suite's pattern):
+//! unoptimized BTree traffic is ~20x slower and would only measure the
+//! compiler, not the structure.
+
+use std::time::Instant;
+
+use simcore::{SimDuration, SimTime};
+use simserve::admission::{AdmissionConfig, AdmissionController, ClusterView};
+use simserve::workload::{Arrival, JobKind, WeightRule};
+use simserve::PolicyKind;
+
+const TENANTS: u32 = 1_000_000;
+/// Generous CI ceiling; a healthy run takes well under 10s in release.
+const CEILING_SECS: u64 = 60;
+
+#[test]
+fn million_tenant_enqueue_pop_cycles_within_wall_clock_ceiling() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping million-tenant smoke in debug build");
+        return;
+    }
+    let started = Instant::now();
+    let cfg = AdmissionConfig {
+        policy: PolicyKind::WeightedFair,
+        max_active: usize::MAX,
+        ..AdmissionConfig::default()
+    };
+    let rule = WeightRule {
+        premium_every: 10,
+        premium_weight: 8,
+    };
+    let mut ctl = AdmissionController::with_weight_rule(cfg, rule);
+
+    // Enqueue one job per tenant: 10^6 live index entries.
+    for tenant in 0..TENANTS {
+        let at = SimTime::from_nanos(u64::from(tenant));
+        ctl.enqueue_arrival(
+            &Arrival {
+                at,
+                tenant,
+                seq: 0,
+                kind: JobKind::DegreeCount,
+                dataset_seed: u64::from(tenant),
+                deadline: None,
+            },
+            at,
+        );
+    }
+    assert_eq!(ctl.queued(), TENANTS as usize);
+
+    // Pop/credit/requeue churn against the full population, then drain
+    // everything. Every pop is a fair-index first() + re-key; every
+    // requeue re-enters the indexes.
+    let now = SimTime::from_nanos(u64::from(TENANTS));
+    let view = ClusterView {
+        active: 0,
+        min_free_ratio: 1.0,
+        any_reduce_signal: false,
+        now,
+    };
+    let mut popped = 0u64;
+    for i in 0..200_000u64 {
+        let job = ctl.next(view).expect("population never empties here");
+        ctl.credit_served(job.tenant, 1_000 + i % 7);
+        popped += 1;
+        if i % 4 == 0 {
+            ctl.requeue(job, now);
+        }
+    }
+    while ctl.next(view).is_some() {
+        popped += 1;
+    }
+    assert_eq!(ctl.queued(), 0);
+    // 1e6 enqueued + 50k requeued, all popped exactly once each.
+    assert_eq!(popped, u64::from(TENANTS) + 50_000);
+
+    // Expiry at scale: refill with deadlines and shed the lot through
+    // the deadline index.
+    for tenant in 0..TENANTS {
+        let at = now + SimDuration::from_nanos(u64::from(tenant));
+        ctl.enqueue_arrival(
+            &Arrival {
+                at,
+                tenant,
+                seq: 1,
+                kind: JobKind::WordCount,
+                dataset_seed: u64::from(tenant),
+                deadline: Some(at + SimDuration::from_micros(1)),
+            },
+            at,
+        );
+    }
+    // Expiry is enforced at pop: one `next` call past every deadline
+    // sheds the entire population through the deadline index.
+    let later = now + SimDuration::from_secs(1);
+    let none = ctl.next(ClusterView { now: later, ..view });
+    assert!(none.is_none(), "every queued job is past its deadline");
+    assert_eq!(ctl.queued(), 0, "all deadline-carrying jobs must expire");
+    assert_eq!(ctl.take_shed().len(), TENANTS as usize);
+
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed.as_secs() < CEILING_SECS,
+        "million-tenant churn took {elapsed:?} (ceiling {CEILING_SECS}s): \
+         admission is no longer O(log n) per decision"
+    );
+    eprintln!("million-tenant smoke: {elapsed:?}");
+}

@@ -147,3 +147,77 @@ proptest! {
         prop_assert_eq!(empty.max(), s.max());
     }
 }
+
+/// The scale service's accounting shape at 10^5 samples: samples land
+/// round-robin in per-shard sketches which merge in shard order. The
+/// merged summary must agree with an unsharded sketch of the same
+/// stream — count/min/max exactly, quantiles within the compaction
+/// rank window of the true order statistics — and re-merging the same
+/// shards must be deterministic. (Byte-equality with the unsharded
+/// sketch is *not* claimed: compaction points differ.)
+#[test]
+fn shard_merge_matches_unsharded_at_1e5_samples() {
+    const N: u64 = 100_000;
+    const SHARDS: usize = 4;
+
+    // Deterministic splitmix64 stream, values spread over ~1e6.
+    let sample = |i: u64| {
+        let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % 1_000_000
+    };
+
+    let merged_of = || {
+        let mut shards = vec![QuantileSketch::default(); SHARDS];
+        for i in 0..N {
+            shards[(i % SHARDS as u64) as usize].insert(sample(i));
+        }
+        let mut merged = QuantileSketch::default();
+        for s in &shards {
+            merged.merge(s);
+        }
+        merged
+    };
+    let merged = merged_of();
+
+    let mut unsharded = QuantileSketch::default();
+    let mut sorted = Vec::with_capacity(N as usize);
+    for i in 0..N {
+        unsharded.insert(sample(i));
+        sorted.push(sample(i));
+    }
+    sorted.sort_unstable();
+
+    assert_eq!(merged.count(), N);
+    assert_eq!(merged.count(), unsharded.count());
+    assert_eq!(merged.min(), unsharded.min());
+    assert_eq!(merged.max(), unsharded.max());
+    assert_eq!(merged.min(), sorted[0]);
+    assert_eq!(merged.max(), *sorted.last().unwrap());
+
+    let tolerance = N / 10;
+    for q in QS {
+        for (label, got) in [
+            ("merged", merged.quantile(q)),
+            ("unsharded", unsharded.quantile(q)),
+        ] {
+            let err = rank_error(&sorted, q, got);
+            assert!(
+                err <= tolerance,
+                "q={q}: {label} {got} is {err} ranks off (n={N}, tolerance {tolerance})"
+            );
+        }
+    }
+
+    // Same shards, same merge order: identical answers every time.
+    let again = merged_of();
+    assert_eq!(again.count(), merged.count());
+    for q in QS {
+        assert_eq!(
+            again.quantile(q),
+            merged.quantile(q),
+            "re-merge diverged at q={q}"
+        );
+    }
+}
