@@ -106,13 +106,9 @@ const CONFIGS: [(InterruptMode, VictimPolicy, SerializeMode, u8, &str); 5] = [
 ];
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let mut log = sweep::SweepLog::new("ablation", jobs);
-    log.set_trace(trace);
+    let h = sweep::harness();
+    let jobs = h.jobs;
+    let mut log = h.log("ablation");
 
     let sizes = [
         (WebmapSize::G10, 3u64),

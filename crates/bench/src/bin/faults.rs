@@ -209,15 +209,11 @@ fn ablate<T: Ord + std::fmt::Debug + Send>(
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let wc_only = args.iter().any(|a| a == "--wc-only");
-    let ii_only = args.iter().any(|a| a == "--ii-only");
-    let mut log = SweepLog::new("faults", jobs);
-    log.set_trace(trace);
+    let mut h = sweep::harness();
+    let jobs = h.jobs;
+    let wc_only = h.flag("--wc-only");
+    let ii_only = h.flag("--ii-only");
+    let mut log = h.log("faults");
     if !ii_only {
         ablate(
             jobs,

@@ -9,7 +9,7 @@
 //! Usage: `fig10 [--jobs N] [program ...]`, programs ∈ {wc, hs, ii, hj, gr}.
 
 use apps::hyracks_apps::{gr, hj, hs, ii, wc, HyracksParams};
-use itask_bench::sweep::{self, RunSpec, SweepLog};
+use itask_bench::sweep::{self, RunSpec};
 use itask_bench::{cell_csv, print_table, write_csv, Cell};
 use workloads::tpch::TpchScale;
 use workloads::webmap::WebmapSize;
@@ -106,11 +106,9 @@ fn render(
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
+    let h = sweep::harness();
+    let jobs = h.jobs;
+    let args = h.args.clone();
     let csv: Option<String> = args
         .iter()
         .position(|a| a == "--csv")
@@ -142,8 +140,7 @@ fn main() {
     let web_labels: Vec<&str> = webmap.iter().map(|s| s.label()).collect();
     let tpch = TpchScale::TABLE4;
     let tpch_labels: Vec<&str> = tpch.iter().map(|s| s.label()).collect();
-    let mut log = SweepLog::new("fig10", jobs);
-    log.set_trace(trace);
+    let mut log = h.log("fig10");
 
     // Per program and dataset: thread sweep then the ITask run, all
     // independent — one batch.

@@ -48,13 +48,9 @@ fn render_heap_sweep(name: &str, cells: &mut impl Iterator<Item = Fig11Res>) {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let mut log = sweep::SweepLog::new("fig11", jobs);
-    log.set_trace(trace);
+    let h = sweep::harness();
+    let jobs = h.jobs;
+    let mut log = h.log("fig11");
 
     // (a)/(b): 4 heaps × {regular, itask} × {WC, II}; (c): one full run
     // keeping its report. All independent — one batch.

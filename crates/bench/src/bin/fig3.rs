@@ -63,13 +63,9 @@ fn extract<T>(s: &apps::RunSummary<T>) -> Fig3Run {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let mut log = sweep::SweepLog::new("fig3", jobs);
-    log.set_trace(trace);
+    let h = sweep::harness();
+    let jobs = h.jobs;
+    let mut log = h.log("fig3");
 
     let size = WebmapSize::G27; // regular WC dies here; ITask survives
     let params = HyracksParams {

@@ -8,7 +8,7 @@
 //! datasets.
 
 use apps::hyracks_apps::{gr, hj, hs, ii, wc, HyracksParams};
-use itask_bench::sweep::{self, RunSpec, SweepLog};
+use itask_bench::sweep::{self, RunSpec};
 use itask_bench::{cell_csv, print_table, write_csv, Cell};
 use workloads::tpch::TpchScale;
 use workloads::webmap::WebmapSize;
@@ -71,12 +71,10 @@ fn render(
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut h = sweep::harness();
+    let jobs = h.jobs;
+    let quick = h.flag("--quick");
+    let args = h.args.clone();
     // `--csv <dir>`: also write one machine-readable file per program.
     let csv: Option<String> = args
         .iter()
@@ -111,8 +109,7 @@ fn main() {
     let web_labels: Vec<&str> = webmap.iter().map(|s| s.label()).collect();
     let tpch = TpchScale::TABLE4;
     let tpch_labels: Vec<&str> = tpch.iter().map(|s| s.label()).collect();
-    let mut log = SweepLog::new("fig9", jobs);
-    log.set_trace(trace);
+    let mut log = h.log("fig9");
 
     // Every (program, dataset, threads) run is independent: one batch.
     let progs: Vec<&str> = ["wc", "hs", "ii", "hj", "gr"]

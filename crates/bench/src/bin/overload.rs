@@ -32,7 +32,7 @@
 //! saturation verdicts, but the per-tenant rate is now microscopic and
 //! the admission plane must stay O(log n) per decision to keep up.
 
-use itask_bench::sweep::{self, SweepLog};
+use itask_bench::sweep::{self};
 use itask_bench::{cols, print_table};
 use simcore::SimDuration;
 use simserve::{
@@ -170,15 +170,11 @@ fn fmt_ms(ns: u64) -> String {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let scale = args.iter().any(|a| a == "--scale");
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut log = SweepLog::new(if scale { "overload-scale" } else { "overload" }, jobs);
-    log.set_trace(trace);
+    let mut h = sweep::harness();
+    let jobs = h.jobs;
+    let scale = h.flag("--scale");
+    let quick = h.flag("--quick");
+    let mut log = h.log(if scale { "overload-scale" } else { "overload" });
 
     let (tenants, loads): (u32, &[u64]) = match (scale, quick) {
         (false, true) => (4, &[1, 2, 4]),

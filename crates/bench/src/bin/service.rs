@@ -266,15 +266,11 @@ fn scale_policy_sweep(jobs: usize, log: &mut SweepLog, population: u32, mean_gap
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let scale = args.iter().any(|a| a == "--scale");
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut log = SweepLog::new(if scale { "service-scale" } else { "service" }, jobs);
-    log.set_trace(trace);
+    let mut h = sweep::harness();
+    let jobs = h.jobs;
+    let scale = h.flag("--scale");
+    let quick = h.flag("--quick");
+    let mut log = h.log(if scale { "service-scale" } else { "service" });
     if scale {
         // Quick keeps the population and offered load CI-sized; full
         // mode is the 10^5-tenant, ~500k jobs/s regime of

@@ -176,14 +176,10 @@ fn crash_sweep(jobs: usize, log: &mut SweepLog, quick: bool) {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut log = SweepLog::new("smr", jobs);
-    log.set_trace(trace);
+    let mut h = sweep::harness();
+    let jobs = h.jobs;
+    let quick = h.flag("--quick");
+    let mut log = h.log("smr");
     pressure_sweep(jobs, &mut log, 3, quick);
     if !quick {
         pressure_sweep(jobs, &mut log, 5, quick);

@@ -53,15 +53,11 @@ macro_rules! five_specs {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let five = !args.iter().any(|a| a == "--eight-only");
-    let eight = !args.iter().any(|a| a == "--five-only");
-    let mut log = sweep::SweepLog::new("survival13", jobs);
-    log.set_trace(trace);
+    let mut h = sweep::harness();
+    let jobs = h.jobs;
+    let five = !h.flag("--eight-only");
+    let eight = !h.flag("--five-only");
+    let mut log = h.log("survival13");
 
     // The five detailed problems contribute (crash, survive) column
     // pairs; each of the other eight renders its whole row (its crash

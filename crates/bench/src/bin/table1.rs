@@ -61,14 +61,11 @@ macro_rules! problem_specs {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
+    let h = sweep::harness();
+    let jobs = h.jobs;
+    let args = h.args.clone();
     let want = |p: &str| args.is_empty() || args.iter().any(|a| a == p);
-    let mut log = sweep::SweepLog::new("table1", jobs);
-    log.set_trace(trace);
+    let mut log = h.log("table1");
 
     // (Name, Data, Config) in table order; each contributes 3 jobs.
     let mut meta: Vec<(&str, &str, String)> = Vec::new();

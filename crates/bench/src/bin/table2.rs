@@ -29,14 +29,11 @@ fn row<T>(name: &str, s: &RunSummary<T>) -> Vec<String> {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
+    let h = sweep::harness();
+    let jobs = h.jobs;
+    let args = h.args.clone();
     let want = |p: &str| args.is_empty() || args.iter().any(|a| a == p);
-    let mut log = sweep::SweepLog::new("table2", jobs);
-    log.set_trace(trace);
+    let mut log = h.log("table2");
 
     let mut specs: Vec<RunSpec<Vec<String>>> = Vec::new();
     if want("msa") {

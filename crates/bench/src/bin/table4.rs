@@ -8,13 +8,9 @@ use itask_bench::{cols, print_table};
 use workloads::tpch::{TpchConfig, TpchScale};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let mut log = sweep::SweepLog::new("table4", jobs);
-    log.set_trace(trace);
+    let h = sweep::harness();
+    let jobs = h.jobs;
+    let mut log = h.log("table4");
 
     let header = cols(&[
         "scale",

@@ -91,12 +91,10 @@ fn scalability<T: Send>(
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut h = sweep::harness();
+    let jobs = h.jobs;
+    let quick = h.flag("--quick");
+    let args = h.args.clone();
     let want = |p: &str| {
         let progs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
         progs.is_empty() || progs.iter().any(|a| a.as_str() == p)
@@ -106,8 +104,7 @@ fn main() {
     } else {
         GRANS_KIB.to_vec()
     };
-    let mut log = SweepLog::new("table5", jobs);
-    log.set_trace(trace);
+    let mut log = h.log("table5");
 
     let webmap: Vec<WebmapSize> = {
         let mut v = WebmapSize::ALL.to_vec();

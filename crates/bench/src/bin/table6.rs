@@ -95,12 +95,10 @@ fn mean(v: &[f64]) -> f64 {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = sweep::take_jobs_flag(&mut args);
-    sweep::take_shards_flag(&mut args);
-    sweep::take_profile_flag(&mut args);
-    let trace = sweep::take_trace_flag(&mut args);
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut h = sweep::harness();
+    let jobs = h.jobs;
+    let quick = h.flag("--quick");
+    let args = h.args.clone();
     let want = |p: &str| {
         let progs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
         progs.is_empty() || progs.iter().any(|a| a.as_str() == p)
@@ -113,8 +111,7 @@ fn main() {
     let tpch = TpchScale::TABLE4;
     let n_web = if quick { 3 } else { webmap.len() };
     let n_tpch = if quick { 3 } else { tpch.len() };
-    let mut log = sweep::SweepLog::new("table6", jobs);
-    log.set_trace(trace);
+    let mut log = h.log("table6");
 
     // Paper-scale dataset sizes in GB for the scalability ratio.
     let web_gb = [3.0, 10.0, 14.0, 27.0, 44.0, 72.0];

@@ -5,8 +5,10 @@
 //! seconds, the ×1024 "paper-equivalent" seconds, GC fractions, peak
 //! heaps and OME markers.
 
+pub mod metricsfmt;
 pub mod sweep;
 pub mod tracefmt;
+pub mod trajectory;
 
 use simcore::{ByteSize, SimDuration, SCALE};
 

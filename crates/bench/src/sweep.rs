@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use simcore::{prof, tracer};
+use simcore::{metrics, prof, tracer};
 
 /// One schedulable unit of a sweep: a label (for progress lines and
 /// `BENCH_sweeps.json`) and a closure that runs one simulation.
@@ -52,6 +52,10 @@ pub struct RunOutcome<R> {
     /// The run's harvested trace events, when `--trace` armed the
     /// tracer (merged in deterministic `(time, node, seq)` order).
     pub trace: Option<tracer::RunTrace>,
+    /// The run's folded metrics, when `--metrics` armed the registry
+    /// (sampled on the virtual-time cadence grid, `(time, node,
+    /// metric)` order).
+    pub metrics: Option<metrics::RunMetrics>,
 }
 
 /// Resolves a `--jobs` value: `0` means "all available cores".
@@ -245,6 +249,138 @@ pub fn take_trace_flag(args: &mut Vec<String>) -> Option<String> {
     path
 }
 
+/// Extracts `--metrics <path>` / `--metrics=<path>` and the optional
+/// `--metrics-cadence-ms N` / `--metrics-cadence-ms=N` from an argument
+/// list (mutating it). When a path is present, arms the global
+/// [`metrics`] registry (and installs the cadence if one was given);
+/// the executor then folds each run's metric stream on its worker and
+/// [`SweepLog::finish`] writes JSONL samples to `<path>` plus an
+/// OpenMetrics-style final snapshot to `<path>.om`.
+///
+/// Stdout is untouched: the deterministic tables stay byte-identical
+/// with and without `--metrics`, and the dumps themselves are
+/// byte-identical at any `--jobs` or `--shards`.
+pub fn take_metrics_flag(args: &mut Vec<String>) -> Option<String> {
+    let mut path: Option<String> = None;
+    let mut cadence_ms: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--metrics" {
+            if i + 1 >= args.len() {
+                eprintln!("--metrics requires a path");
+                std::process::exit(2);
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            path = Some(v);
+        } else if let Some(v) = args[i].strip_prefix("--metrics=") {
+            let v = v.to_string();
+            args.remove(i);
+            path = Some(v);
+        } else if args[i] == "--metrics-cadence-ms" || args[i].starts_with("--metrics-cadence-ms=")
+        {
+            let value = if args[i] == "--metrics-cadence-ms" {
+                if i + 1 >= args.len() {
+                    eprintln!("--metrics-cadence-ms requires a value");
+                    std::process::exit(2);
+                }
+                let v = args.remove(i + 1);
+                args.remove(i);
+                v
+            } else {
+                let v = args[i]["--metrics-cadence-ms=".len()..].to_string();
+                args.remove(i);
+                v
+            };
+            match value.parse::<u64>() {
+                Ok(n) if n > 0 => cadence_ms = Some(n),
+                _ => {
+                    eprintln!("invalid --metrics-cadence-ms value: {value}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    if path.is_some() {
+        if let Some(ms) = cadence_ms {
+            metrics::set_cadence_ns(ms.saturating_mul(1_000_000));
+        }
+        metrics::enable();
+    }
+    path
+}
+
+/// The shared flag surface of every bench binary, parsed in one call.
+///
+/// [`harness`] consumes the common flags — `--jobs`, `--shards`,
+/// `--profile`, `--trace`, `--metrics`, `--metrics-cadence-ms` — with
+/// identical semantics everywhere (arming the profiler, tracer, and
+/// metrics registry as a side effect, exactly like the individual
+/// `take_*_flag` helpers). Binary-specific boolean flags come off with
+/// [`Harness::flag`]; whatever remains is positional. [`Harness::log`]
+/// then builds a [`SweepLog`] with the trace and metrics sinks already
+/// attached, so `--trace`, `--profile`, and `--metrics` compose on
+/// every binary without per-binary plumbing.
+pub struct Harness {
+    /// Arguments left after the common flags were consumed.
+    pub args: Vec<String>,
+    /// Resolved `--jobs` (0 = auto).
+    pub jobs: usize,
+    /// Resolved `--shards` (already installed process-wide).
+    pub shards: usize,
+    /// Whether `--profile` armed the profiler.
+    pub profile: bool,
+    /// The `--trace` path, if any (tracer already armed).
+    pub trace: Option<String>,
+    /// The `--metrics` path, if any (registry already armed).
+    pub metrics: Option<String>,
+}
+
+/// Parses the process arguments into a [`Harness`].
+pub fn harness() -> Harness {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    parse_harness(&mut args)
+}
+
+/// Flag-parsing core of [`harness`], testable on a plain argument list.
+pub fn parse_harness(args: &mut Vec<String>) -> Harness {
+    let jobs = take_jobs_flag(args);
+    let shards = take_shards_flag(args);
+    let profile = take_profile_flag(args);
+    let trace = take_trace_flag(args);
+    let metrics = take_metrics_flag(args);
+    Harness {
+        args: std::mem::take(args),
+        jobs,
+        shards,
+        profile,
+        trace,
+        metrics,
+    }
+}
+
+impl Harness {
+    /// Consumes a binary-specific boolean flag (e.g. `--quick`),
+    /// returning whether it was present.
+    pub fn flag(&mut self, name: &str) -> bool {
+        let before = self.args.len();
+        self.args.retain(|a| a != name);
+        self.args.len() != before
+    }
+
+    /// Builds the binary's [`SweepLog`] with the trace and metrics
+    /// sinks attached. Call after any flags that pick the log name
+    /// (e.g. `service` vs `service-scale`).
+    pub fn log(&self, bin: &str) -> SweepLog {
+        let mut log = SweepLog::new(bin, self.jobs);
+        log.set_trace(self.trace.clone());
+        log.set_metrics(self.metrics.clone());
+        log
+    }
+}
+
 /// Runs every spec on a fixed pool of `jobs` worker threads (`0` =
 /// all available cores) and returns outcomes in spec order.
 ///
@@ -279,7 +415,7 @@ pub fn run_all<'a, R: Send>(jobs: usize, specs: Vec<RunSpec<'a, R>>) -> Vec<RunO
                 let t0 = Instant::now();
                 tracer::begin_run();
                 let result = (spec.job)();
-                let trace = tracer::take_run();
+                let (trace, run_metrics) = split_harvest(tracer::take_run());
                 let wall_ms = t0.elapsed().as_millis() as u64;
                 let k = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!("[{k}/{n}] {} {wall_ms}ms", spec.label);
@@ -288,6 +424,7 @@ pub fn run_all<'a, R: Send>(jobs: usize, specs: Vec<RunSpec<'a, R>>) -> Vec<RunO
                     result,
                     wall_ms,
                     trace,
+                    metrics: run_metrics,
                 });
             });
         }
@@ -300,6 +437,29 @@ pub fn run_all<'a, R: Send>(jobs: usize, specs: Vec<RunSpec<'a, R>>) -> Vec<RunO
                 .expect("sweep worker died before storing a result")
         })
         .collect()
+}
+
+/// Splits one run's harvested event stream into its trace and metrics
+/// views. Metric ops ride the tracer's buffers (that is what makes them
+/// deterministic under sharding and speculation), so with both planes
+/// armed the harvest interleaves them; each consumer only sees its own
+/// events. The fold runs here — on the sweep worker — so `--jobs`
+/// parallelism covers it.
+fn split_harvest(
+    harvest: Option<tracer::RunTrace>,
+) -> (Option<tracer::RunTrace>, Option<metrics::RunMetrics>) {
+    let Some(events) = harvest else {
+        return (None, None);
+    };
+    let want_trace = tracer::is_enabled();
+    if !metrics::is_enabled() {
+        return (want_trace.then_some(events), None);
+    }
+    let (metric_events, trace_events): (Vec<_>, Vec<_>) = events
+        .into_iter()
+        .partition(|e| matches!(e.data, tracer::TraceData::Metric { .. }));
+    let folded = metrics::fold(&metric_events, metrics::cadence_ns());
+    (want_trace.then_some(trace_events), Some(folded))
 }
 
 /// Per-binary wall-clock log, persisted as JSON.
@@ -316,6 +476,8 @@ pub struct SweepLog {
     started: Instant,
     trace_path: Option<String>,
     stream: Option<TraceStream>,
+    metrics_path: Option<String>,
+    mstream: Option<MetricsStream>,
 }
 
 /// Incremental trace writer: each absorbed run is rendered, appended to
@@ -377,6 +539,53 @@ impl TraceStream {
     }
 }
 
+/// Incremental metrics writer: sampled points stream to `<path>` as
+/// JSONL per absorbed run; the folded runs are retained (they are tiny
+/// next to the raw event stream) so [`MetricsStream::close`] can render
+/// the OpenMetrics-style final snapshot to `<path>.om`.
+struct MetricsStream {
+    jsonl: std::io::BufWriter<std::fs::File>,
+    om_path: std::ffi::OsString,
+    runs: Vec<(String, metrics::RunMetrics)>,
+}
+
+impl MetricsStream {
+    fn open(path: &str) -> std::io::Result<Self> {
+        let path = std::path::Path::new(path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let jsonl = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let mut om_path = path.as_os_str().to_owned();
+        om_path.push(".om");
+        Ok(MetricsStream {
+            jsonl,
+            om_path,
+            runs: Vec::new(),
+        })
+    }
+
+    fn append(&mut self, label: &str, m: &metrics::RunMetrics) -> std::io::Result<()> {
+        use std::io::Write;
+        self.jsonl
+            .write_all(metrics::jsonl_run(self.runs.len(), label, m).as_bytes())?;
+        self.runs.push((label.to_string(), m.clone()));
+        Ok(())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        use std::io::Write;
+        self.jsonl.flush()
+    }
+
+    fn close(mut self) -> std::io::Result<()> {
+        self.flush()?;
+        std::fs::write(&self.om_path, metrics::openmetrics(&self.runs))
+    }
+}
+
 impl SweepLog {
     /// Starts a log for one binary; `jobs` is the resolved worker count.
     pub fn new(bin: &str, jobs: usize) -> Self {
@@ -387,6 +596,8 @@ impl SweepLog {
             started: Instant::now(),
             trace_path: None,
             stream: None,
+            metrics_path: None,
+            mstream: None,
         }
     }
 
@@ -398,12 +609,21 @@ impl SweepLog {
         self.trace_path = path;
     }
 
+    /// Arms metrics export: each absorbed batch streams JSONL samples
+    /// to `path` (run index = batch order) and [`SweepLog::finish`]
+    /// writes the final OpenMetrics snapshot to `path.om`. Pass the
+    /// value returned by [`take_metrics_flag`].
+    pub fn set_metrics(&mut self, path: Option<String>) {
+        self.metrics_path = path;
+    }
+
     /// Records the wall-clock of every outcome in a batch, streaming
     /// any harvested traces straight to the trace files (flushed per
     /// batch — nothing is buffered across batches).
     pub fn absorb<R>(&mut self, outcomes: &[RunOutcome<R>]) {
         self.runs.reserve(outcomes.len());
         let mut wrote = false;
+        let mut wrote_metrics = false;
         for o in outcomes {
             self.runs.push((o.label.clone(), o.wall_ms));
             if let Some(trace) = &o.trace {
@@ -414,11 +634,26 @@ impl SweepLog {
                 }
                 wrote = true;
             }
+            if let Some(m) = &o.metrics {
+                if let Err(e) = self.append_metrics(&o.label, m) {
+                    eprintln!("[sweep] could not stream metrics, disarming: {e}");
+                    self.metrics_path = None;
+                    self.mstream = None;
+                }
+                wrote_metrics = true;
+            }
         }
         if wrote {
             if let Some(stream) = &mut self.stream {
                 if let Err(e) = stream.flush() {
                     eprintln!("[sweep] could not flush trace files: {e}");
+                }
+            }
+        }
+        if wrote_metrics {
+            if let Some(stream) = &mut self.mstream {
+                if let Err(e) = stream.flush() {
+                    eprintln!("[sweep] could not flush metrics file: {e}");
                 }
             }
         }
@@ -438,6 +673,17 @@ impl SweepLog {
             .append(label, trace)
     }
 
+    /// Appends one run to the metrics files, opening them on first use.
+    fn append_metrics(&mut self, label: &str, m: &metrics::RunMetrics) -> std::io::Result<()> {
+        if self.mstream.is_none() {
+            let Some(path) = &self.metrics_path else {
+                return Ok(());
+            };
+            self.mstream = Some(MetricsStream::open(path)?);
+        }
+        self.mstream.as_mut().expect("just opened").append(label, m)
+    }
+
     /// Records a single timed step that ran outside the executor.
     pub fn push(&mut self, label: impl Into<String>, wall_ms: u64) {
         self.runs.push((label.into(), wall_ms));
@@ -451,6 +697,9 @@ impl SweepLog {
         let total_ms = self.started.elapsed().as_millis() as u64;
         if let Err(e) = self.finish_traces() {
             eprintln!("[sweep] could not write trace files: {e}");
+        }
+        if let Err(e) = self.finish_metrics() {
+            eprintln!("[sweep] could not write metrics files: {e}");
         }
         if let Err(e) = self.write(total_ms) {
             eprintln!("[sweep] could not write BENCH_sweeps.json: {e}");
@@ -466,6 +715,20 @@ impl SweepLog {
             }
         }
         match self.stream.take() {
+            Some(stream) => stream.close(),
+            None => Ok(()),
+        }
+    }
+
+    /// Closes the metrics files (writing the `.om` snapshot). A metered
+    /// sweep that harvested zero runs still produces valid empty files.
+    fn finish_metrics(&mut self) -> std::io::Result<()> {
+        if self.mstream.is_none() {
+            if let Some(path) = &self.metrics_path {
+                self.mstream = Some(MetricsStream::open(path)?);
+            }
+        }
+        match self.mstream.take() {
             Some(stream) => stream.close(),
             None => Ok(()),
         }
@@ -683,6 +946,110 @@ mod tests {
         let jsonl = std::fs::read_to_string(dir.join("trace.json.jsonl")).unwrap();
         assert_eq!(jsonl.lines().count(), 4); // 2 headers + 2 events
         assert_eq!(jsonl, tracer::jsonl(&whole));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_flag_parsing() {
+        // Note: a hit arms the global registry; disarm before leaving
+        // so other tests in this binary see the default-off state.
+        let mut args = vec![
+            "--quick".to_string(),
+            "--metrics".into(),
+            "m.jsonl".into(),
+            "--metrics-cadence-ms=5".into(),
+        ];
+        assert_eq!(take_metrics_flag(&mut args).as_deref(), Some("m.jsonl"));
+        assert_eq!(args, vec!["--quick".to_string()]);
+        assert!(metrics::is_enabled());
+        assert_eq!(metrics::cadence_ns(), 5_000_000);
+        metrics::disable();
+        metrics::set_cadence_ns(metrics::DEFAULT_CADENCE_NS);
+        let mut args = vec!["--metrics=x/y.jsonl".to_string(), "wc".into()];
+        assert_eq!(take_metrics_flag(&mut args).as_deref(), Some("x/y.jsonl"));
+        assert_eq!(args, vec!["wc".to_string()]);
+        metrics::disable();
+        let mut args = vec!["wc".to_string()];
+        assert_eq!(take_metrics_flag(&mut args), None);
+        assert!(!metrics::is_enabled());
+    }
+
+    #[test]
+    fn harness_takes_common_and_custom_flags() {
+        let mut args = vec![
+            "--jobs=2".to_string(),
+            "--quick".into(),
+            "wc".into(),
+            "--shards=1".into(),
+        ];
+        let mut h = parse_harness(&mut args);
+        assert_eq!(h.jobs, 2);
+        assert_eq!(h.shards, 1);
+        assert!(!h.profile);
+        assert_eq!(h.trace, None);
+        assert_eq!(h.metrics, None);
+        assert!(h.flag("--quick"));
+        assert!(!h.flag("--quick"), "flag consumed on first take");
+        assert_eq!(h.args, vec!["wc".to_string()]);
+    }
+
+    #[test]
+    fn trace_and_metrics_compose_in_one_sweep() {
+        use simcore::{NodeId, SimDuration, SimTime};
+        // Arms both global planes: serialize against the other arming
+        // tests in this binary.
+        let dir = std::env::temp_dir().join(format!("itask_sweepboth_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        tracer::enable();
+        metrics::enable();
+        let cadence = metrics::cadence_ns();
+        let specs: Vec<RunSpec<'_, ()>> = (0..2u64)
+            .map(|i| {
+                spec(format!("run{i}"), move || {
+                    tracer::emit(
+                        None,
+                        None,
+                        SimTime::from_nanos(i),
+                        SimDuration::ZERO,
+                        tracer::TraceData::NodeCrash,
+                    );
+                    metrics::counter_add(
+                        Some(NodeId(0)),
+                        metrics::Metric::MemGcCount,
+                        SimTime::from_nanos(cadence / 2),
+                        3,
+                    );
+                })
+            })
+            .collect();
+        let out = run_all(1, specs);
+        tracer::disable();
+        metrics::disable();
+        for o in &out {
+            let trace = o.trace.as_ref().expect("trace harvested");
+            assert_eq!(trace.len(), 1, "metric ops must not leak into the trace");
+            assert!(matches!(trace[0].data, tracer::TraceData::NodeCrash));
+            let m = o.metrics.as_ref().expect("metrics folded");
+            assert_eq!(m.points.len(), 1);
+            assert_eq!(m.points[0].at, cadence);
+            assert_eq!(m.points[0].value, 3);
+        }
+        let mut log = SweepLog::new("bothbin", 1);
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("metrics.jsonl");
+        log.set_trace(Some(trace_path.to_string_lossy().into_owned()));
+        log.set_metrics(Some(metrics_path.to_string_lossy().into_owned()));
+        log.absorb(&out);
+        log.finish_traces().unwrap();
+        log.finish_metrics().unwrap();
+        let chrome = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(chrome.contains("\"traceEvents\""));
+        let mj = std::fs::read_to_string(&metrics_path).unwrap();
+        assert_eq!(mj.lines().count(), 4); // 2 run headers + 2 points
+        assert!(mj.contains("\"metric\":\"mem.gc_count\""));
+        let om = std::fs::read_to_string(dir.join("metrics.jsonl.om")).unwrap();
+        assert!(om.contains("# TYPE mem_gc_count counter"));
+        assert!(om.ends_with("# EOF\n"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

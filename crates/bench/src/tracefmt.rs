@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use simserve::sketch::QuantileSketch;
+use simserve::sketch::{fmt_ms, QuantileSketch};
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -345,39 +345,14 @@ pub fn load_jsonl(text: &str) -> Result<Vec<TraceRun>, String> {
     Ok(runs)
 }
 
-fn fmt_ms(ns: u64) -> String {
-    format!("{:.3}ms", ns as f64 / 1e6)
-}
-
 fn sketch_line(s: &QuantileSketch) -> String {
-    if s.is_empty() {
-        "n=0".to_string()
-    } else {
-        format!(
-            "n={:<5} p50={:<10} p90={:<10} max={}",
-            s.count(),
-            fmt_ms(s.quantile(0.5)),
-            fmt_ms(s.quantile(0.9)),
-            fmt_ms(s.max()),
-        )
-    }
+    s.snapshot().mid_line()
 }
 
 /// Like [`sketch_line`] but with the tail quantiles an SLO lens needs:
 /// commit latencies are judged at p99/p99.9, not p90.
 fn tail_line(s: &QuantileSketch) -> String {
-    if s.is_empty() {
-        "n=0".to_string()
-    } else {
-        format!(
-            "n={:<5} p50={:<10} p99={:<10} p99.9={:<10} max={}",
-            s.count(),
-            fmt_ms(s.quantile(0.5)),
-            fmt_ms(s.quantile(0.99)),
-            fmt_ms(s.quantile(0.999)),
-            fmt_ms(s.max()),
-        )
-    }
+    s.snapshot().tail_line()
 }
 
 /// Aggregates a run computes once and both `report` and `diff` read.

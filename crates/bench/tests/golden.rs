@@ -127,6 +127,33 @@ fn golden_tracectl_faults_wc() {
 }
 
 #[test]
+fn golden_metricsctl_faults_wc() {
+    // Two stages: a metered faults sweep, then `metricsctl report` over
+    // the dump. The report is pure virtual-time aggregation, so its
+    // stdout is as byte-stable as the table itself.
+    let scratch = std::env::temp_dir().join(format!("itask-golden-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let metrics = scratch.join("faults_wc_metrics.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_faults"))
+        .args(["--wc-only", "--metrics"])
+        .arg(&metrics)
+        .env("ITASK_BENCH_RESULTS", &scratch)
+        .output()
+        .expect("spawn faults");
+    assert!(
+        out.status.success(),
+        "faults --wc-only --metrics exited with {}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    check_golden(
+        env!("CARGO_BIN_EXE_metricsctl"),
+        &["report", metrics.to_str().expect("utf-8 scratch path")],
+        "metricsctl_faults_wc.txt",
+    );
+}
+
+#[test]
 fn golden_overload_quick() {
     check_golden(
         env!("CARGO_BIN_EXE_overload"),

@@ -13,7 +13,7 @@
 //! list only when locally enabled via [`IrsTrace::enable`].
 
 use simcore::tracer::{self, EventId, TraceData};
-use simcore::{ByteSize, NodeId, PartitionId, SimDuration, SimTime, TaskId};
+use simcore::{metrics, ByteSize, NodeId, PartitionId, SimDuration, SimTime, TaskId};
 
 /// One IRS decision.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -128,6 +128,27 @@ impl IrsTrace {
         } else {
             EventId::NONE
         };
+        // The metrics plane watches the same funnel: signal level as a
+        // gauge, interrupts/serializations as counters.
+        if metrics::is_enabled() {
+            use metrics::Metric;
+            match &event {
+                IrsEvent::ReduceSignal => {
+                    metrics::gauge_add(self.node, Metric::IrsSignal, at, -1);
+                }
+                IrsEvent::GrowSignal => {
+                    metrics::gauge_add(self.node, Metric::IrsSignal, at, 1);
+                }
+                IrsEvent::Interrupted { .. } => {
+                    metrics::counter_add(self.node, Metric::IrsInterrupts, at, 1);
+                }
+                IrsEvent::Serialized { freed, .. } => {
+                    metrics::counter_add(self.node, Metric::IrsSerialized, at, 1);
+                    metrics::counter_add(self.node, Metric::IrsSerializedBytes, at, freed.as_u64());
+                }
+                _ => {}
+            }
+        }
         if self.enabled {
             self.events.push(TracedEvent { at, event });
         }

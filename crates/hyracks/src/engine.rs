@@ -8,7 +8,7 @@ use itask_core::{
     offer_serialized, ITask, Irs, IrsConfig, ItaskWorker, PartitionState, Tag, TaskGraph, Tuple,
 };
 use simcluster::{Cluster, JobOutcome, JobReport, ShardExecutor, WorkCx, DEFAULT_IO_RETRIES};
-use simcore::{prof, tracer, ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
+use simcore::{metrics, prof, tracer, ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
 
 use crate::operator::{BucketArena, Operator, OperatorWorker, OutputSink};
 use crate::pool::BatchPool;
@@ -313,6 +313,9 @@ fn shuffle<T: Tuple>(
                 wire_ns: wire_total.as_nanos(),
             },
         );
+    }
+    if metrics::is_enabled() && byte_count > 0 {
+        metrics::counter_add(None, metrics::Metric::ShuffleBytes, now, byte_count);
     }
     Ok((per_node, max_wire))
 }

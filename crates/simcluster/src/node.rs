@@ -1,8 +1,8 @@
 //! Per-node state and the context handed to simulated threads.
 
 use simcore::{
-    tracer, ByteSize, CostModel, EventLog, FaultInjector, LogMark, NodeId, SimDuration, SimError,
-    SimResult, SimTime, SpaceId,
+    metrics, tracer, ByteSize, CostModel, EventLog, FaultInjector, LogMark, NodeId, SimDuration,
+    SimError, SimResult, SimTime, SpaceId,
 };
 use simmem::{GcRecord, Heap, HeapConfig, HeapCounters};
 use simstore::{Disk, FileId};
@@ -86,6 +86,7 @@ impl NodeState {
                         },
                     );
                 }
+                metrics::counter_add(Some(self.id), metrics::Metric::MemOom, self.now, 1);
                 Err(SimError::OutOfMemory {
                     node: self.id,
                     requested,

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use simcore::{tracer, ByteSize, SimDuration, SimError, ThreadId};
+use simcore::{metrics, tracer, ByteSize, SimDuration, SimError, ThreadId};
 
 use crate::node::{NodeCheckpoint, NodeState, WorkCx};
 use crate::work::{StepOutcome, Work};
@@ -31,6 +31,9 @@ pub struct NodeSimCheckpoint {
     slots: Vec<(ThreadState, u64)>,
     scope_cpu: BTreeMap<u64, SimDuration>,
     last_traced_threads: usize,
+    last_metered_threads: usize,
+    pending_quanta: u64,
+    last_metric_cell: Option<u64>,
 }
 
 /// Scheduling state of a thread slot.
@@ -107,6 +110,14 @@ pub struct NodeSim {
     /// Runnable-thread count last emitted into the tracer; quantum
     /// events fire only when the count changes.
     last_traced_threads: usize,
+    /// Runnable-thread count last emitted as a metrics gauge (separate
+    /// cursor: the two planes arm independently).
+    last_metered_threads: usize,
+    /// Quanta stepped since the last metrics flush; emitted as one
+    /// counter add per cadence cell instead of one per round.
+    pending_quanta: u64,
+    /// The cadence cell heap/quanta metrics last flushed in.
+    last_metric_cell: Option<u64>,
 }
 
 impl NodeSim {
@@ -125,6 +136,9 @@ impl NodeSim {
             crashed: false,
             scope_cpu: BTreeMap::new(),
             last_traced_threads: usize::MAX,
+            last_metered_threads: usize::MAX,
+            pending_quanta: 0,
+            last_metric_cell: None,
         }
     }
 
@@ -388,6 +402,41 @@ impl NodeSim {
                 },
             );
         }
+        if metrics::is_enabled() {
+            use metrics::Metric;
+            let node = Some(self.node.id);
+            // Runnable-thread gauge: change-driven, like the trace twin.
+            if running != self.last_metered_threads {
+                self.last_metered_threads = running;
+                metrics::gauge_set(node, Metric::SchedRunnable, self.node.now, running as i64);
+            }
+            // Quanta and heap occupancy batch per cadence cell —
+            // per-round emission would swamp the buffers on long runs.
+            // A run's final partial cell is deliberately unflushed.
+            self.pending_quanta += report.stepped as u64;
+            let cell = metrics::cell_of(self.node.now);
+            if Some(cell) != self.last_metric_cell {
+                self.last_metric_cell = Some(cell);
+                if self.pending_quanta > 0 {
+                    metrics::counter_add(
+                        node,
+                        Metric::SchedQuanta,
+                        self.node.now,
+                        std::mem::take(&mut self.pending_quanta),
+                    );
+                }
+                let cap = self.node.heap.capacity().as_u64();
+                let used = self.node.heap.used().as_u64();
+                metrics::gauge_set(node, Metric::MemHeapBytes, self.node.now, cap as i64);
+                metrics::gauge_set(
+                    node,
+                    Metric::MemFreeBytes,
+                    self.node.now,
+                    (cap - used) as i64,
+                );
+                metrics::gauge_set(node, Metric::MemLiveBytes, self.node.now, used as i64);
+            }
+        }
         self.node.sample_heap();
         report
     }
@@ -405,6 +454,9 @@ impl NodeSim {
             slots: self.threads.iter().map(|t| (t.state, t.progress)).collect(),
             scope_cpu: self.scope_cpu.clone(),
             last_traced_threads: self.last_traced_threads,
+            last_metered_threads: self.last_metered_threads,
+            pending_quanta: self.pending_quanta,
+            last_metric_cell: self.last_metric_cell,
         }
     }
 
@@ -418,6 +470,9 @@ impl NodeSim {
         }
         self.scope_cpu = cp.scope_cpu.clone();
         self.last_traced_threads = cp.last_traced_threads;
+        self.last_metered_threads = cp.last_metered_threads;
+        self.pending_quanta = cp.pending_quanta;
+        self.last_metric_cell = cp.last_metric_cell;
     }
 }
 

@@ -17,8 +17,10 @@ pub mod fault;
 pub mod ids;
 pub mod jbloat;
 pub mod log;
+pub mod metrics;
 pub mod prof;
 pub mod rng;
+pub mod sketch;
 pub mod time;
 pub mod tracer;
 
@@ -33,6 +35,7 @@ pub use ids::{JobId, NodeId, PartitionId, SpaceId, TaskId, ThreadId};
 pub use jbloat::HeapSized;
 pub use log::{EventLog, LogMark, Sample, Series};
 pub use rng::DetRng;
+pub use sketch::{QuantileSketch, SketchSnapshot};
 pub use time::{SimDuration, SimTime};
 
 /// The global data/heap scale of the reproduction relative to the paper.

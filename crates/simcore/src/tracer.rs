@@ -264,6 +264,16 @@ pub enum TraceData {
         /// alive, if any.
         cause: EventId,
     },
+    /// A metrics-plane update ([`crate::metrics`]) riding the trace
+    /// stream so it inherits stream-namespaced ids, speculation rewind
+    /// and the deterministic harvest merge. The sweep executor routes
+    /// these to the metrics fold; trace files never contain them.
+    Metric {
+        /// The registry entry being updated.
+        metric: crate::metrics::Metric,
+        /// The update operation.
+        op: crate::metrics::MetricOp,
+    },
 }
 
 impl TraceData {
@@ -297,6 +307,7 @@ impl TraceData {
             TraceData::SmrAck { .. } => "ack",
             TraceData::Commit { .. } => "commit",
             TraceData::ViewChange { .. } => "view_change",
+            TraceData::Metric { .. } => "metric",
         }
     }
 
@@ -440,6 +451,19 @@ impl TraceData {
                 leader,
                 cause,
             } => format!("\"view\":{view},\"leader\":{leader},\"cause\":{}", cause.0),
+            TraceData::Metric { metric, op } => {
+                use crate::metrics::MetricOp;
+                let (op_name, value) = match op {
+                    MetricOp::CounterAdd(n) => ("add", *n as i64),
+                    MetricOp::GaugeSet(v) => ("set", *v),
+                    MetricOp::GaugeAdd(d) => ("adj", *d),
+                    MetricOp::Observe(v) => ("observe", *v as i64),
+                };
+                format!(
+                    "\"metric\":\"{}\",\"op\":\"{op_name}\",\"value\":{value}",
+                    metric.name()
+                )
+            }
         }
     }
 }
@@ -504,11 +528,20 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Whether the shared event buffers are armed at all: tracing *or* the
+/// metrics plane. Buffer install/harvest machinery keys off this;
+/// [`emit`] itself stays gated on [`is_enabled`] so trace events vanish
+/// under metrics-only arming.
+#[inline]
+pub(crate) fn armed() -> bool {
+    is_enabled() || crate::metrics::is_enabled()
+}
+
 /// Installs a fresh event buffer for the run about to execute on this
-/// thread (no-op while tracing is disabled). The sweep executor calls
-/// this immediately before each run closure.
+/// thread (no-op while both tracing and metrics are disabled). The
+/// sweep executor calls this immediately before each run closure.
 pub fn begin_run() {
-    if is_enabled() {
+    if armed() {
         RUN.with(|r| *r.borrow_mut() = Some(RunBuf::default()));
     }
 }
@@ -528,9 +561,9 @@ pub fn take_run() -> Option<RunTrace> {
 /// `next`. The shard executor wraps each node round in the node's own
 /// stream (stream `n + 1`; 0 is the driver), making every event id
 /// independent of which OS thread — and which `--shards` count — ran
-/// the round. No-op while tracing is disabled.
+/// the round. No-op while both tracing and metrics are disabled.
 pub fn stream_begin(stream: u32, next: u64) {
-    if is_enabled() {
+    if armed() {
         STREAM.with(|s| {
             *s.borrow_mut() = Some(StreamBuf {
                 stream,
@@ -557,7 +590,7 @@ pub fn stream_take(next: u64) -> (u64, Vec<Event>) {
 /// segments may be absorbed in any order. Dropped while disabled or
 /// outside a run.
 pub fn absorb(events: Vec<Event>) {
-    if !is_enabled() || events.is_empty() {
+    if !armed() || events.is_empty() {
         return;
     }
     RUN.with(|r| {
@@ -579,6 +612,20 @@ pub fn emit(
     if !is_enabled() {
         return EventId::NONE;
     }
+    emit_raw(node, scope, at, dur, data)
+}
+
+/// Appends one event regardless of the trace-enable flag — the metrics
+/// plane gates on its own flag and shares these buffers so metric
+/// updates get the same deterministic ids as trace events. Still a
+/// no-op (returning [`EventId::NONE`]) outside an installed buffer.
+pub(crate) fn emit_raw(
+    node: Option<NodeId>,
+    scope: Option<u64>,
+    at: SimTime,
+    dur: SimDuration,
+    data: TraceData,
+) -> EventId {
     // A stream overlay (a node round executing under the shard
     // executor) captures the event with a namespaced id; otherwise the
     // run buffer's driver sequence (stream 0) applies.
@@ -622,7 +669,7 @@ pub fn emit(
     })
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -798,6 +845,35 @@ mod tests {
         );
         assert_eq!(id, EventId::NONE);
         assert!(take_run().is_none());
+    }
+
+    #[test]
+    fn metrics_arming_installs_buffers_but_hides_trace_events() {
+        let _g = lock();
+        disable();
+        crate::metrics::enable();
+        begin_run();
+        // Trace emission stays a no-op under metrics-only arming, so
+        // unguarded emit call sites go silent when just --metrics is on.
+        let id = emit(
+            None,
+            None,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            TraceData::NodeCrash,
+        );
+        assert_eq!(id, EventId::NONE);
+        crate::metrics::counter_add(
+            Some(NodeId(1)),
+            crate::metrics::Metric::MemGcCount,
+            SimTime::from_nanos(5),
+            2,
+        );
+        let run = take_run().unwrap();
+        crate::metrics::disable();
+        assert_eq!(run.len(), 1);
+        assert!(matches!(run[0].data, TraceData::Metric { .. }));
+        assert_eq!(run[0].id, EventId(1), "metric ops draw from the run ids");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The heap state machine.
 
-use simcore::{prof, tracer, ByteSize, CostModel, NodeId, SimDuration, SimTime, SpaceId};
+use simcore::{metrics, prof, tracer, ByteSize, CostModel, NodeId, SimDuration, SimTime, SpaceId};
 
 use crate::gc::{GcKind, GcRecord, GcStats};
 use crate::space::SpaceInfo;
@@ -271,6 +271,23 @@ impl Heap {
                     useless: rec.useless,
                 },
             );
+        }
+        // The metrics plane shares this choke point, so the gc_pause_ns
+        // counter, the profiler's gc vtime and traced span durations
+        // are one number by construction.
+        if metrics::is_enabled() {
+            use metrics::Metric;
+            let node = self.trace_node;
+            metrics::counter_add(node, Metric::MemGcCount, rec.at, 1);
+            metrics::counter_add(node, Metric::MemGcPauseNs, rec.at, rec.pause.as_nanos());
+            if rec.useless {
+                metrics::counter_add(node, Metric::MemUselessGc, rec.at, 1);
+            }
+            let cap = self.cfg.capacity.as_u64();
+            let free = rec.free_after.as_u64();
+            metrics::gauge_set(node, Metric::MemHeapBytes, rec.at, cap as i64);
+            metrics::gauge_set(node, Metric::MemFreeBytes, rec.at, free as i64);
+            metrics::gauge_set(node, Metric::MemLiveBytes, rec.at, (cap - free) as i64);
         }
     }
 

@@ -14,8 +14,8 @@
 //! transfer with [`simcore::SimError::NetPartition`].
 
 use simcore::{
-    ByteSize, CostModel, FaultInjector, FaultStats, LinkState, NodeId, SimDuration, SimError,
-    SimResult, SimTime,
+    metrics, ByteSize, CostModel, FaultInjector, FaultStats, LinkState, NodeId, SimDuration,
+    SimError, SimResult, SimTime,
 };
 
 /// Wire shapes of the quorum RPCs a replicated state machine puts on
@@ -160,7 +160,11 @@ impl Fabric {
             )));
         }
         if self.injector.is_none() {
-            return Ok(self.transfer(src, dst, bytes));
+            let t = self.transfer(src, dst, bytes);
+            if src != dst {
+                meter_transfer(src, bytes, now, t);
+            }
+            return Ok(t);
         }
         if src == dst {
             self.stats.bytes_local += bytes;
@@ -194,6 +198,7 @@ impl Fabric {
         self.stats.bytes_remote += bytes;
         self.stats.remote_transfers += 1;
         self.stats.wire_time += wire;
+        meter_transfer(src, bytes, now, wait + wire);
         Ok(wait + wire)
     }
 
@@ -221,6 +226,26 @@ impl Fabric {
     pub fn shuffle_time(&self, receivers: usize, bytes_per_pair: ByteSize) -> SimDuration {
         let outbound = bytes_per_pair * receivers.max(1) as u64;
         self.cost.net_transfer(outbound)
+    }
+}
+
+/// Metrics hook for one time-aware remote transfer: the byte counter
+/// plus an in-flight gauge that rises at send time and falls when the
+/// wire drains (the harvest merge re-orders the future-stamped drop
+/// into place).
+#[inline]
+fn meter_transfer(src: NodeId, bytes: ByteSize, now: SimTime, total: SimDuration) {
+    if metrics::is_enabled() {
+        use metrics::Metric;
+        let b = bytes.as_u64();
+        metrics::counter_add(Some(src), Metric::NetBytes, now, b);
+        metrics::gauge_add(Some(src), Metric::NetInflightBytes, now, b as i64);
+        metrics::gauge_add(
+            Some(src),
+            Metric::NetInflightBytes,
+            now + total,
+            -(b as i64),
+        );
     }
 }
 

@@ -16,7 +16,8 @@ use std::collections::BTreeMap;
 use itask_core::MemSignal;
 use simcluster::{run_parts, Cluster, ClusterConfig, ShardExecutor};
 use simcore::{
-    tracer, tracer::EventId, ByteSize, EventLog, FaultPlan, NodeId, SimDuration, SimError, SimTime,
+    metrics, tracer, tracer::EventId, ByteSize, EventLog, FaultPlan, NodeId, SimDuration, SimError,
+    SimTime,
 };
 
 use crate::admission::{AdmissionConfig, AdmissionController, ClusterView, QueuedJob};
@@ -284,6 +285,9 @@ pub struct Service {
     oom_round: Vec<u64>,
     /// Per-node id of the last storm trace event (breaker causal link).
     last_storm: Vec<EventId>,
+    /// Per-shard queue depth last published to the metrics plane
+    /// (change-driven so idle rounds emit nothing).
+    last_queue_depth: Vec<i64>,
     /// Id of the last storm event anywhere (brownout causal link).
     last_storm_any: EventId,
     quarantines: u64,
@@ -354,6 +358,7 @@ impl Service {
             }
         };
         let nodes = cfg.nodes;
+        let n_shards = controllers.len();
         Service {
             cfg,
             cluster,
@@ -375,6 +380,7 @@ impl Service {
             gc_seen: vec![(0, 0, 0); nodes],
             oom_round: vec![0; nodes],
             last_storm: vec![EventId::NONE; nodes],
+            last_queue_depth: vec![i64::MIN; n_shards],
             last_storm_any: EventId::NONE,
             quarantines: 0,
             brownout_rounds: 0,
@@ -506,6 +512,22 @@ impl Service {
         let queued = self.queued_total();
         self.peak_queued = self.peak_queued.max(queued);
         self.log.record("svc.queued", now, queued as f64);
+        // Per-shard queue depths, keyed by shard index in the node
+        // label (the admission plane has no node of its own).
+        if metrics::is_enabled() {
+            for (s, c) in self.controllers.iter().enumerate() {
+                let depth = c.queued() as i64;
+                if self.last_queue_depth[s] != depth {
+                    self.last_queue_depth[s] = depth;
+                    metrics::gauge_set(
+                        Some(NodeId(s as u32)),
+                        metrics::Metric::ServeQueueDepth,
+                        now,
+                        depth,
+                    );
+                }
+            }
+        }
     }
 
     /// Accounts and traces every shed decision the controller recorded
@@ -534,6 +556,14 @@ impl Service {
                         reason: s.reason.label(),
                     },
                 );
+            }
+            if metrics::is_enabled() {
+                let m = match s.reason {
+                    ShedReason::DeadlineExpired => metrics::Metric::ServeShedDeadline,
+                    ShedReason::QueueFull => metrics::Metric::ServeShedQueueFull,
+                    ShedReason::RetryBudget => metrics::Metric::ServeShedRetryBudget,
+                };
+                metrics::counter_add(None, m, s.at, 1);
             }
             self.log.record("svc.shed", now, 1.0);
         }
@@ -604,6 +634,7 @@ impl Service {
                     },
                 );
             }
+            metrics::counter_add(None, metrics::Metric::ServeAdmitted, now, 1);
             let failure = driver.start(&mut self.cluster).err();
             let slo = self.slos.entry(job.tenant).or_default();
             slo.queue_wait.insert(wait);
@@ -702,6 +733,7 @@ impl Service {
                         },
                     );
                 }
+                metrics::counter_add(None, metrics::Metric::ServeAdmitted, now, 1);
                 let failure = driver.start(&mut self.cluster).err();
                 // Bounded memory at 10^5 tenants: waits go into the
                 // shard sketch, not per-tenant sketches.
@@ -925,6 +957,15 @@ impl Service {
                         },
                     );
                 }
+                if metrics::is_enabled() {
+                    // closed=0, half-open=1, open=2 (higher = sicker).
+                    let level = match transition {
+                        BreakerTransition::Closed => 0,
+                        BreakerTransition::HalfOpened => 1,
+                        BreakerTransition::Opened => 2,
+                    };
+                    metrics::gauge_set(Some(node), metrics::Metric::ServeBreakerState, now, level);
+                }
                 match transition {
                     BreakerTransition::Opened => {
                         self.quarantines += 1;
@@ -966,6 +1007,7 @@ impl Service {
             let (entered, exited) = self.brownout.observe(&bcfg, ratio, now);
             if entered {
                 self.log.record("svc.brownout", now, 1.0);
+                metrics::gauge_set(None, metrics::Metric::ServeBrownout, now, 1);
             }
             if self.brownout.active() {
                 self.brownout_rounds += 1;
@@ -984,6 +1026,7 @@ impl Service {
             }
             if let Some((since, rounds)) = exited {
                 self.log.record("svc.brownout", now, 0.0);
+                metrics::gauge_set(None, metrics::Metric::ServeBrownout, now, 0);
                 if tracer::is_enabled() {
                     tracer::emit(
                         None,
@@ -1048,6 +1091,8 @@ impl Service {
                         },
                     );
                 }
+                metrics::counter_add(None, metrics::Metric::ServeCompleted, now, 1);
+                metrics::observe(None, metrics::Metric::ServeLatencyNs, now, latency);
                 self.total_outputs += job.driver.output_count().unwrap_or(0);
                 self.log.record("svc.completed", now, 1.0);
             } else {
@@ -1099,9 +1144,11 @@ impl Service {
                     self.controllers[shard].requeue_after(job.queued, now, delay);
                 } else {
                     slo.failed += 1;
+                    metrics::counter_add(None, metrics::Metric::ServeFailed, now, 1);
                     self.log.record("svc.failed", now, 1.0);
                     if budget_denied {
                         slo.shed_retry += 1;
+                        metrics::counter_add(None, metrics::Metric::ServeShedRetryBudget, now, 1);
                         self.log.record("svc.shed", now, 1.0);
                         if tracer::is_enabled() {
                             tracer::emit(

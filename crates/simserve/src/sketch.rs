@@ -1,249 +1,6 @@
-//! A deterministic quantile sketch (Munro–Paterson style compacting
-//! buffers) for SLO latency accounting.
-//!
-//! The service records one latency sample per completed job and reports
-//! p50/p95/p99 per tenant. Sorting every sample would be exact but
-//! O(n log n) memory; a sketch with `k`-slot buffers per level keeps
-//! memory at O(k log(n/k)) with a deterministic, platform-independent
-//! answer — the same inserts in the same order always produce the same
-//! quantiles, which the byte-identical service table depends on.
-//!
-//! Exactness: with fewer than `k` samples everything sits in level 0
-//! with weight 1, so quantiles are exact order statistics — the common
-//! case for per-tenant latencies in a bounded sweep.
+//! Re-export of the deterministic quantile sketch, which moved to
+//! [`simcore::sketch`] so the metrics plane, the SMR commit tail and
+//! the trace analyzers share one implementation. Existing
+//! `simserve::sketch::QuantileSketch` paths keep working.
 
-/// Deterministic quantile sketch over `u64` samples.
-#[derive(Clone, Debug)]
-pub struct QuantileSketch {
-    /// Buffer capacity per level (compaction threshold).
-    k: usize,
-    /// levels[l] holds values of weight `2^l`, unsorted between carries.
-    levels: Vec<Vec<u64>>,
-    /// Per-level survivor-offset toggle (alternates to cancel the
-    /// half-sample bias of each compaction).
-    toggles: Vec<bool>,
-    count: u64,
-    min: u64,
-    max: u64,
-}
-
-impl QuantileSketch {
-    /// Default buffer size: exact up to 256 samples, ~2KB per level after.
-    pub const DEFAULT_K: usize = 256;
-
-    /// Creates an empty sketch with buffer capacity `k` (min 2, rounded
-    /// up to even so compaction halves exactly).
-    pub fn new(k: usize) -> Self {
-        let k = k.max(2) + (k.max(2) & 1);
-        QuantileSketch {
-            k,
-            levels: vec![Vec::new()],
-            toggles: vec![false],
-            count: 0,
-            min: u64::MAX,
-            max: 0,
-        }
-    }
-
-    /// Number of samples inserted.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Whether any sample was inserted.
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// Smallest sample (`0` when empty).
-    pub fn min(&self) -> u64 {
-        if self.is_empty() {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Largest sample (`0` when empty).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Inserts one sample.
-    pub fn insert(&mut self, v: u64) {
-        self.count += 1;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-        self.levels[0].push(v);
-        self.carry(0);
-    }
-
-    /// Merges another sketch into this one (buffer capacities need not
-    /// match; the receiver's `k` governs).
-    pub fn merge(&mut self, other: &QuantileSketch) {
-        if other.is_empty() {
-            return;
-        }
-        self.count += other.count;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-        for (level, vals) in other.levels.iter().enumerate() {
-            while self.levels.len() <= level {
-                self.levels.push(Vec::new());
-                self.toggles.push(false);
-            }
-            self.levels[level].extend_from_slice(vals);
-            self.carry(level);
-        }
-    }
-
-    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) as a weighted rank walk over
-    /// the sketch's (value, weight) pairs. Returns `0` when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.is_empty() {
-            return 0;
-        }
-        if q <= 0.0 {
-            return self.min;
-        }
-        if q >= 1.0 {
-            return self.max;
-        }
-        let mut pairs: Vec<(u64, u64)> = Vec::new();
-        let mut total: u64 = 0;
-        for (level, vals) in self.levels.iter().enumerate() {
-            let w = 1u64 << level;
-            for &v in vals {
-                pairs.push((v, w));
-                total += w;
-            }
-        }
-        pairs.sort_unstable();
-        // Target rank in [1, total]; integer arithmetic keeps the walk
-        // exactly reproducible.
-        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (v, w) in pairs {
-            seen += w;
-            if seen >= target {
-                return v;
-            }
-        }
-        self.max
-    }
-
-    /// Compacts `level` (and cascades) while it is at capacity: the
-    /// buffer is sorted and every other value is promoted with doubled
-    /// weight, alternating the surviving offset per carry.
-    fn carry(&mut self, mut level: usize) {
-        while self.levels[level].len() >= self.k {
-            if self.levels.len() <= level + 1 {
-                self.levels.push(Vec::new());
-                self.toggles.push(false);
-            }
-            let mut buf = std::mem::take(&mut self.levels[level]);
-            buf.sort_unstable();
-            let offset = usize::from(self.toggles[level]);
-            self.toggles[level] = !self.toggles[level];
-            // Odd leftover (merge can overfill past an even k) stays put.
-            if buf.len() % 2 == 1 {
-                let last = buf.pop().expect("non-empty buffer");
-                self.levels[level].push(last);
-            }
-            let promoted: Vec<u64> = buf.iter().copied().skip(offset).step_by(2).collect();
-            self.levels[level + 1].extend(promoted);
-            level += 1;
-        }
-    }
-}
-
-impl Default for QuantileSketch {
-    fn default() -> Self {
-        Self::new(Self::DEFAULT_K)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn exact_below_capacity() {
-        let mut s = QuantileSketch::new(64);
-        for v in (1..=50u64).rev() {
-            s.insert(v * 10);
-        }
-        assert_eq!(s.count(), 50);
-        assert_eq!(s.min(), 10);
-        assert_eq!(s.max(), 500);
-        assert_eq!(s.quantile(0.5), 250);
-        assert_eq!(s.quantile(0.0), 10);
-        assert_eq!(s.quantile(1.0), 500);
-        // Exact order statistics: q=0.02 is the 1st of 50.
-        assert_eq!(s.quantile(0.02), 10);
-        assert_eq!(s.quantile(0.98), 490);
-    }
-
-    #[test]
-    fn empty_sketch_answers_zero() {
-        let s = QuantileSketch::default();
-        assert!(s.is_empty());
-        assert_eq!(s.quantile(0.5), 0);
-        assert_eq!(s.min(), 0);
-        assert_eq!(s.max(), 0);
-    }
-
-    #[test]
-    fn compacted_quantiles_stay_close() {
-        let mut s = QuantileSketch::new(32);
-        // 10_000 samples of a known uniform ramp, inserted in a
-        // scrambled but deterministic order.
-        let n = 10_000u64;
-        for i in 0..n {
-            s.insert((i * 7919) % n);
-        }
-        assert_eq!(s.count(), n);
-        for (q, want) in [(0.5, n / 2), (0.95, n * 95 / 100), (0.99, n * 99 / 100)] {
-            let got = s.quantile(q);
-            let err = got.abs_diff(want) as f64 / n as f64;
-            assert!(err < 0.05, "q={q}: got {got}, want ~{want}");
-        }
-    }
-
-    #[test]
-    fn deterministic_across_instances() {
-        let build = || {
-            let mut s = QuantileSketch::new(16);
-            for i in 0..5_000u64 {
-                s.insert(i.wrapping_mul(6364136223846793005).wrapping_add(i) % 100_000);
-            }
-            (s.quantile(0.5), s.quantile(0.95), s.quantile(0.99))
-        };
-        assert_eq!(build(), build());
-    }
-
-    #[test]
-    fn merge_matches_sequential_insertion() {
-        let mut all = QuantileSketch::new(16);
-        let mut a = QuantileSketch::new(16);
-        let mut b = QuantileSketch::new(16);
-        for i in 0..2_000u64 {
-            let v = (i * 31) % 977;
-            all.insert(v);
-            if i % 2 == 0 {
-                a.insert(v);
-            } else {
-                b.insert(v);
-            }
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), all.count());
-        assert_eq!(a.min(), all.min());
-        assert_eq!(a.max(), all.max());
-        for q in [0.5, 0.95, 0.99] {
-            let (ma, mb) = (a.quantile(q), all.quantile(q));
-            let err = ma.abs_diff(mb) as f64 / 977.0;
-            assert!(err < 0.08, "q={q}: merged {ma} vs sequential {mb}");
-        }
-    }
-}
+pub use simcore::sketch::{fmt_ms, QuantileSketch, SketchSnapshot};

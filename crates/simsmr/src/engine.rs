@@ -36,7 +36,7 @@ use std::sync::Arc;
 use itask_core::{live_budget_for_pause, predicted_full_pause, StateGuard};
 use simcluster::{Cluster, ClusterConfig, ShardExecutor};
 use simcore::tracer::{self, EventId, TraceData};
-use simcore::{ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
+use simcore::{metrics, ByteSize, NodeId, SimDuration, SimError, SimResult, SimTime};
 use simnet::rpc;
 use simserve::QuantileSketch;
 
@@ -199,6 +199,9 @@ pub fn run(cfg: &SmrConfig) -> SmrOutcome {
     let mut committed_digests: Vec<u64> = Vec::new();
     let mut node_digests: Vec<Vec<u64>> = vec![Vec::new(); cfg.nodes];
     let mut result: SimResult<()> = Ok(());
+    // Metrics cadence gate for the lease-margin gauge (one point per
+    // cell, not per round).
+    let mut lease_cell: Option<u64> = None;
     // Generous livelock backstop: a healthy run takes a handful of
     // rounds per committed entry plus election detours.
     let round_budget = 200_000 + cfg.entries.saturating_mul(5_000);
@@ -411,6 +414,13 @@ pub fn run(cfg: &SmrConfig) -> SmrOutcome {
             last_commit_at = commit_at;
             let lat = commit_at.since(entry.propose_at);
             latency.insert(lat.as_nanos());
+            metrics::counter_add(Some(leader), metrics::Metric::SmrCommits, commit_at, 1);
+            metrics::observe(
+                Some(leader),
+                metrics::Metric::SmrCommitLatencyNs,
+                commit_at,
+                lat.as_nanos(),
+            );
             tracer::emit(
                 Some(leader),
                 None,
@@ -445,12 +455,31 @@ pub fn run(cfg: &SmrConfig) -> SmrOutcome {
         //    crashed or just stalled through a long collection.
         let leader_crashed = cluster.sim(leader).is_crashed();
         let mut timed_out = false;
+        let mut min_margin = i64::MAX;
         for &f in &live {
             if f == leader || cluster.sim(f).is_crashed() {
                 continue;
             }
-            if now.since(last_hb[f.as_usize()]) > cfg.election_timeout {
+            let gap = now.since(last_hb[f.as_usize()]);
+            min_margin =
+                min_margin.min(cfg.election_timeout.as_nanos() as i64 - gap.as_nanos() as i64);
+            if gap > cfg.election_timeout {
                 timed_out = true;
+            }
+        }
+        // Lease margin: how much election-timeout headroom the tightest
+        // follower has left (negative = a timeout already due). Sampled
+        // once per metrics cell so quiet stretches stay cheap.
+        if metrics::is_enabled() && min_margin != i64::MAX {
+            let cell = metrics::cell_of(now);
+            if Some(cell) != lease_cell {
+                lease_cell = Some(cell);
+                metrics::gauge_set(
+                    Some(leader),
+                    metrics::Metric::SmrLeaseMarginNs,
+                    now,
+                    min_margin,
+                );
             }
         }
         if timed_out {
@@ -463,6 +492,7 @@ pub fn run(cfg: &SmrConfig) -> SmrOutcome {
                     break;
                 }
             }
+            metrics::counter_add(Some(leader), metrics::Metric::SmrViewChanges, now, 1);
             let uncommitted = inflight.len() as u64;
             let vc_ev = tracer::emit(
                 Some(leader),

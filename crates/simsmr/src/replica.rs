@@ -25,7 +25,7 @@ use std::sync::{Arc, Mutex};
 use itask_core::Deflatable;
 use simcluster::{StepOutcome, Work, WorkCx};
 use simcore::rng::stable_hash64;
-use simcore::{ByteSize, NodeId, SimResult, SimTime, SpaceId};
+use simcore::{metrics, ByteSize, NodeId, SimResult, SimTime, SpaceId};
 use simmem::Heap;
 
 use crate::config::SmrConfig;
@@ -208,6 +208,17 @@ impl ReplicaWork {
         let mut stats = self.stats.lock().unwrap();
         stats.deflations += 1;
         stats.deflated += freed;
+        drop(stats);
+        if metrics::is_enabled() {
+            let node = Some(self.node);
+            metrics::counter_add(node, metrics::Metric::IrsDeflations, cx.now(), 1);
+            metrics::counter_add(
+                node,
+                metrics::Metric::IrsDeflatedBytes,
+                cx.now(),
+                freed.as_u64(),
+            );
+        }
     }
 }
 
